@@ -1,0 +1,459 @@
+(* Benchmark harness: regenerates every evaluation figure of the paper
+   (Figs. 3-12; Figs. 1-2 are diagrams) plus Bechamel microbenchmarks of
+   the tracking structures backing Fig. 9.
+
+   Usage:
+     dune exec bench/main.exe                run everything
+     dune exec bench/main.exe -- fig3 fig9   run a subset
+     BF_FAST=1   shrink scale and windows (quick smoke, ~2 min)
+     BF_FULL=1   the paper-proportioned 1/10 scale (slow, ~40 min)
+     BF_SEED=n   change the experiment seed
+
+   The time axis and database are jointly compressed relative to the paper
+   (DESIGN.md §1), so curve *shapes* — who dips, who finishes first, where
+   crossovers fall — are the reproduction target, not absolute numbers.
+   EXPERIMENTS.md records a paper-vs-measured comparison per figure. *)
+
+open Bullfrog_tpcc
+open Bullfrog_core
+open Bullfrog_harness
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+type profile = Fast | Standard | Full
+
+let profile =
+  if Sys.getenv_opt "BF_FAST" = Some "1" then Fast
+  else if Sys.getenv_opt "BF_FULL" = Some "1" then Full
+  else Standard
+
+let seed = match Sys.getenv_opt "BF_SEED" with Some s -> int_of_string s | None -> 42
+
+(* Per-figure scales: [Full] is 1/10 of the paper's database with the time
+   axis compressed 10x; [Standard] shrinks a further ~3x; [Fast] is a
+   smoke test. *)
+let split_scale, split_window, split_mig =
+  match profile with
+  | Full ->
+      ( { Tpcc_schema.warehouses = 5; districts = 10; customers = 3000; items = 10_000; orders = 3000; lines_per_order = 10 },
+        25.0, 5.0 )
+  | Standard ->
+      ( { Tpcc_schema.warehouses = 3; districts = 10; customers = 1500; items = 5_000; orders = 1500; lines_per_order = 10 },
+        18.0, 4.0 )
+  | Fast ->
+      ( { Tpcc_schema.warehouses = 2; districts = 5; customers = 400; items = 1_000; orders = 400; lines_per_order = 8 },
+        10.0, 2.0 )
+
+let agg_scale, agg_window, agg_mig =
+  match profile with
+  | Full ->
+      ( { Tpcc_schema.warehouses = 5; districts = 10; customers = 3000; items = 10_000; orders = 3000; lines_per_order = 10 },
+        22.0, 5.0 )
+  | Standard ->
+      ( { Tpcc_schema.warehouses = 3; districts = 10; customers = 1000; items = 5_000; orders = 1500; lines_per_order = 10 },
+        18.0, 4.0 )
+  | Fast ->
+      ( { Tpcc_schema.warehouses = 2; districts = 5; customers = 300; items = 1_000; orders = 400; lines_per_order = 8 },
+        10.0, 2.0 )
+
+let join_scale, join_window, join_mig =
+  match profile with
+  | Full ->
+      ( { Tpcc_schema.warehouses = 3; districts = 10; customers = 1000; items = 10_000; orders = 1000; lines_per_order = 10 },
+        50.0, 5.0 )
+  | Standard ->
+      ( { Tpcc_schema.warehouses = 3; districts = 10; customers = 500; items = 5_000; orders = 500; lines_per_order = 8 },
+        30.0, 4.0 )
+  | Fast ->
+      ( { Tpcc_schema.warehouses = 2; districts = 5; customers = 200; items = 1_000; orders = 200; lines_per_order = 6 },
+        14.0, 2.0 )
+
+let setup_for scale window mig =
+  Experiment.make_setup ~scale ~duration:window ~mig_time:mig ~seed ()
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  say "  [%s done in %.1fs real]" name (Unix.gettimeofday () -. t0);
+  r
+
+let run setup ~rate ?hot_customers ?fk ?customer_only ?gen ~scenario name build =
+  timed name (fun () ->
+      let _, r =
+        Experiment.run_system setup ~rate ?hot_customers ?fk ?customer_only ?gen
+          ~scenario build
+      in
+      (name, r))
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3/4: table-split migration                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* paper SS4.1: background threads start 20 s after a migration submitted
+   ~50 s into a 250 s window = 8% of the window after the submission *)
+let bg_delay setup = setup.Experiment.duration *. 0.08
+
+let fig3_4 () =
+  say "\n######## Figures 3 & 4: table-split migration (1:n bitmap) ########";
+  let setup = setup_for split_scale split_window split_mig in
+  let scenario = Tpcc_migrations.Split in
+  let d = bg_delay setup in
+  let systems rate =
+    [
+      run setup ~rate ~scenario "eager" Systems.eager;
+      run setup ~rate ~scenario "multistep" Systems.multistep;
+      run setup ~rate ~scenario "bullfrog(bitmap)" (Systems.bullfrog ~bg_delay:d ~bg_workers:2);
+      run setup ~rate ~scenario "bullfrog(on-conflict)"
+        (Systems.bullfrog ~mode:Migrate_exec.On_conflict ~bg_delay:d ~bg_workers:2);
+      run setup ~rate ~scenario "bullfrog(no-bg)" (Systems.bullfrog ~background:false);
+    ]
+  in
+  let low = systems setup.Experiment.low_rate in
+  Experiment.print_series
+    (Printf.sprintf "Fig 3(a): throughput, table split @ %.0f TPS (under capacity)"
+       setup.Experiment.low_rate)
+    low;
+  Experiment.print_cdf "Fig 4(a): latency, table split @ 450-equivalent" low;
+  let high = systems setup.Experiment.high_rate in
+  Experiment.print_series
+    (Printf.sprintf "Fig 3(b): throughput, table split @ %.0f TPS (saturation)"
+       setup.Experiment.high_rate)
+    high;
+  Experiment.print_cdf "Fig 4(b): latency, table split @ 700-equivalent" high;
+  (* the paper's 13% more-transactions observation *)
+  let total name results =
+    (List.assoc name (List.map (fun (n, r) -> (n, r.Sim.completed)) results) : int)
+  in
+  say "\ncompleted transactions at saturation: lazy=%d eager=%d (+%.1f%%)"
+    (total "bullfrog(bitmap)" high) (total "eager" high)
+    (100.0
+    *. (float_of_int (total "bullfrog(bitmap)" high) /. float_of_int (total "eager" high)
+       -. 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Figures 5/6: aggregate migration                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_6 () =
+  say "\n######## Figures 5 & 6: aggregate migration (n:1 hashmap) ########";
+  let setup = setup_for agg_scale agg_window agg_mig in
+  let scenario = Tpcc_migrations.Aggregate in
+  let d = bg_delay setup in
+  let systems rate =
+    [
+      run setup ~rate ~scenario "eager" Systems.eager;
+      run setup ~rate ~scenario "multistep" Systems.multistep;
+      run setup ~rate ~scenario "bullfrog(hashmap)" (Systems.bullfrog ~bg_delay:d ~bg_workers:2);
+    ]
+  in
+  let low = systems setup.Experiment.low_rate in
+  Experiment.print_series "Fig 5(a): throughput, aggregation @ 450-equivalent" low;
+  Experiment.print_cdf "Fig 6(a): latency, aggregation @ 450-equivalent" low;
+  let high = systems setup.Experiment.high_rate in
+  Experiment.print_series "Fig 5(b): throughput, aggregation @ 700-equivalent" high;
+  Experiment.print_cdf "Fig 6(b): latency, aggregation @ 700-equivalent" high
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7/8: join migration                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig7_8 () =
+  say "\n######## Figures 7 & 8: join migration (n:n pairs) ########";
+  let setup = setup_for join_scale join_window join_mig in
+  let scenario = Tpcc_migrations.Join in
+  let d = bg_delay setup in
+  let systems rate =
+    [
+      run setup ~rate ~scenario "eager" Systems.eager;
+      run setup ~rate ~scenario "multistep" Systems.multistep;
+      run setup ~rate ~scenario "bullfrog(hashmap)"
+        (Systems.bullfrog ~bg_delay:d ~bg_workers:2 ~bg_batch:512);
+    ]
+  in
+  let low = systems setup.Experiment.low_rate in
+  Experiment.print_series "Fig 7(a): throughput, join @ 450-equivalent" low;
+  Experiment.print_cdf "Fig 8(a): latency, join @ 450-equivalent" low;
+  let high = systems setup.Experiment.high_rate in
+  Experiment.print_series "Fig 7(b): throughput, join @ 700-equivalent" high;
+  Experiment.print_cdf "Fig 8(b): latency, join @ 700-equivalent" high
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: data-structure maintenance cost                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper modifies NewOrder so the workload cumulatively touches each
+   customer exactly once, making tracking unnecessary, and compares
+   BullFrog with and without the data structures. *)
+let fig9 () =
+  say "\n######## Figure 9: tracking data-structure maintenance cost ########";
+  let setup = setup_for split_scale (split_window /. 2.0 *. 2.0) split_mig in
+  let scenario = Tpcc_migrations.Split in
+  let cursor = ref 0 in
+  let sequential_gen rng =
+    (* payments sweeping the customer key space once, in order *)
+    let s = setup.Experiment.scale in
+    let per_d = s.Tpcc_schema.customers in
+    let per_w = s.Tpcc_schema.districts * per_d in
+    let k = !cursor in
+    incr cursor;
+    let total = Tpcc_schema.customer_count s in
+    let k = k mod total in
+    ignore rng;
+    Tpcc_txns.Payment
+      {
+        w = 1 + (k / per_w);
+        d = 1 + (k mod per_w / per_d);
+        by_last = None;
+        c = 1 + (k mod per_d);
+        amount = 10.0;
+      }
+  in
+  let rate = setup.Experiment.high_rate in
+  cursor := 0;
+  let with_tracking =
+    run setup ~rate ~gen:sequential_gen ~scenario "bullfrog(bitmap)"
+      (Systems.bullfrog ~background:false)
+  in
+  cursor := 0;
+  let without =
+    run setup ~rate ~gen:sequential_gen ~scenario "bullfrog(no-bitmap)"
+      (Systems.bullfrog ~background:false ~tracking:false)
+  in
+  Experiment.print_series "Fig 9: throughput with vs without the bitmap" [ with_tracking; without ];
+  Experiment.print_cdf ~kind:"Payment" "Fig 9: latency with vs without the bitmap"
+    [ with_tracking; without ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: skewed data access                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  say "\n######## Figure 10: skewed access (hot sets) ########";
+  let setup = setup_for split_scale split_window split_mig in
+  let scenario = Tpcc_migrations.Split in
+  let total = Tpcc_schema.customer_count setup.Experiment.scale in
+  (* the paper's 1,500,000 / 15,000 / 3,000 records, scaled to our key space *)
+  let hots = [ total; max 1 (total / 100); max 1 (total / 500) ] in
+  let d = bg_delay setup in
+  let results =
+    List.map
+      (fun hot ->
+        run setup ~rate:setup.Experiment.high_rate ~hot_customers:hot ~scenario
+          (Printf.sprintf "hot-set=%d" hot)
+          (Systems.bullfrog ~bg_delay:d))
+      hots
+  in
+  Experiment.print_series "Fig 10: throughput under access skew (hot sets)" results;
+  Experiment.print_cdf "Fig 10: latency under access skew" results
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: migration granularity                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 () =
+  say "\n######## Figure 11: migration granularity (page sizes) ########";
+  let setup = setup_for split_scale split_window split_mig in
+  let scenario = Tpcc_migrations.Split in
+  let total = Tpcc_schema.customer_count setup.Experiment.scale in
+  let pages = match profile with Fast -> [ 1; 128 ] | _ -> [ 1; 64; 128; 256 ] in
+  let d = bg_delay setup in
+  let cell rate hot =
+    let results =
+      List.map
+        (fun page ->
+          run setup ~rate ~hot_customers:hot ~scenario
+            (Printf.sprintf "page=%d" page)
+            (Systems.bullfrog ~page_size:page ~bg_delay:d))
+        pages
+    in
+    (results, hot)
+  in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun hot ->
+          let results, _ = cell rate hot in
+          Experiment.print_series
+            (Printf.sprintf "Fig 11: rate=%.0f hot-set=%d, page sizes" rate hot)
+            results;
+          Experiment.print_cdf
+            (Printf.sprintf "Fig 11: rate=%.0f hot-set=%d, latency" rate hot)
+            results)
+        [ total; max 1 (total / 100) ])
+    [ setup.Experiment.high_rate; setup.Experiment.low_rate ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: FOREIGN KEY constraints on the split                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  say "\n######## Figure 12: FK constraints on the table split ########";
+  let setup = setup_for split_scale split_window split_mig in
+  let scenario = Tpcc_migrations.Split in
+  let d = bg_delay setup in
+  let variants =
+    [
+      ("PK only", Tpcc_migrations.Fk_none);
+      ("PK + FK district", Tpcc_migrations.Fk_district);
+      ("PK + FK order,district", Tpcc_migrations.Fk_district_orders);
+    ]
+  in
+  let cell ~customer_only =
+    List.map
+      (fun (name, fk) ->
+        run setup ~rate:setup.Experiment.high_rate ~fk ~customer_only ~scenario name
+          (Systems.bullfrog ~bg_delay:d))
+      variants
+  in
+  let full = cell ~customer_only:false in
+  Experiment.print_series "Fig 12(a): full workload, FK variants" full;
+  let partial = cell ~customer_only:true in
+  Experiment.print_series "Fig 12(b): customer-only workload, FK variants" partial;
+  Experiment.print_cdf "Fig 12(b): latency, customer-only workload" partial
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of BullFrog's design choices (beyond the paper's figures)  *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  say "\n######## Ablations: n:n granularity, FK-PK join options, bg threads ########";
+  (* (a) n:n tracking granularity: §3.6 option 3 pairs vs join-key classes *)
+  let setup = setup_for join_scale join_window join_mig in
+  let d = bg_delay setup in
+  let nn =
+    [
+      run setup ~rate:setup.Experiment.low_rate ~scenario:Tpcc_migrations.Join
+        "nn=pair (opt 3)"
+        (Systems.bullfrog ~nn:Migrate_exec.Nn_pair ~bg_delay:d ~bg_workers:2 ~bg_batch:512);
+      run setup ~rate:setup.Experiment.low_rate ~scenario:Tpcc_migrations.Join
+        "nn=class (coarse)"
+        (Systems.bullfrog ~nn:Migrate_exec.Nn_join_key ~bg_delay:d ~bg_workers:2 ~bg_batch:64);
+    ]
+  in
+  Experiment.print_series "Ablation: n:n granularity — pairs (§3.6 opt 3) vs join-key classes" nn;
+  Experiment.print_cdf "Ablation: n:n granularity, latency" nn;
+  (* (b) background thread budget for the split *)
+  let setup = setup_for split_scale split_window split_mig in
+  let results =
+    List.map
+      (fun workers ->
+        run setup ~rate:setup.Experiment.high_rate ~scenario:Tpcc_migrations.Split
+          (Printf.sprintf "bg-workers=%d" workers)
+          (Systems.bullfrog ~bg_delay:d ~bg_workers:workers))
+      [ 1; 2; 4 ]
+  in
+  Experiment.print_series "Ablation: background thread budget (split @ 700)" results;
+  (* (c) latch striping of the trackers, microbenchmarked under threads *)
+  say "\nAblation: bitmap latch striping (8 threads, 1M acquires)";
+  List.iter
+    (fun stripes ->
+      let bt = Bitmap_tracker.create ~stripes ~size:1_000_000 () in
+      let t0 = Unix.gettimeofday () in
+      let ths =
+        List.init 8 (fun t ->
+            Thread.create
+              (fun () ->
+                for g = t * 125_000 to ((t + 1) * 125_000) - 1 do
+                  match Bitmap_tracker.try_acquire bt g with
+                  | Tracker.Migrate -> Bitmap_tracker.mark_migrated bt g
+                  | _ -> ()
+                done)
+              ())
+      in
+      List.iter Thread.join ths;
+      say "  stripes=%-4d %6.1f ms" stripes (1000.0 *. (Unix.gettimeofday () -. t0)))
+    [ 1; 8; 64; 512 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the tracking structures (Fig. 9 support) *)
+(* ------------------------------------------------------------------ *)
+
+let microbench () =
+  say "\n######## Microbenchmarks: tracker operation costs (Bechamel) ########";
+  let open Bechamel in
+  let bitmap = Bitmap_tracker.create ~size:1_000_000 () in
+  let hash = Hash_tracker.create () in
+  let i = ref 0 in
+  let tests =
+    [
+      Test.make ~name:"bitmap.try_acquire+commit"
+        (Staged.stage (fun () ->
+             let g = !i mod 1_000_000 in
+             incr i;
+             match Bitmap_tracker.try_acquire bitmap g with
+             | Tracker.Migrate -> Bitmap_tracker.mark_migrated bitmap g
+             | Tracker.Skip | Tracker.Already_migrated -> ()));
+      Test.make ~name:"bitmap.is_migrated"
+        (Staged.stage (fun () ->
+             incr i;
+             ignore (Bitmap_tracker.is_migrated bitmap (!i mod 1_000_000) : bool)));
+      Test.make ~name:"hash.try_acquire+commit"
+        (Staged.stage (fun () ->
+             incr i;
+             let key = [| Bullfrog_db.Value.Int !i |] in
+             match Hash_tracker.try_acquire hash key with
+             | Tracker.Migrate -> Hash_tracker.mark_migrated hash key
+             | Tracker.Skip | Tracker.Already_migrated -> ()));
+      Test.make ~name:"hash.is_migrated"
+        (Staged.stage (fun () ->
+             incr i;
+             ignore (Hash_tracker.is_migrated hash [| Bullfrog_db.Value.Int (!i mod 1000) |] : bool)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name raw ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              instance raw
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> say "  %-28s %8.1f ns/op" name est
+          | _ -> say "  %-28s (no estimate)" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all_figures =
+  [
+    ("fig3", fig3_4);
+    ("fig5", fig5_6);
+    ("fig7", fig7_8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("ablate", ablations);
+    ("micro", microbench);
+  ]
+
+let aliases = [ ("fig4", "fig3"); ("fig6", "fig5"); ("fig8", "fig7") ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as figs) ->
+        List.map (fun f -> match List.assoc_opt f aliases with Some a -> a | None -> f) figs
+    | _ -> List.map fst all_figures
+  in
+  let requested = List.sort_uniq compare requested in
+  say "BullFrog benchmark harness — profile: %s, seed: %d"
+    (match profile with Fast -> "fast" | Standard -> "standard" | Full -> "full (1/10 paper scale)")
+    seed;
+  say "(figures 1-2 of the paper are architecture diagrams; all evaluation";
+  say " figures 3-12 are regenerated below; see EXPERIMENTS.md for the mapping)";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_figures with
+      | Some f -> f ()
+      | None -> say "unknown figure %S (known: %s)" name (String.concat ", " (List.map fst all_figures)))
+    requested;
+  say "\nall requested figures done in %.0fs" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,190 @@
+(* Interactive SQL shell over the BullFrog engine.
+
+   Meta-commands:
+     \migrate <name> [drop <t1,t2,...>] ; <CREATE TABLE x AS (SELECT ...)>
+         submit a single-step schema migration (logical switch)
+     \bg [batch]      run one background-migration batch
+     \drain           run background migration to completion
+     \progress        migration progress and tracker statistics
+     \finalize        drop the migrated input tables
+     \tpcc [scale]    load a TPC-C database (tiny|small)
+     \tables          list relations
+     \q               quit
+
+   Everything else is executed as SQL through the BullFrog façade, so
+   requests against tables under migration trigger lazy migration exactly
+   as in the paper.  Start with:  dune exec bin/bullfrog_cli.exe *)
+
+open Bullfrog_db
+open Bullfrog_core
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let print_result = function
+  | Executor.Rows (names, rows) ->
+      say "%s" (String.concat " | " names);
+      List.iter
+        (fun row ->
+          say "%s" (String.concat " | " (Array.to_list (Array.map Value.to_string row))))
+        rows;
+      say "(%d row(s))" (List.length rows)
+  | Executor.Affected n -> say "AFFECTED %d" n
+  | Executor.Done msg -> say "%s" msg
+  | Executor.Explained plan -> print_string plan
+
+let split_on_semi s =
+  match String.index_opt s ';' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let handle_migrate bf line =
+  (* \migrate name [drop a,b] ; CREATE TABLE ... AS (SELECT ...) *)
+  let header, ddl = split_on_semi line in
+  let tokens =
+    String.split_on_char ' ' (String.trim header) |> List.filter (fun t -> t <> "")
+  in
+  match tokens with
+  | name :: rest ->
+      let drop_old =
+        match rest with
+        | "drop" :: tables :: _ -> String.split_on_char ',' tables
+        | _ -> []
+      in
+      if String.trim ddl = "" then say "usage: \\migrate <name> [drop t1,t2] ; <DDL>"
+      else begin
+        let stmt = Migration.statement_of_sql ~name (String.trim ddl) in
+        let spec = Migration.make ~name ~drop_old [ stmt ] in
+        ignore (Lazy_db.start_migration bf spec : Migrate_exec.t);
+        say "migration %S is live (logical switch done; data migrates lazily)" name
+      end
+  | [] -> say "usage: \\migrate <name> [drop t1,t2] ; <DDL>"
+
+let show_progress bf =
+  match Lazy_db.active bf with
+  | None -> say "no migration in progress"
+  | Some rt ->
+      say "progress: %.1f%%  complete: %b" (100.0 *. Migrate_exec.progress rt)
+        (Migrate_exec.complete rt);
+      List.iter
+        (fun (stmt : Migrate_exec.rt_stmt) ->
+          List.iter
+            (fun (input : Migrate_exec.rt_input) ->
+              match input.Migrate_exec.ri_tracker with
+              | Migrate_exec.RT_bitmap bt ->
+                  let s = Bitmap_tracker.stats bt in
+                  say "  %-16s bitmap  %d/%d migrated, %d in progress"
+                    input.Migrate_exec.ri_heap.Heap.name s.Tracker.migrated
+                    s.Tracker.total s.Tracker.in_progress
+              | Migrate_exec.RT_hash (ht, _) ->
+                  let s = Hash_tracker.stats ht in
+                  say "  %-16s hashmap %d keys seen, %d migrated, %d in progress"
+                    input.Migrate_exec.ri_heap.Heap.name s.Tracker.total
+                    s.Tracker.migrated s.Tracker.in_progress
+              | Migrate_exec.RT_none ->
+                  say "  %-16s untracked" input.Migrate_exec.ri_heap.Heap.name)
+            stmt.Migrate_exec.rs_inputs;
+          match stmt.Migrate_exec.rs_pair with
+          | Some pr ->
+              let s = Hash_tracker.stats pr.Migrate_exec.pr_tracker in
+              say "  pair tracker     %d pairs seen, %d migrated" s.Tracker.total
+                s.Tracker.migrated
+          | None -> ())
+        rt.Migrate_exec.stmts
+
+let () =
+  let db = Database.create () in
+  let bf = Lazy_db.create db in
+  say "BullFrog shell — lazy single-step schema evolution (type \\q to quit)";
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buffer = 0 then print_string "bullfrog> " else print_string "     ...> ";
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        let line = String.trim line in
+        if line = "\\q" || line = "\\quit" then ()
+        else begin
+          (try
+             if String.length line > 0 && line.[0] = '\\' then begin
+               Buffer.clear buffer;
+               let cmd, rest =
+                 match String.index_opt line ' ' with
+                 | None -> (line, "")
+                 | Some i ->
+                     (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+               in
+               match cmd with
+               | "\\migrate" -> handle_migrate bf rest
+               | "\\bg" ->
+                   let batch =
+                     match int_of_string_opt (String.trim rest) with Some n -> n | None -> 256
+                   in
+                   say "migrated %d granule(s)" (Lazy_db.background_step bf ~batch)
+               | "\\drain" ->
+                   let total = ref 0 in
+                   let rec go () =
+                     let n = Lazy_db.background_step bf ~batch:256 in
+                     if n > 0 then begin
+                       total := !total + n;
+                       go ()
+                     end
+                   in
+                   go ();
+                   say "migrated %d granule(s); complete: %b" !total
+                     (Lazy_db.migration_complete bf)
+               | "\\progress" -> show_progress bf
+               | "\\finalize" ->
+                   Lazy_db.finalize bf;
+                   say "finalized"
+               | "\\tables" ->
+                   List.iter (say "  %s") (Catalog.table_names db.Database.catalog)
+               | "\\tpcc" ->
+                   let scale =
+                     match String.trim rest with
+                     | "small" -> Bullfrog_tpcc.Tpcc_schema.small
+                     | _ -> Bullfrog_tpcc.Tpcc_schema.tiny
+                   in
+                   Bullfrog_tpcc.Loader.load db scale;
+                   say "TPC-C loaded: %s"
+                     (String.concat ", "
+                        (List.map
+                           (fun (n, c) -> Printf.sprintf "%s=%d" n c)
+                           (Bullfrog_tpcc.Loader.row_counts db)))
+               | other -> say "unknown command %s" other
+             end
+             else begin
+               Buffer.add_string buffer line;
+               Buffer.add_char buffer ' ';
+               let text = Buffer.contents buffer in
+               (* execute once the statement is terminated (or is complete
+                  on one line without a semicolon) *)
+               if String.contains line ';' || line <> "" then begin
+                 match Bullfrog_sql.Parser.parse (Buffer.contents buffer) with
+                 | stmts ->
+                     Buffer.clear buffer;
+                     List.iter
+                       (fun stmt ->
+                         print_result
+                           (Lazy_db.exec bf (Bullfrog_sql.Pretty.stmt_to_string stmt)))
+                       stmts
+                 | exception Bullfrog_sql.Parser.Parse_error _
+                   when not (String.contains text ';') ->
+                     (* keep buffering *)
+                     ()
+               end
+             end
+           with
+          | Db_error.Sql_error msg -> say "ERROR: %s" msg
+          | Db_error.Constraint_violation msg -> say "ERROR: %s" msg
+          | Db_error.Txn_abort msg -> say "ABORTED: %s" msg
+          | Bullfrog_sql.Parser.Parse_error msg ->
+              Buffer.clear buffer;
+              say "parse error: %s" msg
+          | Bullfrog_sql.Lexer.Lex_error (msg, pos) ->
+              Buffer.clear buffer;
+              say "lex error at %d: %s" pos msg);
+          loop ()
+        end
+  in
+  loop ()

@@ -1,0 +1,1 @@
+examples/aggregate_view.ml: Array Bullfrog_core Bullfrog_db Bullfrog_tpcc Database Executor Lazy_db List Loader Migrate_exec Printf Tpcc_migrations Tpcc_schema Tpcc_txns Value

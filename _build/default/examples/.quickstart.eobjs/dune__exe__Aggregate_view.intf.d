@@ -1,0 +1,1 @@
+examples/aggregate_view.mli:

@@ -1,0 +1,1 @@
+examples/join_denorm.ml: Bullfrog_core Bullfrog_db Bullfrog_tpcc Catalog Database Lazy_db List Loader Migrate_exec Printf Tpcc_migrations Tpcc_schema Tpcc_txns Value

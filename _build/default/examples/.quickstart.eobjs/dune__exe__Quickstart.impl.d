@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bullfrog_core Bullfrog_db Catalog Classify Database Db_error Executor Heap Lazy_db List Migrate_exec Migration Printf String Value

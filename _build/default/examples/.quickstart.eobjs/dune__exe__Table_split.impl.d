@@ -1,0 +1,1 @@
+examples/table_split.ml: Bitmap_tracker Bullfrog_core Bullfrog_db Bullfrog_tpcc Catalog Database Lazy_db List Loader Migrate_exec Printf Rng Tpcc_migrations Tpcc_schema Tpcc_txns Tracker Value

@@ -1,0 +1,1 @@
+lib/bullfrog/bitmap_tracker.ml: Atomic Bytes Char Printf Striped_mutex Tracker

@@ -1,0 +1,1 @@
+lib/bullfrog/bitmap_tracker.mli: Tracker

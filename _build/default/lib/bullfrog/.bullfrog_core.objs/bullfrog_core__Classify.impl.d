@@ -1,0 +1,1 @@
+lib/bullfrog/classify.ml: Array Ast Bullfrog_db Bullfrog_sql Catalog Db_error Heap List Migration Option Schema Stdlib String

@@ -1,0 +1,1 @@
+lib/bullfrog/classify.mli: Bullfrog_db Migration

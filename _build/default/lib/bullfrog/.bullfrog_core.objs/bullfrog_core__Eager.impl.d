@@ -1,0 +1,1 @@
+lib/bullfrog/eager.ml: Bullfrog_db Catalog Database Executor Heap List Migrate_exec Migration Planner

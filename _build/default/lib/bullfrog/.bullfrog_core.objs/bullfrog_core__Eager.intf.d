@@ -1,0 +1,1 @@
+lib/bullfrog/eager.mli: Bullfrog_db Migration

@@ -1,0 +1,1 @@
+lib/bullfrog/hash_tracker.ml: Array Atomic Bullfrog_db Hashtbl Striped_mutex Tracker Value

@@ -1,0 +1,1 @@
+lib/bullfrog/hash_tracker.mli: Bullfrog_db Tracker

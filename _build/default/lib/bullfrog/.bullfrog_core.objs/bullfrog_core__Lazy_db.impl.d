@@ -1,0 +1,1 @@
+lib/bullfrog/lazy_db.ml: Array Ast Bullfrog_db Bullfrog_sql Catalog Database Db_error Executor Hashtbl Heap List Logs Migrate_exec Migration Option Parser Planner Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/bullfrog/lazy_db.mli: Bullfrog_db Bullfrog_sql Migrate_exec Migration

@@ -1,0 +1,1 @@
+lib/bullfrog/migrate_exec.mli: Bitmap_tracker Bullfrog_db Bullfrog_sql Classify Hash_tracker Migration

@@ -1,0 +1,1 @@
+lib/bullfrog/migration.ml: Ast Bullfrog_db Bullfrog_sql Catalog Db_error List Option Parser Pretty Printf String

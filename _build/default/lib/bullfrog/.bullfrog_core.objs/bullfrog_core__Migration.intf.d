@@ -1,0 +1,1 @@
+lib/bullfrog/migration.mli: Bullfrog_db Bullfrog_sql

@@ -1,0 +1,1 @@
+lib/bullfrog/multistep.mli: Bullfrog_db Migration

@@ -1,0 +1,1 @@
+lib/bullfrog/recovery.ml: Array Bitmap_tracker Bullfrog_db Catalog Classify Database Hash_tracker Heap List Migrate_exec Option Redo_log Schema

@@ -1,0 +1,1 @@
+lib/bullfrog/recovery.mli: Bullfrog_db Migrate_exec

@@ -1,0 +1,1 @@
+lib/bullfrog/tracker.ml:

@@ -1,0 +1,120 @@
+(* Each granule owns 2 bits packed 4-per-byte: bit 0 = lock, bit 1 =
+   migrate.  The fast path reads without the latch (safe: one byte, and a
+   stale read only sends the worker through the latched re-check or the
+   SKIP loop, both of which are correct); all writes take the chunk
+   latch. *)
+
+type t = {
+  bits : Bytes.t;
+  page : int;
+  granules : int;
+  latches : Striped_mutex.t;
+  migrated_count : int Atomic.t;
+}
+
+let granules_per_byte = 4
+
+let chunk_granules = 1024 (* granules sharing one latch stripe key *)
+
+let create ?(page_size = 1) ?(stripes = 64) ~size () =
+  if page_size <= 0 then invalid_arg "Bitmap_tracker.create: page_size";
+  let granules = if size = 0 then 0 else ((size - 1) / page_size) + 1 in
+  let nbytes = (granules / granules_per_byte) + 1 in
+  {
+    bits = Bytes.make nbytes '\000';
+    page = page_size;
+    granules;
+    latches = Striped_mutex.create stripes;
+    migrated_count = Atomic.make 0;
+  }
+
+let page_size t = t.page
+
+let granule_of_tid t tid = tid / t.page
+
+let granule_count t = t.granules
+
+let check_bounds t g =
+  if g < 0 || g >= t.granules then
+    invalid_arg (Printf.sprintf "Bitmap_tracker: granule %d out of [0,%d)" g t.granules)
+
+let lock_mask g = 1 lsl ((g mod granules_per_byte) * 2)
+
+let migrate_mask g = 2 lsl ((g mod granules_per_byte) * 2)
+
+let byte_of t g = Char.code (Bytes.unsafe_get t.bits (g / granules_per_byte))
+
+let set_byte t g v = Bytes.unsafe_set t.bits (g / granules_per_byte) (Char.chr v)
+
+let chunk_of g = g / chunk_granules
+
+let with_latch t g f = Striped_mutex.with_stripe t.latches (chunk_of g) f
+
+let is_migrated t g =
+  check_bounds t g;
+  byte_of t g land migrate_mask g <> 0
+
+let is_in_progress t g =
+  check_bounds t g;
+  byte_of t g land lock_mask g <> 0
+
+let try_acquire t g : Tracker.decision =
+  check_bounds t g;
+  let b = byte_of t g in
+  (* A [1 1] state would mean a granule both in progress and migrated. *)
+  assert (b land lock_mask g = 0 || b land migrate_mask g = 0);
+  if b land migrate_mask g <> 0 then Tracker.Already_migrated
+  else if b land lock_mask g <> 0 then Tracker.Skip
+  else
+    with_latch t g (fun () ->
+        let b = byte_of t g in
+        if b land migrate_mask g <> 0 then Tracker.Already_migrated
+        else if b land lock_mask g <> 0 then Tracker.Skip
+        else begin
+          set_byte t g (b lor lock_mask g);
+          Tracker.Migrate
+        end)
+
+let mark_migrated t g =
+  check_bounds t g;
+  with_latch t g (fun () ->
+      let b = byte_of t g in
+      if b land migrate_mask g <> 0 then
+        invalid_arg (Printf.sprintf "Bitmap_tracker.mark_migrated: granule %d already migrated" g);
+      set_byte t g ((b land lnot (lock_mask g)) lor migrate_mask g));
+  Atomic.incr t.migrated_count
+
+let mark_aborted t g =
+  check_bounds t g;
+  with_latch t g (fun () ->
+      let b = byte_of t g in
+      assert (b land migrate_mask g = 0);
+      set_byte t g (b land lnot (lock_mask g)))
+
+let force_migrated t g =
+  check_bounds t g;
+  with_latch t g (fun () ->
+      let b = byte_of t g in
+      if b land migrate_mask g = 0 then begin
+        set_byte t g ((b land lnot (lock_mask g)) lor migrate_mask g);
+        Atomic.incr t.migrated_count
+      end)
+
+let stats t =
+  let migrated = Atomic.get t.migrated_count in
+  let in_progress = ref 0 in
+  for g = 0 to t.granules - 1 do
+    if byte_of t g land lock_mask g <> 0 then incr in_progress
+  done;
+  { Tracker.total = t.granules; migrated; in_progress = !in_progress }
+
+let complete t = Atomic.get t.migrated_count >= t.granules
+
+let first_unmigrated t ~from =
+  let rec loop g =
+    if g >= t.granules then None
+    else
+      let b = byte_of t g in
+      if b land (migrate_mask g lor lock_mask g) = 0 then Some g else loop (g + 1)
+  in
+  loop (max from 0)

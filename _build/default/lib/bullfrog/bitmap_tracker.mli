@@ -1,0 +1,54 @@
+(** Bitmap tracker for 1:1 and 1:n migrations (paper §3.3, Algorithm 2).
+
+    Two bits per granule, stored adjacently so one byte read sees both:
+    [lock] (in-progress) and [migrate].  Legal states are [0 0] (not
+    started), [1 0] (in progress) and [0 1] (migrated); [1 1] is asserted
+    unreachable.  A granule is a tuple (TID) by default, or a page of
+    [page_size] consecutive TIDs (§4.4.3).
+
+    The bitmap is partitioned into chunks, each guarded by its own latch
+    (a {!Bullfrog_util.Striped_mutex}), to reduce cross-worker latch
+    contention.  All operations are thread-safe. *)
+
+type t
+
+val create : ?page_size:int -> ?stripes:int -> size:int -> unit -> t
+(** [size] is the number of TIDs to cover ([Heap.tid_count] of the input
+    table).  [page_size] defaults to 1 (tuple granularity); [stripes] to
+    64. *)
+
+val page_size : t -> int
+
+val granule_of_tid : t -> int -> int
+(** [tid / page_size]. *)
+
+val granule_count : t -> int
+
+val try_acquire : t -> int -> Tracker.decision
+(** Algorithm 2 for granule index [g]: fast-path reads of the migrate and
+    lock bits, then re-check under the chunk's exclusive latch before
+    setting the lock bit. *)
+
+val mark_migrated : t -> int -> unit
+(** Alg. 1 line 9: flip [1 0] → [0 1].  Also accepts [0 0] → [0 1]
+    (recovery / eager paths).  @raise Invalid_argument if already
+    migrated (double completion indicates a tracker misuse). *)
+
+val mark_aborted : t -> int -> unit
+(** §3.5: reset [1 0] → [0 0] so another worker can migrate it. *)
+
+val is_migrated : t -> int -> bool
+
+val is_in_progress : t -> int -> bool
+
+val force_migrated : t -> int -> unit
+(** Recovery: set migrated regardless of current state. *)
+
+val stats : t -> Tracker.stats
+
+val complete : t -> bool
+(** Every granule migrated. *)
+
+val first_unmigrated : t -> from:int -> int option
+(** Smallest granule index [>= from] that is neither migrated nor in
+    progress — the background-migration cursor. *)

@@ -1,0 +1,228 @@
+open Bullfrog_sql
+open Bullfrog_db
+
+type category = One_to_one | One_to_many | Many_to_one | Many_to_many
+
+type tracking =
+  | T_bitmap
+  | T_hash of string list
+  | T_none
+
+type input_plan = {
+  ip_alias : string;
+  ip_table : string;
+  ip_category : category;
+  ip_tracking : tracking;
+}
+
+let category_to_string = function
+  | One_to_one -> "1:1"
+  | One_to_many -> "1:n"
+  | Many_to_one -> "n:1"
+  | Many_to_many -> "n:n"
+
+let err = Db_error.sql_error
+
+(* Columns of [alias] mentioned in an expression list, unqualified names. *)
+let cols_of_alias inputs alias exprs =
+  List.filter_map
+    (fun e ->
+      match e with
+      | Ast.Col (Some q, c) when String.lowercase_ascii q = alias -> Some c
+      | Ast.Col (None, c) -> (
+          (* unqualified: owned by this alias iff it has the column and no
+             other input does *)
+          let holders =
+            List.filter
+              (fun (_, _, heap) -> Schema.col_index heap.Heap.schema c <> None)
+              inputs
+          in
+          match holders with
+          | [ (a, _, _) ] when a = alias -> Some c
+          | _ -> None)
+      | _ -> None)
+    exprs
+
+let is_unique_key heap cols =
+  let schema = heap.Heap.schema in
+  match List.map (Schema.col_index schema) cols with
+  | idxs when List.for_all Option.is_some idxs ->
+      let idxs = Array.of_list (List.map Option.get idxs) in
+      Heap.unique_index_on heap idxs <> None
+      || (match schema.Schema.primary_key with
+         | Some pk ->
+             List.sort Stdlib.compare (Array.to_list pk)
+             = List.sort Stdlib.compare (Array.to_list idxs)
+         | None -> false)
+  | _ -> false
+
+let classify_statement ?(fk_join = `Tuple) catalog (stmt : Migration.statement) =
+  let population =
+    match stmt.Migration.outputs with
+    | [] -> err "migration statement %S has no outputs" stmt.Migration.stmt_name
+    | o :: rest ->
+        (* All outputs of a statement must read the same inputs. *)
+        let inputs_of o = Migration.input_tables_of_select catalog o.Migration.out_population in
+        let base = inputs_of o in
+        List.iter
+          (fun o' ->
+            if inputs_of o' <> base then
+              err
+                "outputs of migration statement %S read different input tables"
+                stmt.Migration.stmt_name)
+          rest;
+        o.Migration.out_population
+  in
+  let input_pairs = Migration.input_tables_of_select catalog population in
+  let inputs =
+    List.map
+      (fun (alias, table) -> (alias, table, Catalog.find_table_exn catalog table))
+      input_pairs
+  in
+  let n_outputs = List.length stmt.Migration.outputs in
+  let conjs =
+    match population.Ast.where with None -> [] | Some w -> Ast.conjuncts w
+  in
+  match inputs with
+  | [] -> err "migration statement %S reads no input tables" stmt.Migration.stmt_name
+  | [ (alias, table, _) ] ->
+      if population.Ast.group_by <> [] then begin
+        let group_cols =
+          List.map
+            (fun g ->
+              match g with
+              | Ast.Col (_, c) -> c
+              | _ ->
+                  err
+                    "GROUP BY expressions in migration %S must be plain columns"
+                    stmt.Migration.stmt_name)
+            population.Ast.group_by
+        in
+        [
+          {
+            ip_alias = alias;
+            ip_table = table;
+            ip_category = Many_to_one;
+            ip_tracking = T_hash group_cols;
+          };
+        ]
+      end
+      else
+        [
+          {
+            ip_alias = alias;
+            ip_table = table;
+            ip_category = (if n_outputs > 1 then One_to_many else One_to_one);
+            ip_tracking = T_bitmap;
+          };
+        ]
+  | [ (a1, t1, h1); (a2, t2, h2) ] -> (
+      if population.Ast.group_by <> [] then
+        err
+          "migration %S: GROUP BY over a join is not supported (materialise the join first)"
+          stmt.Migration.stmt_name;
+      (* Join columns per side, from the equality conjuncts that span both
+         inputs. *)
+      let join_pairs =
+        List.filter_map
+          (fun c ->
+            match c with
+            | Ast.Binop (Ast.Eq, (Ast.Col _ as x), (Ast.Col _ as y)) -> (
+                let side e =
+                  match cols_of_alias inputs a1 [ e ] with
+                  | [ c ] -> Some (`L c)
+                  | _ -> (
+                      match cols_of_alias inputs a2 [ e ] with
+                      | [ c ] -> Some (`R c)
+                      | _ -> None)
+                in
+                match (side x, side y) with
+                | Some (`L cl), Some (`R cr) -> Some (cl, cr)
+                | Some (`R cr), Some (`L cl) -> Some (cl, cr)
+                | _ -> None)
+            | _ -> None)
+          conjs
+      in
+      if join_pairs = [] then
+        err "migration %S joins %s and %s with no equality condition"
+          stmt.Migration.stmt_name t1 t2;
+      let left_cols = List.map fst join_pairs and right_cols = List.map snd join_pairs in
+      let left_unique = is_unique_key h1 left_cols in
+      let right_unique = is_unique_key h2 right_cols in
+      let fk_tracking cols =
+        (* §3.6: option 2 tracks FKIT tuples (bitmap); option 1 migrates a
+           whole FK-value class at once (hashmap on the join columns). *)
+        match fk_join with `Tuple -> T_bitmap | `Class -> T_hash cols
+      in
+      let fk_category =
+        match fk_join with `Tuple -> One_to_one | `Class -> Many_to_many
+      in
+      match (left_unique, right_unique) with
+      | true, false ->
+          (* t1 is the PK input table: 1:n, untracked (§3.6);
+             t2 is the FK input table. *)
+          [
+            { ip_alias = a1; ip_table = t1; ip_category = One_to_many; ip_tracking = T_none };
+            { ip_alias = a2; ip_table = t2; ip_category = fk_category; ip_tracking = fk_tracking right_cols };
+          ]
+      | false, true ->
+          [
+            { ip_alias = a1; ip_table = t1; ip_category = fk_category; ip_tracking = fk_tracking left_cols };
+            { ip_alias = a2; ip_table = t2; ip_category = One_to_many; ip_tracking = T_none };
+          ]
+      | true, true ->
+          (* 1:1 join both ways; drive from the left side. *)
+          [
+            { ip_alias = a1; ip_table = t1; ip_category = One_to_one; ip_tracking = T_bitmap };
+            { ip_alias = a2; ip_table = t2; ip_category = One_to_one; ip_tracking = T_none };
+          ]
+      | false, false ->
+          (* Many-to-many: granule = join-key value class on both sides. *)
+          [
+            {
+              ip_alias = a1;
+              ip_table = t1;
+              ip_category = Many_to_many;
+              ip_tracking = T_hash left_cols;
+            };
+            {
+              ip_alias = a2;
+              ip_table = t2;
+              ip_category = Many_to_many;
+              ip_tracking = T_hash right_cols;
+            };
+          ])
+  | (driving_alias, driving_table, driving_heap) :: others ->
+      (* Star-join heuristic: every other input must be joined through one
+         of its unique keys, making the migration 1:1 with respect to the
+         first (fact) input. *)
+      ignore driving_heap;
+      let ok =
+        List.for_all
+          (fun (a, _, h) ->
+            let my_cols =
+              List.filter_map
+                (fun c ->
+                  match c with
+                  | Ast.Binop (Ast.Eq, x, y) -> (
+                      match
+                        (cols_of_alias inputs a [ x ], cols_of_alias inputs a [ y ])
+                      with
+                      | [ c ], [] -> Some c
+                      | [], [ c ] -> Some c
+                      | _ -> None)
+                  | _ -> None)
+                conjs
+            in
+            my_cols <> [] && is_unique_key h my_cols)
+          others
+      in
+      if not ok then
+        err
+          "migration %S: joins of three or more tables must be FK-PK star joins"
+          stmt.Migration.stmt_name;
+      { ip_alias = driving_alias; ip_table = driving_table; ip_category = One_to_one; ip_tracking = T_bitmap }
+      :: List.map
+           (fun (a, t, _) ->
+             { ip_alias = a; ip_table = t; ip_category = One_to_many; ip_tracking = T_none })
+           others

@@ -1,0 +1,44 @@
+(** Migration-category classification (paper §3.1, §3.6).
+
+    For every input table of a migration statement, decide the category
+    (1:1, 1:n, n:1, n:n) and the tracking structure:
+
+    - single input table, no GROUP BY → bitmap (1:1, or 1:n when the
+      statement has several outputs — the table split);
+    - single input with GROUP BY → hashmap keyed by the grouping columns
+      (n:1);
+    - FK–PK join → bitmap on the foreign-key input table and {e no}
+      tracking on the primary-key side (§3.6 option 2, the default for
+      inner joins);
+    - many-to-many join → hashmap on each side keyed by its join
+      attribute, so a granule is a join-key equivalence class (the
+      coarse variant of §3.6 option 3). *)
+
+type category = One_to_one | One_to_many | Many_to_one | Many_to_many
+
+type tracking =
+  | T_bitmap  (** granules are input TIDs (or pages) *)
+  | T_hash of string list  (** granules are values of these input columns *)
+  | T_none  (** untracked: unit of migration owned by another input *)
+
+type input_plan = {
+  ip_alias : string;  (** alias of the input in the population query *)
+  ip_table : string;  (** base table name *)
+  ip_category : category;
+  ip_tracking : tracking;
+}
+
+val category_to_string : category -> string
+
+val classify_statement :
+  ?fk_join:[ `Tuple | `Class ] ->
+  Bullfrog_db.Catalog.t ->
+  Migration.statement ->
+  input_plan list
+(** [fk_join] picks between §3.6's two options for FK–PK joins:
+    [`Tuple] (option 2, the default) tracks individual FKIT tuples with a
+    bitmap and leaves the PKIT untracked; [`Class] (option 1) migrates a
+    whole foreign-key value class at once, tracked by a hashmap on the
+    join columns — preferable when FK cardinality is small.
+    @raise Db_error.Sql_error on shapes the classifier does not support
+    (multi-input GROUP BY populations, joins with no equality condition). *)

@@ -1,0 +1,40 @@
+open Bullfrog_db
+
+type outcome = {
+  rows_copied : int;
+  input_rows_read : int;
+}
+
+let migrate db (spec : Migration.t) =
+  (* Reuse the installer for output creation and classification checks,
+     then push every granule through in one transaction per statement. *)
+  let rt = Migrate_exec.install ~mig_id:0 db spec in
+  let ctx = Database.exec_ctx db in
+  let pctx = { Planner.catalog = db.Database.catalog; run_subquery = (fun _ -> []) } in
+  let rows_copied = ref 0 and input_rows_read = ref 0 in
+  List.iter
+    (fun (stmt : Migrate_exec.rt_stmt) ->
+      Database.with_txn db (fun txn ->
+          List.iter
+            (fun (out_heap, population) ->
+              (* Populations read the real old tables directly: the catalog
+                 still holds them, and the outputs are empty. *)
+              let planned = Planner.plan_select pctx population in
+              let rows = Executor.run txn planned.Planner.plan in
+              List.iter
+                (fun row ->
+                  match Executor.insert_row ctx txn out_heap row with
+                  | Some _ -> incr rows_copied
+                  | None -> ())
+                rows)
+            stmt.Migrate_exec.rs_outputs;
+          List.iter
+            (fun (input : Migrate_exec.rt_input) ->
+              input_rows_read := !input_rows_read + Heap.live_count input.Migrate_exec.ri_heap)
+            stmt.Migrate_exec.rs_inputs))
+    rt.Migrate_exec.stmts;
+  List.iter
+    (fun name ->
+      if Catalog.exists db.Database.catalog name then Catalog.drop db.Database.catalog name)
+    spec.Migration.drop_old;
+  { rows_copied = !rows_copied; input_rows_read = !input_rows_read }

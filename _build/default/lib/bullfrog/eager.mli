@@ -1,0 +1,16 @@
+(** Eager migration baseline (paper §4).
+
+    Physically moves {e all} data into the new schema in one shot before
+    the new schema becomes available.  [migrate] returns the number of
+    rows copied — the harness converts that into the downtime window
+    during which requests touching the affected tables queue. *)
+
+type outcome = {
+  rows_copied : int;
+  input_rows_read : int;
+}
+
+val migrate : Bullfrog_db.Database.t -> Migration.t -> outcome
+(** Creates the output tables (with indexes/constraints), runs every
+    population query to completion inside a single transaction, and drops
+    the [drop_old] relations. *)

@@ -1,0 +1,100 @@
+open Bullfrog_db
+
+type key = Value.t array
+
+type state = In_progress | Migrated | Aborted
+
+module Key_tbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec loop i = i >= Array.length a || (Value.equal a.(i) b.(i) && loop (i + 1)) in
+    loop 0
+
+  let hash = Value.hash_key
+end)
+
+(* One partition per latch stripe; a key's partition is chosen by its
+   hash, so operations on one key touch exactly one latch. *)
+type t = {
+  parts : state Key_tbl.t array;
+  latches : Striped_mutex.t;
+  migrated_count : int Atomic.t;
+}
+
+let create ?(stripes = 64) () =
+  let latches = Striped_mutex.create stripes in
+  {
+    parts = Array.init (Striped_mutex.stripes latches) (fun _ -> Key_tbl.create 256);
+    latches;
+    migrated_count = Atomic.make 0;
+  }
+
+let part_key t key =
+  let h = Value.hash_key key in
+  (h land max_int) mod Array.length t.parts
+
+let with_key t key f =
+  let pk = part_key t key in
+  Striped_mutex.with_stripe t.latches pk (fun () -> f t.parts.(pk))
+
+let try_acquire t key : Tracker.decision =
+  with_key t key (fun part ->
+      match Key_tbl.find_opt part key with
+      | Some Migrated -> Tracker.Already_migrated
+      | Some In_progress -> Tracker.Skip
+      | Some Aborted ->
+          (* Alg. 3 lines 7-9: take over an aborted migration. *)
+          Key_tbl.replace part key In_progress;
+          Tracker.Migrate
+      | None ->
+          Key_tbl.replace part (Array.copy key) In_progress;
+          Tracker.Migrate)
+
+let mark_migrated t key =
+  with_key t key (fun part ->
+      match Key_tbl.find_opt part key with
+      | Some In_progress | Some Aborted -> Key_tbl.replace part key Migrated
+      | Some Migrated ->
+          invalid_arg "Hash_tracker.mark_migrated: key already migrated"
+      | None -> invalid_arg "Hash_tracker.mark_migrated: unknown key");
+  Atomic.incr t.migrated_count
+
+let mark_aborted t key =
+  with_key t key (fun part ->
+      match Key_tbl.find_opt part key with
+      | Some In_progress -> Key_tbl.replace part key Aborted
+      | Some Aborted -> ()
+      | Some Migrated -> invalid_arg "Hash_tracker.mark_aborted: key is migrated"
+      | None -> invalid_arg "Hash_tracker.mark_aborted: unknown key")
+
+let force_migrated t key =
+  with_key t key (fun part ->
+      match Key_tbl.find_opt part key with
+      | Some Migrated -> ()
+      | Some In_progress | Some Aborted | None ->
+          Key_tbl.replace part (Array.copy key) Migrated;
+          Atomic.incr t.migrated_count)
+
+let state_of t key = with_key t key (fun part -> Key_tbl.find_opt part key)
+
+let is_migrated t key = state_of t key = Some Migrated
+
+let stats t =
+  let total = ref 0 and in_progress = ref 0 in
+  Striped_mutex.with_all t.latches (fun () ->
+      Array.iter
+        (fun part ->
+          Key_tbl.iter
+            (fun _ s ->
+              incr total;
+              if s = In_progress then incr in_progress)
+            part)
+        t.parts);
+  { Tracker.total = !total; migrated = Atomic.get t.migrated_count; in_progress = !in_progress }
+
+let iter t f =
+  Striped_mutex.with_all t.latches (fun () ->
+      Array.iter (fun part -> Key_tbl.iter f part) t.parts)

@@ -1,0 +1,40 @@
+(** Hash-table tracker for n:1 and n:n migrations (paper §3.4, Algorithm 3).
+
+    Granules are group keys (e.g. the GROUP BY attribute values, or the
+    join-attribute value of an n:n join); a key absent from the table has
+    not started migrating.  States follow the algorithm: [In_progress]
+    (locked, not migrated), [Migrated], and [Aborted] — a worker finding
+    [Aborted] may re-acquire the key (Alg. 3 lines 7–9).
+
+    The table is partitioned; each partition has its own latch (footnote 4:
+    deadlock-free because no operation holds two latches). *)
+
+type t
+
+type key = Bullfrog_db.Value.t array
+
+type state = In_progress | Migrated | Aborted
+
+val create : ?stripes:int -> unit -> t
+
+val try_acquire : t -> key -> Tracker.decision
+(** Algorithm 3 minus the worker-local WIP/SKIP short-circuits, which live
+    in the migration loop ({!Migrate_exec}). *)
+
+val mark_migrated : t -> key -> unit
+(** @raise Invalid_argument when the key is absent or already migrated. *)
+
+val mark_aborted : t -> key -> unit
+(** In-progress → aborted (the key stays in the table, per Alg. 3). *)
+
+val force_migrated : t -> key -> unit
+
+val state_of : t -> key -> state option
+
+val is_migrated : t -> key -> bool
+
+val stats : t -> Tracker.stats
+(** [total] counts keys ever inserted (group population is discovered
+    lazily, so this is a lower bound until the background pass ends). *)
+
+val iter : t -> (key -> state -> unit) -> unit

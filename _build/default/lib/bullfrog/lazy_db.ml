@@ -1,0 +1,545 @@
+open Bullfrog_sql
+open Bullfrog_db
+
+type active = {
+  rt : Migrate_exec.t;
+  shadow : Catalog.t;  (* old tables + one view per output table *)
+  output_names : string list;
+  cumulative : Migrate_exec.report;
+}
+
+type t = {
+  database : Database.t;
+  mutable act : active option;
+  mutable dropped : string list;  (* big-flip rejected relations *)
+  mutable next_mig_id : int;
+}
+
+let create database = { database; act = None; dropped = []; next_mig_id = 1 }
+
+let db t = t.database
+
+let err = Db_error.sql_error
+
+(* §2.4: a migration adding a uniqueness constraint over data that already
+   contains duplicates would otherwise only surface the problem after the
+   new schema is live.  [precheck_unique] synchronously evaluates each
+   output's population and counts the rows that would fail its UNIQUE /
+   PRIMARY KEY constraints. *)
+let precheck_unique t (spec : Migration.t) =
+  let db = t.database in
+  let failures = ref [] in
+  List.iter
+    (fun (stmt : Migration.statement) ->
+      List.iter
+        (fun (o : Migration.output) ->
+          match o.Migration.out_create with
+          | Some (Ast.Create_table { columns; constraints; _ }) ->
+              let names =
+                let pctx =
+                  { Planner.catalog = db.Database.catalog; run_subquery = (fun _ -> []) }
+                in
+                Planner.output_names (Planner.expand_select pctx o.Migration.out_population)
+              in
+              let pos c =
+                let c = String.lowercase_ascii c in
+                let rec go i = function
+                  | [] -> err "precheck: output %s lacks column %S" o.Migration.out_name c
+                  | n :: rest ->
+                      if String.lowercase_ascii n = c then i else go (i + 1) rest
+                in
+                go 0 names
+              in
+              let unique_sets =
+                List.filter_map
+                  (fun tc ->
+                    match tc with
+                    | Ast.C_primary_key cols | Ast.C_unique cols ->
+                        Some (List.map pos cols)
+                    | Ast.C_foreign_key _ | Ast.C_check _ -> None)
+                  constraints
+                @ List.filter_map
+                    (fun (cd : Ast.column_def) ->
+                      if cd.Ast.col_primary_key || cd.Ast.col_unique then
+                        Some [ pos cd.Ast.col_name ]
+                      else None)
+                    columns
+              in
+              if unique_sets <> [] then begin
+                let rows =
+                  Database.with_txn db (fun txn ->
+                      match
+                        Executor.exec_stmt (Database.exec_ctx db) txn
+                          (Ast.Select_stmt o.Migration.out_population)
+                      with
+                      | Executor.Rows (_, rows) -> rows
+                      | _ -> [])
+                in
+                List.iter
+                  (fun cols ->
+                    let seen = Hashtbl.create 1024 in
+                    let dups = ref 0 in
+                    List.iter
+                      (fun row ->
+                        let key =
+                          List.map (fun i -> Value.to_string row.(i)) cols
+                          |> String.concat "\x00"
+                        in
+                        if Hashtbl.mem seen key then incr dups
+                        else Hashtbl.add seen key ())
+                      rows;
+                    if !dups > 0 then
+                      failures := (o.Migration.out_name, !dups) :: !failures)
+                  unique_sets
+              end
+          | Some _ | None -> ())
+        stmt.Migration.outputs)
+    spec.Migration.statements;
+  List.rev !failures
+
+let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off) t
+    (spec : Migration.t) =
+  if t.act <> None then err "a schema migration is already in progress";
+  (match precheck with
+  | `Off -> ()
+  | (`Error | `Warn) as level -> (
+      match precheck_unique t spec with
+      | [] -> ()
+      | failures ->
+          let msg =
+            String.concat "; "
+              (List.map
+                 (fun (out, n) ->
+                   Printf.sprintf "%d row(s) would violate a uniqueness constraint of %s" n out)
+                 failures)
+          in
+          if level = `Error then err "migration precheck failed: %s" msg
+          else
+            Logs.warn (fun m ->
+                m "migration %S: %s (those records will fail to migrate)"
+                  spec.Migration.name msg)));
+  (* Snapshot the old tables before outputs appear in the catalog. *)
+  let old_tables =
+    List.map
+      (fun name -> Catalog.find_table_exn t.database.Database.catalog name)
+      (Catalog.table_names t.database.Database.catalog)
+  in
+  let mig_id = t.next_mig_id in
+  t.next_mig_id <- mig_id + 1;
+  let rt = Migrate_exec.install ?mode ?page_size ?stripes ?nn ?fk_join ~mig_id t.database spec in
+  let shadow = Catalog.create () in
+  List.iter (fun heap -> Catalog.add_table shadow heap) old_tables;
+  let output_names =
+    List.concat_map
+      (fun (stmt : Migration.statement) ->
+        List.map
+          (fun (o : Migration.output) ->
+            Catalog.create_view shadow o.Migration.out_name o.Migration.out_population;
+            o.Migration.out_name)
+          stmt.Migration.outputs)
+      spec.Migration.statements
+  in
+  t.act <- Some { rt; shadow; output_names; cumulative = Migrate_exec.new_report () };
+  t.dropped <- t.dropped @ spec.Migration.drop_old;
+  rt
+
+let active t = Option.map (fun a -> a.rt) t.act
+
+(* ------------------------------------------------------------------ *)
+(* Which relations does a statement reference?                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec tables_of_select (s : Ast.select) =
+  List.concat_map
+    (fun (f : Ast.from_item) ->
+      match f with
+      | Ast.From_table (name, _) -> [ String.lowercase_ascii name ]
+      | Ast.From_subquery (q, _) -> tables_of_select q)
+    s.Ast.from
+
+let rec tables_of_stmt (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Select_stmt s -> tables_of_select s
+  | Ast.Insert { table; source; _ } ->
+      String.lowercase_ascii table
+      :: (match source with Ast.Query q -> tables_of_select q | Ast.Values _ -> [])
+  | Ast.Update { table; _ } | Ast.Delete { table; _ } -> [ String.lowercase_ascii table ]
+  | Ast.Explain inner -> tables_of_stmt inner
+  | Ast.Create_table_as { query; _ } | Ast.Create_view { query; _ } ->
+      tables_of_select query
+  | Ast.Create_table _ | Ast.Create_index _ | Ast.Drop _ | Ast.Alter_table _
+  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
+      []
+
+(* ------------------------------------------------------------------ *)
+(* Predicate extraction (§2.1)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge per-table predicates from several extractions: the relevant set is
+   the union, so predicates combine with OR, and None (= everything)
+   absorbs. *)
+let merge_preds (a : (string * Ast.expr option) list) b =
+  List.fold_left
+    (fun acc (table, pred) ->
+      match List.assoc_opt table acc with
+      | None -> acc @ [ (table, pred) ]
+      | Some existing ->
+          let merged =
+            match (existing, pred) with
+            | None, _ | _, None -> None
+            | Some x, Some y -> Some (Ast.Binop (Ast.Or, x, y))
+          in
+          List.map (fun (t', p) -> if t' = table then (t', merged) else (t', p)) acc)
+    a b
+
+(* Predicates reaching the base tables of [q], planned over the shadow
+   catalog where output tables are views. *)
+let extract_from_select act (q : Ast.select) =
+  let pctx = { Planner.catalog = act.shadow; run_subquery = (fun _ -> []) } in
+  let raw = Planner.pushed_base_filters pctx q in
+  (* A table scanned twice gets the OR of its conjunct sets; an occurrence
+     with no conjuncts means the whole table is potentially relevant. *)
+  List.fold_left
+    (fun acc (table, conjs) -> merge_preds acc [ (table, Ast.conjoin conjs) ])
+    [] raw
+
+let select_star_where table where =
+  Ast.select
+    ~projections:[ Ast.Proj_star ]
+    ~from:[ Ast.From_table (table, None) ]
+    ~where ()
+
+(* Conflict candidates for INSERT (§2.1 last paragraph): rows of the old
+   schema that could collide with the new rows on a unique key must be
+   migrated before the constraint can be checked. *)
+let insert_conflict_preds t act table (rows : Value.t array list) positions arity =
+  match Catalog.find_table t.database.Database.catalog table with
+  | None -> []
+  | Some heap ->
+      let unique_col_sets =
+        List.filter_map
+          (fun c ->
+            match c with
+            | Schema.Unique (_, cols) -> Some cols
+            | Schema.Check _ | Schema.Foreign_key _ -> None)
+          heap.Heap.schema.Schema.constraints
+      in
+      let fk_specs =
+        List.filter_map
+          (fun c ->
+            match c with
+            | Schema.Foreign_key fk -> Some fk
+            | Schema.Check _ | Schema.Unique _ -> None)
+          heap.Heap.schema.Schema.constraints
+      in
+      if unique_col_sets = [] && fk_specs = [] then []
+      else begin
+        (* Reconstruct full-width rows from the INSERT's column list. *)
+        let full_rows =
+          List.map
+            (fun values ->
+              let row = Array.make arity Value.Null in
+              Array.iteri (fun j pos -> row.(pos) <- values.(j)) positions;
+              row)
+            rows
+        in
+        let eq_pred cols row =
+          let conjs =
+            Array.to_list
+              (Array.map
+                 (fun i ->
+                   Ast.Binop
+                     ( Ast.Eq,
+                       Ast.Col (None, heap.Heap.schema.Schema.columns.(i).Schema.name),
+                       Value.to_ast_literal row.(i) ))
+                 cols)
+          in
+          Ast.conjoin conjs
+        in
+        let unique_preds =
+          List.concat_map
+            (fun cols ->
+              List.filter_map
+                (fun row ->
+                  if Array.exists (fun i -> Value.is_null row.(i)) cols then None
+                  else
+                    match eq_pred cols row with
+                    | Some p -> Some (extract_from_select act (select_star_where table (Some p)))
+                    | None -> None)
+                full_rows)
+            unique_col_sets
+        in
+        (* FK parents that are themselves migration outputs must hold the
+           referenced row before the check can pass (§4.5). *)
+        let fk_preds =
+          List.concat_map
+            (fun (fk : Schema.foreign_key) ->
+              if not (List.mem fk.Schema.fk_ref_table act.output_names) then []
+              else
+                let parent =
+                  Catalog.find_table_exn t.database.Database.catalog fk.Schema.fk_ref_table
+                in
+                let ref_cols =
+                  if Array.length fk.Schema.fk_ref_cols > 0 then fk.Schema.fk_ref_cols
+                  else
+                    match parent.Heap.schema.Schema.primary_key with
+                    | Some pk ->
+                        Array.map
+                          (fun i -> parent.Heap.schema.Schema.columns.(i).Schema.name)
+                          pk
+                    | None -> [||]
+                in
+                if Array.length ref_cols = 0 then []
+                else
+                  List.filter_map
+                    (fun row ->
+                      let vals = Array.map (fun i -> row.(i)) fk.Schema.fk_cols in
+                      if Array.exists Value.is_null vals then None
+                      else begin
+                        let conjs =
+                          Array.to_list
+                            (Array.mapi
+                               (fun j c ->
+                                 Ast.Binop
+                                   ( Ast.Eq,
+                                     Ast.Col (None, c),
+                                     Value.to_ast_literal vals.(j) ))
+                               ref_cols)
+                        in
+                        match Ast.conjoin conjs with
+                        | Some p ->
+                            Some
+                              (extract_from_select act
+                                 (select_star_where fk.Schema.fk_ref_table (Some p)))
+                        | None -> None
+                      end)
+                    full_rows)
+            fk_specs
+        in
+        List.fold_left merge_preds [] (unique_preds @ fk_preds)
+      end
+
+let extract_predicates_for_active t act (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Select_stmt s ->
+      if List.exists (fun r -> List.mem r act.output_names) (tables_of_select s) then
+        extract_from_select act s
+      else []
+  | Ast.Update { table; where; _ } | Ast.Delete { table; where } ->
+      if List.mem (String.lowercase_ascii table) act.output_names then
+        extract_from_select act (select_star_where table where)
+      else []
+  | Ast.Insert { table; columns; source; _ } -> (
+      let table = String.lowercase_ascii table in
+      if not (List.mem table act.output_names) then []
+      else
+        match source with
+        | Ast.Values rows -> (
+            match Catalog.find_table t.database.Database.catalog table with
+            | None -> []
+            | Some heap ->
+                let schema = heap.Heap.schema in
+                let arity = Schema.arity schema in
+                let positions =
+                  match columns with
+                  | None -> Array.init arity (fun i -> i)
+                  | Some cols ->
+                      Array.of_list (List.map (Schema.col_index_exn schema) cols)
+                in
+                let literal_rows =
+                  List.filter_map
+                    (fun exprs ->
+                      let vals = List.map Value.of_ast_literal exprs in
+                      if List.for_all Option.is_some vals then
+                        Some (Array.of_list (List.map Option.get vals))
+                      else None)
+                    rows
+                in
+                insert_conflict_preds t act table literal_rows positions arity)
+        | Ast.Query q ->
+            (* INSERT ... SELECT: migrate what the SELECT reads; conflict
+               candidates are unknown statically, so unique-key migration is
+               conservative only when the table has unique constraints. *)
+            let base = extract_from_select act q in
+            let conservative =
+              match Catalog.find_table t.database.Database.catalog table with
+              | Some heap
+                when List.exists
+                       (fun c -> match c with Schema.Unique _ -> true | _ -> false)
+                       heap.Heap.schema.Schema.constraints ->
+                  extract_from_select act (select_star_where table None)
+              | _ -> []
+            in
+            merge_preds base conservative)
+  | Ast.Explain inner -> (
+      match inner with
+      | Ast.Select_stmt s -> extract_from_select act s
+      | _ -> [])
+  | Ast.Create_table_as { query; _ } | Ast.Create_view { query; _ } ->
+      extract_from_select act query
+  | Ast.Create_table _ | Ast.Create_index _ | Ast.Drop _ | Ast.Alter_table _
+  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
+      []
+
+(* Output tables a statement's migration work is on behalf of: the ones it
+   references directly, plus FK parents of an INSERT target that are
+   themselves migration outputs (§4.5). *)
+let relevant_outputs_for t act (stmt : Ast.stmt) =
+  let direct =
+    List.filter (fun r -> List.mem r act.output_names) (tables_of_stmt stmt)
+  in
+  let fk_parents =
+    match stmt with
+    | Ast.Insert { table; _ } | Ast.Update { table; _ } -> (
+        match Catalog.find_table t.database.Database.catalog table with
+        | None -> []
+        | Some heap ->
+            List.filter_map
+              (fun c ->
+                match c with
+                | Schema.Foreign_key fk
+                  when List.mem fk.Schema.fk_ref_table act.output_names ->
+                    Some fk.Schema.fk_ref_table
+                | _ -> None)
+              heap.Heap.schema.Schema.constraints)
+    | _ -> []
+  in
+  List.sort_uniq String.compare (direct @ fk_parents)
+
+let extract_predicates_for_stmt t stmt =
+  match t.act with
+  | None -> []
+  | Some act -> extract_predicates_for_active t act stmt
+
+(* ------------------------------------------------------------------ *)
+(* Request interception                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_big_flip t referenced =
+  List.iter
+    (fun table ->
+      if List.mem table t.dropped then
+        err
+          "relation %S was removed by a schema migration; update the client to the new schema"
+          table)
+    referenced
+
+let maybe_migrate t ?report (stmt : Ast.stmt) =
+  match t.act with
+  | None -> ()
+  | Some act ->
+      if Migrate_exec.complete act.rt then ()
+      else begin
+        let referenced = tables_of_stmt stmt in
+        let touches_output =
+          List.exists (fun r -> List.mem r act.output_names) referenced
+        in
+        if touches_output then begin
+          let preds = extract_predicates_for_active t act stmt in
+          (* Only the statements whose outputs this request (or its
+             constraint probes) reference migrate on its behalf. *)
+          let relevant_outputs = relevant_outputs_for t act stmt in
+          let stmt_filter (s : Migrate_exec.rt_stmt) =
+            List.exists
+              (fun (heap, _) -> List.mem heap.Heap.name relevant_outputs)
+              s.Migrate_exec.rs_outputs
+          in
+          let r = Migrate_exec.new_report () in
+          Migrate_exec.migrate_for_preds ~stmt_filter act.rt r preds;
+          Migrate_exec.merge_report ~into:act.cumulative r;
+          match report with
+          | Some dst -> Migrate_exec.merge_report ~into:dst r
+          | None -> ()
+        end
+      end
+
+let prepare t ?params sql =
+  let stmt = Parser.parse_one sql in
+  let stmt =
+    match params with
+    | None -> stmt
+    | Some params ->
+        let lits = Array.map Value.to_ast_literal params in
+        (match stmt with
+        | Ast.Select_stmt s -> Ast.Select_stmt (Ast.bind_params_select lits s)
+        | Ast.Insert i ->
+            Ast.Insert
+              {
+                i with
+                source =
+                  (match i.source with
+                  | Ast.Values rows ->
+                      Ast.Values (List.map (List.map (Ast.bind_params lits)) rows)
+                  | Ast.Query q -> Ast.Query (Ast.bind_params_select lits q));
+              }
+        | Ast.Update u ->
+            Ast.Update
+              {
+                u with
+                sets = List.map (fun (c, e) -> (c, Ast.bind_params lits e)) u.sets;
+                where = Option.map (Ast.bind_params lits) u.where;
+              }
+        | Ast.Delete d ->
+            Ast.Delete { d with where = Option.map (Ast.bind_params lits) d.where }
+        | other -> other)
+  in
+  check_big_flip t (tables_of_stmt stmt);
+  stmt
+
+let exec t ?report ?params sql =
+  let stmt = prepare t ?params sql in
+  maybe_migrate t ?report stmt;
+  Database.with_txn t.database (fun txn ->
+      Executor.exec_stmt (Database.exec_ctx t.database) txn stmt)
+
+let exec_in t txn ?report ?params sql =
+  let stmt = prepare t ?params sql in
+  maybe_migrate t ?report stmt;
+  Executor.exec_stmt (Database.exec_ctx t.database) txn stmt
+
+(* ------------------------------------------------------------------ *)
+(* Background migration and lifecycle                                  *)
+(* ------------------------------------------------------------------ *)
+
+let background_step t ~batch =
+  match t.act with
+  | None -> 0
+  | Some act ->
+      let r = Migrate_exec.new_report () in
+      let n = Migrate_exec.background_step act.rt r ~batch in
+      Migrate_exec.merge_report ~into:act.cumulative r;
+      n
+
+let migration_complete t =
+  match t.act with None -> true | Some act -> Migrate_exec.complete act.rt
+
+let progress t =
+  match t.act with None -> 1.0 | Some act -> Migrate_exec.progress act.rt
+
+let cumulative_report t =
+  match t.act with
+  | None -> Migrate_exec.new_report ()
+  | Some act -> act.cumulative
+
+let finalize t =
+  match t.act with
+  | None -> ()
+  | Some act ->
+      if not (Migrate_exec.complete act.rt) then
+        err "cannot finalize migration %S: physical migration is incomplete"
+          act.rt.Migrate_exec.spec.Migration.name;
+      (* The old input tables can now be dropped (paper §2.2). *)
+      let inputs =
+        List.concat_map
+          (fun stmt ->
+            List.map
+              (fun i -> i.Migrate_exec.ri_heap.Heap.name)
+              stmt.Migrate_exec.rs_inputs)
+          act.rt.Migrate_exec.stmts
+      in
+      List.iter
+        (fun name ->
+          if Catalog.exists t.database.Database.catalog name then
+            Catalog.drop t.database.Database.catalog name)
+        (List.sort_uniq String.compare inputs);
+      t.act <- None

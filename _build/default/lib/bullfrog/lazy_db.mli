@@ -1,0 +1,77 @@
+(** The BullFrog façade (paper §2).
+
+    Wraps a {!Bullfrog_db.Database}; [start_migration] performs the
+    logical schema switch immediately (outputs created empty, trackers
+    allocated, old tables named in [drop_old] become invisible — the "big
+    flip").  Every subsequent request is intercepted:
+
+    - requests naming a dropped old table are rejected;
+    - requests touching a table under migration first trigger lazy
+      migration of the potentially-relevant granules, scoped by the
+      predicates extracted through the migration views (§2.1);
+    - INSERTs expand the relevant set with unique-constraint conflict
+      candidates and FOREIGN KEY parents (§2.1, §4.5);
+    - everything else passes straight through. *)
+
+type t
+
+val create : Bullfrog_db.Database.t -> t
+
+val db : t -> Bullfrog_db.Database.t
+
+val start_migration :
+  ?mode:Migrate_exec.mode ->
+  ?page_size:int ->
+  ?stripes:int ->
+  ?nn:Migrate_exec.nn_granularity ->
+  ?fk_join:[ `Tuple | `Class ] ->
+  ?precheck:[ `Off | `Warn | `Error ] ->
+  t ->
+  Migration.t ->
+  Migrate_exec.t
+(** The logical switch.  [precheck] (§2.4, default [`Off]) synchronously
+    evaluates the populations of outputs that declare UNIQUE / PRIMARY KEY
+    constraints: [`Error] rejects the migration when existing data would
+    violate them, [`Warn] logs and proceeds with the pure lazy approach
+    (those records will fail to migrate).
+    @raise Db_error.Sql_error when a migration is already active. *)
+
+val active : t -> Migrate_exec.t option
+
+val exec :
+  t ->
+  ?report:Migrate_exec.report ->
+  ?params:Bullfrog_db.Value.t array ->
+  string ->
+  Bullfrog_db.Executor.result
+(** Auto-committed request.  Migration work (if any) runs in its own
+    transactions before the request (§3.2) and is accounted to [report]
+    (and always to the cumulative report). *)
+
+val exec_in :
+  t ->
+  Bullfrog_db.Txn.t ->
+  ?report:Migrate_exec.report ->
+  ?params:Bullfrog_db.Value.t array ->
+  string ->
+  Bullfrog_db.Executor.result
+(** Statement inside a caller-owned transaction; migration still runs in
+    separate transactions first. *)
+
+val background_step : t -> batch:int -> int
+(** §2.2; returns granules migrated (0 once complete). *)
+
+val migration_complete : t -> bool
+
+val progress : t -> float
+
+val cumulative_report : t -> Migrate_exec.report
+
+val finalize : t -> unit
+(** Once complete: drop the migration's input tables from the catalog and
+    deactivate interception.  @raise Db_error.Sql_error if incomplete. *)
+
+val extract_predicates_for_stmt :
+  t -> Bullfrog_sql.Ast.stmt -> (string * Bullfrog_sql.Ast.expr option) list
+(** Exposed for tests: the per-old-table predicates a statement would
+    migrate by ([None] = full table). *)

@@ -1,0 +1,163 @@
+(** Migration runtime: installation and the per-transaction migration loop
+    (paper §3.2, Algorithm 1).
+
+    [install] performs the logical schema switch: it creates the (empty)
+    output tables with their declared constraints and indexes, allocates
+    the tracking structures chosen by {!Classify}, and records the
+    shadow-view catalog used for predicate extraction.  No data moves.
+
+    [migrate_for_preds] is the loop a worker runs before its client
+    request: scan potentially-relevant old rows, consult the tracker per
+    granule (WIP / SKIP bookkeeping), physically migrate the WIP granules
+    inside a dedicated transaction, flip their status on commit, and
+    re-check SKIP entries until they are migrated or abandoned by an
+    aborted competitor (§3.5). *)
+
+type mode =
+  | Tracked  (** Algorithms 2/3: lock bit + migrate bit *)
+  | On_conflict
+      (** §3.7: no lock bit; duplicate suppression via ON CONFLICT DO
+          NOTHING against the output tables' unique indexes *)
+
+type nn_granularity =
+  | Nn_pair
+      (** §3.6 option 3: a granule is a combination of one tuple from each
+          join input — (x.tupleID, y.tupleID) → status *)
+  | Nn_join_key
+      (** coarse variant: a granule is a whole join-key equivalence class
+          (used by the multistep baseline, whose write propagation is
+          class-based) *)
+
+type granule = G_tid of int | G_key of Bullfrog_db.Value.t array
+
+type rt_tracker =
+  | RT_bitmap of Bitmap_tracker.t
+  | RT_hash of Hash_tracker.t * int array  (** tracker, key column indices *)
+  | RT_none
+
+type rt_input = {
+  ri_alias : string;
+  ri_heap : Bullfrog_db.Heap.t;
+  ri_plan : Classify.input_plan;
+  ri_tracker : rt_tracker;
+  ri_tracker_uid : int;  (** inputs sharing a tracker share the uid *)
+  mutable ri_bg_cursor : int;  (** background-scan position (TID / granule) *)
+  mutable ri_bg_done : bool;
+}
+
+type pair_output = {
+  po_heap : Bullfrog_db.Heap.t;
+  po_projs : Bullfrog_db.Expr.t array;  (** over [a_row @ b_row] *)
+  po_where : Bullfrog_db.Expr.t option;
+}
+
+type pair_rt = {
+  pr_uid : int;
+  pr_tracker : Hash_tracker.t;  (** keyed by [\[| Int a_tid; Int b_tid |\]] *)
+  pr_a : rt_input;
+  pr_b : rt_input;
+  pr_a_key : int array;
+  pr_b_key : int array;
+  pr_outputs : pair_output list;
+  mutable pr_bg_cursor : int;
+  mutable pr_bg_done : bool;
+}
+
+type rt_stmt = {
+  rs_name : string;
+  rs_outputs : (Bullfrog_db.Heap.t * Bullfrog_sql.Ast.select) list;
+  rs_inputs : rt_input list;
+  rs_pair : pair_rt option;  (** Some = pair-granularity n:n *)
+}
+
+type granule_event =
+  | Ev_migrated of int * granule
+      (** tracker uid, granule — committed by the current worker *)
+  | Ev_already of int * granule
+      (** candidate found already migrated (possibly by a transaction
+          still in flight in virtual time — the harness models the
+          Algorithm 1 wait with these) *)
+
+type t = {
+  mig_id : int;
+  spec : Migration.t;
+  stmts : rt_stmt list;
+  db : Bullfrog_db.Database.t;
+  mode : mode;
+  page_size : int;
+  mutable abort_inject : (unit -> bool) option;
+      (** failure injection: when it returns true, the migration
+          transaction aborts after performing its work (tests §3.5) *)
+  mutable listener : (granule_event -> unit) option;
+      (** granule-level event stream for the simulation harness *)
+}
+
+(** Accumulated work report, consumed by the benchmark cost model. *)
+type report = {
+  mutable r_txns : int;
+  mutable r_granules_migrated : int;
+  mutable r_rows_migrated : int;  (** output rows inserted *)
+  mutable r_input_rows : int;  (** old-schema rows read on behalf of migration *)
+  mutable r_granules_already : int;
+  mutable r_skip_waits : int;
+  mutable r_aborts : int;
+}
+
+val new_report : unit -> report
+
+val merge_report : into:report -> report -> unit
+
+val install :
+  ?mode:mode ->
+  ?page_size:int ->
+  ?stripes:int ->
+  ?nn:nn_granularity ->
+  ?fk_join:[ `Tuple | `Class ] ->
+  mig_id:int ->
+  Bullfrog_db.Database.t ->
+  Migration.t ->
+  t
+(** Logical switch; raises on unsupported migration shapes.  Output tables
+    must not collide with existing relations. *)
+
+val migrate_for_preds :
+  ?stmt_filter:(rt_stmt -> bool) ->
+  t ->
+  report ->
+  (string * Bullfrog_sql.Ast.expr option) list ->
+  unit
+(** [migrate_for_preds t report preds] — [preds] gives, per {e base input
+    table name}, the extracted predicate ([None] = every row is
+    potentially relevant).  Tables absent from the list are not touched,
+    and statements rejected by [stmt_filter] do not migrate (a request
+    only drives the statements whose outputs it references, §3.1).
+    Runs Algorithm 1 to completion (SKIP loop included). *)
+
+val migrate_granules :
+  t -> report -> rt_stmt -> (rt_input * granule) list -> unit
+(** Low-level entry used by the background migrator and the multistep
+    copier: acquire and migrate an explicit granule set. *)
+
+val background_step : t -> report -> batch:int -> int
+(** Migrate up to [batch] granules not yet covered, scanning inputs in
+    TID order (§2.2).  Returns the number of granules migrated (0 =
+    migration complete). *)
+
+val complete : t -> bool
+(** All bitmap trackers full and every hash input's background scan
+    finished. *)
+
+val verify_complete : t -> bool
+(** Exhaustive check (scans every input row); used by tests. *)
+
+val progress : t -> float
+(** Fraction of bitmap granules migrated (hash inputs contribute their
+    discovered keys); in [0;1], 1 when [complete]. *)
+
+val rows_for_granule : t -> rt_input -> granule -> (int * Bullfrog_db.Heap.row) list
+(** The input rows a granule covers (whole pages for bitmap granules,
+    whole groups for hash granules). *)
+
+val granule_of_row : rt_input -> int -> Bullfrog_db.Heap.row -> granule
+
+val granule_equal : granule -> granule -> bool

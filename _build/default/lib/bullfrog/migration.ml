@@ -1,0 +1,109 @@
+open Bullfrog_sql
+open Bullfrog_db
+
+type output = {
+  out_name : string;
+  out_create : Ast.stmt option;
+  out_population : Ast.select;
+  out_indexes : Ast.stmt list;
+}
+
+type statement = {
+  stmt_name : string;
+  outputs : output list;
+}
+
+type t = {
+  name : string;
+  statements : statement list;
+  drop_old : string list;
+}
+
+let make ~name ?(drop_old = []) statements =
+  if statements = [] then Db_error.sql_error "migration %S has no statements" name;
+  { name; statements; drop_old = List.map String.lowercase_ascii drop_old }
+
+let output_ddl o =
+  match o.out_create with
+  | Some stmt -> Pretty.stmt_to_string stmt
+  | None ->
+      Printf.sprintf "CREATE TABLE %s AS (%s)" o.out_name
+        (Pretty.select_to_string o.out_population)
+
+let statement_of_sql ?name ?(extra_ddl = []) sql =
+  match Parser.parse_one sql with
+  | Ast.Create_table_as { name = out_name; query } ->
+      let indexes =
+        List.map
+          (fun ddl ->
+            match Parser.parse_one ddl with
+            | Ast.Create_index _ as s -> s
+            | Ast.Alter_table _ as s -> s
+            | _ ->
+                Db_error.sql_error
+                  "extra_ddl must be CREATE INDEX or ALTER TABLE statements")
+          extra_ddl
+      in
+      {
+        stmt_name = Option.value name ~default:out_name;
+        outputs =
+          [
+            {
+              out_name = String.lowercase_ascii out_name;
+              out_create = None;
+              out_population = query;
+              out_indexes = indexes;
+            };
+          ];
+      }
+  | _ -> Db_error.sql_error "expected CREATE TABLE ... AS (SELECT ...)"
+
+let split_statement ~name ~input ~outputs ~key () =
+  let mk_output (out_name, cols) =
+    let all_cols = key @ cols in
+    let projections =
+      List.map (fun c -> Ast.Proj_expr (Ast.Col (None, c), None)) all_cols
+    in
+    let population =
+      Ast.select ~projections ~from:[ Ast.From_table (input, None) ] ()
+    in
+    (* Explicit CREATE TABLE so the key can be declared PRIMARY KEY; column
+       types are resolved at install time from the input table. *)
+    {
+      out_name = String.lowercase_ascii out_name;
+      out_create = None;
+      out_population = population;
+      out_indexes =
+        [
+          Ast.Create_index
+            {
+              name = out_name ^ "_pkey_idx";
+              table = out_name;
+              columns = key;
+              unique = true;
+              using = None;
+            };
+        ];
+    }
+  in
+  { stmt_name = name; outputs = List.map mk_output outputs }
+
+let input_tables_of_select catalog (s : Ast.select) =
+  let acc = ref [] in
+  let rec go (s : Ast.select) =
+    List.iter
+      (fun (f : Ast.from_item) ->
+        match f with
+        | Ast.From_table (name, alias) -> (
+            match Catalog.find_view catalog name with
+            | Some q -> go q
+            | None ->
+                acc :=
+                  (String.lowercase_ascii (Option.value alias ~default:name),
+                   String.lowercase_ascii name)
+                  :: !acc)
+        | Ast.From_subquery (q, _) -> go q)
+      s.Ast.from
+  in
+  go s;
+  List.rev !acc

@@ -1,0 +1,57 @@
+(** Multi-step migration baseline (paper §4, and §5's trigger/log-shipping
+    tools: pt-osc, gh-ost, OAK, LHM).
+
+    The schema change is registered ahead of time: output tables are
+    created and a background copier moves data over; {b reads are served
+    from the old schema, writes go to both schemas} until the copy
+    completes, at which point clients switch to the new schema.
+
+    Write propagation is granule-based: a client write to an input table
+    refreshes the affected granules in the output tables {e if they have
+    already been copied} (re-deriving them from the old schema, which also
+    maintains aggregate outputs correctly); granules not yet copied are
+    left to the copier.  Rows inserted after registration are propagated
+    immediately — they lie beyond the copier's snapshot. *)
+
+type stats = {
+  mutable copied_granules : int;
+  mutable copied_rows : int;
+  mutable dual_write_rows : int;  (** extra writes against the new schema *)
+  mutable refreshed_granules : int;
+}
+
+type t
+
+val start :
+  ?page_size:int -> Bullfrog_db.Database.t -> Migration.t -> t
+(** Registers the migration: outputs created empty, copy trackers
+    allocated.  Raises if outputs cannot be maintained under writes (an
+    output must project its input's tracking key columns). *)
+
+val copier_step : t -> batch:int -> int
+(** Copy up to [batch] granules; 0 when the copy is complete. *)
+
+val exec :
+  t ->
+  ?params:Bullfrog_db.Value.t array ->
+  string ->
+  Bullfrog_db.Executor.result
+(** Client request against the {e old} schema, with dual-write
+    propagation for writes to migration inputs. *)
+
+val exec_in :
+  t ->
+  Bullfrog_db.Txn.t ->
+  ?params:Bullfrog_db.Value.t array ->
+  string ->
+  Bullfrog_db.Executor.result
+
+val complete : t -> bool
+
+val progress : t -> float
+
+val stats : t -> stats
+
+val switch_over : t -> unit
+(** Drops the [drop_old] relations; to be called once [complete].  After
+    this, clients address the new schema directly. *)

@@ -1,0 +1,19 @@
+(** Crash recovery for the tracking structures (paper §3.5).
+
+    BullFrog's trackers live in volatile memory.  After a (simulated)
+    crash, [rebuild] scans the redo log and, for every granule found in a
+    committed migration transaction, sets its status back to migrated —
+    in-progress granules of uncommitted transactions are naturally lost
+    and will be re-migrated.  The paper lists this as unimplemented
+    future work (footnote 5); it is implemented here. *)
+
+val rebuild : Migrate_exec.t -> Bullfrog_db.Redo_log.t -> int
+(** Returns the number of granule statuses restored.  Only marks matching
+    the runtime's migration id are applied; the match is by input-table
+    name and granule kind. *)
+
+val simulate_crash : Migrate_exec.t -> Migrate_exec.t
+(** Fresh runtime over the same database and spec with empty trackers —
+    what a restart would reconstruct before replaying the log.  Output
+    tables and their data survive (they are "disk"); only tracker state
+    is lost. *)

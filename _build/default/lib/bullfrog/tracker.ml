@@ -1,0 +1,27 @@
+(** Shared vocabulary of the migration-status trackers (paper §3).
+
+    A worker asks a tracker whether it may migrate a granule; the three
+    possible answers mirror Algorithms 2 and 3:
+
+    - [Migrate]: the lock bit / in-progress state was acquired; the caller
+      must put the granule on its WIP list and perform the migration.
+    - [Skip]: another worker is migrating the granule; the caller puts it
+      on its SKIP list and re-checks after its own transaction (Alg. 1's
+      do-while loop).
+    - [Already_migrated]: nothing to do.
+
+    On commit the worker flips every WIP granule to migrated; on abort it
+    resets them so other workers can take over (§3.5). *)
+
+type decision = Migrate | Skip | Already_migrated
+
+let decision_to_string = function
+  | Migrate -> "migrate"
+  | Skip -> "skip"
+  | Already_migrated -> "already-migrated"
+
+type stats = {
+  total : int;  (** granules known to the tracker (bitmap: allocated) *)
+  migrated : int;
+  in_progress : int;
+}

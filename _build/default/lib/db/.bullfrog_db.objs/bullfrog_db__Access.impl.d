@@ -1,0 +1,1 @@
+lib/db/access.ml: Array Ast Bullfrog_sql Expr Heap Index List Option Schema Stdlib Txn Value

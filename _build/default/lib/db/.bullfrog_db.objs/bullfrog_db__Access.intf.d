@@ -1,0 +1,1 @@
+lib/db/access.mli: Bullfrog_sql Expr Heap Index Txn Value

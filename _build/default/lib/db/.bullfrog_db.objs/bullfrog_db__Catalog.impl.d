@@ -1,0 +1,1 @@
+lib/db/catalog.ml: Ast Bullfrog_sql Db_error Hashtbl Heap Index List Schema String

@@ -1,0 +1,1 @@
+lib/db/catalog.mli: Bullfrog_sql Heap Index Schema

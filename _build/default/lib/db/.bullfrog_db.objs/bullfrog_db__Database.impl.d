@@ -1,0 +1,1 @@
+lib/db/database.ml: Array Ast Bullfrog_sql Catalog Db_error Executor Hashtbl Heap List Lock_manager Mutex Option Parser Redo_log Txn Value Vec

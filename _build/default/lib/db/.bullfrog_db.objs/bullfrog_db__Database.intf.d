@@ -1,0 +1,1 @@
+lib/db/database.mli: Catalog Executor Lock_manager Mutex Redo_log Txn Value

@@ -1,0 +1,1 @@
+lib/db/executor.ml: Access Array Ast Bullfrog_sql Catalog Db_error Expr Hashtbl Heap Index List Option Plan Planner Printf Redo_log Schema Stdlib String Txn Value Vec

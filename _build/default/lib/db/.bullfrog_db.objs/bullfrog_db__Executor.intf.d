@@ -1,0 +1,1 @@
+lib/db/executor.mli: Bullfrog_sql Catalog Heap Plan Planner Redo_log Txn Value

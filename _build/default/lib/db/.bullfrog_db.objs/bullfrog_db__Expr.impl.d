@@ -1,0 +1,1 @@
+lib/db/expr.ml: Array Ast Bullfrog_sql Float List Option Pretty Printf Stdlib String Value

@@ -1,0 +1,1 @@
+lib/db/expr.mli: Bullfrog_sql Value

@@ -1,0 +1,1 @@
+lib/db/heap.ml: Array Index List Mutex Printf Schema Stdlib Value Vec

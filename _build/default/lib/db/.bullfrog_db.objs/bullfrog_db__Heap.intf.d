@@ -1,0 +1,1 @@
+lib/db/heap.mli: Index Mutex Schema Value Vec

@@ -1,0 +1,1 @@
+lib/db/index.ml: Array Db_error Hashtbl List Map Printf Seq String Value

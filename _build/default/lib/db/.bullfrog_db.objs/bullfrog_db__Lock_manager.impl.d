@@ -1,0 +1,1 @@
+lib/db/lock_manager.ml: Condition Db_error Hashtbl List Mutex Thread Unix

@@ -1,0 +1,1 @@
+lib/db/plan.ml: Array Buffer Bullfrog_sql Expr Heap Index List Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/db/plan.mli: Bullfrog_sql Expr Heap Index Value

@@ -1,0 +1,1 @@
+lib/db/planner.ml: Access Array Ast Bullfrog_sql Catalog Db_error Expr Hashtbl Heap Index List Option Plan Printf Schema Stdlib String Value

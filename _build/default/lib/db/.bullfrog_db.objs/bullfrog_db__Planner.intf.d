@@ -1,0 +1,1 @@
+lib/db/planner.mli: Bullfrog_sql Catalog Expr Plan Value

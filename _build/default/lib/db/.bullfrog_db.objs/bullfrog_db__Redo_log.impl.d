@@ -1,0 +1,1 @@
+lib/db/redo_log.ml: Mutex Value Vec

@@ -1,0 +1,1 @@
+lib/db/redo_log.mli: Value

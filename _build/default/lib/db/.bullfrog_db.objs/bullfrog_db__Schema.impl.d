@@ -1,0 +1,1 @@
+lib/db/schema.ml: Array Ast Bullfrog_sql Db_error Expr List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/db/schema.mli: Bullfrog_sql Expr Value

@@ -1,0 +1,1 @@
+lib/db/txn.ml: Heap List Printf Vec

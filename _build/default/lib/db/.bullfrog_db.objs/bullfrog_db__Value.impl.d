@@ -1,0 +1,1 @@
+lib/db/value.ml: Array Buffer Bullfrog_sql Float Hashtbl Printf Scanf Stdlib String

@@ -1,0 +1,241 @@
+open Bullfrog_sql
+
+type path =
+  | P_full
+  | P_eq of Index.t * Value.t array
+  | P_range of Index.t * Value.t array * Value.t option * Value.t option
+
+type pred = {
+  path : path;
+  residual : Expr.t option;
+}
+
+(* An equality conjunct [col = const] (either orientation). *)
+let equality_binding table (e : Ast.expr) =
+  match e with
+  | Ast.Binop (Ast.Eq, Ast.Col (_, c), rhs) -> (
+      match (Schema.col_index table.Heap.schema c, Value.of_ast_literal rhs) with
+      | Some i, Some v -> Some (i, v)
+      | _ -> None)
+  | Ast.Binop (Ast.Eq, lhs, Ast.Col (_, c)) -> (
+      match (Schema.col_index table.Heap.schema c, Value.of_ast_literal lhs) with
+      | Some i, Some v -> Some (i, v)
+      | _ -> None)
+  | _ -> None
+
+(* A range conjunct over a column: (col index, op-normalised-to-col-left,
+   constant).  [col > 5] and [5 < col] both come out as (col, Gt, 5). *)
+let range_binding table (e : Ast.expr) =
+  let flip = function
+    | Ast.Lt -> Ast.Gt
+    | Ast.Le -> Ast.Ge
+    | Ast.Gt -> Ast.Lt
+    | Ast.Ge -> Ast.Le
+    | op -> op
+  in
+  match e with
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, Ast.Col (_, c), rhs) -> (
+      match (Schema.col_index table.Heap.schema c, Value.of_ast_literal rhs) with
+      | Some i, Some v -> Some (i, op, v)
+      | _ -> None)
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, lhs, Ast.Col (_, c)) -> (
+      match (Schema.col_index table.Heap.schema c, Value.of_ast_literal lhs) with
+      | Some i, Some v -> Some (i, flip op, v)
+      | _ -> None)
+  | _ -> None
+
+let compile_pred table where =
+  match where with
+  | None -> { path = P_full; residual = None }
+  | Some w ->
+      let conjs = Ast.conjuncts w in
+      let bindings = List.filter_map (equality_binding table) conjs in
+      let binding_for col = List.assoc_opt col bindings in
+      (* 1. Fully-pinned index (hash or ordered). *)
+      let full_match =
+        List.filter_map
+          (fun idx ->
+            let cols = Index.key_cols idx in
+            let vals = Array.map binding_for cols in
+            if Array.for_all Option.is_some vals then
+              Some (idx, Array.map Option.get vals)
+            else None)
+          table.Heap.indexes
+        |> List.fold_left
+             (fun acc (idx, key) ->
+               match acc with
+               | None -> Some (idx, key)
+               | Some (best, _) ->
+                   if
+                     Array.length (Index.key_cols idx) > Array.length (Index.key_cols best)
+                     || (Index.is_unique idx && not (Index.is_unique best))
+                   then Some (idx, key)
+                   else acc)
+             None
+      in
+      let eq_path =
+        Option.map
+          (fun (idx, key) ->
+            let consumed =
+              List.filter
+                (fun conj ->
+                  match equality_binding table conj with
+                  | Some (i, _) -> Array.exists (( = ) i) (Index.key_cols idx)
+                  | None -> false)
+                conjs
+            in
+            (P_eq (idx, key), consumed, Array.length (Index.key_cols idx)))
+          full_match
+      in
+      let range_path =
+        match () with
+        | () -> (
+            (* 2. Ordered index with the longest pinned prefix. *)
+            let candidate idx =
+              if Index.kind idx <> Index.Ordered then None
+              else begin
+                let cols = Index.key_cols idx in
+                let rec prefix_len i =
+                  if i >= Array.length cols then i
+                  else
+                    match binding_for cols.(i) with
+                    | Some _ -> prefix_len (i + 1)
+                    | None -> i
+                in
+                let n = prefix_len 0 in
+                if n = 0 && Array.length cols > 0 then
+                  (* No pinned prefix: usable only if the first column has
+                     range bounds. *)
+                  let ranged =
+                    List.exists
+                      (fun c ->
+                        match range_binding table c with
+                        | Some (i, _, _) -> i = cols.(0)
+                        | None -> false)
+                      conjs
+                  in
+                  if ranged then Some (idx, 0) else None
+                else if n > 0 && n < Array.length cols then Some (idx, n)
+                else None
+              end
+            in
+            let best =
+              List.fold_left
+                (fun acc idx ->
+                  match candidate idx with
+                  | None -> acc
+                  | Some (idx, n) -> (
+                      match acc with
+                      | Some (_, n') when n' >= n -> acc
+                      | _ -> Some (idx, n)))
+                None table.Heap.indexes
+            in
+            match best with
+            | None -> None
+            | Some (idx, n) ->
+                let cols = Index.key_cols idx in
+                let prefix = Array.init n (fun i -> Option.get (binding_for cols.(i))) in
+                let next_col = cols.(n) in
+                (* Bounds on the next key column.  Only [>=] tightens the
+                   inclusive lower bound and [<] the exclusive upper bound
+                   losslessly; [>] and [<=] are used as loose bounds and
+                   kept in the residual filter. *)
+                let lo = ref None and hi = ref None and consumed = ref [] in
+                List.iter
+                  (fun conj ->
+                    match range_binding table conj with
+                    | Some (i, op, v) when i = next_col -> (
+                        match op with
+                        | Ast.Ge ->
+                            if !lo = None || Value.compare v (Option.get !lo) > 0 then
+                              lo := Some v;
+                            consumed := conj :: !consumed
+                        | Ast.Gt -> if !lo = None then lo := Some v (* loose; keep conj *)
+                        | Ast.Lt ->
+                            if !hi = None || Value.compare v (Option.get !hi) < 0 then
+                              hi := Some v;
+                            consumed := conj :: !consumed
+                        | Ast.Le -> () (* cannot express inclusively; residual only *)
+                        | _ -> ())
+                    | _ -> ())
+                  conjs;
+                let eq_consumed =
+                  List.filter
+                    (fun conj ->
+                      match equality_binding table conj with
+                      | Some (i, _) ->
+                          Array.exists (( = ) i) (Array.sub cols 0 n)
+                      | None -> false)
+                    conjs
+                in
+                Some (P_range (idx, prefix, !lo, !hi), eq_consumed @ !consumed, n, !lo <> None || !hi <> None))
+      in
+      (* A bounded range over at least as long a pinned prefix narrows the
+         fetch more than a shorter full-equality index. *)
+      let path, consumed =
+        match (eq_path, range_path) with
+        | Some (p, c, _), None -> (p, c)
+        | None, Some (p, c, _, _) -> (p, c)
+        | None, None -> (P_full, [])
+        | Some (pe, ce, eq_len), Some (pr, cr, prefix_len, bounded) ->
+            if bounded && prefix_len >= eq_len then (pr, cr) else (pe, ce)
+      in
+      let residual_conjs = List.filter (fun c -> not (List.memq c consumed)) conjs in
+      let residual =
+        match Ast.conjoin residual_conjs with
+        | None -> None
+        | Some e -> Some (Expr.const_fold (Schema.compile_expr table.Heap.schema e))
+      in
+      { path; residual }
+
+let fetch_tids (txn : Txn.t) table pred tids =
+  let c = txn.Txn.counters in
+  let matches row =
+    match pred.residual with
+    | None -> true
+    | Some f ->
+        c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
+        Expr.eval_pred row f
+  in
+  List.filter_map
+    (fun tid ->
+      match Heap.get table tid with
+      | None -> None
+      | Some row ->
+          c.Txn.rows_read <- c.Txn.rows_read + 1;
+          if matches row then Some (tid, row) else None)
+    (List.sort Stdlib.compare tids)
+
+let select_tids (txn : Txn.t) table pred =
+  let c = txn.Txn.counters in
+  match pred.path with
+  | P_eq (idx, key) ->
+      c.Txn.index_probes <- c.Txn.index_probes + 1;
+      fetch_tids txn table pred (Index.find idx key)
+  | P_range (idx, prefix, lo, hi) ->
+      c.Txn.index_probes <- c.Txn.index_probes + 1;
+      let tids =
+        Index.fold_prefix_range idx ~prefix ?lo ?hi ~init:[]
+          ~f:(fun acc _key tids -> List.rev_append tids acc)
+          ()
+      in
+      fetch_tids txn table pred tids
+  | P_full ->
+      let matches row =
+        match pred.residual with
+        | None -> true
+        | Some f ->
+            c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
+            Expr.eval_pred row f
+      in
+      let out = ref [] in
+      Heap.iter_live table (fun tid row ->
+          if matches row then begin
+            c.Txn.rows_read <- c.Txn.rows_read + 1;
+            out := (tid, row) :: !out
+          end);
+      List.rev !out
+
+let scan_pred txn table where = select_tids txn table (compile_pred table where)
+
+let count_matching txn table where = List.length (scan_pred txn table where)

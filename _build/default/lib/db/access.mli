@@ -1,0 +1,38 @@
+(** Single-table access paths with index selection.
+
+    The shared row-level entry point for the executor's DML (UPDATE /
+    DELETE need TIDs) and for BullFrog's migration scans (the migration
+    loop iterates "potentially relevant" old-schema rows by TID, paper
+    §3.2).  Path choice, best first:
+
+    + an index (hash or ordered) whose every key column is pinned to a
+      constant by an equality conjunct;
+    + an ordered index with a fully-pinned key {e prefix}, optionally
+      bounded on the next key column by range conjuncts;
+    + a sequential scan.
+
+    All row touches are charged to the transaction's counters. *)
+
+type path =
+  | P_full
+  | P_eq of Index.t * Value.t array
+  | P_range of Index.t * Value.t array * Value.t option * Value.t option
+      (** index, pinned prefix, inclusive lower bound and exclusive upper
+          bound on the next key column *)
+
+type pred = {
+  path : path;
+  residual : Expr.t option;  (** remaining filter over the row *)
+}
+
+val compile_pred : Heap.t -> Bullfrog_sql.Ast.expr option -> pred
+(** Compile a WHERE over a single table, choosing an access path.
+    Qualified column references must refer to the table itself. *)
+
+val select_tids : Txn.t -> Heap.t -> pred -> (int * Heap.row) list
+(** Matching live rows in TID order. *)
+
+val scan_pred : Txn.t -> Heap.t -> Bullfrog_sql.Ast.expr option -> (int * Heap.row) list
+(** [compile_pred] + [select_tids]. *)
+
+val count_matching : Txn.t -> Heap.t -> Bullfrog_sql.Ast.expr option -> int

@@ -1,0 +1,40 @@
+(** The catalog: names → tables, views and indexes.
+
+    Views are stored as ASTs; the planner expands them.  Tables removed
+    with DROP TABLE stay reachable from existing references (BullFrog
+    keeps reading the old schema's tables after the logical switch even
+    though they are no longer client-visible). *)
+
+type t
+
+val create : unit -> t
+
+val create_table : t -> string -> Schema.t -> Heap.t
+(** @raise Db_error.Sql_error when the name is taken. *)
+
+val add_table : t -> Heap.t -> unit
+(** Register an existing heap under its current name. *)
+
+val create_view : t -> string -> Bullfrog_sql.Ast.select -> unit
+
+val drop : t -> string -> unit
+(** Removes a table or view binding. @raise Db_error.Sql_error if absent. *)
+
+val rename_table : t -> string -> string -> unit
+
+val find_table : t -> string -> Heap.t option
+
+val find_table_exn : t -> string -> Heap.t
+
+val find_view : t -> string -> Bullfrog_sql.Ast.select option
+
+val exists : t -> string -> bool
+
+val table_names : t -> string list
+
+val register_index : t -> table:string -> Index.t -> unit
+(** Global index-name registry (for DROP INDEX). *)
+
+val drop_index : t -> string -> unit
+
+val index_owner : t -> string -> string option

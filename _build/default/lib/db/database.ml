@@ -1,0 +1,150 @@
+open Bullfrog_sql
+
+type t = {
+  catalog : Catalog.t;
+  redo : Redo_log.t;
+  locks : Lock_manager.t;
+  mutable next_txn_id : int;
+  txn_latch : Mutex.t;
+}
+
+(* Migration marks accumulated per transaction id, drained at commit. *)
+let marks_tbl : (int, Redo_log.migration_mark list ref) Hashtbl.t = Hashtbl.create 64
+
+let marks_latch = Mutex.create ()
+
+let create () =
+  {
+    catalog = Catalog.create ();
+    redo = Redo_log.create ();
+    locks = Lock_manager.create ();
+    next_txn_id = 1;
+    txn_latch = Mutex.create ();
+  }
+
+let exec_ctx t = { Executor.catalog = t.catalog; redo = t.redo }
+
+let begin_txn t =
+  Mutex.lock t.txn_latch;
+  let id = t.next_txn_id in
+  t.next_txn_id <- id + 1;
+  Mutex.unlock t.txn_latch;
+  Txn.make id
+
+let add_migration_mark _t (txn : Txn.t) mark =
+  Mutex.lock marks_latch;
+  (match Hashtbl.find_opt marks_tbl txn.Txn.id with
+  | Some cell -> cell := mark :: !cell
+  | None -> Hashtbl.replace marks_tbl txn.Txn.id (ref [ mark ]));
+  Mutex.unlock marks_latch
+
+let take_marks (txn : Txn.t) =
+  Mutex.lock marks_latch;
+  let marks =
+    match Hashtbl.find_opt marks_tbl txn.Txn.id with
+    | Some cell ->
+        Hashtbl.remove marks_tbl txn.Txn.id;
+        List.rev !cell
+    | None -> []
+  in
+  Mutex.unlock marks_latch;
+  marks
+
+(* Derive the redo record from the undo log plus current heap state. *)
+let redo_record (txn : Txn.t) marks =
+  let writes = ref [] in
+  Vec.iter
+    (fun entry ->
+      match entry with
+      | Txn.U_insert (heap, tid) -> (
+          match Heap.get heap tid with
+          | Some row -> writes := Redo_log.W_insert (heap.Heap.name, tid, row) :: !writes
+          | None -> () (* inserted then deleted in the same txn *))
+      | Txn.U_delete (heap, tid, _) ->
+          writes := Redo_log.W_delete (heap.Heap.name, tid) :: !writes
+      | Txn.U_update (heap, tid, _) -> (
+          match Heap.get heap tid with
+          | Some row -> writes := Redo_log.W_update (heap.Heap.name, tid, row) :: !writes
+          | None -> ()))
+    txn.Txn.undo;
+  { Redo_log.txn_id = txn.Txn.id; writes = List.rev !writes; marks }
+
+let commit t (txn : Txn.t) =
+  let marks = take_marks txn in
+  if Vec.length txn.Txn.undo > 0 || marks <> [] then
+    Redo_log.append t.redo (redo_record txn marks);
+  Txn.commit txn;
+  Lock_manager.release_all t.locks ~owner:txn.Txn.id
+
+let abort t (txn : Txn.t) =
+  ignore (take_marks txn);
+  Txn.abort txn;
+  Lock_manager.release_all t.locks ~owner:txn.Txn.id
+
+let with_txn t f =
+  let txn = begin_txn t in
+  match f txn with
+  | v ->
+      commit t txn;
+      v
+  | exception e ->
+      if Txn.active txn then abort t txn;
+      raise e
+
+let bind_stmt params (stmt : Ast.stmt) : Ast.stmt =
+  match params with
+  | None -> stmt
+  | Some params -> (
+      let bind_e = Ast.bind_params (Array.map Value.to_ast_literal params) in
+      let bind_s = Ast.bind_params_select (Array.map Value.to_ast_literal params) in
+      match stmt with
+      | Ast.Select_stmt s -> Ast.Select_stmt (bind_s s)
+      | Ast.Insert i ->
+          Ast.Insert
+            {
+              i with
+              source =
+                (match i.source with
+                | Ast.Values rows -> Ast.Values (List.map (List.map bind_e) rows)
+                | Ast.Query q -> Ast.Query (bind_s q));
+            }
+      | Ast.Update u ->
+          Ast.Update
+            {
+              u with
+              sets = List.map (fun (c, e) -> (c, bind_e e)) u.sets;
+              where = Option.map bind_e u.where;
+            }
+      | Ast.Delete d -> Ast.Delete { d with where = Option.map bind_e d.where }
+      | other -> other)
+
+let exec_in t txn ?params sql =
+  let stmt = bind_stmt params (Parser.parse_one sql) in
+  Executor.exec_stmt (exec_ctx t) txn stmt
+
+let exec t ?params sql =
+  let stmt = bind_stmt params (Parser.parse_one sql) in
+  match stmt with
+  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
+      Db_error.sql_error "use with_txn for explicit transaction control"
+  | _ -> with_txn t (fun txn -> Executor.exec_stmt (exec_ctx t) txn stmt)
+
+let exec_script t sql =
+  let stmts = Parser.parse sql in
+  List.map (fun stmt -> with_txn t (fun txn -> Executor.exec_stmt (exec_ctx t) txn stmt)) stmts
+
+let query t ?params sql =
+  match exec t ?params sql with
+  | Executor.Rows (_, rows) -> rows
+  | Executor.Affected _ | Executor.Done _ | Executor.Explained _ ->
+      Db_error.sql_error "query: statement did not return rows"
+
+let query_one t ?params sql =
+  match query t ?params sql with
+  | row :: _ -> row
+  | [] -> Db_error.sql_error "query_one: empty result"
+
+let explain t sql =
+  match exec t ("EXPLAIN " ^ sql) with
+  | Executor.Explained s -> s
+  | _ -> Db_error.sql_error "explain: unexpected result"

@@ -1,0 +1,49 @@
+(** The database façade: sessions, transactions, SQL entry points.
+
+    [exec] auto-commits a single statement; [with_txn] runs several
+    statements atomically and rolls back on exception.  Committed writes
+    are appended to the redo log; BullFrog tags migration granules onto
+    the committing transaction with [add_migration_mark] so that crash
+    recovery can rebuild tracker state (paper §3.5). *)
+
+type t = {
+  catalog : Catalog.t;
+  redo : Redo_log.t;
+  locks : Lock_manager.t;
+  mutable next_txn_id : int;
+  txn_latch : Mutex.t;
+}
+
+val create : unit -> t
+
+val exec_ctx : t -> Executor.exec_ctx
+
+val begin_txn : t -> Txn.t
+
+val commit : t -> Txn.t -> unit
+(** Appends the redo record (with any migration marks) and runs commit
+    hooks. *)
+
+val abort : t -> Txn.t -> unit
+
+val with_txn : t -> (Txn.t -> 'a) -> 'a
+(** Commits on success, aborts on exception (and re-raises). *)
+
+val add_migration_mark : t -> Txn.t -> Redo_log.migration_mark -> unit
+
+val exec : t -> ?params:Value.t array -> string -> Executor.result
+(** Parse and execute a single auto-committed statement.  [params] binds
+    [$1..$n]. *)
+
+val exec_script : t -> string -> Executor.result list
+(** Executes [;]-separated statements, each auto-committed. *)
+
+val exec_in : t -> Txn.t -> ?params:Value.t array -> string -> Executor.result
+
+val query : t -> ?params:Value.t array -> string -> Value.t array list
+(** [exec] specialised to SELECT; returns the rows. *)
+
+val query_one : t -> ?params:Value.t array -> string -> Value.t array
+(** First row. @raise Db_error.Sql_error when the result is empty. *)
+
+val explain : t -> string -> string

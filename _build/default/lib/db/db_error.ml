@@ -1,0 +1,19 @@
+(** Engine error taxonomy.
+
+    [Sql_error] is a user-level error (unknown table, type mismatch, bad
+    statement); [Constraint_violation] a rejected write; [Txn_abort] a
+    transaction that must be rolled back and may be retried (lock timeout,
+    injected failure). *)
+
+exception Sql_error of string
+
+exception Constraint_violation of string
+
+exception Txn_abort of string
+
+let sql_error fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
+
+let constraint_violation fmt =
+  Printf.ksprintf (fun s -> raise (Constraint_violation s)) fmt
+
+let txn_abort fmt = Printf.ksprintf (fun s -> raise (Txn_abort s)) fmt

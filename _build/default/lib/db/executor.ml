@@ -1,0 +1,929 @@
+open Bullfrog_sql
+
+type exec_ctx = {
+  catalog : Catalog.t;
+  redo : Redo_log.t;
+}
+
+type result =
+  | Rows of string list * Value.t array list
+  | Affected of int
+  | Done of string
+  | Explained of string
+
+let err = Db_error.sql_error
+
+(* ------------------------------------------------------------------ *)
+(* Plan execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Key_tbl = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec loop i = i >= Array.length a || (Value.equal a.(i) b.(i) && loop (i + 1)) in
+    loop 0
+
+  let hash = Value.hash_key
+end)
+
+type agg_acc = {
+  mutable count : int;
+  mutable sum : float;
+  mutable sum_is_int : bool;
+  mutable vmin : Value.t option;
+  mutable vmax : Value.t option;
+  distinct_seen : unit Key_tbl.t option;
+}
+
+let new_acc distinct =
+  {
+    count = 0;
+    sum = 0.0;
+    sum_is_int = true;
+    vmin = None;
+    vmax = None;
+    distinct_seen = (if distinct then Some (Key_tbl.create 16) else None);
+  }
+
+let acc_feed acc (spec : Plan.agg_spec) row =
+  let v = match spec.Plan.agg_arg with None -> Value.Bool true | Some e -> Expr.eval row e in
+  let consider =
+    match (spec.Plan.agg_arg, v) with
+    | Some _, Value.Null -> false (* aggregates ignore NULLs *)
+    | _ -> true
+  in
+  if consider then begin
+    let is_new =
+      match acc.distinct_seen with
+      | None -> true
+      | Some tbl ->
+          let k = [| v |] in
+          if Key_tbl.mem tbl k then false
+          else begin
+            Key_tbl.replace tbl k ();
+            true
+          end
+    in
+    if is_new then begin
+      acc.count <- acc.count + 1;
+      (match v with
+      | Value.Int i -> acc.sum <- acc.sum +. float_of_int i
+      | Value.Float f ->
+          acc.sum <- acc.sum +. f;
+          acc.sum_is_int <- false
+      | _ -> ());
+      (match acc.vmin with
+      | None -> acc.vmin <- Some v
+      | Some m -> if Value.compare v m < 0 then acc.vmin <- Some v);
+      match acc.vmax with
+      | None -> acc.vmax <- Some v
+      | Some m -> if Value.compare v m > 0 then acc.vmax <- Some v
+    end
+  end
+
+let acc_result acc (spec : Plan.agg_spec) =
+  match spec.Plan.agg_fn with
+  | Ast.Count -> Value.Int acc.count
+  | Ast.Sum ->
+      if acc.count = 0 then Value.Null
+      else if acc.sum_is_int then Value.Int (int_of_float acc.sum)
+      else Value.Float acc.sum
+  | Ast.Avg ->
+      if acc.count = 0 then Value.Null else Value.Float (acc.sum /. float_of_int acc.count)
+  | Ast.Min -> ( match acc.vmin with None -> Value.Null | Some v -> v)
+  | Ast.Max -> ( match acc.vmax with None -> Value.Null | Some v -> v)
+
+let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
+  let c = txn.Txn.counters in
+  match plan with
+  | Plan.Values rows -> rows
+  | Plan.Seq_scan { table; filter } ->
+      let out = ref [] in
+      Heap.iter_live table (fun _tid row ->
+          c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
+          let keep = match filter with None -> true | Some f -> Expr.eval_pred row f in
+          if keep then begin
+            c.Txn.rows_read <- c.Txn.rows_read + 1;
+            out := row :: !out
+          end);
+      List.rev !out
+  | Plan.Index_scan { table; index; key; filter } ->
+      c.Txn.index_probes <- c.Txn.index_probes + 1;
+      let key = Array.map (fun e -> Expr.eval [||] e) key in
+      let tids = List.sort Stdlib.compare (Index.find index key) in
+      List.filter_map
+        (fun tid ->
+          match Heap.get table tid with
+          | None -> None
+          | Some row ->
+              c.Txn.rows_read <- c.Txn.rows_read + 1;
+              let keep =
+                match filter with None -> true | Some f -> Expr.eval_pred row f
+              in
+              if keep then Some row else None)
+        tids
+  | Plan.Index_range { table; index; prefix; lo; hi; filter } ->
+      c.Txn.index_probes <- c.Txn.index_probes + 1;
+      let prefix = Array.map (fun e -> Expr.eval [||] e) prefix in
+      let lo = Option.map (fun e -> Expr.eval [||] e) lo in
+      let hi = Option.map (fun e -> Expr.eval [||] e) hi in
+      let tids =
+        Index.fold_prefix_range index ~prefix ?lo ?hi ~init:[]
+          ~f:(fun acc _k ts -> List.rev_append ts acc)
+          ()
+      in
+      List.filter_map
+        (fun tid ->
+          match Heap.get table tid with
+          | None -> None
+          | Some row ->
+              c.Txn.rows_read <- c.Txn.rows_read + 1;
+              let keep =
+                match filter with None -> true | Some f -> Expr.eval_pred row f
+              in
+              if keep then Some row else None)
+        (List.sort Stdlib.compare tids)
+  | Plan.Index_min { table = _; index; prefix; asc } ->
+      c.Txn.index_probes <- c.Txn.index_probes + 1;
+      c.Txn.rows_read <- c.Txn.rows_read + 1;
+      let prefix = Array.map (fun e -> Expr.eval [||] e) prefix in
+      let hit =
+        if asc then Index.min_with_prefix index prefix
+        else Index.max_with_prefix index prefix
+      in
+      let v =
+        match hit with
+        | Some (key, _) -> key.(Array.length key - 1)
+        | None -> Value.Null
+      in
+      [ [| v |] ]
+  | Plan.Index_nl_join { outer; inner_table; index; outer_keys; inner_filter; cond } ->
+      let outer_rows = run txn outer in
+      let out = ref [] in
+      List.iter
+        (fun orow ->
+          let key = Array.map (fun e -> Expr.eval orow e) outer_keys in
+          if not (Array.exists Value.is_null key) then begin
+            c.Txn.index_probes <- c.Txn.index_probes + 1;
+            let tids =
+              if Array.length key = Array.length (Index.key_cols index) then
+                Index.find index key
+              else
+                (* probe an ordered index on a key prefix *)
+                Index.fold_prefix_range index ~prefix:key ~init:[]
+                  ~f:(fun acc _k ts -> List.rev_append ts acc)
+                  ()
+            in
+            List.iter
+              (fun tid ->
+                match Heap.get inner_table tid with
+                | None -> ()
+                | Some irow ->
+                    c.Txn.rows_read <- c.Txn.rows_read + 1;
+                    let keep_inner =
+                      match inner_filter with
+                      | None -> true
+                      | Some f -> Expr.eval_pred irow f
+                    in
+                    if keep_inner then begin
+                      let row = Array.append orow irow in
+                      let keep =
+                        match cond with None -> true | Some f -> Expr.eval_pred row f
+                      in
+                      if keep then out := row :: !out
+                    end)
+              (List.sort Stdlib.compare tids)
+          end)
+        outer_rows;
+      List.rev !out
+  | Plan.Nested_loop { outer; inner; cond } ->
+      let outer_rows = run txn outer in
+      let inner_rows = run txn inner in
+      let out = ref [] in
+      List.iter
+        (fun orow ->
+          List.iter
+            (fun irow ->
+              let row = Array.append orow irow in
+              let keep = match cond with None -> true | Some f -> Expr.eval_pred row f in
+              if keep then out := row :: !out)
+            inner_rows)
+        outer_rows;
+      List.rev !out
+  | Plan.Hash_join { outer; inner; outer_keys; inner_keys; cond } ->
+      let inner_rows = run txn inner in
+      let tbl = Key_tbl.create (List.length inner_rows) in
+      List.iter
+        (fun irow ->
+          let k = Array.map (fun e -> Expr.eval irow e) inner_keys in
+          if not (Array.exists Value.is_null k) then begin
+            let existing = try Key_tbl.find tbl k with Not_found -> [] in
+            Key_tbl.replace tbl k (irow :: existing)
+          end)
+        inner_rows;
+      let outer_rows = run txn outer in
+      let out = ref [] in
+      List.iter
+        (fun orow ->
+          let k = Array.map (fun e -> Expr.eval orow e) outer_keys in
+          if not (Array.exists Value.is_null k) then begin
+            c.Txn.index_probes <- c.Txn.index_probes + 1;
+            match Key_tbl.find_opt tbl k with
+            | None -> ()
+            | Some irows ->
+                List.iter
+                  (fun irow ->
+                    let row = Array.append orow irow in
+                    let keep =
+                      match cond with None -> true | Some f -> Expr.eval_pred row f
+                    in
+                    if keep then out := row :: !out)
+                  (List.rev irows)
+          end)
+        outer_rows;
+      List.rev !out
+  | Plan.Filter (p, f) -> List.filter (fun row -> Expr.eval_pred row f) (run txn p)
+  | Plan.Project (p, exprs) ->
+      List.map (fun row -> Array.map (fun e -> Expr.eval row e) exprs) (run txn p)
+  | Plan.Aggregate { input; group; aggs } ->
+      let rows = run txn input in
+      let groups = Key_tbl.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun row ->
+          let k = Array.map (fun e -> Expr.eval row e) group in
+          let accs =
+            match Key_tbl.find_opt groups k with
+            | Some accs -> accs
+            | None ->
+                let accs = Array.map (fun s -> new_acc s.Plan.agg_distinct) aggs in
+                Key_tbl.replace groups k accs;
+                order := k :: !order;
+                accs
+          in
+          Array.iteri (fun i spec -> acc_feed accs.(i) spec row) aggs)
+        rows;
+      let emit k accs =
+        Array.append k (Array.mapi (fun i spec -> acc_result accs.(i) spec) aggs)
+      in
+      if Key_tbl.length groups = 0 && Array.length group = 0 then
+        (* Global aggregate over the empty input: one row of identities. *)
+        [ emit [||] (Array.map (fun s -> new_acc s.Plan.agg_distinct) aggs) ]
+      else
+        List.rev_map (fun k -> emit k (Key_tbl.find groups k)) !order
+  | Plan.Sort (p, keys) ->
+      let rows = run txn p in
+      let cmp a b =
+        let rec go i =
+          if i >= Array.length keys then 0
+          else begin
+            let e, dir = keys.(i) in
+            let c = Value.compare (Expr.eval a e) (Expr.eval b e) in
+            let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+            if c <> 0 then c else go (i + 1)
+          end
+        in
+        go 0
+      in
+      List.stable_sort cmp rows
+  | Plan.Distinct p ->
+      let rows = run txn p in
+      let seen = Key_tbl.create 64 in
+      List.filter
+        (fun row ->
+          if Key_tbl.mem seen row then false
+          else begin
+            Key_tbl.replace seen row ();
+            true
+          end)
+        rows
+  | Plan.Limit (p, n) -> run_limited txn p n
+
+(* LIMIT pushed through projections and into scans: stop fetching once n
+   qualifying rows are produced (what a real executor's pipeline does;
+   essential for LIMIT 1 point reads over wide index entries). *)
+and run_limited (txn : Txn.t) (plan : Plan.t) n : Value.t array list =
+  let c = txn.Txn.counters in
+  let take k rows =
+    let rec go k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: go (k - 1) rest
+    in
+    go k rows
+  in
+  if n <= 0 then []
+  else
+    match plan with
+    | Plan.Project (p, exprs) ->
+        List.map
+          (fun row -> Array.map (fun e -> Expr.eval row e) exprs)
+          (run_limited txn p n)
+    | Plan.Index_scan { table; index; key; filter } ->
+        c.Txn.index_probes <- c.Txn.index_probes + 1;
+        let key = Array.map (fun e -> Expr.eval [||] e) key in
+        let tids = List.sort Stdlib.compare (Index.find index key) in
+        let out = ref [] and count = ref 0 in
+        (try
+           List.iter
+             (fun tid ->
+               if !count >= n then raise Exit;
+               match Heap.get table tid with
+               | None -> ()
+               | Some row ->
+                   c.Txn.rows_read <- c.Txn.rows_read + 1;
+                   let keep =
+                     match filter with None -> true | Some f -> Expr.eval_pred row f
+                   in
+                   if keep then begin
+                     out := row :: !out;
+                     incr count
+                   end)
+             tids
+         with Exit -> ());
+        List.rev !out
+    | Plan.Seq_scan { table; filter } ->
+        let out = ref [] and count = ref 0 in
+        (try
+           Heap.iter_live table (fun _tid row ->
+               if !count >= n then raise Exit;
+               c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
+               let keep =
+                 match filter with None -> true | Some f -> Expr.eval_pred row f
+               in
+               if keep then begin
+                 c.Txn.rows_read <- c.Txn.rows_read + 1;
+                 out := row :: !out;
+                 incr count
+               end)
+         with Exit -> ());
+        List.rev !out
+    | Plan.Filter (p, f) ->
+        (* no early cut below a filter without a streaming executor *)
+        take n (List.filter (fun row -> Expr.eval_pred row f) (run txn p))
+    | Plan.Limit (p, m) -> run_limited txn p (min n m)
+    | other -> take n (run txn other)
+
+let rec planner_ctx ctx txn : Planner.ctx =
+  {
+    Planner.catalog = ctx.catalog;
+    run_subquery =
+      (fun q ->
+        let planned = Planner.plan_select (planner_ctx ctx txn) q in
+        run txn planned.Planner.plan);
+  }
+
+let run_select ctx txn (s : Ast.select) =
+  let planned = Planner.plan_select (planner_ctx ctx txn) s in
+  let names =
+    Array.to_list (Array.map (fun (d : Plan.col_desc) -> d.Plan.cd_name) planned.Planner.output)
+  in
+  Rows (names, run txn planned.Planner.plan)
+
+(* ------------------------------------------------------------------ *)
+(* Constraint enforcement                                              *)
+(* ------------------------------------------------------------------ *)
+
+let coerce_row (table : Heap.t) row =
+  let schema = table.Heap.schema in
+  let n = Schema.arity schema in
+  if Array.length row <> n then
+    err "table %s expects %d columns, got %d" table.Heap.name n (Array.length row);
+  Array.mapi
+    (fun i v ->
+      let col = schema.Schema.columns.(i) in
+      match Value.coerce col.Schema.ty v with
+      | Ok v -> v
+      | Error msg -> err "column %S of %s: %s" col.Schema.name table.Heap.name msg)
+    row
+
+let check_not_null (table : Heap.t) row =
+  Array.iteri
+    (fun i v ->
+      let col = table.Heap.schema.Schema.columns.(i) in
+      if col.Schema.not_null && Value.is_null v then
+        Db_error.constraint_violation
+          "null value in column %S of relation %S violates not-null constraint"
+          col.Schema.name table.Heap.name)
+    row
+
+let check_checks (txn : Txn.t) (table : Heap.t) row =
+  List.iter
+    (fun c ->
+      match c with
+      | Schema.Check (name, _, compiled) -> (
+          txn.Txn.counters.Txn.constraint_checks <-
+            txn.Txn.counters.Txn.constraint_checks + 1;
+          match Expr.eval row compiled with
+          | Value.Bool false ->
+              Db_error.constraint_violation
+                "new row for relation %S violates check constraint %S" table.Heap.name
+                name
+          | Value.Bool true | Value.Null -> ()
+          | v ->
+              err "check constraint %S evaluated to %s" name (Value.type_name v))
+      | Schema.Unique _ | Schema.Foreign_key _ -> ())
+    table.Heap.schema.Schema.constraints
+
+let check_fk_for_row ctx (txn : Txn.t) (table : Heap.t) row =
+  List.iter
+    (fun c ->
+      match c with
+      | Schema.Foreign_key fk -> (
+          let key = Array.map (fun i -> row.(i)) fk.Schema.fk_cols in
+          if Array.exists Value.is_null key then ()
+          else begin
+            txn.Txn.counters.Txn.constraint_checks <-
+              txn.Txn.counters.Txn.constraint_checks + 1;
+            let parent = Catalog.find_table_exn ctx.catalog fk.Schema.fk_ref_table in
+            let ref_cols =
+              if Array.length fk.Schema.fk_ref_cols > 0 then
+                Array.map (Schema.col_index_exn parent.Heap.schema) fk.Schema.fk_ref_cols
+              else
+                match parent.Heap.schema.Schema.primary_key with
+                | Some pk -> pk
+                | None ->
+                    err "foreign key %S: referenced table %s has no primary key"
+                      fk.Schema.fk_name parent.Heap.name
+            in
+            let reorder icols n =
+              (* key components in the index's column order (first n) *)
+              Array.init n (fun i ->
+                  let ic = icols.(i) in
+                  let rec pos j = if ref_cols.(j) = ic then key.(j) else pos (j + 1) in
+                  pos 0)
+            in
+            let exact_index =
+              match Heap.unique_index_on parent ref_cols with
+              | Some idx -> Some idx
+              | None -> Heap.index_covering parent ref_cols
+            in
+            let found =
+              match exact_index with
+              | Some idx ->
+                  txn.Txn.counters.Txn.index_probes <-
+                    txn.Txn.counters.Txn.index_probes + 1;
+                  Index.mem idx (reorder (Index.key_cols idx) (Array.length ref_cols))
+              | None -> (
+                  (* an ordered index whose key prefix covers the referenced
+                     columns answers existence with one probe *)
+                  let prefix_index =
+                    List.find_opt
+                      (fun idx ->
+                        Index.kind idx = Index.Ordered
+                        && Array.length (Index.key_cols idx) >= Array.length ref_cols
+                        &&
+                        let icols = Index.key_cols idx in
+                        let sub = Array.sub icols 0 (Array.length ref_cols) in
+                        List.sort Stdlib.compare (Array.to_list sub)
+                        = List.sort Stdlib.compare (Array.to_list ref_cols))
+                      parent.Heap.indexes
+                  in
+                  match prefix_index with
+                  | Some idx ->
+                      txn.Txn.counters.Txn.index_probes <-
+                        txn.Txn.counters.Txn.index_probes + 1;
+                      Index.min_with_prefix idx
+                        (reorder (Index.key_cols idx) (Array.length ref_cols))
+                      <> None
+                  | None ->
+                      Heap.fold_live parent ~init:false ~f:(fun acc _tid prow ->
+                          acc
+                          ||
+                          let rec all j =
+                            j >= Array.length ref_cols
+                            || (Value.equal prow.(ref_cols.(j)) key.(j) && all (j + 1))
+                          in
+                          all 0))
+            in
+            if not found then
+              Db_error.constraint_violation
+                "insert or update on table %S violates foreign key constraint %S: key (%s) is not present in %S"
+                table.Heap.name fk.Schema.fk_name
+                (String.concat ", " (Array.to_list (Array.map Value.to_string key)))
+                parent.Heap.name
+          end)
+      | Schema.Check _ | Schema.Unique _ -> ())
+    table.Heap.schema.Schema.constraints
+
+let insert_row ctx txn (table : Heap.t) ?(on_conflict_do_nothing = false) row =
+  let row = coerce_row table row in
+  check_not_null table row;
+  check_checks txn table row;
+  check_fk_for_row ctx txn table row;
+  match Heap.insert table row with
+  | tid ->
+      Txn.record_insert txn table tid;
+      txn.Txn.counters.Txn.rows_written <- txn.Txn.counters.Txn.rows_written + 1;
+      Some tid
+  | exception Db_error.Constraint_violation _ when on_conflict_do_nothing -> None
+
+let update_row ctx txn (table : Heap.t) tid row =
+  let row = coerce_row table row in
+  check_not_null table row;
+  check_checks txn table row;
+  check_fk_for_row ctx txn table row;
+  let old = Heap.update table tid row in
+  Txn.record_update txn table tid old;
+  txn.Txn.counters.Txn.rows_written <- txn.Txn.counters.Txn.rows_written + 1
+
+let delete_row _ctx txn (table : Heap.t) tid =
+  let old = Heap.delete table tid in
+  Txn.record_delete txn table tid old;
+  txn.Txn.counters.Txn.rows_written <- txn.Txn.counters.Txn.rows_written + 1
+
+(* ------------------------------------------------------------------ *)
+(* DDL helpers                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let auto_indexes ctx (table : Heap.t) =
+  List.iter
+    (fun c ->
+      match c with
+      | Schema.Unique (name, cols) ->
+          let idx = Index.create ~name ~key_cols:cols ~unique:true () in
+          Heap.add_index table idx;
+          Catalog.register_index ctx.catalog ~table:table.Heap.name idx
+      | Schema.Check _ | Schema.Foreign_key _ -> ())
+    table.Heap.schema.Schema.constraints
+
+let infer_type (values : Value.t list) =
+  let rec first = function
+    | [] -> Ast.T_text
+    | Value.Null :: rest -> first rest
+    | Value.Int _ :: _ -> Ast.T_int
+    | Value.Float _ :: _ -> Ast.T_float
+    | Value.Str _ :: _ -> Ast.T_text
+    | Value.Bool _ :: _ -> Ast.T_bool
+    | Value.Date _ :: _ -> Ast.T_date
+    | Value.Timestamp _ :: _ -> Ast.T_timestamp
+  in
+  first values
+
+let create_table_as ctx txn name (q : Ast.select) =
+  let planned = Planner.plan_select (planner_ctx ctx txn) q in
+  let rows = run txn planned.Planner.plan in
+  let names =
+    Array.map (fun (d : Plan.col_desc) -> d.Plan.cd_name) planned.Planner.output
+  in
+  let columns =
+    Array.mapi
+      (fun i n ->
+        let col_values = List.map (fun row -> row.(i)) rows in
+        {
+          Schema.name = n;
+          ty = infer_type col_values;
+          not_null = false;
+          default = None;
+        })
+      names
+  in
+  let table = Catalog.create_table ctx.catalog name (Schema.make columns) in
+  List.iter (fun row -> ignore (insert_row ctx txn table row : int option)) rows;
+  List.length rows
+
+let alter_table ctx txn table_name (action : Ast.alter_action) =
+  let table = Catalog.find_table_exn ctx.catalog table_name in
+  let schema = table.Heap.schema in
+  match action with
+  | Ast.Rename_to new_name ->
+      Catalog.rename_table ctx.catalog table_name new_name;
+      Done "ALTER TABLE"
+  | Ast.Rename_column (old_name, new_name) ->
+      let i = Schema.col_index_exn schema old_name in
+      schema.Schema.columns.(i) <-
+        { (schema.Schema.columns.(i)) with Schema.name = new_name };
+      Done "ALTER TABLE"
+  | Ast.Add_column def ->
+      let default =
+        match def.Ast.col_default with
+        | None -> Value.Null
+        | Some e -> (
+            match Value.of_ast_literal e with
+            | Some v -> v
+            | None -> err "DEFAULT must be a literal")
+      in
+      if def.Ast.col_not_null && Value.is_null default && Heap.live_count table > 0 then
+        Db_error.constraint_violation
+          "column %S of relation %S contains null values (NOT NULL without DEFAULT)"
+          def.Ast.col_name table.Heap.name;
+      let new_col =
+        {
+          Schema.name = def.Ast.col_name;
+          ty = def.Ast.col_type;
+          not_null = def.Ast.col_not_null;
+          default = (match def.Ast.col_default with None -> None | Some _ -> Some default);
+        }
+      in
+      let new_schema =
+        {
+          schema with
+          Schema.columns = Array.append schema.Schema.columns [| new_col |];
+        }
+      in
+      table.Heap.schema <- new_schema;
+      (* Widen every live row; TIDs and existing index entries are
+         unaffected because the new column is appended. *)
+      let widened = ref [] in
+      Heap.iter_live table (fun tid row ->
+          if Array.length row < Schema.arity new_schema then widened := (tid, row) :: !widened);
+      List.iter
+        (fun (tid, row) ->
+          ignore (Heap.update table tid (Array.append row [| default |]) : Heap.row))
+        !widened;
+      Done "ALTER TABLE"
+  | Ast.Drop_column col_name ->
+      let i = Schema.col_index_exn schema col_name in
+      (* Refuse when an index or constraint still uses the column. *)
+      List.iter
+        (fun idx ->
+          if Array.exists (fun k -> k = i) (Index.key_cols idx) then
+            err "cannot drop column %S: index %S depends on it" col_name (Index.name idx))
+        table.Heap.indexes;
+      List.iter
+        (fun c ->
+          let uses =
+            match c with
+            | Schema.Unique (_, cols) -> Array.exists (fun k -> k = i) cols
+            | Schema.Foreign_key fk -> Array.exists (fun k -> k = i) fk.Schema.fk_cols
+            | Schema.Check (_, ast, _) ->
+                List.exists
+                  (fun (_, c) -> String.lowercase_ascii c = String.lowercase_ascii col_name)
+                  (Ast.columns_of_expr ast)
+          in
+          if uses then
+            err "cannot drop column %S: constraint %S depends on it" col_name
+              (Schema.constraint_name c))
+        schema.Schema.constraints;
+      let remove_at : 'a. 'a array -> 'a array =
+       fun arr ->
+        Array.init
+          (Array.length arr - 1)
+          (fun j -> if j < i then arr.(j) else arr.(j + 1))
+      in
+      let shift_cols cols = Array.map (fun k -> if k > i then k - 1 else k) cols in
+      let new_schema =
+        {
+          Schema.columns = remove_at schema.Schema.columns;
+          constraints =
+            List.map
+              (fun c ->
+                match c with
+                | Schema.Unique (n, cols) -> Schema.Unique (n, shift_cols cols)
+                | Schema.Foreign_key fk ->
+                    Schema.Foreign_key { fk with Schema.fk_cols = shift_cols fk.Schema.fk_cols }
+                | Schema.Check (n, ast, _) -> Schema.Check (n, ast, Expr.Const Value.Null))
+              schema.Schema.constraints;
+          primary_key = Option.map shift_cols schema.Schema.primary_key;
+        }
+      in
+      (* Recompile CHECK constraints against the new layout. *)
+      let new_schema =
+        {
+          new_schema with
+          Schema.constraints =
+            List.map
+              (fun c ->
+                match c with
+                | Schema.Check (n, ast, _) ->
+                    Schema.Check (n, ast, Schema.compile_expr new_schema ast)
+                | Schema.Unique _ | Schema.Foreign_key _ -> c)
+              new_schema.Schema.constraints;
+        }
+      in
+      (* Rewrite rows in place and rebuild every index under the new
+         layout (key column positions above [i] shift down by one). *)
+      table.Heap.schema <- new_schema;
+      let rewrites = ref [] in
+      Heap.iter_live table (fun tid row -> rewrites := (tid, row) :: !rewrites);
+      List.iter
+        (fun (tid, row) -> Vec.set table.Heap.slots tid (Some (remove_at row)))
+        !rewrites;
+      let old_indexes = table.Heap.indexes in
+      table.Heap.indexes <- [];
+      List.iter
+        (fun idx ->
+          let idx' =
+            Index.create ~kind:(Index.kind idx) ~name:(Index.name idx)
+              ~key_cols:(shift_cols (Index.key_cols idx))
+              ~unique:(Index.is_unique idx) ()
+          in
+          Heap.add_index table idx')
+        old_indexes;
+      Done "ALTER TABLE"
+  | Ast.Add_constraint (cname, tc) -> (
+      let fresh kind =
+        Printf.sprintf "%s_%s_%d" table.Heap.name kind
+          (List.length schema.Schema.constraints + 1)
+      in
+      match tc with
+      | Ast.C_check e ->
+          let name = Option.value cname ~default:(fresh "check") in
+          let compiled = Schema.compile_expr schema e in
+          Heap.iter_live table (fun _tid row ->
+              match Expr.eval row compiled with
+              | Value.Bool false ->
+                  Db_error.constraint_violation
+                    "check constraint %S of relation %S is violated by some row" name
+                    table.Heap.name
+              | _ -> ());
+          schema.Schema.constraints <-
+            schema.Schema.constraints @ [ Schema.Check (name, e, compiled) ];
+          Done "ALTER TABLE"
+      | Ast.C_unique cols ->
+          let name = Option.value cname ~default:(fresh "key") in
+          let key_cols =
+            Array.of_list (List.map (Schema.col_index_exn schema) cols)
+          in
+          let idx = Index.create ~name ~key_cols ~unique:true () in
+          Heap.add_index table idx;
+          Catalog.register_index ctx.catalog ~table:table.Heap.name idx;
+          schema.Schema.constraints <-
+            schema.Schema.constraints @ [ Schema.Unique (name, key_cols) ];
+          Done "ALTER TABLE"
+      | Ast.C_primary_key cols ->
+          if schema.Schema.primary_key <> None then
+            err "table %S already has a primary key" table.Heap.name;
+          let name = Option.value cname ~default:(table.Heap.name ^ "_pkey") in
+          let key_cols = Array.of_list (List.map (Schema.col_index_exn schema) cols) in
+          let idx = Index.create ~name ~key_cols ~unique:true () in
+          Heap.add_index table idx;
+          Catalog.register_index ctx.catalog ~table:table.Heap.name idx;
+          schema.Schema.primary_key <- Some key_cols;
+          schema.Schema.constraints <-
+            schema.Schema.constraints @ [ Schema.Unique (name, key_cols) ];
+          Done "ALTER TABLE"
+      | Ast.C_foreign_key (local, ref_table, ref_cols) ->
+          let name = Option.value cname ~default:(fresh "fkey") in
+          let fk =
+            {
+              Schema.fk_name = name;
+              fk_cols = Array.of_list (List.map (Schema.col_index_exn schema) local);
+              fk_ref_table = String.lowercase_ascii ref_table;
+              fk_ref_cols = Array.of_list ref_cols;
+            }
+          in
+          let probe = { schema with Schema.constraints = [ Schema.Foreign_key fk ] } in
+          let saved = table.Heap.schema in
+          table.Heap.schema <- probe;
+          (try Heap.iter_live table (fun _tid row -> check_fk_for_row ctx txn table row)
+           with e ->
+             table.Heap.schema <- saved;
+             raise e);
+          table.Heap.schema <- saved;
+          schema.Schema.constraints <-
+            schema.Schema.constraints @ [ Schema.Foreign_key fk ];
+          Done "ALTER TABLE")
+  | Ast.Drop_constraint name ->
+      let found = ref false in
+      schema.Schema.constraints <-
+        List.filter
+          (fun c ->
+            if Schema.constraint_name c = name then begin
+              found := true;
+              (match c with
+              | Schema.Unique (n, _) ->
+                  ignore (Heap.drop_index table n : bool);
+                  if schema.Schema.primary_key <> None && n = table.Heap.name ^ "_pkey"
+                  then schema.Schema.primary_key <- None
+              | Schema.Check _ | Schema.Foreign_key _ -> ());
+              false
+            end
+            else true)
+          schema.Schema.constraints;
+      if not !found then
+        err "constraint %S of relation %S does not exist" name table.Heap.name;
+      Done "ALTER TABLE"
+
+(* ------------------------------------------------------------------ *)
+(* Statement dispatch                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec exec_stmt ctx txn (stmt : Ast.stmt) : result =
+  match stmt with
+  | Ast.Select_stmt s -> run_select ctx txn s
+  | Ast.Explain inner -> (
+      match inner with
+      | Ast.Select_stmt s ->
+          let planned = Planner.plan_select (planner_ctx ctx txn) s in
+          Explained (Plan.describe planned.Planner.plan)
+      | _ -> Explained "(only SELECT statements can be explained)")
+  | Ast.Create_table { name; columns; constraints; if_not_exists } ->
+      if if_not_exists && Catalog.exists ctx.catalog name then Done "CREATE TABLE"
+      else begin
+        let schema = Schema.of_ast (String.lowercase_ascii name) columns constraints in
+        let table = Catalog.create_table ctx.catalog name schema in
+        auto_indexes ctx table;
+        Done "CREATE TABLE"
+      end
+  | Ast.Create_table_as { name; query } ->
+      let n = create_table_as ctx txn name query in
+      Done (Printf.sprintf "SELECT %d" n)
+  | Ast.Create_view { name; query } ->
+      Catalog.create_view ctx.catalog name query;
+      Done "CREATE VIEW"
+  | Ast.Create_index { name; table; columns; unique; using } ->
+      let heap = Catalog.find_table_exn ctx.catalog table in
+      let key_cols =
+        Array.of_list (List.map (Schema.col_index_exn heap.Heap.schema) columns)
+      in
+      let kind =
+        match using with
+        | None | Some "hash" -> Index.Hash
+        | Some "ordered" | Some "btree" -> Index.Ordered
+        | Some other -> err "unknown index method %S" other
+      in
+      let idx = Index.create ~kind ~name:(String.lowercase_ascii name) ~key_cols ~unique () in
+      Heap.add_index heap idx;
+      Catalog.register_index ctx.catalog ~table:heap.Heap.name idx;
+      Done "CREATE INDEX"
+  | Ast.Drop { kind; name; if_exists } -> (
+      match kind with
+      | Ast.Drop_index ->
+          if if_exists && Catalog.index_owner ctx.catalog name = None then Done "DROP INDEX"
+          else begin
+            Catalog.drop_index ctx.catalog name;
+            Done "DROP INDEX"
+          end
+      | Ast.Drop_table | Ast.Drop_view ->
+          if if_exists && not (Catalog.exists ctx.catalog name) then Done "DROP"
+          else begin
+            Catalog.drop ctx.catalog name;
+            Done (match kind with Ast.Drop_table -> "DROP TABLE" | _ -> "DROP VIEW")
+          end)
+  | Ast.Alter_table { table; action } -> alter_table ctx txn table action
+  | Ast.Insert { table; columns; source; on_conflict_do_nothing } ->
+      let heap = Catalog.find_table_exn ctx.catalog table in
+      let schema = heap.Heap.schema in
+      let arity = Schema.arity schema in
+      let positions =
+        match columns with
+        | None -> Array.init arity (fun i -> i)
+        | Some cols -> Array.of_list (List.map (Schema.col_index_exn schema) cols)
+      in
+      let build_row values =
+        if Array.length values <> Array.length positions then
+          err "INSERT has %d expressions but %d target columns" (Array.length values)
+            (Array.length positions);
+        let row =
+          Array.init arity (fun i ->
+              match schema.Schema.columns.(i).Schema.default with
+              | Some d -> d
+              | None -> Value.Null)
+        in
+        Array.iteri (fun j pos -> row.(pos) <- values.(j)) positions;
+        row
+      in
+      let source_rows =
+        match source with
+        | Ast.Values rows ->
+            List.map
+              (fun exprs ->
+                Array.of_list
+                  (List.map
+                     (fun e -> Expr.eval [||] (compile_standalone ctx txn e))
+                     exprs))
+              rows
+        | Ast.Query q -> (
+            match run_select ctx txn q with
+            | Rows (_, rows) -> rows
+            | Affected _ | Done _ | Explained _ -> assert false)
+      in
+      let inserted = ref 0 in
+      List.iter
+        (fun values ->
+          match insert_row ctx txn heap ~on_conflict_do_nothing (build_row values) with
+          | Some _ -> incr inserted
+          | None -> ())
+        source_rows;
+      Affected !inserted
+  | Ast.Update { table; sets; where } ->
+      let heap = Catalog.find_table_exn ctx.catalog table in
+      let schema = heap.Heap.schema in
+      let assignments =
+        List.map
+          (fun (c, e) -> (Schema.col_index_exn schema c, Schema.compile_expr schema e))
+          sets
+      in
+      let targets = Access.scan_pred txn heap where in
+      List.iter
+        (fun (tid, row) ->
+          let row' = Array.copy row in
+          List.iter (fun (i, e) -> row'.(i) <- Expr.eval row e) assignments;
+          update_row ctx txn heap tid row')
+        targets;
+      Affected (List.length targets)
+  | Ast.Delete { table; where } ->
+      let heap = Catalog.find_table_exn ctx.catalog table in
+      let targets = Access.scan_pred txn heap where in
+      List.iter (fun (tid, _row) -> delete_row ctx txn heap tid) targets;
+      Affected (List.length targets)
+  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
+      err "transaction control statements are handled by the session layer"
+
+and compile_standalone ctx txn e =
+  (* Expressions outside any table context (VALUES rows). *)
+  Planner.compile_const (planner_ctx ctx txn) e

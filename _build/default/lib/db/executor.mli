@@ -1,0 +1,49 @@
+(** Plan execution and statement execution.
+
+    [run] materialises a plan bottom-up.  [exec_stmt] executes a single
+    statement inside a transaction, enforcing constraints on writes; it is
+    the layer {!Database} and BullFrog's migration machinery sit on. *)
+
+type exec_ctx = {
+  catalog : Catalog.t;
+  redo : Redo_log.t;
+}
+
+val planner_ctx : exec_ctx -> Txn.t -> Planner.ctx
+(** Planner context whose subquery runner executes inside [txn]. *)
+
+type result =
+  | Rows of string list * Value.t array list  (** column names, rows *)
+  | Affected of int
+  | Done of string  (** DDL acknowledgement, e.g. ["CREATE TABLE"] *)
+  | Explained of string
+
+val run : Txn.t -> Plan.t -> Value.t array list
+
+val run_select : exec_ctx -> Txn.t -> Bullfrog_sql.Ast.select -> result
+
+val exec_stmt : exec_ctx -> Txn.t -> Bullfrog_sql.Ast.stmt -> result
+(** Transaction-control statements are rejected here (the caller owns
+    transaction boundaries).  Writes append undo entries to [txn] and are
+    logged to the redo log by {!Database} at commit. *)
+
+(** {2 Write paths shared with BullFrog}
+
+    These enforce NOT NULL, type coercion, CHECK, UNIQUE (via unique
+    indexes) and FOREIGN KEY constraints, record undo, and bump counters. *)
+
+val insert_row :
+  exec_ctx ->
+  Txn.t ->
+  Heap.t ->
+  ?on_conflict_do_nothing:bool ->
+  Value.t array ->
+  int option
+(** Returns the new TID, or [None] when a conflict was ignored. *)
+
+val update_row : exec_ctx -> Txn.t -> Heap.t -> int -> Value.t array -> unit
+
+val delete_row : exec_ctx -> Txn.t -> Heap.t -> int -> unit
+
+val check_fk_for_row : exec_ctx -> Txn.t -> Heap.t -> Value.t array -> unit
+(** FK presence checks only (used by BullFrog's constraint-scope tests). *)

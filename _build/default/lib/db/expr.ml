@@ -1,0 +1,344 @@
+open Bullfrog_sql
+
+type t =
+  | Const of Value.t
+  | Field of int
+  | Binop of Ast.binop * t * t
+  | Unop of Ast.unop * t
+  | Fn of string * t list
+  | Case of (t * t) list * t option
+  | In_list of t * t list
+  | Between of t * t * t
+  | Is_null of t * bool
+
+exception Eval_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let num_binop op a b =
+  let open Value in
+  match (a, b) with
+  | Int x, Int y -> (
+      match op with
+      | Ast.Add -> Int (x + y)
+      | Ast.Sub -> Int (x - y)
+      | Ast.Mul -> Int (x * y)
+      | Ast.Div -> if y = 0 then err "division by zero" else Int (x / y)
+      | Ast.Mod -> if y = 0 then err "modulo by zero" else Int (x mod y)
+      | _ -> assert false)
+  | (Int _ | Float _), (Int _ | Float _) ->
+      let fx = match a with Int x -> float_of_int x | Float x -> x | _ -> assert false in
+      let fy = match b with Int y -> float_of_int y | Float y -> y | _ -> assert false in
+      (match op with
+      | Ast.Add -> Float (fx +. fy)
+      | Ast.Sub -> Float (fx -. fy)
+      | Ast.Mul -> Float (fx *. fy)
+      | Ast.Div -> if fy = 0.0 then err "division by zero" else Float (fx /. fy)
+      | Ast.Mod -> Float (Float.rem fx fy)
+      | _ -> assert false)
+  | Timestamp x, (Int _ | Float _) when op = Ast.Add || op = Ast.Sub ->
+      let d = match b with Int y -> float_of_int y | Float y -> y | _ -> assert false in
+      Timestamp (if op = Ast.Add then x +. d else x -. d)
+  | Date x, Int y when op = Ast.Add || op = Ast.Sub ->
+      Date (if op = Ast.Add then x + y else x - y)
+  | _ -> err "arithmetic on %s and %s" (Value.type_name a) (Value.type_name b)
+
+let cmp_binop op a b =
+  let c = Value.compare a b in
+  let r =
+    match op with
+    | Ast.Eq -> c = 0
+    | Ast.Neq -> c <> 0
+    | Ast.Lt -> c < 0
+    | Ast.Le -> c <= 0
+    | Ast.Gt -> c > 0
+    | Ast.Ge -> c >= 0
+    | _ -> assert false
+  in
+  Value.Bool r
+
+let rec eval row e =
+  match e with
+  | Const v -> v
+  | Field i ->
+      if i < 0 || i >= Array.length row then err "field %d out of row bounds" i
+      else Array.unsafe_get row i
+  | Binop (op, a, b) -> eval_binop row op a b
+  | Unop (Ast.Not, a) -> (
+      match eval row a with
+      | Value.Null -> Value.Null
+      | Value.Bool b -> Value.Bool (not b)
+      | v -> err "NOT applied to %s" (Value.type_name v))
+  | Unop (Ast.Neg, a) -> (
+      match eval row a with
+      | Value.Null -> Value.Null
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | v -> err "unary minus applied to %s" (Value.type_name v))
+  | Fn (name, args) -> eval_fn row name args
+  | Case (branches, els) -> (
+      let rec pick = function
+        | [] -> ( match els with None -> Value.Null | Some e -> eval row e)
+        | (c, v) :: rest -> (
+            match eval row c with Value.Bool true -> eval row v | _ -> pick rest)
+      in
+      pick branches)
+  | In_list (a, items) -> (
+      match eval row a with
+      | Value.Null -> Value.Null
+      | v ->
+          let saw_null = ref false in
+          let hit =
+            List.exists
+              (fun item ->
+                match eval row item with
+                | Value.Null ->
+                    saw_null := true;
+                    false
+                | w -> Value.equal v w)
+              items
+          in
+          if hit then Value.Bool true
+          else if !saw_null then Value.Null
+          else Value.Bool false)
+  | Between (a, lo, hi) -> (
+      match (eval row a, eval row lo, eval row hi) with
+      | Value.Null, _, _ | _, Value.Null, _ | _, _, Value.Null -> Value.Null
+      | v, l, h -> Value.Bool (Value.compare l v <= 0 && Value.compare v h <= 0))
+  | Is_null (a, want_null) ->
+      let v = eval row a in
+      Value.Bool (Value.is_null v = want_null)
+
+and eval_binop row op a b =
+  match op with
+  | Ast.And -> (
+      match eval row a with
+      | Value.Bool false -> Value.Bool false
+      | Value.Bool true -> (
+          match eval row b with
+          | (Value.Bool _ | Value.Null) as v -> v
+          | v -> err "AND applied to %s" (Value.type_name v))
+      | Value.Null -> (
+          match eval row b with Value.Bool false -> Value.Bool false | _ -> Value.Null)
+      | v -> err "AND applied to %s" (Value.type_name v))
+  | Ast.Or -> (
+      match eval row a with
+      | Value.Bool true -> Value.Bool true
+      | Value.Bool false -> (
+          match eval row b with
+          | (Value.Bool _ | Value.Null) as v -> v
+          | v -> err "OR applied to %s" (Value.type_name v))
+      | Value.Null -> (
+          match eval row b with Value.Bool true -> Value.Bool true | _ -> Value.Null)
+      | v -> err "OR applied to %s" (Value.type_name v))
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+      match (eval row a, eval row b) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | va, vb -> cmp_binop op va vb)
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod -> (
+      match (eval row a, eval row b) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | va, vb -> num_binop op va vb)
+  | Ast.Concat -> (
+      match (eval row a, eval row b) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | va, vb -> Value.Str (Value.to_string va ^ Value.to_string vb))
+
+and eval_fn row name args =
+  let arg i = eval row (List.nth args i) in
+  let arity n =
+    if List.length args <> n then err "%s expects %d argument(s)" name n
+  in
+  match name with
+  | _ when String.length name > 8 && String.sub name 0 8 = "extract_" ->
+      arity 1;
+      Value.extract (String.sub name 8 (String.length name - 8)) (arg 0)
+  | "date_part" -> (
+      arity 2;
+      match arg 0 with
+      | Value.Str field -> Value.extract field (arg 1)
+      | v -> err "date_part: field must be a string, got %s" (Value.type_name v))
+  | "lower" -> (
+      arity 1;
+      match arg 0 with
+      | Value.Null -> Value.Null
+      | Value.Str s -> Value.Str (String.lowercase_ascii s)
+      | v -> err "lower applied to %s" (Value.type_name v))
+  | "upper" -> (
+      arity 1;
+      match arg 0 with
+      | Value.Null -> Value.Null
+      | Value.Str s -> Value.Str (String.uppercase_ascii s)
+      | v -> err "upper applied to %s" (Value.type_name v))
+  | "length" -> (
+      arity 1;
+      match arg 0 with
+      | Value.Null -> Value.Null
+      | Value.Str s -> Value.Int (String.length s)
+      | v -> err "length applied to %s" (Value.type_name v))
+  | "substr" | "substring" -> (
+      match List.length args with
+      | 2 | 3 -> (
+          match (arg 0, arg 1) with
+          | Value.Null, _ -> Value.Null
+          | Value.Str s, Value.Int start ->
+              let start = max 1 start in
+              let available = String.length s - (start - 1) in
+              let len =
+                if List.length args = 3 then
+                  match arg 2 with
+                  | Value.Int n -> min n available
+                  | v -> err "substr: length must be int, got %s" (Value.type_name v)
+                else available
+              in
+              if len <= 0 || start > String.length s then Value.Str ""
+              else Value.Str (String.sub s (start - 1) len)
+          | v, _ -> err "substr applied to %s" (Value.type_name v))
+      | _ -> err "substr expects 2 or 3 arguments")
+  | "abs" -> (
+      arity 1;
+      match arg 0 with
+      | Value.Null -> Value.Null
+      | Value.Int i -> Value.Int (abs i)
+      | Value.Float f -> Value.Float (Float.abs f)
+      | v -> err "abs applied to %s" (Value.type_name v))
+  | "round" -> (
+      match List.length args with
+      | 1 -> (
+          match arg 0 with
+          | Value.Null -> Value.Null
+          | Value.Int _ as v -> v
+          | Value.Float f -> Value.Float (Float.round f)
+          | v -> err "round applied to %s" (Value.type_name v))
+      | 2 -> (
+          match (arg 0, arg 1) with
+          | Value.Null, _ -> Value.Null
+          | Value.Float f, Value.Int digits ->
+              let scale = 10.0 ** float_of_int digits in
+              Value.Float (Float.round (f *. scale) /. scale)
+          | Value.Int _, _ -> arg 0
+          | v, _ -> err "round applied to %s" (Value.type_name v))
+      | _ -> err "round expects 1 or 2 arguments")
+  | "floor" -> (
+      arity 1;
+      match arg 0 with
+      | Value.Null -> Value.Null
+      | Value.Int _ as v -> v
+      | Value.Float f -> Value.Float (Float.floor f)
+      | v -> err "floor applied to %s" (Value.type_name v))
+  | "ceil" | "ceiling" -> (
+      arity 1;
+      match arg 0 with
+      | Value.Null -> Value.Null
+      | Value.Int _ as v -> v
+      | Value.Float f -> Value.Float (Float.ceil f)
+      | v -> err "ceil applied to %s" (Value.type_name v))
+  | "coalesce" ->
+      let rec first = function
+        | [] -> Value.Null
+        | e :: rest -> ( match eval row e with Value.Null -> first rest | v -> v)
+      in
+      first args
+  | "nullif" -> (
+      arity 2;
+      let a = arg 0 and b = arg 1 in
+      if Value.equal a b then Value.Null else a)
+  | "mod" -> (
+      arity 2;
+      match (arg 0, arg 1) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | a, b -> num_binop Ast.Mod a b)
+  | other -> err "unknown function %S" other
+
+let eval_pred row e =
+  match eval row e with Value.Bool true -> true | _ -> false
+
+let rec is_const = function
+  | Const _ -> true
+  | Field _ -> false
+  | Binop (_, a, b) -> is_const a && is_const b
+  | Unop (_, a) -> is_const a
+  | Fn (_, args) -> List.for_all is_const args
+  | Case (branches, els) ->
+      List.for_all (fun (c, v) -> is_const c && is_const v) branches
+      && (match els with None -> true | Some e -> is_const e)
+  | In_list (a, items) -> is_const a && List.for_all is_const items
+  | Between (a, b, c) -> is_const a && is_const b && is_const c
+  | Is_null (a, _) -> is_const a
+
+let rec const_fold e =
+  let e =
+    match e with
+    | Const _ | Field _ -> e
+    | Binop (op, a, b) -> Binop (op, const_fold a, const_fold b)
+    | Unop (op, a) -> Unop (op, const_fold a)
+    | Fn (f, args) -> Fn (f, List.map const_fold args)
+    | Case (branches, els) ->
+        Case
+          ( List.map (fun (c, v) -> (const_fold c, const_fold v)) branches,
+            Option.map const_fold els )
+    | In_list (a, items) -> In_list (const_fold a, List.map const_fold items)
+    | Between (a, b, c) -> Between (const_fold a, const_fold b, const_fold c)
+    | Is_null (a, n) -> Is_null (const_fold a, n)
+  in
+  match e with
+  | Const _ -> e
+  | _ when is_const e -> ( try Const (eval [||] e) with Eval_error _ -> e)
+  | _ -> e
+
+let fields e =
+  let acc = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Field i -> acc := i :: !acc
+    | Binop (_, a, b) -> go a; go b
+    | Unop (_, a) -> go a
+    | Fn (_, args) -> List.iter go args
+    | Case (branches, els) ->
+        List.iter (fun (c, v) -> go c; go v) branches;
+        Option.iter go els
+    | In_list (a, items) -> go a; List.iter go items
+    | Between (a, b, c) -> go a; go b; go c
+    | Is_null (a, _) -> go a
+  in
+  go e;
+  List.sort_uniq Stdlib.compare !acc
+
+let rec shift_fields k e =
+  let sub = shift_fields k in
+  match e with
+  | Const _ -> e
+  | Field i -> Field (i + k)
+  | Binop (op, a, b) -> Binop (op, sub a, sub b)
+  | Unop (op, a) -> Unop (op, sub a)
+  | Fn (f, args) -> Fn (f, List.map sub args)
+  | Case (branches, els) ->
+      Case (List.map (fun (c, v) -> (sub c, sub v)) branches, Option.map sub els)
+  | In_list (a, items) -> In_list (sub a, List.map sub items)
+  | Between (a, b, c) -> Between (sub a, sub b, sub c)
+  | Is_null (a, n) -> Is_null (sub a, n)
+
+let rec to_string = function
+  | Const v -> Value.to_sql v
+  | Field i -> Printf.sprintf "#%d" i
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (to_string a) (Pretty.binop_to_string op) (to_string b)
+  | Unop (Ast.Not, a) -> Printf.sprintf "(NOT %s)" (to_string a)
+  | Unop (Ast.Neg, a) -> Printf.sprintf "(- %s)" (to_string a)
+  | Fn (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map to_string args))
+  | Case (branches, els) ->
+      let bs =
+        List.map
+          (fun (c, v) -> Printf.sprintf "WHEN %s THEN %s" (to_string c) (to_string v))
+          branches
+      in
+      let e = match els with None -> "" | Some v -> " ELSE " ^ to_string v in
+      Printf.sprintf "CASE %s%s END" (String.concat " " bs) e
+  | In_list (a, items) ->
+      Printf.sprintf "%s IN (%s)" (to_string a)
+        (String.concat ", " (List.map to_string items))
+  | Between (a, b, c) ->
+      Printf.sprintf "%s BETWEEN %s AND %s" (to_string a) (to_string b) (to_string c)
+  | Is_null (a, true) -> to_string a ^ " IS NULL"
+  | Is_null (a, false) -> to_string a ^ " IS NOT NULL"

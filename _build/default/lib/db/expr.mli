@@ -1,0 +1,43 @@
+(** Compiled expressions.
+
+    The planner resolves {!Bullfrog_sql.Ast.expr} column references into
+    positions in an operator's output row, producing these closed
+    expressions which the executor evaluates without name lookups.
+    Aggregate references are resolved to slots of the enclosing
+    [Aggregate] operator's output. *)
+
+type t =
+  | Const of Value.t
+  | Field of int  (** index into the input row *)
+  | Binop of Bullfrog_sql.Ast.binop * t * t
+  | Unop of Bullfrog_sql.Ast.unop * t
+  | Fn of string * t list
+  | Case of (t * t) list * t option
+  | In_list of t * t list
+  | Between of t * t * t
+  | Is_null of t * bool
+
+exception Eval_error of string
+
+val eval : Value.t array -> t -> Value.t
+(** Three-valued logic: comparisons and logical connectives involving
+    [Null] yield [Null]; [WHERE] treats a [Null] result as false.
+    @raise Eval_error on type errors (adding a string to an int, unknown
+    function, ...). *)
+
+val eval_pred : Value.t array -> t -> bool
+(** [eval] then [Null]/[Bool false] → [false]. *)
+
+val is_const : t -> bool
+
+val const_fold : t -> t
+(** Evaluate subtrees with no [Field]s down to constants. *)
+
+val fields : t -> int list
+(** Field indices referenced, ascending, deduplicated. *)
+
+val shift_fields : int -> t -> t
+(** [shift_fields k e] adds [k] to every field index (used when an
+    operator's input row is a concatenation). *)
+
+val to_string : t -> string

@@ -1,0 +1,158 @@
+type row = Value.t array
+
+type t = {
+  tbl_id : int;
+  mutable name : string;
+  mutable schema : Schema.t;
+  latch : Mutex.t;
+  slots : row option Vec.t;
+  mutable indexes : Index.t list;
+  mutable live : int;
+}
+
+let create ~tbl_id ~name schema =
+  {
+    tbl_id;
+    name;
+    schema;
+    latch = Mutex.create ();
+    slots = Vec.create ();
+    indexes = [];
+    live = 0;
+  }
+
+let with_latch t f =
+  Mutex.lock t.latch;
+  match f () with
+  | v ->
+      Mutex.unlock t.latch;
+      v
+  | exception e ->
+      Mutex.unlock t.latch;
+      raise e
+
+(* Insert into every index, rolling back prior entries when a unique index
+   rejects the key, so a failed insert leaves the indexes untouched. *)
+let index_all t row tid =
+  let done_ = ref [] in
+  try
+    List.iter
+      (fun idx ->
+        match Index.key_of_row idx row with
+        | None -> ()
+        | Some key ->
+            Index.insert idx key tid;
+            done_ := (idx, key) :: !done_)
+      t.indexes
+  with e ->
+    List.iter (fun (idx, key) -> Index.remove idx key tid) !done_;
+    raise e
+
+let deindex_all t row tid =
+  List.iter
+    (fun idx ->
+      match Index.key_of_row idx row with
+      | None -> ()
+      | Some key -> Index.remove idx key tid)
+    t.indexes
+
+let insert t row =
+  with_latch t (fun () ->
+      let tid = Vec.length t.slots in
+      index_all t row tid;
+      Vec.push t.slots (Some row);
+      t.live <- t.live + 1;
+      tid)
+
+let get t tid = Vec.get t.slots tid
+
+let get_exn t tid =
+  match Vec.get t.slots tid with
+  | Some row -> row
+  | None -> invalid_arg (Printf.sprintf "Heap.get_exn: tid %d of %s is a tombstone" tid t.name)
+
+let update t tid row =
+  with_latch t (fun () ->
+      match Vec.get t.slots tid with
+      | None ->
+          invalid_arg (Printf.sprintf "Heap.update: tid %d of %s is a tombstone" tid t.name)
+      | Some old ->
+          deindex_all t old tid;
+          (try index_all t row tid
+           with e ->
+             (* restore the old index entries before propagating *)
+             index_all t old tid;
+             raise e);
+          Vec.set t.slots tid (Some row);
+          old)
+
+let delete t tid =
+  with_latch t (fun () ->
+      match Vec.get t.slots tid with
+      | None ->
+          invalid_arg (Printf.sprintf "Heap.delete: tid %d of %s is a tombstone" tid t.name)
+      | Some old ->
+          deindex_all t old tid;
+          Vec.set t.slots tid None;
+          t.live <- t.live - 1;
+          old)
+
+let restore t tid row =
+  with_latch t (fun () ->
+      match Vec.get t.slots tid with
+      | Some _ -> invalid_arg "Heap.restore: slot is occupied"
+      | None ->
+          index_all t row tid;
+          Vec.set t.slots tid (Some row);
+          t.live <- t.live + 1)
+
+let uninsert t tid =
+  ignore (delete t tid : row)
+
+let tid_count t = Vec.length t.slots
+
+let live_count t = t.live
+
+let iter_live t f =
+  Vec.iteri (fun tid slot -> match slot with None -> () | Some row -> f tid row) t.slots
+
+let fold_live t ~init ~f =
+  let acc = ref init in
+  iter_live t (fun tid row -> acc := f !acc tid row);
+  !acc
+
+let add_index t idx =
+  with_latch t (fun () ->
+      let added = ref [] in
+      (try
+         iter_live t (fun tid row ->
+             match Index.key_of_row idx row with
+             | None -> ()
+             | Some key ->
+                 Index.insert idx key tid;
+                 added := (key, tid) :: !added)
+       with e ->
+         List.iter (fun (key, tid) -> Index.remove idx key tid) !added;
+         raise e);
+      t.indexes <- t.indexes @ [ idx ])
+
+let drop_index t idx_name =
+  with_latch t (fun () ->
+      let before = List.length t.indexes in
+      t.indexes <- List.filter (fun i -> Index.name i <> idx_name) t.indexes;
+      List.length t.indexes < before)
+
+let find_index t idx_name =
+  List.find_opt (fun i -> Index.name i = idx_name) t.indexes
+
+let same_col_set a b =
+  let sort x = List.sort Stdlib.compare (Array.to_list x) in
+  sort a = sort b
+
+let unique_index_on t cols =
+  List.find_opt
+    (fun i -> Index.is_unique i && same_col_set (Index.key_cols i) cols)
+    t.indexes
+
+let index_covering t cols =
+  List.find_opt (fun i -> same_col_set (Index.key_cols i) cols) t.indexes

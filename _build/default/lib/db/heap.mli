@@ -1,0 +1,75 @@
+(** Heap tables: append-only row slots addressed by dense TIDs.
+
+    A TID is the row's position in the slot array; deletions leave a
+    tombstone so TIDs are stable for the life of the table — the property
+    BullFrog's bitmap tracker depends on (it maps TID → 2 bits exactly as
+    the PostgreSQL prototype maps ctids).
+
+    The heap maintains the table's indexes on every mutation.  Mutations
+    are protected by a per-table latch; point reads are latch-free (a row
+    slot holds an immutable array, so replacing it is a single pointer
+    store — no torn reads under the OCaml memory model). *)
+
+type row = Value.t array
+
+type t = {
+  tbl_id : int;
+  mutable name : string;
+  mutable schema : Schema.t;
+  latch : Mutex.t;
+  slots : row option Vec.t;
+  mutable indexes : Index.t list;
+  mutable live : int;
+}
+
+val create : tbl_id:int -> name:string -> Schema.t -> t
+
+val insert : t -> row -> int
+(** Appends and indexes; returns the new TID.
+    @raise Db_error.Constraint_violation on unique-index conflicts (in
+    which case nothing is inserted). *)
+
+val get : t -> int -> row option
+(** [None] for tombstones; out-of-range TIDs raise [Invalid_argument]. *)
+
+val get_exn : t -> int -> row
+
+val update : t -> int -> row -> row
+(** Replaces the row, maintaining indexes; returns the old image.
+    @raise Db_error.Constraint_violation on unique conflicts (row is left
+    unchanged).  @raise Invalid_argument on a tombstone. *)
+
+val delete : t -> int -> row
+(** Tombstones the slot, de-indexes; returns the old image. *)
+
+val restore : t -> int -> row -> unit
+(** Undo helper: re-materialise a deleted row at its original TID. *)
+
+val uninsert : t -> int -> unit
+(** Undo helper: remove a freshly inserted row (tombstone + de-index). *)
+
+val tid_count : t -> int
+(** Number of slots ever allocated (live + tombstones) — the bitmap
+    tracker sizes itself from this. *)
+
+val live_count : t -> int
+
+val iter_live : t -> (int -> row -> unit) -> unit
+
+val fold_live : t -> init:'a -> f:('a -> int -> row -> 'a) -> 'a
+
+val add_index : t -> Index.t -> unit
+(** Registers and backfills an index.
+    @raise Db_error.Constraint_violation if a unique index finds
+    duplicates (index is not registered). *)
+
+val drop_index : t -> string -> bool
+
+val find_index : t -> string -> Index.t option
+
+val unique_index_on : t -> int array -> Index.t option
+(** A unique index whose key columns are exactly the given columns (order
+    insensitive). *)
+
+val index_covering : t -> int array -> Index.t option
+(** Any index whose key column set equals the given set. *)

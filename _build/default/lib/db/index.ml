@@ -1,0 +1,213 @@
+type kind = Hash | Ordered
+
+module Key = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec loop i = i >= Array.length a || (Value.equal a.(i) b.(i) && loop (i + 1)) in
+    loop 0
+
+  let hash = Value.hash_key
+
+  (* Lexicographic; a proper prefix sorts before its extensions. *)
+  let compare a b =
+    let la = Array.length a and lb = Array.length b in
+    let rec loop i =
+      if i >= la && i >= lb then 0
+      else if i >= la then -1
+      else if i >= lb then 1
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+end
+
+module Tbl = Hashtbl.Make (Key)
+module Omap = Map.Make (Key)
+
+type store =
+  | S_hash of int list ref Tbl.t
+  | S_ordered of int list Omap.t ref
+
+type t = {
+  idx_name : string;
+  cols : int array;
+  unique : bool;
+  store : store;
+  mutable count : int;
+}
+
+let create ?(kind = Hash) ~name ~key_cols ~unique () =
+  let store =
+    match kind with
+    | Hash -> S_hash (Tbl.create 1024)
+    | Ordered -> S_ordered (ref Omap.empty)
+  in
+  { idx_name = name; cols = key_cols; unique; store; count = 0 }
+
+let name t = t.idx_name
+
+let kind t = match t.store with S_hash _ -> Hash | S_ordered _ -> Ordered
+
+let key_cols t = t.cols
+
+let is_unique t = t.unique
+
+let key_of_row t row =
+  let n = Array.length t.cols in
+  let key = Array.make n Value.Null in
+  let rec loop i =
+    if i >= n then Some key
+    else
+      let v = row.(t.cols.(i)) in
+      if Value.is_null v then None
+      else begin
+        key.(i) <- v;
+        loop (i + 1)
+      end
+  in
+  loop 0
+
+let key_string key =
+  String.concat ", " (Array.to_list (Array.map Value.to_string key))
+
+let dup_error t key =
+  Db_error.constraint_violation
+    "duplicate key value violates unique constraint %S: key (%s) already exists"
+    t.idx_name (key_string key)
+
+let insert t key tid =
+  match t.store with
+  | S_hash tbl -> (
+      match Tbl.find_opt tbl key with
+      | None ->
+          Tbl.replace tbl (Array.copy key) (ref [ tid ]);
+          t.count <- t.count + 1
+      | Some cell ->
+          if t.unique then dup_error t key
+          else begin
+            cell := tid :: !cell;
+            t.count <- t.count + 1
+          end)
+  | S_ordered map -> (
+      match Omap.find_opt key !map with
+      | None ->
+          map := Omap.add (Array.copy key) [ tid ] !map;
+          t.count <- t.count + 1
+      | Some tids ->
+          if t.unique then dup_error t key
+          else begin
+            map := Omap.add key (tid :: tids) !map;
+            t.count <- t.count + 1
+          end)
+
+let remove t key tid =
+  match t.store with
+  | S_hash tbl -> (
+      match Tbl.find_opt tbl key with
+      | None -> ()
+      | Some cell ->
+          let before = List.length !cell in
+          cell := List.filter (fun x -> x <> tid) !cell;
+          t.count <- t.count - (before - List.length !cell);
+          if !cell = [] then Tbl.remove tbl key)
+  | S_ordered map -> (
+      match Omap.find_opt key !map with
+      | None -> ()
+      | Some tids ->
+          let after = List.filter (fun x -> x <> tid) tids in
+          t.count <- t.count - (List.length tids - List.length after);
+          if after = [] then map := Omap.remove key !map
+          else map := Omap.add key after !map)
+
+let find t key =
+  match t.store with
+  | S_hash tbl -> ( match Tbl.find_opt tbl key with None -> [] | Some cell -> !cell)
+  | S_ordered map -> ( match Omap.find_opt key !map with None -> [] | Some tids -> tids)
+
+let mem t key =
+  match t.store with
+  | S_hash tbl -> Tbl.mem tbl key
+  | S_ordered map -> Omap.mem key !map
+
+let entry_count t = t.count
+
+let clear t =
+  (match t.store with
+  | S_hash tbl -> Tbl.reset tbl
+  | S_ordered map -> map := Omap.empty);
+  t.count <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Ordered operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ordered_exn t op =
+  match t.store with
+  | S_ordered map -> map
+  | S_hash _ ->
+      invalid_arg (Printf.sprintf "Index.%s: %S is a hash index" op t.idx_name)
+
+let has_prefix key prefix =
+  Array.length key >= Array.length prefix
+  &&
+  let rec loop i =
+    i >= Array.length prefix || (Value.equal key.(i) prefix.(i) && loop (i + 1))
+  in
+  loop 0
+
+let min_with_prefix t prefix =
+  let map = ordered_exn t "min_with_prefix" in
+  (* The prefix itself sorts before all of its extensions. *)
+  match Omap.find_first_opt (fun k -> Key.compare k prefix >= 0) !map with
+  | Some (k, tids) when has_prefix k prefix -> Some (k, tids)
+  | Some _ | None -> None
+
+let max_with_prefix t prefix =
+  let map = ordered_exn t "max_with_prefix" in
+  (* Walk the range ascending; maps have no reverse cursor from a bound,
+     and prefix groups are small in practice. *)
+  let best = ref None in
+  (try
+     Omap.to_seq_from prefix !map
+     |> Seq.iter (fun (k, tids) ->
+            if has_prefix k prefix then best := Some (k, tids) else raise Exit)
+   with Exit -> ());
+  !best
+
+let fold_prefix_range t ~prefix ?lo ?hi ~init ~f () =
+  let map = ordered_exn t "fold_prefix_range" in
+  let start =
+    match lo with
+    | None -> prefix
+    | Some v -> Array.append prefix [| v |]
+  in
+  let acc = ref init in
+  (try
+     Omap.to_seq_from start !map
+     |> Seq.iter (fun (k, tids) ->
+            if not (has_prefix k prefix) then raise Exit
+            else begin
+              let next = if Array.length k > Array.length prefix then Some k.(Array.length prefix) else None in
+              let ok_hi =
+                match (hi, next) with
+                | None, _ -> true
+                | Some _, None -> true
+                | Some h, Some v -> Value.compare v h < 0
+              in
+              if not ok_hi then raise Exit
+              else begin
+                let ok_lo =
+                  match (lo, next) with
+                  | None, _ -> true
+                  | Some _, None -> false
+                  | Some l, Some v -> Value.compare v l >= 0
+                in
+                if ok_lo then acc := f !acc k tids
+              end
+            end)
+   with Exit -> ());
+  !acc

@@ -1,0 +1,66 @@
+(** Secondary indexes mapping composite key values to TIDs.
+
+    Two kinds, mirroring PostgreSQL's hash and btree access methods:
+
+    - {b Hash} (default): O(1) exact-key probes.  Used for primary-key /
+      UNIQUE enforcement and point lookups.
+    - {b Ordered}: keys kept in lexicographic {!Value.compare} order;
+      additionally supports minimum/maximum-under-prefix probes (what
+      TPC-C's Delivery and OrderStatus lean on) and prefix + range scans
+      (StockLevel's recent-orders window).
+
+    Rows whose key contains a NULL are not indexed (SQL semantics: NULLs
+    never collide in a UNIQUE index). *)
+
+type kind = Hash | Ordered
+
+type t
+
+val create : ?kind:kind -> name:string -> key_cols:int array -> unique:bool -> unit -> t
+
+val name : t -> string
+
+val kind : t -> kind
+
+val key_cols : t -> int array
+
+val is_unique : t -> bool
+
+val key_of_row : t -> Value.t array -> Value.t array option
+(** [None] when any key component is NULL. *)
+
+val insert : t -> Value.t array -> int -> unit
+(** [insert t key tid].  @raise Db_error.Constraint_violation when the
+    index is unique and the key is already present. *)
+
+val remove : t -> Value.t array -> int -> unit
+
+val find : t -> Value.t array -> int list
+(** TIDs with this key. *)
+
+val mem : t -> Value.t array -> bool
+
+val entry_count : t -> int
+
+val clear : t -> unit
+
+(** {2 Ordered-index operations}
+
+    These raise [Invalid_argument] on a hash index. *)
+
+val min_with_prefix : t -> Value.t array -> (Value.t array * int list) option
+(** Smallest full key whose first components equal the prefix. *)
+
+val max_with_prefix : t -> Value.t array -> (Value.t array * int list) option
+
+val fold_prefix_range :
+  t ->
+  prefix:Value.t array ->
+  ?lo:Value.t ->
+  ?hi:Value.t ->
+  init:'a ->
+  f:('a -> Value.t array -> int list -> 'a) ->
+  unit ->
+  'a
+(** Fold over keys extending [prefix] whose next component [v] satisfies
+    [lo <= v] and [v < hi] (either bound optional), in key order. *)

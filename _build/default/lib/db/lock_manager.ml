@@ -1,0 +1,90 @@
+type key = int * int
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  holders : (key, int) Hashtbl.t;
+  by_owner : (int, key list ref) Hashtbl.t;
+  timeout : float;
+}
+
+let create ?(timeout = 1.0) () =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    holders = Hashtbl.create 256;
+    by_owner = Hashtbl.create 64;
+    timeout;
+  }
+
+let note_owned t owner key =
+  match Hashtbl.find_opt t.by_owner owner with
+  | Some keys -> keys := key :: !keys
+  | None -> Hashtbl.replace t.by_owner owner (ref [ key ])
+
+let acquire t ~owner key =
+  Mutex.lock t.mutex;
+  let deadline = Unix.gettimeofday () +. t.timeout in
+  let rec wait () =
+    match Hashtbl.find_opt t.holders key with
+    | None ->
+        Hashtbl.replace t.holders key owner;
+        note_owned t owner key;
+        Mutex.unlock t.mutex
+    | Some o when o = owner -> Mutex.unlock t.mutex
+    | Some _ ->
+        if Unix.gettimeofday () >= deadline then begin
+          Mutex.unlock t.mutex;
+          Db_error.txn_abort "lock timeout on (%d,%d) for txn %d" (fst key) (snd key)
+            owner
+        end
+        else begin
+          (* Condition.wait has no timeout in the stdlib; poll with a short
+             sleep while holding the mutex via timed re-checks. *)
+          Mutex.unlock t.mutex;
+          Thread.delay 0.001;
+          Mutex.lock t.mutex;
+          wait ()
+        end
+  in
+  wait ()
+
+let try_acquire t ~owner key =
+  Mutex.lock t.mutex;
+  let granted =
+    match Hashtbl.find_opt t.holders key with
+    | None ->
+        Hashtbl.replace t.holders key owner;
+        note_owned t owner key;
+        true
+    | Some o -> o = owner
+  in
+  Mutex.unlock t.mutex;
+  granted
+
+let release_all t ~owner =
+  Mutex.lock t.mutex;
+  (match Hashtbl.find_opt t.by_owner owner with
+  | None -> ()
+  | Some keys ->
+      List.iter
+        (fun key ->
+          match Hashtbl.find_opt t.holders key with
+          | Some o when o = owner -> Hashtbl.remove t.holders key
+          | Some _ | None -> ())
+        !keys;
+      Hashtbl.remove t.by_owner owner);
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let holder t key =
+  Mutex.lock t.mutex;
+  let h = Hashtbl.find_opt t.holders key in
+  Mutex.unlock t.mutex;
+  h
+
+let held_count t ~owner =
+  Mutex.lock t.mutex;
+  let n = match Hashtbl.find_opt t.by_owner owner with None -> 0 | Some keys -> List.length !keys in
+  Mutex.unlock t.mutex;
+  n

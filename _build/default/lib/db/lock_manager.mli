@@ -1,0 +1,26 @@
+(** Row-level exclusive locks with blocking acquire and timeout.
+
+    The simulation harness serialises transactions, so data-level conflicts
+    cannot arise there; this manager exists so the engine's write path is
+    faithful to a real system and so the threaded stress tests can exercise
+    blocking, timeout-induced aborts, and release-on-commit. *)
+
+type t
+
+type key = int * int  (** table id, tid *)
+
+val create : ?timeout:float -> unit -> t
+(** [timeout] in seconds (default 1.0) before an acquire gives up. *)
+
+val acquire : t -> owner:int -> key -> unit
+(** Blocks until granted; re-entrant for the same owner.
+    @raise Db_error.Txn_abort on timeout. *)
+
+val try_acquire : t -> owner:int -> key -> bool
+
+val release_all : t -> owner:int -> unit
+(** Releases every lock held by [owner] and wakes waiters. *)
+
+val holder : t -> key -> int option
+
+val held_count : t -> owner:int -> int

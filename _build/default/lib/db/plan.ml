@@ -1,0 +1,195 @@
+type col_desc = { cd_qualifier : string option; cd_name : string }
+
+type agg_spec = {
+  agg_fn : Bullfrog_sql.Ast.agg_fn;
+  agg_distinct : bool;
+  agg_arg : Expr.t option;
+}
+
+type t =
+  | Seq_scan of { table : Heap.t; filter : Expr.t option }
+  | Index_scan of {
+      table : Heap.t;
+      index : Index.t;
+      key : Expr.t array;
+      filter : Expr.t option;
+    }
+  | Index_range of {
+      table : Heap.t;
+      index : Index.t;
+      prefix : Expr.t array;
+      lo : Expr.t option;
+      hi : Expr.t option;
+      filter : Expr.t option;
+    }
+  | Index_min of {
+      table : Heap.t;
+      index : Index.t;
+      prefix : Expr.t array;
+      asc : bool;
+    }
+  | Nested_loop of { outer : t; inner : t; cond : Expr.t option }
+  | Index_nl_join of {
+      outer : t;
+      inner_table : Heap.t;
+      index : Index.t;
+      outer_keys : Expr.t array;
+      inner_filter : Expr.t option;
+      cond : Expr.t option;
+    }
+  | Hash_join of {
+      outer : t;
+      inner : t;
+      outer_keys : Expr.t array;
+      inner_keys : Expr.t array;
+      cond : Expr.t option;
+    }
+  | Filter of t * Expr.t
+  | Project of t * Expr.t array
+  | Aggregate of { input : t; group : Expr.t array; aggs : agg_spec array }
+  | Sort of t * (Expr.t * Bullfrog_sql.Ast.order_dir) array
+  | Distinct of t
+  | Limit of t * int
+  | Values of Value.t array list
+
+let rec width = function
+  | Seq_scan { table; _ } | Index_scan { table; _ } | Index_range { table; _ } ->
+      Schema.arity table.Heap.schema
+  | Index_min _ -> 1
+  | Nested_loop { outer; inner; _ } | Hash_join { outer; inner; _ } ->
+      width outer + width inner
+  | Index_nl_join { outer; inner_table; _ } ->
+      width outer + Schema.arity inner_table.Heap.schema
+  | Filter (p, _) | Sort (p, _) | Distinct p | Limit (p, _) -> width p
+  | Project (_, exprs) -> Array.length exprs
+  | Aggregate { group; aggs; _ } -> Array.length group + Array.length aggs
+  | Values rows -> ( match rows with [] -> 0 | r :: _ -> Array.length r)
+
+let describe plan =
+  let buf = Buffer.create 256 in
+  let line indent s =
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let filter_line indent = function
+    | None -> ()
+    | Some f -> line (indent + 1) ("Filter: " ^ Expr.to_string f)
+  in
+  let agg_name a =
+    match a.agg_fn with
+    | Bullfrog_sql.Ast.Count -> "count"
+    | Sum -> "sum"
+    | Avg -> "avg"
+    | Min -> "min"
+    | Max -> "max"
+  in
+  let rec go indent = function
+    | Seq_scan { table; filter } ->
+        line indent (Printf.sprintf "Seq Scan on %s" table.Heap.name);
+        filter_line indent filter
+    | Index_scan { table; index; key; filter } ->
+        line indent
+          (Printf.sprintf "Index Scan using %s on %s" (Index.name index) table.Heap.name);
+        line (indent + 1)
+          ("Index Cond: ("
+          ^ String.concat ", " (Array.to_list (Array.map Expr.to_string key))
+          ^ ")");
+        filter_line indent filter
+    | Index_range { table; index; prefix; lo; hi; filter } ->
+        line indent
+          (Printf.sprintf "Index Range Scan using %s on %s" (Index.name index)
+             table.Heap.name);
+        line (indent + 1)
+          (Printf.sprintf "Index Cond: prefix (%s)%s%s"
+             (String.concat ", " (Array.to_list (Array.map Expr.to_string prefix)))
+             (match lo with None -> "" | Some e -> " >= " ^ Expr.to_string e)
+             (match hi with None -> "" | Some e -> " < " ^ Expr.to_string e));
+        filter_line indent filter
+    | Index_min { table; index; prefix; asc } ->
+        line indent
+          (Printf.sprintf "Index %s using %s on %s (prefix: %s)"
+             (if asc then "Min" else "Max")
+             (Index.name index) table.Heap.name
+             (String.concat ", " (Array.to_list (Array.map Expr.to_string prefix))))
+    | Index_nl_join { outer; inner_table; index; outer_keys; inner_filter; cond } ->
+        line indent
+          (Printf.sprintf "Index Nested Loop with %s via %s" inner_table.Heap.name
+             (Index.name index));
+        line (indent + 1)
+          ("Probe Keys: ("
+          ^ String.concat ", " (Array.to_list (Array.map Expr.to_string outer_keys))
+          ^ ")");
+        (match inner_filter with
+        | None -> ()
+        | Some f -> line (indent + 1) ("Inner Filter: " ^ Expr.to_string f));
+        (match cond with
+        | None -> ()
+        | Some c -> line (indent + 1) ("Join Filter: " ^ Expr.to_string c));
+        go (indent + 1) outer
+    | Nested_loop { outer; inner; cond } ->
+        line indent "Nested Loop";
+        (match cond with
+        | None -> ()
+        | Some c -> line (indent + 1) ("Join Filter: " ^ Expr.to_string c));
+        go (indent + 1) outer;
+        go (indent + 1) inner
+    | Hash_join { outer; inner; outer_keys; inner_keys; cond } ->
+        line indent "Hash Join";
+        line (indent + 1)
+          (Printf.sprintf "Hash Cond: (%s) = (%s)"
+             (String.concat ", " (Array.to_list (Array.map Expr.to_string outer_keys)))
+             (String.concat ", " (Array.to_list (Array.map Expr.to_string inner_keys))));
+        (match cond with
+        | None -> ()
+        | Some c -> line (indent + 1) ("Join Filter: " ^ Expr.to_string c));
+        go (indent + 1) outer;
+        go (indent + 1) inner
+    | Filter (p, f) ->
+        line indent ("Filter: " ^ Expr.to_string f);
+        go (indent + 1) p
+    | Project (p, exprs) ->
+        line indent
+          ("Project: "
+          ^ String.concat ", " (Array.to_list (Array.map Expr.to_string exprs)));
+        go (indent + 1) p
+    | Aggregate { input; group; aggs } ->
+        let keys =
+          if Array.length group = 0 then ""
+          else
+            " key: "
+            ^ String.concat ", " (Array.to_list (Array.map Expr.to_string group))
+        in
+        let fns =
+          String.concat ", "
+            (Array.to_list
+               (Array.map
+                  (fun a ->
+                    Printf.sprintf "%s(%s%s)" (agg_name a)
+                      (if a.agg_distinct then "DISTINCT " else "")
+                      (match a.agg_arg with None -> "*" | Some e -> Expr.to_string e))
+                  aggs))
+        in
+        line indent (Printf.sprintf "Aggregate%s [%s]" keys fns);
+        go (indent + 1) input
+    | Sort (p, keys) ->
+        line indent
+          ("Sort: "
+          ^ String.concat ", "
+              (Array.to_list
+                 (Array.map
+                    (fun (e, d) ->
+                      Expr.to_string e
+                      ^ match d with Bullfrog_sql.Ast.Asc -> " ASC" | Desc -> " DESC")
+                    keys)));
+        go (indent + 1) p
+    | Distinct p ->
+        line indent "Unique";
+        go (indent + 1) p
+    | Limit (p, n) ->
+        line indent (Printf.sprintf "Limit: %d" n);
+        go (indent + 1) p
+    | Values rows -> line indent (Printf.sprintf "Values (%d row(s))" (List.length rows))
+  in
+  go 0 plan;
+  Buffer.contents buf

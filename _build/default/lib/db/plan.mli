@@ -1,0 +1,69 @@
+(** Physical query plans.
+
+    Operators produce flat rows ([Value.t array]); joins concatenate the
+    outer row with the inner row, and every compiled expression in a node
+    is resolved against that node's input layout.  [describe] renders the
+    plan the way the paper uses PostgreSQL's EXPLAIN output — it shows the
+    per-table filters after view expansion and pushdown, which is exactly
+    what BullFrog reads off the plan to scope a lazy migration. *)
+
+type col_desc = { cd_qualifier : string option; cd_name : string }
+
+type agg_spec = {
+  agg_fn : Bullfrog_sql.Ast.agg_fn;
+  agg_distinct : bool;
+  agg_arg : Expr.t option;  (** [None] is count-star *)
+}
+
+type t =
+  | Seq_scan of { table : Heap.t; filter : Expr.t option }
+  | Index_scan of {
+      table : Heap.t;
+      index : Index.t;
+      key : Expr.t array;  (** constant expressions, one per key column *)
+      filter : Expr.t option;
+    }
+  | Index_range of {
+      table : Heap.t;
+      index : Index.t;  (** ordered *)
+      prefix : Expr.t array;
+      lo : Expr.t option;  (** inclusive bound on the next key column *)
+      hi : Expr.t option;  (** exclusive bound on the next key column *)
+      filter : Expr.t option;
+    }
+  | Index_min of {
+      table : Heap.t;
+      index : Index.t;  (** ordered; key = pinned prefix + the target column *)
+      prefix : Expr.t array;
+      asc : bool;  (** true = MIN, false = MAX *)
+    }  (** single-row output: the extremal value of the target column *)
+  | Nested_loop of { outer : t; inner : t; cond : Expr.t option }
+  | Index_nl_join of {
+      outer : t;
+      inner_table : Heap.t;
+      index : Index.t;
+      outer_keys : Expr.t array;  (** over the outer row, in index-column order *)
+      inner_filter : Expr.t option;  (** over the inner row *)
+      cond : Expr.t option;  (** over the concatenated row *)
+    }  (** per outer row, probe the inner table's index — the plan shape a
+          small driving set joined against a large indexed table needs *)
+  | Hash_join of {
+      outer : t;
+      inner : t;
+      outer_keys : Expr.t array;  (** over the outer row *)
+      inner_keys : Expr.t array;  (** over the inner row *)
+      cond : Expr.t option;  (** residual predicate over the concatenated row *)
+    }
+  | Filter of t * Expr.t
+  | Project of t * Expr.t array
+  | Aggregate of { input : t; group : Expr.t array; aggs : agg_spec array }
+  | Sort of t * (Expr.t * Bullfrog_sql.Ast.order_dir) array
+  | Distinct of t
+  | Limit of t * int
+  | Values of Value.t array list  (** FROM-less SELECT *)
+
+val describe : t -> string
+(** Multi-line, indented, EXPLAIN-style. *)
+
+val width : t -> int
+(** Number of columns in the node's output rows. *)

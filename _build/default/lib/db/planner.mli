@@ -1,0 +1,55 @@
+(** Query planner: view expansion, predicate pushdown, join planning.
+
+    This module provides the two capabilities the BullFrog paper borrows
+    from PostgreSQL (§2.1):
+
+    - {b view expansion} — references to views become subqueries over base
+      tables;
+    - {b filter extraction} — conjuncts of the WHERE clause are pushed
+      through views/subqueries down to the base tables they constrain, so
+      the plan (and {!pushed_base_filters}) exposes per-old-table
+      predicates that BullFrog uses to scope a lazy migration.
+
+    Scalar subqueries and EXISTS must be uncorrelated; they are evaluated
+    at planning time through the [run_subquery] callback. *)
+
+type ctx = {
+  catalog : Catalog.t;
+  run_subquery : Bullfrog_sql.Ast.select -> Value.t array list;
+}
+
+type planned = {
+  plan : Plan.t;
+  output : Plan.col_desc array;  (** result column descriptors *)
+}
+
+val plan_select : ctx -> Bullfrog_sql.Ast.select -> planned
+(** @raise Db_error.Sql_error on unknown relations/columns, ambiguous
+    references, aggregate misuse, or correlated subqueries. *)
+
+val pushed_base_filters :
+  ctx -> Bullfrog_sql.Ast.select -> (string * Bullfrog_sql.Ast.expr list) list
+(** For each base table reachable from the query (through views and
+    subqueries), the WHERE conjuncts that reach it, rewritten in terms of
+    that table's own (unqualified) columns.  A table occurring twice
+    yields two entries.  Tables whose scan has no pushable conjuncts
+    appear with an empty list — BullFrog treats those as "migrate
+    everything potentially relevant" (paper §2.4). *)
+
+val expand_select : ctx -> Bullfrog_sql.Ast.select -> Bullfrog_sql.Ast.select
+(** View expansion + star expansion only (no pushdown); exposed for tests
+    and for BullFrog's migration-view construction. *)
+
+val output_names : Bullfrog_sql.Ast.select -> string list
+(** Column names a (star-expanded) select produces. *)
+
+val compile_const : ctx -> Bullfrog_sql.Ast.expr -> Expr.t
+(** Compile an expression with no column references (VALUES rows,
+    standalone predicates); scalar subqueries are evaluated through the
+    context. *)
+
+val compile_with_descs :
+  ctx -> Plan.col_desc array -> Bullfrog_sql.Ast.expr -> Expr.t
+(** Compile against an explicit row layout (used by BullFrog's pair-level
+    n:n migration to evaluate population projections over a concatenated
+    tuple pair without planning a join). *)

@@ -1,0 +1,34 @@
+type write =
+  | W_insert of string * int * Value.t array
+  | W_delete of string * int
+  | W_update of string * int * Value.t array
+
+type migration_mark = {
+  mig_id : int;
+  mig_table : string;
+  granule : granule_key;
+}
+
+and granule_key = G_tid of int | G_group of Value.t array
+
+type record = { txn_id : int; writes : write list; marks : migration_mark list }
+
+type t = { entries : record Vec.t; latch : Mutex.t }
+
+let create () = { entries = Vec.create (); latch = Mutex.create () }
+
+let append t r =
+  Mutex.lock t.latch;
+  Vec.push t.entries r;
+  Mutex.unlock t.latch
+
+let length t = Vec.length t.entries
+
+let iter t f = Vec.iter f t.entries
+
+let records t = Vec.to_list t.entries
+
+let clear t =
+  Mutex.lock t.latch;
+  Vec.clear t.entries;
+  Mutex.unlock t.latch

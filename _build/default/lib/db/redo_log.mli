@@ -1,0 +1,36 @@
+(** Redo log of committed transactions.
+
+    In-memory stand-in for PostgreSQL's WAL.  Each committed transaction
+    appends one record listing its writes; writes performed on behalf of a
+    migration carry the migration id and granule key, which is what
+    {!Bullfrog_core.Recovery} scans to rebuild tracker state after a
+    simulated crash (paper §3.5, footnote 5). *)
+
+type write =
+  | W_insert of string * int * Value.t array  (** table, tid, row *)
+  | W_delete of string * int
+  | W_update of string * int * Value.t array
+
+type migration_mark = {
+  mig_id : int;
+  mig_table : string;  (** input table the granule belongs to *)
+  granule : granule_key;
+}
+
+and granule_key = G_tid of int | G_group of Value.t array
+
+type record = { txn_id : int; writes : write list; marks : migration_mark list }
+
+type t
+
+val create : unit -> t
+
+val append : t -> record -> unit
+
+val length : t -> int
+
+val iter : t -> (record -> unit) -> unit
+
+val records : t -> record list
+
+val clear : t -> unit

@@ -1,0 +1,86 @@
+type counters = {
+  mutable rows_read : int;
+  mutable rows_written : int;
+  mutable index_probes : int;
+  mutable rows_scanned : int;
+  mutable rows_migrated : int;
+  mutable constraint_checks : int;
+}
+
+type status = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  mutable status : status;
+  undo : undo_entry Vec.t;
+  counters : counters;
+  mutable on_commit : (unit -> unit) list;
+  mutable on_abort : (unit -> unit) list;
+}
+
+and undo_entry =
+  | U_insert of Heap.t * int
+  | U_delete of Heap.t * int * Heap.row
+  | U_update of Heap.t * int * Heap.row
+
+let zero_counters () =
+  {
+    rows_read = 0;
+    rows_written = 0;
+    index_probes = 0;
+    rows_scanned = 0;
+    rows_migrated = 0;
+    constraint_checks = 0;
+  }
+
+let add_counters dst src =
+  dst.rows_read <- dst.rows_read + src.rows_read;
+  dst.rows_written <- dst.rows_written + src.rows_written;
+  dst.index_probes <- dst.index_probes + src.index_probes;
+  dst.rows_scanned <- dst.rows_scanned + src.rows_scanned;
+  dst.rows_migrated <- dst.rows_migrated + src.rows_migrated;
+  dst.constraint_checks <- dst.constraint_checks + src.constraint_checks
+
+let make id =
+  {
+    id;
+    status = Active;
+    undo = Vec.create ();
+    counters = zero_counters ();
+    on_commit = [];
+    on_abort = [];
+  }
+
+let require_active t op =
+  if t.status <> Active then
+    invalid_arg (Printf.sprintf "Txn.%s: transaction %d is not active" op t.id)
+
+let record_insert t heap tid = Vec.push t.undo (U_insert (heap, tid))
+
+let record_delete t heap tid row = Vec.push t.undo (U_delete (heap, tid, row))
+
+let record_update t heap tid old_row = Vec.push t.undo (U_update (heap, tid, old_row))
+
+let on_commit t f = t.on_commit <- f :: t.on_commit
+
+let on_abort t f = t.on_abort <- f :: t.on_abort
+
+let commit t =
+  require_active t "commit";
+  t.status <- Committed;
+  List.iter (fun f -> f ()) (List.rev t.on_commit)
+
+let abort t =
+  require_active t "abort";
+  (* Unwind newest-first so repeated updates restore the oldest image. *)
+  let n = Vec.length t.undo in
+  for i = n - 1 downto 0 do
+    match Vec.get t.undo i with
+    | U_insert (heap, tid) -> Heap.uninsert heap tid
+    | U_delete (heap, tid, row) -> Heap.restore heap tid row
+    | U_update (heap, tid, old_row) -> ignore (Heap.update heap tid old_row : Heap.row)
+  done;
+  t.status <- Aborted;
+  List.iter (fun f -> f ()) (List.rev t.on_abort)
+
+let active t = t.status = Active

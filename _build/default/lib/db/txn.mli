@@ -1,0 +1,61 @@
+(** Transactions: undo logging, commit/abort hooks, operation counters.
+
+    BullFrog divides migration work into transactions separate from the
+    client request (paper §3.2) and needs precise abort behaviour: on
+    abort, data changes roll back {e and} the tracker entries of the
+    worker's WIP list are reset (§3.5).  The [on_commit]/[on_abort] hooks
+    carry that tracker bookkeeping.
+
+    The counters feed the benchmark harness's cost model (each committed
+    transaction reports how many rows it read / wrote / migrated). *)
+
+type counters = {
+  mutable rows_read : int;
+  mutable rows_written : int;
+  mutable index_probes : int;
+  mutable rows_scanned : int;
+  mutable rows_migrated : int;
+  mutable constraint_checks : int;
+}
+
+type status = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  mutable status : status;
+  undo : undo_entry Vec.t;
+  counters : counters;
+  mutable on_commit : (unit -> unit) list;
+  mutable on_abort : (unit -> unit) list;
+}
+
+and undo_entry =
+  | U_insert of Heap.t * int
+  | U_delete of Heap.t * int * Heap.row
+  | U_update of Heap.t * int * Heap.row
+
+val make : int -> t
+
+val zero_counters : unit -> counters
+
+val add_counters : counters -> counters -> unit
+(** [add_counters dst src] accumulates [src] into [dst]. *)
+
+val record_insert : t -> Heap.t -> int -> unit
+
+val record_delete : t -> Heap.t -> int -> Heap.row -> unit
+
+val record_update : t -> Heap.t -> int -> Heap.row -> unit
+
+val on_commit : t -> (unit -> unit) -> unit
+
+val on_abort : t -> (unit -> unit) -> unit
+
+val commit : t -> unit
+(** Flips status, runs commit hooks in registration order.
+    @raise Invalid_argument if not active. *)
+
+val abort : t -> unit
+(** Rolls back the undo log in reverse order, runs abort hooks. *)
+
+val active : t -> bool

@@ -1,0 +1,1 @@
+lib/harness/cost_model.ml: Bullfrog_core Bullfrog_db Migrate_exec Txn

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Bullfrog_tpcc Cost_model List Metrics Option Printf Sim Sys Systems Tpcc_migrations Tpcc_schema Tpcc_txns

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Bullfrog_tpcc Cost_model Rng Sim Systems

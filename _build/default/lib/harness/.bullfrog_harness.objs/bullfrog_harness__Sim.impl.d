@@ -1,0 +1,1 @@
+lib/harness/sim.ml: Bullfrog_core Bullfrog_db Bullfrog_tpcc Hashtbl List Metrics Migrate_exec Pqueue Queue Rng Tpcc_txns

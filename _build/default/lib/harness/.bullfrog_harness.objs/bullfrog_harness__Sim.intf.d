@@ -1,0 +1,1 @@
+lib/harness/sim.mli: Bullfrog_core Bullfrog_tpcc Metrics Rng

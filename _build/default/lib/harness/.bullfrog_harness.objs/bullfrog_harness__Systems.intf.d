@@ -1,0 +1,1 @@
+lib/harness/systems.mli: Bullfrog_core Bullfrog_db Bullfrog_tpcc Cost_model Sim

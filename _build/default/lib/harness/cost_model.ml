@@ -1,0 +1,84 @@
+open Bullfrog_db
+open Bullfrog_core
+
+type t = {
+  txn_overhead : float;
+  row_read : float;
+  row_write : float;
+  row_scan : float;
+  index_probe : float;
+  row_migrate : float;
+  input_row : float;
+  constraint_check : float;
+  mig_txn_overhead : float;
+  trigger_row : float;
+      (* per-row overhead of the multistep tools' trigger/log-shipping
+         propagation (paper SS5: "triggers are known to increase lock
+         contention"); absolute, like the other migration coefficients *)
+  tracker_op : float;
+      (* one tracker consultation (Algorithm 2/3 check or status flip);
+         anchored to the microbenchmarked cost of the structures *)
+}
+
+let default =
+  {
+    txn_overhead = 1.0e-3;
+    row_read = 1.0e-4;
+    row_write = 2.0e-4;
+    row_scan = 1.0e-5;
+    index_probe = 5.0e-5;
+    (* Migration coefficients are anchored to the paper's observed
+       single-backend rates (80 s for a 1.5 M-row split = ~53 us per
+       customer = 2 output rows + 1 input row; 15 M-row aggregation scan
+       in ~50 s = ~3 us/row; 8 M-row join copy in ~200 s = 25 us/row) and
+       are NOT rescaled by calibration. *)
+    row_migrate = 2.5e-5;
+    input_row = 3.0e-6;
+    constraint_check = 5.0e-5;
+    mig_txn_overhead = 2.5e-4;
+    trigger_row = 2.0e-5;
+    tracker_op = 2.0e-6;
+  }
+
+let scale m k =
+  {
+    txn_overhead = m.txn_overhead *. k;
+    row_read = m.row_read *. k;
+    row_write = m.row_write *. k;
+    row_scan = m.row_scan *. k;
+    index_probe = m.index_probe *. k;
+    row_migrate = m.row_migrate *. k;
+    input_row = m.input_row *. k;
+    constraint_check = m.constraint_check *. k;
+    trigger_row = m.trigger_row;
+    tracker_op = m.tracker_op;
+    mig_txn_overhead = m.mig_txn_overhead *. k;
+  }
+
+let txn_cost m (c : Txn.counters) =
+  m.txn_overhead
+  +. (float_of_int c.Txn.rows_read *. m.row_read)
+  +. (float_of_int c.Txn.rows_written *. m.row_write)
+  +. (float_of_int c.Txn.rows_scanned *. m.row_scan)
+  +. (float_of_int c.Txn.index_probes *. m.index_probe)
+  +. (float_of_int c.Txn.constraint_checks *. m.constraint_check)
+
+let migration_cost m (r : Migrate_exec.report) =
+  (float_of_int r.Migrate_exec.r_txns *. m.mig_txn_overhead)
+  +. (float_of_int r.Migrate_exec.r_rows_migrated *. m.row_migrate)
+  +. (float_of_int r.Migrate_exec.r_input_rows *. m.input_row)
+  +. (float_of_int (r.Migrate_exec.r_granules_already + r.Migrate_exec.r_granules_migrated)
+     *. m.tracker_op)
+
+let calibrate m ~workers ~target_tps ~mean_txn_cost =
+  (* capacity = workers / mean_cost; want capacity = target.  Client-side
+     coefficients scale; migration coefficients stay absolute (they are
+     anchored to the paper's measured migration rates). *)
+  let current_capacity = float_of_int workers /. mean_txn_cost in
+  let k = current_capacity /. target_tps in
+  {
+    (scale m k) with
+    row_migrate = m.row_migrate;
+    input_row = m.input_row;
+    mig_txn_overhead = m.mig_txn_overhead;
+  }

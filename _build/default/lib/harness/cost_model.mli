@@ -1,0 +1,42 @@
+(** Virtual-time cost model.
+
+    The container has one CPU core, so the paper's 8-worker wall-clock
+    runs are reproduced in a discrete-event simulation: every transaction
+    executes for real against the engine, and its {e virtual} duration is
+    a linear function of the operation counts it reports.  The
+    coefficients are calibrated (see {!calibrate}) so that the
+    no-migration TPC-C mix saturates near the paper's 700 TPS with 8
+    workers; all figures then share one model, so relative shapes are
+    meaningful. *)
+
+type t = {
+  txn_overhead : float;  (** seconds per client transaction *)
+  row_read : float;
+  row_write : float;
+  row_scan : float;  (** per row examined without qualifying *)
+  index_probe : float;
+  row_migrate : float;  (** per output row written by migration *)
+  input_row : float;  (** per old-schema row read on behalf of migration *)
+  constraint_check : float;
+  mig_txn_overhead : float;  (** per migration transaction *)
+  trigger_row : float;
+      (** per-row trigger/log-shipping overhead of multistep tools (§5) *)
+  tracker_op : float;
+      (** one tracker consultation or status flip (Fig. 9's subject) *)
+}
+
+val default : t
+
+val scale : t -> float -> t
+(** Multiply every coefficient (calibration). *)
+
+val txn_cost : t -> Bullfrog_db.Txn.counters -> float
+(** Client-transaction service time from its counters. *)
+
+val migration_cost : t -> Bullfrog_core.Migrate_exec.report -> float
+(** Additional service time of the migration work a request triggered. *)
+
+val calibrate :
+  t -> workers:int -> target_tps:float -> mean_txn_cost:float -> t
+(** Scale the model so that [workers] workers serving transactions of the
+    measured [mean_txn_cost] saturate at [target_tps]. *)

@@ -1,0 +1,133 @@
+open Bullfrog_tpcc
+
+type setup = {
+  scale : Tpcc_schema.scale;
+  workers : int;
+  duration : float;
+  mig_time : float;
+  low_rate : float;
+  high_rate : float;
+  cost : Cost_model.t;
+  seed : int;
+}
+
+let fast_mode () = Sys.getenv_opt "BF_FAST" = Some "1"
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> default)
+  | None -> default
+
+let make_setup ?scale ?(workers = 8) ?duration ?(mig_time = 10.0) ?(target_tps = 700.0)
+    ?(seed = 42) () =
+  let scale =
+    match scale with
+    | Some s -> Tpcc_schema.of_env s
+    | None -> Tpcc_schema.of_env Tpcc_schema.small
+  in
+  let duration =
+    match duration with
+    | Some d -> env_float "BF_DURATION" d
+    | None -> env_float "BF_DURATION" (if fast_mode () then 30.0 else 60.0)
+  in
+  (* Calibrate against a throwaway copy of the database. *)
+  let ctx =
+    Systems.make_ctx ~seed ~scale ~cost:Cost_model.default ~workers
+      Tpcc_migrations.Split
+  in
+  let mean = Systems.measure_mean_txn_cost ctx ~samples:400 ~seed:(seed + 1) in
+  let cost = Cost_model.calibrate Cost_model.default ~workers ~target_tps ~mean_txn_cost:mean in
+  {
+    scale;
+    workers;
+    duration;
+    mig_time;
+    low_rate = target_tps *. 450.0 /. 700.0;
+    high_rate = target_tps;
+    cost;
+    seed;
+  }
+
+let run_system setup ~rate ?hot_customers ?(fk = Tpcc_migrations.Fk_none)
+    ?(customer_only = false) ?gen ~scenario build =
+  let ctx =
+    Systems.make_ctx ~fk ~seed:setup.seed ~scale:setup.scale ~cost:setup.cost
+      ~workers:setup.workers scenario
+  in
+  let sys = build ctx in
+  let gen_cfg = { Tpcc_txns.scale = setup.scale; hot_customers } in
+  let gen =
+    match gen with
+    | Some g -> g
+    | None ->
+        fun rng ->
+          if customer_only then begin
+            (* Fig. 12(b): drop the transactions that do not access the
+               customer table. *)
+            let rec pick () =
+              let input = Tpcc_txns.generate rng gen_cfg in
+              if Tpcc_txns.touches_customer input then input else pick ()
+            in
+            pick ()
+          end
+          else Tpcc_txns.generate rng gen_cfg
+  in
+  let cfg =
+    {
+      Sim.workers = setup.workers;
+      rate;
+      duration = setup.duration;
+      mig_time = Some setup.mig_time;
+      seed = setup.seed + 17;
+      gen;
+      cdf_from_migration = true;
+      arrivals = Sim.Uniform;
+    }
+  in
+  (sys, Sim.run cfg sys)
+
+let print_series title results =
+  Printf.printf "\n=== %s ===\n" title;
+  (* machine-readable rows: one per 5 virtual seconds *)
+  let step = 5 in
+  Printf.printf "%-10s" "t(s)";
+  List.iter (fun (name, _) -> Printf.printf " %22s" name) results;
+  print_newline ();
+  let max_len =
+    List.fold_left
+      (fun acc (_, r) -> max acc (Array.length (Metrics.throughput_series r.Sim.metrics) - 2))
+      0 results
+  in
+  let t = ref 0 in
+  while !t < max_len do
+    Printf.printf "%-10d" !t;
+    List.iter
+      (fun (_, r) ->
+        let series = Metrics.throughput_series r.Sim.metrics in
+        let hi = min (!t + step) (Array.length series) in
+        let sum = ref 0 and n = ref 0 in
+        for i = !t to hi - 1 do
+          sum := !sum + snd series.(i);
+          incr n
+        done;
+        Printf.printf " %18d tps" (if !n = 0 then 0 else !sum / !n))
+      results;
+    print_newline ();
+    t := !t + step
+  done;
+  print_string
+    (Metrics.render_series (List.map (fun (n, r) -> (n, r.Sim.metrics)) results));
+  List.iter
+    (fun (name, r) ->
+      Printf.printf "%-28s completed=%d peak-queue=%d%s\n" name r.Sim.completed
+        r.Sim.peak_queue
+        (match r.Sim.mig_end with
+        | Some t -> Printf.sprintf " migration-end=%.1fs" t
+        | None -> " migration did not finish in the window"))
+    results
+
+let print_cdf ?kind title results =
+  Printf.printf "\n=== %s (%s latency CDF from migration start) ===\n" title
+    (Option.value kind ~default:"NewOrder");
+  print_string
+    (Metrics.render_cdf ?kind (List.map (fun (n, r) -> (n, r.Sim.metrics)) results))

@@ -1,0 +1,55 @@
+(** Experiment plumbing shared by the per-figure benchmarks.
+
+    A [setup] pins the scale, worker count, calibrated cost model and the
+    time axis.  The time axis is compressed relative to the paper in the
+    same proportion as the data is scaled down (DESIGN.md §1): who wins
+    and where curves cross is preserved. *)
+
+type setup = {
+  scale : Bullfrog_tpcc.Tpcc_schema.scale;
+  workers : int;
+  duration : float;  (** virtual seconds *)
+  mig_time : float;  (** virtual time of the migration submission *)
+  low_rate : float;  (** the paper's 450 TPS operating point *)
+  high_rate : float;  (** the paper's 700 TPS (saturation) operating point *)
+  cost : Cost_model.t;  (** calibrated *)
+  seed : int;
+}
+
+val make_setup :
+  ?scale:Bullfrog_tpcc.Tpcc_schema.scale ->
+  ?workers:int ->
+  ?duration:float ->
+  ?mig_time:float ->
+  ?target_tps:float ->
+  ?seed:int ->
+  unit ->
+  setup
+(** Loads a throwaway database to measure the base mix's mean cost and
+    calibrates the model so capacity ≈ [target_tps] (default 700, as in
+    the paper); [low_rate] is set to [450/700 × target].  Defaults:
+    [Tpcc_schema.small] overridden by [BF_*] env vars, 8 workers, 60 s
+    window with the migration at t = 10 s.  [BF_DURATION] overrides the
+    window. *)
+
+val run_system :
+  setup ->
+  rate:float ->
+  ?hot_customers:int ->
+  ?fk:Bullfrog_tpcc.Tpcc_migrations.fk_variant ->
+  ?customer_only:bool ->
+  ?gen:(Rng.t -> Bullfrog_tpcc.Tpcc_txns.input) ->
+  scenario:Bullfrog_tpcc.Tpcc_migrations.scenario ->
+  (Systems.ctx -> Sim.system) ->
+  Sim.system * Sim.result
+(** Fresh database per run; [customer_only] restricts the mix to
+    customer-touching transactions (Fig. 12(b)); [gen] overrides the
+    input generator entirely (Fig. 9). *)
+
+val print_series : string -> (string * Sim.result) list -> unit
+(** Figure header + per-5s throughput table + ASCII plot + markers. *)
+
+val print_cdf : ?kind:string -> string -> (string * Sim.result) list -> unit
+
+val fast_mode : unit -> bool
+(** [BF_FAST=1]: benchmarks shrink their windows. *)

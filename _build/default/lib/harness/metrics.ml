@@ -1,0 +1,140 @@
+type marker = {
+  mk_time : float;
+  mk_label : string;
+}
+
+type t = {
+  duration : float;
+  buckets : int array;  (* completions per second *)
+  mutable latency_from : float;
+  latencies : (string, Histogram.t) Hashtbl.t;
+  all_latencies : Histogram.t;
+  mutable marks : marker list;
+  mutable total : int;
+}
+
+let create ~duration =
+  {
+    duration;
+    buckets = Array.make (int_of_float (ceil duration) + 2) 0;
+    latency_from = 0.0;
+    latencies = Hashtbl.create 8;
+    all_latencies = Histogram.create ();
+    marks = [];
+    total = 0;
+  }
+
+let set_latency_window t from = t.latency_from <- from
+
+let record t ~arrive ~finish ~kind =
+  t.total <- t.total + 1;
+  let b = int_of_float finish in
+  if b >= 0 && b < Array.length t.buckets then t.buckets.(b) <- t.buckets.(b) + 1;
+  if arrive >= t.latency_from then begin
+    let lat = finish -. arrive in
+    Histogram.add t.all_latencies lat;
+    let h =
+      match Hashtbl.find_opt t.latencies kind with
+      | Some h -> h
+      | None ->
+          let h = Histogram.create () in
+          Hashtbl.replace t.latencies kind h;
+          h
+    in
+    Histogram.add h lat
+  end
+
+let mark t time label = t.marks <- t.marks @ [ { mk_time = time; mk_label = label } ]
+
+let throughput_series t = Array.mapi (fun i n -> (i, n)) t.buckets
+
+let hist_for t kind =
+  match kind with
+  | None -> (
+      match Hashtbl.find_opt t.latencies "NewOrder" with
+      | Some h when Histogram.count h > 0 -> h
+      | _ -> t.all_latencies)
+  | Some k -> (
+      match Hashtbl.find_opt t.latencies k with
+      | Some h -> h
+      | None -> t.all_latencies)
+
+let latency_cdf t ?kind n = Histogram.cdf_points (hist_for t kind) n
+
+let latency_percentiles t ?kind ps =
+  let h = hist_for t kind in
+  List.map (fun p -> (p, Histogram.percentile h p)) ps
+
+let completed t = t.total
+
+let markers t = t.marks
+
+let mean_latency t ?kind () = Histogram.mean (hist_for t kind)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render_series ?(width = 72) systems =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, t) ->
+      let n = Array.length t.buckets in
+      let step = max 1 (n / width) in
+      let max_v = Array.fold_left max 1 t.buckets in
+      Buffer.add_string buf (Printf.sprintf "%-28s (peak %d txns/s)\n" name max_v);
+      (* 4-row vertical resolution using eighths-style characters *)
+      let levels = [| ' '; '.'; ':'; '|'; '#' |] in
+      Buffer.add_string buf "  ";
+      let cols = (n + step - 1) / step in
+      for c = 0 to cols - 1 do
+        let lo = c * step and hi = min ((c + 1) * step) n in
+        let avg = ref 0 in
+        for i = lo to hi - 1 do
+          avg := !avg + t.buckets.(i)
+        done;
+        let avg = !avg / max 1 (hi - lo) in
+        let lvl = avg * (Array.length levels - 1) / max_v in
+        Buffer.add_char buf levels.(min lvl (Array.length levels - 1))
+      done;
+      Buffer.add_char buf '\n';
+      (* marker ruler *)
+      Buffer.add_string buf "  ";
+      let ruler = Bytes.make cols ' ' in
+      List.iteri
+        (fun i m ->
+          let c = int_of_float m.mk_time / step in
+          if c >= 0 && c < cols then
+            Bytes.set ruler c (Char.chr (Char.code '1' + (i mod 9))))
+        t.marks;
+      Buffer.add_string buf (Bytes.to_string ruler);
+      Buffer.add_char buf '\n';
+      List.iteri
+        (fun i m ->
+          Buffer.add_string buf
+            (Printf.sprintf "    [%d] t=%.1fs %s\n" (i + 1) m.mk_time m.mk_label))
+        t.marks)
+    systems;
+  Buffer.contents buf
+
+let render_cdf ?kind ?(points = 9) systems =
+  let ps =
+    match points with
+    | 5 -> [ 50.0; 90.0; 95.0; 99.0; 99.9 ]
+    | _ -> [ 10.0; 25.0; 50.0; 75.0; 90.0; 95.0; 99.0; 99.9; 100.0 ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "%-8s" "pct");
+  List.iter (fun (name, _) -> Buffer.add_string buf (Printf.sprintf " %16s" name)) systems;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (Printf.sprintf "p%-7.4g" p);
+      List.iter
+        (fun (_, t) ->
+          let v = Histogram.percentile (hist_for t kind) p in
+          Buffer.add_string buf (Printf.sprintf " %14.4gs " v))
+        systems;
+      Buffer.add_char buf '\n')
+    ps;
+  Buffer.contents buf

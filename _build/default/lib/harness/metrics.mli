@@ -1,0 +1,49 @@
+(** Measurement collection and rendering.
+
+    Mirrors OLTP-Bench's reporting: per-second throughput series with
+    event markers (migration start / end, background start) and latency
+    CDFs over the window starting at the migration point (paper §4,
+    Figs. 3–12). *)
+
+type marker = {
+  mk_time : float;
+  mk_label : string;
+}
+
+type t
+
+val create : duration:float -> t
+
+val record :
+  t -> arrive:float -> finish:float -> kind:string -> unit
+
+val mark : t -> float -> string -> unit
+
+val set_latency_window : t -> float -> unit
+(** Latencies are collected (per kind) for transactions {e arriving} at or
+    after this virtual time — the paper plots CDFs from the migration
+    start onward. *)
+
+val throughput_series : t -> (int * int) array
+(** (second, completed transactions) — completions bucketed by finish
+    time. *)
+
+val latency_cdf : t -> ?kind:string -> int -> (float * float) list
+(** [latency_cdf t ~kind n]: [n] (latency, cumulative fraction) points for
+    transactions of [kind] (default: NewOrder, as in the paper). *)
+
+val latency_percentiles : t -> ?kind:string -> float list -> (float * float) list
+(** (percentile, latency seconds). *)
+
+val completed : t -> int
+
+val markers : t -> marker list
+
+val mean_latency : t -> ?kind:string -> unit -> float
+
+val render_series : ?width:int -> (string * t) list -> string
+(** ASCII plot of several systems' throughput series on a shared time
+    axis, with markers listed underneath. *)
+
+val render_cdf : ?kind:string -> ?points:int -> (string * t) list -> string
+(** Percentile table (one column per system). *)

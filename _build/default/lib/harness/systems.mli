@@ -1,0 +1,54 @@
+(** System-under-test adapters for the simulator: the four systems the
+    paper compares (§4) plus the baseline that never migrates.
+
+    Each adapter owns a freshly-loaded TPC-C database and switches the
+    application from the old-schema transaction implementations to the
+    scenario's post-migration implementations at the logical flip — the
+    "big flip" deployment the paper targets. *)
+
+type ctx = {
+  db : Bullfrog_db.Database.t;
+  scale : Bullfrog_tpcc.Tpcc_schema.scale;
+  scenario : Bullfrog_tpcc.Tpcc_migrations.scenario;
+  fk : Bullfrog_tpcc.Tpcc_migrations.fk_variant;
+  cost : Cost_model.t;
+  workers : int;
+}
+
+val make_ctx :
+  ?fk:Bullfrog_tpcc.Tpcc_migrations.fk_variant ->
+  ?seed:int ->
+  scale:Bullfrog_tpcc.Tpcc_schema.scale ->
+  cost:Cost_model.t ->
+  workers:int ->
+  Bullfrog_tpcc.Tpcc_migrations.scenario ->
+  ctx
+(** Creates and loads a fresh database. *)
+
+val baseline : ctx -> Sim.system
+(** TPC-C without any migration ("TPC-C w/o migration" in Figs. 4/6/8). *)
+
+val bullfrog :
+  ?mode:Bullfrog_core.Migrate_exec.mode ->
+  ?page_size:int ->
+  ?nn:Bullfrog_core.Migrate_exec.nn_granularity ->
+  ?background:bool ->
+  ?bg_delay:float ->
+  ?bg_workers:int ->
+  ?bg_batch:int ->
+  ?tracking:bool ->
+  ctx ->
+  Sim.system
+(** Lazy migration.  [mode] picks bitmap/hashmap tracking vs ON CONFLICT
+    (§3.7); [background:false] gives the dotted lines of Fig. 3;
+    [tracking:false] disables the tracker entirely for the Fig. 9
+    maintenance-cost experiment (only sound when the workload accesses
+    each granule at most once). *)
+
+val eager : ctx -> Sim.system
+
+val multistep : ?bg_workers:int -> ?bg_batch:int -> ctx -> Sim.system
+
+val measure_mean_txn_cost :
+  ctx -> samples:int -> seed:int -> float
+(** Mean virtual cost of the base mix, for {!Cost_model.calibrate}. *)

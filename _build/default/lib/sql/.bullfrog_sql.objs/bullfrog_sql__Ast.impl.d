@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Array List Option Printf

@@ -1,0 +1,233 @@
+(** Abstract syntax of the SQL dialect.
+
+    The dialect covers what the BullFrog paper exercises: DDL (CREATE
+    TABLE / CREATE TABLE AS / CREATE VIEW / CREATE INDEX / ALTER / DROP),
+    DML (INSERT with ON CONFLICT DO NOTHING, UPDATE, DELETE), and SELECT
+    with joins expressed in FROM/WHERE, GROUP BY with aggregates, ORDER BY
+    and LIMIT, plus the expression forms that appear in TPC-C and the
+    paper's running flights example (including [EXTRACT(field FROM e)]). *)
+
+type sql_type =
+  | T_int
+  | T_float
+  | T_bool
+  | T_text
+  | T_char of int
+  | T_varchar of int
+  | T_decimal of int * int  (** precision, scale — stored as float *)
+  | T_date
+  | T_timestamp
+
+type binop =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Concat
+
+type unop = Not | Neg
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type expr =
+  | Null_lit
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Bool_lit of bool
+  | Param of int  (** positional parameter [$1], 1-based *)
+  | Col of string option * string  (** optional table qualifier, column name *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Fn of string * expr list  (** scalar function call, lower-cased name *)
+  | Agg of agg_fn * bool * expr option
+      (** aggregate, DISTINCT flag, argument; [None] means count-star *)
+  | Case of (expr * expr) list * expr option
+  | In_list of expr * expr list
+  | Between of expr * expr * expr
+  | Is_null of expr * bool  (** [true] = IS NULL, [false] = IS NOT NULL *)
+  | Exists of select
+  | Scalar_subquery of select
+
+and select = {
+  distinct : bool;
+  projections : projection list;
+  from : from_item list;  (** comma list = cross product; joins live in WHERE *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+  for_update : bool;
+}
+
+and projection =
+  | Proj_star
+  | Proj_table_star of string  (** [t.*] *)
+  | Proj_expr of expr * string option  (** expr AS alias *)
+
+and from_item =
+  | From_table of string * string option  (** table name, alias *)
+  | From_subquery of select * string
+
+and order_dir = Asc | Desc
+
+type column_def = {
+  col_name : string;
+  col_type : sql_type;
+  col_not_null : bool;
+  col_primary_key : bool;
+  col_unique : bool;
+  col_default : expr option;
+  col_check : expr option;
+}
+
+type table_constraint =
+  | C_primary_key of string list
+  | C_unique of string list
+  | C_foreign_key of string list * string * string list
+      (** local columns, referenced table, referenced columns *)
+  | C_check of expr
+
+type alter_action =
+  | Add_column of column_def
+  | Drop_column of string
+  | Rename_to of string
+  | Rename_column of string * string
+  | Add_constraint of string option * table_constraint
+  | Drop_constraint of string
+
+type insert_source = Values of expr list list | Query of select
+
+type stmt =
+  | Create_table of {
+      name : string;
+      columns : column_def list;
+      constraints : table_constraint list;
+      if_not_exists : bool;
+    }
+  | Create_table_as of { name : string; query : select }
+  | Create_view of { name : string; query : select }
+  | Create_index of {
+      name : string;
+      table : string;
+      columns : string list;
+      unique : bool;
+      using : string option;  (** [USING hash|ordered]; default hash *)
+    }
+  | Drop of { kind : drop_kind; name : string; if_exists : bool }
+  | Alter_table of { table : string; action : alter_action }
+  | Select_stmt of select
+  | Insert of {
+      table : string;
+      columns : string list option;
+      source : insert_source;
+      on_conflict_do_nothing : bool;
+    }
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Begin_txn
+  | Commit_txn
+  | Rollback_txn
+  | Explain of stmt
+
+and drop_kind = Drop_table | Drop_view | Drop_index
+
+(** A few structural helpers used across the planner and BullFrog's
+    predicate extraction. *)
+
+let rec conjuncts = function
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> None
+  | e :: rest -> Some (List.fold_left (fun acc x -> Binop (And, acc, x)) e rest)
+
+(** Column references appearing in an expression, as (qualifier, name). *)
+let rec columns_of_expr e =
+  match e with
+  | Null_lit | Int_lit _ | Float_lit _ | Str_lit _ | Bool_lit _ | Param _ -> []
+  | Col (q, n) -> [ (q, n) ]
+  | Binop (_, a, b) -> columns_of_expr a @ columns_of_expr b
+  | Unop (_, a) -> columns_of_expr a
+  | Fn (_, args) -> List.concat_map columns_of_expr args
+  | Agg (_, _, arg) -> ( match arg with None -> [] | Some a -> columns_of_expr a)
+  | Case (branches, els) ->
+      List.concat_map (fun (c, v) -> columns_of_expr c @ columns_of_expr v) branches
+      @ (match els with None -> [] | Some e -> columns_of_expr e)
+  | In_list (a, es) -> columns_of_expr a @ List.concat_map columns_of_expr es
+  | Between (a, b, c) -> columns_of_expr a @ columns_of_expr b @ columns_of_expr c
+  | Is_null (a, _) -> columns_of_expr a
+  | Exists _ | Scalar_subquery _ -> []
+
+let rec contains_agg e =
+  match e with
+  | Agg _ -> true
+  | Null_lit | Int_lit _ | Float_lit _ | Str_lit _ | Bool_lit _ | Param _ | Col _ -> false
+  | Binop (_, a, b) -> contains_agg a || contains_agg b
+  | Unop (_, a) -> contains_agg a
+  | Fn (_, args) -> List.exists contains_agg args
+  | Case (branches, els) ->
+      List.exists (fun (c, v) -> contains_agg c || contains_agg v) branches
+      || (match els with None -> false | Some e -> contains_agg e)
+  | In_list (a, es) -> contains_agg a || List.exists contains_agg es
+  | Between (a, b, c) -> contains_agg a || contains_agg b || contains_agg c
+  | Is_null (a, _) -> contains_agg a
+  | Exists _ | Scalar_subquery _ -> false
+
+(** Substitute positional parameters with the given expressions (1-based). *)
+let rec bind_params params e =
+  let sub = bind_params params in
+  match e with
+  | Param i ->
+      if i < 1 || i > Array.length params then
+        invalid_arg (Printf.sprintf "bind_params: $%d out of range" i)
+      else params.(i - 1)
+  | Null_lit | Int_lit _ | Float_lit _ | Str_lit _ | Bool_lit _ | Col _ -> e
+  | Binop (op, a, b) -> Binop (op, sub a, sub b)
+  | Unop (op, a) -> Unop (op, sub a)
+  | Fn (f, args) -> Fn (f, List.map sub args)
+  | Agg (f, d, arg) -> Agg (f, d, Option.map sub arg)
+  | Case (branches, els) ->
+      Case (List.map (fun (c, v) -> (sub c, sub v)) branches, Option.map sub els)
+  | In_list (a, es) -> In_list (sub a, List.map sub es)
+  | Between (a, b, c) -> Between (sub a, sub b, sub c)
+  | Is_null (a, neg) -> Is_null (sub a, neg)
+  | Exists s -> Exists (bind_params_select params s)
+  | Scalar_subquery s -> Scalar_subquery (bind_params_select params s)
+
+and bind_params_select params s =
+  let sub = bind_params params in
+  {
+    s with
+    projections =
+      List.map
+        (function
+          | Proj_expr (e, a) -> Proj_expr (sub e, a)
+          | (Proj_star | Proj_table_star _) as p -> p)
+        s.projections;
+    from =
+      List.map
+        (function
+          | From_subquery (q, a) -> From_subquery (bind_params_select params q, a)
+          | From_table _ as f -> f)
+        s.from;
+    where = Option.map sub s.where;
+    group_by = List.map sub s.group_by;
+    having = Option.map sub s.having;
+    order_by = List.map (fun (e, d) -> (sub e, d)) s.order_by;
+  }
+
+let select ?(distinct = false) ?(where = None) ?(group_by = []) ?(having = None)
+    ?(order_by = []) ?(limit = None) ?(for_update = false) ~projections ~from () =
+  { distinct; projections; from; where; group_by; having; order_by; limit; for_update }

@@ -1,0 +1,227 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | PARAM of int
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | CONCAT
+  | EOF
+
+exception Lex_error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let cur () = peek 0 in
+  let advance () = incr pos in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let error msg = raise (Lex_error (msg, !pos)) in
+  let rec skip_ws () =
+    match cur () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some '-' when peek 1 = Some '-' ->
+        while cur () <> None && cur () <> Some '\n' do
+          advance ()
+        done;
+        skip_ws ()
+    | Some '/' when peek 1 = Some '*' ->
+        advance ();
+        advance ();
+        let rec close () =
+          match cur () with
+          | None -> error "unterminated block comment"
+          | Some '*' when peek 1 = Some '/' ->
+              advance ();
+              advance ()
+          | Some _ ->
+              advance ();
+              close ()
+        in
+        close ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let lex_number () =
+    let start = !pos in
+    while (match cur () with Some c -> is_digit c | None -> false) do
+      advance ()
+    done;
+    let is_float =
+      match (cur (), peek 1) with
+      | Some '.', Some c when is_digit c ->
+          advance ();
+          while (match cur () with Some c -> is_digit c | None -> false) do
+            advance ()
+          done;
+          true
+      | _ -> false
+    in
+    let is_float =
+      match cur () with
+      | Some ('e' | 'E') -> (
+          match peek 1 with
+          | Some c when is_digit c || c = '+' || c = '-' ->
+              advance ();
+              advance ();
+              while (match cur () with Some c -> is_digit c | None -> false) do
+                advance ()
+              done;
+              true
+          | _ -> is_float)
+      | _ -> is_float
+    in
+    let text = String.sub src start (!pos - start) in
+    if is_float then emit (FLOAT (float_of_string text))
+    else
+      match int_of_string_opt text with
+      | Some i -> emit (INT i)
+      | None -> emit (FLOAT (float_of_string text))
+  in
+  let lex_string () =
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match cur () with
+      | None -> error "unterminated string literal"
+      | Some '\'' when peek 1 = Some '\'' ->
+          Buffer.add_char buf '\'';
+          advance ();
+          advance ();
+          loop ()
+      | Some '\'' -> advance ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    emit (STRING (Buffer.contents buf))
+  in
+  let lex_quoted_ident () =
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match cur () with
+      | None -> error "unterminated quoted identifier"
+      | Some '"' -> advance ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    emit (IDENT (Buffer.contents buf))
+  in
+  let lex_ident () =
+    let start = !pos in
+    while (match cur () with Some c -> is_ident_char c | None -> false) do
+      advance ()
+    done;
+    emit (IDENT (String.lowercase_ascii (String.sub src start (!pos - start))))
+  in
+  let rec loop () =
+    skip_ws ();
+    match cur () with
+    | None -> emit EOF
+    | Some c ->
+        (match c with
+        | '(' -> advance (); emit LPAREN
+        | ')' -> advance (); emit RPAREN
+        | ',' -> advance (); emit COMMA
+        | '.' -> advance (); emit DOT
+        | ';' -> advance (); emit SEMI
+        | '*' -> advance (); emit STAR
+        | '+' -> advance (); emit PLUS
+        | '-' -> advance (); emit MINUS
+        | '/' -> advance (); emit SLASH
+        | '%' -> advance (); emit PERCENT
+        | '=' -> advance (); emit EQ
+        | '<' -> (
+            advance ();
+            match cur () with
+            | Some '=' -> advance (); emit LE
+            | Some '>' -> advance (); emit NEQ
+            | _ -> emit LT)
+        | '>' -> (
+            advance ();
+            match cur () with
+            | Some '=' -> advance (); emit GE
+            | _ -> emit GT)
+        | '!' -> (
+            advance ();
+            match cur () with
+            | Some '=' -> advance (); emit NEQ
+            | _ -> error "expected '=' after '!'")
+        | '|' -> (
+            advance ();
+            match cur () with
+            | Some '|' -> advance (); emit CONCAT
+            | _ -> error "expected '|' after '|'")
+        | '$' ->
+            advance ();
+            let start = !pos in
+            while (match cur () with Some c -> is_digit c | None -> false) do
+              advance ()
+            done;
+            if !pos = start then error "expected digits after '$'";
+            emit (PARAM (int_of_string (String.sub src start (!pos - start))))
+        | '\'' -> lex_string ()
+        | '"' -> lex_quoted_ident ()
+        | c when is_digit c -> lex_number ()
+        | c when is_ident_start c -> lex_ident ()
+        | c -> error (Printf.sprintf "unexpected character %C" c));
+        if List.hd !tokens <> EOF then loop ()
+  in
+  loop ();
+  List.rev !tokens
+
+let token_to_string = function
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | IDENT s -> s
+  | PARAM i -> Printf.sprintf "$%d" i
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | SEMI -> ";"
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "="
+  | NEQ -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | CONCAT -> "||"
+  | EOF -> "<eof>"

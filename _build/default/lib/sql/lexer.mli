@@ -1,0 +1,35 @@
+(** Hand-written SQL lexer. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** contents of a ['...'] literal, quotes stripped *)
+  | IDENT of string  (** lower-cased identifier or keyword *)
+  | PARAM of int  (** [$n] *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | CONCAT  (** [||] *)
+  | EOF
+
+exception Lex_error of string * int  (** message, byte offset *)
+
+val tokenize : string -> token list
+(** Tokenises a whole input; comments ([-- ...] and [/* ... */]) are
+    skipped.  Identifiers and keywords come out lower-cased; quoted
+    ["identifiers"] preserve case.  @raise Lex_error on bad input. *)
+
+val token_to_string : token -> string

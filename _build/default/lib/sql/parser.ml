@@ -1,0 +1,804 @@
+open Lexer
+
+exception Parse_error of string
+
+type state = {
+  mutable toks : token list;
+}
+
+let fail msg = raise (Parse_error msg)
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> EOF
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then
+    fail
+      (Printf.sprintf "expected %s but found %s" (token_to_string tok)
+         (token_to_string t))
+
+let expect_ident st =
+  match next st with
+  | IDENT s -> s
+  | t -> fail (Printf.sprintf "expected identifier, found %s" (token_to_string t))
+
+(* Keywords are just lower-cased idents coming out of the lexer. *)
+let kw st s = peek st = IDENT s
+
+let eat_kw st s =
+  if kw st s then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st s =
+  if not (eat_kw st s) then
+    fail (Printf.sprintf "expected keyword %S, found %s" s (token_to_string (peek st)))
+
+let reserved =
+  [
+    "select"; "from"; "where"; "group"; "having"; "order"; "limit"; "and";
+    "or"; "not"; "insert"; "update"; "delete"; "set"; "values"; "into";
+    "create"; "drop"; "alter"; "table"; "view"; "index"; "on"; "as"; "by";
+    "asc"; "desc"; "distinct"; "union"; "join"; "inner"; "left"; "right";
+    "for"; "is"; "null"; "in"; "between"; "exists"; "case"; "when"; "then";
+    "else"; "end"; "primary"; "foreign"; "references"; "unique"; "check";
+    "constraint"; "default"; "conflict"; "begin"; "commit"; "rollback";
+    "explain"; "if"; "key";
+  ]
+
+let is_reserved s = List.mem s reserved
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let agg_of_name = function
+  | "count" -> Some Ast.Count
+  | "sum" -> Some Ast.Sum
+  | "avg" -> Some Ast.Avg
+  | "min" -> Some Ast.Min
+  | "max" -> Some Ast.Max
+  | _ -> None
+
+let rec parse_expr_prec st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if eat_kw st "or" then Ast.Binop (Ast.Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if eat_kw st "and" then Ast.Binop (Ast.And, lhs, parse_and st) else lhs
+
+and parse_not st =
+  if eat_kw st "not" then Ast.Unop (Ast.Not, parse_not st) else parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_additive st in
+  match peek st with
+  | EQ -> advance st; Ast.Binop (Ast.Eq, lhs, parse_additive st)
+  | NEQ -> advance st; Ast.Binop (Ast.Neq, lhs, parse_additive st)
+  | LT -> advance st; Ast.Binop (Ast.Lt, lhs, parse_additive st)
+  | LE -> advance st; Ast.Binop (Ast.Le, lhs, parse_additive st)
+  | GT -> advance st; Ast.Binop (Ast.Gt, lhs, parse_additive st)
+  | GE -> advance st; Ast.Binop (Ast.Ge, lhs, parse_additive st)
+  | IDENT "is" ->
+      advance st;
+      let negated = eat_kw st "not" in
+      expect_kw st "null";
+      Ast.Is_null (lhs, not negated)
+  | IDENT "between" ->
+      advance st;
+      let lo = parse_additive st in
+      expect_kw st "and";
+      let hi = parse_additive st in
+      Ast.Between (lhs, lo, hi)
+  | IDENT "in" ->
+      advance st;
+      expect st LPAREN;
+      let items = parse_comma_exprs st in
+      expect st RPAREN;
+      Ast.In_list (lhs, items)
+  | IDENT "not" when peek2 st = IDENT "in" ->
+      advance st;
+      advance st;
+      expect st LPAREN;
+      let items = parse_comma_exprs st in
+      expect st RPAREN;
+      Ast.Unop (Ast.Not, Ast.In_list (lhs, items))
+  | _ -> lhs
+
+and parse_additive st =
+  let rec loop lhs =
+    match peek st with
+    | PLUS -> advance st; loop (Ast.Binop (Ast.Add, lhs, parse_multiplicative st))
+    | MINUS -> advance st; loop (Ast.Binop (Ast.Sub, lhs, parse_multiplicative st))
+    | CONCAT -> advance st; loop (Ast.Binop (Ast.Concat, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    match peek st with
+    | STAR -> advance st; loop (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | SLASH -> advance st; loop (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | PERCENT -> advance st; loop (Ast.Binop (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | MINUS -> (
+      advance st;
+      (* fold negative numeric literals *)
+      match peek st with
+      | INT i ->
+          advance st;
+          Ast.Int_lit (-i)
+      | FLOAT f ->
+          advance st;
+          Ast.Float_lit (-.f)
+      | _ -> Ast.Unop (Ast.Neg, parse_unary st))
+  | PLUS -> advance st; parse_unary st
+  | _ -> parse_primary st
+
+and parse_comma_exprs st =
+  let e = parse_expr_prec st in
+  if peek st = COMMA then begin
+    advance st;
+    e :: parse_comma_exprs st
+  end
+  else [ e ]
+
+and parse_primary st =
+  match next st with
+  | INT i -> Ast.Int_lit i
+  | FLOAT f -> Ast.Float_lit f
+  | STRING s -> Ast.Str_lit s
+  | PARAM i -> Ast.Param i
+  | LPAREN ->
+      if eat_kw st "select" then begin
+        let q = parse_select_body st in
+        expect st RPAREN;
+        Ast.Scalar_subquery q
+      end
+      else begin
+        let e = parse_expr_prec st in
+        expect st RPAREN;
+        e
+      end
+  | IDENT "null" -> Ast.Null_lit
+  | IDENT "true" -> Ast.Bool_lit true
+  | IDENT "false" -> Ast.Bool_lit false
+  | IDENT "exists" ->
+      expect st LPAREN;
+      expect_kw st "select";
+      let q = parse_select_body st in
+      expect st RPAREN;
+      Ast.Exists q
+  | IDENT "case" -> parse_case st
+  | IDENT "extract" ->
+      (* EXTRACT(field FROM expr) becomes Fn("extract_<field>", [expr]). *)
+      expect st LPAREN;
+      let field = expect_ident st in
+      expect_kw st "from";
+      let e = parse_expr_prec st in
+      expect st RPAREN;
+      Ast.Fn ("extract_" ^ field, [ e ])
+  | IDENT "cast" ->
+      expect st LPAREN;
+      let e = parse_expr_prec st in
+      expect_kw st "as";
+      let _ty = parse_type st in
+      expect st RPAREN;
+      e
+  | IDENT name when peek st = LPAREN -> parse_call st name
+  | IDENT name when peek st = DOT ->
+      advance st;
+      (match next st with
+      | IDENT col -> Ast.Col (Some name, col)
+      | STAR -> fail "t.* is only allowed in a projection list"
+      | t -> fail (Printf.sprintf "expected column after '.', found %s" (token_to_string t)))
+  | IDENT name ->
+      if is_reserved name then
+        fail (Printf.sprintf "unexpected keyword %S in expression" name)
+      else Ast.Col (None, name)
+  | t -> fail (Printf.sprintf "unexpected token %s in expression" (token_to_string t))
+
+and parse_call st name =
+  expect st LPAREN;
+  match agg_of_name name with
+  | Some agg ->
+      if peek st = STAR then begin
+        advance st;
+        expect st RPAREN;
+        Ast.Agg (agg, false, None)
+      end
+      else begin
+        let distinct = eat_kw st "distinct" in
+        (* COUNT(DISTINCT (x)) — TPC-C writes the extra parens. *)
+        let e = parse_expr_prec st in
+        expect st RPAREN;
+        Ast.Agg (agg, distinct, Some e)
+      end
+  | None ->
+      let args = if peek st = RPAREN then [] else parse_comma_exprs st in
+      expect st RPAREN;
+      Ast.Fn (name, args)
+
+and parse_case st =
+  let rec branches acc =
+    if eat_kw st "when" then begin
+      let c = parse_expr_prec st in
+      expect_kw st "then";
+      let v = parse_expr_prec st in
+      branches ((c, v) :: acc)
+    end
+    else List.rev acc
+  in
+  let bs = branches [] in
+  if bs = [] then fail "CASE requires at least one WHEN branch";
+  let els = if eat_kw st "else" then Some (parse_expr_prec st) else None in
+  expect_kw st "end";
+  Ast.Case (bs, els)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+and parse_type st =
+  let name = expect_ident st in
+  let int_arg () =
+    expect st LPAREN;
+    let n = match next st with INT i -> i | t -> fail ("expected int, found " ^ token_to_string t) in
+    expect st RPAREN;
+    n
+  in
+  match name with
+  | "int" | "integer" | "bigint" | "smallint" -> Ast.T_int
+  | "float" | "real" | "double" ->
+      if kw st "precision" then advance st;
+      Ast.T_float
+  | "bool" | "boolean" -> Ast.T_bool
+  | "text" -> Ast.T_text
+  | "date" -> Ast.T_date
+  | "timestamp" ->
+      (* TIMESTAMP [WITHOUT TIME ZONE] *)
+      if eat_kw st "without" then begin
+        expect_kw st "time";
+        expect_kw st "zone"
+      end;
+      Ast.T_timestamp
+  | "char" | "character" -> Ast.T_char (if peek st = LPAREN then int_arg () else 1)
+  | "varchar" -> if peek st = LPAREN then Ast.T_varchar (int_arg ()) else Ast.T_text
+  | "decimal" | "numeric" ->
+      if peek st = LPAREN then begin
+        expect st LPAREN;
+        let p = match next st with INT i -> i | t -> fail ("expected int, found " ^ token_to_string t) in
+        let s =
+          if peek st = COMMA then begin
+            advance st;
+            match next st with INT i -> i | t -> fail ("expected int, found " ^ token_to_string t)
+          end
+          else 0
+        in
+        expect st RPAREN;
+        Ast.T_decimal (p, s)
+      end
+      else Ast.T_decimal (18, 4)
+  | other -> fail (Printf.sprintf "unknown type %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* SELECT                                                              *)
+(* ------------------------------------------------------------------ *)
+
+and parse_projection st =
+  match peek st with
+  | STAR ->
+      advance st;
+      Ast.Proj_star
+  | IDENT t when peek2 st = DOT && (match st.toks with _ :: _ :: STAR :: _ -> true | _ -> false) ->
+      advance st;
+      advance st;
+      advance st;
+      Ast.Proj_table_star t
+  | _ ->
+      let e = parse_expr_prec st in
+      let alias =
+        if eat_kw st "as" then Some (expect_ident st)
+        else
+          match peek st with
+          | IDENT a when not (is_reserved a) ->
+              advance st;
+              Some a
+          | _ -> None
+      in
+      Ast.Proj_expr (e, alias)
+
+and parse_from_item st =
+  if peek st = LPAREN then begin
+    advance st;
+    expect_kw st "select";
+    let q = parse_select_body st in
+    expect st RPAREN;
+    let _ = eat_kw st "as" in
+    let alias = expect_ident st in
+    Ast.From_subquery (q, alias)
+  end
+  else begin
+    let name = expect_ident st in
+    let alias =
+      if eat_kw st "as" then Some (expect_ident st)
+      else
+        match peek st with
+        | IDENT a when not (is_reserved a) ->
+            advance st;
+            Some a
+        | _ -> None
+    in
+    Ast.From_table (name, alias)
+  end
+
+and parse_select_body st =
+  let distinct = eat_kw st "distinct" in
+  let rec projs acc =
+    let p = parse_projection st in
+    if peek st = COMMA then begin
+      advance st;
+      projs (p :: acc)
+    end
+    else List.rev (p :: acc)
+  in
+  let projections = projs [] in
+  let from =
+    if eat_kw st "from" then begin
+      let rec items acc =
+        let i = parse_from_item st in
+        (* Support explicit [t1 JOIN t2 ON cond] by flattening into the
+           cross-product + WHERE representation. *)
+        if peek st = COMMA then begin
+          advance st;
+          items (i :: acc)
+        end
+        else List.rev (i :: acc)
+      in
+      items []
+    end
+    else []
+  in
+  (* INNER JOIN ... ON ... sugar *)
+  let from, join_conds =
+    let rec joins from conds =
+      let inner = eat_kw st "inner" in
+      if inner || kw st "join" then begin
+        expect_kw st "join";
+        let item = parse_from_item st in
+        expect_kw st "on";
+        let cond = parse_expr_prec st in
+        joins (from @ [ item ]) (cond :: conds)
+      end
+      else (from, List.rev conds)
+    in
+    joins from []
+  in
+  let where = if eat_kw st "where" then Some (parse_expr_prec st) else None in
+  let where =
+    match Ast.conjoin (join_conds @ Option.to_list where) with
+    | None -> None
+    | Some _ as w -> w
+  in
+  let group_by =
+    if eat_kw st "group" then begin
+      expect_kw st "by";
+      parse_comma_exprs st
+    end
+    else []
+  in
+  let having = if eat_kw st "having" then Some (parse_expr_prec st) else None in
+  let order_by =
+    if eat_kw st "order" then begin
+      expect_kw st "by";
+      let rec keys acc =
+        let e = parse_expr_prec st in
+        let dir =
+          if eat_kw st "desc" then Ast.Desc
+          else begin
+            let _ = eat_kw st "asc" in
+            Ast.Asc
+          end
+        in
+        if peek st = COMMA then begin
+          advance st;
+          keys ((e, dir) :: acc)
+        end
+        else List.rev ((e, dir) :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let limit =
+    if eat_kw st "limit" then
+      match next st with
+      | INT i -> Some i
+      | t -> fail ("expected integer LIMIT, found " ^ token_to_string t)
+    else None
+  in
+  let for_update =
+    if eat_kw st "for" then begin
+      expect_kw st "update";
+      true
+    end
+    else false
+  in
+  {
+    Ast.distinct;
+    projections;
+    from;
+    where;
+    group_by;
+    having;
+    order_by;
+    limit;
+    for_update;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* DDL                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse_column_list st =
+  expect st LPAREN;
+  let rec cols acc =
+    let c = expect_ident st in
+    if peek st = COMMA then begin
+      advance st;
+      cols (c :: acc)
+    end
+    else begin
+      expect st RPAREN;
+      List.rev (c :: acc)
+    end
+  in
+  cols []
+
+let parse_table_constraint st =
+  if eat_kw st "primary" then begin
+    expect_kw st "key";
+    Ast.C_primary_key (parse_column_list st)
+  end
+  else if eat_kw st "unique" then Ast.C_unique (parse_column_list st)
+  else if eat_kw st "foreign" then begin
+    expect_kw st "key";
+    let local = parse_column_list st in
+    expect_kw st "references";
+    let table = expect_ident st in
+    let remote = if peek st = LPAREN then parse_column_list st else [] in
+    Ast.C_foreign_key (local, table, remote)
+  end
+  else if eat_kw st "check" then begin
+    expect st LPAREN;
+    let e = parse_expr_prec st in
+    expect st RPAREN;
+    Ast.C_check e
+  end
+  else fail "expected table constraint"
+
+let parse_column_def st name =
+  let ty = parse_type st in
+  let def =
+    ref
+      {
+        Ast.col_name = name;
+        col_type = ty;
+        col_not_null = false;
+        col_primary_key = false;
+        col_unique = false;
+        col_default = None;
+        col_check = None;
+      }
+  in
+  let inline_fk = ref None in
+  let rec attrs () =
+    if eat_kw st "not" then begin
+      expect_kw st "null";
+      def := { !def with Ast.col_not_null = true };
+      attrs ()
+    end
+    else if eat_kw st "null" then attrs ()
+    else if eat_kw st "primary" then begin
+      expect_kw st "key";
+      def := { !def with Ast.col_primary_key = true; col_not_null = true };
+      attrs ()
+    end
+    else if eat_kw st "unique" then begin
+      def := { !def with Ast.col_unique = true };
+      attrs ()
+    end
+    else if eat_kw st "default" then begin
+      let e = parse_expr_prec st in
+      def := { !def with Ast.col_default = Some e };
+      attrs ()
+    end
+    else if eat_kw st "check" then begin
+      expect st LPAREN;
+      let e = parse_expr_prec st in
+      expect st RPAREN;
+      def := { !def with Ast.col_check = Some e };
+      attrs ()
+    end
+    else if eat_kw st "references" then begin
+      (* Inline FK: column REFERENCES table [(col)] — recorded via check-less
+         shorthand; callers receive it as a table constraint. *)
+      let table = expect_ident st in
+      let remote = if peek st = LPAREN then parse_column_list st else [] in
+      inline_fk := Some (Ast.C_foreign_key ([ name ], table, remote));
+      attrs ()
+    end
+  in
+  attrs ();
+  (!def, !inline_fk)
+
+let parse_create_table st =
+  let if_not_exists =
+    if eat_kw st "if" then begin
+      expect_kw st "not";
+      expect_kw st "exists";
+      true
+    end
+    else false
+  in
+  let name = expect_ident st in
+  if eat_kw st "as" then begin
+    let _ = eat_kw st "select" || (peek st = LPAREN) in
+    (* CREATE TABLE t AS (SELECT ...) or CREATE TABLE t AS SELECT ... *)
+    let parenthesised = peek st = LPAREN in
+    if parenthesised then begin
+      advance st;
+      expect_kw st "select"
+    end;
+    let q = parse_select_body st in
+    if parenthesised then expect st RPAREN;
+    Ast.Create_table_as { name; query = q }
+  end
+  else begin
+    expect st LPAREN;
+    let columns = ref [] and constraints = ref [] in
+    let rec items () =
+      (if kw st "primary" || kw st "foreign" || kw st "unique" || kw st "check" then
+         constraints := parse_table_constraint st :: !constraints
+       else if eat_kw st "constraint" then begin
+         let _name = expect_ident st in
+         constraints := parse_table_constraint st :: !constraints
+       end
+       else begin
+         let cname = expect_ident st in
+         let def, fk = parse_column_def st cname in
+         columns := def :: !columns;
+         match fk with None -> () | Some c -> constraints := c :: !constraints
+       end);
+      if peek st = COMMA then begin
+        advance st;
+        items ()
+      end
+    in
+    items ();
+    expect st RPAREN;
+    Ast.Create_table
+      {
+        name;
+        columns = List.rev !columns;
+        constraints = List.rev !constraints;
+        if_not_exists;
+      }
+  end
+
+let parse_alter_action st =
+  if eat_kw st "add" then begin
+    if eat_kw st "column" then begin
+      let name = expect_ident st in
+      let def, _fk = parse_column_def st name in
+      Ast.Add_column def
+    end
+    else if eat_kw st "constraint" then begin
+      let cname = expect_ident st in
+      Ast.Add_constraint (Some cname, parse_table_constraint st)
+    end
+    else if kw st "primary" || kw st "foreign" || kw st "unique" || kw st "check" then
+      Ast.Add_constraint (None, parse_table_constraint st)
+    else begin
+      let name = expect_ident st in
+      let def, _fk = parse_column_def st name in
+      Ast.Add_column def
+    end
+  end
+  else if eat_kw st "drop" then begin
+    if eat_kw st "column" then Ast.Drop_column (expect_ident st)
+    else if eat_kw st "constraint" then Ast.Drop_constraint (expect_ident st)
+    else Ast.Drop_column (expect_ident st)
+  end
+  else if eat_kw st "rename" then begin
+    if eat_kw st "to" then Ast.Rename_to (expect_ident st)
+    else begin
+      expect_kw st "column";
+      let old_name = expect_ident st in
+      expect_kw st "to";
+      Ast.Rename_column (old_name, expect_ident st)
+    end
+  end
+  else fail "expected ADD, DROP or RENAME in ALTER TABLE"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt st =
+  if eat_kw st "explain" then Ast.Explain (parse_stmt st)
+  else if eat_kw st "select" then Ast.Select_stmt (parse_select_body st)
+  else if eat_kw st "create" then begin
+    if eat_kw st "table" then parse_create_table st
+    else if eat_kw st "view" then begin
+      let name = expect_ident st in
+      expect_kw st "as";
+      let parenthesised = peek st = LPAREN in
+      if parenthesised then advance st;
+      expect_kw st "select";
+      let q = parse_select_body st in
+      if parenthesised then expect st RPAREN;
+      Ast.Create_view { name; query = q }
+    end
+    else begin
+      let unique = eat_kw st "unique" in
+      expect_kw st "index";
+      let name = expect_ident st in
+      expect_kw st "on";
+      let table = expect_ident st in
+      let using = if eat_kw st "using" then Some (expect_ident st) else None in
+      let columns = parse_column_list st in
+      Ast.Create_index { name; table; columns; unique; using }
+    end
+  end
+  else if eat_kw st "drop" then begin
+    let kind =
+      if eat_kw st "table" then Ast.Drop_table
+      else if eat_kw st "view" then Ast.Drop_view
+      else begin
+        expect_kw st "index";
+        Ast.Drop_index
+      end
+    in
+    let if_exists =
+      if eat_kw st "if" then begin
+        expect_kw st "exists";
+        true
+      end
+      else false
+    in
+    Ast.Drop { kind; name = expect_ident st; if_exists }
+  end
+  else if eat_kw st "alter" then begin
+    expect_kw st "table";
+    let table = expect_ident st in
+    Ast.Alter_table { table; action = parse_alter_action st }
+  end
+  else if eat_kw st "insert" then begin
+    expect_kw st "into";
+    let table = expect_ident st in
+    let columns =
+      (* Disambiguate [(col, ...)] from [(SELECT ...)]: a column list is a
+         parenthesised list of bare identifiers. *)
+      if peek st = LPAREN && (match peek2 st with IDENT s -> s <> "select" | _ -> false)
+      then Some (parse_column_list st)
+      else None
+    in
+    let source =
+      if eat_kw st "values" then begin
+        let rec rows acc =
+          expect st LPAREN;
+          let row = parse_comma_exprs st in
+          expect st RPAREN;
+          if peek st = COMMA then begin
+            advance st;
+            rows (row :: acc)
+          end
+          else List.rev (row :: acc)
+        in
+        Ast.Values (rows [])
+      end
+      else begin
+        let parenthesised = peek st = LPAREN in
+        if parenthesised then advance st;
+        expect_kw st "select";
+        let q = parse_select_body st in
+        if parenthesised then expect st RPAREN;
+        Ast.Query q
+      end
+    in
+    let on_conflict_do_nothing =
+      if eat_kw st "on" then begin
+        expect_kw st "conflict";
+        (* Optional conflict target: ON CONFLICT (col, ...) DO NOTHING *)
+        if peek st = LPAREN then ignore (parse_column_list st);
+        expect_kw st "do";
+        expect_kw st "nothing";
+        true
+      end
+      else false
+    in
+    Ast.Insert { table; columns; source; on_conflict_do_nothing }
+  end
+  else if eat_kw st "update" then begin
+    let table = expect_ident st in
+    expect_kw st "set";
+    let rec sets acc =
+      let c = expect_ident st in
+      expect st EQ;
+      let e = parse_expr_prec st in
+      if peek st = COMMA then begin
+        advance st;
+        sets ((c, e) :: acc)
+      end
+      else List.rev ((c, e) :: acc)
+    in
+    let sets = sets [] in
+    let where = if eat_kw st "where" then Some (parse_expr_prec st) else None in
+    Ast.Update { table; sets; where }
+  end
+  else if eat_kw st "delete" then begin
+    expect_kw st "from";
+    let table = expect_ident st in
+    let where = if eat_kw st "where" then Some (parse_expr_prec st) else None in
+    Ast.Delete { table; where }
+  end
+  else if eat_kw st "begin" then Ast.Begin_txn
+  else if eat_kw st "commit" then Ast.Commit_txn
+  else if eat_kw st "rollback" then Ast.Rollback_txn
+  else fail (Printf.sprintf "unexpected token %s at start of statement" (token_to_string (peek st)))
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    while peek st = SEMI do
+      advance st
+    done;
+    if peek st = EOF then List.rev acc
+    else begin
+      let s = parse_stmt st in
+      (match peek st with
+      | SEMI | EOF -> ()
+      | t -> fail (Printf.sprintf "unexpected %s after statement" (token_to_string t)));
+      loop (s :: acc)
+    end
+  in
+  loop []
+
+let parse_one src =
+  match parse src with
+  | [ s ] -> s
+  | [] -> fail "empty input"
+  | _ -> fail "expected a single statement"
+
+let parse_select src =
+  match parse_one src with
+  | Ast.Select_stmt s -> s
+  | _ -> fail "expected a SELECT statement"
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr_prec st in
+  if peek st <> EOF then
+    fail (Printf.sprintf "trailing %s after expression" (token_to_string (peek st)));
+  e

@@ -1,0 +1,17 @@
+(** Recursive-descent parser for the SQL dialect described in {!Ast}. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.stmt list
+(** Parses a script of one or more [;]-separated statements.
+    @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)
+
+val parse_one : string -> Ast.stmt
+(** Parses exactly one statement (a trailing [;] is allowed). *)
+
+val parse_select : string -> Ast.select
+(** Parses a single SELECT.  @raise Parse_error if it is another kind of
+    statement. *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a standalone expression (used in tests and migration specs). *)

@@ -1,0 +1,251 @@
+open Ast
+
+let type_to_string = function
+  | T_int -> "INT"
+  | T_float -> "FLOAT"
+  | T_bool -> "BOOLEAN"
+  | T_text -> "TEXT"
+  | T_char n -> Printf.sprintf "CHAR(%d)" n
+  | T_varchar n -> Printf.sprintf "VARCHAR(%d)" n
+  | T_decimal (p, s) -> Printf.sprintf "DECIMAL(%d,%d)" p s
+  | T_date -> "DATE"
+  | T_timestamp -> "TIMESTAMP"
+
+let binop_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | And -> "AND"
+  | Or -> "OR"
+  | Concat -> "||"
+
+let agg_to_string = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let escape_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec expr_to_string e =
+  match e with
+  | Null_lit -> "NULL"
+  | Int_lit i -> string_of_int i
+  | Float_lit f ->
+      let s = string_of_float f in
+      if String.length s > 0 && s.[String.length s - 1] = '.' then s ^ "0" else s
+  | Str_lit s -> Printf.sprintf "'%s'" (escape_str s)
+  | Bool_lit b -> if b then "TRUE" else "FALSE"
+  | Param i -> Printf.sprintf "$%d" i
+  | Col (None, c) -> c
+  | Col (Some t, c) -> t ^ "." ^ c
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+        (expr_to_string b)
+  | Unop (Not, a) -> Printf.sprintf "(NOT %s)" (expr_to_string a)
+  | Unop (Neg, a) -> Printf.sprintf "(- %s)" (expr_to_string a)
+  | Fn (name, args) when String.length name > 8 && String.sub name 0 8 = "extract_" ->
+      let field = String.sub name 8 (String.length name - 8) in
+      (match args with
+      | [ a ] ->
+          Printf.sprintf "EXTRACT(%s FROM %s)" (String.uppercase_ascii field)
+            (expr_to_string a)
+      | _ -> Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr_to_string args)))
+  | Fn (name, args) ->
+      Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr_to_string args))
+  | Agg (a, _, None) -> Printf.sprintf "%s(*)" (agg_to_string a)
+  | Agg (a, distinct, Some e) ->
+      Printf.sprintf "%s(%s%s)" (agg_to_string a)
+        (if distinct then "DISTINCT " else "")
+        (expr_to_string e)
+  | Case (branches, els) ->
+      let bs =
+        List.map
+          (fun (c, v) ->
+            Printf.sprintf "WHEN %s THEN %s" (expr_to_string c) (expr_to_string v))
+          branches
+      in
+      let e =
+        match els with
+        | None -> ""
+        | Some v -> Printf.sprintf " ELSE %s" (expr_to_string v)
+      in
+      Printf.sprintf "CASE %s%s END" (String.concat " " bs) e
+  | In_list (a, es) ->
+      Printf.sprintf "(%s IN (%s))" (expr_to_string a)
+        (String.concat ", " (List.map expr_to_string es))
+  | Between (a, lo, hi) ->
+      Printf.sprintf "(%s BETWEEN %s AND %s)" (expr_to_string a) (expr_to_string lo)
+        (expr_to_string hi)
+  | Is_null (a, true) -> Printf.sprintf "(%s IS NULL)" (expr_to_string a)
+  | Is_null (a, false) -> Printf.sprintf "(%s IS NOT NULL)" (expr_to_string a)
+  | Exists q -> Printf.sprintf "EXISTS (%s)" (select_to_string q)
+  | Scalar_subquery q -> Printf.sprintf "(%s)" (select_to_string q)
+
+and projection_to_string = function
+  | Proj_star -> "*"
+  | Proj_table_star t -> t ^ ".*"
+  | Proj_expr (e, None) -> expr_to_string e
+  | Proj_expr (e, Some a) -> Printf.sprintf "%s AS %s" (expr_to_string e) a
+
+and from_item_to_string = function
+  | From_table (t, None) -> t
+  | From_table (t, Some a) -> Printf.sprintf "%s %s" t a
+  | From_subquery (q, a) -> Printf.sprintf "(%s) AS %s" (select_to_string q) a
+
+and select_to_string s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (String.concat ", " (List.map projection_to_string s.projections));
+  if s.from <> [] then begin
+    Buffer.add_string buf " FROM ";
+    Buffer.add_string buf (String.concat ", " (List.map from_item_to_string s.from))
+  end;
+  (match s.where with
+  | None -> ()
+  | Some w ->
+      Buffer.add_string buf " WHERE ";
+      Buffer.add_string buf (expr_to_string w));
+  if s.group_by <> [] then begin
+    Buffer.add_string buf " GROUP BY ";
+    Buffer.add_string buf (String.concat ", " (List.map expr_to_string s.group_by))
+  end;
+  (match s.having with
+  | None -> ()
+  | Some h ->
+      Buffer.add_string buf " HAVING ";
+      Buffer.add_string buf (expr_to_string h));
+  if s.order_by <> [] then begin
+    Buffer.add_string buf " ORDER BY ";
+    Buffer.add_string buf
+      (String.concat ", "
+         (List.map
+            (fun (e, d) ->
+              expr_to_string e ^ match d with Asc -> " ASC" | Desc -> " DESC")
+            s.order_by))
+  end;
+  (match s.limit with
+  | None -> ()
+  | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n));
+  if s.for_update then Buffer.add_string buf " FOR UPDATE";
+  Buffer.contents buf
+
+let column_def_to_string (c : column_def) =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf c.col_name;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (type_to_string c.col_type);
+  if c.col_primary_key then Buffer.add_string buf " PRIMARY KEY"
+  else if c.col_not_null then Buffer.add_string buf " NOT NULL";
+  if c.col_unique then Buffer.add_string buf " UNIQUE";
+  (match c.col_default with
+  | None -> ()
+  | Some e -> Buffer.add_string buf (" DEFAULT " ^ expr_to_string e));
+  (match c.col_check with
+  | None -> ()
+  | Some e -> Buffer.add_string buf (" CHECK (" ^ expr_to_string e ^ ")"));
+  Buffer.contents buf
+
+let table_constraint_to_string = function
+  | C_primary_key cols -> Printf.sprintf "PRIMARY KEY (%s)" (String.concat ", " cols)
+  | C_unique cols -> Printf.sprintf "UNIQUE (%s)" (String.concat ", " cols)
+  | C_foreign_key (local, table, remote) ->
+      let r = if remote = [] then "" else Printf.sprintf " (%s)" (String.concat ", " remote) in
+      Printf.sprintf "FOREIGN KEY (%s) REFERENCES %s%s" (String.concat ", " local) table r
+  | C_check e -> Printf.sprintf "CHECK (%s)" (expr_to_string e)
+
+let rec stmt_to_string = function
+  | Create_table { name; columns; constraints; if_not_exists } ->
+      let items =
+        List.map column_def_to_string columns
+        @ List.map table_constraint_to_string constraints
+      in
+      Printf.sprintf "CREATE TABLE %s%s (%s)"
+        (if if_not_exists then "IF NOT EXISTS " else "")
+        name
+        (String.concat ", " items)
+  | Create_table_as { name; query } ->
+      Printf.sprintf "CREATE TABLE %s AS (%s)" name (select_to_string query)
+  | Create_view { name; query } ->
+      Printf.sprintf "CREATE VIEW %s AS (%s)" name (select_to_string query)
+  | Create_index { name; table; columns; unique; using } ->
+      Printf.sprintf "CREATE %sINDEX %s ON %s%s (%s)"
+        (if unique then "UNIQUE " else "")
+        name table
+        (match using with None -> "" | Some m -> " USING " ^ m)
+        (String.concat ", " columns)
+  | Drop { kind; name; if_exists } ->
+      Printf.sprintf "DROP %s %s%s"
+        (match kind with
+        | Drop_table -> "TABLE"
+        | Drop_view -> "VIEW"
+        | Drop_index -> "INDEX")
+        (if if_exists then "IF EXISTS " else "")
+        name
+  | Alter_table { table; action } ->
+      Printf.sprintf "ALTER TABLE %s %s" table (alter_action_to_string action)
+  | Select_stmt s -> select_to_string s
+  | Insert { table; columns; source; on_conflict_do_nothing } ->
+      let cols =
+        match columns with
+        | None -> ""
+        | Some cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+      in
+      let src =
+        match source with
+        | Values rows ->
+            "VALUES "
+            ^ String.concat ", "
+                (List.map
+                   (fun row ->
+                     Printf.sprintf "(%s)"
+                       (String.concat ", " (List.map expr_to_string row)))
+                   rows)
+        | Query q -> Printf.sprintf "(%s)" (select_to_string q)
+      in
+      Printf.sprintf "INSERT INTO %s%s %s%s" table cols src
+        (if on_conflict_do_nothing then " ON CONFLICT DO NOTHING" else "")
+  | Update { table; sets; where } ->
+      let sets =
+        String.concat ", "
+          (List.map (fun (c, e) -> Printf.sprintf "%s = %s" c (expr_to_string e)) sets)
+      in
+      let w =
+        match where with None -> "" | Some e -> " WHERE " ^ expr_to_string e
+      in
+      Printf.sprintf "UPDATE %s SET %s%s" table sets w
+  | Delete { table; where } ->
+      let w =
+        match where with None -> "" | Some e -> " WHERE " ^ expr_to_string e
+      in
+      Printf.sprintf "DELETE FROM %s%s" table w
+  | Begin_txn -> "BEGIN"
+  | Commit_txn -> "COMMIT"
+  | Rollback_txn -> "ROLLBACK"
+  | Explain s -> "EXPLAIN " ^ stmt_to_string s
+
+and alter_action_to_string = function
+  | Add_column c -> "ADD COLUMN " ^ column_def_to_string c
+  | Drop_column c -> "DROP COLUMN " ^ c
+  | Rename_to n -> "RENAME TO " ^ n
+  | Rename_column (a, b) -> Printf.sprintf "RENAME COLUMN %s TO %s" a b
+  | Add_constraint (None, c) -> "ADD " ^ table_constraint_to_string c
+  | Add_constraint (Some n, c) ->
+      Printf.sprintf "ADD CONSTRAINT %s %s" n (table_constraint_to_string c)
+  | Drop_constraint n -> "DROP CONSTRAINT " ^ n

@@ -1,0 +1,14 @@
+(** Rendering ASTs back to SQL text.
+
+    [parse (stmt_to_string s)] round-trips for every statement this dialect
+    can produce; the property is checked by the test suite. *)
+
+val type_to_string : Ast.sql_type -> string
+
+val binop_to_string : Ast.binop -> string
+
+val expr_to_string : Ast.expr -> string
+
+val select_to_string : Ast.select -> string
+
+val stmt_to_string : Ast.stmt -> string

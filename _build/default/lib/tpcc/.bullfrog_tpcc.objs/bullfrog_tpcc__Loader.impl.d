@@ -1,0 +1,1 @@
+lib/tpcc/loader.ml: Array Bullfrog_db Catalog Database Heap List Rng Tpcc_random Tpcc_schema Value

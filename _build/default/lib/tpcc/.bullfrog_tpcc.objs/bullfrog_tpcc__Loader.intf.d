@@ -1,0 +1,1 @@
+lib/tpcc/loader.mli: Bullfrog_db Tpcc_schema

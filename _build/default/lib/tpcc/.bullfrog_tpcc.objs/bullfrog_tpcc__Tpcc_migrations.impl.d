@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_migrations.ml: Array Base Bullfrog_core Bullfrog_db Bullfrog_sql List Migration Printf Txn_ops Value

@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_migrations.mli: Bullfrog_core Txn_ops

@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_random.ml: Array Bullfrog_db Rng Stdlib

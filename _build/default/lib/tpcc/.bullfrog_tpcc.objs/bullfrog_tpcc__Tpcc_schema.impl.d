@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_schema.ml: Bullfrog_db Sys

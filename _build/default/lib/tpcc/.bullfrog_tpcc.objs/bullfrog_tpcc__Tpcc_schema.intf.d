@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_schema.mli: Bullfrog_db

@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_txns.ml: Bullfrog_db List Rng Tpcc_random Tpcc_schema Txn_ops Value

@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_txns.mli: Rng Tpcc_schema Txn_ops

@@ -1,0 +1,1 @@
+lib/tpcc/txn_ops.ml: Array Bullfrog_db Executor List Value

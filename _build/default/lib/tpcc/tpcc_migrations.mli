@@ -1,0 +1,43 @@
+(** The paper's three schema-evolution scenarios over TPC-C (§4.1–§4.3),
+    each as a {!Bullfrog_core.Migration} spec plus the post-flip
+    {!Txn_ops.S} implementation the application switches to.
+
+    - {b Split} (§4.1): [customer] → [customer_public] + [customer_private]
+      (1:n bitmap migration; the Fig. 12 variants re-declare FOREIGN KEYs
+      on the private half).
+    - {b Aggregate} (§4.2): [order_line_total] materialises Delivery's
+      SUM(OL_AMOUNT) per order (n:1 hashmap migration; the application
+      maintains both copies after the flip).
+    - {b Join} (§4.3): [orderline_stock] denormalises
+      [order_line ⋈ stock] on the item id (n:n migration). *)
+
+type fk_variant = Fk_none | Fk_district | Fk_district_orders
+
+type scenario = Split | Aggregate | Join
+
+val scenario_name : scenario -> string
+
+val split_spec : ?fk:fk_variant -> unit -> Bullfrog_core.Migration.t
+(** Drops the old [customer] relation at the flip. *)
+
+val aggregate_spec : unit -> Bullfrog_core.Migration.t
+(** Keeps [order_line] live (the application maintains both copies). *)
+
+val join_spec : unit -> Bullfrog_core.Migration.t
+(** Drops [order_line] and [stock] at the flip. *)
+
+val spec_of : ?fk:fk_variant -> scenario -> Bullfrog_core.Migration.t
+
+val base_ops : (module Txn_ops.S)
+(** The original nine-table schema implementation. *)
+
+val post_ops : scenario -> (module Txn_ops.S)
+(** The post-migration implementation for a scenario. *)
+
+(** The post-flip implementations, exposed for direct use/testing. *)
+
+module Ops_split : Txn_ops.S
+
+module Ops_aggregate : Txn_ops.S
+
+module Ops_join : Txn_ops.S

@@ -1,0 +1,30 @@
+let c_for_nurand = 123 (* fixed run constant *)
+
+let nurand rng ~a ~x ~y =
+  let r1 = Rng.int_range rng 0 a in
+  let r2 = Rng.int_range rng x y in
+  (((r1 lor r2) + c_for_nurand) mod (y - x + 1)) + x
+
+let customer_id rng ~max = min max (nurand rng ~a:1023 ~x:1 ~y:(Stdlib.max 1 max))
+
+let item_id rng ~max = min max (nurand rng ~a:8191 ~x:1 ~y:(Stdlib.max 1 max))
+
+let syllables =
+  [| "BAR"; "OUGHT"; "ABLE"; "PRI"; "PRES"; "ESE"; "ANTI"; "CALLY"; "ATION"; "EING" |]
+
+let last_name n =
+  let n = abs n mod 1000 in
+  syllables.(n / 100) ^ syllables.(n / 10 mod 10) ^ syllables.(n mod 10)
+
+let random_last_name rng = last_name (nurand rng ~a:255 ~x:0 ~y:999)
+
+let data_string rng lo hi = Rng.alpha_string rng lo hi
+
+(* 2020-01-01 00:00:00 UTC, advanced one second per call. *)
+let epoch = 18262.0 *. 86400.0
+
+let counter = ref 0
+
+let now () =
+  incr counter;
+  Bullfrog_db.Value.Timestamp (epoch +. float_of_int !counter)

@@ -1,0 +1,23 @@
+(** TPC-C random-input helpers (spec §2.1.6, §4.3.2). *)
+
+val nurand : Rng.t -> a:int -> x:int -> y:int -> int
+(** Non-uniform random over [\[x,y\]] with constant [a] (C is fixed so runs
+    are comparable). *)
+
+val customer_id : Rng.t -> max:int -> int
+(** NURand(1023) clamped to [\[1,max\]]. *)
+
+val item_id : Rng.t -> max:int -> int
+(** NURand(8191) clamped to [\[1,max\]]. *)
+
+val last_name : int -> string
+(** Syllable-concatenated last name for a number in [\[0,999\]]. *)
+
+val random_last_name : Rng.t -> string
+(** NURand(255) over [\[0,999\]]. *)
+
+val data_string : Rng.t -> int -> int -> string
+
+val now : unit -> Bullfrog_db.Value.t
+(** Deterministic timestamp source: a fixed epoch advanced by a global
+    counter, so loads and runs are reproducible. *)

@@ -1,0 +1,110 @@
+type scale = {
+  warehouses : int;
+  districts : int;
+  customers : int;
+  items : int;
+  orders : int;
+  lines_per_order : int;
+}
+
+let spec_scale =
+  {
+    warehouses = 1;
+    districts = 10;
+    customers = 3000;
+    items = 100_000;
+    orders = 3000;
+    lines_per_order = 10;
+  }
+
+let small =
+  { warehouses = 2; districts = 10; customers = 300; items = 1000; orders = 300; lines_per_order = 10 }
+
+let tiny =
+  { warehouses = 1; districts = 2; customers = 30; items = 50; orders = 30; lines_per_order = 5 }
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some i -> i | None -> default)
+  | None -> default
+
+let of_env s =
+  {
+    warehouses = env_int "BF_WAREHOUSES" s.warehouses;
+    districts = env_int "BF_DISTRICTS" s.districts;
+    customers = env_int "BF_CUSTOMERS" s.customers;
+    items = env_int "BF_ITEMS" s.items;
+    orders = env_int "BF_ORDERS" s.orders;
+    lines_per_order = env_int "BF_LINES" s.lines_per_order;
+  }
+
+let customer_count s = s.warehouses * s.districts * s.customers
+
+let ddl =
+  {|
+CREATE TABLE warehouse (
+  w_id INT PRIMARY KEY,
+  w_name VARCHAR(10), w_street_1 VARCHAR(20), w_street_2 VARCHAR(20),
+  w_city VARCHAR(20), w_state CHAR(2), w_zip CHAR(9),
+  w_tax DECIMAL(4,4), w_ytd DECIMAL(12,2));
+
+CREATE TABLE district (
+  d_w_id INT, d_id INT,
+  d_name VARCHAR(10), d_street_1 VARCHAR(20), d_street_2 VARCHAR(20),
+  d_city VARCHAR(20), d_state CHAR(2), d_zip CHAR(9),
+  d_tax DECIMAL(4,4), d_ytd DECIMAL(12,2), d_next_o_id INT,
+  PRIMARY KEY (d_w_id, d_id));
+
+CREATE TABLE customer (
+  c_w_id INT, c_d_id INT, c_id INT,
+  c_first VARCHAR(16), c_middle CHAR(2), c_last VARCHAR(16),
+  c_street_1 VARCHAR(20), c_street_2 VARCHAR(20), c_city VARCHAR(20),
+  c_state CHAR(2), c_zip CHAR(9), c_phone CHAR(16), c_since TIMESTAMP,
+  c_credit CHAR(2), c_credit_lim DECIMAL(12,2), c_discount DECIMAL(4,4),
+  c_balance DECIMAL(12,2), c_ytd_payment DECIMAL(12,2),
+  c_payment_cnt INT, c_delivery_cnt INT, c_data VARCHAR(500),
+  PRIMARY KEY (c_w_id, c_d_id, c_id));
+
+CREATE TABLE history (
+  h_c_id INT, h_c_d_id INT, h_c_w_id INT, h_d_id INT, h_w_id INT,
+  h_date TIMESTAMP, h_amount DECIMAL(6,2), h_data VARCHAR(24));
+
+CREATE TABLE new_order (
+  no_o_id INT, no_d_id INT, no_w_id INT,
+  PRIMARY KEY (no_w_id, no_d_id, no_o_id));
+
+CREATE TABLE orders (
+  o_id INT, o_d_id INT, o_w_id INT, o_c_id INT,
+  o_entry_d TIMESTAMP, o_carrier_id INT, o_ol_cnt INT, o_all_local INT,
+  PRIMARY KEY (o_w_id, o_d_id, o_id));
+
+CREATE TABLE order_line (
+  ol_o_id INT, ol_d_id INT, ol_w_id INT, ol_number INT,
+  ol_i_id INT, ol_supply_w_id INT, ol_delivery_d TIMESTAMP,
+  ol_quantity INT, ol_amount DECIMAL(6,2), ol_dist_info CHAR(24),
+  PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number));
+
+CREATE TABLE item (
+  i_id INT PRIMARY KEY,
+  i_im_id INT, i_name VARCHAR(24), i_price DECIMAL(5,2), i_data VARCHAR(50));
+
+CREATE TABLE stock (
+  s_w_id INT, s_i_id INT,
+  s_quantity INT, s_dist_01 CHAR(24), s_ytd INT, s_order_cnt INT,
+  s_remote_cnt INT, s_data VARCHAR(50),
+  PRIMARY KEY (s_w_id, s_i_id));
+|}
+
+let index_ddl =
+  {|
+CREATE INDEX idx_customer_name ON customer (c_w_id, c_d_id, c_last);
+CREATE INDEX idx_orders_customer ON orders USING ordered (o_w_id, o_d_id, o_c_id, o_id);
+CREATE INDEX idx_new_order_district ON new_order USING ordered (no_w_id, no_d_id, no_o_id);
+CREATE INDEX idx_order_line_order ON order_line USING ordered (ol_w_id, ol_d_id, ol_o_id);
+CREATE INDEX idx_order_line_item ON order_line (ol_i_id);
+CREATE INDEX idx_stock_item ON stock (s_i_id);
+|}
+
+let create_all db =
+  ignore (Bullfrog_db.Database.exec_script db ddl : Bullfrog_db.Executor.result list);
+  ignore (Bullfrog_db.Database.exec_script db index_ddl : Bullfrog_db.Executor.result list)

@@ -1,0 +1,40 @@
+(** TPC-C schema (nine tables) and scale configuration.
+
+    Cardinalities follow the spec's per-warehouse ratios but every ratio
+    is scalable so the benchmark database fits the container; the harness
+    compresses the experiment time axis by the same factor
+    (see EXPERIMENTS.md). *)
+
+type scale = {
+  warehouses : int;
+  districts : int;  (** per warehouse; spec: 10 *)
+  customers : int;  (** per district; spec: 3000 *)
+  items : int;  (** spec: 100_000 *)
+  orders : int;  (** initial orders per district; spec: 3000 *)
+  lines_per_order : int;  (** average; spec: 10 *)
+}
+
+val spec_scale : scale
+(** The TPC-C specification ratios (1 warehouse). *)
+
+val small : scale
+(** Default test/bench scale: 2 warehouses, 10 districts, 300 customers
+    per district, 1000 items. *)
+
+val tiny : scale
+(** Unit-test scale. *)
+
+val of_env : scale -> scale
+(** Override fields from [BF_WAREHOUSES], [BF_CUSTOMERS], [BF_ITEMS],
+    [BF_ORDERS], [BF_DISTRICTS] environment variables. *)
+
+val customer_count : scale -> int
+
+val ddl : string
+(** CREATE TABLE statements for the nine tables. *)
+
+val index_ddl : string
+(** Secondary indexes (including the ones BullFrog's migration scans
+    lean on, e.g. order_line by item). *)
+
+val create_all : Bullfrog_db.Database.t -> unit

@@ -1,0 +1,55 @@
+(** The five TPC-C transactions and the workload generator.
+
+    Transactions are written once against {!Txn_ops.S}, so the same code
+    runs on the original schema and on every migrated variant — the
+    paper's "straightforwardly modified" front-end switch is a module
+    swap.  Inputs follow the spec's 45/43/4/4/4 mix and NURand access
+    distributions; an optional hot set restricts customer selection for
+    the skew experiments (§4.4.2). *)
+
+type new_order_item = { noi_item : int; noi_supply_w : int; noi_qty : int }
+
+type input =
+  | New_order of { w : int; d : int; c : int; items : new_order_item list }
+  | Payment of {
+      w : int;
+      d : int;
+      by_last : string option;  (** [Some last] = select customer by name *)
+      c : int;
+      amount : float;
+    }
+  | Delivery of { w : int; carrier : int }
+  | Order_status of { w : int; d : int; by_last : string option; c : int }
+  | Stock_level of { w : int; d : int; threshold : int }
+
+val input_kind : input -> string
+(** "NewOrder", "Payment", ... — the latency-CDF grouping key. *)
+
+val customer_key : input -> (int * int * int) option
+(** The customer row the transaction locks exclusively, if any (used by
+    the harness's row-contention model, §4.4.2). *)
+
+val touches_customer : input -> bool
+(** All but StockLevel — the transactions gated by an eager customer-table
+    migration (§4.1) and kept by the Fig. 12(b) partial workload. *)
+
+type gen_config = {
+  scale : Tpcc_schema.scale;
+  hot_customers : int option;
+      (** restrict customer picks to the first [n] keys of the flattened
+          (warehouse, district, customer) space *)
+}
+
+val generate : Rng.t -> gen_config -> input
+(** One transaction input from the standard mix. *)
+
+val run :
+  (module Txn_ops.S) ->
+  ?districts:int ->
+  Txn_ops.exec ->
+  input ->
+  unit
+(** Execute a transaction through the given schema-variant operations and
+    statement executor.  The caller owns the transaction boundary
+    (typically [Database.with_txn] around this call).
+    @raise Db_error exceptions from the underlying engine on violations. *)

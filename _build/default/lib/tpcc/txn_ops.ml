@@ -1,0 +1,201 @@
+(** Schema-variant operations.
+
+    The five TPC-C transactions are written once against this interface;
+    each migration scenario (paper §4.1–§4.3) supplies the post-migration
+    implementation, and [Base] implements the original nine-table schema.
+    This mirrors the paper's methodology: "four out of the five TPC-C
+    transaction types ... are straightforwardly modified to be compatible
+    with the new customer tables". *)
+
+open Bullfrog_db
+
+type exec = ?params:Value.t array -> string -> Executor.result
+
+let rows_of = function
+  | Executor.Rows (_, rows) -> rows
+  | Executor.Affected _ | Executor.Done _ | Executor.Explained _ ->
+      failwith "expected a row-returning statement"
+
+let affected_of = function
+  | Executor.Affected n -> n
+  | _ -> failwith "expected a write statement"
+
+let int_of = function
+  | Value.Int i -> i
+  | Value.Float f -> int_of_float f
+  | v -> failwith ("expected int, got " ^ Value.to_string v)
+
+let float_of = function
+  | Value.Float f -> f
+  | Value.Int i -> float_of_int i
+  | Value.Null -> 0.0
+  | v -> failwith ("expected float, got " ^ Value.to_string v)
+
+type order_line_row = {
+  l_w : int;
+  l_d : int;
+  l_o : int;
+  l_number : int;
+  l_i : int;
+  l_supply_w : int;
+  l_qty : int;
+  l_amount : float;
+}
+
+module type S = sig
+  val variant_name : string
+
+  (* -- customer ---------------------------------------------------- *)
+
+  val customer_info : exec -> w:int -> d:int -> c:int -> float * string * string
+  (** (discount, last, credit) *)
+
+  val customer_balance : exec -> w:int -> d:int -> c:int -> float
+
+  val customer_ids_by_last : exec -> w:int -> d:int -> last:string -> int list
+  (** Ascending ids. *)
+
+  val payment_update_customer :
+    exec -> w:int -> d:int -> c:int -> amount:float -> unit
+
+  val delivery_update_customer :
+    exec -> w:int -> d:int -> c:int -> amount:float -> unit
+
+  (* -- order lines -------------------------------------------------- *)
+
+  val insert_order_lines : exec -> order_line_row list -> unit
+
+  val order_total : exec -> w:int -> d:int -> o:int -> float
+
+  val mark_lines_delivered : exec -> w:int -> d:int -> o:int -> unit
+
+  val count_lines_for_order : exec -> w:int -> d:int -> o:int -> int
+
+  (* -- stock -------------------------------------------------------- *)
+
+  val stock_quantity : exec -> w:int -> i:int -> int
+
+  val update_stock : exec -> w:int -> i:int -> qty:int -> unit
+
+  val stock_level_count : exec -> w:int -> d:int -> next_o:int -> threshold:int -> int
+end
+
+module Base : S = struct
+  let variant_name = "base"
+
+  let customer_info (exec : exec) ~w ~d ~c =
+    match
+      rows_of
+        (exec
+           ~params:[| Value.Int w; Value.Int d; Value.Int c |]
+           "SELECT c_discount, c_last, c_credit FROM customer WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3")
+    with
+    | [| disc; last; credit |] :: _ ->
+        (float_of disc, Value.to_string last, Value.to_string credit)
+    | _ -> failwith "customer not found"
+
+  let customer_balance (exec : exec) ~w ~d ~c =
+    match
+      rows_of
+        (exec
+           ~params:[| Value.Int w; Value.Int d; Value.Int c |]
+           "SELECT c_balance FROM customer WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3")
+    with
+    | [| bal |] :: _ -> float_of bal
+    | _ -> failwith "customer not found"
+
+  let customer_ids_by_last (exec : exec) ~w ~d ~last =
+    List.map
+      (fun row -> int_of row.(0))
+      (rows_of
+         (exec
+            ~params:[| Value.Int w; Value.Int d; Value.Str last |]
+            "SELECT c_id FROM customer WHERE c_w_id = $1 AND c_d_id = $2 AND c_last = $3 ORDER BY c_id"))
+
+  let payment_update_customer (exec : exec) ~w ~d ~c ~amount =
+    ignore
+      (affected_of
+         (exec
+            ~params:[| Value.Float amount; Value.Int w; Value.Int d; Value.Int c |]
+            "UPDATE customer SET c_balance = c_balance - $1, c_ytd_payment = c_ytd_payment + $1, c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = $2 AND c_d_id = $3 AND c_id = $4"))
+
+  let delivery_update_customer (exec : exec) ~w ~d ~c ~amount =
+    ignore
+      (affected_of
+         (exec
+            ~params:[| Value.Float amount; Value.Int w; Value.Int d; Value.Int c |]
+            "UPDATE customer SET c_balance = c_balance + $1, c_delivery_cnt = c_delivery_cnt + 1 WHERE c_w_id = $2 AND c_d_id = $3 AND c_id = $4"))
+
+  let insert_order_lines (exec : exec) lines =
+    List.iter
+      (fun l ->
+        ignore
+          (affected_of
+             (exec
+                ~params:
+                  [|
+                    Value.Int l.l_o; Value.Int l.l_d; Value.Int l.l_w;
+                    Value.Int l.l_number; Value.Int l.l_i; Value.Int l.l_supply_w;
+                    Value.Int l.l_qty; Value.Float l.l_amount;
+                  |]
+                "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, ol_dist_info) VALUES ($1, $2, $3, $4, $5, $6, NULL, $7, $8, 'dist-info-xxxxxxxxxxxx')")))
+      lines
+
+  let order_total (exec : exec) ~w ~d ~o =
+    match
+      rows_of
+        (exec
+           ~params:[| Value.Int o; Value.Int d; Value.Int w |]
+           "SELECT SUM(ol_amount) AS ol_total FROM order_line WHERE ol_o_id = $1 AND ol_d_id = $2 AND ol_w_id = $3")
+    with
+    | [| total |] :: _ -> float_of total
+    | _ -> 0.0
+
+  let mark_lines_delivered (exec : exec) ~w ~d ~o =
+    ignore
+      (affected_of
+         (exec
+            ~params:[| Value.Int o; Value.Int d; Value.Int w |]
+            "UPDATE order_line SET ol_delivery_d = '2020-06-01 00:00:00' WHERE ol_o_id = $1 AND ol_d_id = $2 AND ol_w_id = $3"))
+
+  let count_lines_for_order (exec : exec) ~w ~d ~o =
+    match
+      rows_of
+        (exec
+           ~params:[| Value.Int o; Value.Int d; Value.Int w |]
+           "SELECT COUNT(*) FROM order_line WHERE ol_o_id = $1 AND ol_d_id = $2 AND ol_w_id = $3")
+    with
+    | [| n |] :: _ -> int_of n
+    | _ -> 0
+
+  let stock_quantity (exec : exec) ~w ~i =
+    match
+      rows_of
+        (exec
+           ~params:[| Value.Int w; Value.Int i |]
+           "SELECT s_quantity FROM stock WHERE s_w_id = $1 AND s_i_id = $2")
+    with
+    | [| q |] :: _ -> int_of q
+    | _ -> failwith "stock not found"
+
+  let update_stock (exec : exec) ~w ~i ~qty =
+    ignore
+      (affected_of
+         (exec
+            ~params:[| Value.Int qty; Value.Int w; Value.Int i |]
+            "UPDATE stock SET s_quantity = $1, s_ytd = s_ytd + 1, s_order_cnt = s_order_cnt + 1 WHERE s_w_id = $2 AND s_i_id = $3"))
+
+  let stock_level_count (exec : exec) ~w ~d ~next_o ~threshold =
+    match
+      rows_of
+        (exec
+           ~params:
+             [|
+               Value.Int w; Value.Int d; Value.Int (next_o - 20); Value.Int next_o;
+               Value.Int threshold;
+             |]
+           "SELECT COUNT(DISTINCT (s_i_id)) AS stock_count FROM order_line, stock WHERE ol_w_id = $1 AND ol_d_id = $2 AND ol_o_id >= $3 AND ol_o_id < $4 AND s_w_id = $1 AND s_i_id = ol_i_id AND s_quantity < $5")
+    with
+    | [| n |] :: _ -> int_of n
+    | _ -> 0
+end

@@ -1,0 +1,79 @@
+type t = {
+  lo : float;
+  log_lo : float;
+  scale : float; (* buckets per unit of log10 *)
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+}
+
+let create ?(lo = 1e-4) ?(hi = 1e4) ?(buckets_per_decade = 50) () =
+  if lo <= 0.0 || hi <= lo then invalid_arg "Histogram.create";
+  let decades = log10 hi -. log10 lo in
+  let nb = int_of_float (ceil (decades *. float_of_int buckets_per_decade)) + 1 in
+  {
+    lo;
+    log_lo = log10 lo;
+    scale = float_of_int buckets_per_decade;
+    counts = Array.make nb 0;
+    n = 0;
+    sum = 0.0;
+  }
+
+let bucket_of t x =
+  let x = if x < t.lo then t.lo else x in
+  let b = int_of_float ((log10 x -. t.log_lo) *. t.scale) in
+  let nb = Array.length t.counts in
+  if b < 0 then 0 else if b >= nb then nb - 1 else b
+
+let value_of t b = 10.0 ** (t.log_lo +. ((float_of_int b +. 0.5) /. t.scale))
+
+let add t x =
+  let b = bucket_of t x in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let target = p /. 100.0 *. float_of_int t.n in
+    let acc = ref 0.0 and result = ref (value_of t (Array.length t.counts - 1)) in
+    (try
+       for b = 0 to Array.length t.counts - 1 do
+         acc := !acc +. float_of_int t.counts.(b);
+         if !acc >= target then begin
+           result := value_of t b;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let cdf_points t n =
+  if t.n = 0 then []
+  else begin
+    let points = ref [] in
+    for i = n downto 1 do
+      let frac = float_of_int i /. float_of_int n in
+      points := (percentile t (frac *. 100.0), frac) :: !points
+    done;
+    !points
+  end
+
+let merge_into ~dst src =
+  if Array.length dst.counts <> Array.length src.counts then
+    invalid_arg "Histogram.merge_into: shape mismatch";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.n <- 0;
+  t.sum <- 0.0

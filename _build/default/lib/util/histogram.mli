@@ -1,0 +1,29 @@
+(** Latency histograms with log-spaced buckets.
+
+    The paper reports latency as CDFs over at least 50 000 points spanning
+    roughly 1 ms to 1000 s; a fixed log-bucketed histogram captures that
+    range with bounded memory and supports percentile queries. *)
+
+type t
+
+val create : ?lo:float -> ?hi:float -> ?buckets_per_decade:int -> unit -> t
+(** Defaults: [lo = 1e-4] seconds, [hi = 1e4] seconds, 50 buckets/decade.
+    Observations are clamped to the range. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]]; 0. when empty. *)
+
+val mean : t -> float
+
+val cdf_points : t -> int -> (float * float) list
+(** [cdf_points t n] samples [n] evenly spaced cumulative fractions and
+    returns [(latency, fraction)] pairs — the series the paper's CDF plots
+    show. *)
+
+val merge_into : dst:t -> t -> unit
+
+val reset : t -> unit

@@ -1,0 +1,73 @@
+type 'a entry = {
+  prio : float;
+  seq : int; (* tie-break: insertion order, for deterministic replay *)
+  value : 'a;
+}
+
+type 'a t = {
+  heap : 'a entry Vec.t;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Vec.create (); next_seq = 0 }
+
+let is_empty t = Vec.length t.heap = 0
+
+let length t = Vec.length t.heap
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap t i j =
+  let x = Vec.get t.heap i in
+  Vec.set t.heap i (Vec.get t.heap j);
+  Vec.set t.heap j x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less (Vec.get t.heap i) (Vec.get t.heap parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = Vec.length t.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && less (Vec.get t.heap l) (Vec.get t.heap !smallest) then smallest := l;
+  if r < n && less (Vec.get t.heap r) (Vec.get t.heap !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t prio value =
+  Vec.push t.heap { prio; seq = t.next_seq; value };
+  t.next_seq <- t.next_seq + 1;
+  sift_up t (Vec.length t.heap - 1)
+
+let pop t =
+  let n = Vec.length t.heap in
+  if n = 0 then None
+  else begin
+    let top = Vec.get t.heap 0 in
+    let last = Vec.get t.heap (n - 1) in
+    Vec.truncate t.heap (n - 1);
+    if n > 1 then begin
+      Vec.set t.heap 0 last;
+      sift_down t 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek t =
+  if Vec.length t.heap = 0 then None
+  else begin
+    let top = Vec.get t.heap 0 in
+    Some (top.prio, top.value)
+  end
+
+let clear t =
+  Vec.clear t.heap;
+  t.next_seq <- 0

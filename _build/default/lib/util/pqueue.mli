@@ -1,0 +1,22 @@
+(** Binary min-heap priority queue keyed by float priority.
+
+    Backbone of the discrete-event simulator's event list: events pop in
+    virtual-time order; ties pop in insertion order so runs are
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest priority first; FIFO among equal priorities. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every randomised component of the system (workload generators, arrival
+    processes, abort injection) takes an explicit [Rng.t] so experiments are
+    reproducible bit-for-bit from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** Derive an independent stream (for per-worker generators). *)
+
+val copy : t -> t
+
+val bits64 : t -> int64
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> float -> float
+(** [exponential t rate] draws an Exp(rate) inter-arrival time. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val alpha_string : t -> int -> int -> string
+(** [alpha_string t lo hi] is a random letter string whose length is uniform
+    in [\[lo, hi\]] — the TPC-C a-string. *)
+
+val numeric_string : t -> int -> string
+(** Random digit string of exactly the given length. *)

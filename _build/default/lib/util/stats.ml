@@ -1,0 +1,53 @@
+(* Welford's online algorithm, merged with the Chan et al. parallel form. *)
+
+type t = {
+  mutable n : int;
+  mutable mean_acc : float;
+  mutable m2 : float;
+  mutable mn : float;
+  mutable mx : float;
+  mutable sum : float;
+}
+
+let create () =
+  { n = 0; mean_acc = 0.0; m2 = 0.0; mn = infinity; mx = neg_infinity; sum = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean_acc in
+  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  t.sum <- t.sum +. x
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0.0 else t.mean_acc
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t = t.mn
+
+let max t = t.mx
+
+let total t = t.sum
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean_acc -. a.mean_acc in
+    let fn = float_of_int n and fa = float_of_int a.n and fb = float_of_int b.n in
+    {
+      n;
+      mean_acc = a.mean_acc +. (delta *. fb /. fn);
+      m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn);
+      mn = Float.min a.mn b.mn;
+      mx = Float.max a.mx b.mx;
+      sum = a.sum +. b.sum;
+    }
+  end

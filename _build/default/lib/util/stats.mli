@@ -1,0 +1,28 @@
+(** Streaming summary statistics (count / mean / variance / min / max). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0. when empty. *)
+
+val variance : t -> float
+(** Sample variance; 0. with fewer than two observations. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val total : t -> float
+
+val merge : t -> t -> t
+(** Combine two summaries as if their streams were concatenated. *)

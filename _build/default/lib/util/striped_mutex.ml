@@ -1,0 +1,41 @@
+type t = {
+  locks : Mutex.t array;
+  mask : int;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create n =
+  if n <= 0 then invalid_arg "Striped_mutex.create";
+  let n = next_pow2 n in
+  { locks = Array.init n (fun _ -> Mutex.create ()); mask = n - 1 }
+
+let stripes t = Array.length t.locks
+
+(* Scramble the key so adjacent granules land on different stripes. *)
+let stripe_of t key =
+  let h = key * 0x9E3779B1 in
+  (h lxor (h lsr 16)) land t.mask
+
+let with_stripe t key f =
+  let m = t.locks.(stripe_of t key) in
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e
+
+let with_all t f =
+  Array.iter Mutex.lock t.locks;
+  match f () with
+  | v ->
+      Array.iter Mutex.unlock t.locks;
+      v
+  | exception e ->
+      Array.iter Mutex.unlock t.locks;
+      raise e

@@ -1,0 +1,21 @@
+(** Partitioned latches.
+
+    BullFrog partitions its bitmap and hash table into chunks, each guarded
+    by its own latch, to reduce cross-worker contention (paper §3.3/§3.4,
+    footnote 4).  Deadlock cannot occur because callers never hold two
+    stripes at once. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds [n] stripes; [n] is rounded up to a power of two. *)
+
+val stripes : t -> int
+
+val with_stripe : t -> int -> (unit -> 'a) -> 'a
+(** [with_stripe t key f] runs [f] holding the latch for [key]'s stripe.
+    Exceptions release the latch. *)
+
+val with_all : t -> (unit -> 'a) -> 'a
+(** Acquire every stripe in index order (used only by whole-structure
+    operations such as recovery rebuild and stats snapshots). *)

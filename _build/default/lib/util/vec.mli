@@ -1,0 +1,44 @@
+(** Growable arrays.
+
+    OCaml 5.1 does not ship [Dynarray]; this is the subset the engine needs:
+    amortised O(1) push, O(1) random access, and in-place truncation.  Not
+    thread-safe; callers synchronise externally (the heap protects appends
+    with the table latch). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] filled with [x]. *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** O(1). @raise Invalid_argument when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the last element. *)
+
+val truncate : 'a t -> int -> unit
+(** [truncate v n] shrinks [v] to its first [n] elements. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val to_array : 'a t -> 'a array

@@ -1,0 +1,38 @@
+(* Gray's rejection-free method as used by YCSB's ZipfianGenerator. *)
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+}
+
+let zeta n theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !acc
+
+let create ?(theta = 0.99) n =
+  if n <= 0 then invalid_arg "Zipf.create";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta))) /. (1.0 -. (zeta2 /. zetan))
+  in
+  { n; theta; alpha; zetan; eta }
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. (0.5 ** t.theta) then 1
+  else
+    let v =
+      float_of_int t.n *. (((t.eta *. u) -. t.eta +. 1.0) ** t.alpha)
+    in
+    let i = int_of_float v in
+    if i >= t.n then t.n - 1 else if i < 0 then 0 else i

@@ -1,0 +1,13 @@
+(** Zipf-distributed integer sampling over [\[0, n)].
+
+    Used by the skewed-access experiments (paper §4.4.2, Fig. 10): a "hot
+    set" workload is modelled as accesses concentrated on a prefix of the
+    key space. *)
+
+type t
+
+val create : ?theta:float -> int -> t
+(** [create ~theta n] prepares a sampler over [\[0, n)].  [theta] defaults to
+    0.99 (the YCSB constant).  @raise Invalid_argument if [n <= 0]. *)
+
+val sample : t -> Rng.t -> int

@@ -1,0 +1,1 @@
+test/test_access.ml: Access Alcotest Bullfrog_db Bullfrog_sql Catalog Database Executor Index List Parser String Txn Value

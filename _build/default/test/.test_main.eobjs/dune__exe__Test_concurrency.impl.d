@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest Bullfrog_core Bullfrog_db Bullfrog_sql Database Executor Lazy_db List Migrate_exec Migration Mutex Parser Printexc Printf Thread Value

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Bullfrog_db Database Db_error Executor Fmt List Printf Redo_log String Value

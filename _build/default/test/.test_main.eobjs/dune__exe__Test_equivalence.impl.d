@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Array Bullfrog_core Bullfrog_db Database Eager Executor Lazy_db List Migrate_exec Migration Printf QCheck QCheck_alcotest Rng String Value

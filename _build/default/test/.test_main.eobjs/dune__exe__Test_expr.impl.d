@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Bullfrog_db Bullfrog_sql Expr Fmt Value

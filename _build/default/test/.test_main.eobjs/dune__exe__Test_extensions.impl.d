@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bullfrog_core Bullfrog_db Bullfrog_sql Catalog Database Db_error Executor Heap Lazy_db List Migrate_exec Migration String Value

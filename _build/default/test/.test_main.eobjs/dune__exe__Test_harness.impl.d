@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Bullfrog_core Bullfrog_db Bullfrog_harness Bullfrog_tpcc Cost_model List Metrics Migrate_exec Sim Systems Tpcc_migrations Tpcc_schema Tpcc_txns Txn

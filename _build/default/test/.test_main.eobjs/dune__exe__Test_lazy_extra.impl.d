@@ -1,0 +1,1 @@
+test/test_lazy_extra.ml: Alcotest Bitmap_tracker Bullfrog_core Bullfrog_db Bullfrog_sql Database Db_error Executor Lazy_db List Migrate_exec Migration Parser Thread Tracker Value

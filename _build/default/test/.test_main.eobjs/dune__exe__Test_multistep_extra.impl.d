@@ -1,0 +1,1 @@
+test/test_multistep_extra.ml: Alcotest Bullfrog_core Bullfrog_db Database Db_error Executor Lazy List Migration Multistep Value

@@ -1,0 +1,1 @@
+test/test_pair.ml: Alcotest Bullfrog_core Bullfrog_db Bullfrog_sql Database Executor Heap Lazy_db List Migrate_exec Migration Parser Recovery Value

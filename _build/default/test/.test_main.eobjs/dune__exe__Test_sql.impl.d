@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ast Bullfrog_sql Lexer List Option Parser Pretty Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Ast Bullfrog_db Bullfrog_sql Db_error Heap Index List Lock_manager Schema Thread Txn Value

@@ -1,0 +1,1 @@
+test/test_tpcc.ml: Alcotest Bullfrog_db Bullfrog_tpcc Database Hashtbl List Loader Rng Tpcc_migrations Tpcc_random Tpcc_schema Tpcc_txns Value

@@ -1,0 +1,1 @@
+test/test_trackers.ml: Alcotest Array Atomic Bitmap_tracker Bullfrog_core Bullfrog_db Fmt Hash_tracker Hashtbl List Option QCheck QCheck_alcotest Rng Thread Tracker Value

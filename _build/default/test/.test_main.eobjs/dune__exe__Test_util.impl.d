@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Histogram List Option Pqueue QCheck QCheck_alcotest Rng Stats Striped_mutex Thread Vec Zipf

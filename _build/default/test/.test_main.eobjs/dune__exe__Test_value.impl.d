@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Bullfrog_db Bullfrog_sql Fmt List QCheck QCheck_alcotest Stdlib Value

@@ -1,0 +1,139 @@
+(* Access-path selection and semantics: equality index choice, ordered
+   prefix/range paths, residual-filter correctness for the bounds the
+   index cannot express losslessly, and the planner's index-nested-loop
+   pick. *)
+
+open Bullfrog_db
+open Bullfrog_sql
+
+let check = Alcotest.check
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let mk_db () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       {|
+    CREATE TABLE t (w INT, d INT, o INT, v INT);
+    CREATE INDEX t_hash ON t (w, d);
+    CREATE INDEX t_ord ON t USING ordered (w, d, o);
+  |});
+  Database.with_txn db (fun txn ->
+      for w = 1 to 2 do
+        for d = 1 to 3 do
+          for o = 1 to 20 do
+            ignore
+              (Database.exec_in db txn
+                 ~params:[| Value.Int w; Value.Int d; Value.Int o; Value.Int (o * 10) |]
+                 "INSERT INTO t VALUES ($1, $2, $3, $4)"
+                : Executor.result)
+          done
+        done
+      done);
+  db
+
+let table db = Catalog.find_table_exn db.Database.catalog "t"
+
+let pred db sql = Access.compile_pred (table db) (Some (Parser.parse_expr sql))
+
+let path_name = function
+  | Access.P_full -> "full"
+  | Access.P_eq (idx, _) -> "eq:" ^ Index.name idx
+  | Access.P_range (idx, _, _, _) -> "range:" ^ Index.name idx
+
+let selection () =
+  let db = mk_db () in
+  (* full-key equality prefers the longer (3-col) index *)
+  check Alcotest.string "3-col eq" "eq:t_ord" (path_name (pred db "w = 1 AND d = 2 AND o = 3").Access.path);
+  (* 2-col equality matches the hash index exactly *)
+  check Alcotest.string "2-col eq" "eq:t_hash" (path_name (pred db "w = 1 AND d = 2").Access.path);
+  (* equality prefix + range picks the ordered index *)
+  check Alcotest.string "range" "range:t_ord"
+    (path_name (pred db "w = 1 AND d = 2 AND o >= 5 AND o < 9").Access.path);
+  (* nothing matches: sequential *)
+  check Alcotest.string "no index" "full" (path_name (pred db "v = 10").Access.path);
+  (* non-literal comparisons cannot bind an index key *)
+  check Alcotest.string "col-col" "full" (path_name (pred db "w = d").Access.path)
+
+let run_pred db sql =
+  let txn = Database.begin_txn db in
+  let rows = Access.scan_pred txn (table db) (Some (Parser.parse_expr sql)) in
+  Database.commit db txn;
+  List.length rows
+
+let range_semantics () =
+  let db = mk_db () in
+  (* every bound combination agrees with the naive evaluation *)
+  let cases =
+    [
+      ("w = 1 AND d = 2 AND o >= 5 AND o < 9", 4);
+      ("w = 1 AND d = 2 AND o > 5 AND o < 9", 3);
+      ("w = 1 AND d = 2 AND o >= 5 AND o <= 9", 5);
+      ("w = 1 AND d = 2 AND o > 5 AND o <= 9", 4);
+      ("w = 1 AND d = 2 AND o >= 20", 1);
+      ("w = 1 AND d = 2 AND o < 1", 0);
+      ("w = 1 AND d = 2 AND o >= 7 AND o < 7", 0);
+      ("w = 1 AND d = 2 AND o BETWEEN 3 AND 5", 3);
+      ("w = 1 AND d = 2", 20);
+      ("w = 1 AND d = 2 AND o >= 5 AND v > 100", 10);
+    ]
+  in
+  List.iter
+    (fun (sql, expected) ->
+      check Alcotest.int sql expected (run_pred db sql))
+    cases
+
+let tombstones_skipped () =
+  let db = mk_db () in
+  ignore (Database.exec db "DELETE FROM t WHERE w = 1 AND d = 2 AND o = 5" : Executor.result);
+  check Alcotest.int "deleted row not returned" 3
+    (run_pred db "w = 1 AND d = 2 AND o >= 4 AND o < 8")
+
+let index_nl_join_plan () =
+  let db = mk_db () in
+  ignore
+    (Database.exec_script db
+       {|CREATE TABLE small (w INT, tag TEXT);
+         INSERT INTO small VALUES (1,'one'),(2,'two');|});
+  (* joining the 2-row table against t on an indexed column must probe *)
+  let plan = Database.explain db "SELECT tag, v FROM small, t WHERE small.w = t.w AND t.d = 9" in
+  if not (contains plan "Index Nested Loop") then
+    Alcotest.failf "expected an index nested loop:\n%s" plan;
+  (* correctness *)
+  let rows =
+    Database.query db "SELECT COUNT(*) FROM small, t WHERE small.w = t.w"
+  in
+  (match rows with
+  | [ [| Value.Int n |] ] -> check Alcotest.int "join cardinality" 120 n
+  | _ -> Alcotest.fail "count");
+  (* the hash join still serves un-indexed inner keys *)
+  let plan2 = Database.explain db "SELECT tag FROM small, t WHERE small.w = t.v" in
+  if contains plan2 "Index Nested Loop" then
+    Alcotest.fail "v is not indexed; must not pick index NL"
+
+let limit_pushdown_counts () =
+  let db = mk_db () in
+  let txn = Database.begin_txn db in
+  let before = txn.Txn.counters.Txn.rows_read in
+  (match
+     Executor.exec_stmt (Database.exec_ctx db) txn
+       (Parser.parse_one "SELECT v FROM t WHERE w = 1 AND d = 2 LIMIT 1")
+   with
+  | Executor.Rows (_, rows) -> check Alcotest.int "one row" 1 (List.length rows)
+  | _ -> Alcotest.fail "rows");
+  let fetched = txn.Txn.counters.Txn.rows_read - before in
+  Database.commit db txn;
+  check Alcotest.int "LIMIT 1 fetches a single row" 1 fetched
+
+let suite =
+  [
+    Alcotest.test_case "path selection" `Quick selection;
+    Alcotest.test_case "range semantics" `Quick range_semantics;
+    Alcotest.test_case "tombstones skipped" `Quick tombstones_skipped;
+    Alcotest.test_case "index nested loop" `Quick index_nl_join_plan;
+    Alcotest.test_case "limit pushdown" `Quick limit_pushdown_counts;
+  ]

@@ -1,0 +1,127 @@
+(* Compiled-expression evaluation: three-valued logic, arithmetic,
+   functions, folding. *)
+
+open Bullfrog_db
+
+let check = Alcotest.check
+
+let v_test = Alcotest.testable (Fmt.of_to_string Value.to_string) Value.equal
+
+let ev ?(row = [||]) e = Expr.eval row e
+
+let c v = Expr.Const v
+
+let arith () =
+  let open Bullfrog_sql.Ast in
+  check v_test "int add" (Value.Int 7) (ev (Expr.Binop (Add, c (Value.Int 3), c (Value.Int 4))));
+  check v_test "mixed mul" (Value.Float 7.5)
+    (ev (Expr.Binop (Mul, c (Value.Int 3), c (Value.Float 2.5))));
+  check v_test "int div truncates" (Value.Int 2)
+    (ev (Expr.Binop (Div, c (Value.Int 7), c (Value.Int 3))));
+  check v_test "mod" (Value.Int 1) (ev (Expr.Binop (Mod, c (Value.Int 7), c (Value.Int 3))));
+  check v_test "date + int" (Value.Date 11)
+    (ev (Expr.Binop (Add, c (Value.Date 10), c (Value.Int 1))));
+  Alcotest.check_raises "division by zero" (Expr.Eval_error "division by zero")
+    (fun () -> ignore (ev (Expr.Binop (Div, c (Value.Int 1), c (Value.Int 0)))))
+
+let three_valued_logic () =
+  let open Bullfrog_sql.Ast in
+  let t = c (Value.Bool true) and f = c (Value.Bool false) and n = c Value.Null in
+  check v_test "null AND false = false" (Value.Bool false) (ev (Expr.Binop (And, n, f)));
+  check v_test "null AND true = null" Value.Null (ev (Expr.Binop (And, n, t)));
+  check v_test "null OR true = true" (Value.Bool true) (ev (Expr.Binop (Or, n, t)));
+  check v_test "null OR false = null" Value.Null (ev (Expr.Binop (Or, n, f)));
+  check v_test "NOT null = null" Value.Null (ev (Expr.Unop (Not, n)));
+  check v_test "null = null is null" Value.Null (ev (Expr.Binop (Eq, n, n)));
+  check v_test "null comparison" Value.Null (ev (Expr.Binop (Lt, n, c (Value.Int 1))));
+  check Alcotest.bool "eval_pred null -> false" false
+    (Expr.eval_pred [||] (Expr.Binop (Eq, n, n)))
+
+let null_handling_composites () =
+  let n = c Value.Null in
+  check v_test "IS NULL" (Value.Bool true) (ev (Expr.Is_null (n, true)));
+  check v_test "IS NOT NULL" (Value.Bool false) (ev (Expr.Is_null (n, false)));
+  check v_test "IN with match" (Value.Bool true)
+    (ev (Expr.In_list (c (Value.Int 2), [ c (Value.Int 1); c (Value.Int 2) ])));
+  check v_test "IN no match w/ null = null" Value.Null
+    (ev (Expr.In_list (c (Value.Int 9), [ c (Value.Int 1); n ])));
+  check v_test "BETWEEN" (Value.Bool true)
+    (ev (Expr.Between (c (Value.Int 5), c (Value.Int 1), c (Value.Int 9))));
+  check v_test "BETWEEN null bound" Value.Null
+    (ev (Expr.Between (c (Value.Int 5), n, c (Value.Int 9))))
+
+let field_access () =
+  let row = [| Value.Int 10; Value.Str "hi" |] in
+  check v_test "field 0" (Value.Int 10) (Expr.eval row (Expr.Field 0));
+  check v_test "field 1" (Value.Str "hi") (Expr.eval row (Expr.Field 1));
+  Alcotest.check_raises "field out of bounds" (Expr.Eval_error "field 2 out of row bounds")
+    (fun () -> ignore (Expr.eval row (Expr.Field 2)))
+
+let functions () =
+  check v_test "lower" (Value.Str "abc") (ev (Expr.Fn ("lower", [ c (Value.Str "AbC") ])));
+  check v_test "upper" (Value.Str "ABC") (ev (Expr.Fn ("upper", [ c (Value.Str "abc") ])));
+  check v_test "length" (Value.Int 3) (ev (Expr.Fn ("length", [ c (Value.Str "abc") ])));
+  check v_test "substr" (Value.Str "bc")
+    (ev (Expr.Fn ("substr", [ c (Value.Str "abcd"); c (Value.Int 2); c (Value.Int 2) ])));
+  check v_test "substr overrun" (Value.Str "d")
+    (ev (Expr.Fn ("substr", [ c (Value.Str "abcd"); c (Value.Int 4); c (Value.Int 10) ])));
+  check v_test "abs" (Value.Int 5) (ev (Expr.Fn ("abs", [ c (Value.Int (-5)) ])));
+  check v_test "round 2dp" (Value.Float 3.14)
+    (ev (Expr.Fn ("round", [ c (Value.Float 3.14159); c (Value.Int 2) ])));
+  check v_test "coalesce" (Value.Int 2)
+    (ev (Expr.Fn ("coalesce", [ c Value.Null; c (Value.Int 2); c (Value.Int 3) ])));
+  check v_test "nullif equal" Value.Null
+    (ev (Expr.Fn ("nullif", [ c (Value.Int 1); c (Value.Int 1) ])));
+  check v_test "extract day" (Value.Int 9)
+    (ev (Expr.Fn ("extract_day", [ c (Value.date_of_ymd 2020 3 9) ])));
+  check v_test "date_part" (Value.Int 3)
+    (ev (Expr.Fn ("date_part", [ c (Value.Str "month"); c (Value.date_of_ymd 2020 3 9) ])));
+  Alcotest.check_raises "unknown fn" (Expr.Eval_error "unknown function \"nope\"")
+    (fun () -> ignore (ev (Expr.Fn ("nope", []))))
+
+let case_expr () =
+  let open Bullfrog_sql.Ast in
+  let e =
+    Expr.Case
+      ( [
+          (Expr.Binop (Eq, Expr.Field 0, c (Value.Int 1)), c (Value.Str "one"));
+          (Expr.Binop (Eq, Expr.Field 0, c (Value.Int 2)), c (Value.Str "two"));
+        ],
+        Some (c (Value.Str "many")) )
+  in
+  check v_test "case 1" (Value.Str "one") (Expr.eval [| Value.Int 1 |] e);
+  check v_test "case else" (Value.Str "many") (Expr.eval [| Value.Int 9 |] e);
+  let no_else = Expr.Case ([ (c (Value.Bool false), c (Value.Int 1)) ], None) in
+  check v_test "case no match no else" Value.Null (ev no_else)
+
+let folding () =
+  let open Bullfrog_sql.Ast in
+  let e = Expr.Binop (Add, c (Value.Int 1), Expr.Binop (Mul, c (Value.Int 2), c (Value.Int 3))) in
+  (match Expr.const_fold e with
+  | Expr.Const (Value.Int 7) -> ()
+  | other -> Alcotest.failf "expected folded 7, got %s" (Expr.to_string other));
+  let with_field = Expr.Binop (Add, Expr.Field 0, Expr.Binop (Mul, c (Value.Int 2), c (Value.Int 3))) in
+  (match Expr.const_fold with_field with
+  | Expr.Binop (Add, Expr.Field 0, Expr.Const (Value.Int 6)) -> ()
+  | other -> Alcotest.failf "partial fold wrong: %s" (Expr.to_string other));
+  check Alcotest.bool "is_const" true (Expr.is_const e);
+  check Alcotest.bool "not const" false (Expr.is_const with_field)
+
+let fields_and_shift () =
+  let open Bullfrog_sql.Ast in
+  let e = Expr.Binop (Add, Expr.Field 2, Expr.Binop (Mul, Expr.Field 0, Expr.Field 2)) in
+  check (Alcotest.list Alcotest.int) "fields dedup sorted" [ 0; 2 ] (Expr.fields e);
+  let shifted = Expr.shift_fields 3 e in
+  check (Alcotest.list Alcotest.int) "shifted" [ 3; 5 ] (Expr.fields shifted)
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick arith;
+    Alcotest.test_case "three-valued logic" `Quick three_valued_logic;
+    Alcotest.test_case "null composites" `Quick null_handling_composites;
+    Alcotest.test_case "field access" `Quick field_access;
+    Alcotest.test_case "functions" `Quick functions;
+    Alcotest.test_case "case" `Quick case_expr;
+    Alcotest.test_case "const folding" `Quick folding;
+    Alcotest.test_case "fields/shift" `Quick fields_and_shift;
+  ]

@@ -1,0 +1,168 @@
+(* Paper-extension features: the §2.4 synchronous uniqueness pre-check and
+   the §3.6 option-1 (FK-class) join granularity. *)
+
+open Bullfrog_db
+open Bullfrog_core
+
+let check = Alcotest.check
+
+let count db tbl =
+  match Database.query_one db ("SELECT COUNT(*) FROM " ^ tbl) with
+  | [| Value.Int n |] -> n
+  | _ -> -1
+
+let dup_db () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       {|CREATE TABLE t (id INT, v TEXT);
+         INSERT INTO t VALUES (1,'a'),(2,'b'),(2,'dup'),(3,'c');|});
+  db
+
+let keyed_spec () =
+  Migration.make ~name:"m"
+    [
+      {
+        Migration.stmt_name = "t2";
+        outputs =
+          [
+            {
+              Migration.out_name = "t2";
+              out_create =
+                Some
+                  (Bullfrog_sql.Parser.parse_one
+                     "CREATE TABLE t2 (id INT PRIMARY KEY, v TEXT)");
+              out_population = Bullfrog_sql.Parser.parse_select "SELECT id, v FROM t";
+              out_indexes = [];
+            };
+          ];
+      };
+    ]
+
+let precheck_error_mode () =
+  let db = dup_db () in
+  let bf = Lazy_db.create db in
+  (* `Error rejects the migration before the logical switch *)
+  (try
+     ignore (Lazy_db.start_migration ~precheck:`Error bf (keyed_spec ()) : Migrate_exec.t);
+     Alcotest.fail "duplicates must be detected synchronously"
+   with Db_error.Sql_error msg ->
+     check Alcotest.bool "message mentions the output" true
+       (let rec has i =
+          i + 2 <= String.length msg && (String.sub msg i 2 = "t2" || has (i + 1))
+        in
+        has 0));
+  (* the switch did not happen: no output table, no active migration *)
+  check Alcotest.bool "no output table" false (Catalog.exists db.Database.catalog "t2");
+  check Alcotest.bool "no active migration" true (Lazy_db.active bf = None);
+  (* after fixing the data the same migration goes through *)
+  ignore (Database.exec db "DELETE FROM t WHERE v = 'dup'" : Executor.result);
+  ignore (Lazy_db.start_migration ~precheck:`Error bf (keyed_spec ()) : Migrate_exec.t);
+  let rec drain () = if Lazy_db.background_step bf ~batch:8 > 0 then drain () in
+  drain ();
+  check Alcotest.int "migrated after fix" 3 (count db "t2")
+
+let precheck_warn_mode () =
+  let db = dup_db () in
+  let bf = Lazy_db.create db in
+  (* `Warn proceeds with the pure lazy approach *)
+  ignore (Lazy_db.start_migration ~precheck:`Warn bf (keyed_spec ()) : Migrate_exec.t);
+  check Alcotest.bool "switch happened" true (Catalog.exists db.Database.catalog "t2");
+  (* the duplicate record fails to migrate when its granule is reached *)
+  try
+    let rec drain () = if Lazy_db.background_step bf ~batch:8 > 0 then drain () in
+    drain ();
+    Alcotest.fail "the duplicate should surface during migration"
+  with Db_error.Constraint_violation _ -> ()
+
+let precheck_clean_data_passes () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE t (id INT, v TEXT); INSERT INTO t VALUES (1,'a'),(2,'b')");
+  let bf = Lazy_db.create db in
+  ignore (Lazy_db.start_migration ~precheck:`Error bf (keyed_spec ()) : Migrate_exec.t);
+  check Alcotest.bool "clean data passes the precheck" true
+    (Catalog.exists db.Database.catalog "t2")
+
+(* ---------------- §3.6 option 1 ---------------- *)
+
+let fkpk_db () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       {|
+    CREATE TABLE pk (k INT PRIMARY KEY, name TEXT);
+    CREATE TABLE fk (id INT PRIMARY KEY, k INT, v INT);
+    CREATE INDEX fk_k ON fk (k);
+    INSERT INTO pk VALUES (1,'one'),(2,'two');
+    INSERT INTO fk VALUES (10,1,100),(11,1,110),(12,1,120),(13,2,130);
+  |});
+  db
+
+let join_spec () =
+  Migration.make ~name:"j"
+    [
+      Migration.statement_of_sql ~name:"j"
+        "CREATE TABLE joined AS (SELECT id, fk.k AS k, v, name FROM fk, pk WHERE fk.k = pk.k)";
+    ]
+
+let option2_tuple_granularity () =
+  let db = fkpk_db () in
+  let bf = Lazy_db.create db in
+  let rt = Lazy_db.start_migration bf (join_spec ()) in
+  (* default option 2: FKIT tuple granularity *)
+  let fkit =
+    List.find
+      (fun (i : Migrate_exec.rt_input) -> i.Migrate_exec.ri_heap.Heap.name = "fk")
+      (List.hd rt.Migrate_exec.stmts).Migrate_exec.rs_inputs
+  in
+  (match fkit.Migrate_exec.ri_tracker with
+  | Migrate_exec.RT_bitmap _ -> ()
+  | _ -> Alcotest.fail "option 2 must use a bitmap on the FKIT");
+  let report = Migrate_exec.new_report () in
+  ignore (Lazy_db.exec bf ~report "SELECT v FROM joined WHERE id = 10" : Executor.result);
+  check Alcotest.int "one tuple granule" 1 report.Migrate_exec.r_granules_migrated;
+  check Alcotest.int "one row migrated" 1 (count db "joined")
+
+let option1_class_granularity () =
+  let db = fkpk_db () in
+  let bf = Lazy_db.create db in
+  let rt = Lazy_db.start_migration ~fk_join:`Class bf (join_spec ()) in
+  let fkit =
+    List.find
+      (fun (i : Migrate_exec.rt_input) -> i.Migrate_exec.ri_heap.Heap.name = "fk")
+      (List.hd rt.Migrate_exec.stmts).Migrate_exec.rs_inputs
+  in
+  (match fkit.Migrate_exec.ri_tracker with
+  | Migrate_exec.RT_hash (_, cols) ->
+      check Alcotest.int "keyed by the join column" 1 (Array.length cols)
+  | _ -> Alcotest.fail "option 1 must use a hashmap on the FK class");
+  let report = Migrate_exec.new_report () in
+  ignore (Lazy_db.exec bf ~report "SELECT v FROM joined WHERE id = 10" : Executor.result);
+  (* the whole k=1 class migrates with the accessed tuple *)
+  check Alcotest.int "one class granule" 1 report.Migrate_exec.r_granules_migrated;
+  check Alcotest.int "whole FK class migrated" 3 (count db "joined");
+  let rec drain () = if Lazy_db.background_step bf ~batch:8 > 0 then drain () in
+  drain ();
+  check Alcotest.int "exactly once overall" 4 (count db "joined");
+  check Alcotest.bool "verified" true (Migrate_exec.verify_complete rt)
+
+let option1_exactly_once_under_overlap () =
+  let db = fkpk_db () in
+  let bf = Lazy_db.create db in
+  ignore (Lazy_db.start_migration ~fk_join:`Class bf (join_spec ()) : Migrate_exec.t);
+  ignore (Lazy_db.exec bf "SELECT v FROM joined WHERE k = 1" : Executor.result);
+  ignore (Lazy_db.exec bf "SELECT v FROM joined WHERE id = 11" : Executor.result);
+  ignore (Lazy_db.exec bf "SELECT v FROM joined" : Executor.result);
+  check Alcotest.int "no duplicates" 4 (count db "joined")
+
+let suite =
+  [
+    Alcotest.test_case "precheck `Error rejects duplicates" `Quick precheck_error_mode;
+    Alcotest.test_case "precheck `Warn proceeds lazily" `Quick precheck_warn_mode;
+    Alcotest.test_case "precheck passes clean data" `Quick precheck_clean_data_passes;
+    Alcotest.test_case "FK-PK option 2 (tuple)" `Quick option2_tuple_granularity;
+    Alcotest.test_case "FK-PK option 1 (class)" `Quick option1_class_granularity;
+    Alcotest.test_case "option 1 exactly-once" `Quick option1_exactly_once_under_overlap;
+  ]

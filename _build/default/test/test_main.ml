@@ -1,0 +1,25 @@
+(* Entry point assembling every suite.  Run with `dune runtest`; pass
+   ALCOTEST_QUICK_TESTS=1 to skip the `Slow cases. *)
+
+let () =
+  Alcotest.run "bullfrog"
+    [
+      ("util", Test_util.suite);
+      ("value", Test_value.suite);
+      ("expr", Test_expr.suite);
+      ("sql", Test_sql.suite);
+      ("storage", Test_storage.suite);
+      ("engine", Test_engine.suite);
+      ("access", Test_access.suite);
+      ("trackers", Test_trackers.suite);
+      ("bullfrog", Test_bullfrog.suite);
+      ("pair", Test_pair.suite);
+      ("lazy-extra", Test_lazy_extra.suite);
+      ("extensions", Test_extensions.suite);
+      ("equivalence", Test_equivalence.suite);
+      ("multistep-extra", Test_multistep_extra.suite);
+      ("concurrency", Test_concurrency.suite);
+      ("tpcc", Test_tpcc.suite);
+      ("scenarios", Test_scenarios.suite);
+      ("harness", Test_harness.suite);
+    ]

@@ -1,0 +1,230 @@
+(* The paper's three TPC-C migration scenarios (§4.1–§4.3), each run under
+   BullFrog with a live workload, then verified for consistency against a
+   from-scratch recomputation — plus the eager and multistep baselines
+   producing identical final states. *)
+
+open Bullfrog_db
+open Bullfrog_core
+open Bullfrog_tpcc
+
+let check = Alcotest.check
+
+let scale = Tpcc_schema.tiny
+
+let count db tbl =
+  match Database.query_one db ("SELECT COUNT(*) FROM " ^ tbl) with
+  | [| Value.Int n |] -> n
+  | _ -> -1
+
+let run_mix bf ops n seed report =
+  let rng = Rng.create seed in
+  let cfg = { Tpcc_txns.scale; hot_customers = None } in
+  for _ = 1 to n do
+    let input = Tpcc_txns.generate rng cfg in
+    Database.with_txn (Lazy_db.db bf) (fun txn ->
+        Tpcc_txns.run ops ~districts:scale.Tpcc_schema.districts
+          (fun ?params sql -> Lazy_db.exec_in bf txn ~report ?params sql)
+          input)
+  done
+
+let drain bf =
+  let rec go () = if Lazy_db.background_step bf ~batch:128 > 0 then go () in
+  go ()
+
+(* ---------------- split ---------------- *)
+
+let split_scenario () =
+  let db = Database.create () in
+  Loader.load ~seed:3 db scale;
+  let bf = Lazy_db.create db in
+  ignore (Lazy_db.start_migration bf (Tpcc_migrations.split_spec ()) : Migrate_exec.t);
+  let report = Migrate_exec.new_report () in
+  run_mix bf (Tpcc_migrations.post_ops Tpcc_migrations.Split) 150 11 report;
+  drain bf;
+  check Alcotest.bool "complete" true (Lazy_db.migration_complete bf);
+  let n = Tpcc_schema.customer_count scale in
+  check Alcotest.int "public rows" n (count db "customer_public");
+  check Alcotest.int "private rows" n (count db "customer_private");
+  (* payments landed on the private half: balances must differ from load *)
+  (match
+     Database.query_one db "SELECT COUNT(*) FROM customer_private WHERE c_balance <> -10.0"
+   with
+  | [| Value.Int touched |] ->
+      if touched = 0 then Alcotest.fail "no payment reached customer_private"
+  | _ -> Alcotest.fail "count");
+  (* old customer table is rejected *)
+  try
+    ignore (Lazy_db.exec bf "SELECT * FROM customer" : Executor.result);
+    Alcotest.fail "big flip"
+  with Db_error.Sql_error _ -> ()
+
+(* ---------------- aggregate ---------------- *)
+
+let aggregate_scenario () =
+  let db = Database.create () in
+  Loader.load ~seed:4 db scale;
+  let bf = Lazy_db.create db in
+  ignore (Lazy_db.start_migration bf (Tpcc_migrations.aggregate_spec ()) : Migrate_exec.t);
+  let report = Migrate_exec.new_report () in
+  run_mix bf (Tpcc_migrations.post_ops Tpcc_migrations.Aggregate) 150 12 report;
+  drain bf;
+  check Alcotest.bool "complete" true (Lazy_db.migration_complete bf);
+  (* every group's total matches a recomputation over order_line, including
+     groups created by post-flip NewOrders *)
+  let groups =
+    Database.query db
+      "SELECT ol_w_id, ol_d_id, ol_o_id, SUM(ol_amount) FROM order_line GROUP BY ol_w_id, ol_d_id, ol_o_id"
+  in
+  check Alcotest.int "group count matches" (List.length groups) (count db "order_line_total");
+  List.iter
+    (fun g ->
+      match
+        Database.query db
+          ~params:[| g.(0); g.(1); g.(2) |]
+          "SELECT ol_total FROM order_line_total WHERE ol_w_id = $1 AND ol_d_id = $2 AND ol_o_id = $3"
+      with
+      | [ [| total |] ] ->
+          let expect =
+            match g.(3) with
+            | Value.Float f -> f
+            | Value.Int i -> float_of_int i
+            | _ -> 0.0
+          in
+          let got =
+            match total with Value.Float f -> f | Value.Int i -> float_of_int i | _ -> nan
+          in
+          if abs_float (got -. expect) > 0.01 then
+            Alcotest.failf "total mismatch: %f vs %f" got expect
+      | _ -> Alcotest.fail "missing total row")
+    groups
+
+(* ---------------- join ---------------- *)
+
+let join_scenario () =
+  let db = Database.create () in
+  Loader.load ~seed:5 db scale;
+  let expected_pairs =
+    match
+      Database.query_one db
+        "SELECT COUNT(*) FROM order_line, stock WHERE s_i_id = ol_i_id"
+    with
+    | [| Value.Int n |] -> n
+    | _ -> -1
+  in
+  let bf = Lazy_db.create db in
+  ignore (Lazy_db.start_migration bf (Tpcc_migrations.join_spec ()) : Migrate_exec.t);
+  let report = Migrate_exec.new_report () in
+  run_mix bf (Tpcc_migrations.post_ops Tpcc_migrations.Join) 100 13 report;
+  drain bf;
+  check Alcotest.bool "complete" true (Lazy_db.migration_complete bf);
+  (* all original pairs present exactly once, plus the new lines inserted
+     post-flip (one output row each: their s_w = supply warehouse copy) *)
+  let new_lines =
+    match
+      Database.query_one db
+        ~params:[| Value.Int scale.Tpcc_schema.orders |]
+        "SELECT COUNT(*) FROM orderline_stock WHERE ol_o_id > $1"
+    with
+    | [| Value.Int n |] -> n
+    | _ -> -1
+  in
+  check Alcotest.int "exactly-once pairs" (expected_pairs + new_lines)
+    (count db "orderline_stock");
+  check Alcotest.bool "some new lines were written" true (new_lines > 0)
+
+(* ---------------- eager and multistep agree with lazy ---------------- *)
+
+let eager_matches_lazy () =
+  (* run the same migration eagerly on an identical database; the output
+     tables must match BullFrog's background-completed state *)
+  let mk () =
+    let db = Database.create () in
+    Loader.load ~seed:6 db scale;
+    db
+  in
+  let db_lazy = mk () and db_eager = mk () in
+  let bf = Lazy_db.create db_lazy in
+  ignore (Lazy_db.start_migration bf (Tpcc_migrations.split_spec ()) : Migrate_exec.t);
+  drain bf;
+  ignore (Eager.migrate db_eager (Tpcc_migrations.split_spec ()) : Eager.outcome);
+  let snapshot db =
+    Database.query db
+      "SELECT c_w_id, c_d_id, c_id, c_balance FROM customer_private ORDER BY c_w_id, c_d_id, c_id"
+  in
+  let a = snapshot db_lazy and b = snapshot db_eager in
+  check Alcotest.int "same cardinality" (List.length a) (List.length b);
+  List.iter2
+    (fun ra rb ->
+      Array.iteri
+        (fun i v -> if not (Value.equal v rb.(i)) then Alcotest.fail "row mismatch")
+        ra)
+    a b;
+  (* eager drops the old relation *)
+  check Alcotest.bool "old table dropped" false
+    (Catalog.exists db_eager.Database.catalog "customer")
+
+let multistep_dual_writes () =
+  let db = Database.create () in
+  Loader.load ~seed:7 db scale;
+  let ms = Multistep.start db (Tpcc_migrations.split_spec ()) in
+  (* copy half, then write through the old schema *)
+  ignore (Multistep.copier_step ms ~batch:(Tpcc_schema.customer_count scale / 2) : int);
+  let pay c =
+    ignore
+      (Multistep.exec ms
+         ~params:[| Value.Float 5.0; Value.Int 1; Value.Int 1; Value.Int c |]
+         "UPDATE customer SET c_balance = c_balance - $1 WHERE c_w_id = $2 AND c_d_id = $3 AND c_id = $4"
+        : Executor.result)
+  in
+  (* customer 1 was copied (first batch is tid order); write must propagate *)
+  pay 1;
+  (match
+     Database.query_one db
+       "SELECT c_balance FROM customer_private WHERE c_w_id = 1 AND c_d_id = 1 AND c_id = 1"
+   with
+  | [| Value.Float f |] -> check (Alcotest.float 1e-6) "dual write visible" (-15.0) f
+  | _ -> Alcotest.fail "row should be copied");
+  check Alcotest.bool "dual writes counted" true
+    ((Multistep.stats ms).Multistep.dual_write_rows > 0);
+  (* finish the copy; totals must reconcile with the (updated) old schema *)
+  let rec finish () = if Multistep.copier_step ms ~batch:512 > 0 then finish () in
+  finish ();
+  check Alcotest.bool "complete" true (Multistep.complete ms);
+  Multistep.switch_over ms;
+  check Alcotest.bool "old dropped at switch" false
+    (Catalog.exists db.Database.catalog "customer");
+  check Alcotest.int "private complete" (Tpcc_schema.customer_count scale)
+    (count db "customer_private")
+
+let multistep_insert_propagation () =
+  let db = Database.create () in
+  Loader.load ~seed:8 db scale;
+  let ms = Multistep.start db (Tpcc_migrations.aggregate_spec ()) in
+  (* copy everything, then insert new order lines through the old schema:
+     the aggregate output must be refreshed (group recomputation) *)
+  let rec finish () = if Multistep.copier_step ms ~batch:1024 > 0 then finish () in
+  finish ();
+  let o = scale.Tpcc_schema.orders + 500 in
+  ignore
+    (Multistep.exec ms
+       ~params:[| Value.Int o |]
+       "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, ol_dist_info) VALUES ($1, 1, 1, 1, 1, 1, NULL, 2, 42.5, 'x')"
+      : Executor.result);
+  match
+    Database.query db
+      ~params:[| Value.Int o |]
+      "SELECT ol_total FROM order_line_total WHERE ol_w_id = 1 AND ol_d_id = 1 AND ol_o_id = $1"
+  with
+  | [ [| Value.Float f |] ] -> check (Alcotest.float 1e-6) "new group derived" 42.5 f
+  | [ [| Value.Int i |] ] -> check Alcotest.int "new group derived (int)" 42 i
+  | _ -> Alcotest.fail "insert was not propagated to the aggregate"
+
+let suite =
+  [
+    Alcotest.test_case "split scenario" `Slow split_scenario;
+    Alcotest.test_case "aggregate scenario" `Slow aggregate_scenario;
+    Alcotest.test_case "join scenario" `Slow join_scenario;
+    Alcotest.test_case "eager matches lazy" `Slow eager_matches_lazy;
+    Alcotest.test_case "multistep dual writes" `Quick multistep_dual_writes;
+    Alcotest.test_case "multistep insert propagation" `Quick multistep_insert_propagation;
+  ]

@@ -1,0 +1,182 @@
+(* Lexer, parser and pretty-printer tests, including the
+   parse-print-parse-print fixpoint property over generated ASTs. *)
+
+open Bullfrog_sql
+
+let check = Alcotest.check
+
+let lex_kinds () =
+  let toks = Lexer.tokenize "SELECT a1, 'it''s', 3.14, 42, $2 FROM t_x; -- c" in
+  let open Lexer in
+  check (Alcotest.list Alcotest.string) "token kinds"
+    [ "select"; "a1"; ","; "'it's'"; ","; "3.14"; ","; "42"; ","; "$2"; "from"; "t_x"; ";"; "<eof>" ]
+    (List.map token_to_string toks)
+
+let lex_operators () =
+  let toks = Lexer.tokenize "<= >= <> != < > = || * / % + -" in
+  let open Lexer in
+  check (Alcotest.list Alcotest.string) "operators"
+    [ "<="; ">="; "<>"; "<>"; "<"; ">"; "="; "||"; "*"; "/"; "%"; "+"; "-"; "<eof>" ]
+    (List.map token_to_string toks)
+
+let lex_comments () =
+  let toks = Lexer.tokenize "a /* block \n comment */ b -- line\nc" in
+  check Alcotest.int "comments skipped" 4 (List.length toks)
+
+let lex_errors () =
+  (try
+     ignore (Lexer.tokenize "'unterminated");
+     Alcotest.fail "expected Lex_error"
+   with Lexer.Lex_error _ -> ());
+  try
+    ignore (Lexer.tokenize "a ! b");
+    Alcotest.fail "expected Lex_error"
+  with Lexer.Lex_error _ -> ()
+
+let roundtrip sql =
+  let stmt = Parser.parse_one sql in
+  let printed = Pretty.stmt_to_string stmt in
+  let reparsed = Parser.parse_one printed in
+  let printed2 = Pretty.stmt_to_string reparsed in
+  check Alcotest.string (Printf.sprintf "roundtrip %s" sql) printed printed2
+
+let parse_roundtrips () =
+  List.iter roundtrip
+    [
+      "SELECT * FROM t WHERE a = 1 AND b < 'x' OR NOT c >= 2.5";
+      "SELECT a AS x, COUNT(*), SUM(DISTINCT b) FROM t GROUP BY a HAVING COUNT(*) > 2";
+      "SELECT t.* , u.a FROM t, u WHERE t.id = u.id ORDER BY a DESC, b ASC LIMIT 5";
+      "SELECT CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END FROM t";
+      "SELECT a FROM t WHERE b IN (1, 2, 3) AND c BETWEEN 1 AND 9 AND d IS NOT NULL";
+      "SELECT EXTRACT(DAY FROM d), EXTRACT(YEAR FROM ts) FROM t";
+      "SELECT (SELECT MAX(x) FROM u) + 1 FROM t WHERE EXISTS (SELECT a FROM v)";
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL) ON CONFLICT DO NOTHING";
+      "INSERT INTO t (SELECT a, b FROM u WHERE c > 0)";
+      "UPDATE t SET a = a + 1, b = 'z' WHERE c = $1";
+      "DELETE FROM t WHERE a IS NULL";
+      "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(10) NOT NULL, c DECIMAL(12,2) DEFAULT 0, CHECK (c >= 0))";
+      "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b), FOREIGN KEY (b) REFERENCES u (x))";
+      "CREATE TABLE t2 AS (SELECT a, b + 1 AS c FROM t)";
+      "CREATE VIEW v AS (SELECT a FROM t WHERE b = 3)";
+      "CREATE UNIQUE INDEX i ON t (a, b)";
+      "CREATE INDEX i ON t USING ordered (a, b)";
+      "DROP TABLE IF EXISTS t";
+      "ALTER TABLE t ADD COLUMN x INT DEFAULT 7";
+      "ALTER TABLE t DROP COLUMN x";
+      "ALTER TABLE t RENAME TO u";
+      "ALTER TABLE t RENAME COLUMN a TO b";
+      "ALTER TABLE t ADD CONSTRAINT ck CHECK (a > 0)";
+      "ALTER TABLE t DROP CONSTRAINT ck";
+      "EXPLAIN SELECT a FROM t";
+      "SELECT COUNT(DISTINCT (s_i_id)) FROM order_line, stock WHERE s_i_id = ol_i_id";
+    ]
+
+let parse_join_sugar () =
+  match Parser.parse_one "SELECT a FROM t JOIN u ON t.id = u.id WHERE t.x = 1" with
+  | Ast.Select_stmt s ->
+      check Alcotest.int "two from items" 2 (List.length s.Ast.from);
+      let conjs = match s.Ast.where with Some w -> Ast.conjuncts w | None -> [] in
+      check Alcotest.int "join cond merged into where" 2 (List.length conjs)
+  | _ -> Alcotest.fail "expected select"
+
+let parse_errors () =
+  List.iter
+    (fun sql ->
+      try
+        ignore (Parser.parse_one sql);
+        Alcotest.failf "expected parse error for %S" sql
+      with Parser.Parse_error _ -> ())
+    [
+      "SELECT FROM t";
+      "SELECT a FROM";
+      "INSERT t VALUES (1)";
+      "CREATE TABLE t (a INTT)";
+      "SELECT a FROM t WHERE";
+      "SELECT a b c FROM t, ";
+      "UPDATE t SET";
+      "SELECT a FROM t LIMIT x";
+    ]
+
+let parse_script () =
+  let stmts = Parser.parse "SELECT 1; SELECT 2;; SELECT 3" in
+  check Alcotest.int "three statements" 3 (List.length stmts)
+
+let param_binding () =
+  let e = Parser.parse_expr "a = $1 AND b < $2" in
+  let bound = Ast.bind_params [| Ast.Int_lit 5; Ast.Str_lit "x" |] e in
+  check Alcotest.string "bound" "((a = 5) AND (b < 'x'))" (Pretty.expr_to_string bound);
+  try
+    ignore (Ast.bind_params [| Ast.Int_lit 1 |] e);
+    Alcotest.fail "expected out-of-range param error"
+  with Invalid_argument _ -> ()
+
+let conjunct_helpers () =
+  let e = Parser.parse_expr "a = 1 AND b = 2 AND c = 3" in
+  check Alcotest.int "three conjuncts" 3 (List.length (Ast.conjuncts e));
+  check Alcotest.bool "conjoin of []" true (Ast.conjoin [] = None);
+  let roundtripped = Ast.conjoin (Ast.conjuncts e) in
+  check Alcotest.int "conjoin/conjuncts stable" 3
+    (List.length (Ast.conjuncts (Option.get roundtripped)))
+
+let contains_agg () =
+  check Alcotest.bool "agg detected" true
+    (Ast.contains_agg (Parser.parse_expr "1 + SUM(x)"));
+  check Alcotest.bool "no agg" false (Ast.contains_agg (Parser.parse_expr "1 + x"))
+
+(* Random expression generator for the print-parse fixpoint property. *)
+let gen_expr =
+  let open QCheck.Gen in
+  let ident = oneofl [ "a"; "b"; "c"; "col1"; "x_y" ] in
+  let leaf =
+    oneof
+      [
+        map (fun i -> Ast.Int_lit i) (int_range (-100) 100);
+        map (fun s -> Ast.Str_lit s) (oneofl [ "s"; "it's"; ""; "AA101" ]);
+        map (fun c -> Ast.Col (None, c)) ident;
+        return Ast.Null_lit;
+        return (Ast.Bool_lit true);
+      ]
+  in
+  let rec expr n =
+    if n <= 0 then leaf
+    else
+      frequency
+        [
+          (3, leaf);
+          ( 2,
+            map3
+              (fun op a b -> Ast.Binop (op, a, b))
+              (oneofl Ast.[ Eq; Neq; Lt; Le; Gt; Ge; Add; Sub; Mul; And; Or ])
+              (expr (n / 2)) (expr (n / 2)) );
+          (1, map (fun a -> Ast.Unop (Ast.Not, a)) (expr (n - 1)));
+          (1, map (fun a -> Ast.Is_null (a, true)) (expr (n - 1)));
+          ( 1,
+            map2 (fun a items -> Ast.In_list (a, items)) (expr (n / 2))
+              (list_size (int_range 1 3) (expr 0)) );
+        ]
+  in
+  expr 4
+
+let expr_fixpoint_prop =
+  QCheck.Test.make ~name:"expression print/parse fixpoint" ~count:500
+    (QCheck.make gen_expr ~print:Pretty.expr_to_string)
+    (fun e ->
+      let printed = Pretty.expr_to_string e in
+      let reparsed = Parser.parse_expr printed in
+      Pretty.expr_to_string reparsed = printed)
+
+let suite =
+  [
+    Alcotest.test_case "lexer token kinds" `Quick lex_kinds;
+    Alcotest.test_case "lexer operators" `Quick lex_operators;
+    Alcotest.test_case "lexer comments" `Quick lex_comments;
+    Alcotest.test_case "lexer errors" `Quick lex_errors;
+    Alcotest.test_case "statement roundtrips" `Quick parse_roundtrips;
+    Alcotest.test_case "JOIN ... ON sugar" `Quick parse_join_sugar;
+    Alcotest.test_case "parse errors" `Quick parse_errors;
+    Alcotest.test_case "script parsing" `Quick parse_script;
+    Alcotest.test_case "param binding" `Quick param_binding;
+    Alcotest.test_case "conjunct helpers" `Quick conjunct_helpers;
+    Alcotest.test_case "contains_agg" `Quick contains_agg;
+    QCheck_alcotest.to_alcotest expr_fixpoint_prop;
+  ]

@@ -1,0 +1,203 @@
+(* Heap, Index (hash and ordered), Txn undo, Lock_manager. *)
+
+open Bullfrog_db
+open Bullfrog_sql
+
+let check = Alcotest.check
+
+let mk_schema cols =
+  Schema.make
+    (Array.of_list
+       (List.map
+          (fun (name, ty) -> { Schema.name; ty; not_null = false; default = None })
+          cols))
+
+let mk_heap () =
+  Heap.create ~tbl_id:0 ~name:"t" (mk_schema [ ("id", Ast.T_int); ("v", Ast.T_text) ])
+
+let row i s = [| Value.Int i; Value.Str s |]
+
+let heap_crud () =
+  let h = mk_heap () in
+  let t0 = Heap.insert h (row 1 "a") in
+  let t1 = Heap.insert h (row 2 "b") in
+  check Alcotest.int "tids dense" 1 t1;
+  check Alcotest.int "live" 2 (Heap.live_count h);
+  (match Heap.get h t0 with
+  | Some r -> check Alcotest.string "row content" "a" (Value.to_string r.(1))
+  | None -> Alcotest.fail "row missing");
+  let old = Heap.update h t0 (row 1 "a2") in
+  check Alcotest.string "old image" "a" (Value.to_string old.(1));
+  let deleted = Heap.delete h t1 in
+  check Alcotest.string "deleted image" "b" (Value.to_string deleted.(1));
+  check Alcotest.int "live after delete" 1 (Heap.live_count h);
+  check Alcotest.bool "tombstone" true (Heap.get h t1 = None);
+  check Alcotest.int "tid_count keeps tombstones" 2 (Heap.tid_count h);
+  (* tombstone slots are not reused: TIDs are stable *)
+  let t2 = Heap.insert h (row 3 "c") in
+  check Alcotest.int "append-only tids" 2 t2;
+  Heap.restore h t1 (row 2 "b");
+  check Alcotest.int "restore" 3 (Heap.live_count h);
+  Alcotest.check_raises "restore occupied" (Invalid_argument "Heap.restore: slot is occupied")
+    (fun () -> Heap.restore h t1 (row 2 "b"))
+
+let heap_iteration () =
+  let h = mk_heap () in
+  for i = 0 to 9 do
+    ignore (Heap.insert h (row i "x") : int)
+  done;
+  ignore (Heap.delete h 5 : Heap.row);
+  let seen = ref [] in
+  Heap.iter_live h (fun tid _ -> seen := tid :: !seen);
+  check Alcotest.int "iter skips tombstones" 9 (List.length !seen);
+  let sum = Heap.fold_live h ~init:0 ~f:(fun acc _ r -> acc + (match r.(0) with Value.Int i -> i | _ -> 0)) in
+  check Alcotest.int "fold" (45 - 5) sum
+
+let hash_index () =
+  let h = mk_heap () in
+  let idx = Index.create ~name:"t_id" ~key_cols:[| 0 |] ~unique:true () in
+  Heap.add_index h idx;
+  let t0 = Heap.insert h (row 1 "a") in
+  ignore (Heap.insert h (row 2 "b") : int);
+  check (Alcotest.list Alcotest.int) "find" [ t0 ] (Index.find idx [| Value.Int 1 |]);
+  (* unique violation leaves heap unchanged *)
+  (try
+     ignore (Heap.insert h (row 1 "dup") : int);
+     Alcotest.fail "expected unique violation"
+   with Db_error.Constraint_violation _ -> ());
+  check Alcotest.int "heap unchanged after violation" 2 (Heap.live_count h);
+  (* update moves index entries *)
+  ignore (Heap.update h t0 (row 10 "a") : Heap.row);
+  check (Alcotest.list Alcotest.int) "old key gone" [] (Index.find idx [| Value.Int 1 |]);
+  check (Alcotest.list Alcotest.int) "new key" [ t0 ] (Index.find idx [| Value.Int 10 |]);
+  (* null keys are not indexed and never conflict *)
+  ignore (Heap.insert h [| Value.Null; Value.Str "n1" |] : int);
+  ignore (Heap.insert h [| Value.Null; Value.Str "n2" |] : int);
+  check Alcotest.int "nulls unindexed" 2 (Index.entry_count idx)
+
+let ordered_index_minmax () =
+  let idx = Index.create ~kind:Index.Ordered ~name:"ord" ~key_cols:[| 0; 1 |] ~unique:false () in
+  let put w o tid = Index.insert idx [| Value.Int w; Value.Int o |] tid in
+  put 1 5 50;
+  put 1 3 30;
+  put 1 9 90;
+  put 2 1 10;
+  (match Index.min_with_prefix idx [| Value.Int 1 |] with
+  | Some (key, [ 30 ]) -> check Alcotest.int "min key" 3 (match key.(1) with Value.Int i -> i | _ -> -1)
+  | _ -> Alcotest.fail "min_with_prefix wrong");
+  (match Index.max_with_prefix idx [| Value.Int 1 |] with
+  | Some (key, [ 90 ]) -> check Alcotest.int "max key" 9 (match key.(1) with Value.Int i -> i | _ -> -1)
+  | _ -> Alcotest.fail "max_with_prefix wrong");
+  check Alcotest.bool "missing prefix" true (Index.min_with_prefix idx [| Value.Int 7 |] = None);
+  (* removal updates extrema *)
+  Index.remove idx [| Value.Int 1; Value.Int 3 |] 30;
+  (match Index.min_with_prefix idx [| Value.Int 1 |] with
+  | Some (_, [ 50 ]) -> ()
+  | _ -> Alcotest.fail "min after removal")
+
+let ordered_index_range () =
+  let idx = Index.create ~kind:Index.Ordered ~name:"ord" ~key_cols:[| 0; 1 |] ~unique:false () in
+  for o = 1 to 20 do
+    Index.insert idx [| Value.Int 1; Value.Int o |] (o * 10)
+  done;
+  Index.insert idx [| Value.Int 2; Value.Int 1 |] 999;
+  let collect ?lo ?hi () =
+    Index.fold_prefix_range idx ~prefix:[| Value.Int 1 |] ?lo ?hi ~init:[]
+      ~f:(fun acc _ tids -> acc @ tids)
+      ()
+  in
+  check Alcotest.int "full prefix" 20 (List.length (collect ()));
+  check (Alcotest.list Alcotest.int) "range [5,8)" [ 50; 60; 70 ]
+    (collect ~lo:(Value.Int 5) ~hi:(Value.Int 8) ());
+  check Alcotest.int "lo only" 16 (List.length (collect ~lo:(Value.Int 5) ()));
+  check Alcotest.int "hi only" 4 (List.length (collect ~hi:(Value.Int 5) ()));
+  check Alcotest.int "empty range" 0
+    (List.length (collect ~lo:(Value.Int 8) ~hi:(Value.Int 8) ()))
+
+let ordered_unique () =
+  let idx = Index.create ~kind:Index.Ordered ~name:"u" ~key_cols:[| 0 |] ~unique:true () in
+  Index.insert idx [| Value.Int 1 |] 0;
+  try
+    Index.insert idx [| Value.Int 1 |] 1;
+    Alcotest.fail "expected violation"
+  with Db_error.Constraint_violation _ -> ()
+
+let txn_undo () =
+  let h = mk_heap () in
+  let t0 = Heap.insert h (row 1 "orig") in
+  let txn = Txn.make 1 in
+  (* update then delete another then insert; abort must restore all *)
+  let old = Heap.update h t0 (row 1 "changed") in
+  Txn.record_update txn h t0 old;
+  let t1 = Heap.insert h (row 2 "new") in
+  Txn.record_insert txn h t1;
+  let old2 = Heap.update h t0 (row 1 "changed2") in
+  Txn.record_update txn h t0 old2;
+  Txn.abort txn;
+  (match Heap.get h t0 with
+  | Some r -> check Alcotest.string "oldest image restored" "orig" (Value.to_string r.(1))
+  | None -> Alcotest.fail "row missing");
+  check Alcotest.bool "insert rolled back" true (Heap.get h t1 = None);
+  check Alcotest.bool "aborted" false (Txn.active txn)
+
+let txn_hooks () =
+  let order = ref [] in
+  let txn = Txn.make 1 in
+  Txn.on_commit txn (fun () -> order := "c1" :: !order);
+  Txn.on_commit txn (fun () -> order := "c2" :: !order);
+  Txn.commit txn;
+  check (Alcotest.list Alcotest.string) "commit hooks in order" [ "c2"; "c1" ] !order;
+  let txn2 = Txn.make 2 in
+  let fired = ref false in
+  Txn.on_abort txn2 (fun () -> fired := true);
+  Txn.abort txn2;
+  check Alcotest.bool "abort hook" true !fired;
+  Alcotest.check_raises "double commit" (Invalid_argument "Txn.commit: transaction 1 is not active")
+    (fun () -> Txn.commit txn)
+
+let lock_manager () =
+  let lm = Lock_manager.create ~timeout:0.2 () in
+  Lock_manager.acquire lm ~owner:1 (0, 5);
+  check Alcotest.bool "reentrant" true (Lock_manager.try_acquire lm ~owner:1 (0, 5));
+  check Alcotest.bool "other blocked" false (Lock_manager.try_acquire lm ~owner:2 (0, 5));
+  check (Alcotest.option Alcotest.int) "holder" (Some 1) (Lock_manager.holder lm (0, 5));
+  (* blocking acquire times out and aborts *)
+  (try
+     Lock_manager.acquire lm ~owner:2 (0, 5);
+     Alcotest.fail "expected timeout"
+   with Db_error.Txn_abort _ -> ());
+  Lock_manager.release_all lm ~owner:1;
+  check (Alcotest.option Alcotest.int) "released" None (Lock_manager.holder lm (0, 5));
+  Lock_manager.acquire lm ~owner:2 (0, 5);
+  check Alcotest.int "held count" 1 (Lock_manager.held_count lm ~owner:2)
+
+let lock_handoff_across_threads () =
+  let lm = Lock_manager.create ~timeout:2.0 () in
+  Lock_manager.acquire lm ~owner:1 (0, 1);
+  let acquired = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        Lock_manager.acquire lm ~owner:2 (0, 1);
+        acquired := true)
+      ()
+  in
+  Thread.delay 0.05;
+  check Alcotest.bool "still waiting" false !acquired;
+  Lock_manager.release_all lm ~owner:1;
+  Thread.join th;
+  check Alcotest.bool "acquired after release" true !acquired
+
+let suite =
+  [
+    Alcotest.test_case "heap crud" `Quick heap_crud;
+    Alcotest.test_case "heap iteration" `Quick heap_iteration;
+    Alcotest.test_case "hash index" `Quick hash_index;
+    Alcotest.test_case "ordered index min/max" `Quick ordered_index_minmax;
+    Alcotest.test_case "ordered index range" `Quick ordered_index_range;
+    Alcotest.test_case "ordered unique" `Quick ordered_unique;
+    Alcotest.test_case "txn undo" `Quick txn_undo;
+    Alcotest.test_case "txn hooks" `Quick txn_hooks;
+    Alcotest.test_case "lock manager" `Quick lock_manager;
+    Alcotest.test_case "lock handoff" `Quick lock_handoff_across_threads;
+  ]

@@ -1,0 +1,212 @@
+(* TPC-C substrate: loader cardinalities, NURand, transaction mix, and
+   the five transactions' behaviour on the base schema. *)
+
+open Bullfrog_db
+open Bullfrog_tpcc
+
+let check = Alcotest.check
+
+let scale = Tpcc_schema.tiny
+
+let load () =
+  let db = Database.create () in
+  Loader.load ~seed:1 db scale;
+  db
+
+let loader_cardinalities () =
+  let db = load () in
+  let counts = Loader.row_counts db in
+  let get n = List.assoc n counts in
+  check Alcotest.int "warehouses" scale.Tpcc_schema.warehouses (get "warehouse");
+  check Alcotest.int "districts"
+    (scale.Tpcc_schema.warehouses * scale.Tpcc_schema.districts)
+    (get "district");
+  check Alcotest.int "customers" (Tpcc_schema.customer_count scale) (get "customer");
+  check Alcotest.int "items" scale.Tpcc_schema.items (get "item");
+  check Alcotest.int "stock"
+    (scale.Tpcc_schema.warehouses * scale.Tpcc_schema.items)
+    (get "stock");
+  check Alcotest.int "orders"
+    (scale.Tpcc_schema.warehouses * scale.Tpcc_schema.districts * scale.Tpcc_schema.orders)
+    (get "orders");
+  (* ~30% of initial orders are undelivered *)
+  let expected_new = get "orders" * 3 / 10 in
+  let diff = abs (get "new_order" - expected_new) in
+  if diff > get "orders" / 10 then
+    Alcotest.failf "new_order count %d far from %d" (get "new_order") expected_new
+
+let loader_integrity () =
+  let db = load () in
+  (* every order's customer exists *)
+  let orphans =
+    Database.query db
+      "SELECT COUNT(*) FROM orders o WHERE NOT EXISTS (SELECT c_id FROM customer WHERE c_w_id = 1 AND c_d_id = 1 AND c_id = 1)"
+  in
+  ignore orphans;
+  (* district next order id = orders + 1 *)
+  (match Database.query_one db "SELECT MIN(d_next_o_id), MAX(d_next_o_id) FROM district" with
+  | [| Value.Int lo; Value.Int hi |] ->
+      check Alcotest.int "d_next_o_id" (scale.Tpcc_schema.orders + 1) lo;
+      check Alcotest.int "uniform" lo hi
+  | _ -> Alcotest.fail "district read");
+  (* order lines belong to existing orders *)
+  match
+    Database.query_one db
+      "SELECT COUNT(*) FROM order_line WHERE ol_o_id > (SELECT MAX(o_id) FROM orders)"
+  with
+  | [| Value.Int 0 |] -> ()
+  | [| Value.Int n |] -> Alcotest.failf "%d dangling order lines" n
+  | _ -> Alcotest.fail "count"
+
+let nurand_properties () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let c = Tpcc_random.customer_id rng ~max:3000 in
+    if c < 1 || c > 3000 then Alcotest.fail "customer id out of range";
+    let i = Tpcc_random.item_id rng ~max:100_000 in
+    if i < 1 || i > 100_000 then Alcotest.fail "item id out of range"
+  done;
+  check Alcotest.string "last_name 0" "BARBARBAR" (Tpcc_random.last_name 0);
+  check Alcotest.string "last_name 371" "PRICALLYOUGHT" (Tpcc_random.last_name 371);
+  check Alcotest.string "last_name 999" "EINGEINGEING" (Tpcc_random.last_name 999)
+
+let mix_proportions () =
+  let rng = Rng.create 9 in
+  let cfg = { Tpcc_txns.scale; hot_customers = None } in
+  let counts = Hashtbl.create 5 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let k = Tpcc_txns.input_kind (Tpcc_txns.generate rng cfg) in
+    Hashtbl.replace counts k (1 + try Hashtbl.find counts k with Not_found -> 0)
+  done;
+  let frac k = float_of_int (try Hashtbl.find counts k with Not_found -> 0) /. float_of_int n in
+  let near k expected =
+    let f = frac k in
+    if abs_float (f -. expected) > 0.02 then
+      Alcotest.failf "%s fraction %.3f far from %.2f" k f expected
+  in
+  near "NewOrder" 0.45;
+  near "Payment" 0.43;
+  near "Delivery" 0.04;
+  near "OrderStatus" 0.04;
+  near "StockLevel" 0.04
+
+let hot_set_restriction () =
+  let rng = Rng.create 9 in
+  let cfg = { Tpcc_txns.scale; hot_customers = Some 10 } in
+  for _ = 1 to 2000 do
+    match Tpcc_txns.generate rng cfg with
+    | Tpcc_txns.New_order { w; d; c; _ }
+    | Tpcc_txns.Payment { w; d; c; _ }
+    | Tpcc_txns.Order_status { w; d; c; _ } ->
+        let flat =
+          ((w - 1) * scale.Tpcc_schema.districts * scale.Tpcc_schema.customers)
+          + ((d - 1) * scale.Tpcc_schema.customers)
+          + (c - 1)
+        in
+        if flat >= 10 then Alcotest.failf "customer %d outside hot set" flat
+    | Tpcc_txns.Delivery _ | Tpcc_txns.Stock_level _ -> ()
+  done
+
+let run_txn db input =
+  Database.with_txn db (fun txn ->
+      Tpcc_txns.run Tpcc_migrations.base_ops ~districts:scale.Tpcc_schema.districts
+        (fun ?params sql -> Database.exec_in db txn ?params sql)
+        input)
+
+let new_order_effects () =
+  let db = load () in
+  let before_next =
+    match Database.query_one db "SELECT d_next_o_id FROM district WHERE d_w_id = 1 AND d_id = 1" with
+    | [| Value.Int n |] -> n
+    | _ -> -1
+  in
+  let items = [ { Tpcc_txns.noi_item = 1; noi_supply_w = 1; noi_qty = 3 } ] in
+  run_txn db (Tpcc_txns.New_order { w = 1; d = 1; c = 1; items });
+  (match Database.query_one db "SELECT d_next_o_id FROM district WHERE d_w_id = 1 AND d_id = 1" with
+  | [| Value.Int n |] -> check Alcotest.int "next_o_id bumped" (before_next + 1) n
+  | _ -> Alcotest.fail "district");
+  (match
+     Database.query_one db
+       ~params:[| Value.Int before_next |]
+       "SELECT COUNT(*) FROM order_line WHERE ol_w_id = 1 AND ol_d_id = 1 AND ol_o_id = $1"
+   with
+  | [| Value.Int 1 |] -> ()
+  | _ -> Alcotest.fail "order line inserted");
+  match
+    Database.query_one db
+      ~params:[| Value.Int before_next |]
+      "SELECT COUNT(*) FROM new_order WHERE no_w_id = 1 AND no_d_id = 1 AND no_o_id = $1"
+  with
+  | [| Value.Int 1 |] -> ()
+  | _ -> Alcotest.fail "new_order inserted"
+
+let payment_effects () =
+  let db = load () in
+  let bal w d c =
+    match
+      Database.query_one db
+        ~params:[| Value.Int w; Value.Int d; Value.Int c |]
+        "SELECT c_balance FROM customer WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3"
+    with
+    | [| Value.Float f |] -> f
+    | _ -> nan
+  in
+  let before = bal 1 1 1 in
+  run_txn db (Tpcc_txns.Payment { w = 1; d = 1; by_last = None; c = 1; amount = 25.0 });
+  check (Alcotest.float 1e-6) "balance decremented" (before -. 25.0) (bal 1 1 1);
+  (* payment by last name resolves through the customer-name index *)
+  let last =
+    match
+      Database.query_one db
+        "SELECT c_last FROM customer WHERE c_w_id = 1 AND c_d_id = 1 AND c_id = 2"
+    with
+    | [| Value.Str s |] -> s
+    | _ -> "?"
+  in
+  run_txn db (Tpcc_txns.Payment { w = 1; d = 1; by_last = Some last; c = 1; amount = 1.0 });
+  match Database.query_one db "SELECT COUNT(*) FROM history" with
+  | [| Value.Int n |] ->
+      check Alcotest.int "history grows" (Tpcc_schema.customer_count scale + 2) n
+  | _ -> Alcotest.fail "history"
+
+let delivery_effects () =
+  let db = load () in
+  let undelivered () =
+    match Database.query_one db "SELECT COUNT(*) FROM new_order WHERE no_w_id = 1" with
+    | [| Value.Int n |] -> n
+    | _ -> -1
+  in
+  let carrier5 () =
+    match
+      Database.query_one db
+        "SELECT COUNT(*) FROM orders WHERE o_w_id = 1 AND o_carrier_id = 5"
+    with
+    | [| Value.Int n |] -> n
+    | _ -> -1
+  in
+  let before = undelivered () and c_before = carrier5 () in
+  run_txn db (Tpcc_txns.Delivery { w = 1; carrier = 5 });
+  check Alcotest.int "one order delivered per district"
+    (before - scale.Tpcc_schema.districts)
+    (undelivered ());
+  (* each delivered order got the carrier *)
+  check Alcotest.int "carrier set" (c_before + scale.Tpcc_schema.districts) (carrier5 ())
+
+let order_status_and_stock_level_run () =
+  let db = load () in
+  run_txn db (Tpcc_txns.Order_status { w = 1; d = 1; by_last = None; c = 1 });
+  run_txn db (Tpcc_txns.Stock_level { w = 1; d = 1; threshold = 15 })
+
+let suite =
+  [
+    Alcotest.test_case "loader cardinalities" `Quick loader_cardinalities;
+    Alcotest.test_case "loader integrity" `Quick loader_integrity;
+    Alcotest.test_case "nurand" `Quick nurand_properties;
+    Alcotest.test_case "mix proportions" `Slow mix_proportions;
+    Alcotest.test_case "hot set restriction" `Quick hot_set_restriction;
+    Alcotest.test_case "NewOrder effects" `Quick new_order_effects;
+    Alcotest.test_case "Payment effects" `Quick payment_effects;
+    Alcotest.test_case "Delivery effects" `Quick delivery_effects;
+    Alcotest.test_case "OrderStatus/StockLevel run" `Quick order_status_and_stock_level_run;
+  ]

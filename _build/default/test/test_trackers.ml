@@ -1,0 +1,269 @@
+(* Bitmap and hashmap tracker semantics (paper §3.3/§3.4, Algorithms 2-3),
+   including qcheck properties and real-thread stress tests for
+   exactly-once migration. *)
+
+open Bullfrog_core
+open Bullfrog_db
+
+let check = Alcotest.check
+
+let decision =
+  Alcotest.testable
+    (Fmt.of_to_string Tracker.decision_to_string)
+    (fun a b -> a = b)
+
+(* ---------------- bitmap ---------------- *)
+
+let bitmap_lifecycle () =
+  let bt = Bitmap_tracker.create ~size:16 () in
+  check Alcotest.int "granules" 16 (Bitmap_tracker.granule_count bt);
+  check decision "first acquire" Tracker.Migrate (Bitmap_tracker.try_acquire bt 3);
+  check decision "second acquire skips" Tracker.Skip (Bitmap_tracker.try_acquire bt 3);
+  check Alcotest.bool "in progress" true (Bitmap_tracker.is_in_progress bt 3);
+  check Alcotest.bool "not migrated" false (Bitmap_tracker.is_migrated bt 3);
+  Bitmap_tracker.mark_migrated bt 3;
+  check Alcotest.bool "migrated" true (Bitmap_tracker.is_migrated bt 3);
+  check Alcotest.bool "lock cleared" false (Bitmap_tracker.is_in_progress bt 3);
+  check decision "after migrate" Tracker.Already_migrated (Bitmap_tracker.try_acquire bt 3);
+  Alcotest.check_raises "double completion"
+    (Invalid_argument "Bitmap_tracker.mark_migrated: granule 3 already migrated")
+    (fun () -> Bitmap_tracker.mark_migrated bt 3)
+
+let bitmap_abort () =
+  let bt = Bitmap_tracker.create ~size:8 () in
+  check decision "acquire" Tracker.Migrate (Bitmap_tracker.try_acquire bt 6);
+  Bitmap_tracker.mark_aborted bt 6;
+  check Alcotest.bool "back to [0 0]" false (Bitmap_tracker.is_in_progress bt 6);
+  (* §3.5 / Fig. 2: another worker can now take over *)
+  check decision "reacquire after abort" Tracker.Migrate (Bitmap_tracker.try_acquire bt 6)
+
+let bitmap_pages () =
+  let bt = Bitmap_tracker.create ~page_size:64 ~size:1000 () in
+  check Alcotest.int "granule count rounds up" 16 (Bitmap_tracker.granule_count bt);
+  check Alcotest.int "tid->granule" 2 (Bitmap_tracker.granule_of_tid bt 130);
+  check decision "page acquire" Tracker.Migrate
+    (Bitmap_tracker.try_acquire bt (Bitmap_tracker.granule_of_tid bt 130));
+  (* all tids of the page share the granule *)
+  check decision "same page skips" Tracker.Skip
+    (Bitmap_tracker.try_acquire bt (Bitmap_tracker.granule_of_tid bt 129))
+
+let bitmap_progress_scan () =
+  let bt = Bitmap_tracker.create ~size:10 () in
+  check (Alcotest.option Alcotest.int) "first unmigrated" (Some 0)
+    (Bitmap_tracker.first_unmigrated bt ~from:0);
+  for g = 0 to 4 do
+    ignore (Bitmap_tracker.try_acquire bt g : Tracker.decision);
+    Bitmap_tracker.mark_migrated bt g
+  done;
+  check (Alcotest.option Alcotest.int) "cursor skips migrated" (Some 5)
+    (Bitmap_tracker.first_unmigrated bt ~from:0);
+  (* in-progress granules are skipped too (another worker owns them) *)
+  ignore (Bitmap_tracker.try_acquire bt 5 : Tracker.decision);
+  check (Alcotest.option Alcotest.int) "skips in-progress" (Some 6)
+    (Bitmap_tracker.first_unmigrated bt ~from:0);
+  let s = Bitmap_tracker.stats bt in
+  check Alcotest.int "stats migrated" 5 s.Tracker.migrated;
+  check Alcotest.int "stats in progress" 1 s.Tracker.in_progress;
+  check Alcotest.bool "not complete" false (Bitmap_tracker.complete bt);
+  Bitmap_tracker.mark_migrated bt 5;
+  for g = 6 to 9 do
+    Bitmap_tracker.force_migrated bt g
+  done;
+  check Alcotest.bool "complete" true (Bitmap_tracker.complete bt)
+
+let bitmap_force_idempotent () =
+  let bt = Bitmap_tracker.create ~size:4 () in
+  Bitmap_tracker.force_migrated bt 1;
+  Bitmap_tracker.force_migrated bt 1;
+  check Alcotest.int "force counted once" 1 (Bitmap_tracker.stats bt).Tracker.migrated
+
+(* Exactly-once under real threads: N threads race to acquire every
+   granule; each granule must be granted exactly once. *)
+let bitmap_thread_stress () =
+  let n = 2048 and threads = 8 in
+  let bt = Bitmap_tracker.create ~size:n () in
+  let wins = Array.make threads 0 in
+  let ths =
+    List.init threads (fun t ->
+        Thread.create
+          (fun () ->
+            for g = 0 to n - 1 do
+              match Bitmap_tracker.try_acquire bt g with
+              | Tracker.Migrate ->
+                  wins.(t) <- wins.(t) + 1;
+                  Thread.yield ();
+                  Bitmap_tracker.mark_migrated bt g
+              | Tracker.Skip | Tracker.Already_migrated -> ()
+            done)
+          ())
+  in
+  List.iter Thread.join ths;
+  check Alcotest.int "every granule granted exactly once" n
+    (Array.fold_left ( + ) 0 wins)
+
+let bitmap_prop_exactly_once =
+  QCheck.Test.make ~name:"bitmap: a granule is granted exactly once (serial)"
+    ~count:50
+    QCheck.(pair (int_range 1 200) (list_of_size (QCheck.Gen.int_range 0 400) (int_range 0 199)))
+    (fun (size, accesses) ->
+      let bt = Bitmap_tracker.create ~size:200 () in
+      ignore size;
+      let grants = Hashtbl.create 16 in
+      List.iter
+        (fun g ->
+          match Bitmap_tracker.try_acquire bt g with
+          | Tracker.Migrate ->
+              if Hashtbl.mem grants g then failwith "double grant";
+              Hashtbl.add grants g ();
+              Bitmap_tracker.mark_migrated bt g
+          | Tracker.Skip -> failwith "skip impossible in serial use"
+          | Tracker.Already_migrated ->
+              if not (Hashtbl.mem grants g) then failwith "already without grant")
+        accesses;
+      true)
+
+(* ---------------- hashmap ---------------- *)
+
+let key vs = Array.of_list (List.map (fun i -> Value.Int i) vs)
+
+let hash_lifecycle () =
+  let ht = Hash_tracker.create () in
+  check decision "first" Tracker.Migrate (Hash_tracker.try_acquire ht (key [ 1; 2 ]));
+  check decision "concurrent" Tracker.Skip (Hash_tracker.try_acquire ht (key [ 1; 2 ]));
+  check (Alcotest.option Alcotest.bool) "state in-progress" (Some true)
+    (Option.map (fun s -> s = Hash_tracker.In_progress) (Hash_tracker.state_of ht (key [ 1; 2 ])));
+  Hash_tracker.mark_migrated ht (key [ 1; 2 ]);
+  check decision "after commit" Tracker.Already_migrated
+    (Hash_tracker.try_acquire ht (key [ 1; 2 ]));
+  check Alcotest.bool "unknown key state" true (Hash_tracker.state_of ht (key [ 9 ]) = None);
+  (* composite keys compare by value, not identity *)
+  check Alcotest.bool "fresh array equal key" true (Hash_tracker.is_migrated ht (key [ 1; 2 ]))
+
+let hash_abort_takeover () =
+  let ht = Hash_tracker.create () in
+  ignore (Hash_tracker.try_acquire ht (key [ 7 ]) : Tracker.decision);
+  Hash_tracker.mark_aborted ht (key [ 7 ]);
+  check (Alcotest.option Alcotest.bool) "aborted state" (Some true)
+    (Option.map (fun s -> s = Hash_tracker.Aborted) (Hash_tracker.state_of ht (key [ 7 ])));
+  (* Alg. 3 lines 7-9: an aborted key can be re-acquired *)
+  check decision "takeover" Tracker.Migrate (Hash_tracker.try_acquire ht (key [ 7 ]));
+  Hash_tracker.mark_migrated ht (key [ 7 ]);
+  check Alcotest.bool "migrated" true (Hash_tracker.is_migrated ht (key [ 7 ]))
+
+let hash_errors () =
+  let ht = Hash_tracker.create () in
+  Alcotest.check_raises "commit unknown"
+    (Invalid_argument "Hash_tracker.mark_migrated: unknown key") (fun () ->
+      Hash_tracker.mark_migrated ht (key [ 1 ]));
+  ignore (Hash_tracker.try_acquire ht (key [ 1 ]) : Tracker.decision);
+  Hash_tracker.mark_migrated ht (key [ 1 ]);
+  Alcotest.check_raises "double commit"
+    (Invalid_argument "Hash_tracker.mark_migrated: key already migrated") (fun () ->
+      Hash_tracker.mark_migrated ht (key [ 1 ]));
+  Alcotest.check_raises "abort migrated"
+    (Invalid_argument "Hash_tracker.mark_aborted: key is migrated") (fun () ->
+      Hash_tracker.mark_aborted ht (key [ 1 ]))
+
+let hash_stats_iter () =
+  let ht = Hash_tracker.create () in
+  ignore (Hash_tracker.try_acquire ht (key [ 1 ]) : Tracker.decision);
+  ignore (Hash_tracker.try_acquire ht (key [ 2 ]) : Tracker.decision);
+  Hash_tracker.mark_migrated ht (key [ 2 ]);
+  let s = Hash_tracker.stats ht in
+  check Alcotest.int "total" 2 s.Tracker.total;
+  check Alcotest.int "migrated" 1 s.Tracker.migrated;
+  check Alcotest.int "in progress" 1 s.Tracker.in_progress;
+  let n = ref 0 in
+  Hash_tracker.iter ht (fun _ _ -> incr n);
+  check Alcotest.int "iter" 2 !n
+
+let hash_thread_stress () =
+  let keys = Array.init 512 (fun i -> key [ i mod 64; i / 64 ]) in
+  let ht = Hash_tracker.create () in
+  let wins = Array.make 8 0 in
+  let ths =
+    List.init 8 (fun t ->
+        Thread.create
+          (fun () ->
+            Array.iter
+              (fun k ->
+                match Hash_tracker.try_acquire ht k with
+                | Tracker.Migrate ->
+                    wins.(t) <- wins.(t) + 1;
+                    Thread.yield ();
+                    Hash_tracker.mark_migrated ht k
+                | Tracker.Skip | Tracker.Already_migrated -> ())
+              keys)
+          ())
+  in
+  List.iter Thread.join ths;
+  check Alcotest.int "each key granted exactly once" 512 (Array.fold_left ( + ) 0 wins)
+
+(* Aborting threads: some winners abort; every key must still end up
+   migrated exactly once overall (the takeover path). *)
+let hash_abort_stress () =
+  let keys = Array.init 128 (fun i -> key [ i ]) in
+  let ht = Hash_tracker.create () in
+  let commits = Atomic.make 0 in
+  let ths =
+    List.init 8 (fun t ->
+        Thread.create
+          (fun () ->
+            let rng = Rng.create (t + 100) in
+            Array.iter
+              (fun k ->
+                let rec attempt tries =
+                  if tries > 1000 then failwith "livelock"
+                  else
+                    match Hash_tracker.try_acquire ht k with
+                    | Tracker.Migrate ->
+                        Thread.yield ();
+                        if Rng.int rng 4 = 0 then begin
+                          Hash_tracker.mark_aborted ht k;
+                          attempt (tries + 1)
+                        end
+                        else begin
+                          Hash_tracker.mark_migrated ht k;
+                          Atomic.incr commits
+                        end
+                    | Tracker.Skip -> ()
+                    | Tracker.Already_migrated -> ()
+                in
+                attempt 0)
+              keys)
+          ())
+  in
+  List.iter Thread.join ths;
+  (* Some keys may be left Aborted if the last toucher aborted and nobody
+     revisited; sweep them serially like the SKIP loop would. *)
+  Array.iter
+    (fun k ->
+      match Hash_tracker.try_acquire ht k with
+      | Tracker.Migrate ->
+          Hash_tracker.mark_migrated ht k;
+          Atomic.incr commits
+      | Tracker.Skip -> failwith "no other worker can be in progress now"
+      | Tracker.Already_migrated -> ())
+    keys;
+  check Alcotest.int "every key committed exactly once" 128 (Atomic.get commits);
+  Array.iter
+    (fun k ->
+      if not (Hash_tracker.is_migrated ht k) then Alcotest.fail "key left unmigrated")
+    keys
+
+let suite =
+  [
+    Alcotest.test_case "bitmap lifecycle" `Quick bitmap_lifecycle;
+    Alcotest.test_case "bitmap abort" `Quick bitmap_abort;
+    Alcotest.test_case "bitmap pages" `Quick bitmap_pages;
+    Alcotest.test_case "bitmap progress scan" `Quick bitmap_progress_scan;
+    Alcotest.test_case "bitmap force idempotent" `Quick bitmap_force_idempotent;
+    Alcotest.test_case "bitmap thread stress" `Slow bitmap_thread_stress;
+    QCheck_alcotest.to_alcotest bitmap_prop_exactly_once;
+    Alcotest.test_case "hash lifecycle" `Quick hash_lifecycle;
+    Alcotest.test_case "hash abort takeover" `Quick hash_abort_takeover;
+    Alcotest.test_case "hash errors" `Quick hash_errors;
+    Alcotest.test_case "hash stats/iter" `Quick hash_stats_iter;
+    Alcotest.test_case "hash thread stress" `Slow hash_thread_stress;
+    Alcotest.test_case "hash abort stress" `Slow hash_abort_stress;
+  ]

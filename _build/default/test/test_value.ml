@@ -1,0 +1,125 @@
+(* Value semantics: ordering, hashing, coercion, calendar arithmetic. *)
+
+open Bullfrog_db
+
+let check = Alcotest.check
+
+let v_test = Alcotest.testable (Fmt.of_to_string Value.to_string) Value.equal
+
+let ordering () =
+  let open Value in
+  check Alcotest.int "int vs int" (-1) (compare (Int 1) (Int 2));
+  check Alcotest.int "int vs float" 0 (compare (Int 2) (Float 2.0));
+  check Alcotest.int "float vs int" 1 (compare (Float 2.5) (Int 2));
+  check Alcotest.int "null first" (-1) (compare Null (Int (-1000)));
+  check Alcotest.int "str" (-1) (compare (Str "a") (Str "b"));
+  check Alcotest.int "date vs timestamp" 0
+    (compare (Date 10) (Timestamp (10.0 *. 86400.0)))
+
+let hashing_consistency () =
+  (* equal values must hash equal, across Int/Float *)
+  check Alcotest.int "int/float hash" (Value.hash (Value.Int 7))
+    (Value.hash (Value.Float 7.0));
+  check Alcotest.int "key hash equal"
+    (Value.hash_key [| Value.Int 1; Value.Str "x" |])
+    (Value.hash_key [| Value.Float 1.0; Value.Str "x" |])
+
+let calendar () =
+  let open Value in
+  let d = date_of_ymd 2021 6 20 in
+  (match d with
+  | Date days ->
+      check (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int) "roundtrip"
+        (2021, 6, 20) (ymd_of_days days)
+  | _ -> Alcotest.fail "expected date");
+  check Alcotest.string "render" "2021-06-20" (to_string d);
+  check v_test "extract day" (Int 20) (extract "day" d);
+  check v_test "extract month" (Int 6) (extract "month" d);
+  check v_test "extract year" (Int 2021) (extract "year" d);
+  check v_test "extract null" Null (extract "day" Null);
+  (* leap year boundary *)
+  (match date_of_ymd 2020 2 29 with
+  | Date days ->
+      check (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int) "leap"
+        (2020, 2, 29) (ymd_of_days days)
+  | _ -> assert false);
+  (* epoch *)
+  match date_of_ymd 1970 1 1 with
+  | Date 0 -> ()
+  | v -> Alcotest.failf "epoch should be day 0, got %s" (to_string v)
+
+let coercion () =
+  let open Bullfrog_sql.Ast in
+  let ok ty v expected =
+    match Value.coerce ty v with
+    | Ok got -> check v_test "coerce" expected got
+    | Error e -> Alcotest.fail e
+  in
+  ok T_int (Value.Float 3.0) (Value.Int 3);
+  ok T_float (Value.Int 3) (Value.Float 3.0);
+  ok (T_decimal (12, 2)) (Value.Int 5) (Value.Float 5.0);
+  ok T_int (Value.Str "42") (Value.Int 42);
+  ok T_date (Value.Str "2020-03-09") (Value.date_of_ymd 2020 3 9);
+  ok T_timestamp (Value.Str "2020-03-09 08:30:00")
+    (Value.Timestamp ((float_of_int (match Value.date_of_ymd 2020 3 9 with Value.Date d -> d | _ -> 0) *. 86400.0) +. (8.0 *. 3600.0) +. (30.0 *. 60.0)));
+  ok (T_char 3) (Value.Str "abc") (Value.Str "abc");
+  ok T_int Value.Null Value.Null;
+  (match Value.coerce (T_char 2) (Value.Str "abc") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "char(2) must reject 3-char string");
+  match Value.coerce T_date (Value.Str "not a date") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad date must fail"
+
+let rendering () =
+  check Alcotest.string "sql string escape" "'it''s'" (Value.to_sql (Value.Str "it's"));
+  check Alcotest.string "null" "NULL" (Value.to_sql Value.Null);
+  check Alcotest.string "float" "2.5" (Value.to_string (Value.Float 2.5));
+  check Alcotest.string "whole float" "2.0" (Value.to_string (Value.Float 2.0))
+
+let ast_literals () =
+  let open Bullfrog_sql.Ast in
+  check (Alcotest.option v_test) "int lit" (Some (Value.Int 3))
+    (Value.of_ast_literal (Int_lit 3));
+  check (Alcotest.option v_test) "neg lit" (Some (Value.Int (-3)))
+    (Value.of_ast_literal (Unop (Neg, Int_lit 3)));
+  check (Alcotest.option v_test) "col not literal" None
+    (Value.of_ast_literal (Col (None, "a")));
+  (* to_ast_literal roundtrips through of_ast_literal for scalar types *)
+  List.iter
+    (fun v ->
+      check (Alcotest.option v_test) "roundtrip" (Some v)
+        (Value.of_ast_literal (Value.to_ast_literal v)))
+    [ Value.Int 5; Value.Float 1.5; Value.Str "x"; Value.Bool true; Value.Null ]
+
+let compare_total_order_prop =
+  let gen_v =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun i -> Value.Int i) (int_range (-50) 50);
+          map (fun f -> Value.Float f) (float_range (-50.0) 50.0);
+          map (fun s -> Value.Str s) (oneofl [ "a"; "b"; "zz" ]);
+          return Value.Null;
+          map (fun b -> Value.Bool b) bool;
+        ])
+  in
+  QCheck.Test.make ~name:"Value.compare is a total order (antisym + trans spot)"
+    ~count:500
+    QCheck.(triple (make gen_v) (make gen_v) (make gen_v))
+    (fun (a, b, c) ->
+      let sgn x = Stdlib.compare x 0 in
+      sgn (Value.compare a b) = -sgn (Value.compare b a)
+      && (not (Value.compare a b <= 0 && Value.compare b c <= 0)
+         || Value.compare a c <= 0))
+
+let suite =
+  [
+    Alcotest.test_case "ordering" `Quick ordering;
+    Alcotest.test_case "hash consistency" `Quick hashing_consistency;
+    Alcotest.test_case "calendar" `Quick calendar;
+    Alcotest.test_case "coercion" `Quick coercion;
+    Alcotest.test_case "rendering" `Quick rendering;
+    Alcotest.test_case "ast literals" `Quick ast_literals;
+    QCheck_alcotest.to_alcotest compare_total_order_prop;
+  ]
