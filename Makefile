@@ -1,0 +1,22 @@
+# Convenience targets; `make check` is the everything-gate: build, full
+# test suite, then a fast-profile smoke of the fig3 benchmark to catch
+# shape-level regressions in the reproduction itself.
+
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+check:
+	dune build && dune runtest && BF_FAST=1 dune exec bench/main.exe -- fig3
+
+clean:
+	dune clean

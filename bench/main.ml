@@ -420,6 +420,111 @@ let microbench () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Query-path microbenchmark: prepared statements + plan cache +        *)
+(* compiled expression closures vs parse-and-plan-per-call              *)
+(* ------------------------------------------------------------------ *)
+
+let qpath () =
+  say "\n######## Query path: statement cache + compiled closures (Bechamel) ########";
+  let open Bechamel in
+  let open Bullfrog_db in
+  let rows = match profile with Fast -> 2_000 | _ -> 10_000 in
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT, w INT)"
+      : Executor.result);
+  Database.with_txn db (fun txn ->
+      for k = 0 to rows - 1 do
+        ignore
+          (Executor.exec_stmt (Database.exec_ctx db) txn
+             (Bullfrog_sql.Parser.parse_one
+                (Printf.sprintf "INSERT INTO kv VALUES (%d, 'val%d', %d)" k k (k * 3)))
+            : Executor.result)
+      done);
+  let sql = "SELECT v, w FROM kv WHERE k = $1 AND w >= 0" in
+  let i = ref 0 in
+  let next_key () =
+    incr i;
+    !i mod rows
+  in
+  (* cold: what every execution cost before this layer existed — parse
+     the text, plan it, compile it, then run. *)
+  let cold () =
+    let k = next_key () in
+    let stmt = Bullfrog_sql.Parser.parse_one sql in
+    ignore
+      (Database.with_txn db (fun txn ->
+           Executor.exec_stmt ~params:[| Value.Int k |] (Database.exec_ctx db) txn stmt)
+        : Executor.result)
+  in
+  (* splice: cached machinery but literals baked into the SQL text, so
+     every call is a distinct cache key — parse + plan per call. *)
+  let splice () =
+    let k = next_key () in
+    ignore
+      (Database.exec db
+         (Printf.sprintf "SELECT v, w FROM kv WHERE k = %d AND w >= 0" k)
+        : Executor.result)
+  in
+  (* warm: one parse + one plan ever; per call just binds [$1] and runs
+     the compiled closures. *)
+  let warm () =
+    let k = next_key () in
+    ignore (Database.exec db ~params:[| Value.Int k |] sql : Executor.result)
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let measure name f =
+    let test = Test.make ~name (Staged.stage f) in
+    let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"qpath" [ test ]) in
+    let est = ref None in
+    Hashtbl.iter
+      (fun _ raw ->
+        let stats =
+          Analyze.one
+            (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+            instance raw
+        in
+        match Analyze.OLS.estimates stats with
+        | Some [ e ] -> est := Some e
+        | _ -> ())
+      results;
+    match !est with
+    | Some e ->
+        say "  %-34s %10.1f ns/op" name e;
+        e
+    | None ->
+        say "  %-34s (no estimate)" name;
+        nan
+  in
+  let cold_ns = measure "cold (parse+plan+exec)" cold in
+  let splice_ns = measure "spliced literals (cache miss)" splice in
+  let warm_ns = measure "prepared+cached+compiled" warm in
+  let speedup = cold_ns /. warm_ns in
+  say "  speedup (cold / warm): %.1fx" speedup;
+  let oc = open_out "BENCH_query_path.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "query_path",
+  "query": "%s",
+  "rows": %d,
+  "profile": "%s",
+  "seed": %d,
+  "ns_per_op": {
+    "cold_parse_plan_exec": %.1f,
+    "spliced_literals": %.1f,
+    "prepared_cached_compiled": %.1f
+  },
+  "speedup_cold_over_warm": %.2f
+}
+|}
+    (String.concat "" (String.split_on_char '"' sql))
+    rows
+    (match profile with Fast -> "fast" | Standard -> "standard" | Full -> "full")
+    seed cold_ns splice_ns warm_ns speedup;
+  close_out oc;
+  say "  wrote BENCH_query_path.json"
+
+(* ------------------------------------------------------------------ *)
 
 let all_figures =
   [
@@ -432,6 +537,7 @@ let all_figures =
     ("fig12", fig12);
     ("ablate", ablations);
     ("micro", microbench);
+    ("qpath", qpath);
   ]
 
 let aliases = [ ("fig4", "fig3"); ("fig6", "fig5"); ("fig8", "fig7") ]

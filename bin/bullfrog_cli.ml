@@ -176,6 +176,7 @@ let () =
              end
            with
           | Db_error.Sql_error msg -> say "ERROR: %s" msg
+          | Expr.Eval_error msg -> say "ERROR: %s" msg
           | Db_error.Constraint_violation msg -> say "ERROR: %s" msg
           | Db_error.Txn_abort msg -> say "ABORTED: %s" msg
           | Bullfrog_sql.Parser.Parse_error msg ->

@@ -141,6 +141,9 @@ let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off) t
   in
   t.act <- Some { rt; shadow; output_names; cumulative = Migrate_exec.new_report () };
   t.dropped <- t.dropped @ spec.Migration.drop_old;
+  (* The logical switch changes what every cached plan would resolve to
+     (output tables exist, old names are rejected): invalidate them. *)
+  Catalog.bump_epoch t.database.Database.catalog;
   rt
 
 let active t = Option.map (fun a -> a.rt) t.act
@@ -453,49 +456,38 @@ let maybe_migrate t ?report (stmt : Ast.stmt) =
         end
       end
 
-let prepare t ?params sql =
-  let stmt = Parser.parse_one sql in
-  let stmt =
-    match params with
-    | None -> stmt
-    | Some params ->
-        let lits = Array.map Value.to_ast_literal params in
-        (match stmt with
-        | Ast.Select_stmt s -> Ast.Select_stmt (Ast.bind_params_select lits s)
-        | Ast.Insert i ->
-            Ast.Insert
-              {
-                i with
-                source =
-                  (match i.source with
-                  | Ast.Values rows ->
-                      Ast.Values (List.map (List.map (Ast.bind_params lits)) rows)
-                  | Ast.Query q -> Ast.Query (Ast.bind_params_select lits q));
-              }
-        | Ast.Update u ->
-            Ast.Update
-              {
-                u with
-                sets = List.map (fun (c, e) -> (c, Ast.bind_params lits e)) u.sets;
-                where = Option.map (Ast.bind_params lits) u.where;
-              }
-        | Ast.Delete d ->
-            Ast.Delete { d with where = Option.map (Ast.bind_params lits) d.where }
-        | other -> other)
-  in
+(* Look the statement up in the database's statement cache and run the
+   interception analysis.  Execution itself keeps parameters positional
+   (the cached, compiled plan is shared across bindings); only when the
+   statement actually touches a table under migration do we splice the
+   parameter values into a throwaway AST copy, because predicate
+   extraction and INSERT conflict-candidate analysis need to see concrete
+   literals (§2.1). *)
+let intercept t ?report ?params sql =
+  let p = Database.prepare t.database sql in
+  let stmt = Database.prepared_stmt p in
   check_big_flip t (tables_of_stmt stmt);
-  stmt
+  (match t.act with
+  | None -> ()
+  | Some act ->
+      if
+        (not (Migrate_exec.complete act.rt))
+        && List.exists (fun r -> List.mem r act.output_names) (tables_of_stmt stmt)
+      then maybe_migrate t ?report (Database.bind_stmt params stmt));
+  p
 
 let exec t ?report ?params sql =
-  let stmt = prepare t ?params sql in
-  maybe_migrate t ?report stmt;
+  let p = intercept t ?report ?params sql in
+  (match Database.prepared_stmt p with
+  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
+      err "use with_txn for explicit transaction control"
+  | _ -> ());
   Database.with_txn t.database (fun txn ->
-      Executor.exec_stmt (Database.exec_ctx t.database) txn stmt)
+      Database.exec_prepared_in t.database txn ?params p)
 
 let exec_in t txn ?report ?params sql =
-  let stmt = prepare t ?params sql in
-  maybe_migrate t ?report stmt;
-  Executor.exec_stmt (Database.exec_ctx t.database) txn stmt
+  let p = intercept t ?report ?params sql in
+  Database.exec_prepared_in t.database txn ?params p
 
 (* ------------------------------------------------------------------ *)
 (* Background migration and lifecycle                                  *)
@@ -542,4 +534,5 @@ let finalize t =
           if Catalog.exists t.database.Database.catalog name then
             Catalog.drop t.database.Database.catalog name)
         (List.sort_uniq String.compare inputs);
-      t.act <- None
+      t.act <- None;
+      Catalog.bump_epoch t.database.Database.catalog

@@ -27,8 +27,8 @@ type rt_input = {
 
 type pair_output = {
   po_heap : Heap.t;
-  po_projs : Expr.t array;  (* over a_row @ b_row *)
-  po_where : Expr.t option;
+  po_projs : Expr.cexpr array;  (* over a_row @ b_row *)
+  po_where : Expr.cexpr option;
 }
 
 type pair_rt = {
@@ -325,12 +325,16 @@ let install ?(mode = Tracked) ?(page_size = 1) ?(stripes = 64) ?(nn = Nn_pair)
                              (fun proj ->
                                match proj with
                                | Ast.Proj_expr (e, _) ->
-                                   Planner.compile_with_descs pctx descs e
+                                   Expr.prepare
+                                     (Planner.compile_with_descs pctx descs e)
                                | Ast.Proj_star | Ast.Proj_table_star _ -> assert false)
                              expanded.Ast.projections)
                       in
                       let po_where =
-                        Option.map (Planner.compile_with_descs pctx descs)
+                        Option.map
+                          (fun e ->
+                            Expr.prepare
+                              (Planner.compile_with_descs pctx descs e))
                           expanded.Ast.where
                       in
                       { po_heap = heap; po_projs = projs; po_where })
@@ -720,10 +724,12 @@ let run_pair_txn t (report : report) pr (wip : Value.t array list) =
                     let ok =
                       match po.po_where with
                       | None -> true
-                      | Some f -> Expr.eval_pred row f
+                      | Some f -> f.Expr.ce_pred [||] row
                     in
                     if ok then begin
-                      let out = Array.map (fun e -> Expr.eval row e) po.po_projs in
+                      let out =
+                        Array.map (fun e -> e.Expr.ce_eval [||] row) po.po_projs
+                      in
                       match
                         Executor.insert_row ctx txn po.po_heap
                           ~on_conflict_do_nothing:(t.mode = On_conflict) out

@@ -47,8 +47,8 @@ type rt_input = {
 
 type pair_output = {
   po_heap : Bullfrog_db.Heap.t;
-  po_projs : Bullfrog_db.Expr.t array;  (** over [a_row @ b_row] *)
-  po_where : Bullfrog_db.Expr.t option;
+  po_projs : Bullfrog_db.Expr.cexpr array;  (** over [a_row @ b_row] *)
+  po_where : Bullfrog_db.Expr.cexpr option;
 }
 
 type pair_rt = {

@@ -1,30 +1,39 @@
 open Bullfrog_sql
 
+(* Index keys and range bounds are run-time expressions (constants or
+   positional parameters) so that one compiled access path serves every
+   parameter binding of a cached statement. *)
 type path =
   | P_full
-  | P_eq of Index.t * Value.t array
-  | P_range of Index.t * Value.t array * Value.t option * Value.t option
+  | P_eq of Index.t * Expr.t array
+  | P_range of Index.t * Expr.t array * Expr.t option * Expr.t option
 
 type pred = {
   path : path;
-  residual : Expr.t option;
+  residual : Expr.cexpr option;
 }
 
-(* An equality conjunct [col = const] (either orientation). *)
+(* A literal or parameter usable as an index key / range bound. *)
+let value_expr_of_ast (e : Ast.expr) =
+  match Value.of_ast_literal e with
+  | Some v -> Some (Expr.Const v)
+  | None -> ( match e with Ast.Param i -> Some (Expr.Param (i - 1)) | _ -> None)
+
+(* An equality conjunct [col = const-or-param] (either orientation). *)
 let equality_binding table (e : Ast.expr) =
   match e with
   | Ast.Binop (Ast.Eq, Ast.Col (_, c), rhs) -> (
-      match (Schema.col_index table.Heap.schema c, Value.of_ast_literal rhs) with
+      match (Schema.col_index table.Heap.schema c, value_expr_of_ast rhs) with
       | Some i, Some v -> Some (i, v)
       | _ -> None)
   | Ast.Binop (Ast.Eq, lhs, Ast.Col (_, c)) -> (
-      match (Schema.col_index table.Heap.schema c, Value.of_ast_literal lhs) with
+      match (Schema.col_index table.Heap.schema c, value_expr_of_ast lhs) with
       | Some i, Some v -> Some (i, v)
       | _ -> None)
   | _ -> None
 
 (* A range conjunct over a column: (col index, op-normalised-to-col-left,
-   constant).  [col > 5] and [5 < col] both come out as (col, Gt, 5). *)
+   bound expr).  [col > 5] and [5 < col] both come out as (col, Gt, 5). *)
 let range_binding table (e : Ast.expr) =
   let flip = function
     | Ast.Lt -> Ast.Gt
@@ -35,11 +44,11 @@ let range_binding table (e : Ast.expr) =
   in
   match e with
   | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, Ast.Col (_, c), rhs) -> (
-      match (Schema.col_index table.Heap.schema c, Value.of_ast_literal rhs) with
+      match (Schema.col_index table.Heap.schema c, value_expr_of_ast rhs) with
       | Some i, Some v -> Some (i, op, v)
       | _ -> None)
   | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, lhs, Ast.Col (_, c)) -> (
-      match (Schema.col_index table.Heap.schema c, Value.of_ast_literal lhs) with
+      match (Schema.col_index table.Heap.schema c, value_expr_of_ast lhs) with
       | Some i, Some v -> Some (i, flip op, v)
       | _ -> None)
   | _ -> None
@@ -60,7 +69,7 @@ let compile_pred table where =
             if Array.for_all Option.is_some vals then
               Some (idx, Array.map Option.get vals)
             else None)
-          table.Heap.indexes
+          (Heap.indexes table)
         |> List.fold_left
              (fun acc (idx, key) ->
                match acc with
@@ -128,7 +137,7 @@ let compile_pred table where =
                       match acc with
                       | Some (_, n') when n' >= n -> acc
                       | _ -> Some (idx, n)))
-                None table.Heap.indexes
+                None (Heap.indexes table)
             in
             match best with
             | None -> None
@@ -139,22 +148,35 @@ let compile_pred table where =
                 (* Bounds on the next key column.  Only [>=] tightens the
                    inclusive lower bound and [<] the exclusive upper bound
                    losslessly; [>] and [<=] are used as loose bounds and
-                   kept in the residual filter. *)
+                   kept in the residual filter.  Two constant bounds can be
+                   compared and merged at plan time; a parameter bound can
+                   only fill an empty slot, and when bounds cannot be
+                   compared the conjunct stays in the residual. *)
                 let lo = ref None and hi = ref None and consumed = ref [] in
                 List.iter
                   (fun conj ->
                     match range_binding table conj with
-                    | Some (i, op, v) when i = next_col -> (
+                    | Some (i, op, b) when i = next_col -> (
                         match op with
-                        | Ast.Ge ->
-                            if !lo = None || Value.compare v (Option.get !lo) > 0 then
-                              lo := Some v;
-                            consumed := conj :: !consumed
-                        | Ast.Gt -> if !lo = None then lo := Some v (* loose; keep conj *)
-                        | Ast.Lt ->
-                            if !hi = None || Value.compare v (Option.get !hi) < 0 then
-                              hi := Some v;
-                            consumed := conj :: !consumed
+                        | Ast.Ge -> (
+                            match (!lo, b) with
+                            | None, _ ->
+                                lo := Some b;
+                                consumed := conj :: !consumed
+                            | Some (Expr.Const v'), Expr.Const v ->
+                                if Value.compare v v' > 0 then lo := Some b;
+                                consumed := conj :: !consumed
+                            | Some _, _ -> () (* incomparable; residual only *))
+                        | Ast.Gt -> if !lo = None then lo := Some b (* loose; keep conj *)
+                        | Ast.Lt -> (
+                            match (!hi, b) with
+                            | None, _ ->
+                                hi := Some b;
+                                consumed := conj :: !consumed
+                            | Some (Expr.Const v'), Expr.Const v ->
+                                if Value.compare v v' < 0 then hi := Some b;
+                                consumed := conj :: !consumed
+                            | Some _, _ -> () (* incomparable; residual only *))
                         | Ast.Le -> () (* cannot express inclusively; residual only *)
                         | _ -> ())
                     | _ -> ())
@@ -184,18 +206,21 @@ let compile_pred table where =
       let residual =
         match Ast.conjoin residual_conjs with
         | None -> None
-        | Some e -> Some (Expr.const_fold (Schema.compile_expr table.Heap.schema e))
+        | Some e ->
+            Some (Expr.prepare (Expr.const_fold (Schema.compile_expr table.Heap.schema e)))
       in
       { path; residual }
 
-let fetch_tids (txn : Txn.t) table pred tids =
+let key_value params e = Expr.eval_env params [||] e
+
+let fetch_tids ?(params = [||]) (txn : Txn.t) table pred tids =
   let c = txn.Txn.counters in
   let matches row =
     match pred.residual with
     | None -> true
     | Some f ->
         c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
-        Expr.eval_pred row f
+        f.Expr.ce_pred params row
   in
   List.filter_map
     (fun tid ->
@@ -206,27 +231,30 @@ let fetch_tids (txn : Txn.t) table pred tids =
           if matches row then Some (tid, row) else None)
     (List.sort Stdlib.compare tids)
 
-let select_tids (txn : Txn.t) table pred =
+let select_tids ?(params = [||]) (txn : Txn.t) table pred =
   let c = txn.Txn.counters in
   match pred.path with
   | P_eq (idx, key) ->
       c.Txn.index_probes <- c.Txn.index_probes + 1;
-      fetch_tids txn table pred (Index.find idx key)
+      fetch_tids ~params txn table pred (Index.find idx (Array.map (key_value params) key))
   | P_range (idx, prefix, lo, hi) ->
       c.Txn.index_probes <- c.Txn.index_probes + 1;
+      let prefix = Array.map (key_value params) prefix in
+      let lo = Option.map (key_value params) lo in
+      let hi = Option.map (key_value params) hi in
       let tids =
         Index.fold_prefix_range idx ~prefix ?lo ?hi ~init:[]
           ~f:(fun acc _key tids -> List.rev_append tids acc)
           ()
       in
-      fetch_tids txn table pred tids
+      fetch_tids ~params txn table pred tids
   | P_full ->
       let matches row =
         match pred.residual with
         | None -> true
         | Some f ->
             c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
-            Expr.eval_pred row f
+            f.Expr.ce_pred params row
       in
       let out = ref [] in
       Heap.iter_live table (fun tid row ->
@@ -236,6 +264,7 @@ let select_tids (txn : Txn.t) table pred =
           end);
       List.rev !out
 
-let scan_pred txn table where = select_tids txn table (compile_pred table where)
+let scan_pred ?params txn table where =
+  select_tids ?params txn table (compile_pred table where)
 
 let count_matching txn table where = List.length (scan_pred txn table where)

@@ -15,24 +15,36 @@
 
 type path =
   | P_full
-  | P_eq of Index.t * Value.t array
-  | P_range of Index.t * Value.t array * Value.t option * Value.t option
+  | P_eq of Index.t * Expr.t array
+  | P_range of Index.t * Expr.t array * Expr.t option * Expr.t option
       (** index, pinned prefix, inclusive lower bound and exclusive upper
-          bound on the next key column *)
+          bound on the next key column.  Key expressions are constants or
+          positional parameters, evaluated at execution time so a
+          compiled path is reusable across parameter bindings. *)
 
 type pred = {
   path : path;
-  residual : Expr.t option;  (** remaining filter over the row *)
+  residual : Expr.cexpr option;  (** remaining filter over the row *)
 }
+
+val value_expr_of_ast : Bullfrog_sql.Ast.expr -> Expr.t option
+(** A literal ([Expr.Const]) or positional parameter ([Expr.Param])
+    usable as an index key or range bound; [None] otherwise. *)
 
 val compile_pred : Heap.t -> Bullfrog_sql.Ast.expr option -> pred
 (** Compile a WHERE over a single table, choosing an access path.
     Qualified column references must refer to the table itself. *)
 
-val select_tids : Txn.t -> Heap.t -> pred -> (int * Heap.row) list
+val select_tids :
+  ?params:Value.t array -> Txn.t -> Heap.t -> pred -> (int * Heap.row) list
 (** Matching live rows in TID order. *)
 
-val scan_pred : Txn.t -> Heap.t -> Bullfrog_sql.Ast.expr option -> (int * Heap.row) list
+val scan_pred :
+  ?params:Value.t array ->
+  Txn.t ->
+  Heap.t ->
+  Bullfrog_sql.Ast.expr option ->
+  (int * Heap.row) list
 (** [compile_pred] + [select_tids]. *)
 
 val count_matching : Txn.t -> Heap.t -> Bullfrog_sql.Ast.expr option -> int

@@ -6,10 +6,23 @@ type t = {
   entries : (string, entry) Hashtbl.t;
   index_owners : (string, string) Hashtbl.t;  (* index name -> table name *)
   mutable next_tbl_id : int;
+  mutable epoch : int;
+      (* Schema epoch: bumped on every DDL / catalog mutation (and
+         explicitly on BullFrog migration flips).  Cached query plans
+         are tagged with the epoch they were built under and discarded
+         when it moves. *)
 }
 
 let create () =
-  { entries = Hashtbl.create 64; index_owners = Hashtbl.create 64; next_tbl_id = 0 }
+  {
+    entries = Hashtbl.create 64;
+    index_owners = Hashtbl.create 64;
+    next_tbl_id = 0;
+    epoch = 0;
+  }
+
+let epoch t = t.epoch
+let bump_epoch t = t.epoch <- t.epoch + 1
 
 let norm = String.lowercase_ascii
 
@@ -24,23 +37,27 @@ let create_table t name schema =
   let heap = Heap.create ~tbl_id:t.next_tbl_id ~name schema in
   t.next_tbl_id <- t.next_tbl_id + 1;
   Hashtbl.replace t.entries name (Table heap);
+  bump_epoch t;
   heap
 
 let add_table t heap =
   let name = norm heap.Heap.name in
   check_free t name;
-  Hashtbl.replace t.entries name (Table heap)
+  Hashtbl.replace t.entries name (Table heap);
+  bump_epoch t
 
 let create_view t name query =
   let name = norm name in
   check_free t name;
-  Hashtbl.replace t.entries name (View query)
+  Hashtbl.replace t.entries name (View query);
+  bump_epoch t
 
 let drop t name =
   let name = norm name in
   if not (Hashtbl.mem t.entries name) then
     Db_error.sql_error "relation %S does not exist" name;
-  Hashtbl.remove t.entries name
+  Hashtbl.remove t.entries name;
+  bump_epoch t
 
 let rename_table t old_name new_name =
   let old_name = norm old_name and new_name = norm new_name in
@@ -65,7 +82,8 @@ let rename_table t old_name new_name =
                         Schema.Foreign_key { fk with Schema.fk_ref_table = new_name }
                     | _ -> c)
                   schema.Schema.constraints)
-        t.entries
+        t.entries;
+      bump_epoch t
   | Some (View _) -> Db_error.sql_error "%S is a view, not a table" old_name
   | None -> Db_error.sql_error "relation %S does not exist" old_name
 
@@ -94,7 +112,8 @@ let register_index t ~table idx =
   let iname = norm (Index.name idx) in
   if Hashtbl.mem t.index_owners iname then
     Db_error.sql_error "index %S already exists" iname;
-  Hashtbl.replace t.index_owners iname (norm table)
+  Hashtbl.replace t.index_owners iname (norm table);
+  bump_epoch t
 
 let drop_index t name =
   let name = norm name in
@@ -102,6 +121,7 @@ let drop_index t name =
   | None -> Db_error.sql_error "index %S does not exist" name
   | Some table -> (
       Hashtbl.remove t.index_owners name;
+      bump_epoch t;
       match find_table t table with
       | None -> ()
       | Some heap -> ignore (Heap.drop_index heap name : bool))

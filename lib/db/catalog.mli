@@ -9,6 +9,14 @@ type t
 
 val create : unit -> t
 
+val epoch : t -> int
+(** Schema epoch: monotonic counter bumped on every DDL / catalog
+    mutation (and explicitly on BullFrog migration flips).  Cached query
+    plans are tagged with the epoch they were built under and discarded
+    when it moves. *)
+
+val bump_epoch : t -> unit
+
 val create_table : t -> string -> Schema.t -> Heap.t
 (** @raise Db_error.Sql_error when the name is taken. *)
 

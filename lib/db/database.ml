@@ -1,11 +1,25 @@
 open Bullfrog_sql
 
+type cached_plan = {
+  cp_epoch : int;  (* Catalog.epoch the plan was built under *)
+  cp_planned : Planner.planned;
+}
+
+type prepared = {
+  p_stmt : Ast.stmt;
+  p_nparams : int;  (* highest $n referenced *)
+  p_cacheable : bool;  (* plan reusable across executions? *)
+  mutable p_plan : cached_plan option;
+}
+
 type t = {
   catalog : Catalog.t;
   redo : Redo_log.t;
   locks : Lock_manager.t;
   mutable next_txn_id : int;
   txn_latch : Mutex.t;
+  stmt_cache : (string, prepared) Hashtbl.t;
+  stmt_latch : Mutex.t;
 }
 
 (* Migration marks accumulated per transaction id, drained at commit. *)
@@ -20,6 +34,8 @@ let create () =
     locks = Lock_manager.create ();
     next_txn_id = 1;
     txn_latch = Mutex.create ();
+    stmt_cache = Hashtbl.create 64;
+    stmt_latch = Mutex.create ();
   }
 
 let exec_ctx t = { Executor.catalog = t.catalog; redo = t.redo }
@@ -118,16 +134,91 @@ let bind_stmt params (stmt : Ast.stmt) : Ast.stmt =
       | Ast.Delete d -> Ast.Delete { d with where = Option.map bind_e d.where }
       | other -> other)
 
+(* ------------------------------------------------------------------ *)
+(* Statement cache                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded so pathological workloads that never repeat SQL text (e.g.
+   literal-splicing clients) cannot grow the table without limit; on
+   overflow the whole cache is dropped — entries are pure derived state. *)
+let stmt_cache_cap = 512
+
+let prepare t sql =
+  Mutex.lock t.stmt_latch;
+  match Hashtbl.find_opt t.stmt_cache sql with
+  | Some p ->
+      Mutex.unlock t.stmt_latch;
+      p
+  | None ->
+      (* Parse outside the latch; re-check for a racing insert after. *)
+      Mutex.unlock t.stmt_latch;
+      let stmt = Parser.parse_one sql in
+      let cacheable =
+        match stmt with
+        | Ast.Select_stmt s -> not (Ast.select_has_subquery s)
+        | _ -> false
+      in
+      let p =
+        {
+          p_stmt = stmt;
+          p_nparams = Ast.max_param_stmt stmt;
+          p_cacheable = cacheable;
+          p_plan = None;
+        }
+      in
+      Mutex.lock t.stmt_latch;
+      let p =
+        match Hashtbl.find_opt t.stmt_cache sql with
+        | Some racing -> racing
+        | None ->
+            if Hashtbl.length t.stmt_cache >= stmt_cache_cap then
+              Hashtbl.reset t.stmt_cache;
+            Hashtbl.replace t.stmt_cache sql p;
+            p
+      in
+      Mutex.unlock t.stmt_latch;
+      p
+
+let prepared_stmt p = p.p_stmt
+
+(* Plan reuse: the plan bakes in resolved column positions, access paths
+   and compiled closures, all functions of the catalog state.  The epoch
+   is read BEFORE planning so a concurrent DDL mid-plan leaves the entry
+   tagged stale (it re-plans next time) rather than fresh-but-wrong. *)
+let planned_select t txn params p s =
+  let epoch = Catalog.epoch t.catalog in
+  match p.p_plan with
+  | Some cp when cp.cp_epoch = epoch -> cp.cp_planned
+  | _ ->
+      let planned =
+        Planner.plan_select (Executor.planner_ctx ~params (exec_ctx t) txn) s
+      in
+      if p.p_cacheable then p.p_plan <- Some { cp_epoch = epoch; cp_planned = planned };
+      planned
+
+let exec_prepared_in t txn ?(params = [||]) p =
+  if Array.length params < p.p_nparams then
+    Db_error.sql_error "statement expects %d parameter(s), got %d" p.p_nparams
+      (Array.length params);
+  match p.p_stmt with
+  | Ast.Select_stmt s when p.p_cacheable ->
+      let planned = planned_select t txn params p s in
+      let names =
+        Array.to_list
+          (Array.map (fun (d : Plan.col_desc) -> d.Plan.cd_name) planned.Planner.output)
+      in
+      Executor.Rows (names, Executor.run ~params txn planned.Planner.plan)
+  | stmt -> Executor.exec_stmt ~params (exec_ctx t) txn stmt
+
 let exec_in t txn ?params sql =
-  let stmt = bind_stmt params (Parser.parse_one sql) in
-  Executor.exec_stmt (exec_ctx t) txn stmt
+  exec_prepared_in t txn ?params (prepare t sql)
 
 let exec t ?params sql =
-  let stmt = bind_stmt params (Parser.parse_one sql) in
-  match stmt with
+  let p = prepare t sql in
+  match p.p_stmt with
   | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
       Db_error.sql_error "use with_txn for explicit transaction control"
-  | _ -> with_txn t (fun txn -> Executor.exec_stmt (exec_ctx t) txn stmt)
+  | _ -> with_txn t (fun txn -> exec_prepared_in t txn ?params p)
 
 let exec_script t sql =
   let stmts = Parser.parse sql in

@@ -6,12 +6,22 @@
     the committing transaction with [add_migration_mark] so that crash
     recovery can rebuild tracker state (paper §3.5). *)
 
+type prepared
+(** A parsed statement from the per-database statement cache (keyed by
+    SQL text).  Cacheable SELECTs (no subqueries — those are evaluated at
+    plan time, so their plans bake results in) additionally memoise their
+    physical plan, tagged with the {!Catalog.epoch} it was built under;
+    the plan is discarded and rebuilt when the epoch moves (DDL, BullFrog
+    migration flips). *)
+
 type t = {
   catalog : Catalog.t;
   redo : Redo_log.t;
   locks : Lock_manager.t;
   mutable next_txn_id : int;
   txn_latch : Mutex.t;
+  stmt_cache : (string, prepared) Hashtbl.t;
+  stmt_latch : Mutex.t;
 }
 
 val create : unit -> t
@@ -31,9 +41,26 @@ val with_txn : t -> (Txn.t -> 'a) -> 'a
 
 val add_migration_mark : t -> Txn.t -> Redo_log.migration_mark -> unit
 
+val prepare : t -> string -> prepared
+(** Look up (or parse and cache) [sql].  One parse serves every
+    subsequent execution of the same text; [$n] placeholders stay in the
+    statement and are bound per execution. *)
+
+val prepared_stmt : prepared -> Bullfrog_sql.Ast.stmt
+
+val exec_prepared_in : t -> Txn.t -> ?params:Value.t array -> prepared -> Executor.result
+(** Execute a prepared statement inside [txn].  [params.(i)] binds
+    [$(i+1)]; @raise Db_error.Sql_error when fewer parameters are
+    supplied than the statement references. *)
+
+val bind_stmt : Value.t array option -> Bullfrog_sql.Ast.stmt -> Bullfrog_sql.Ast.stmt
+(** Splice parameter values into the AST as literals.  Not used on the
+    execution path (parameters stay positional there); BullFrog's
+    interceptor uses it so predicate extraction and conflict-candidate
+    analysis see concrete values. *)
+
 val exec : t -> ?params:Value.t array -> string -> Executor.result
-(** Parse and execute a single auto-committed statement.  [params] binds
-    [$1..$n]. *)
+(** [prepare] + execute, auto-committed.  [params] binds [$1..$n]. *)
 
 val exec_script : t -> string -> Executor.result list
 (** Executes [;]-separated statements, each auto-committed. *)

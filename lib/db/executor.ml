@@ -48,8 +48,12 @@ let new_acc distinct =
     distinct_seen = (if distinct then Some (Key_tbl.create 16) else None);
   }
 
-let acc_feed acc (spec : Plan.agg_spec) row =
-  let v = match spec.Plan.agg_arg with None -> Value.Bool true | Some e -> Expr.eval row e in
+let acc_feed params acc (spec : Plan.agg_spec) row =
+  let v =
+    match spec.Plan.agg_arg with
+    | None -> Value.Bool true
+    | Some e -> e.Expr.ce_eval params row
+  in
   let consider =
     match (spec.Plan.agg_arg, v) with
     | Some _, Value.Null -> false (* aggregates ignore NULLs *)
@@ -96,7 +100,7 @@ let acc_result acc (spec : Plan.agg_spec) =
   | Ast.Min -> ( match acc.vmin with None -> Value.Null | Some v -> v)
   | Ast.Max -> ( match acc.vmax with None -> Value.Null | Some v -> v)
 
-let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
+let rec run ?(params = [||]) (txn : Txn.t) (plan : Plan.t) : Value.t array list =
   let c = txn.Txn.counters in
   match plan with
   | Plan.Values rows -> rows
@@ -104,7 +108,9 @@ let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
       let out = ref [] in
       Heap.iter_live table (fun _tid row ->
           c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
-          let keep = match filter with None -> true | Some f -> Expr.eval_pred row f in
+          let keep =
+            match filter with None -> true | Some f -> f.Expr.ce_pred params row
+          in
           if keep then begin
             c.Txn.rows_read <- c.Txn.rows_read + 1;
             out := row :: !out
@@ -112,7 +118,7 @@ let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
       List.rev !out
   | Plan.Index_scan { table; index; key; filter } ->
       c.Txn.index_probes <- c.Txn.index_probes + 1;
-      let key = Array.map (fun e -> Expr.eval [||] e) key in
+      let key = Array.map (fun e -> e.Expr.ce_eval params [||]) key in
       let tids = List.sort Stdlib.compare (Index.find index key) in
       List.filter_map
         (fun tid ->
@@ -121,15 +127,15 @@ let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
           | Some row ->
               c.Txn.rows_read <- c.Txn.rows_read + 1;
               let keep =
-                match filter with None -> true | Some f -> Expr.eval_pred row f
+                match filter with None -> true | Some f -> f.Expr.ce_pred params row
               in
               if keep then Some row else None)
         tids
   | Plan.Index_range { table; index; prefix; lo; hi; filter } ->
       c.Txn.index_probes <- c.Txn.index_probes + 1;
-      let prefix = Array.map (fun e -> Expr.eval [||] e) prefix in
-      let lo = Option.map (fun e -> Expr.eval [||] e) lo in
-      let hi = Option.map (fun e -> Expr.eval [||] e) hi in
+      let prefix = Array.map (fun e -> e.Expr.ce_eval params [||]) prefix in
+      let lo = Option.map (fun e -> e.Expr.ce_eval params [||]) lo in
+      let hi = Option.map (fun e -> e.Expr.ce_eval params [||]) hi in
       let tids =
         Index.fold_prefix_range index ~prefix ?lo ?hi ~init:[]
           ~f:(fun acc _k ts -> List.rev_append ts acc)
@@ -142,14 +148,14 @@ let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
           | Some row ->
               c.Txn.rows_read <- c.Txn.rows_read + 1;
               let keep =
-                match filter with None -> true | Some f -> Expr.eval_pred row f
+                match filter with None -> true | Some f -> f.Expr.ce_pred params row
               in
               if keep then Some row else None)
         (List.sort Stdlib.compare tids)
   | Plan.Index_min { table = _; index; prefix; asc } ->
       c.Txn.index_probes <- c.Txn.index_probes + 1;
       c.Txn.rows_read <- c.Txn.rows_read + 1;
-      let prefix = Array.map (fun e -> Expr.eval [||] e) prefix in
+      let prefix = Array.map (fun e -> e.Expr.ce_eval params [||]) prefix in
       let hit =
         if asc then Index.min_with_prefix index prefix
         else Index.max_with_prefix index prefix
@@ -161,11 +167,11 @@ let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
       in
       [ [| v |] ]
   | Plan.Index_nl_join { outer; inner_table; index; outer_keys; inner_filter; cond } ->
-      let outer_rows = run txn outer in
+      let outer_rows = run ~params txn outer in
       let out = ref [] in
       List.iter
         (fun orow ->
-          let key = Array.map (fun e -> Expr.eval orow e) outer_keys in
+          let key = Array.map (fun e -> e.Expr.ce_eval params orow) outer_keys in
           if not (Array.exists Value.is_null key) then begin
             c.Txn.index_probes <- c.Txn.index_probes + 1;
             let tids =
@@ -186,12 +192,14 @@ let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
                     let keep_inner =
                       match inner_filter with
                       | None -> true
-                      | Some f -> Expr.eval_pred irow f
+                      | Some f -> f.Expr.ce_pred params irow
                     in
                     if keep_inner then begin
                       let row = Array.append orow irow in
                       let keep =
-                        match cond with None -> true | Some f -> Expr.eval_pred row f
+                        match cond with
+                        | None -> true
+                        | Some f -> f.Expr.ce_pred params row
                       in
                       if keep then out := row :: !out
                     end)
@@ -200,35 +208,37 @@ let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
         outer_rows;
       List.rev !out
   | Plan.Nested_loop { outer; inner; cond } ->
-      let outer_rows = run txn outer in
-      let inner_rows = run txn inner in
+      let outer_rows = run ~params txn outer in
+      let inner_rows = run ~params txn inner in
       let out = ref [] in
       List.iter
         (fun orow ->
           List.iter
             (fun irow ->
               let row = Array.append orow irow in
-              let keep = match cond with None -> true | Some f -> Expr.eval_pred row f in
+              let keep =
+                match cond with None -> true | Some f -> f.Expr.ce_pred params row
+              in
               if keep then out := row :: !out)
             inner_rows)
         outer_rows;
       List.rev !out
   | Plan.Hash_join { outer; inner; outer_keys; inner_keys; cond } ->
-      let inner_rows = run txn inner in
+      let inner_rows = run ~params txn inner in
       let tbl = Key_tbl.create (List.length inner_rows) in
       List.iter
         (fun irow ->
-          let k = Array.map (fun e -> Expr.eval irow e) inner_keys in
+          let k = Array.map (fun e -> e.Expr.ce_eval params irow) inner_keys in
           if not (Array.exists Value.is_null k) then begin
             let existing = try Key_tbl.find tbl k with Not_found -> [] in
             Key_tbl.replace tbl k (irow :: existing)
           end)
         inner_rows;
-      let outer_rows = run txn outer in
+      let outer_rows = run ~params txn outer in
       let out = ref [] in
       List.iter
         (fun orow ->
-          let k = Array.map (fun e -> Expr.eval orow e) outer_keys in
+          let k = Array.map (fun e -> e.Expr.ce_eval params orow) outer_keys in
           if not (Array.exists Value.is_null k) then begin
             c.Txn.index_probes <- c.Txn.index_probes + 1;
             match Key_tbl.find_opt tbl k with
@@ -238,23 +248,26 @@ let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
                   (fun irow ->
                     let row = Array.append orow irow in
                     let keep =
-                      match cond with None -> true | Some f -> Expr.eval_pred row f
+                      match cond with None -> true | Some f -> f.Expr.ce_pred params row
                     in
                     if keep then out := row :: !out)
                   (List.rev irows)
           end)
         outer_rows;
       List.rev !out
-  | Plan.Filter (p, f) -> List.filter (fun row -> Expr.eval_pred row f) (run txn p)
+  | Plan.Filter (p, f) ->
+      List.filter (fun row -> f.Expr.ce_pred params row) (run ~params txn p)
   | Plan.Project (p, exprs) ->
-      List.map (fun row -> Array.map (fun e -> Expr.eval row e) exprs) (run txn p)
+      List.map
+        (fun row -> Array.map (fun e -> e.Expr.ce_eval params row) exprs)
+        (run ~params txn p)
   | Plan.Aggregate { input; group; aggs } ->
-      let rows = run txn input in
+      let rows = run ~params txn input in
       let groups = Key_tbl.create 64 in
       let order = ref [] in
       List.iter
         (fun row ->
-          let k = Array.map (fun e -> Expr.eval row e) group in
+          let k = Array.map (fun e -> e.Expr.ce_eval params row) group in
           let accs =
             match Key_tbl.find_opt groups k with
             | Some accs -> accs
@@ -264,7 +277,7 @@ let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
                 order := k :: !order;
                 accs
           in
-          Array.iteri (fun i spec -> acc_feed accs.(i) spec row) aggs)
+          Array.iteri (fun i spec -> acc_feed params accs.(i) spec row) aggs)
         rows;
       let emit k accs =
         Array.append k (Array.mapi (fun i spec -> acc_result accs.(i) spec) aggs)
@@ -275,13 +288,13 @@ let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
       else
         List.rev_map (fun k -> emit k (Key_tbl.find groups k)) !order
   | Plan.Sort (p, keys) ->
-      let rows = run txn p in
+      let rows = run ~params txn p in
       let cmp a b =
         let rec go i =
           if i >= Array.length keys then 0
           else begin
             let e, dir = keys.(i) in
-            let c = Value.compare (Expr.eval a e) (Expr.eval b e) in
+            let c = Value.compare (e.Expr.ce_eval params a) (e.Expr.ce_eval params b) in
             let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
             if c <> 0 then c else go (i + 1)
           end
@@ -290,7 +303,7 @@ let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
       in
       List.stable_sort cmp rows
   | Plan.Distinct p ->
-      let rows = run txn p in
+      let rows = run ~params txn p in
       let seen = Key_tbl.create 64 in
       List.filter
         (fun row ->
@@ -300,12 +313,12 @@ let rec run (txn : Txn.t) (plan : Plan.t) : Value.t array list =
             true
           end)
         rows
-  | Plan.Limit (p, n) -> run_limited txn p n
+  | Plan.Limit (p, n) -> run_limited ~params txn p n
 
 (* LIMIT pushed through projections and into scans: stop fetching once n
    qualifying rows are produced (what a real executor's pipeline does;
    essential for LIMIT 1 point reads over wide index entries). *)
-and run_limited (txn : Txn.t) (plan : Plan.t) n : Value.t array list =
+and run_limited ?(params = [||]) (txn : Txn.t) (plan : Plan.t) n : Value.t array list =
   let c = txn.Txn.counters in
   let take k rows =
     let rec go k = function
@@ -320,11 +333,11 @@ and run_limited (txn : Txn.t) (plan : Plan.t) n : Value.t array list =
     match plan with
     | Plan.Project (p, exprs) ->
         List.map
-          (fun row -> Array.map (fun e -> Expr.eval row e) exprs)
-          (run_limited txn p n)
+          (fun row -> Array.map (fun e -> e.Expr.ce_eval params row) exprs)
+          (run_limited ~params txn p n)
     | Plan.Index_scan { table; index; key; filter } ->
         c.Txn.index_probes <- c.Txn.index_probes + 1;
-        let key = Array.map (fun e -> Expr.eval [||] e) key in
+        let key = Array.map (fun e -> e.Expr.ce_eval params [||]) key in
         let tids = List.sort Stdlib.compare (Index.find index key) in
         let out = ref [] and count = ref 0 in
         (try
@@ -336,7 +349,7 @@ and run_limited (txn : Txn.t) (plan : Plan.t) n : Value.t array list =
                | Some row ->
                    c.Txn.rows_read <- c.Txn.rows_read + 1;
                    let keep =
-                     match filter with None -> true | Some f -> Expr.eval_pred row f
+                     match filter with None -> true | Some f -> f.Expr.ce_pred params row
                    in
                    if keep then begin
                      out := row :: !out;
@@ -352,7 +365,7 @@ and run_limited (txn : Txn.t) (plan : Plan.t) n : Value.t array list =
                if !count >= n then raise Exit;
                c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
                let keep =
-                 match filter with None -> true | Some f -> Expr.eval_pred row f
+                 match filter with None -> true | Some f -> f.Expr.ce_pred params row
                in
                if keep then begin
                  c.Txn.rows_read <- c.Txn.rows_read + 1;
@@ -363,25 +376,25 @@ and run_limited (txn : Txn.t) (plan : Plan.t) n : Value.t array list =
         List.rev !out
     | Plan.Filter (p, f) ->
         (* no early cut below a filter without a streaming executor *)
-        take n (List.filter (fun row -> Expr.eval_pred row f) (run txn p))
-    | Plan.Limit (p, m) -> run_limited txn p (min n m)
-    | other -> take n (run txn other)
+        take n (List.filter (fun row -> f.Expr.ce_pred params row) (run ~params txn p))
+    | Plan.Limit (p, m) -> run_limited ~params txn p (min n m)
+    | other -> take n (run ~params txn other)
 
-let rec planner_ctx ctx txn : Planner.ctx =
+let rec planner_ctx ?(params = [||]) ctx txn : Planner.ctx =
   {
     Planner.catalog = ctx.catalog;
     run_subquery =
       (fun q ->
-        let planned = Planner.plan_select (planner_ctx ctx txn) q in
-        run txn planned.Planner.plan);
+        let planned = Planner.plan_select (planner_ctx ~params ctx txn) q in
+        run ~params txn planned.Planner.plan);
   }
 
-let run_select ctx txn (s : Ast.select) =
-  let planned = Planner.plan_select (planner_ctx ctx txn) s in
+let run_select ?(params = [||]) ctx txn (s : Ast.select) =
+  let planned = Planner.plan_select (planner_ctx ~params ctx txn) s in
   let names =
     Array.to_list (Array.map (fun (d : Plan.col_desc) -> d.Plan.cd_name) planned.Planner.output)
   in
-  Rows (names, run txn planned.Planner.plan)
+  Rows (names, run ~params txn planned.Planner.plan)
 
 (* ------------------------------------------------------------------ *)
 (* Constraint enforcement                                              *)
@@ -480,7 +493,7 @@ let check_fk_for_row ctx (txn : Txn.t) (table : Heap.t) row =
                         let sub = Array.sub icols 0 (Array.length ref_cols) in
                         List.sort Stdlib.compare (Array.to_list sub)
                         = List.sort Stdlib.compare (Array.to_list ref_cols))
-                      parent.Heap.indexes
+                      (Heap.indexes parent)
                   in
                   match prefix_index with
                   | Some idx ->
@@ -642,7 +655,7 @@ let alter_table ctx txn table_name (action : Ast.alter_action) =
         (fun idx ->
           if Array.exists (fun k -> k = i) (Index.key_cols idx) then
             err "cannot drop column %S: index %S depends on it" col_name (Index.name idx))
-        table.Heap.indexes;
+        (Heap.indexes table);
       List.iter
         (fun c ->
           let uses =
@@ -702,7 +715,7 @@ let alter_table ctx txn table_name (action : Ast.alter_action) =
       List.iter
         (fun (tid, row) -> Vec.set table.Heap.slots tid (Some (remove_at row)))
         !rewrites;
-      let old_indexes = table.Heap.indexes in
+      let old_indexes = Heap.indexes table in
       table.Heap.indexes <- [];
       List.iter
         (fun idx ->
@@ -802,13 +815,13 @@ let alter_table ctx txn table_name (action : Ast.alter_action) =
 (* Statement dispatch                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let rec exec_stmt ctx txn (stmt : Ast.stmt) : result =
+let rec exec_stmt ?(params = [||]) ctx txn (stmt : Ast.stmt) : result =
   match stmt with
-  | Ast.Select_stmt s -> run_select ctx txn s
+  | Ast.Select_stmt s -> run_select ~params ctx txn s
   | Ast.Explain inner -> (
       match inner with
       | Ast.Select_stmt s ->
-          let planned = Planner.plan_select (planner_ctx ctx txn) s in
+          let planned = Planner.plan_select (planner_ctx ~params ctx txn) s in
           Explained (Plan.describe planned.Planner.plan)
       | _ -> Explained "(only SELECT statements can be explained)")
   | Ast.Create_table { name; columns; constraints; if_not_exists } ->
@@ -854,7 +867,12 @@ let rec exec_stmt ctx txn (stmt : Ast.stmt) : result =
             Catalog.drop ctx.catalog name;
             Done (match kind with Ast.Drop_table -> "DROP TABLE" | _ -> "DROP VIEW")
           end)
-  | Ast.Alter_table { table; action } -> alter_table ctx txn table action
+  | Ast.Alter_table { table; action } ->
+      let r = alter_table ctx txn table action in
+      (* ALTER TABLE mutates the heap schema in place without going
+         through a catalog mutator, so bump the epoch here. *)
+      Catalog.bump_epoch ctx.catalog;
+      r
   | Ast.Insert { table; columns; source; on_conflict_do_nothing } ->
       let heap = Catalog.find_table_exn ctx.catalog table in
       let schema = heap.Heap.schema in
@@ -884,11 +902,12 @@ let rec exec_stmt ctx txn (stmt : Ast.stmt) : result =
               (fun exprs ->
                 Array.of_list
                   (List.map
-                     (fun e -> Expr.eval [||] (compile_standalone ctx txn e))
+                     (fun e ->
+                       Expr.eval_env params [||] (compile_standalone ~params ctx txn e))
                      exprs))
               rows
         | Ast.Query q -> (
-            match run_select ctx txn q with
+            match run_select ~params ctx txn q with
             | Rows (_, rows) -> rows
             | Affected _ | Done _ | Explained _ -> assert false)
       in
@@ -908,22 +927,22 @@ let rec exec_stmt ctx txn (stmt : Ast.stmt) : result =
           (fun (c, e) -> (Schema.col_index_exn schema c, Schema.compile_expr schema e))
           sets
       in
-      let targets = Access.scan_pred txn heap where in
+      let targets = Access.scan_pred ~params txn heap where in
       List.iter
         (fun (tid, row) ->
           let row' = Array.copy row in
-          List.iter (fun (i, e) -> row'.(i) <- Expr.eval row e) assignments;
+          List.iter (fun (i, e) -> row'.(i) <- Expr.eval_env params row e) assignments;
           update_row ctx txn heap tid row')
         targets;
       Affected (List.length targets)
   | Ast.Delete { table; where } ->
       let heap = Catalog.find_table_exn ctx.catalog table in
-      let targets = Access.scan_pred txn heap where in
+      let targets = Access.scan_pred ~params txn heap where in
       List.iter (fun (tid, _row) -> delete_row ctx txn heap tid) targets;
       Affected (List.length targets)
   | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
       err "transaction control statements are handled by the session layer"
 
-and compile_standalone ctx txn e =
+and compile_standalone ?(params = [||]) ctx txn e =
   (* Expressions outside any table context (VALUES rows). *)
-  Planner.compile_const (planner_ctx ctx txn) e
+  Planner.compile_const (planner_ctx ~params ctx txn) e

@@ -9,8 +9,9 @@ type exec_ctx = {
   redo : Redo_log.t;
 }
 
-val planner_ctx : exec_ctx -> Txn.t -> Planner.ctx
-(** Planner context whose subquery runner executes inside [txn]. *)
+val planner_ctx : ?params:Value.t array -> exec_ctx -> Txn.t -> Planner.ctx
+(** Planner context whose subquery runner executes inside [txn] with the
+    given parameter bindings. *)
 
 type result =
   | Rows of string list * Value.t array list  (** column names, rows *)
@@ -18,11 +19,15 @@ type result =
   | Done of string  (** DDL acknowledgement, e.g. ["CREATE TABLE"] *)
   | Explained of string
 
-val run : Txn.t -> Plan.t -> Value.t array list
+val run : ?params:Value.t array -> Txn.t -> Plan.t -> Value.t array list
+(** Materialise a plan; [params] supplies [$n] placeholder bindings
+    (0-based slots) referenced by compiled [Expr.Param] nodes. *)
 
-val run_select : exec_ctx -> Txn.t -> Bullfrog_sql.Ast.select -> result
+val run_select :
+  ?params:Value.t array -> exec_ctx -> Txn.t -> Bullfrog_sql.Ast.select -> result
 
-val exec_stmt : exec_ctx -> Txn.t -> Bullfrog_sql.Ast.stmt -> result
+val exec_stmt :
+  ?params:Value.t array -> exec_ctx -> Txn.t -> Bullfrog_sql.Ast.stmt -> result
 (** Transaction-control statements are rejected here (the caller owns
     transaction boundaries).  Writes append undo entries to [txn] and are
     logged to the redo log by {!Database} at commit. *)

@@ -2,6 +2,7 @@ open Bullfrog_sql
 
 type t =
   | Const of Value.t
+  | Param of int  (** positional parameter, 0-based slot in the params array *)
   | Field of int
   | Binop of Ast.binop * t * t
   | Unop of Ast.unop * t
@@ -57,41 +58,54 @@ let cmp_binop op a b =
   in
   Value.Bool r
 
-let rec eval row e =
+(* ------------------------------------------------------------------ *)
+(* Tree interpreter                                                    *)
+(*                                                                     *)
+(* [eval_env params row e] is the reference semantics; the closure     *)
+(* compiler below must agree with it exactly (the randomized           *)
+(* equivalence test in test_expr.ml enforces this).                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_env params row e =
   match e with
   | Const v -> v
+  | Param i ->
+      if i < 0 || i >= Array.length params then err "unbound parameter $%d" (i + 1)
+      else Array.unsafe_get params i
   | Field i ->
       if i < 0 || i >= Array.length row then err "field %d out of row bounds" i
       else Array.unsafe_get row i
-  | Binop (op, a, b) -> eval_binop row op a b
+  | Binop (op, a, b) -> eval_binop params row op a b
   | Unop (Ast.Not, a) -> (
-      match eval row a with
+      match eval_env params row a with
       | Value.Null -> Value.Null
       | Value.Bool b -> Value.Bool (not b)
       | v -> err "NOT applied to %s" (Value.type_name v))
   | Unop (Ast.Neg, a) -> (
-      match eval row a with
+      match eval_env params row a with
       | Value.Null -> Value.Null
       | Value.Int i -> Value.Int (-i)
       | Value.Float f -> Value.Float (-.f)
       | v -> err "unary minus applied to %s" (Value.type_name v))
-  | Fn (name, args) -> eval_fn row name args
+  | Fn (name, args) -> eval_fn params row name args
   | Case (branches, els) -> (
       let rec pick = function
-        | [] -> ( match els with None -> Value.Null | Some e -> eval row e)
+        | [] -> ( match els with None -> Value.Null | Some e -> eval_env params row e)
         | (c, v) :: rest -> (
-            match eval row c with Value.Bool true -> eval row v | _ -> pick rest)
+            match eval_env params row c with
+            | Value.Bool true -> eval_env params row v
+            | _ -> pick rest)
       in
       pick branches)
   | In_list (a, items) -> (
-      match eval row a with
+      match eval_env params row a with
       | Value.Null -> Value.Null
       | v ->
           let saw_null = ref false in
           let hit =
             List.exists
               (fun item ->
-                match eval row item with
+                match eval_env params row item with
                 | Value.Null ->
                     saw_null := true;
                     false
@@ -102,50 +116,54 @@ let rec eval row e =
           else if !saw_null then Value.Null
           else Value.Bool false)
   | Between (a, lo, hi) -> (
-      match (eval row a, eval row lo, eval row hi) with
+      match (eval_env params row a, eval_env params row lo, eval_env params row hi) with
       | Value.Null, _, _ | _, Value.Null, _ | _, _, Value.Null -> Value.Null
       | v, l, h -> Value.Bool (Value.compare l v <= 0 && Value.compare v h <= 0))
   | Is_null (a, want_null) ->
-      let v = eval row a in
+      let v = eval_env params row a in
       Value.Bool (Value.is_null v = want_null)
 
-and eval_binop row op a b =
+and eval_binop params row op a b =
   match op with
   | Ast.And -> (
-      match eval row a with
+      match eval_env params row a with
       | Value.Bool false -> Value.Bool false
       | Value.Bool true -> (
-          match eval row b with
+          match eval_env params row b with
           | (Value.Bool _ | Value.Null) as v -> v
           | v -> err "AND applied to %s" (Value.type_name v))
       | Value.Null -> (
-          match eval row b with Value.Bool false -> Value.Bool false | _ -> Value.Null)
+          match eval_env params row b with
+          | Value.Bool false -> Value.Bool false
+          | _ -> Value.Null)
       | v -> err "AND applied to %s" (Value.type_name v))
   | Ast.Or -> (
-      match eval row a with
+      match eval_env params row a with
       | Value.Bool true -> Value.Bool true
       | Value.Bool false -> (
-          match eval row b with
+          match eval_env params row b with
           | (Value.Bool _ | Value.Null) as v -> v
           | v -> err "OR applied to %s" (Value.type_name v))
       | Value.Null -> (
-          match eval row b with Value.Bool true -> Value.Bool true | _ -> Value.Null)
+          match eval_env params row b with
+          | Value.Bool true -> Value.Bool true
+          | _ -> Value.Null)
       | v -> err "OR applied to %s" (Value.type_name v))
   | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
-      match (eval row a, eval row b) with
+      match (eval_env params row a, eval_env params row b) with
       | Value.Null, _ | _, Value.Null -> Value.Null
       | va, vb -> cmp_binop op va vb)
   | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod -> (
-      match (eval row a, eval row b) with
+      match (eval_env params row a, eval_env params row b) with
       | Value.Null, _ | _, Value.Null -> Value.Null
       | va, vb -> num_binop op va vb)
   | Ast.Concat -> (
-      match (eval row a, eval row b) with
+      match (eval_env params row a, eval_env params row b) with
       | Value.Null, _ | _, Value.Null -> Value.Null
       | va, vb -> Value.Str (Value.to_string va ^ Value.to_string vb))
 
-and eval_fn row name args =
-  let arg i = eval row (List.nth args i) in
+and eval_fn params row name args =
+  let arg i = eval_env params row (List.nth args i) in
   let arity n =
     if List.length args <> n then err "%s expects %d argument(s)" name n
   in
@@ -216,7 +234,7 @@ and eval_fn row name args =
           | Value.Float f, Value.Int digits ->
               let scale = 10.0 ** float_of_int digits in
               Value.Float (Float.round (f *. scale) /. scale)
-          | Value.Int _, _ -> arg 0
+          | (Value.Int _ as v), _ -> v
           | v, _ -> err "round applied to %s" (Value.type_name v))
       | _ -> err "round expects 1 or 2 arguments")
   | "floor" -> (
@@ -236,7 +254,8 @@ and eval_fn row name args =
   | "coalesce" ->
       let rec first = function
         | [] -> Value.Null
-        | e :: rest -> ( match eval row e with Value.Null -> first rest | v -> v)
+        | e :: rest -> (
+            match eval_env params row e with Value.Null -> first rest | v -> v)
       in
       first args
   | "nullif" -> (
@@ -250,12 +269,406 @@ and eval_fn row name args =
       | a, b -> num_binop Ast.Mod a b)
   | other -> err "unknown function %S" other
 
+let eval row e = eval_env [||] row e
+
 let eval_pred row e =
   match eval row e with Value.Bool true -> true | _ -> false
 
+let eval_pred_env params row e =
+  match eval_env params row e with Value.Bool true -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Closure compilation                                                 *)
+(*                                                                     *)
+(* [compile_env e] walks the tree once and returns a closure of type   *)
+(* [params -> row -> value]; per-row evaluation then does no           *)
+(* constructor dispatch, no function-name comparison and no argument   *)
+(* list traversal.  The compiled closures must agree with [eval_env]   *)
+(* on values *and* on raised [Eval_error]s.                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_env (e : t) : Value.t array -> Value.t array -> Value.t =
+  match e with
+  | Const v -> fun _ _ -> v
+  | Param i ->
+      fun params _ ->
+        if i < 0 || i >= Array.length params then err "unbound parameter $%d" (i + 1)
+        else Array.unsafe_get params i
+  | Field i ->
+      fun _ row ->
+        if i < 0 || i >= Array.length row then err "field %d out of row bounds" i
+        else Array.unsafe_get row i
+  | Binop (op, a, b) -> compile_binop op a b
+  | Unop (Ast.Not, a) ->
+      let fa = compile_env a in
+      fun p r -> (
+        match fa p r with
+        | Value.Null -> Value.Null
+        | Value.Bool b -> Value.Bool (not b)
+        | v -> err "NOT applied to %s" (Value.type_name v))
+  | Unop (Ast.Neg, a) ->
+      let fa = compile_env a in
+      fun p r -> (
+        match fa p r with
+        | Value.Null -> Value.Null
+        | Value.Int i -> Value.Int (-i)
+        | Value.Float f -> Value.Float (-.f)
+        | v -> err "unary minus applied to %s" (Value.type_name v))
+  | Fn (name, args) -> compile_fn name args
+  | Case (branches, els) ->
+      let branches = List.map (fun (c, v) -> (compile_env c, compile_env v)) branches in
+      let els = Option.map compile_env els in
+      fun p r ->
+        let rec pick = function
+          | [] -> ( match els with None -> Value.Null | Some f -> f p r)
+          | (fc, fv) :: rest -> (
+              match fc p r with Value.Bool true -> fv p r | _ -> pick rest)
+        in
+        pick branches
+  | In_list (a, items) ->
+      let fa = compile_env a in
+      let fitems = List.map compile_env items in
+      fun p r -> (
+        match fa p r with
+        | Value.Null -> Value.Null
+        | v ->
+            let saw_null = ref false in
+            let hit =
+              List.exists
+                (fun fitem ->
+                  match fitem p r with
+                  | Value.Null ->
+                      saw_null := true;
+                      false
+                  | w -> Value.equal v w)
+                fitems
+            in
+            if hit then Value.Bool true
+            else if !saw_null then Value.Null
+            else Value.Bool false)
+  | Between (a, lo, hi) ->
+      let fa = compile_env a and flo = compile_env lo and fhi = compile_env hi in
+      fun p r -> (
+        match (fa p r, flo p r, fhi p r) with
+        | Value.Null, _, _ | _, Value.Null, _ | _, _, Value.Null -> Value.Null
+        | v, l, h -> Value.Bool (Value.compare l v <= 0 && Value.compare v h <= 0))
+  | Is_null (a, want_null) ->
+      let fa = compile_env a in
+      fun p r -> Value.Bool (Value.is_null (fa p r) = want_null)
+
+and compile_binop op a b =
+  let fa = compile_env a and fb = compile_env b in
+  match op with
+  | Ast.And ->
+      fun p r -> (
+        match fa p r with
+        | Value.Bool false -> Value.Bool false
+        | Value.Bool true -> (
+            match fb p r with
+            | (Value.Bool _ | Value.Null) as v -> v
+            | v -> err "AND applied to %s" (Value.type_name v))
+        | Value.Null -> (
+            match fb p r with Value.Bool false -> Value.Bool false | _ -> Value.Null)
+        | v -> err "AND applied to %s" (Value.type_name v))
+  | Ast.Or ->
+      fun p r -> (
+        match fa p r with
+        | Value.Bool true -> Value.Bool true
+        | Value.Bool false -> (
+            match fb p r with
+            | (Value.Bool _ | Value.Null) as v -> v
+            | v -> err "OR applied to %s" (Value.type_name v))
+        | Value.Null -> (
+            match fb p r with Value.Bool true -> Value.Bool true | _ -> Value.Null)
+        | v -> err "OR applied to %s" (Value.type_name v))
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      fun p r -> (
+        match (fa p r, fb p r) with
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> cmp_binop op va vb)
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+      fun p r -> (
+        match (fa p r, fb p r) with
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> num_binop op va vb)
+  | Ast.Concat ->
+      fun p r -> (
+        match (fa p r, fb p r) with
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Value.Str (Value.to_string va ^ Value.to_string vb))
+
+(* Function-name dispatch is resolved once at compile time; the returned
+   closure only evaluates arguments.  Arity errors are deferred into the
+   closure so that (like the interpreter) they surface only when the call
+   is actually evaluated, e.g. not inside an untaken CASE branch. *)
+and compile_fn name args : Value.t array -> Value.t array -> Value.t =
+  let fs = Array.of_list (List.map compile_env args) in
+  let n = Array.length fs in
+  let fail fmt = Printf.ksprintf (fun s _ _ -> raise (Eval_error s)) fmt in
+  let bad_arity expected = fail "%s expects %d argument(s)" name expected in
+  match name with
+  | _ when String.length name > 8 && String.sub name 0 8 = "extract_" ->
+      if n <> 1 then bad_arity 1
+      else
+        let field = String.sub name 8 (String.length name - 8) in
+        let f0 = fs.(0) in
+        fun p r -> Value.extract field (f0 p r)
+  | "date_part" ->
+      if n <> 2 then bad_arity 2
+      else
+        let f0 = fs.(0) and f1 = fs.(1) in
+        fun p r -> (
+          match f0 p r with
+          | Value.Str field -> Value.extract field (f1 p r)
+          | v -> err "date_part: field must be a string, got %s" (Value.type_name v))
+  | "lower" ->
+      if n <> 1 then bad_arity 1
+      else
+        let f0 = fs.(0) in
+        fun p r -> (
+          match f0 p r with
+          | Value.Null -> Value.Null
+          | Value.Str s -> Value.Str (String.lowercase_ascii s)
+          | v -> err "lower applied to %s" (Value.type_name v))
+  | "upper" ->
+      if n <> 1 then bad_arity 1
+      else
+        let f0 = fs.(0) in
+        fun p r -> (
+          match f0 p r with
+          | Value.Null -> Value.Null
+          | Value.Str s -> Value.Str (String.uppercase_ascii s)
+          | v -> err "upper applied to %s" (Value.type_name v))
+  | "length" ->
+      if n <> 1 then bad_arity 1
+      else
+        let f0 = fs.(0) in
+        fun p r -> (
+          match f0 p r with
+          | Value.Null -> Value.Null
+          | Value.Str s -> Value.Int (String.length s)
+          | v -> err "length applied to %s" (Value.type_name v))
+  | "substr" | "substring" ->
+      if n <> 2 && n <> 3 then fail "substr expects 2 or 3 arguments"
+      else
+        let f0 = fs.(0) and f1 = fs.(1) in
+        fun p r -> (
+          match (f0 p r, f1 p r) with
+          | Value.Null, _ -> Value.Null
+          | Value.Str s, Value.Int start ->
+              let start = max 1 start in
+              let available = String.length s - (start - 1) in
+              let len =
+                if n = 3 then
+                  match fs.(2) p r with
+                  | Value.Int len -> min len available
+                  | v -> err "substr: length must be int, got %s" (Value.type_name v)
+                else available
+              in
+              if len <= 0 || start > String.length s then Value.Str ""
+              else Value.Str (String.sub s (start - 1) len)
+          | v, _ -> err "substr applied to %s" (Value.type_name v))
+  | "abs" ->
+      if n <> 1 then bad_arity 1
+      else
+        let f0 = fs.(0) in
+        fun p r -> (
+          match f0 p r with
+          | Value.Null -> Value.Null
+          | Value.Int i -> Value.Int (abs i)
+          | Value.Float f -> Value.Float (Float.abs f)
+          | v -> err "abs applied to %s" (Value.type_name v))
+  | "round" ->
+      if n = 1 then
+        let f0 = fs.(0) in
+        fun p r -> (
+          match f0 p r with
+          | Value.Null -> Value.Null
+          | Value.Int _ as v -> v
+          | Value.Float f -> Value.Float (Float.round f)
+          | v -> err "round applied to %s" (Value.type_name v))
+      else if n = 2 then
+        let f0 = fs.(0) and f1 = fs.(1) in
+        fun p r -> (
+          match (f0 p r, f1 p r) with
+          | Value.Null, _ -> Value.Null
+          | Value.Float f, Value.Int digits ->
+              let scale = 10.0 ** float_of_int digits in
+              Value.Float (Float.round (f *. scale) /. scale)
+          | (Value.Int _ as v), _ -> v
+          | v, _ -> err "round applied to %s" (Value.type_name v))
+      else fail "round expects 1 or 2 arguments"
+  | "floor" ->
+      if n <> 1 then bad_arity 1
+      else
+        let f0 = fs.(0) in
+        fun p r -> (
+          match f0 p r with
+          | Value.Null -> Value.Null
+          | Value.Int _ as v -> v
+          | Value.Float f -> Value.Float (Float.floor f)
+          | v -> err "floor applied to %s" (Value.type_name v))
+  | "ceil" | "ceiling" ->
+      if n <> 1 then bad_arity 1
+      else
+        let f0 = fs.(0) in
+        fun p r -> (
+          match f0 p r with
+          | Value.Null -> Value.Null
+          | Value.Int _ as v -> v
+          | Value.Float f -> Value.Float (Float.ceil f)
+          | v -> err "ceil applied to %s" (Value.type_name v))
+  | "coalesce" ->
+      let fl = Array.to_list fs in
+      fun p r ->
+        let rec first = function
+          | [] -> Value.Null
+          | f :: rest -> ( match f p r with Value.Null -> first rest | v -> v)
+        in
+        first fl
+  | "nullif" ->
+      if n <> 2 then bad_arity 2
+      else
+        let f0 = fs.(0) and f1 = fs.(1) in
+        fun p r ->
+          let a = f0 p r and b = f1 p r in
+          if Value.equal a b then Value.Null else a
+  | "mod" ->
+      if n <> 2 then bad_arity 2
+      else
+        let f0 = fs.(0) and f1 = fs.(1) in
+        fun p r -> (
+          match (f0 p r, f1 p r) with
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | a, b -> num_binop Ast.Mod a b)
+  | other -> fail "unknown function %S" other
+
+(* ------------------------------------------------------------------ *)
+(* Fused predicate compilation                                         *)
+(*                                                                     *)
+(* A predicate over comparisons / AND / OR / NOT / BETWEEN / IN /       *)
+(* IS NULL never needs the intermediate [Value.Bool] boxes: evaluate    *)
+(* three-valued logic directly as an unboxed int (1 true, 0 false,      *)
+(* -1 unknown).  Fusion is restricted to shapes whose interpreter       *)
+(* result is provably Bool/Null (or an error the fused form raises      *)
+(* identically); anything else falls back to the value compiler.        *)
+(* ------------------------------------------------------------------ *)
+
+let rec boolish = function
+  | Const (Value.Bool _) | Const Value.Null -> true
+  | Binop ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _) -> true
+  | Binop ((Ast.And | Ast.Or), a, b) -> boolish a && boolish b
+  | Unop (Ast.Not, a) -> boolish a
+  | In_list _ | Between _ | Is_null _ -> true
+  | _ -> false
+
+let rec compile_p3 (e : t) : Value.t array -> Value.t array -> int =
+  match e with
+  | Const (Value.Bool b) ->
+      let v = if b then 1 else 0 in
+      fun _ _ -> v
+  | Const Value.Null -> fun _ _ -> -1
+  | Binop ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b) ->
+      let fa = compile_env a and fb = compile_env b in
+      fun p r -> (
+        match (fa p r, fb p r) with
+        | Value.Null, _ | _, Value.Null -> -1
+        | va, vb ->
+            let c = Value.compare va vb in
+            let ok =
+              match op with
+              | Ast.Eq -> c = 0
+              | Ast.Neq -> c <> 0
+              | Ast.Lt -> c < 0
+              | Ast.Le -> c <= 0
+              | Ast.Gt -> c > 0
+              | Ast.Ge -> c >= 0
+              | _ -> assert false
+            in
+            if ok then 1 else 0)
+  | Binop (Ast.And, a, b) ->
+      let fa = compile_p3 a and fb = compile_p3 b in
+      fun p r -> (
+        match fa p r with 0 -> 0 | 1 -> fb p r | _ -> if fb p r = 0 then 0 else -1)
+  | Binop (Ast.Or, a, b) ->
+      let fa = compile_p3 a and fb = compile_p3 b in
+      fun p r -> (
+        match fa p r with 1 -> 1 | 0 -> fb p r | _ -> if fb p r = 1 then 1 else -1)
+  | Unop (Ast.Not, a) ->
+      let fa = compile_p3 a in
+      fun p r -> ( match fa p r with 1 -> 0 | 0 -> 1 | _ -> -1)
+  | Between (a, lo, hi) ->
+      let fa = compile_env a and flo = compile_env lo and fhi = compile_env hi in
+      fun p r -> (
+        match (fa p r, flo p r, fhi p r) with
+        | Value.Null, _, _ | _, Value.Null, _ | _, _, Value.Null -> -1
+        | v, l, h -> if Value.compare l v <= 0 && Value.compare v h <= 0 then 1 else 0)
+  | In_list (a, items) ->
+      let fa = compile_env a in
+      let fitems = List.map compile_env items in
+      fun p r -> (
+        match fa p r with
+        | Value.Null -> -1
+        | v ->
+            let saw_null = ref false in
+            let hit =
+              List.exists
+                (fun fitem ->
+                  match fitem p r with
+                  | Value.Null ->
+                      saw_null := true;
+                      false
+                  | w -> Value.equal v w)
+                fitems
+            in
+            if hit then 1 else if !saw_null then -1 else 0)
+  | Is_null (a, want_null) ->
+      let fa = compile_env a in
+      fun p r -> if Value.is_null (fa p r) = want_null then 1 else 0
+  | e ->
+      (* Unreachable through [boolish]-guarded entry; kept total. *)
+      let f = compile_env e in
+      fun p r -> (
+        match f p r with
+        | Value.Bool true -> 1
+        | Value.Bool false -> 0
+        | Value.Null -> -1
+        | v -> err "predicate applied to %s" (Value.type_name v))
+
+let compile_pred_env e : Value.t array -> Value.t array -> bool =
+  if boolish e then
+    let f = compile_p3 e in
+    fun p r -> f p r = 1
+  else
+    let f = compile_env e in
+    fun p r -> ( match f p r with Value.Bool true -> true | _ -> false)
+
+(* Row-only entry points (no parameter environment). *)
+let compile e : Value.t array -> Value.t =
+  let f = compile_env e in
+  fun row -> f [||] row
+
+let compile_pred e : Value.t array -> bool =
+  let f = compile_pred_env e in
+  fun row -> f [||] row
+
+(* A compiled expression as held by physical plan nodes: the source tree
+   (for EXPLAIN / describe) alongside its value and predicate closures. *)
+type cexpr = {
+  ce_expr : t;
+  ce_eval : Value.t array -> Value.t array -> Value.t;
+  ce_pred : Value.t array -> Value.t array -> bool;
+}
+
+let prepare e = { ce_expr = e; ce_eval = compile_env e; ce_pred = compile_pred_env e }
+
+(* ------------------------------------------------------------------ *)
+(* Structural helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
 let rec is_const = function
   | Const _ -> true
-  | Field _ -> false
+  | Param _ | Field _ -> false
   | Binop (_, a, b) -> is_const a && is_const b
   | Unop (_, a) -> is_const a
   | Fn (_, args) -> List.for_all is_const args
@@ -269,7 +682,7 @@ let rec is_const = function
 let rec const_fold e =
   let e =
     match e with
-    | Const _ | Field _ -> e
+    | Const _ | Param _ | Field _ -> e
     | Binop (op, a, b) -> Binop (op, const_fold a, const_fold b)
     | Unop (op, a) -> Unop (op, const_fold a)
     | Fn (f, args) -> Fn (f, List.map const_fold args)
@@ -289,7 +702,7 @@ let rec const_fold e =
 let fields e =
   let acc = ref [] in
   let rec go = function
-    | Const _ -> ()
+    | Const _ | Param _ -> ()
     | Field i -> acc := i :: !acc
     | Binop (_, a, b) -> go a; go b
     | Unop (_, a) -> go a
@@ -307,7 +720,7 @@ let fields e =
 let rec shift_fields k e =
   let sub = shift_fields k in
   match e with
-  | Const _ -> e
+  | Const _ | Param _ -> e
   | Field i -> Field (i + k)
   | Binop (op, a, b) -> Binop (op, sub a, sub b)
   | Unop (op, a) -> Unop (op, sub a)
@@ -320,6 +733,7 @@ let rec shift_fields k e =
 
 let rec to_string = function
   | Const v -> Value.to_sql v
+  | Param i -> Printf.sprintf "$%d" (i + 1)
   | Field i -> Printf.sprintf "#%d" i
   | Binop (op, a, b) ->
       Printf.sprintf "(%s %s %s)" (to_string a) (Pretty.binop_to_string op) (to_string b)

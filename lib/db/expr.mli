@@ -4,10 +4,18 @@
     positions in an operator's output row, producing these closed
     expressions which the executor evaluates without name lookups.
     Aggregate references are resolved to slots of the enclosing
-    [Aggregate] operator's output. *)
+    [Aggregate] operator's output.
+
+    Expressions can be evaluated two ways: the tree interpreter
+    ({!eval_env}) and the closure compiler ({!compile_env}), which walks
+    the tree once and returns a closure performing no constructor
+    dispatch per row.  The two must agree exactly — on values and on
+    raised {!Eval_error}s; physical plans hold the compiled form
+    ({!cexpr}). *)
 
 type t =
   | Const of Value.t
+  | Param of int  (** positional parameter, 0-based slot in the params array *)
   | Field of int  (** index into the input row *)
   | Binop of Bullfrog_sql.Ast.binop * t * t
   | Unop of Bullfrog_sql.Ast.unop * t
@@ -19,19 +27,48 @@ type t =
 
 exception Eval_error of string
 
-val eval : Value.t array -> t -> Value.t
-(** Three-valued logic: comparisons and logical connectives involving
-    [Null] yield [Null]; [WHERE] treats a [Null] result as false.
+val eval_env : Value.t array -> Value.t array -> t -> Value.t
+(** [eval_env params row e] — three-valued logic: comparisons and logical
+    connectives involving [Null] yield [Null]; [WHERE] treats a [Null]
+    result as false.  [params] supplies [Param] slots.
     @raise Eval_error on type errors (adding a string to an int, unknown
-    function, ...). *)
+    function, unbound parameter, ...). *)
+
+val eval : Value.t array -> t -> Value.t
+(** [eval row e] = [eval_env [||] row e]. *)
 
 val eval_pred : Value.t array -> t -> bool
 (** [eval] then [Null]/[Bool false] → [false]. *)
 
+val eval_pred_env : Value.t array -> Value.t array -> t -> bool
+
+val compile_env : t -> Value.t array -> Value.t array -> Value.t
+(** Closure-compile: one tree walk, then [fun params row -> ...] with no
+    per-row dispatch.  Agrees exactly with {!eval_env}. *)
+
+val compile : t -> Value.t array -> Value.t
+(** [compile e] is {!compile_env} specialised to an empty parameter
+    environment: [fun row -> ...]. *)
+
+val compile_pred_env : t -> Value.t array -> Value.t array -> bool
+(** Compiled predicate; boolean-shaped trees (comparisons, AND/OR/NOT,
+    BETWEEN, IN, IS NULL) are fused into unboxed three-valued logic. *)
+
+val compile_pred : t -> Value.t array -> bool
+
+type cexpr = {
+  ce_expr : t;  (** source tree, for EXPLAIN / plan description *)
+  ce_eval : Value.t array -> Value.t array -> Value.t;
+  ce_pred : Value.t array -> Value.t array -> bool;
+}
+(** A compiled expression as held by physical plan nodes. *)
+
+val prepare : t -> cexpr
+
 val is_const : t -> bool
 
 val const_fold : t -> t
-(** Evaluate subtrees with no [Field]s down to constants. *)
+(** Evaluate subtrees with no [Field]s/[Param]s down to constants. *)
 
 val fields : t -> int list
 (** Field indices referenced, ascending, deduplicated. *)

@@ -134,7 +134,7 @@ let add_index t idx =
        with e ->
          List.iter (fun (key, tid) -> Index.remove idx key tid) !added;
          raise e);
-      t.indexes <- t.indexes @ [ idx ])
+      t.indexes <- idx :: t.indexes)
 
 let drop_index t idx_name =
   with_latch t (fun () ->
@@ -142,17 +142,25 @@ let drop_index t idx_name =
       t.indexes <- List.filter (fun i -> Index.name i <> idx_name) t.indexes;
       List.length t.indexes < before)
 
+(* Readers below must take the latch: [add_index]/[drop_index] mutate
+   [t.indexes] under it.  (The [index_all]/[deindex_all] helpers above read
+   the field directly because their callers already hold the latch.) *)
+
+let indexes t = with_latch t (fun () -> t.indexes)
+
 let find_index t idx_name =
-  List.find_opt (fun i -> Index.name i = idx_name) t.indexes
+  with_latch t (fun () -> List.find_opt (fun i -> Index.name i = idx_name) t.indexes)
 
 let same_col_set a b =
   let sort x = List.sort Stdlib.compare (Array.to_list x) in
   sort a = sort b
 
 let unique_index_on t cols =
-  List.find_opt
-    (fun i -> Index.is_unique i && same_col_set (Index.key_cols i) cols)
-    t.indexes
+  with_latch t (fun () ->
+      List.find_opt
+        (fun i -> Index.is_unique i && same_col_set (Index.key_cols i) cols)
+        t.indexes)
 
 let index_covering t cols =
-  List.find_opt (fun i -> same_col_set (Index.key_cols i) cols) t.indexes
+  with_latch t (fun () ->
+      List.find_opt (fun i -> same_col_set (Index.key_cols i) cols) t.indexes)

@@ -65,6 +65,10 @@ val add_index : t -> Index.t -> unit
 
 val drop_index : t -> string -> bool
 
+val indexes : t -> Index.t list
+(** Latched snapshot of the table's index list.  Use this (not the
+    [indexes] field) outside sections that already hold the latch. *)
+
 val find_index : t -> string -> Index.t option
 
 val unique_index_on : t -> int array -> Index.t option

@@ -3,51 +3,54 @@ type col_desc = { cd_qualifier : string option; cd_name : string }
 type agg_spec = {
   agg_fn : Bullfrog_sql.Ast.agg_fn;
   agg_distinct : bool;
-  agg_arg : Expr.t option;
+  agg_arg : Expr.cexpr option;
 }
 
+(* Physical plan nodes hold compiled expressions ([Expr.cexpr]): the
+   closure is built once at plan time and reused for every row and —
+   via the statement cache — every execution of the statement. *)
 type t =
-  | Seq_scan of { table : Heap.t; filter : Expr.t option }
+  | Seq_scan of { table : Heap.t; filter : Expr.cexpr option }
   | Index_scan of {
       table : Heap.t;
       index : Index.t;
-      key : Expr.t array;
-      filter : Expr.t option;
+      key : Expr.cexpr array;
+      filter : Expr.cexpr option;
     }
   | Index_range of {
       table : Heap.t;
       index : Index.t;
-      prefix : Expr.t array;
-      lo : Expr.t option;
-      hi : Expr.t option;
-      filter : Expr.t option;
+      prefix : Expr.cexpr array;
+      lo : Expr.cexpr option;
+      hi : Expr.cexpr option;
+      filter : Expr.cexpr option;
     }
   | Index_min of {
       table : Heap.t;
       index : Index.t;
-      prefix : Expr.t array;
+      prefix : Expr.cexpr array;
       asc : bool;
     }
-  | Nested_loop of { outer : t; inner : t; cond : Expr.t option }
+  | Nested_loop of { outer : t; inner : t; cond : Expr.cexpr option }
   | Index_nl_join of {
       outer : t;
       inner_table : Heap.t;
       index : Index.t;
-      outer_keys : Expr.t array;
-      inner_filter : Expr.t option;
-      cond : Expr.t option;
+      outer_keys : Expr.cexpr array;
+      inner_filter : Expr.cexpr option;
+      cond : Expr.cexpr option;
     }
   | Hash_join of {
       outer : t;
       inner : t;
-      outer_keys : Expr.t array;
-      inner_keys : Expr.t array;
-      cond : Expr.t option;
+      outer_keys : Expr.cexpr array;
+      inner_keys : Expr.cexpr array;
+      cond : Expr.cexpr option;
     }
-  | Filter of t * Expr.t
-  | Project of t * Expr.t array
-  | Aggregate of { input : t; group : Expr.t array; aggs : agg_spec array }
-  | Sort of t * (Expr.t * Bullfrog_sql.Ast.order_dir) array
+  | Filter of t * Expr.cexpr
+  | Project of t * Expr.cexpr array
+  | Aggregate of { input : t; group : Expr.cexpr array; aggs : agg_spec array }
+  | Sort of t * (Expr.cexpr * Bullfrog_sql.Ast.order_dir) array
   | Distinct of t
   | Limit of t * int
   | Values of Value.t array list
@@ -67,6 +70,7 @@ let rec width = function
 
 let describe plan =
   let buf = Buffer.create 256 in
+  let ce_string c = Expr.to_string c.Expr.ce_expr in
   let line indent s =
     Buffer.add_string buf (String.make (indent * 2) ' ');
     Buffer.add_string buf s;
@@ -74,7 +78,7 @@ let describe plan =
   in
   let filter_line indent = function
     | None -> ()
-    | Some f -> line (indent + 1) ("Filter: " ^ Expr.to_string f)
+    | Some f -> line (indent + 1) ("Filter: " ^ ce_string f)
   in
   let agg_name a =
     match a.agg_fn with
@@ -93,7 +97,7 @@ let describe plan =
           (Printf.sprintf "Index Scan using %s on %s" (Index.name index) table.Heap.name);
         line (indent + 1)
           ("Index Cond: ("
-          ^ String.concat ", " (Array.to_list (Array.map Expr.to_string key))
+          ^ String.concat ", " (Array.to_list (Array.map ce_string key))
           ^ ")");
         filter_line indent filter
     | Index_range { table; index; prefix; lo; hi; filter } ->
@@ -102,63 +106,63 @@ let describe plan =
              table.Heap.name);
         line (indent + 1)
           (Printf.sprintf "Index Cond: prefix (%s)%s%s"
-             (String.concat ", " (Array.to_list (Array.map Expr.to_string prefix)))
-             (match lo with None -> "" | Some e -> " >= " ^ Expr.to_string e)
-             (match hi with None -> "" | Some e -> " < " ^ Expr.to_string e));
+             (String.concat ", " (Array.to_list (Array.map ce_string prefix)))
+             (match lo with None -> "" | Some e -> " >= " ^ ce_string e)
+             (match hi with None -> "" | Some e -> " < " ^ ce_string e));
         filter_line indent filter
     | Index_min { table; index; prefix; asc } ->
         line indent
           (Printf.sprintf "Index %s using %s on %s (prefix: %s)"
              (if asc then "Min" else "Max")
              (Index.name index) table.Heap.name
-             (String.concat ", " (Array.to_list (Array.map Expr.to_string prefix))))
+             (String.concat ", " (Array.to_list (Array.map ce_string prefix))))
     | Index_nl_join { outer; inner_table; index; outer_keys; inner_filter; cond } ->
         line indent
           (Printf.sprintf "Index Nested Loop with %s via %s" inner_table.Heap.name
              (Index.name index));
         line (indent + 1)
           ("Probe Keys: ("
-          ^ String.concat ", " (Array.to_list (Array.map Expr.to_string outer_keys))
+          ^ String.concat ", " (Array.to_list (Array.map ce_string outer_keys))
           ^ ")");
         (match inner_filter with
         | None -> ()
-        | Some f -> line (indent + 1) ("Inner Filter: " ^ Expr.to_string f));
+        | Some f -> line (indent + 1) ("Inner Filter: " ^ ce_string f));
         (match cond with
         | None -> ()
-        | Some c -> line (indent + 1) ("Join Filter: " ^ Expr.to_string c));
+        | Some c -> line (indent + 1) ("Join Filter: " ^ ce_string c));
         go (indent + 1) outer
     | Nested_loop { outer; inner; cond } ->
         line indent "Nested Loop";
         (match cond with
         | None -> ()
-        | Some c -> line (indent + 1) ("Join Filter: " ^ Expr.to_string c));
+        | Some c -> line (indent + 1) ("Join Filter: " ^ ce_string c));
         go (indent + 1) outer;
         go (indent + 1) inner
     | Hash_join { outer; inner; outer_keys; inner_keys; cond } ->
         line indent "Hash Join";
         line (indent + 1)
           (Printf.sprintf "Hash Cond: (%s) = (%s)"
-             (String.concat ", " (Array.to_list (Array.map Expr.to_string outer_keys)))
-             (String.concat ", " (Array.to_list (Array.map Expr.to_string inner_keys))));
+             (String.concat ", " (Array.to_list (Array.map ce_string outer_keys)))
+             (String.concat ", " (Array.to_list (Array.map ce_string inner_keys))));
         (match cond with
         | None -> ()
-        | Some c -> line (indent + 1) ("Join Filter: " ^ Expr.to_string c));
+        | Some c -> line (indent + 1) ("Join Filter: " ^ ce_string c));
         go (indent + 1) outer;
         go (indent + 1) inner
     | Filter (p, f) ->
-        line indent ("Filter: " ^ Expr.to_string f);
+        line indent ("Filter: " ^ ce_string f);
         go (indent + 1) p
     | Project (p, exprs) ->
         line indent
           ("Project: "
-          ^ String.concat ", " (Array.to_list (Array.map Expr.to_string exprs)));
+          ^ String.concat ", " (Array.to_list (Array.map ce_string exprs)));
         go (indent + 1) p
     | Aggregate { input; group; aggs } ->
         let keys =
           if Array.length group = 0 then ""
           else
             " key: "
-            ^ String.concat ", " (Array.to_list (Array.map Expr.to_string group))
+            ^ String.concat ", " (Array.to_list (Array.map ce_string group))
         in
         let fns =
           String.concat ", "
@@ -167,7 +171,7 @@ let describe plan =
                   (fun a ->
                     Printf.sprintf "%s(%s%s)" (agg_name a)
                       (if a.agg_distinct then "DISTINCT " else "")
-                      (match a.agg_arg with None -> "*" | Some e -> Expr.to_string e))
+                      (match a.agg_arg with None -> "*" | Some e -> ce_string e))
                   aggs))
         in
         line indent (Printf.sprintf "Aggregate%s [%s]" keys fns);
@@ -179,7 +183,7 @@ let describe plan =
               (Array.to_list
                  (Array.map
                     (fun (e, d) ->
-                      Expr.to_string e
+                      ce_string e
                       ^ match d with Bullfrog_sql.Ast.Asc -> " ASC" | Desc -> " DESC")
                     keys)));
         go (indent + 1) p

@@ -16,6 +16,8 @@ type rel = { alias : string; source : rel_source }
 
 let err = Db_error.sql_error
 
+let prep = Expr.prepare
+
 (* ------------------------------------------------------------------ *)
 (* Star and view expansion                                             *)
 (* ------------------------------------------------------------------ *)
@@ -343,7 +345,7 @@ let rec compile ctx (descs : Plan.col_desc array) (e : Ast.expr) : Expr.t =
   | Ast.Float_lit f -> Expr.Const (Value.Float f)
   | Ast.Str_lit s -> Expr.Const (Value.Str s)
   | Ast.Bool_lit b -> Expr.Const (Value.Bool b)
-  | Ast.Param i -> err "unbound parameter $%d" i
+  | Ast.Param i -> Expr.Param (i - 1)
   | Ast.Col (q, c) -> Expr.Field (resolve_field descs q c)
   | Ast.Binop (op, a, b) -> Expr.Binop (op, sub a, sub b)
   | Ast.Unop (op, a) -> Expr.Unop (op, sub a)
@@ -424,7 +426,7 @@ let rec compile_post_agg ctx stage (e : Ast.expr) : Expr.t =
       | Ast.Float_lit f -> Expr.Const (Value.Float f)
       | Ast.Str_lit s -> Expr.Const (Value.Str s)
       | Ast.Bool_lit b -> Expr.Const (Value.Bool b)
-      | Ast.Param i -> err "unbound parameter $%d" i
+      | Ast.Param i -> Expr.Param (i - 1)
       | Ast.Binop (op, a, b) ->
           Expr.Binop (op, compile_post_agg ctx stage a, compile_post_agg ctx stage b)
       | Ast.Unop (op, a) -> Expr.Unop (op, compile_post_agg ctx stage a)
@@ -478,19 +480,18 @@ let rec resolve_subqueries ctx (e : Ast.expr) : Ast.expr =
 let scan_of_base ctx heap conjs =
   let conjs = List.map (resolve_subqueries ctx) conjs in
   let pred = Access.compile_pred heap (Ast.conjoin conjs) in
-  let const v = Expr.Const v in
   match pred.Access.path with
   | Access.P_eq (idx, key) ->
       Plan.Index_scan
-        { table = heap; index = idx; key = Array.map const key; filter = pred.Access.residual }
+        { table = heap; index = idx; key = Array.map prep key; filter = pred.Access.residual }
   | Access.P_range (idx, prefix, lo, hi) ->
       Plan.Index_range
         {
           table = heap;
           index = idx;
-          prefix = Array.map const prefix;
-          lo = Option.map const lo;
-          hi = Option.map const hi;
+          prefix = Array.map prep prefix;
+          lo = Option.map prep lo;
+          hi = Option.map prep hi;
           filter = pred.Access.residual;
         }
   | Access.P_full -> Plan.Seq_scan { table = heap; filter = pred.Access.residual }
@@ -519,13 +520,13 @@ let minmax_shortcut ctx (s : Ast.select) : planned option =
                     match conj with
                     | Ast.Binop (Ast.Eq, Ast.Col (_, col), rhs) -> (
                         match
-                          (Schema.col_index heap.Heap.schema col, Value.of_ast_literal rhs)
+                          (Schema.col_index heap.Heap.schema col, Access.value_expr_of_ast rhs)
                         with
                         | Some i, Some v -> Some (i, v)
                         | _ -> None)
                     | Ast.Binop (Ast.Eq, lhs, Ast.Col (_, col)) -> (
                         match
-                          (Schema.col_index heap.Heap.schema col, Value.of_ast_literal lhs)
+                          (Schema.col_index heap.Heap.schema col, Access.value_expr_of_ast lhs)
                         with
                         | Some i, Some v -> Some (i, v)
                         | _ -> None)
@@ -547,7 +548,7 @@ let minmax_shortcut ctx (s : Ast.select) : planned option =
                       && List.for_all
                            (fun bc -> Array.exists (( = ) bc) (Array.sub cols 0 (Array.length cols - 1)))
                            bound_cols)
-                    heap.Heap.indexes
+                    (Heap.indexes heap)
                 in
                 match idx with
                 | None -> None
@@ -556,7 +557,7 @@ let minmax_shortcut ctx (s : Ast.select) : planned option =
                     let prefix =
                       Array.init
                         (Array.length cols - 1)
-                        (fun i -> Expr.Const (List.assoc cols.(i) bindings))
+                        (fun i -> prep (List.assoc cols.(i) bindings))
                     in
                     let out_name =
                       match alias with
@@ -594,7 +595,7 @@ let rec plan_rel ctx r conjs : Plan.t * Plan.col_desc array =
       let plan =
         match Ast.conjoin conjs with
         | None -> plan
-        | Some w -> Plan.Filter (plan, compile ctx descs w)
+        | Some w -> Plan.Filter (plan, prep (compile ctx descs w))
       in
       (plan, descs)
 
@@ -650,7 +651,7 @@ and plan_joins ctx rels per_rel joins : Plan.t * Plan.col_desc array =
           let cond =
             match Ast.conjoin residual with
             | None -> None
-            | Some w -> Some (compile ctx concat_descs w)
+            | Some w -> Some (prep (compile ctx concat_descs w))
           in
           let plan =
             if keys = [] then Plan.Nested_loop { outer = acc_plan; inner = p_r; cond }
@@ -690,7 +691,7 @@ and plan_joins ctx rels per_rel joins : Plan.t * Plan.col_desc array =
                                 let sub = Array.sub (Index.key_cols idx) 0 (Array.length cols) in
                                 List.sort Stdlib.compare (Array.to_list sub)
                                 = List.sort Stdlib.compare (Array.to_list cols))
-                              table.Heap.indexes
+                              (Heap.indexes table)
                       in
                       match prefix_idx with
                       | None -> None
@@ -713,7 +714,7 @@ and plan_joins ctx rels per_rel joins : Plan.t * Plan.col_desc array =
                                  outer = acc_plan;
                                  inner_table = table;
                                  index = idx;
-                                 outer_keys = reordered;
+                                 outer_keys = Array.map prep reordered;
                                  inner_filter = filter;
                                  cond;
                                })
@@ -724,7 +725,13 @@ and plan_joins ctx rels per_rel joins : Plan.t * Plan.col_desc array =
               | Some plan -> plan
               | None ->
                   Plan.Hash_join
-                    { outer = acc_plan; inner = p_r; outer_keys; inner_keys; cond }
+                    {
+                      outer = acc_plan;
+                      inner = p_r;
+                      outer_keys = Array.map prep outer_keys;
+                      inner_keys = Array.map prep inner_keys;
+                      cond;
+                    }
             end
           in
           (plan, concat_descs))
@@ -741,7 +748,7 @@ and plan_select ctx (s : Ast.select) : planned =
   let joined_plan =
     match Ast.conjoin cls.consts with
     | None -> joined_plan
-    | Some w -> Plan.Filter (joined_plan, compile ctx joined_descs w)
+    | Some w -> Plan.Filter (joined_plan, prep (compile ctx joined_descs w))
   in
   let has_agg =
     s.Ast.group_by <> []
@@ -768,7 +775,9 @@ and plan_select ctx (s : Ast.select) : planned =
       let stage = { in_descs = joined_descs; group_asts = s.Ast.group_by; specs = [] } in
       let proj_exprs = List.map (compile_post_agg ctx stage) proj_asts in
       let having_expr = Option.map (compile_post_agg ctx stage) s.Ast.having in
-      let group = Array.of_list (List.map (compile ctx joined_descs) s.Ast.group_by) in
+      let group =
+        Array.of_list (List.map (fun e -> prep (compile ctx joined_descs e)) s.Ast.group_by)
+      in
       let aggs =
         Array.of_list
           (List.map
@@ -776,13 +785,15 @@ and plan_select ctx (s : Ast.select) : planned =
                {
                  Plan.agg_fn = f;
                  agg_distinct = d;
-                 agg_arg = Option.map (compile ctx joined_descs) arg;
+                 agg_arg = Option.map (fun e -> prep (compile ctx joined_descs e)) arg;
                })
              stage.specs)
       in
       let agg_plan = Plan.Aggregate { input = joined_plan; group; aggs } in
       let agg_plan =
-        match having_expr with None -> agg_plan | Some h -> Plan.Filter (agg_plan, h)
+        match having_expr with
+        | None -> agg_plan
+        | Some h -> Plan.Filter (agg_plan, prep h)
       in
       (* Descriptors of the aggregate output, for pre-projection sorting. *)
       let agg_descs =
@@ -828,10 +839,19 @@ and plan_select ctx (s : Ast.select) : planned =
     end
   in
   ignore pre_descs;
-  let plan = match sort_pre with None -> pre_plan | Some keys -> Plan.Sort (pre_plan, keys) in
-  let plan = Plan.Project (plan, Array.of_list proj_exprs) in
+  let plan =
+    match sort_pre with
+    | None -> pre_plan
+    | Some keys ->
+        Plan.Sort (pre_plan, Array.map (fun (e, d) -> (prep e, d)) keys)
+  in
+  let plan = Plan.Project (plan, Array.of_list (List.map prep proj_exprs)) in
   let plan = if s.Ast.distinct then Plan.Distinct plan else plan in
-  let plan = match sort_post with None -> plan | Some keys -> Plan.Sort (plan, keys) in
+  let plan =
+    match sort_post with
+    | None -> plan
+    | Some keys -> Plan.Sort (plan, Array.map (fun (e, d) -> (prep e, d)) keys)
+  in
   let plan = match s.Ast.limit with None -> plan | Some n -> Plan.Limit (plan, n) in
   { plan; output = out_descs }
 

@@ -54,7 +54,7 @@ let rec compile_expr t (e : Ast.expr) : Expr.t =
   | Ast.Float_lit f -> Expr.Const (Value.Float f)
   | Ast.Str_lit s -> Expr.Const (Value.Str s)
   | Ast.Bool_lit b -> Expr.Const (Value.Bool b)
-  | Ast.Param i -> Db_error.sql_error "unbound parameter $%d" i
+  | Ast.Param i -> Expr.Param (i - 1)
   | Ast.Col (_, c) -> Expr.Field (col_index_exn t c)
   | Ast.Binop (op, a, b) -> Expr.Binop (op, sub a, sub b)
   | Ast.Unop (op, a) -> Expr.Unop (op, sub a)

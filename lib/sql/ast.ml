@@ -228,6 +228,102 @@ and bind_params_select params s =
     order_by = List.map (fun (e, d) -> (sub e, d)) s.order_by;
   }
 
+(** Highest positional parameter number referenced ($n, 1-based); 0 when the
+    expression/statement takes no parameters.  Used by the prepared-statement
+    layer to validate bindings without rewriting the AST. *)
+let rec max_param_expr e =
+  match e with
+  | Param i -> i
+  | Null_lit | Int_lit _ | Float_lit _ | Str_lit _ | Bool_lit _ | Col _ -> 0
+  | Binop (_, a, b) -> max (max_param_expr a) (max_param_expr b)
+  | Unop (_, a) -> max_param_expr a
+  | Fn (_, args) -> List.fold_left (fun acc a -> max acc (max_param_expr a)) 0 args
+  | Agg (_, _, arg) -> ( match arg with None -> 0 | Some a -> max_param_expr a)
+  | Case (branches, els) ->
+      List.fold_left
+        (fun acc (c, v) -> max acc (max (max_param_expr c) (max_param_expr v)))
+        (match els with None -> 0 | Some e -> max_param_expr e)
+        branches
+  | In_list (a, es) ->
+      List.fold_left (fun acc x -> max acc (max_param_expr x)) (max_param_expr a) es
+  | Between (a, b, c) ->
+      max (max_param_expr a) (max (max_param_expr b) (max_param_expr c))
+  | Is_null (a, _) -> max_param_expr a
+  | Exists s | Scalar_subquery s -> max_param_select s
+
+and max_param_select s =
+  let opt = function None -> 0 | Some e -> max_param_expr e in
+  let proj = function
+    | Proj_expr (e, _) -> max_param_expr e
+    | Proj_star | Proj_table_star _ -> 0
+  in
+  let from = function
+    | From_subquery (q, _) -> max_param_select q
+    | From_table _ -> 0
+  in
+  List.fold_left (fun acc p -> max acc (proj p)) 0 s.projections
+  |> fun acc ->
+  List.fold_left (fun acc f -> max acc (from f)) acc s.from
+  |> fun acc ->
+  max acc (opt s.where)
+  |> fun acc ->
+  List.fold_left (fun acc e -> max acc (max_param_expr e)) acc s.group_by
+  |> fun acc ->
+  max acc (opt s.having)
+  |> fun acc -> List.fold_left (fun acc (e, _) -> max acc (max_param_expr e)) acc s.order_by
+
+let rec max_param_stmt = function
+  | Select_stmt s -> max_param_select s
+  | Insert { source = Values rows; _ } ->
+      List.fold_left
+        (fun acc row ->
+          List.fold_left (fun acc e -> max acc (max_param_expr e)) acc row)
+        0 rows
+  | Insert { source = Query q; _ } -> max_param_select q
+  | Update { sets; where; _ } ->
+      List.fold_left
+        (fun acc (_, e) -> max acc (max_param_expr e))
+        (match where with None -> 0 | Some e -> max_param_expr e)
+        sets
+  | Delete { where; _ } -> ( match where with None -> 0 | Some e -> max_param_expr e)
+  | Explain s -> max_param_stmt s
+  | Create_table _ | Create_table_as _ | Create_view _ | Create_index _ | Drop _
+  | Alter_table _ | Begin_txn | Commit_txn | Rollback_txn ->
+      0
+
+(** Whether a SELECT contains a subquery anywhere (EXISTS, scalar subquery,
+    or FROM subquery).  Plans for such statements bake subquery results in
+    as constants, so they cannot be reused across executions. *)
+let rec expr_has_subquery = function
+  | Exists _ | Scalar_subquery _ -> true
+  | Null_lit | Int_lit _ | Float_lit _ | Str_lit _ | Bool_lit _ | Param _ | Col _ -> false
+  | Binop (_, a, b) -> expr_has_subquery a || expr_has_subquery b
+  | Unop (_, a) -> expr_has_subquery a
+  | Fn (_, args) -> List.exists expr_has_subquery args
+  | Agg (_, _, arg) -> ( match arg with None -> false | Some a -> expr_has_subquery a)
+  | Case (branches, els) ->
+      List.exists (fun (c, v) -> expr_has_subquery c || expr_has_subquery v) branches
+      || (match els with None -> false | Some e -> expr_has_subquery e)
+  | In_list (a, es) -> expr_has_subquery a || List.exists expr_has_subquery es
+  | Between (a, b, c) ->
+      expr_has_subquery a || expr_has_subquery b || expr_has_subquery c
+  | Is_null (a, _) -> expr_has_subquery a
+
+and select_has_subquery s =
+  let opt = function None -> false | Some e -> expr_has_subquery e in
+  List.exists
+    (function
+      | Proj_expr (e, _) -> expr_has_subquery e
+      | Proj_star | Proj_table_star _ -> false)
+    s.projections
+  || List.exists
+       (function From_subquery _ -> true | From_table _ -> false)
+       s.from
+  || opt s.where
+  || List.exists expr_has_subquery s.group_by
+  || opt s.having
+  || List.exists (fun (e, _) -> expr_has_subquery e) s.order_by
+
 let select ?(distinct = false) ?(where = None) ?(group_by = []) ?(having = None)
     ?(order_by = []) ?(limit = None) ?(for_update = false) ~projections ~from () =
   { distinct; projections; from; where; group_by; having; order_by; limit; for_update }

@@ -114,6 +114,135 @@ let fields_and_shift () =
   let shifted = Expr.shift_fields 3 e in
   check (Alcotest.list Alcotest.int) "shifted" [ 3; 5 ] (Expr.fields shifted)
 
+(* ------------------------------------------------------------------ *)
+(* Interpreter ≡ compiler (randomised)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The closure compiler must agree with the tree interpreter on every
+   input — on values AND on raised [Eval_error]s.  The generator leans
+   into the edges: NULLs everywhere, zero divisors, mixed-type operands
+   (int+string, date arithmetic), unknown functions, wrong arities,
+   out-of-range parameters. *)
+
+let row_arity = 3
+
+let n_params = 2
+
+let gen_value =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun i -> Value.Int i) (int_range (-3) 3));
+        (2, map (fun f -> Value.Float f) (oneofl [ -1.5; 0.0; 2.0; 3.25 ]));
+        (2, map (fun s -> Value.Str s) (oneofl [ ""; "a"; "Ab"; "true"; "5" ]));
+        (2, map (fun b -> Value.Bool b) bool);
+        (3, return Value.Null);
+        (1, map (fun d -> Value.Date d) (int_range 0 40000));
+      ])
+
+let gen_expr =
+  let open QCheck.Gen in
+  let open Bullfrog_sql.Ast in
+  let leaf =
+    frequency
+      [
+        (4, map (fun v -> Expr.Const v) gen_value);
+        (3, map (fun i -> Expr.Field i) (int_range 0 (row_arity - 1)));
+        (2, map (fun i -> Expr.Param i) (int_range 0 (n_params - 1)));
+        (* occasionally out of bounds: both sides must raise identically *)
+        (1, return (Expr.Param n_params));
+      ]
+  in
+  let gen_binop =
+    oneofl [ Eq; Neq; Lt; Le; Gt; Ge; Add; Sub; Mul; Div; Mod; And; Or; Concat ]
+  in
+  let fn_names =
+    [ "lower"; "upper"; "length"; "abs"; "round"; "coalesce"; "nullif"; "substr"; "nope" ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then leaf
+      else
+        let sub = self (n / 2) in
+        frequency
+          [
+            (1, leaf);
+            (4, map3 (fun op a b -> Expr.Binop (op, a, b)) gen_binop sub sub);
+            (1, map2 (fun op a -> Expr.Unop (op, a)) (oneofl [ Not; Neg ]) sub);
+            ( 2,
+              map2
+                (fun name args -> Expr.Fn (name, args))
+                (oneofl fn_names)
+                (list_size (int_range 0 3) sub) );
+            ( 1,
+              map3
+                (fun branches els leftover ->
+                  Expr.Case (branches, if leftover then Some els else None))
+                (list_size (int_range 1 2) (pair sub sub))
+                sub bool );
+            (1, map2 (fun a es -> Expr.In_list (a, es)) sub (list_size (int_range 0 3) sub));
+            (1, map3 (fun a lo hi -> Expr.Between (a, lo, hi)) sub sub sub);
+            (1, map2 (fun a pos -> Expr.Is_null (a, pos)) sub bool);
+          ])
+    5
+
+let gen_case =
+  QCheck.Gen.(
+    triple gen_expr
+      (array_size (return n_params) gen_value)
+      (array_size (return row_arity) gen_value))
+
+let print_case (e, params, row) =
+  let vals a = String.concat "; " (Array.to_list (Array.map Value.to_string a)) in
+  Printf.sprintf "expr: %s\nparams: [| %s |]\nrow: [| %s |]" (Expr.to_string e)
+    (vals params) (vals row)
+
+let outcome f = match f () with v -> Ok v | exception Expr.Eval_error m -> Error m
+
+let interp_compile_agree =
+  QCheck.Test.make ~name:"interpreter ≡ closure compiler (randomised)" ~count:2000
+    (QCheck.make gen_case ~print:print_case)
+    (fun (e, params, row) ->
+      let ce = Expr.prepare e in
+      let iv = outcome (fun () -> Expr.eval_env params row e) in
+      let cv = outcome (fun () -> ce.Expr.ce_eval params row) in
+      let values_agree =
+        match (iv, cv) with
+        | Ok a, Ok b -> Value.equal a b
+        | Error a, Error b -> String.equal a b
+        | _ -> false
+      in
+      if not values_agree then
+        QCheck.Test.fail_reportf "eval mismatch:\ninterp:  %s\ncompiled: %s"
+          (match iv with Ok v -> Value.to_string v | Error m -> "error: " ^ m)
+          (match cv with Ok v -> Value.to_string v | Error m -> "error: " ^ m);
+      let ip = outcome (fun () -> Expr.eval_pred_env params row e) in
+      let cp = outcome (fun () -> ce.Expr.ce_pred params row) in
+      let preds_agree =
+        match (ip, cp) with
+        | Ok a, Ok b -> Bool.equal a b
+        | Error a, Error b -> String.equal a b
+        | _ -> false
+      in
+      if not preds_agree then
+        QCheck.Test.fail_reportf "pred mismatch:\ninterp:  %s\ncompiled: %s"
+          (match ip with Ok b -> string_of_bool b | Error m -> "error: " ^ m)
+          (match cp with Ok b -> string_of_bool b | Error m -> "error: " ^ m);
+      true)
+
+let compiled_params () =
+  let open Bullfrog_sql.Ast in
+  let e = Expr.Binop (Add, Expr.Param 0, Expr.Param 1) in
+  let ce = Expr.prepare e in
+  check v_test "params bound per call" (Value.Int 7)
+    (ce.Expr.ce_eval [| Value.Int 3; Value.Int 4 |] [||]);
+  check v_test "same closure, new bindings" (Value.Int 30)
+    (ce.Expr.ce_eval [| Value.Int 10; Value.Int 20 |] [||]);
+  Alcotest.check_raises "unbound parameter" (Expr.Eval_error "unbound parameter $3")
+    (fun () ->
+      ignore
+        ((Expr.prepare (Expr.Param 2)).Expr.ce_eval [| Value.Int 1; Value.Int 2 |] [||]))
+
 let suite =
   [
     Alcotest.test_case "arithmetic" `Quick arith;
@@ -124,4 +253,6 @@ let suite =
     Alcotest.test_case "case" `Quick case_expr;
     Alcotest.test_case "const folding" `Quick folding;
     Alcotest.test_case "fields/shift" `Quick fields_and_shift;
+    Alcotest.test_case "compiled params" `Quick compiled_params;
+    QCheck_alcotest.to_alcotest interp_compile_agree;
   ]

@@ -11,6 +11,7 @@ let () =
       ("storage", Test_storage.suite);
       ("engine", Test_engine.suite);
       ("access", Test_access.suite);
+      ("plan-cache", Test_plancache.suite);
       ("trackers", Test_trackers.suite);
       ("bullfrog", Test_bullfrog.suite);
       ("pair", Test_pair.suite);

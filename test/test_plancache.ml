@@ -1,0 +1,176 @@
+(* Statement / plan cache: reuse across parameter bindings, invalidation
+   on DDL (schema epoch), and invalidation across BullFrog's lazy
+   migration flip — a cached plan must never serve answers from a schema
+   that is no longer live. *)
+
+open Bullfrog_db
+open Bullfrog_core
+open Bullfrog_sql
+
+let check = Alcotest.check
+
+let rows_of = function
+  | Executor.Rows (_, rows) -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let sorted_strings rows =
+  List.sort compare (List.map (fun r -> String.concat "|" (Array.to_list (Array.map Value.to_string r))) rows)
+
+(* A cold execution: fresh parse, fresh plan, no cache involved. *)
+let cold db txn ?(params = [||]) sql =
+  Executor.exec_stmt ~params (Database.exec_ctx db) txn (Parser.parse_one sql)
+
+let cold_auto db ?params sql =
+  Database.with_txn db (fun txn -> cold db txn ?params sql)
+
+(* ------------------------------------------------------------------ *)
+
+let statement_cache_hits () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (a INT PRIMARY KEY, b INT)" : Executor.result);
+  let sql = "SELECT b FROM t WHERE a = $1" in
+  let p1 = Database.prepare db sql in
+  let p2 = Database.prepare db sql in
+  check Alcotest.bool "same prepared statement object" true (p1 == p2);
+  let p3 = Database.prepare db "SELECT b FROM t WHERE a = $2" in
+  check Alcotest.bool "different text, different entry" false (p1 == p3)
+
+let params_reused_across_bindings () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (a INT PRIMARY KEY, b INT)" : Executor.result);
+  for i = 1 to 10 do
+    ignore (Database.exec db (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i (i * i))
+        : Executor.result)
+  done;
+  let sql = "SELECT b FROM t WHERE a = $1" in
+  for i = 1 to 10 do
+    let warm = rows_of (Database.exec db ~params:[| Value.Int i |] sql) in
+    let c = rows_of (cold_auto db ~params:[| Value.Int i |] sql) in
+    check (Alcotest.list Alcotest.string)
+      (Printf.sprintf "binding %d matches cold" i)
+      (sorted_strings c) (sorted_strings warm)
+  done;
+  (* Too few parameters is a statement error, not a crash. *)
+  Alcotest.check_raises "missing parameter rejected"
+    (Db_error.Sql_error "statement expects 1 parameter(s), got 0") (fun () ->
+      ignore (Database.exec db sql : Executor.result))
+
+let ddl_invalidates_plan () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (a INT PRIMARY KEY, b INT)" : Executor.result);
+  ignore (Database.exec db "INSERT INTO t VALUES (1, 10)" : Executor.result);
+  let sql = "SELECT * FROM t WHERE a = $1" in
+  (* Warm the plan under the 2-column schema. *)
+  (match rows_of (Database.exec db ~params:[| Value.Int 1 |] sql) with
+  | [ row ] -> check Alcotest.int "2 columns before DDL" 2 (Array.length row)
+  | _ -> Alcotest.fail "expected one row");
+  ignore (Database.exec db "ALTER TABLE t ADD COLUMN c INT DEFAULT 7" : Executor.result);
+  (* The cached plan projected 2 columns; after ALTER it must be rebuilt. *)
+  (match rows_of (Database.exec db ~params:[| Value.Int 1 |] sql) with
+  | [ row ] ->
+      check Alcotest.int "3 columns after DDL" 3 (Array.length row);
+      check Alcotest.bool "default visible" true (Value.equal row.(2) (Value.Int 7))
+  | _ -> Alcotest.fail "expected one row");
+  ignore (Database.exec db "ALTER TABLE t DROP COLUMN b" : Executor.result);
+  (match rows_of (Database.exec db ~params:[| Value.Int 1 |] sql) with
+  | [ row ] -> check Alcotest.int "2 columns after DROP COLUMN" 2 (Array.length row)
+  | _ -> Alcotest.fail "expected one row")
+
+(* ------------------------------------------------------------------ *)
+(* Across the migration flip                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The flights example (§2.1), small.  capacity = 100+i, passenger_count
+   = 50+d, so empty_seats for FL00i on day d is 50+i-d. *)
+let flights_db () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       {|
+    CREATE TABLE flights (flightid CHAR(6) PRIMARY KEY, capacity INT);
+    CREATE TABLE flewon (flightid CHAR(6), flightdate DATE, passenger_count INT);
+  |});
+  for i = 0 to 9 do
+    ignore
+      (Database.exec db
+         (Printf.sprintf "INSERT INTO flights VALUES ('FL%03d', %d)" i (100 + i))
+        : Executor.result);
+    for d = 1 to 3 do
+      ignore
+        (Database.exec db
+           (Printf.sprintf "INSERT INTO flewon VALUES ('FL%03d','2020-03-%02d',%d)" i d (50 + d))
+          : Executor.result)
+    done
+  done;
+  db
+
+let spec () =
+  Migration.make ~name:"flights_v2" ~drop_old:[ "flewon" ]
+    [
+      Migration.statement_of_sql ~name:"flewoninfo"
+        {|CREATE TABLE flewoninfo AS (
+          SELECT f.flightid AS fid, flightdate,
+                 (capacity - passenger_count) AS empty_seats
+          FROM flights f, flewon fi WHERE f.flightid = fi.flightid)|};
+    ]
+
+let expected_for i = List.sort compare (List.map (fun d -> 50 + i - d) [ 1; 2; 3 ])
+
+let got_seats rows =
+  List.sort compare
+    (List.map (function [| Value.Int n |] -> n | _ -> Alcotest.fail "not an int") rows)
+
+let migration_flip_invalidates () =
+  let db = flights_db () in
+  let bf = Lazy_db.create db in
+  let sql = "SELECT empty_seats FROM flewoninfo WHERE fid = $1" in
+  let old_sql = "SELECT passenger_count FROM flewon WHERE flightid = $1" in
+  (* Warm a statement against the old schema before the flip. *)
+  check Alcotest.int "old-schema query works before flip" 3
+    (List.length (rows_of (Lazy_db.exec bf ~params:[| Value.Str "FL003" |] old_sql)));
+  (* The new-schema statement fails before the flip but its parse is cached;
+     the cached entry must not pin that failure. *)
+  (try ignore (Lazy_db.exec bf ~params:[| Value.Str "FL003" |] sql : Executor.result)
+   with Db_error.Sql_error _ -> ());
+  ignore (Lazy_db.start_migration bf (spec ()) : Migrate_exec.t);
+  (* During migration: the same cached statement now resolves to the
+     output table and lazily migrates what it touches. *)
+  let fid i = [| Value.Str (Printf.sprintf "FL%03d" i) |] in
+  check (Alcotest.list Alcotest.int) "during flip: param FL003" (expected_for 3)
+    (got_seats (rows_of (Lazy_db.exec bf ~params:(fid 3) sql)));
+  (* Same prepared plan, different binding: migrates a different slice. *)
+  check (Alcotest.list Alcotest.int) "during flip: param FL007" (expected_for 7)
+    (got_seats (rows_of (Lazy_db.exec bf ~params:(fid 7) sql)));
+  (* Warm result matches a cold (uncached) execution on the same state. *)
+  check (Alcotest.list Alcotest.int) "warm = cold during migration"
+    (got_seats (rows_of (cold_auto db ~params:(fid 7) sql)))
+    (got_seats (rows_of (Lazy_db.exec bf ~params:(fid 7) sql)));
+  (* exec_in inside a caller-owned transaction takes the same cached path. *)
+  let txn = Database.begin_txn db in
+  check (Alcotest.list Alcotest.int) "exec_in during migration" (expected_for 5)
+    (got_seats (rows_of (Lazy_db.exec_in bf txn ~params:(fid 5) sql)));
+  Database.commit db txn;
+  (* The dropped old table is rejected even though its statement is cached. *)
+  Alcotest.check_raises "cached old-schema statement rejected after flip"
+    (Db_error.Sql_error
+       "relation \"flewon\" was removed by a schema migration; update the client to the new schema")
+    (fun () ->
+      ignore (Lazy_db.exec bf ~params:[| Value.Str "FL003" |] old_sql : Executor.result));
+  (* Drain, finalize (second epoch bump), and re-run the cached statement. *)
+  let rec drain () = if Lazy_db.background_step bf ~batch:64 > 0 then drain () in
+  drain ();
+  check Alcotest.bool "complete" true (Lazy_db.migration_complete bf);
+  Lazy_db.finalize bf;
+  check (Alcotest.list Alcotest.int) "after finalize: param FL002" (expected_for 2)
+    (got_seats (rows_of (Lazy_db.exec bf ~params:(fid 2) sql)));
+  check (Alcotest.list Alcotest.int) "after finalize: warm = cold"
+    (got_seats (rows_of (cold_auto db ~params:(fid 8) sql)))
+    (got_seats (rows_of (Lazy_db.exec bf ~params:(fid 8) sql)))
+
+let suite =
+  [
+    Alcotest.test_case "statement cache hits" `Quick statement_cache_hits;
+    Alcotest.test_case "plan reuse across bindings" `Quick params_reused_across_bindings;
+    Alcotest.test_case "DDL invalidates cached plan" `Quick ddl_invalidates_plan;
+    Alcotest.test_case "migration flip invalidates" `Quick migration_flip_invalidates;
+  ]
