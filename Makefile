@@ -1,8 +1,9 @@
 # Convenience targets; `make check` is the everything-gate: build, full
-# test suite, then a fast-profile smoke of the fig3 benchmark to catch
-# shape-level regressions in the reproduction itself.
+# test suite, then a fast-profile smoke of the fig3 figure and the
+# migration-path wall-clock bench to catch shape-level regressions in the
+# reproduction and the bulk path alike.
 
-.PHONY: all build test bench check clean
+.PHONY: all build test bench bench-smoke check clean
 
 all: build
 
@@ -15,8 +16,10 @@ test:
 bench:
 	dune exec bench/main.exe
 
-check:
-	dune build && dune runtest && BF_FAST=1 dune exec bench/main.exe -- fig3
+bench-smoke:
+	BF_FAST=1 dune exec bench/main.exe -- fig3 migpath
+
+check: build test bench-smoke
 
 clean:
 	dune clean

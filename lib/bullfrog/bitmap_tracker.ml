@@ -16,6 +16,23 @@ let granules_per_byte = 4
 
 let chunk_granules = 1024 (* granules sharing one latch stripe key *)
 
+(* Word-level scan constants: one 64-bit word covers 32 granules, and a
+   chunk is byte-aligned (1024 / 4 = 256 bytes), so a word never spans two
+   chunks. *)
+let word_bytes = 8
+
+let granules_per_word = granules_per_byte * word_bytes
+
+(* A 2-bit granule slot is "settled" when either bit is set (migrated or
+   in progress); a word is fully settled when every slot is. *)
+let settled_mask = 0x5555_5555_5555_5555L
+
+(* popcount of the lock bits (even positions) of one bitmap byte *)
+let lock_popcount =
+  Array.init 256 (fun b ->
+      let rec pop v = if v = 0 then 0 else (v land 1) + pop (v lsr 2) in
+      pop (b land 0x55))
+
 let create ?(page_size = 1) ?(stripes = 64) ~size () =
   if page_size <= 0 then invalid_arg "Bitmap_tracker.create: page_size";
   let granules = if size = 0 then 0 else ((size - 1) / page_size) + 1 in
@@ -100,21 +117,282 @@ let force_migrated t g =
         Atomic.incr t.migrated_count
       end)
 
+(* Lock bits can only be set on granules < [t.granules], so counting whole
+   bytes (including the trailing padding slots) is safe. *)
 let stats t =
   let migrated = Atomic.get t.migrated_count in
   let in_progress = ref 0 in
-  for g = 0 to t.granules - 1 do
-    if byte_of t g land lock_mask g <> 0 then incr in_progress
+  let bits = t.bits in
+  let nbytes = Bytes.length bits in
+  let add_byte j =
+    in_progress := !in_progress + lock_popcount.(Char.code (Bytes.unsafe_get bits j))
+  in
+  let i = ref 0 in
+  while !i + word_bytes <= nbytes do
+    if not (Int64.equal (Bytes.get_int64_ne bits !i) 0L) then
+      for j = !i to !i + word_bytes - 1 do
+        add_byte j
+      done;
+    i := !i + word_bytes
+  done;
+  while !i < nbytes do
+    add_byte !i;
+    incr i
   done;
   { Tracker.total = t.granules; migrated; in_progress = !in_progress }
 
 let complete t = Atomic.get t.migrated_count >= t.granules
 
-let first_unmigrated t ~from =
-  let rec loop g =
+let free t g = byte_of t g land (migrate_mask g lor lock_mask g) = 0
+
+(* Word-level free-granule finder: skip fully settled 8-byte words (32
+   granules per probe).  Reads are unlatched like the [try_acquire] fast
+   path — a stale word only makes the caller re-check a granule under the
+   latch. *)
+let find_free t ~from =
+  let bits = t.bits in
+  let nbytes = Bytes.length bits in
+  let aligned g = g land (granules_per_word - 1) = 0 in
+  let byte_idx g = g / granules_per_byte in
+  let word_readable g = byte_idx g + word_bytes <= nbytes in
+  let rec find g =
     if g >= t.granules then None
-    else
-      let b = byte_of t g in
-      if b land (migrate_mask g lor lock_mask g) = 0 then Some g else loop (g + 1)
+    else if aligned g && word_readable g then begin
+      let w = Bytes.get_int64_ne bits (byte_idx g) in
+      let occ =
+        Int64.logand (Int64.logor w (Int64.shift_right_logical w 1)) settled_mask
+      in
+      if Int64.equal occ settled_mask then find (g + granules_per_word)
+      else scan g (min (g + granules_per_word) t.granules)
+    end
+    else if free t g then Some g
+    else find (g + 1)
+  and scan g limit =
+    (* the word holds a free slot, but it may lie in the padding past
+       [t.granules]; fall back to [find] at the limit in that case *)
+    if g >= limit then find g
+    else if free t g then Some g
+    else scan (g + 1) limit
   in
-  loop (max from 0)
+  find (max from 0)
+
+let first_unmigrated t ~from = find_free t ~from
+
+(* [find_free] plus the maximal run of free granules from the hit — only
+   run-consuming callers should pay the extension walk. *)
+let next_unmigrated_run t ~from =
+  let bits = t.bits in
+  let nbytes = Bytes.length bits in
+  let aligned g = g land (granules_per_word - 1) = 0 in
+  let byte_idx g = g / granules_per_byte in
+  let word_readable g = byte_idx g + word_bytes <= nbytes in
+  match find_free t ~from with
+  | None -> None
+  | Some start ->
+      let rec extend g =
+        if g >= t.granules then g
+        else if
+          aligned g && word_readable g
+          && Int64.equal (Bytes.get_int64_ne bits (byte_idx g)) 0L
+        then extend (g + granules_per_word)
+        else if free t g then extend (g + 1)
+        else g
+      in
+      let stop = extend (start + 1) in
+      (* the run may poke into the padding of its last word; clamp *)
+      Some (start, min stop t.granules - start)
+
+(* ------------------------------------------------------------------ *)
+(* Batch operations: one chunk-latch acquisition per contiguous chunk    *)
+(* segment of the input instead of one per granule.                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply [body] to each granule of [gs], taking each chunk's latch once
+   per maximal consecutive same-chunk segment of the input (the common
+   sorted batch of up to [chunk_granules] granules takes exactly one
+   latch).  Allocation-free: segments are consumed in place from the input
+   list, never rebuilt.  Latches are never nested. *)
+let iter_chunk_segments t gs body =
+  let rec start = function
+    | [] -> ()
+    | g0 :: _ as gs ->
+        let chunk = chunk_of g0 in
+        let rest =
+          with_latch t g0 (fun () ->
+              let rec go = function
+                | g :: rest when chunk_of g = chunk ->
+                    check_bounds t g;
+                    body g;
+                    go rest
+                | rest -> rest
+              in
+              go gs)
+        in
+        start rest
+  in
+  start gs
+
+let try_acquire_batch t gs =
+  let wip = ref [] and skip = ref [] and already = ref [] in
+  iter_chunk_segments t gs (fun g ->
+      let b = byte_of t g in
+      assert (b land lock_mask g = 0 || b land migrate_mask g = 0);
+      if b land migrate_mask g <> 0 then already := g :: !already
+      else if b land lock_mask g <> 0 then skip := g :: !skip
+      else begin
+        set_byte t g (b lor lock_mask g);
+        wip := g :: !wip
+      end);
+  (List.rev !wip, List.rev !skip, List.rev !already)
+
+let mark_migrated_batch t gs =
+  let n = ref 0 in
+  iter_chunk_segments t gs (fun g ->
+      let b = byte_of t g in
+      if b land migrate_mask g <> 0 then
+        invalid_arg
+          (Printf.sprintf "Bitmap_tracker.mark_migrated_batch: granule %d already migrated" g);
+      set_byte t g ((b land lnot (lock_mask g)) lor migrate_mask g);
+      incr n);
+  ignore (Atomic.fetch_and_add t.migrated_count !n : int)
+
+let mark_aborted_batch t gs =
+  iter_chunk_segments t gs (fun g ->
+      let b = byte_of t g in
+      assert (b land migrate_mask g = 0);
+      set_byte t g (b land lnot (lock_mask g)))
+
+(* ------------------------------------------------------------------ *)
+(* Contiguous-run operations: the background migrator consumes whole     *)
+(* runs from [next_unmigrated_run], so give runs a first-class path      *)
+(* that latches each chunk once and writes whole bytes (4 granules) and  *)
+(* whole words (32 granules) where the run covers them.                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_run t ~start ~len =
+  if len < 0 then invalid_arg "Bitmap_tracker: negative run length";
+  if len > 0 then begin
+    check_bounds t start;
+    check_bounds t (start + len - 1)
+  end
+
+(* All 32 lock bits of a word, and the same pattern for one byte. *)
+let all_locked_word = settled_mask
+
+let all_migrated_word = 0xAAAA_AAAA_AAAA_AAAAL
+
+let all_locked_byte = 0x55
+
+let all_migrated_byte = 0xAA
+
+(* Iterate [start, start+len) chunk segment by chunk segment, holding the
+   chunk latch across each segment; [seg] receives inclusive-exclusive
+   granule bounds and runs under the latch. *)
+let iter_run_chunks t ~start ~len seg =
+  let stop = start + len in
+  let g = ref start in
+  while !g < stop do
+    let chunk_end = min stop ((chunk_of !g + 1) * chunk_granules) in
+    let lo = !g in
+    with_latch t lo (fun () -> seg lo chunk_end);
+    g := chunk_end
+  done
+
+let try_acquire_run t ~start ~len =
+  check_run t ~start ~len;
+  let wip = ref [] and skip = ref [] and already = ref [] in
+  (* Acquired granules come back as maximal (start, len) subruns, merged
+     on the fly; an uncontended run allocates one pair, not one cons per
+     granule. *)
+  let got a k =
+    match !wip with
+    | (s, l) :: tl when s + l = a -> wip := (s, l + k) :: tl
+    | tl -> wip := (a, k) :: tl
+  in
+  iter_run_chunks t ~start ~len (fun lo hi ->
+      let g = ref lo in
+      while !g < hi do
+        let gg = !g in
+        if gg land (granules_per_word - 1) = 0 && gg + granules_per_word <= hi
+           && Int64.equal (Bytes.get_int64_ne t.bits (gg / granules_per_byte)) 0L
+        then begin
+          (* 32 free granules: one word write *)
+          Bytes.set_int64_ne t.bits (gg / granules_per_byte) all_locked_word;
+          got gg granules_per_word;
+          g := gg + granules_per_word
+        end
+        else if gg land (granules_per_byte - 1) = 0 && gg + granules_per_byte <= hi
+                && byte_of t gg = 0
+        then begin
+          (* 4 free granules: one byte write *)
+          set_byte t gg all_locked_byte;
+          got gg granules_per_byte;
+          g := gg + granules_per_byte
+        end
+        else begin
+          let b = byte_of t gg in
+          assert (b land lock_mask gg = 0 || b land migrate_mask gg = 0);
+          if b land migrate_mask gg <> 0 then already := gg :: !already
+          else if b land lock_mask gg <> 0 then skip := gg :: !skip
+          else begin
+            set_byte t gg (b lor lock_mask gg);
+            got gg 1
+          end;
+          g := gg + 1
+        end
+      done);
+  (List.rev !wip, List.rev !skip, List.rev !already)
+
+let mark_migrated_run t ~start ~len =
+  check_run t ~start ~len;
+  iter_run_chunks t ~start ~len (fun lo hi ->
+      let g = ref lo in
+      while !g < hi do
+        let gg = !g in
+        if gg land (granules_per_word - 1) = 0 && gg + granules_per_word <= hi
+           && Int64.equal
+                (Bytes.get_int64_ne t.bits (gg / granules_per_byte))
+                all_locked_word
+        then begin
+          Bytes.set_int64_ne t.bits (gg / granules_per_byte) all_migrated_word;
+          g := gg + granules_per_word
+        end
+        else if gg land (granules_per_byte - 1) = 0 && gg + granules_per_byte <= hi
+                && byte_of t gg = all_locked_byte
+        then begin
+          set_byte t gg all_migrated_byte;
+          g := gg + granules_per_byte
+        end
+        else begin
+          let b = byte_of t gg in
+          if b land migrate_mask gg <> 0 then
+            invalid_arg
+              (Printf.sprintf
+                 "Bitmap_tracker.mark_migrated_run: granule %d already migrated" gg);
+          set_byte t gg ((b land lnot (lock_mask gg)) lor migrate_mask gg);
+          g := gg + 1
+        end
+      done);
+  ignore (Atomic.fetch_and_add t.migrated_count len : int)
+
+let mark_aborted_run t ~start ~len =
+  check_run t ~start ~len;
+  iter_run_chunks t ~start ~len (fun lo hi ->
+      let g = ref lo in
+      while !g < hi do
+        let gg = !g in
+        if gg land (granules_per_word - 1) = 0 && gg + granules_per_word <= hi
+           && Int64.equal
+                (Bytes.get_int64_ne t.bits (gg / granules_per_byte))
+                all_locked_word
+        then begin
+          Bytes.set_int64_ne t.bits (gg / granules_per_byte) 0L;
+          g := gg + granules_per_word
+        end
+        else begin
+          let b = byte_of t gg in
+          assert (b land migrate_mask gg = 0);
+          set_byte t gg (b land lnot (lock_mask gg));
+          g := gg + 1
+        end
+      done)

@@ -5,6 +5,11 @@ type outcome = {
   input_rows_read : int;
 }
 
+(* Rows are streamed out of the population plan and flushed in batches of
+   this size, so the full result set is never materialised (the seed
+   version held every output row of a statement in one list). *)
+let batch_rows = 4096
+
 let migrate db (spec : Migration.t) =
   (* Reuse the installer for output creation and classification checks,
      then push every granule through in one transaction per statement. *)
@@ -14,24 +19,35 @@ let migrate db (spec : Migration.t) =
   let rows_copied = ref 0 and input_rows_read = ref 0 in
   List.iter
     (fun (stmt : Migrate_exec.rt_stmt) ->
+      let input_rows =
+        List.fold_left
+          (fun acc (input : Migrate_exec.rt_input) ->
+            acc + Heap.live_count input.Migrate_exec.ri_heap)
+          0 stmt.Migrate_exec.rs_inputs
+      in
       Database.with_txn db (fun txn ->
           List.iter
             (fun (out_heap, population) ->
               (* Populations read the real old tables directly: the catalog
                  still holds them, and the outputs are empty. *)
+              Heap.reserve out_heap input_rows;
               let planned = Planner.plan_select pctx population in
-              let rows = Executor.run txn planned.Planner.plan in
-              List.iter
-                (fun row ->
-                  match Executor.insert_row ctx txn out_heap row with
-                  | Some _ -> incr rows_copied
-                  | None -> ())
-                rows)
+              let buf = ref [] and buffered = ref 0 in
+              let flush () =
+                if !buffered > 0 then begin
+                  let rows = Array.of_list (List.rev !buf) in
+                  buf := [];
+                  buffered := 0;
+                  rows_copied := !rows_copied + Executor.insert_rows ctx txn out_heap rows
+                end
+              in
+              Executor.iter_plan txn planned.Planner.plan (fun row ->
+                  buf := row :: !buf;
+                  incr buffered;
+                  if !buffered >= batch_rows then flush ());
+              flush ())
             stmt.Migrate_exec.rs_outputs;
-          List.iter
-            (fun (input : Migrate_exec.rt_input) ->
-              input_rows_read := !input_rows_read + Heap.live_count input.Migrate_exec.ri_heap)
-            stmt.Migrate_exec.rs_inputs))
+          input_rows_read := !input_rows_read + input_rows))
     rt.Migrate_exec.stmts;
   List.iter
     (fun name ->

@@ -78,6 +78,72 @@ let force_migrated t key =
           Key_tbl.replace part (Array.copy key) Migrated;
           Atomic.incr t.migrated_count)
 
+(* ------------------------------------------------------------------ *)
+(* Batch operations: one latch acquisition per partition touched.       *)
+(* ------------------------------------------------------------------ *)
+
+(* Visit the keys partition by partition (order of first appearance),
+   holding each partition's latch once; [f] gets the key's input position
+   and its partition table.  Latches are never nested. *)
+let iter_by_partition t (keys : key array) f =
+  let n = Array.length keys in
+  let parts = Array.init n (fun i -> part_key t keys.(i)) in
+  let visited = Array.make n false in
+  for i = 0 to n - 1 do
+    if not visited.(i) then begin
+      let pk = parts.(i) in
+      Striped_mutex.with_stripe t.latches pk (fun () ->
+          let part = t.parts.(pk) in
+          for j = i to n - 1 do
+            if (not visited.(j)) && parts.(j) = pk then begin
+              visited.(j) <- true;
+              f j part
+            end
+          done)
+    end
+  done
+
+let try_acquire_batch t keys =
+  let arr = Array.of_list keys in
+  let out = Array.make (Array.length arr) Tracker.Skip in
+  iter_by_partition t arr (fun i part ->
+      let key = arr.(i) in
+      out.(i) <-
+        (match Key_tbl.find_opt part key with
+        | Some Migrated -> Tracker.Already_migrated
+        | Some In_progress -> Tracker.Skip
+        | Some Aborted ->
+            Key_tbl.replace part key In_progress;
+            Tracker.Migrate
+        | None ->
+            Key_tbl.replace part (Array.copy key) In_progress;
+            Tracker.Migrate));
+  Array.to_list out
+
+let mark_migrated_batch t keys =
+  let arr = Array.of_list keys in
+  let n = ref 0 in
+  iter_by_partition t arr (fun i part ->
+      let key = arr.(i) in
+      match Key_tbl.find_opt part key with
+      | Some In_progress | Some Aborted ->
+          Key_tbl.replace part key Migrated;
+          incr n
+      | Some Migrated ->
+          invalid_arg "Hash_tracker.mark_migrated_batch: key already migrated"
+      | None -> invalid_arg "Hash_tracker.mark_migrated_batch: unknown key");
+  ignore (Atomic.fetch_and_add t.migrated_count !n : int)
+
+let mark_aborted_batch t keys =
+  let arr = Array.of_list keys in
+  iter_by_partition t arr (fun i part ->
+      let key = arr.(i) in
+      match Key_tbl.find_opt part key with
+      | Some In_progress -> Key_tbl.replace part key Aborted
+      | Some Aborted -> ()
+      | Some Migrated -> invalid_arg "Hash_tracker.mark_aborted_batch: key is migrated"
+      | None -> invalid_arg "Hash_tracker.mark_aborted_batch: unknown key")
+
 let state_of t key = with_key t key (fun part -> Key_tbl.find_opt part key)
 
 let is_migrated t key = state_of t key = Some Migrated

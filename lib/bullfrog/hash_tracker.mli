@@ -29,6 +29,24 @@ val mark_aborted : t -> key -> unit
 
 val force_migrated : t -> key -> unit
 
+(** {2 Batch operations}
+
+    Equivalent to folding the key-at-a-time operation over the list, but
+    each partition latch is taken once per batch (keys are grouped by
+    partition first), and the migrated count is bumped with a single
+    atomic add.  Latches are never nested, so batches may span
+    partitions. *)
+
+val try_acquire_batch : t -> key list -> Tracker.decision list
+(** Decisions aligned with the input order.  A duplicate key within the
+    batch resolves like two serial calls (first wins, second skips). *)
+
+val mark_migrated_batch : t -> key list -> unit
+(** @raise Invalid_argument when a key is absent or already migrated
+    (flips preceding it in the batch are kept, as with serial calls). *)
+
+val mark_aborted_batch : t -> key list -> unit
+
 val state_of : t -> key -> state option
 
 val is_migrated : t -> key -> bool

@@ -450,6 +450,113 @@ let tracker_abort t (input : rt_input) granule =
   | _, _, On_conflict -> () (* no lock state to reset *)
   | _ -> invalid_arg "tracker_abort: granule kind mismatch"
 
+(* Batch acquisition: group candidates by tracker and take each chunk /
+   partition latch once per group instead of once per granule.  Decisions
+   come back in candidate order, so classification and listener events are
+   indistinguishable from granule-at-a-time acquisition.  Callers
+   deduplicate granules per tracker uid first (the bitmap mapping below
+   relies on it). *)
+let acquire_candidates t (cands : (rt_input * granule) list) :
+    (rt_input * granule * Tracker.decision) list =
+  match t.mode with
+  | On_conflict ->
+      (* no lock state: the per-granule check takes no latch *)
+      List.map (fun (input, g) -> (input, g, tracker_acquire t input g)) cands
+  | Tracked ->
+      let arr = Array.of_list cands in
+      let n = Array.length arr in
+      let dec = Array.make n Tracker.Skip in
+      let groups : (int, int list ref) Hashtbl.t = Hashtbl.create 4 in
+      Array.iteri
+        (fun i (input, _) ->
+          match Hashtbl.find_opt groups input.ri_tracker_uid with
+          | Some l -> l := i :: !l
+          | None -> Hashtbl.replace groups input.ri_tracker_uid (ref [ i ]))
+        arr;
+      Hashtbl.iter
+        (fun _uid l ->
+          let idxs = List.rev !l in
+          let input0, _ = arr.(List.hd idxs) in
+          match input0.ri_tracker with
+          | RT_none -> invalid_arg "acquire_candidates: untracked input"
+          | RT_bitmap bt ->
+              let gs =
+                List.map
+                  (fun i ->
+                    match arr.(i) with
+                    | _, G_tid g -> g
+                    | _, G_key _ ->
+                        invalid_arg "acquire_candidates: granule kind mismatch")
+                  idxs
+              in
+              let wip, skip, already = Bitmap_tracker.try_acquire_batch bt gs in
+              let by_g = Hashtbl.create (max 16 n) in
+              List.iter (fun g -> Hashtbl.replace by_g g Tracker.Migrate) wip;
+              List.iter (fun g -> Hashtbl.replace by_g g Tracker.Skip) skip;
+              List.iter (fun g -> Hashtbl.replace by_g g Tracker.Already_migrated) already;
+              List.iter2 (fun i g -> dec.(i) <- Hashtbl.find by_g g) idxs gs
+          | RT_hash (ht, _) ->
+              let keys =
+                List.map
+                  (fun i ->
+                    match arr.(i) with
+                    | _, G_key k -> k
+                    | _, G_tid _ ->
+                        invalid_arg "acquire_candidates: granule kind mismatch")
+                  idxs
+              in
+              let ds = Hash_tracker.try_acquire_batch ht keys in
+              List.iter2 (fun i d -> dec.(i) <- d) idxs ds)
+        groups;
+      List.mapi (fun i (input, g) -> (input, g, dec.(i))) (Array.to_list arr)
+
+(* Register one commit/abort flip per tracker group: each chunk/partition
+   latch is taken once at transaction end instead of once per granule. *)
+let register_tracker_flips t txn (wip : (rt_input * granule) list) =
+  match t.mode with
+  | On_conflict ->
+      (* force-migrate is idempotent and takes no lock state to reset *)
+      List.iter
+        (fun (input, g) ->
+          Txn.on_commit txn (fun () -> tracker_commit t input g);
+          Txn.on_abort txn (fun () -> tracker_abort t input g))
+        wip
+  | Tracked ->
+      let groups : (int, (rt_input * granule) list ref) Hashtbl.t = Hashtbl.create 4 in
+      let order = ref [] in
+      List.iter
+        (fun ((input, _) as c) ->
+          match Hashtbl.find_opt groups input.ri_tracker_uid with
+          | Some l -> l := c :: !l
+          | None ->
+              Hashtbl.replace groups input.ri_tracker_uid (ref [ c ]);
+              order := input.ri_tracker_uid :: !order)
+        wip;
+      List.iter
+        (fun uid ->
+          match List.rev !(Hashtbl.find groups uid) with
+          | [] -> ()
+          | (input0, _) :: _ as group -> (
+              match input0.ri_tracker with
+              | RT_bitmap bt ->
+                  let gs =
+                    List.map
+                      (function _, G_tid g -> g | _, G_key _ -> assert false)
+                      group
+                  in
+                  Txn.on_commit txn (fun () -> Bitmap_tracker.mark_migrated_batch bt gs);
+                  Txn.on_abort txn (fun () -> Bitmap_tracker.mark_aborted_batch bt gs)
+              | RT_hash (ht, _) ->
+                  let keys =
+                    List.map
+                      (function _, G_key k -> k | _, G_tid _ -> assert false)
+                      group
+                  in
+                  Txn.on_commit txn (fun () -> Hash_tracker.mark_migrated_batch ht keys);
+                  Txn.on_abort txn (fun () -> Hash_tracker.mark_aborted_batch ht keys)
+              | RT_none -> assert false))
+        (List.rev !order)
+
 let granule_migrated (input : rt_input) granule =
   match (input.ri_tracker, granule) with
   | RT_bitmap bt, G_tid g -> Bitmap_tracker.is_migrated bt g
@@ -548,19 +655,18 @@ let run_migration_txn t (report : report) stmt (wip : (rt_input * granule) list)
                     rows
                 in
                 report.r_input_rows <- report.r_input_rows + List.length rows;
+                let row_arr = Array.of_list (List.map snd rows) in
                 let temp =
                   Heap.create ~tbl_id:(-1) ~name:input.ri_heap.Heap.name
                     input.ri_heap.Heap.schema
                 in
-                List.iter (fun (_, row) -> ignore (Heap.insert temp row : int)) rows;
+                ignore (Heap.insert_batch temp row_arr : int);
                 if Catalog.find_table shadow temp.Heap.name = None then
                   Catalog.add_table shadow temp
                 else
                   (* Same table tracked twice in one statement: merge rows. *)
                   let existing = Catalog.find_table_exn shadow temp.Heap.name in
-                  List.iter
-                    (fun (_, row) -> ignore (Heap.insert existing row : int))
-                    rows)
+                  ignore (Heap.insert_batch existing row_arr : int))
           stmt.rs_inputs;
         let ctx = Database.exec_ctx t.db in
         let pctx = { Planner.catalog = shadow; run_subquery = (fun _ -> []) } in
@@ -581,7 +687,9 @@ let run_migration_txn t (report : report) stmt (wip : (rt_input * granule) list)
                 | None -> ())
               rows)
           stmt.rs_outputs;
-        (* Status flips happen strictly at transaction end (§3.2/§3.5). *)
+        (* Status flips happen strictly at transaction end (§3.2/§3.5).
+           Redo marks stay per-granule; the tracker flips are batched so
+           commit takes each chunk/partition latch once per batch. *)
         List.iter
           (fun (input, g) ->
             Database.add_migration_mark t.db txn
@@ -589,10 +697,9 @@ let run_migration_txn t (report : report) stmt (wip : (rt_input * granule) list)
                 Redo_log.mig_id = t.mig_id;
                 mig_table = input.ri_heap.Heap.name;
                 granule = redo_granule g;
-              };
-            Txn.on_commit txn (fun () -> tracker_commit t input g);
-            Txn.on_abort txn (fun () -> tracker_abort t input g))
+              })
           wip;
+        register_tracker_flips t txn wip;
         match t.abort_inject with
         | Some f when f () -> Db_error.txn_abort "injected migration abort"
         | Some _ | None -> ())
@@ -625,19 +732,22 @@ let migrate_granules t report stmt (candidates : (rt_input * granule) list) =
         false
       end
     in
+    let fresh = ref [] in
     List.iter
-      (fun (input, g) ->
-        if seen_before input g then ()
-        else
-          match tracker_acquire t input g with
-          | Tracker.Migrate -> wip := (input, g) :: !wip
-          | Tracker.Skip -> skip := (input, g) :: !skip
-          | Tracker.Already_migrated ->
-              report.r_granules_already <- report.r_granules_already + 1;
-              (match t.listener with
-              | Some f -> f (Ev_already (input.ri_tracker_uid, g))
-              | None -> ()))
+      (fun ((input, g) as c) ->
+        if not (seen_before input g) then fresh := c :: !fresh)
       candidates;
+    List.iter
+      (fun (input, g, decision) ->
+        match decision with
+        | Tracker.Migrate -> wip := (input, g) :: !wip
+        | Tracker.Skip -> skip := (input, g) :: !skip
+        | Tracker.Already_migrated ->
+            report.r_granules_already <- report.r_granules_already + 1;
+            (match t.listener with
+            | Some f -> f (Ev_already (input.ri_tracker_uid, g))
+            | None -> ()))
+      (acquire_candidates t (List.rev !fresh));
     let wip = List.rev !wip and skip = List.rev !skip in
     (match run_migration_txn t report stmt wip with
     | () ->
@@ -747,10 +857,22 @@ let run_pair_txn t (report : report) pr (wip : Value.t array list) =
                 Redo_log.mig_id = t.mig_id;
                 mig_table = pr.pr_a.ri_heap.Heap.name;
                 granule = Redo_log.G_group key;
-              };
-            Txn.on_commit txn (fun () -> pair_commit t pr key);
-            Txn.on_abort txn (fun () -> pair_abort t pr key))
+              })
           wip;
+        (* Batched flips: the pair tracker's partition latches are taken
+           once per commit, not once per pair. *)
+        (match t.mode with
+        | Tracked ->
+            Txn.on_commit txn (fun () ->
+                Hash_tracker.mark_migrated_batch pr.pr_tracker wip);
+            Txn.on_abort txn (fun () ->
+                Hash_tracker.mark_aborted_batch pr.pr_tracker wip)
+        | On_conflict ->
+            List.iter
+              (fun key ->
+                Txn.on_commit txn (fun () -> pair_commit t pr key);
+                Txn.on_abort txn (fun () -> pair_abort t pr key))
+              wip);
         match t.abort_inject with
         | Some f when f () -> Db_error.txn_abort "injected migration abort"
         | Some _ | None -> ())
@@ -762,9 +884,17 @@ let migrate_pairs t report pr (candidates : Value.t array list) =
     if round > max_skip_rounds then
       failwith "Migrate_exec: pair SKIP loop did not converge";
     let wip = ref [] and skip = ref [] in
-    List.iter
-      (fun key ->
-        match pair_acquire t pr key with
+    let decisions =
+      match t.mode with
+      | Tracked ->
+          (* one partition-latch acquisition per batch; an intra-batch
+             duplicate resolves like serial calls (first wins, rest skip) *)
+          Hash_tracker.try_acquire_batch pr.pr_tracker candidates
+      | On_conflict -> List.map (fun key -> pair_acquire t pr key) candidates
+    in
+    List.iter2
+      (fun key decision ->
+        match decision with
         | Tracker.Migrate -> wip := key :: !wip
         | Tracker.Skip -> skip := key :: !skip
         | Tracker.Already_migrated ->
@@ -772,7 +902,7 @@ let migrate_pairs t report pr (candidates : Value.t array list) =
             (match t.listener with
             | Some f -> f (Ev_already (pr.pr_uid, G_key key))
             | None -> ()))
-      candidates;
+      candidates decisions;
     let wip = List.rev !wip and skip = List.rev !skip in
     (match run_pair_txn t report pr wip with
     | () ->
@@ -976,9 +1106,10 @@ let background_step t report ~batch =
       | Some pr when (not pr.pr_bg_done) && budget () > 0 ->
           (* Scan the a side in TID order; every pair is reachable from it. *)
           let collected = ref [] in
+          let n = ref 0 in
           let tid = ref pr.pr_bg_cursor in
           let total = Heap.tid_count pr.pr_a.ri_heap in
-          while List.length !collected < budget () && !tid < total do
+          while !n < budget () && !tid < total do
             (match Heap.get pr.pr_a.ri_heap !tid with
             | None -> ()
             | Some ra ->
@@ -987,7 +1118,9 @@ let background_step t report ~batch =
                   (fun (tb, _) ->
                     let key = pair_key !tid tb in
                     match Hash_tracker.state_of pr.pr_tracker key with
-                    | None | Some Hash_tracker.Aborted -> collected := key :: !collected
+                    | None | Some Hash_tracker.Aborted ->
+                        collected := key :: !collected;
+                        incr n
                     | Some Hash_tracker.Migrated | Some Hash_tracker.In_progress -> ())
                   (rows_by_key pr.pr_b.ri_heap pr.pr_b_key k));
             incr tid
@@ -1006,12 +1139,14 @@ let background_step t report ~batch =
             match input.ri_tracker with
             | RT_none -> input.ri_bg_done <- true
             | RT_bitmap bt ->
+                (* Collect whole runs from the word-level cursor: one scan
+                   per run instead of one per granule. *)
                 let collected = ref [] in
                 let cursor = ref input.ri_bg_cursor in
                 let n = ref 0 in
                 let continue_ = ref true in
                 while !continue_ && !n < budget () do
-                  match Bitmap_tracker.first_unmigrated bt ~from:!cursor with
+                  match Bitmap_tracker.next_unmigrated_run bt ~from:!cursor with
                   | None ->
                       (* Wrap once to catch granules below the cursor. *)
                       if !cursor > 0 then cursor := 0
@@ -1019,10 +1154,13 @@ let background_step t report ~batch =
                         continue_ := false;
                         if Bitmap_tracker.complete bt then input.ri_bg_done <- true
                       end
-                  | Some g ->
-                      collected := (input, G_tid g) :: !collected;
-                      incr n;
-                      cursor := g + 1
+                  | Some (start, len) ->
+                      let take = min len (budget () - !n) in
+                      for g = start to start + take - 1 do
+                        collected := (input, G_tid g) :: !collected
+                      done;
+                      n := !n + take;
+                      cursor := start + take
                 done;
                 input.ri_bg_cursor <- !cursor;
                 if !collected <> [] then begin
@@ -1033,9 +1171,11 @@ let background_step t report ~batch =
                 if Bitmap_tracker.complete bt then input.ri_bg_done <- true
             | RT_hash (ht, key_cols) ->
                 let collected = ref [] in
+                let collected_set = Gset.create () in
+                let n = ref 0 in
                 let tid = ref input.ri_bg_cursor in
                 let total = Heap.tid_count input.ri_heap in
-                while List.length !collected < budget () && !tid < total do
+                while !n < budget () && !tid < total do
                   (match Heap.get input.ri_heap !tid with
                   | None -> ()
                   | Some row ->
@@ -1046,13 +1186,11 @@ let background_step t report ~batch =
                         | Some Hash_tracker.Migrated | Some Hash_tracker.In_progress ->
                             false
                       in
-                      if
-                        fresh
-                        && not
-                             (List.exists
-                                (fun (_, g) -> granule_equal g (G_key key))
-                                !collected)
-                      then collected := (input, G_key key) :: !collected);
+                      if fresh && not (Gset.mem collected_set (G_key key)) then begin
+                        Gset.add collected_set (G_key key);
+                        collected := (input, G_key key) :: !collected;
+                        incr n
+                      end);
                   incr tid
                 done;
                 input.ri_bg_cursor <- !tid;

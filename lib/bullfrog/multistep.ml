@@ -153,7 +153,8 @@ let refresh_rows t (stmt : Migrate_exec.rt_stmt) (input : Migrate_exec.rt_input)
               Heap.create ~tbl_id:(-1) ~name:other.Migrate_exec.ri_heap.Heap.name
                 other.Migrate_exec.ri_heap.Heap.schema
             in
-            List.iter (fun (_, row) -> ignore (Heap.insert temp row : int)) rows;
+            ignore
+              (Heap.insert_batch temp (Array.of_list (List.map snd rows)) : int);
             Catalog.add_table shadow temp
           end
           else if

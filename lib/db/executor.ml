@@ -380,6 +380,110 @@ and run_limited ?(params = [||]) (txn : Txn.t) (plan : Plan.t) n : Value.t array
     | Plan.Limit (p, m) -> run_limited ~params txn p (min n m)
     | other -> take n (run ~params txn other)
 
+(* Streaming runner: apply [f] to each output row without materialising
+   the full result list.  Scans, filters, projections and the probe side
+   of joins are pipelined; blocking operators (sort, aggregate, distinct,
+   limit) and index reads fall back to {!run}.  Counter bumps and row
+   order match {!run} exactly — only the peak allocation differs. *)
+let rec iter_plan ?(params = [||]) (txn : Txn.t) (plan : Plan.t) (f : Value.t array -> unit)
+    : unit =
+  let c = txn.Txn.counters in
+  match plan with
+  | Plan.Values rows -> List.iter f rows
+  | Plan.Seq_scan { table; filter } ->
+      Heap.iter_live table (fun _tid row ->
+          c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
+          let keep =
+            match filter with None -> true | Some p -> p.Expr.ce_pred params row
+          in
+          if keep then begin
+            c.Txn.rows_read <- c.Txn.rows_read + 1;
+            f row
+          end)
+  | Plan.Filter (p, pred) ->
+      iter_plan ~params txn p (fun row -> if pred.Expr.ce_pred params row then f row)
+  | Plan.Project (p, exprs) ->
+      iter_plan ~params txn p (fun row ->
+          f (Array.map (fun e -> e.Expr.ce_eval params row) exprs))
+  | Plan.Index_nl_join { outer; inner_table; index; outer_keys; inner_filter; cond } ->
+      iter_plan ~params txn outer (fun orow ->
+          let key = Array.map (fun e -> e.Expr.ce_eval params orow) outer_keys in
+          if not (Array.exists Value.is_null key) then begin
+            c.Txn.index_probes <- c.Txn.index_probes + 1;
+            let tids =
+              if Array.length key = Array.length (Index.key_cols index) then
+                Index.find index key
+              else
+                Index.fold_prefix_range index ~prefix:key ~init:[]
+                  ~f:(fun acc _k ts -> List.rev_append ts acc)
+                  ()
+            in
+            List.iter
+              (fun tid ->
+                match Heap.get inner_table tid with
+                | None -> ()
+                | Some irow ->
+                    c.Txn.rows_read <- c.Txn.rows_read + 1;
+                    let keep_inner =
+                      match inner_filter with
+                      | None -> true
+                      | Some p -> p.Expr.ce_pred params irow
+                    in
+                    if keep_inner then begin
+                      let row = Array.append orow irow in
+                      let keep =
+                        match cond with
+                        | None -> true
+                        | Some p -> p.Expr.ce_pred params row
+                      in
+                      if keep then f row
+                    end)
+              (List.sort Stdlib.compare tids)
+          end)
+  | Plan.Nested_loop { outer; inner; cond } ->
+      let inner_rows = run ~params txn inner in
+      iter_plan ~params txn outer (fun orow ->
+          List.iter
+            (fun irow ->
+              let row = Array.append orow irow in
+              let keep =
+                match cond with None -> true | Some p -> p.Expr.ce_pred params row
+              in
+              if keep then f row)
+            inner_rows)
+  | Plan.Hash_join { outer; inner; outer_keys; inner_keys; cond } ->
+      let inner_rows = run ~params txn inner in
+      let tbl = Key_tbl.create (List.length inner_rows) in
+      List.iter
+        (fun irow ->
+          let k = Array.map (fun e -> e.Expr.ce_eval params irow) inner_keys in
+          if not (Array.exists Value.is_null k) then begin
+            let existing = try Key_tbl.find tbl k with Not_found -> [] in
+            Key_tbl.replace tbl k (irow :: existing)
+          end)
+        inner_rows;
+      iter_plan ~params txn outer (fun orow ->
+          let k = Array.map (fun e -> e.Expr.ce_eval params orow) outer_keys in
+          if not (Array.exists Value.is_null k) then begin
+            c.Txn.index_probes <- c.Txn.index_probes + 1;
+            match Key_tbl.find_opt tbl k with
+            | None -> ()
+            | Some irows ->
+                List.iter
+                  (fun irow ->
+                    let row = Array.append orow irow in
+                    let keep =
+                      match cond with
+                      | None -> true
+                      | Some p -> p.Expr.ce_pred params row
+                    in
+                    if keep then f row)
+                  (List.rev irows)
+          end)
+  | Plan.Index_scan _ | Plan.Index_range _ | Plan.Index_min _ | Plan.Aggregate _
+  | Plan.Sort _ | Plan.Distinct _ | Plan.Limit _ ->
+      List.iter f (run ~params txn plan)
+
 let rec planner_ctx ?(params = [||]) ctx txn : Planner.ctx =
   {
     Planner.catalog = ctx.catalog;
@@ -533,6 +637,48 @@ let insert_row ctx txn (table : Heap.t) ?(on_conflict_do_nothing = false) row =
       txn.Txn.counters.Txn.rows_written <- txn.Txn.counters.Txn.rows_written + 1;
       Some tid
   | exception Db_error.Constraint_violation _ when on_conflict_do_nothing -> None
+
+(* Bulk insert: the same per-row coercion, constraint checks and counter
+   totals as folding {!insert_row}, but the heap append goes through
+   {!Heap.insert_batch} — one latch acquisition and no incremental index
+   growth.  Returns the number of rows inserted.  With
+   [on_conflict_do_nothing] a unique conflict anywhere in the batch
+   (intra-batch duplicates included) falls back to row-at-a-time, so
+   exactly the conflicting rows are dropped and TIDs match the serial
+   path. *)
+let insert_rows ctx txn (table : Heap.t) ?(on_conflict_do_nothing = false) rows =
+  let n = Array.length rows in
+  if n = 0 then 0
+  else begin
+    let rows = Array.map (fun row -> coerce_row table row) rows in
+    Array.iter
+      (fun row ->
+        check_not_null table row;
+        check_checks txn table row;
+        check_fk_for_row ctx txn table row)
+      rows;
+    match Heap.insert_batch table rows with
+    | base ->
+        for i = 0 to n - 1 do
+          Txn.record_insert txn table (base + i)
+        done;
+        txn.Txn.counters.Txn.rows_written <- txn.Txn.counters.Txn.rows_written + n;
+        n
+    | exception Db_error.Constraint_violation _ when on_conflict_do_nothing ->
+        (* rows are already checked; only the unique conflicts remain *)
+        let inserted = ref 0 in
+        Array.iter
+          (fun row ->
+            match Heap.insert table row with
+            | tid ->
+                Txn.record_insert txn table tid;
+                txn.Txn.counters.Txn.rows_written <-
+                  txn.Txn.counters.Txn.rows_written + 1;
+                incr inserted
+            | exception Db_error.Constraint_violation _ -> ())
+          rows;
+        !inserted
+  end
 
 let update_row ctx txn (table : Heap.t) tid row =
   let row = coerce_row table row in
@@ -713,7 +859,7 @@ let alter_table ctx txn table_name (action : Ast.alter_action) =
       let rewrites = ref [] in
       Heap.iter_live table (fun tid row -> rewrites := (tid, row) :: !rewrites);
       List.iter
-        (fun (tid, row) -> Vec.set table.Heap.slots tid (Some (remove_at row)))
+        (fun (tid, row) -> Vec.set table.Heap.slots tid (remove_at row))
         !rewrites;
       let old_indexes = Heap.indexes table in
       table.Heap.indexes <- [];

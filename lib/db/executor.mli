@@ -23,6 +23,12 @@ val run : ?params:Value.t array -> Txn.t -> Plan.t -> Value.t array list
 (** Materialise a plan; [params] supplies [$n] placeholder bindings
     (0-based slots) referenced by compiled [Expr.Param] nodes. *)
 
+val iter_plan : ?params:Value.t array -> Txn.t -> Plan.t -> (Value.t array -> unit) -> unit
+(** Streaming variant of {!run}: scans, filters, projections and the probe
+    side of joins are pipelined, so the full result list is never
+    materialised (blocking operators fall back to {!run}).  Counter totals
+    and row order are identical to {!run}. *)
+
 val run_select :
   ?params:Value.t array -> exec_ctx -> Txn.t -> Bullfrog_sql.Ast.select -> result
 
@@ -45,6 +51,17 @@ val insert_row :
   Value.t array ->
   int option
 (** Returns the new TID, or [None] when a conflict was ignored. *)
+
+val insert_rows :
+  exec_ctx ->
+  Txn.t ->
+  Heap.t ->
+  ?on_conflict_do_nothing:bool ->
+  Value.t array array ->
+  int
+(** Bulk {!insert_row}: identical checks and counter totals, one heap
+    latch acquisition per batch ({!Heap.insert_batch}).  Returns the
+    number of rows inserted ([= n] unless conflicts were ignored). *)
 
 val update_row : exec_ctx -> Txn.t -> Heap.t -> int -> Value.t array -> unit
 

@@ -1,11 +1,18 @@
 type row = Value.t array
 
+(* Deleted slots hold this physically unique sentinel instead of a
+   [row option] box: storing rows unboxed saves one [Some] block per
+   insert (allocation + minor-GC promotion + a word the major collector
+   traces forever).  Real rows are distinct arrays, so [==] against the
+   tombstone never aliases one. *)
+let tombstone : row = Array.make 1 Value.Null
+
 type t = {
   tbl_id : int;
   mutable name : string;
   mutable schema : Schema.t;
   latch : Mutex.t;
-  slots : row option Vec.t;
+  slots : row Vec.t;
   mutable indexes : Index.t list;
   mutable live : int;
 }
@@ -32,21 +39,31 @@ let with_latch t f =
       raise e
 
 (* Insert into every index, rolling back prior entries when a unique index
-   rejects the key, so a failed insert leaves the indexes untouched. *)
+   rejects the key, so a failed insert leaves the indexes untouched.
+   [key_of_row] allocates a fresh key array, so the no-copy insert is
+   safe. *)
 let index_all t row tid =
-  let done_ = ref [] in
-  try
-    List.iter
-      (fun idx ->
-        match Index.key_of_row idx row with
-        | None -> ()
-        | Some key ->
-            Index.insert idx key tid;
-            done_ := (idx, key) :: !done_)
-      t.indexes
-  with e ->
-    List.iter (fun (idx, key) -> Index.remove idx key tid) !done_;
-    raise e
+  match t.indexes with
+  | [] -> ()
+  | [ idx ] -> (
+      (* single index: a failed insert added nothing, so no trail *)
+      match Index.key_of_row idx row with
+      | None -> ()
+      | Some key -> Index.insert_owned idx key tid)
+  | indexes ->
+      let done_ = ref [] in
+      (try
+         List.iter
+           (fun idx ->
+             match Index.key_of_row idx row with
+             | None -> ()
+             | Some key ->
+                 Index.insert_owned idx key tid;
+                 done_ := (idx, key) :: !done_)
+           indexes
+       with e ->
+         List.iter (fun (idx, key) -> Index.remove idx key tid) !done_;
+         raise e)
 
 let deindex_all t row tid =
   List.iter
@@ -60,51 +77,90 @@ let insert t row =
   with_latch t (fun () ->
       let tid = Vec.length t.slots in
       index_all t row tid;
-      Vec.push t.slots (Some row);
+      Vec.push t.slots row;
       t.live <- t.live + 1;
       tid)
 
-let get t tid = Vec.get t.slots tid
+(* Bulk append: one latch acquisition, pre-sized slot capacity, and
+   all-or-nothing index maintenance — when any row of the batch violates a
+   unique index (including intra-batch duplicates), every index entry the
+   batch added is removed and nothing is inserted. *)
+let insert_batch t rows =
+  let n = Array.length rows in
+  with_latch t (fun () ->
+      let base = Vec.length t.slots in
+      if n > 0 then begin
+        (* [index_all] un-indexes the failing row itself; the fully
+           indexed prefix is rolled back by recomputation rather than an
+           (index, key, tid) trail — the trail's allocations would
+           dominate the happy path. *)
+        let i = ref 0 in
+        (try
+           while !i < n do
+             index_all t rows.(!i) (base + !i);
+             incr i
+           done
+         with e ->
+           for j = !i - 1 downto 0 do
+             deindex_all t rows.(j) (base + j)
+           done;
+           raise e);
+        Vec.push_array t.slots rows;
+        t.live <- t.live + n
+      end;
+      base)
+
+let reserve t n =
+  with_latch t (fun () ->
+      Vec.reserve t.slots n tombstone;
+      List.iter (fun idx -> Index.presize idx n) t.indexes)
+
+let get t tid =
+  let r = Vec.get t.slots tid in
+  if r == tombstone then None else Some r
 
 let get_exn t tid =
-  match Vec.get t.slots tid with
-  | Some row -> row
-  | None -> invalid_arg (Printf.sprintf "Heap.get_exn: tid %d of %s is a tombstone" tid t.name)
+  let r = Vec.get t.slots tid in
+  if r == tombstone then
+    invalid_arg (Printf.sprintf "Heap.get_exn: tid %d of %s is a tombstone" tid t.name)
+  else r
 
 let update t tid row =
   with_latch t (fun () ->
-      match Vec.get t.slots tid with
-      | None ->
-          invalid_arg (Printf.sprintf "Heap.update: tid %d of %s is a tombstone" tid t.name)
-      | Some old ->
+      let old = Vec.get t.slots tid in
+      if old == tombstone then
+        invalid_arg (Printf.sprintf "Heap.update: tid %d of %s is a tombstone" tid t.name)
+      else begin
           deindex_all t old tid;
           (try index_all t row tid
            with e ->
              (* restore the old index entries before propagating *)
              index_all t old tid;
              raise e);
-          Vec.set t.slots tid (Some row);
-          old)
+          Vec.set t.slots tid row;
+          old
+      end)
 
 let delete t tid =
   with_latch t (fun () ->
-      match Vec.get t.slots tid with
-      | None ->
-          invalid_arg (Printf.sprintf "Heap.delete: tid %d of %s is a tombstone" tid t.name)
-      | Some old ->
-          deindex_all t old tid;
-          Vec.set t.slots tid None;
-          t.live <- t.live - 1;
-          old)
+      let old = Vec.get t.slots tid in
+      if old == tombstone then
+        invalid_arg (Printf.sprintf "Heap.delete: tid %d of %s is a tombstone" tid t.name)
+      else begin
+        deindex_all t old tid;
+        Vec.set t.slots tid tombstone;
+        t.live <- t.live - 1;
+        old
+      end)
 
 let restore t tid row =
   with_latch t (fun () ->
-      match Vec.get t.slots tid with
-      | Some _ -> invalid_arg "Heap.restore: slot is occupied"
-      | None ->
-          index_all t row tid;
-          Vec.set t.slots tid (Some row);
-          t.live <- t.live + 1)
+      if Vec.get t.slots tid != tombstone then invalid_arg "Heap.restore: slot is occupied"
+      else begin
+        index_all t row tid;
+        Vec.set t.slots tid row;
+        t.live <- t.live + 1
+      end)
 
 let uninsert t tid =
   ignore (delete t tid : row)
@@ -114,7 +170,7 @@ let tid_count t = Vec.length t.slots
 let live_count t = t.live
 
 let iter_live t f =
-  Vec.iteri (fun tid slot -> match slot with None -> () | Some row -> f tid row) t.slots
+  Vec.iteri (fun tid row -> if row != tombstone then f tid row) t.slots
 
 let fold_live t ~init ~f =
   let acc = ref init in
@@ -152,8 +208,10 @@ let find_index t idx_name =
   with_latch t (fun () -> List.find_opt (fun i -> Index.name i = idx_name) t.indexes)
 
 let same_col_set a b =
-  let sort x = List.sort Stdlib.compare (Array.to_list x) in
-  sort a = sort b
+  Array.length a = Array.length b
+  &&
+  let sort x = List.sort Int.compare (Array.to_list x) in
+  List.equal Int.equal (sort a) (sort b)
 
 let unique_index_on t cols =
   with_latch t (fun () ->

@@ -17,7 +17,7 @@ type t = {
   mutable name : string;
   mutable schema : Schema.t;
   latch : Mutex.t;
-  slots : row option Vec.t;
+  slots : row Vec.t;
   mutable indexes : Index.t list;
   mutable live : int;
 }
@@ -28,6 +28,16 @@ val insert : t -> row -> int
 (** Appends and indexes; returns the new TID.
     @raise Db_error.Constraint_violation on unique-index conflicts (in
     which case nothing is inserted). *)
+
+val insert_batch : t -> row array -> int
+(** Bulk append under a single latch acquisition; row [i] gets TID
+    [result + i].  All-or-nothing: on a unique-index conflict anywhere in
+    the batch (intra-batch duplicates included) the heap and every index
+    are left exactly as before, and the violation is re-raised. *)
+
+val reserve : t -> int -> unit
+(** Capacity hint: pre-size the slot array and every index's hash store
+    for [n] further rows (bulk loads skip incremental growth/rehash). *)
 
 val get : t -> int -> row option
 (** [None] for tombstones; out-of-range TIDs raise [Invalid_argument]. *)

@@ -25,28 +25,258 @@ module Key = struct
     loop 0
 end
 
-module Tbl = Hashtbl.Make (Key)
+(* Array-chained hash table specialised for index cells: entry [e] lives
+   in parallel arrays ([keys], [tids], [next]), buckets hold entry indices
+   (-1 = empty), and deleted slots are threaded through [next] as a free
+   list.  Two properties the stdlib [Hashtbl] cannot offer drive the bulk
+   path: [find_or_add] probes and installs in a single bucket traversal,
+   and an entry costs no per-entry heap blocks — no [Cons], no cell [ref]
+   — so a bulk load neither pays allocation + minor-GC promotion per key
+   nor grows the block count the major collector must trace forever
+   after. *)
+module Htab = struct
+  type t = {
+    arity1 : bool; (* single-column index: keys live unboxed in [vals] *)
+    mutable buckets : int array; (* head entry index per bucket, -1 empty *)
+    mutable next : int array; (* chain link, -1 end; free-list link for dead slots *)
+    mutable vals : Value.t array; (* arity-1 key values; == [dummy_val] = dead slot *)
+    mutable keys : Key.t array; (* multi-column keys; == [dummy_key] = dead slot *)
+    mutable tid0 : int array; (* newest TID of the entry, stored unboxed *)
+    mutable rest : int list array; (* older TIDs, [] in the common unique case *)
+    mutable size : int; (* live entries *)
+    mutable limit : int; (* high-water mark of allocated entry slots *)
+    mutable free : int; (* free-list head, -1 none *)
+  }
+
+  (* Physically unique sentinels: real keys are distinct blocks, so [==]
+     against these never aliases one. *)
+  let dummy_key : Key.t = Array.make 1 Value.Null
+
+  let dummy_val : Value.t = Value.Str "\000htab-dead-slot"
+
+  let rec pow2_above x n =
+    if x >= n || x * 2 > Sys.max_array_length then x else pow2_above (x * 2) n
+
+  let create ~arity1 n =
+    let cap = pow2_above 16 n in
+    {
+      arity1;
+      buckets = Array.make cap (-1);
+      next = Array.make cap (-1);
+      vals = (if arity1 then Array.make cap dummy_val else [||]);
+      keys = (if arity1 then [||] else Array.make cap dummy_key);
+      tid0 = Array.make cap (-1);
+      rest = Array.make cap [];
+      size = 0;
+      limit = 0;
+      free = -1;
+    }
+
+  let num_buckets t = Array.length t.buckets
+
+  let slot t key = Key.hash key land (Array.length t.buckets - 1)
+
+  let dead t e = if t.arity1 then t.vals.(e) == dummy_val else t.keys.(e) == dummy_key
+
+  let entry_hash t e = if t.arity1 then (17 * 31) + Value.hash t.vals.(e) else Key.hash t.keys.(e)
+
+  (* Grow to [cap'] slots and rebuild the chains; dead slots are
+     re-threaded onto the free list as we pass them. *)
+  let grow_to t cap' =
+    let limit = t.limit in
+    let grown dummy arr =
+      if Array.length arr = 0 then arr
+      else begin
+        let a = Array.make cap' dummy in
+        Array.blit arr 0 a 0 limit;
+        a
+      end
+    in
+    t.vals <- grown dummy_val t.vals;
+    t.keys <- grown dummy_key t.keys;
+    let tid0 = Array.make cap' (-1) in
+    Array.blit t.tid0 0 tid0 0 limit;
+    t.tid0 <- tid0;
+    let rest = Array.make cap' [] in
+    Array.blit t.rest 0 rest 0 limit;
+    t.rest <- rest;
+    let buckets = Array.make cap' (-1) in
+    let next = Array.make cap' (-1) in
+    let mask = cap' - 1 in
+    t.buckets <- buckets;
+    t.free <- -1;
+    for e = 0 to limit - 1 do
+      if dead t e then begin
+        next.(e) <- t.free;
+        t.free <- e
+      end
+      else begin
+        let s = entry_hash t e land mask in
+        next.(e) <- buckets.(s);
+        buckets.(s) <- e
+      end
+    done;
+    t.next <- next
+
+  let presize t n = if n > num_buckets t then grow_to t (pow2_above 16 n)
+
+  let find_idx t key =
+    let next = t.next in
+    if t.arity1 then begin
+      let v = key.(0) and vals = t.vals in
+      let rec walk e =
+        if e < 0 then -1
+        else if Value.equal (Array.unsafe_get vals e) v then e
+        else walk (Array.unsafe_get next e)
+      in
+      walk t.buckets.(slot t key)
+    end
+    else begin
+      let keys = t.keys in
+      let rec walk e =
+        if e < 0 then -1
+        else if Key.equal (Array.unsafe_get keys e) key then e
+        else walk (Array.unsafe_get next e)
+      in
+      walk t.buckets.(slot t key)
+    end
+
+  let alloc_entry t =
+    if t.free >= 0 then begin
+      let e = t.free in
+      t.free <- t.next.(e);
+      e
+    end
+    else begin
+      let e = t.limit in
+      t.limit <- e + 1;
+      e
+    end
+
+  let install t s e =
+    t.next.(e) <- t.buckets.(s);
+    t.buckets.(s) <- e;
+    t.size <- t.size + 1
+
+  (* Single traversal: return the entry index of the existing binding for
+     [key], or install a fresh entry for [tid] (copying multi-column keys
+     when [copy]; arity-1 keys are stored unboxed, nothing to copy) and
+     return -1. *)
+  let find_or_add t key tid ~copy =
+    if t.free < 0 && t.limit >= Array.length t.buckets then
+      grow_to t (2 * Array.length t.buckets);
+    let next = t.next in
+    if t.arity1 then begin
+      let v = key.(0) and vals = t.vals in
+      let s = slot t key in
+      let rec walk e =
+        if e < 0 then begin
+          let e = alloc_entry t in
+          vals.(e) <- v;
+          t.tid0.(e) <- tid;
+          t.rest.(e) <- [];
+          install t s e;
+          -1
+        end
+        else if Value.equal (Array.unsafe_get vals e) v then e
+        else walk (Array.unsafe_get next e)
+      in
+      walk t.buckets.(s)
+    end
+    else begin
+      let keys = t.keys in
+      let s = slot t key in
+      let rec walk e =
+        if e < 0 then begin
+          let e = alloc_entry t in
+          keys.(e) <- (if copy then Array.copy key else key);
+          t.tid0.(e) <- tid;
+          t.rest.(e) <- [];
+          install t s e;
+          -1
+        end
+        else if Key.equal (Array.unsafe_get keys e) key then e
+        else walk (Array.unsafe_get next e)
+      in
+      walk t.buckets.(s)
+    end
+
+  (* TID lists keep newest-first order (the entry's [tid0] is the newest)
+     to match the classic [tid :: cell] consing the executor grew up
+     with. *)
+  let get_tids t e = t.tid0.(e) :: t.rest.(e)
+
+  let set_tids t e tids =
+    match tids with
+    | [] -> invalid_arg "Htab.set_tids: empty (remove the entry instead)"
+    | tid :: rest ->
+        t.tid0.(e) <- tid;
+        t.rest.(e) <- rest
+
+  let push_tid t e tid =
+    t.rest.(e) <- t.tid0.(e) :: t.rest.(e);
+    t.tid0.(e) <- tid
+
+  let remove t key =
+    let s = slot t key in
+    let rec unlink prev e =
+      if e < 0 then ()
+      else if
+        if t.arity1 then Value.equal t.vals.(e) key.(0) else Key.equal t.keys.(e) key
+      then begin
+        if prev < 0 then t.buckets.(s) <- t.next.(e) else t.next.(prev) <- t.next.(e);
+        if t.arity1 then t.vals.(e) <- dummy_val else t.keys.(e) <- dummy_key;
+        t.tid0.(e) <- -1;
+        t.rest.(e) <- [];
+        t.next.(e) <- t.free;
+        t.free <- e;
+        t.size <- t.size - 1
+      end
+      else unlink e t.next.(e)
+    in
+    unlink (-1) t.buckets.(s)
+
+  let reset t =
+    let fresh = create ~arity1:t.arity1 16 in
+    t.buckets <- fresh.buckets;
+    t.next <- fresh.next;
+    t.vals <- fresh.vals;
+    t.keys <- fresh.keys;
+    t.tid0 <- fresh.tid0;
+    t.rest <- fresh.rest;
+    t.size <- 0;
+    t.limit <- 0;
+    t.free <- -1
+end
+
 module Omap = Map.Make (Key)
 
 type store =
-  | S_hash of int list ref Tbl.t
+  | S_hash of Htab.t
   | S_ordered of int list Omap.t ref
 
 type t = {
   idx_name : string;
   cols : int array;
   unique : bool;
-  store : store;
+  mutable store : store;
   mutable count : int;
 }
 
-let create ?(kind = Hash) ~name ~key_cols ~unique () =
+let create ?(kind = Hash) ?(expected = 1024) ~name ~key_cols ~unique () =
   let store =
     match kind with
-    | Hash -> S_hash (Tbl.create 1024)
+    | Hash -> S_hash (Htab.create ~arity1:(Array.length key_cols = 1) (max expected 16))
     | Ordered -> S_ordered (ref Omap.empty)
   in
   { idx_name = name; cols = key_cols; unique; store; count = 0 }
+
+(* Swap in a pre-sized table (re-inserting whatever is already there) so a
+   bulk load of [n] more entries never pays doubling rehashes. *)
+let presize t n =
+  match t.store with
+  | S_ordered _ -> ()
+  | S_hash tbl -> Htab.presize tbl (t.count + n)
 
 let name t = t.idx_name
 
@@ -79,23 +309,23 @@ let dup_error t key =
     "duplicate key value violates unique constraint %S: key (%s) already exists"
     t.idx_name (key_string key)
 
-let insert t key tid =
+(* [copy] guards against callers retaining and mutating the key array;
+   fresh-array callers (everything inside {!Heap}) use the owned variant
+   to skip the defensive copy. *)
+let insert_gen ~copy t key tid =
   match t.store with
-  | S_hash tbl -> (
-      match Tbl.find_opt tbl key with
-      | None ->
-          Tbl.replace tbl (Array.copy key) (ref [ tid ]);
-          t.count <- t.count + 1
-      | Some cell ->
-          if t.unique then dup_error t key
-          else begin
-            cell := tid :: !cell;
-            t.count <- t.count + 1
-          end)
+  | S_hash tbl ->
+      let e = Htab.find_or_add tbl key tid ~copy in
+      if e < 0 then t.count <- t.count + 1
+      else if t.unique then dup_error t key
+      else begin
+        Htab.push_tid tbl e tid;
+        t.count <- t.count + 1
+      end
   | S_ordered map -> (
       match Omap.find_opt key !map with
       | None ->
-          map := Omap.add (Array.copy key) [ tid ] !map;
+          map := Omap.add (if copy then Array.copy key else key) [ tid ] !map;
           t.count <- t.count + 1
       | Some tids ->
           if t.unique then dup_error t key
@@ -104,40 +334,61 @@ let insert t key tid =
             t.count <- t.count + 1
           end)
 
+let insert t key tid = insert_gen ~copy:true t key tid
+
+let insert_owned t key tid = insert_gen ~copy:false t key tid
+
+(* Drop every occurrence of [tid], counting removals in the same pass
+   (TIDs are ints: compare with [Int.equal], never polymorphically). *)
+let remove_tid tids tid =
+  let removed = ref 0 in
+  let rest =
+    List.filter
+      (fun x ->
+        if Int.equal x tid then begin
+          incr removed;
+          false
+        end
+        else true)
+      tids
+  in
+  (rest, !removed)
+
 let remove t key tid =
   match t.store with
-  | S_hash tbl -> (
-      match Tbl.find_opt tbl key with
-      | None -> ()
-      | Some cell ->
-          let before = List.length !cell in
-          cell := List.filter (fun x -> x <> tid) !cell;
-          t.count <- t.count - (before - List.length !cell);
-          if !cell = [] then Tbl.remove tbl key)
+  | S_hash tbl ->
+      let e = Htab.find_idx tbl key in
+      if e >= 0 then begin
+        let rest, removed = remove_tid (Htab.get_tids tbl e) tid in
+        t.count <- t.count - removed;
+        if rest = [] then Htab.remove tbl key else Htab.set_tids tbl e rest
+      end
   | S_ordered map -> (
       match Omap.find_opt key !map with
       | None -> ()
       | Some tids ->
-          let after = List.filter (fun x -> x <> tid) tids in
-          t.count <- t.count - (List.length tids - List.length after);
-          if after = [] then map := Omap.remove key !map
-          else map := Omap.add key after !map)
+          let rest, removed = remove_tid tids tid in
+          t.count <- t.count - removed;
+          if rest = [] then map := Omap.remove key !map
+          else map := Omap.add key rest !map)
 
 let find t key =
   match t.store with
-  | S_hash tbl -> ( match Tbl.find_opt tbl key with None -> [] | Some cell -> !cell)
+  | S_hash tbl ->
+      let e = Htab.find_idx tbl key in
+      if e >= 0 then Htab.get_tids tbl e else []
   | S_ordered map -> ( match Omap.find_opt key !map with None -> [] | Some tids -> tids)
 
 let mem t key =
   match t.store with
-  | S_hash tbl -> Tbl.mem tbl key
+  | S_hash tbl -> Htab.find_idx tbl key >= 0
   | S_ordered map -> Omap.mem key !map
 
 let entry_count t = t.count
 
 let clear t =
   (match t.store with
-  | S_hash tbl -> Tbl.reset tbl
+  | S_hash tbl -> Htab.reset tbl
   | S_ordered map -> map := Omap.empty);
   t.count <- 0
 

@@ -16,7 +16,19 @@ type kind = Hash | Ordered
 
 type t
 
-val create : ?kind:kind -> name:string -> key_cols:int array -> unique:bool -> unit -> t
+val create :
+  ?kind:kind ->
+  ?expected:int ->
+  name:string ->
+  key_cols:int array ->
+  unique:bool ->
+  unit ->
+  t
+(** [expected] pre-sizes the hash store (default 1024 keys). *)
+
+val presize : t -> int -> unit
+(** [presize t n] makes room for [n] further entries without incremental
+    rehash-doubling (bulk loads).  No-op on ordered indexes. *)
 
 val name : t -> string
 
@@ -30,8 +42,14 @@ val key_of_row : t -> Value.t array -> Value.t array option
 (** [None] when any key component is NULL. *)
 
 val insert : t -> Value.t array -> int -> unit
-(** [insert t key tid].  @raise Db_error.Constraint_violation when the
-    index is unique and the key is already present. *)
+(** [insert t key tid].  The key array is defensively copied.
+    @raise Db_error.Constraint_violation when the index is unique and the
+    key is already present. *)
+
+val insert_owned : t -> Value.t array -> int -> unit
+(** Like {!insert} but takes ownership of the key array (no copy).  The
+    caller must never mutate it afterwards — use only with freshly
+    allocated keys (e.g. {!key_of_row} output). *)
 
 val remove : t -> Value.t array -> int -> unit
 

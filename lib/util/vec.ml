@@ -33,6 +33,28 @@ let push v x =
   Array.unsafe_set v.data v.len x;
   v.len <- v.len + 1
 
+let reserve v n x =
+  if n < 0 then invalid_arg "Vec.reserve";
+  let want = v.len + n in
+  let cap = Array.length v.data in
+  if want > cap then begin
+    let cap' =
+      let rec dbl c = if c >= want then c else dbl (c * 2) in
+      dbl (max cap 8)
+    in
+    let data' = Array.make cap' x in
+    Array.blit v.data 0 data' 0 v.len;
+    v.data <- data'
+  end
+
+let push_array v xs =
+  let n = Array.length xs in
+  if n > 0 then begin
+    reserve v n xs.(0);
+    Array.blit xs 0 v.data v.len n;
+    v.len <- v.len + n
+  end
+
 let pop v =
   if v.len = 0 then None
   else begin

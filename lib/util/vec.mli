@@ -21,6 +21,14 @@ val set : 'a t -> int -> 'a -> unit
 
 val push : 'a t -> 'a -> unit
 
+val reserve : 'a t -> int -> 'a -> unit
+(** [reserve v n x] pre-grows capacity so the next [n] pushes need no
+    reallocation; [x] is the filler for unused capacity.  Length is
+    unchanged. *)
+
+val push_array : 'a t -> 'a array -> unit
+(** Append every element of the array (one capacity check + blit). *)
+
 val pop : 'a t -> 'a option
 (** Removes and returns the last element. *)
 

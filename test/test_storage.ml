@@ -188,11 +188,122 @@ let lock_handoff_across_threads () =
   Thread.join th;
   check Alcotest.bool "acquired after release" true !acquired
 
+(* ---------------- bulk load path ---------------- *)
+
+let index_state idx keys = List.map (fun k -> Index.find idx [| Value.Int k |]) keys
+
+(* A mid-batch unique violation must leave the heap and every index exactly
+   as they were — including the entries the earlier rows of the same batch
+   had already added. *)
+let insert_batch_rollback () =
+  let h = mk_heap () in
+  let pk = Index.create ~name:"pk" ~key_cols:[| 0 |] ~unique:true () in
+  let by_v = Index.create ~name:"by_v" ~key_cols:[| 1 |] ~unique:false () in
+  Heap.add_index h pk;
+  Heap.add_index h by_v;
+  let t0 = Heap.insert h (row 1 "a") in
+  ignore (Heap.insert h (row 2 "b") : int);
+  let snapshot () =
+    ( Heap.tid_count h,
+      Heap.live_count h,
+      index_state pk [ 1; 2; 10; 11; 12 ],
+      List.map (fun s -> Index.find by_v [| Value.Str s |]) [ "a"; "b"; "x" ] )
+  in
+  let before = snapshot () in
+  (* rows 10 and 11 index fine, then 1 collides with the pre-existing key *)
+  (try
+     ignore (Heap.insert_batch h [| row 10 "x"; row 11 "x"; row 1 "dup" |] : int);
+     Alcotest.fail "expected unique violation"
+   with Db_error.Constraint_violation _ -> ());
+  check Alcotest.bool "batch with existing-key dup is a no-op" true (before = snapshot ());
+  (* intra-batch duplicate: second occurrence of key 12 *)
+  (try
+     ignore (Heap.insert_batch h [| row 12 "x"; row 12 "y" |] : int);
+     Alcotest.fail "expected intra-batch unique violation"
+   with Db_error.Constraint_violation _ -> ());
+  check Alcotest.bool "batch with intra-batch dup is a no-op" true (before = snapshot ());
+  (* a clean batch afterwards lands with dense tids and live indexes *)
+  let base = Heap.insert_batch h [| row 10 "x"; row 11 "x" |] in
+  check Alcotest.int "batch base tid" 2 base;
+  check Alcotest.int "live" 4 (Heap.live_count h);
+  check (Alcotest.list Alcotest.int) "pk 10" [ base ] (Index.find pk [| Value.Int 10 |]);
+  check (Alcotest.list Alcotest.int) "non-unique key order" [ base + 1; base ]
+    (Index.find by_v [| Value.Str "x" |]);
+  check (Alcotest.list Alcotest.int) "old rows untouched" [ t0 ]
+    (Index.find pk [| Value.Int 1 |])
+
+(* reserve is observable only through capacity: contents and counts do not
+   change, and inserts after a reserve behave identically *)
+let heap_reserve () =
+  let h = mk_heap () in
+  let pk = Index.create ~name:"pk" ~key_cols:[| 0 |] ~unique:true () in
+  Heap.add_index h pk;
+  ignore (Heap.insert h (row 1 "a") : int);
+  Heap.reserve h 10_000;
+  check Alcotest.int "tid_count unchanged" 1 (Heap.tid_count h);
+  check Alcotest.int "live unchanged" 1 (Heap.live_count h);
+  let base = Heap.insert_batch h (Array.init 100 (fun i -> row (100 + i) "z")) in
+  check Alcotest.int "dense tids after reserve" 1 base;
+  check (Alcotest.list Alcotest.int) "indexed after reserve" [ 57 ]
+    (Index.find pk [| Value.Int 156 |])
+
+(* Randomised model check of the rewritten hash index: arbitrary
+   insert/remove interleavings over a small key space, single- and
+   multi-column keys, against a naive association-list model. *)
+let index_model_prop =
+  let open QCheck in
+  Test.make ~name:"hash index ≡ model (randomised insert/remove)" ~count:300
+    (pair bool
+       (list_of_size (Gen.int_range 0 120)
+          (triple bool (int_range 0 15) (int_range 0 30))))
+    (fun (two_col, ops) ->
+      let key_cols = if two_col then [| 0; 1 |] else [| 0 |] in
+      let idx = Index.create ~name:"m" ~key_cols ~unique:false () in
+      let key k =
+        if two_col then [| Value.Int (k land 3); Value.Int (k lsr 2) |]
+        else [| Value.Int k |]
+      in
+      let model : (int * int list) list ref = ref [] in
+      List.iter
+        (fun (is_remove, k, tid) ->
+          if is_remove then begin
+            Index.remove idx (key k) tid;
+            model :=
+              List.filter_map
+                (fun (k', tids) ->
+                  if k' = k then
+                    match List.filter (fun t -> t <> tid) tids with
+                    | [] -> None
+                    | tids -> Some (k', tids)
+                  else Some (k', tids))
+                !model
+          end
+          else begin
+            Index.insert idx (key k) tid;
+            model :=
+              (match List.assoc_opt k !model with
+              | Some tids -> (k, tid :: tids) :: List.remove_assoc k !model
+              | None -> (k, [ tid ]) :: !model)
+          end)
+        ops;
+      let total = List.fold_left (fun acc (_, tids) -> acc + List.length tids) 0 !model in
+      if Index.entry_count idx <> total then
+        Test.fail_reportf "entry_count %d, model %d" (Index.entry_count idx) total;
+      for k = 0 to 15 do
+        let expect = match List.assoc_opt k !model with Some t -> t | None -> [] in
+        if Index.find idx (key k) <> expect then
+          Test.fail_reportf "key %d: index disagrees with model" k
+      done;
+      true)
+
 let suite =
   [
     Alcotest.test_case "heap crud" `Quick heap_crud;
     Alcotest.test_case "heap iteration" `Quick heap_iteration;
     Alcotest.test_case "hash index" `Quick hash_index;
+    Alcotest.test_case "insert_batch rollback atomicity" `Quick insert_batch_rollback;
+    Alcotest.test_case "heap reserve" `Quick heap_reserve;
+    QCheck_alcotest.to_alcotest index_model_prop;
     Alcotest.test_case "ordered index min/max" `Quick ordered_index_minmax;
     Alcotest.test_case "ordered index range" `Quick ordered_index_range;
     Alcotest.test_case "ordered unique" `Quick ordered_unique;

@@ -251,6 +251,217 @@ let hash_abort_stress () =
       if not (Hash_tracker.is_migrated ht k) then Alcotest.fail "key left unmigrated")
     keys
 
+(* ---------------- batch / run operations ---------------- *)
+
+(* Two trackers driven into the same pre-state: [pre] granules are cycled
+   through migrate / abort / leave-in-progress, identically on both. *)
+let prestate size pre =
+  let a = Bitmap_tracker.create ~size () and b = Bitmap_tracker.create ~size () in
+  List.iteri
+    (fun i g ->
+      List.iter
+        (fun bt ->
+          match Bitmap_tracker.try_acquire bt g with
+          | Tracker.Migrate -> (
+              match i mod 3 with
+              | 0 -> Bitmap_tracker.mark_migrated bt g
+              | 1 -> Bitmap_tracker.mark_aborted bt g
+              | _ -> () (* leave in progress *))
+          | Tracker.Skip | Tracker.Already_migrated -> ())
+        [ a; b ])
+    pre;
+  (a, b)
+
+let same_states size a b =
+  let ok = ref true in
+  for g = 0 to size - 1 do
+    if Bitmap_tracker.is_migrated a g <> Bitmap_tracker.is_migrated b g then ok := false;
+    if Bitmap_tracker.is_in_progress a g <> Bitmap_tracker.is_in_progress b g then
+      ok := false
+  done;
+  let sa = Bitmap_tracker.stats a and sb = Bitmap_tracker.stats b in
+  !ok && sa.Tracker.migrated = sb.Tracker.migrated
+  && sa.Tracker.in_progress = sb.Tracker.in_progress
+
+(* Scalar reference: fold the granule-at-a-time operations over the list. *)
+let scalar_acquire bt gs =
+  let wip = ref [] and skip = ref [] and already = ref [] in
+  List.iter
+    (fun g ->
+      match Bitmap_tracker.try_acquire bt g with
+      | Tracker.Migrate -> wip := g :: !wip
+      | Tracker.Skip -> skip := g :: !skip
+      | Tracker.Already_migrated -> already := g :: !already)
+    gs;
+  (List.rev !wip, List.rev !skip, List.rev !already)
+
+let gsize = 300 (* > one chunk would be slow; crossing words is what matters *)
+
+let gen_pre_and_batch =
+  QCheck.(
+    pair
+      (list_of_size (Gen.int_range 0 80) (int_range 0 (gsize - 1)))
+      (list_of_size (Gen.int_range 0 120) (int_range 0 (gsize - 1))))
+
+let batch_equiv_prop =
+  QCheck.Test.make ~name:"bitmap: batch ops ≡ scalar ops" ~count:300
+    gen_pre_and_batch
+    (fun (pre, batch) ->
+      let a, b = prestate gsize pre in
+      let wip_a, skip_a, already_a = Bitmap_tracker.try_acquire_batch a batch in
+      let wip_b, skip_b, already_b = scalar_acquire b batch in
+      if (wip_a, skip_a, already_a) <> (wip_b, skip_b, already_b) then
+        QCheck.Test.fail_report "acquire decisions differ";
+      (* commit half the acquisitions, abort the rest — batched vs scalar *)
+      let commit, abort = List.partition (fun g -> g mod 2 = 0) wip_a in
+      Bitmap_tracker.mark_migrated_batch a commit;
+      Bitmap_tracker.mark_aborted_batch a abort;
+      List.iter (fun g -> Bitmap_tracker.mark_migrated b g) commit;
+      List.iter (fun g -> Bitmap_tracker.mark_aborted b g) abort;
+      same_states gsize a b)
+
+let run_equiv_prop =
+  QCheck.Test.make ~name:"bitmap: run ops ≡ scalar ops" ~count:300
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 80) (int_range 0 (gsize - 1)))
+        (pair (int_range 0 (gsize - 1)) (int_range 0 gsize)))
+    (fun (pre, (start, rawlen)) ->
+      let len = min rawlen (gsize - start) in
+      let a, b = prestate gsize pre in
+      let wip_a, skip_a, already_a = Bitmap_tracker.try_acquire_run a ~start ~len in
+      let gs = List.init len (fun i -> start + i) in
+      let wip_b, skip_b, already_b = scalar_acquire b gs in
+      let flat =
+        List.concat_map (fun (s, l) -> List.init l (fun i -> s + i)) wip_a
+      in
+      if flat <> wip_b then QCheck.Test.fail_report "run wip differs from scalar";
+      (* wip subruns must be maximal (adjacent pairs never touch) *)
+      let rec maximal = function
+        | (s1, l1) :: ((s2, _) :: _ as tl) ->
+            if s1 + l1 >= s2 then QCheck.Test.fail_report "wip subruns not maximal";
+            maximal tl
+        | _ -> ()
+      in
+      maximal wip_a;
+      if skip_a <> skip_b || already_a <> already_b then
+        QCheck.Test.fail_report "run skip/already differ";
+      if start mod 2 = 0 then begin
+        List.iter (fun (s, l) -> Bitmap_tracker.mark_migrated_run a ~start:s ~len:l) wip_a;
+        List.iter (fun g -> Bitmap_tracker.mark_migrated b g) wip_b
+      end
+      else begin
+        List.iter (fun (s, l) -> Bitmap_tracker.mark_aborted_run a ~start:s ~len:l) wip_a;
+        List.iter (fun g -> Bitmap_tracker.mark_aborted b g) wip_b
+      end;
+      same_states gsize a b)
+
+(* Word-aligned fast paths flip 32 granules per write; make sure a run that
+   starts/ends mid-word and crosses a chunk boundary is exact. *)
+let run_edges () =
+  let size = 3 * 1024 in
+  let bt = Bitmap_tracker.create ~size () in
+  (* dirty a couple of slots so the word paths can't claim whole words *)
+  ignore (Bitmap_tracker.try_acquire bt 1000 : Tracker.decision);
+  Bitmap_tracker.mark_migrated bt 1000;
+  ignore (Bitmap_tracker.try_acquire bt 2049 : Tracker.decision);
+  let start = 3 and len = 2300 - 3 in
+  let wip, skip, already = Bitmap_tracker.try_acquire_run bt ~start ~len in
+  check (Alcotest.list Alcotest.int) "skip" [ 2049 ] skip;
+  check (Alcotest.list Alcotest.int) "already" [ 1000 ] already;
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "wip subruns"
+    [ (3, 997); (1001, 1048); (2050, 250) ]
+    wip;
+  List.iter (fun (s, l) -> Bitmap_tracker.mark_migrated_run bt ~start:s ~len:l) wip;
+  check Alcotest.int "migrated count" (1 + 997 + 1048 + 250)
+    (Bitmap_tracker.stats bt).Tracker.migrated;
+  for g = 0 to size - 1 do
+    let expect_mig = (g >= 3 && g < 2300 && g <> 2049) || g = 1000 in
+    if Bitmap_tracker.is_migrated bt g <> expect_mig then
+      Alcotest.failf "granule %d migrated=%b, expected %b" g
+        (Bitmap_tracker.is_migrated bt g) expect_mig
+  done;
+  check Alcotest.bool "2049 still in progress" true
+    (Bitmap_tracker.is_in_progress bt 2049)
+
+(* Exactly-once when scalar, list-batch and run-based workers race: every
+   granule is committed exactly once (a double commit would raise), and the
+   bitmap ends complete. *)
+let batch_thread_stress () =
+  let n = 8192 in
+  let bt = Bitmap_tracker.create ~size:n () in
+  let commits = Array.make 4 0 in
+  let scalar_worker slot =
+    for g = 0 to n - 1 do
+      match Bitmap_tracker.try_acquire bt g with
+      | Tracker.Migrate ->
+          if g land 63 = 17 then Bitmap_tracker.mark_aborted bt g
+          else begin
+            Thread.yield ();
+            Bitmap_tracker.mark_migrated bt g;
+            commits.(slot) <- commits.(slot) + 1
+          end
+      | Tracker.Skip | Tracker.Already_migrated -> ()
+    done
+  in
+  let batch_worker slot =
+    let g = ref 0 in
+    while !g < n do
+      let len = min 64 (n - !g) in
+      let gs = List.init len (fun i -> !g + i) in
+      let wip, _, _ = Bitmap_tracker.try_acquire_batch bt gs in
+      Thread.yield ();
+      Bitmap_tracker.mark_migrated_batch bt wip;
+      commits.(slot) <- commits.(slot) + List.length wip;
+      g := !g + len
+    done
+  in
+  let run_worker slot =
+    let cursor = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      match Bitmap_tracker.next_unmigrated_run bt ~from:!cursor with
+      | None -> if !cursor = 0 then continue_ := false else cursor := 0
+      | Some (start, len) ->
+          let len = min len 96 in
+          let wip, _, _ = Bitmap_tracker.try_acquire_run bt ~start ~len in
+          Thread.yield ();
+          List.iter
+            (fun (s, l) ->
+              Bitmap_tracker.mark_migrated_run bt ~start:s ~len:l;
+              commits.(slot) <- commits.(slot) + l)
+            wip;
+          cursor := start + len
+    done
+  in
+  let ths =
+    [
+      Thread.create (fun () -> scalar_worker 0) ();
+      Thread.create (fun () -> batch_worker 1) ();
+      Thread.create (fun () -> run_worker 2) ();
+      Thread.create (fun () -> batch_worker 3) ();
+    ]
+  in
+  List.iter Thread.join ths;
+  (* granules whose scalar winner aborted may be left over; sweep serially *)
+  let swept = ref 0 in
+  let rec sweep () =
+    match Bitmap_tracker.first_unmigrated bt ~from:0 with
+    | None -> ()
+    | Some g ->
+        (match Bitmap_tracker.try_acquire bt g with
+        | Tracker.Migrate ->
+            Bitmap_tracker.mark_migrated bt g;
+            incr swept
+        | Tracker.Skip -> Alcotest.fail "granule stuck in progress after join"
+        | Tracker.Already_migrated -> ());
+        sweep ()
+  in
+  sweep ();
+  check Alcotest.bool "complete" true (Bitmap_tracker.complete bt);
+  check Alcotest.int "every granule committed exactly once" n
+    (Array.fold_left ( + ) 0 commits + !swept)
+
 let suite =
   [
     Alcotest.test_case "bitmap lifecycle" `Quick bitmap_lifecycle;
@@ -260,6 +471,10 @@ let suite =
     Alcotest.test_case "bitmap force idempotent" `Quick bitmap_force_idempotent;
     Alcotest.test_case "bitmap thread stress" `Slow bitmap_thread_stress;
     QCheck_alcotest.to_alcotest bitmap_prop_exactly_once;
+    QCheck_alcotest.to_alcotest batch_equiv_prop;
+    QCheck_alcotest.to_alcotest run_equiv_prop;
+    Alcotest.test_case "bitmap run edge cases" `Quick run_edges;
+    Alcotest.test_case "bitmap batch/run thread stress" `Slow batch_thread_stress;
     Alcotest.test_case "hash lifecycle" `Quick hash_lifecycle;
     Alcotest.test_case "hash abort takeover" `Quick hash_abort_takeover;
     Alcotest.test_case "hash errors" `Quick hash_errors;
