@@ -17,7 +17,7 @@ bench:
 	dune exec bench/main.exe
 
 bench-smoke:
-	BF_FAST=1 dune exec bench/main.exe -- fig3 migpath
+	BF_FAST=1 dune exec bench/main.exe -- fig3 migpath recovery
 
 check: build test bench-smoke
 

@@ -796,6 +796,158 @@ let migpath () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Crash-recovery: the deterministic fault sweep (every crash point per
+   scenario must recover to the oracle result), redo-log replay
+   throughput, and tracker-rebuild latency.  Wall-clock. *)
+let recovery_bench () =
+  say "\n=== recovery: fault sweep + redo replay (BENCH_recovery.json) ===";
+  let module Db = Bullfrog_db.Database in
+  let module Redo = Bullfrog_db.Redo_log in
+  (* -- fault sweep -- *)
+  let cells =
+    match profile with
+    | Fast -> Fault_sweep.run_bounded ()
+    | Standard | Full -> Fault_sweep.run_sweep ()
+  in
+  let fired = Fault_sweep.fired_count cells in
+  let failed = List.filter (fun c -> not c.Fault_sweep.c_ok) cells in
+  say "  sweep: %d cells (%d crashed+recovered, %d vacuous), %d failed"
+    (List.length cells) fired
+    (List.length cells - fired)
+    (List.length failed);
+  List.iter (fun c -> say "  FAIL %s" (Fault_sweep.pp_cell c)) failed;
+  (* -- replay throughput -- *)
+  let nrows = match profile with Fast -> 2_000 | Standard -> 20_000 | Full -> 50_000 in
+  let db = Db.create () in
+  ignore
+    (Db.exec_script db "CREATE TABLE w (id INT PRIMARY KEY, grp INT, v TEXT)"
+      : Bullfrog_db.Executor.result list);
+  Db.with_txn db (fun txn ->
+      for i = 0 to nrows - 1 do
+        ignore
+          (Db.exec_in db txn
+             ~params:
+               [|
+                 Bullfrog_db.Value.Int i;
+                 Bullfrog_db.Value.Int (i mod 97);
+                 Bullfrog_db.Value.Str (Printf.sprintf "row-%08d" i);
+               |]
+             "INSERT INTO w VALUES ($1, $2, $3)"
+            : Bullfrog_db.Executor.result)
+      done);
+  for i = 0 to (nrows / 10) - 1 do
+    ignore
+      (Db.exec db
+         ~params:[| Bullfrog_db.Value.Int (i * 7 mod nrows) |]
+         "UPDATE w SET grp = 0 WHERE id = $1"
+        : Bullfrog_db.Executor.result)
+  done;
+  for i = 0 to (nrows / 20) - 1 do
+    ignore
+      (Db.exec db
+         ~params:[| Bullfrog_db.Value.Int (i * 13 mod nrows) |]
+         "DELETE FROM w WHERE id = $1"
+        : Bullfrog_db.Executor.result)
+  done;
+  let bytes = Redo.serialize db.Db.redo in
+  let t0 = Unix.gettimeofday () in
+  let log = Redo.deserialize bytes in
+  let db' = Db.replay log in
+  let replay_s = Unix.gettimeofday () -. t0 in
+  let records = Redo.length log in
+  ignore (db' : Db.t);
+  say "  replay: %d commit records (%.1f MB) in %.3fs — %.0f records/s"
+    records
+    (float_of_int (String.length bytes) /. 1e6)
+    replay_s
+    (float_of_int records /. replay_s);
+  (* -- tracker rebuild latency -- *)
+  let mig_rows = match profile with Fast -> 4_000 | Standard -> 20_000 | Full -> 50_000 in
+  let mdb = Db.create () in
+  ignore
+    (Db.exec_script mdb "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v TEXT)"
+      : Bullfrog_db.Executor.result list);
+  Db.with_txn mdb (fun txn ->
+      for i = 0 to mig_rows - 1 do
+        ignore
+          (Db.exec_in mdb txn
+             ~params:
+               [|
+                 Bullfrog_db.Value.Int i;
+                 Bullfrog_db.Value.Int (i mod 32);
+                 Bullfrog_db.Value.Str (Printf.sprintf "v%d" i);
+               |]
+             "INSERT INTO src VALUES ($1, $2, $3)"
+            : Bullfrog_db.Executor.result)
+      done);
+  let bf = Lazy_db.create mdb in
+  let spec =
+    Migration.make ~name:"copy" ~drop_old:[ "src" ]
+      [
+        Migration.statement_of_sql ~name:"copy"
+          "CREATE TABLE dst AS (SELECT id, grp, v FROM src)";
+      ]
+  in
+  ignore (Lazy_db.start_migration bf ~page_size:16 spec : Migrate_exec.t);
+  (* migrate roughly half before the simulated crash *)
+  let half = mig_rows / 16 / 2 in
+  let done_ = ref 0 in
+  while !done_ < half && Lazy_db.background_step bf ~batch:32 > 0 do
+    done_ := !done_ + 32
+  done;
+  let rt = match Lazy_db.active bf with Some rt -> rt | None -> assert false in
+  let t1 = Unix.gettimeofday () in
+  let _rt', report = Recovery.recover rt in
+  let rebuild_s = Unix.gettimeofday () -. t1 in
+  say "  rebuild: %d marks restored (%d dropped) in %.1fms"
+    report.Recovery.rb_restored report.Recovery.rb_dropped (rebuild_s *. 1e3);
+  let oc = open_out "BENCH_recovery.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "recovery",
+  "profile": "%s",
+  "seed": %d,
+  "fault_sweep": {
+    "mode": "%s",
+    "cells": %d,
+    "crashed_and_recovered": %d,
+    "vacuous": %d,
+    "failed": %d,
+    "crash_points": %d,
+    "scenarios": [%s]
+  },
+  "redo_replay": {
+    "commit_records": %d,
+    "log_bytes": %d,
+    "replay_seconds": %.4f,
+    "records_per_sec": %.0f,
+    "mb_per_sec": %.2f
+  },
+  "tracker_rebuild": {
+    "input_rows": %d,
+    "marks_restored": %d,
+    "marks_dropped": %d,
+    "rebuild_ms": %.3f
+  }
+}
+|}
+    (match profile with Fast -> "fast" | Standard -> "standard" | Full -> "full")
+    seed
+    (match profile with Fast -> "bounded" | _ -> "full")
+    (List.length cells) fired
+    (List.length cells - fired)
+    (List.length failed) Fault.count
+    (String.concat ", "
+       (List.map (fun s -> Printf.sprintf "%S" s) Fault_sweep.scenario_names))
+    records (String.length bytes) replay_s
+    (float_of_int records /. replay_s)
+    (float_of_int (String.length bytes) /. 1e6 /. replay_s)
+    mig_rows report.Recovery.rb_restored report.Recovery.rb_dropped
+    (rebuild_s *. 1e3);
+  close_out oc;
+  say "  wrote BENCH_recovery.json";
+  if failed <> [] then failwith "recovery fault sweep found divergent cells"
+
 let all_figures =
   [
     ("fig3", fig3_4);
@@ -809,6 +961,7 @@ let all_figures =
     ("micro", microbench);
     ("qpath", qpath);
     ("migpath", migpath);
+    ("recovery", recovery_bench);
   ]
 
 let aliases = [ ("fig4", "fig3"); ("fig6", "fig5"); ("fig8", "fig7") ]

@@ -38,7 +38,10 @@ let migrate db (spec : Migration.t) =
                   let rows = Array.of_list (List.rev !buf) in
                   buf := [];
                   buffered := 0;
-                  rows_copied := !rows_copied + Executor.insert_rows ctx txn out_heap rows
+                  rows_copied := !rows_copied + Executor.insert_rows ctx txn out_heap rows;
+                  (* mid-copy, inside the statement's transaction: a crash
+                     here aborts the whole statement's copy *)
+                  Fault.point Fault.p_eager_copy
                 end
               in
               Executor.iter_plan txn planned.Planner.plan (fun row ->

@@ -1,0 +1,75 @@
+(* Deterministic crash-point registry.  Commit-adjacent sites in the
+   migration engine call [point <id>]; under test a single point is armed
+   and raises [Crash] on its nth hit, simulating a process failure at that
+   exact spot.  Disarmed cost is one int compare per site. *)
+
+exception Crash of string
+
+let p_mark_commit = 0
+
+let p_flip_batched = 1
+
+let p_pair_commit = 2
+
+let p_pair_flip = 3
+
+let p_bg_batch = 4
+
+let p_eager_copy = 5
+
+let p_multistep_copy = 6
+
+let names =
+  [|
+    "mark_commit";  (* granule marks recorded, before commit *)
+    "flip_batched";  (* inside a tracker group's on-commit flip *)
+    "pair_commit";  (* pair marks recorded, before commit *)
+    "pair_flip";  (* inside the pair tracker's on-commit flip *)
+    "bg_batch";  (* between background migration batches *)
+    "eager_copy";  (* inside the eager copy transaction *)
+    "multistep_copy";  (* after a multistep copier step *)
+  |]
+
+let count = Array.length names
+
+let name_of id =
+  if id < 0 || id >= count then invalid_arg "Fault.name_of" else names.(id)
+
+let all () = List.init count (fun i -> (i, names.(i)))
+
+(* Simple mutable state: the harness is single-threaded wherever faults
+   are armed, and the disarmed fast path reads one int. *)
+let armed_id = ref (-1)
+
+let remaining = ref 0
+
+let hit_count = ref 0
+
+let fired_flag = ref false
+
+let arm ?(after = 0) id =
+  if id < 0 || id >= count then invalid_arg "Fault.arm";
+  armed_id := id;
+  remaining := after;
+  hit_count := 0;
+  fired_flag := false
+
+let disarm () = armed_id := -1
+
+let armed () = if !armed_id < 0 then None else Some !armed_id
+
+let fired () = !fired_flag
+
+let hits () = !hit_count
+
+let point id =
+  if !armed_id = id then begin
+    incr hit_count;
+    if !remaining = 0 then begin
+      fired_flag := true;
+      (* one-shot: the crash must not re-fire during recovery *)
+      armed_id := -1;
+      raise (Crash names.(id))
+    end
+    else decr remaining
+  end

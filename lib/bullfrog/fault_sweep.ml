@@ -1,0 +1,386 @@
+open Bullfrog_db
+open Bullfrog_sql
+
+type cell = {
+  c_scenario : string;
+  c_point : int;
+  c_fired : bool;
+  c_ok : bool;
+  c_detail : string;
+}
+
+type scenario = {
+  sc_name : string;
+  sc_run : unit -> (string * string list) list;
+      (** one full cycle — setup, workload (crashing if a point is armed
+          and reached), recovery, probes, drain — returning labelled
+          sorted result sets *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* result collection                                                   *)
+
+let render_row row =
+  String.concat "|" (List.map Value.to_string (Array.to_list row))
+
+let sorted_rows db sql =
+  List.sort compare (List.map render_row (Database.query db sql))
+
+(* ------------------------------------------------------------------ *)
+(* generic lazy cycle                                                  *)
+
+(* Probes run against the *recovered* runtime through the same
+   predicate-scoped migration path a client request takes; then the
+   background migrator drains the remainder and the result sets are
+   collected.  At most one crash can occur per run (points are
+   one-shot), so a single recover-and-retry suffices; the retry phase
+   re-migrates from the rebuilt trackers, which is exactly the
+   exactly-once property under test. *)
+let lazy_cycle db ld rt ~probes ~outputs =
+  let finishing rt =
+    let rep = Migrate_exec.new_report () in
+    let probe_results =
+      List.map
+        (fun sql ->
+          let preds =
+            Lazy_db.extract_predicates_for_stmt ld (Parser.parse_one sql)
+          in
+          Migrate_exec.migrate_for_preds rt rep preds;
+          (sql, sorted_rows db sql))
+        probes
+    in
+    while Migrate_exec.background_step rt rep ~batch:4 > 0 do
+      ()
+    done;
+    if not (Migrate_exec.verify_complete rt) then
+      failwith "fault_sweep: migration incomplete after drain";
+    probe_results
+    @ List.map (fun o -> (o, sorted_rows db ("SELECT * FROM " ^ o))) outputs
+  in
+  try finishing rt
+  with Fault.Crash _ ->
+    let rt', _report = Recovery.recover rt in
+    finishing rt'
+
+let run_lazy ~setup ~spec ?page_size ?nn ~workload ~probes ~outputs () =
+  let db = setup () in
+  let ld = Lazy_db.create db in
+  let rt = Lazy_db.start_migration ld ?page_size ?nn (spec ()) in
+  let rt =
+    try
+      workload ld;
+      rt
+    with Fault.Crash _ -> fst (Recovery.recover rt)
+  in
+  lazy_cycle db ld rt ~probes ~outputs
+
+(* ------------------------------------------------------------------ *)
+(* scenario: bitmap-tracked 1:1 copy                                   *)
+
+let mk_src_db rows =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v TEXT)");
+  Database.with_txn db (fun txn ->
+      for i = 0 to rows - 1 do
+        ignore
+          (Database.exec_in db txn
+             ~params:
+               [| Value.Int i; Value.Int (i mod 8); Value.Str (Printf.sprintf "v%03d" i) |]
+             "INSERT INTO src VALUES ($1, $2, $3)"
+            : Executor.result)
+      done);
+  db
+
+let copy_spec () =
+  Migration.make ~name:"copy" ~drop_old:[ "src" ]
+    [
+      Migration.statement_of_sql ~name:"copy"
+        "CREATE TABLE dst AS (SELECT id, grp, v FROM src)"
+        ~extra_ddl:[ "CREATE UNIQUE INDEX dst_id ON dst (id)" ];
+    ]
+
+let bitmap_scenario =
+  {
+    sc_name = "bitmap";
+    sc_run =
+      run_lazy
+        ~setup:(fun () -> mk_src_db 48)
+        ~spec:copy_spec ~page_size:4
+        ~workload:(fun ld ->
+          ignore (Lazy_db.exec ld "SELECT * FROM dst WHERE id = 9" : Executor.result);
+          ignore (Lazy_db.exec ld "SELECT * FROM dst WHERE grp = 5" : Executor.result);
+          ignore (Lazy_db.background_step ld ~batch:2 : int))
+        ~probes:
+          [
+            "SELECT * FROM dst WHERE id = 17";
+            "SELECT * FROM dst WHERE grp = 3";
+          ]
+        ~outputs:[ "dst" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* scenario: hash-tracked aggregate                                    *)
+
+let agg_spec () =
+  Migration.make ~name:"agg" ~drop_old:[ "src" ]
+    [
+      Migration.statement_of_sql ~name:"agg"
+        "CREATE TABLE agg AS (SELECT grp, COUNT(*) AS n FROM src GROUP BY grp)";
+    ]
+
+let hash_scenario =
+  {
+    sc_name = "hash";
+    sc_run =
+      run_lazy
+        ~setup:(fun () -> mk_src_db 40)
+        ~spec:agg_spec
+        ~workload:(fun ld ->
+          ignore (Lazy_db.exec ld "SELECT * FROM agg WHERE grp = 2" : Executor.result);
+          ignore (Lazy_db.background_step ld ~batch:2 : int))
+        ~probes:
+          [ "SELECT * FROM agg WHERE grp = 1"; "SELECT * FROM agg WHERE grp = 6" ]
+        ~outputs:[ "agg" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* scenario: pair-granularity n:n join                                 *)
+
+let mk_ab_db () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       {|
+    CREATE TABLE a (a_id INT PRIMARY KEY, k INT, ax TEXT);
+    CREATE TABLE b (b_id INT PRIMARY KEY, k INT, bx TEXT);
+    CREATE INDEX a_k ON a (k);
+    CREATE INDEX b_k ON b (k);
+    INSERT INTO a VALUES (1,1,'a1'),(2,1,'a2'),(3,2,'a3'),(4,3,'a4'),(5,4,'a5'),(6,4,'a6');
+    INSERT INTO b VALUES (10,1,'b1'),(11,1,'b2'),(12,1,'b3'),(13,2,'b4'),(14,9,'b5'),(15,4,'b6');
+  |});
+  db
+
+let ab_spec () =
+  Migration.make ~name:"ab" ~drop_old:[ "a"; "b" ]
+    [
+      Migration.statement_of_sql ~name:"ab"
+        "CREATE TABLE ab AS (SELECT a_id, b_id, a.k AS k, ax, bx FROM a, b WHERE a.k = b.k)"
+        ~extra_ddl:[ "CREATE INDEX ab_k ON ab (k)" ];
+    ]
+
+let pair_scenario =
+  {
+    sc_name = "pair";
+    sc_run =
+      run_lazy ~setup:mk_ab_db ~spec:ab_spec
+        ~workload:(fun ld ->
+          ignore (Lazy_db.exec ld "SELECT * FROM ab WHERE k = 1" : Executor.result);
+          ignore (Lazy_db.background_step ld ~batch:2 : int))
+        ~probes:
+          [ "SELECT * FROM ab WHERE k = 4"; "SELECT * FROM ab WHERE a_id = 3" ]
+        ~outputs:[ "ab" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* scenario: join-key-class shared tracker                             *)
+
+(* Same spec as [pair] but with the coarse Nn_join_key granularity, so a
+   single hash tracker is shared between both inputs — the recovery path
+   must restore the shared tracker from either side's marks. *)
+let joinkey_scenario =
+  {
+    sc_name = "joinkey";
+    sc_run =
+      run_lazy ~setup:mk_ab_db ~spec:ab_spec ~nn:Migrate_exec.Nn_join_key
+        ~workload:(fun ld ->
+          ignore (Lazy_db.exec ld "SELECT * FROM ab WHERE k = 1" : Executor.result);
+          ignore (Lazy_db.background_step ld ~batch:1 : int))
+        ~probes:[ "SELECT * FROM ab WHERE k = 2" ]
+        ~outputs:[ "ab" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* scenario: multistep baseline copier                                 *)
+
+let multistep_scenario =
+  {
+    sc_name = "multistep";
+    sc_run =
+      (fun () ->
+        let db = mk_src_db 20 in
+        let spec =
+          Migration.make ~name:"copy"
+            [
+              Migration.statement_of_sql ~name:"copy"
+                "CREATE TABLE dst AS (SELECT id, grp, v FROM src)"
+                ~extra_ddl:[ "CREATE UNIQUE INDEX dst_id ON dst (id)" ];
+            ]
+        in
+        let ms = Multistep.start ~page_size:4 db spec in
+        let rt = Multistep.runtime ms in
+        let rt =
+          try
+            for _ = 1 to 2 do
+              ignore (Multistep.copier_step ms ~batch:1 : int)
+            done;
+            rt
+          with Fault.Crash _ -> fst (Recovery.recover rt)
+        in
+        let finishing rt =
+          let rep = Migrate_exec.new_report () in
+          while Migrate_exec.background_step rt rep ~batch:4 > 0 do
+            ()
+          done;
+          if not (Migrate_exec.verify_complete rt) then
+            failwith "fault_sweep: multistep copy incomplete after drain";
+          [ ("dst", sorted_rows db "SELECT * FROM dst") ]
+        in
+        try finishing rt
+        with Fault.Crash _ ->
+          let rt', _report = Recovery.recover rt in
+          finishing rt');
+  }
+
+(* ------------------------------------------------------------------ *)
+(* scenario: eager (stop-the-world) migration                          *)
+
+(* Eager runs each statement's copy in one transaction; a crash aborts
+   it wholesale.  Recovery is re-execution from scratch: drop whatever
+   output tables the aborted attempt left behind (they are empty or
+   partial) and run the migration again. *)
+let eager_scenario =
+  {
+    sc_name = "eager";
+    sc_run =
+      (fun () ->
+        let db = mk_src_db 24 in
+        let spec =
+          Migration.make ~name:"split" ~drop_old:[ "src" ]
+            [
+              Migration.statement_of_sql ~name:"rows"
+                "CREATE TABLE dst AS (SELECT id, v FROM src)";
+              Migration.statement_of_sql ~name:"agg"
+                "CREATE TABLE agg AS (SELECT grp, COUNT(*) AS n FROM src GROUP BY grp)";
+            ]
+        in
+        let outputs = [ "dst"; "agg" ] in
+        (try ignore (Eager.migrate db spec : Eager.outcome)
+         with Fault.Crash _ ->
+           List.iter
+             (fun o ->
+               if Catalog.exists db.Database.catalog o then
+                 Catalog.drop db.Database.catalog o)
+             outputs;
+           ignore (Eager.migrate db spec : Eager.outcome));
+        List.map (fun o -> (o, sorted_rows db ("SELECT * FROM " ^ o))) outputs);
+  }
+
+let scenarios =
+  [
+    bitmap_scenario;
+    hash_scenario;
+    pair_scenario;
+    joinkey_scenario;
+    multistep_scenario;
+    eager_scenario;
+  ]
+
+let scenario_names = List.map (fun s -> s.sc_name) scenarios
+
+let find_scenario name =
+  match List.find_opt (fun s -> s.sc_name = name) scenarios with
+  | Some s -> s
+  | None -> invalid_arg ("Fault_sweep.find_scenario: unknown scenario " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+
+let first_diff oracle got =
+  let rec go = function
+    | [], [] -> "results equal"
+    | (label, o) :: _, [] | [], (label, o) :: _ ->
+        Printf.sprintf "missing result set %s (%d rows on the other side)" label
+          (List.length o)
+    | (lo, o) :: os, (lg, g) :: gs ->
+        if lo <> lg then Printf.sprintf "result sets diverge: %s vs %s" lo lg
+        else if o <> g then
+          Printf.sprintf "%s: oracle %d row(s), got %d row(s)%s" lo
+            (List.length o) (List.length g)
+            (match
+               List.find_opt
+                 (fun r -> not (List.mem r g))
+                 o
+             with
+            | Some r -> Printf.sprintf "; oracle-only row %S" r
+            | None -> (
+                match List.find_opt (fun r -> not (List.mem r o)) g with
+                | Some r -> Printf.sprintf "; extra row %S" r
+                | None -> "; multiplicities differ"))
+        else go (os, gs)
+  in
+  go (oracle, got)
+
+let run_cell ?(after = 0) sc oracle point =
+  Fault.arm ~after point;
+  let outcome =
+    try Ok (sc.sc_run ()) with
+    | Fault.Crash name ->
+        Error (Printf.sprintf "unrecovered crash at %s" name)
+    | e -> Error (Printexc.to_string e)
+  in
+  let fired = Fault.fired () in
+  Fault.disarm ();
+  match outcome with
+  | Ok got ->
+      let ok = got = oracle in
+      {
+        c_scenario = sc.sc_name;
+        c_point = point;
+        c_fired = fired;
+        c_ok = ok;
+        c_detail = (if ok then "" else first_diff oracle got);
+      }
+  | Error msg ->
+      { c_scenario = sc.sc_name; c_point = point; c_fired = fired; c_ok = false; c_detail = msg }
+
+let run_scenario ?(points = List.map fst (Fault.all ())) sc =
+  Fault.disarm ();
+  let oracle = sc.sc_run () in
+  List.map (run_cell sc oracle) points
+
+let run_sweep ?(names = scenario_names) ?points () =
+  List.concat_map
+    (fun name -> run_scenario ?points (find_scenario name))
+    names
+
+(* The bounded sweep arms, per scenario, only the points its engine path
+   can reach — every cell in it actually crashes and recovers.  Used by
+   the test suite and `make check`. *)
+let bounded_cells =
+  [
+    ("bitmap", [ Fault.p_mark_commit; Fault.p_flip_batched; Fault.p_bg_batch ]);
+    ("hash", [ Fault.p_mark_commit; Fault.p_flip_batched ]);
+    ("pair", [ Fault.p_pair_commit; Fault.p_pair_flip ]);
+    ("joinkey", [ Fault.p_mark_commit; Fault.p_flip_batched ]);
+    ("multistep", [ Fault.p_multistep_copy ]);
+    ("eager", [ Fault.p_eager_copy ]);
+  ]
+
+let run_bounded () =
+  List.concat_map
+    (fun (name, points) -> run_scenario ~points (find_scenario name))
+    bounded_cells
+
+let all_ok cells = List.for_all (fun c -> c.c_ok) cells
+
+let fired_count cells =
+  List.length (List.filter (fun c -> c.c_fired) cells)
+
+let pp_cell c =
+  Printf.sprintf "%-10s x %-15s %s %s%s" c.c_scenario
+    (Fault.name_of c.c_point)
+    (if c.c_fired then "crashed " else "no-crash")
+    (if c.c_ok then "ok" else "FAIL")
+    (if c.c_detail = "" then "" else ": " ^ c.c_detail)

@@ -207,10 +207,16 @@ let install ?(mode = Tracked) ?(page_size = 1) ?(stripes = 64) ?(nn = Nn_pair)
                       ignore (Executor.exec_stmt ctx txn ddl : Executor.result))
               | None ->
                   let columns = infer_output_schema catalog o.Migration.out_population in
-                  ignore
-                    (Catalog.create_table catalog o.Migration.out_name
-                       (Schema.make columns)
-                      : Heap.t));
+                  let heap =
+                    Catalog.create_table catalog o.Migration.out_name
+                      (Schema.make columns)
+                  in
+                  (* This path bypasses the executor, so log the DDL here:
+                     the output table must exist when the redo log is
+                     replayed into a fresh catalog. *)
+                  Redo_log.append_ddl db.Database.redo
+                    ~epoch:(Catalog.epoch catalog)
+                    (Schema.to_create_sql heap.Heap.name heap.Heap.schema));
               List.iter
                 (fun ddl ->
                   Database.with_txn db (fun txn ->
@@ -544,7 +550,12 @@ let register_tracker_flips t txn (wip : (rt_input * granule) list) =
                       (function _, G_tid g -> g | _, G_key _ -> assert false)
                       group
                   in
-                  Txn.on_commit txn (fun () -> Bitmap_tracker.mark_migrated_batch bt gs);
+                  Txn.on_commit txn (fun () ->
+                      Bitmap_tracker.mark_migrated_batch bt gs;
+                      (* after this group's flip, before any later group's:
+                         a crash here leaves the commit torn — data and log
+                         durable, tracker flips partial *)
+                      Fault.point Fault.p_flip_batched);
                   Txn.on_abort txn (fun () -> Bitmap_tracker.mark_aborted_batch bt gs)
               | RT_hash (ht, _) ->
                   let keys =
@@ -552,7 +563,9 @@ let register_tracker_flips t txn (wip : (rt_input * granule) list) =
                       (function _, G_key k -> k | _, G_tid _ -> assert false)
                       group
                   in
-                  Txn.on_commit txn (fun () -> Hash_tracker.mark_migrated_batch ht keys);
+                  Txn.on_commit txn (fun () ->
+                      Hash_tracker.mark_migrated_batch ht keys;
+                      Fault.point Fault.p_flip_batched);
                   Txn.on_abort txn (fun () -> Hash_tracker.mark_aborted_batch ht keys)
               | RT_none -> assert false))
         (List.rev !order)
@@ -699,6 +712,9 @@ let run_migration_txn t (report : report) stmt (wip : (rt_input * granule) list)
                 granule = redo_granule g;
               })
           wip;
+        (* marks recorded but the txn not yet committed: a crash here
+           loses data, log entry and tracker state together *)
+        Fault.point Fault.p_mark_commit;
         register_tracker_flips t txn wip;
         match t.abort_inject with
         | Some f when f () -> Db_error.txn_abort "injected migration abort"
@@ -859,12 +875,14 @@ let run_pair_txn t (report : report) pr (wip : Value.t array list) =
                 granule = Redo_log.G_group key;
               })
           wip;
+        Fault.point Fault.p_pair_commit;
         (* Batched flips: the pair tracker's partition latches are taken
            once per commit, not once per pair. *)
         (match t.mode with
         | Tracked ->
             Txn.on_commit txn (fun () ->
-                Hash_tracker.mark_migrated_batch pr.pr_tracker wip);
+                Hash_tracker.mark_migrated_batch pr.pr_tracker wip;
+                Fault.point Fault.p_pair_flip);
             Txn.on_abort txn (fun () ->
                 Hash_tracker.mark_aborted_batch pr.pr_tracker wip)
         | On_conflict ->
@@ -1130,7 +1148,9 @@ let background_step t report ~batch =
           if !collected <> [] then begin
             let before = report.r_granules_migrated in
             migrate_pairs t report pr (List.rev !collected);
-            migrated := !migrated + (report.r_granules_migrated - before)
+            migrated := !migrated + (report.r_granules_migrated - before);
+            (* between committed batches, outside any transaction *)
+            Fault.point Fault.p_bg_batch
           end
       | Some _ | None -> ());
       List.iter
@@ -1166,7 +1186,8 @@ let background_step t report ~batch =
                 if !collected <> [] then begin
                   let before = report.r_granules_migrated in
                   migrate_granules t report stmt (List.rev !collected);
-                  migrated := !migrated + (report.r_granules_migrated - before)
+                  migrated := !migrated + (report.r_granules_migrated - before);
+                  Fault.point Fault.p_bg_batch
                 end;
                 if Bitmap_tracker.complete bt then input.ri_bg_done <- true
             | RT_hash (ht, key_cols) ->
@@ -1198,7 +1219,8 @@ let background_step t report ~batch =
                 if !collected <> [] then begin
                   let before = report.r_granules_migrated in
                   migrate_granules t report stmt (List.rev !collected);
-                  migrated := !migrated + (report.r_granules_migrated - before)
+                  migrated := !migrated + (report.r_granules_migrated - before);
+                  Fault.point Fault.p_bg_batch
                 end)
         stmt.rs_inputs)
     t.stmts;

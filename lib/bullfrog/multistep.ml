@@ -90,6 +90,7 @@ let copier_step t ~batch =
   t.st.copied_granules <- t.st.copied_granules + n;
   t.st.copied_rows <-
     t.st.copied_rows + (t.report.Migrate_exec.r_rows_migrated - before_rows);
+  Fault.point Fault.p_multistep_copy;
   n
 
 (* ------------------------------------------------------------------ *)
@@ -299,6 +300,8 @@ let exec_in t txn ?params sql =
 
 let exec t ?params sql =
   Database.with_txn t.db (fun txn -> exec_stmt_in t txn (bind params (Parser.parse_one sql)))
+
+let runtime t = t.rt
 
 let complete t = Migrate_exec.complete t.rt
 

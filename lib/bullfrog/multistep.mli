@@ -31,6 +31,10 @@ val start :
 val copier_step : t -> batch:int -> int
 (** Copy up to [batch] granules; 0 when the copy is complete. *)
 
+val runtime : t -> Migrate_exec.t
+(** The underlying migration runtime (trackers double as copied-status);
+    exposed so crash tests can drive {!Recovery} against it. *)
+
 val exec :
   t ->
   ?params:Bullfrog_db.Value.t array ->

@@ -1,7 +1,10 @@
 open Bullfrog_db
 
-let rebuild (rt : Migrate_exec.t) (redo : Redo_log.t) =
+type rebuild_report = { rb_restored : int; rb_dropped : int }
+
+let rebuild_report (rt : Migrate_exec.t) (redo : Redo_log.t) =
   let restored = ref 0 in
+  let dropped = ref 0 in
   Redo_log.iter redo (fun record ->
       List.iter
         (fun (mark : Redo_log.migration_mark) ->
@@ -24,10 +27,12 @@ let rebuild (rt : Migrate_exec.t) (redo : Redo_log.t) =
                     then
                       match (input.Migrate_exec.ri_tracker, mark.Redo_log.granule) with
                       | Migrate_exec.RT_bitmap bt, Redo_log.G_tid g ->
-                          if
-                            g < Bitmap_tracker.granule_count bt
-                            && not (Bitmap_tracker.is_migrated bt g)
-                          then begin
+                          if g >= Bitmap_tracker.granule_count bt then
+                            (* heap shrank across the restart: the granule
+                               no longer exists; count it rather than lose
+                               it silently *)
+                            incr dropped
+                          else if not (Bitmap_tracker.is_migrated bt g) then begin
                             Bitmap_tracker.force_migrated bt g;
                             incr restored
                           end
@@ -43,7 +48,15 @@ let rebuild (rt : Migrate_exec.t) (redo : Redo_log.t) =
                   stmt.Migrate_exec.rs_inputs)
               rt.Migrate_exec.stmts)
         record.Redo_log.marks);
-  !restored
+  { rb_restored = !restored; rb_dropped = !dropped }
+
+let rebuild rt redo =
+  let r = rebuild_report rt redo in
+  if r.rb_dropped > 0 then
+    Logs.warn (fun m ->
+        m "Recovery.rebuild: %d granule mark(s) out of tracker range dropped"
+          r.rb_dropped);
+  r.rb_restored
 
 let simulate_crash (rt : Migrate_exec.t) =
   (* Rebuild the runtime structures from the spec, without re-creating the
@@ -128,3 +141,10 @@ let simulate_crash (rt : Migrate_exec.t) =
       rt.Migrate_exec.stmts
   in
   { rt with Migrate_exec.stmts }
+
+(* The full restart cycle: lose the volatile runtime, rebuild trackers
+   from the log.  What a process would do on its next boot. *)
+let recover (rt : Migrate_exec.t) =
+  let rt' = simulate_crash rt in
+  let report = rebuild_report rt' rt.Migrate_exec.db.Database.redo in
+  (rt', report)

@@ -7,13 +7,27 @@
     and will be re-migrated.  The paper lists this as unimplemented
     future work (footnote 5); it is implemented here. *)
 
+type rebuild_report = {
+  rb_restored : int;  (** granule statuses set back to migrated *)
+  rb_dropped : int;
+      (** [G_tid] marks beyond the rebuilt bitmap's granule range (the
+          heap shrank across the restart) — counted, not silently lost *)
+}
+
+val rebuild_report : Migrate_exec.t -> Bullfrog_db.Redo_log.t -> rebuild_report
+(** Only marks matching the runtime's migration id are applied; the match
+    is by input-table name and granule kind. *)
+
 val rebuild : Migrate_exec.t -> Bullfrog_db.Redo_log.t -> int
-(** Returns the number of granule statuses restored.  Only marks matching
-    the runtime's migration id are applied; the match is by input-table
-    name and granule kind. *)
+(** [rebuild_report] returning just the restored count (and logging a
+    warning when marks were dropped); kept for existing callers. *)
 
 val simulate_crash : Migrate_exec.t -> Migrate_exec.t
 (** Fresh runtime over the same database and spec with empty trackers —
     what a restart would reconstruct before replaying the log.  Output
     tables and their data survive (they are "disk"); only tracker state
     is lost. *)
+
+val recover : Migrate_exec.t -> Migrate_exec.t * rebuild_report
+(** [simulate_crash] followed by [rebuild_report] against the database's
+    own redo log: the whole restart cycle in one call. *)

@@ -20,12 +20,13 @@ type t = {
   txn_latch : Mutex.t;
   stmt_cache : (string, prepared) Hashtbl.t;
   stmt_latch : Mutex.t;
+  (* Migration marks accumulated per transaction id, drained at commit.
+     Per-database (not module-level): txn ids restart at 1 in every
+     database, so a shared table would cross-contaminate marks between
+     two live instances (the harness runs one per simulated system). *)
+  marks_tbl : (int, Redo_log.migration_mark list ref) Hashtbl.t;
+  marks_latch : Mutex.t;
 }
-
-(* Migration marks accumulated per transaction id, drained at commit. *)
-let marks_tbl : (int, Redo_log.migration_mark list ref) Hashtbl.t = Hashtbl.create 64
-
-let marks_latch = Mutex.create ()
 
 let create () =
   {
@@ -36,6 +37,8 @@ let create () =
     txn_latch = Mutex.create ();
     stmt_cache = Hashtbl.create 64;
     stmt_latch = Mutex.create ();
+    marks_tbl = Hashtbl.create 64;
+    marks_latch = Mutex.create ();
   }
 
 let exec_ctx t = { Executor.catalog = t.catalog; redo = t.redo }
@@ -47,23 +50,23 @@ let begin_txn t =
   Mutex.unlock t.txn_latch;
   Txn.make id
 
-let add_migration_mark _t (txn : Txn.t) mark =
-  Mutex.lock marks_latch;
-  (match Hashtbl.find_opt marks_tbl txn.Txn.id with
+let add_migration_mark t (txn : Txn.t) mark =
+  Mutex.lock t.marks_latch;
+  (match Hashtbl.find_opt t.marks_tbl txn.Txn.id with
   | Some cell -> cell := mark :: !cell
-  | None -> Hashtbl.replace marks_tbl txn.Txn.id (ref [ mark ]));
-  Mutex.unlock marks_latch
+  | None -> Hashtbl.replace t.marks_tbl txn.Txn.id (ref [ mark ]));
+  Mutex.unlock t.marks_latch
 
-let take_marks (txn : Txn.t) =
-  Mutex.lock marks_latch;
+let take_marks t (txn : Txn.t) =
+  Mutex.lock t.marks_latch;
   let marks =
-    match Hashtbl.find_opt marks_tbl txn.Txn.id with
+    match Hashtbl.find_opt t.marks_tbl txn.Txn.id with
     | Some cell ->
-        Hashtbl.remove marks_tbl txn.Txn.id;
+        Hashtbl.remove t.marks_tbl txn.Txn.id;
         List.rev !cell
     | None -> []
   in
-  Mutex.unlock marks_latch;
+  Mutex.unlock t.marks_latch;
   marks
 
 (* Derive the redo record from the undo log plus current heap state. *)
@@ -86,14 +89,14 @@ let redo_record (txn : Txn.t) marks =
   { Redo_log.txn_id = txn.Txn.id; writes = List.rev !writes; marks }
 
 let commit t (txn : Txn.t) =
-  let marks = take_marks txn in
+  let marks = take_marks t txn in
   if Vec.length txn.Txn.undo > 0 || marks <> [] then
     Redo_log.append t.redo (redo_record txn marks);
   Txn.commit txn;
   Lock_manager.release_all t.locks ~owner:txn.Txn.id
 
 let abort t (txn : Txn.t) =
-  ignore (take_marks txn);
+  ignore (take_marks t txn);
   Txn.abort txn;
   Lock_manager.release_all t.locks ~owner:txn.Txn.id
 
@@ -239,3 +242,39 @@ let explain t sql =
   match exec t ("EXPLAIN " ^ sql) with
   | Executor.Explained s -> s
   | _ -> Db_error.sql_error "explain: unexpected result"
+
+(* ------------------------------------------------------------------ *)
+(* Redo replay                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild a database from an (untruncated) redo log: DDL entries re-run
+   their SQL text against the fresh catalog, committed data writes apply
+   straight to the heaps at their original TIDs (no constraint
+   re-checking — they already passed once; [Heap.insert_at] pads the TID
+   gaps burned by aborted transactions, so bitmap granule numbering
+   survives the round trip).  Commit records are re-appended verbatim, so
+   the replayed database's own log still supports tracker rebuild. *)
+let replay (src : Redo_log.t) =
+  let t = create () in
+  List.iter
+    (fun (entry : Redo_log.entry) ->
+      match entry with
+      | Redo_log.E_ddl { d_sql; _ } ->
+          let stmt = Parser.parse_one d_sql in
+          with_txn t (fun txn ->
+              ignore (Executor.exec_stmt (exec_ctx t) txn stmt : Executor.result))
+      | Redo_log.E_commit r ->
+          List.iter
+            (fun (w : Redo_log.write) ->
+              match w with
+              | Redo_log.W_insert (tbl, tid, row) ->
+                  Heap.insert_at (Catalog.find_table_exn t.catalog tbl) tid row
+              | Redo_log.W_delete (tbl, tid) ->
+                  ignore (Heap.delete (Catalog.find_table_exn t.catalog tbl) tid : Heap.row)
+              | Redo_log.W_update (tbl, tid, row) ->
+                  ignore
+                    (Heap.update (Catalog.find_table_exn t.catalog tbl) tid row : Heap.row))
+            r.Redo_log.writes;
+          Redo_log.append t.redo r)
+    (Redo_log.entries src);
+  t

@@ -22,6 +22,10 @@ type t = {
   txn_latch : Mutex.t;
   stmt_cache : (string, prepared) Hashtbl.t;
   stmt_latch : Mutex.t;
+  marks_tbl : (int, Redo_log.migration_mark list ref) Hashtbl.t;
+      (** per-transaction migration marks, drained at commit; per-database
+          because txn ids restart at 1 in every instance *)
+  marks_latch : Mutex.t;
 }
 
 val create : unit -> t
@@ -74,3 +78,12 @@ val query_one : t -> ?params:Value.t array -> string -> Value.t array
 (** First row. @raise Db_error.Sql_error when the result is empty. *)
 
 val explain : t -> string -> string
+
+val replay : Redo_log.t -> t
+(** Rebuild a fresh database from an untruncated redo log: DDL entries
+    re-run their SQL against the new catalog; committed writes apply
+    directly to the heaps at their original TIDs (tombstone-padding the
+    gaps aborted transactions burned).  Commit records are re-appended to
+    the new database's log, so a second crash still recovers.  The result
+    is bit-exact: every table has the same TID layout and cell values as
+    the source database had at serialization time. *)

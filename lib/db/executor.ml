@@ -722,6 +722,14 @@ let infer_type (values : Value.t list) =
   in
   first values
 
+(* Catalog changes are logged at execution time (they apply immediately
+   and survive a rollback of the enclosing transaction, so commit time
+   would be wrong), tagged with the epoch they produced.  Replay re-runs
+   the SQL text against the fresh catalog before applying data writes. *)
+let log_ddl ctx (stmt : Ast.stmt) =
+  Redo_log.append_ddl ctx.redo ~epoch:(Catalog.epoch ctx.catalog)
+    (Pretty.stmt_to_string stmt)
+
 let create_table_as ctx txn name (q : Ast.select) =
   let planned = Planner.plan_select (planner_ctx ctx txn) q in
   let rows = run txn planned.Planner.plan in
@@ -741,6 +749,11 @@ let create_table_as ctx txn name (q : Ast.select) =
       names
   in
   let table = Catalog.create_table ctx.catalog name (Schema.make columns) in
+  (* The SELECT result must not replay (its rows are logged as ordinary
+     committed inserts), so log a plain CREATE TABLE of the inferred
+     schema rather than the CREATE TABLE AS text. *)
+  Redo_log.append_ddl ctx.redo ~epoch:(Catalog.epoch ctx.catalog)
+    (Schema.to_create_sql table.Heap.name table.Heap.schema);
   List.iter (fun row -> ignore (insert_row ctx txn table row : int option)) rows;
   List.length rows
 
@@ -976,6 +989,7 @@ let rec exec_stmt ?(params = [||]) ctx txn (stmt : Ast.stmt) : result =
         let schema = Schema.of_ast (String.lowercase_ascii name) columns constraints in
         let table = Catalog.create_table ctx.catalog name schema in
         auto_indexes ctx table;
+        log_ddl ctx stmt;
         Done "CREATE TABLE"
       end
   | Ast.Create_table_as { name; query } ->
@@ -983,6 +997,7 @@ let rec exec_stmt ?(params = [||]) ctx txn (stmt : Ast.stmt) : result =
       Done (Printf.sprintf "SELECT %d" n)
   | Ast.Create_view { name; query } ->
       Catalog.create_view ctx.catalog name query;
+      log_ddl ctx stmt;
       Done "CREATE VIEW"
   | Ast.Create_index { name; table; columns; unique; using } ->
       let heap = Catalog.find_table_exn ctx.catalog table in
@@ -998,6 +1013,7 @@ let rec exec_stmt ?(params = [||]) ctx txn (stmt : Ast.stmt) : result =
       let idx = Index.create ~kind ~name:(String.lowercase_ascii name) ~key_cols ~unique () in
       Heap.add_index heap idx;
       Catalog.register_index ctx.catalog ~table:heap.Heap.name idx;
+      log_ddl ctx stmt;
       Done "CREATE INDEX"
   | Ast.Drop { kind; name; if_exists } -> (
       match kind with
@@ -1005,12 +1021,14 @@ let rec exec_stmt ?(params = [||]) ctx txn (stmt : Ast.stmt) : result =
           if if_exists && Catalog.index_owner ctx.catalog name = None then Done "DROP INDEX"
           else begin
             Catalog.drop_index ctx.catalog name;
+            log_ddl ctx stmt;
             Done "DROP INDEX"
           end
       | Ast.Drop_table | Ast.Drop_view ->
           if if_exists && not (Catalog.exists ctx.catalog name) then Done "DROP"
           else begin
             Catalog.drop ctx.catalog name;
+            log_ddl ctx stmt;
             Done (match kind with Ast.Drop_table -> "DROP TABLE" | _ -> "DROP VIEW")
           end)
   | Ast.Alter_table { table; action } ->
@@ -1018,6 +1036,7 @@ let rec exec_stmt ?(params = [||]) ctx txn (stmt : Ast.stmt) : result =
       (* ALTER TABLE mutates the heap schema in place without going
          through a catalog mutator, so bump the epoch here. *)
       Catalog.bump_epoch ctx.catalog;
+      log_ddl ctx stmt;
       r
   | Ast.Insert { table; columns; source; on_conflict_do_nothing } ->
       let heap = Catalog.find_table_exn ctx.catalog table in

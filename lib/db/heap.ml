@@ -110,6 +110,30 @@ let insert_batch t rows =
       end;
       base)
 
+(* Exact-position insert for redo replay: committed inserts carry the tid
+   they were assigned originally, and aborted transactions burn tids, so
+   replay must reproduce the slot layout (bitmap granules are tid-derived)
+   rather than re-append.  Gaps are padded with tombstones. *)
+let insert_at t tid row =
+  with_latch t (fun () ->
+      let n = Vec.length t.slots in
+      if tid < n then begin
+        if Vec.get t.slots tid != tombstone then
+          invalid_arg
+            (Printf.sprintf "Heap.insert_at: tid %d of %s is occupied" tid t.name);
+        index_all t row tid;
+        Vec.set t.slots tid row;
+        t.live <- t.live + 1
+      end
+      else begin
+        for _ = n to tid - 1 do
+          Vec.push t.slots tombstone
+        done;
+        index_all t row tid;
+        Vec.push t.slots row;
+        t.live <- t.live + 1
+      end)
+
 let reserve t n =
   with_latch t (fun () ->
       Vec.reserve t.slots n tombstone;

@@ -35,6 +35,12 @@ val insert_batch : t -> row array -> int
     the batch (intra-batch duplicates included) the heap and every index
     are left exactly as before, and the violation is re-raised. *)
 
+val insert_at : t -> int -> row -> unit
+(** Redo-replay insert at an exact TID, padding any gap below it with
+    tombstones (aborted transactions burn TIDs; replay must reproduce the
+    original slot layout because bitmap granules are TID-derived).
+    @raise Invalid_argument when the slot is already occupied. *)
+
 val reserve : t -> int -> unit
 (** Capacity hint: pre-size the slot array and every index's hash store
     for [n] further rows (bulk loads skip incremental growth/rehash). *)

@@ -13,22 +13,290 @@ and granule_key = G_tid of int | G_group of Value.t array
 
 type record = { txn_id : int; writes : write list; marks : migration_mark list }
 
-type t = { entries : record Vec.t; latch : Mutex.t }
+type entry = E_ddl of { d_epoch : int; d_sql : string } | E_commit of record
 
-let create () = { entries = Vec.create (); latch = Mutex.create () }
+type t = {
+  entries : entry Vec.t;
+  latch : Mutex.t;
+  mutable commits : int;  (* E_commit entries currently in the log *)
+  mutable truncated : int;  (* entries dropped by checkpoints, cumulative *)
+}
+
+let create () =
+  { entries = Vec.create (); latch = Mutex.create (); commits = 0; truncated = 0 }
+
+let with_latch t f =
+  Mutex.lock t.latch;
+  match f () with
+  | v ->
+      Mutex.unlock t.latch;
+      v
+  | exception e ->
+      Mutex.unlock t.latch;
+      raise e
 
 let append t r =
-  Mutex.lock t.latch;
-  Vec.push t.entries r;
-  Mutex.unlock t.latch
+  with_latch t (fun () ->
+      Vec.push t.entries (E_commit r);
+      t.commits <- t.commits + 1)
 
-let length t = Vec.length t.entries
+let append_ddl t ~epoch sql =
+  with_latch t (fun () -> Vec.push t.entries (E_ddl { d_epoch = epoch; d_sql = sql }))
 
-let iter t f = Vec.iter f t.entries
+let length t = with_latch t (fun () -> t.commits)
 
-let records t = Vec.to_list t.entries
+let entry_count t = with_latch t (fun () -> Vec.length t.entries)
+
+let truncated t = with_latch t (fun () -> t.truncated)
+
+(* Reads take a snapshot under the latch and iterate outside it, so a
+   concurrent [append] can neither race the underlying Vec resize nor
+   deadlock against a reader that appends from its callback. *)
+let entries t = with_latch t (fun () -> Vec.to_list t.entries)
+
+let records t =
+  List.filter_map (function E_commit r -> Some r | E_ddl _ -> None) (entries t)
+
+let iter t f = List.iter f (records t)
+
+let iter_entries t f = List.iter f (entries t)
 
 let clear t =
-  Mutex.lock t.latch;
-  Vec.clear t.entries;
-  Mutex.unlock t.latch
+  with_latch t (fun () ->
+      Vec.clear t.entries;
+      t.commits <- 0)
+
+(* Truncate the log.  The heaps themselves are the checkpoint image in
+   this in-memory model, so replayable history can be dropped wholesale —
+   except migration marks, whose only durable home is the log: they are
+   folded into one synthetic record (txn_id 0) so tracker rebuild keeps
+   working after the checkpoint.  Returns the number of entries dropped. *)
+let checkpoint t =
+  with_latch t (fun () ->
+      let dropped = Vec.length t.entries in
+      let marks = ref [] in
+      Vec.iter
+        (function
+          | E_commit r -> marks := List.rev_append r.marks !marks
+          | E_ddl _ -> ())
+        t.entries;
+      Vec.clear t.entries;
+      t.commits <- 0;
+      t.truncated <- t.truncated + dropped;
+      (match List.rev !marks with
+      | [] -> ()
+      | marks ->
+          Vec.push t.entries (E_commit { txn_id = 0; writes = []; marks });
+          t.commits <- 1);
+      dropped)
+
+(* ------------------------------------------------------------------ *)
+(* Binary serialization                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed-width little-endian format.  Floats and timestamps are stored as
+   their IEEE-754 bit patterns so a serialize/deserialize round trip is
+   bit-exact (no decimal shortest-representation detour). *)
+
+let magic = "BFRL1\n"
+
+let put_int buf i = Buffer.add_int64_le buf (Int64.of_int i)
+
+let put_str buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_value buf (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_char buf '\000'
+  | Value.Int i ->
+      Buffer.add_char buf '\001';
+      put_int buf i
+  | Value.Float f ->
+      Buffer.add_char buf '\002';
+      Buffer.add_int64_le buf (Int64.bits_of_float f)
+  | Value.Str s ->
+      Buffer.add_char buf '\003';
+      put_str buf s
+  | Value.Bool b ->
+      Buffer.add_char buf '\004';
+      Buffer.add_char buf (if b then '\001' else '\000')
+  | Value.Date d ->
+      Buffer.add_char buf '\005';
+      put_int buf d
+  | Value.Timestamp ts ->
+      Buffer.add_char buf '\006';
+      Buffer.add_int64_le buf (Int64.bits_of_float ts)
+
+let put_row buf row =
+  put_int buf (Array.length row);
+  Array.iter (put_value buf) row
+
+let put_write buf = function
+  | W_insert (tbl, tid, row) ->
+      Buffer.add_char buf '\000';
+      put_str buf tbl;
+      put_int buf tid;
+      put_row buf row
+  | W_delete (tbl, tid) ->
+      Buffer.add_char buf '\001';
+      put_str buf tbl;
+      put_int buf tid
+  | W_update (tbl, tid, row) ->
+      Buffer.add_char buf '\002';
+      put_str buf tbl;
+      put_int buf tid;
+      put_row buf row
+
+let put_mark buf m =
+  put_int buf m.mig_id;
+  put_str buf m.mig_table;
+  match m.granule with
+  | G_tid g ->
+      Buffer.add_char buf '\000';
+      put_int buf g
+  | G_group key ->
+      Buffer.add_char buf '\001';
+      put_row buf key
+
+let put_entry buf = function
+  | E_ddl { d_epoch; d_sql } ->
+      Buffer.add_char buf '\000';
+      put_int buf d_epoch;
+      put_str buf d_sql
+  | E_commit r ->
+      Buffer.add_char buf '\001';
+      put_int buf r.txn_id;
+      put_int buf (List.length r.writes);
+      List.iter (put_write buf) r.writes;
+      put_int buf (List.length r.marks);
+      List.iter (put_mark buf) r.marks
+
+let serialize t =
+  let snapshot, truncated =
+    with_latch t (fun () -> (Vec.to_list t.entries, t.truncated))
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  put_int buf truncated;
+  put_int buf (List.length snapshot);
+  List.iter (put_entry buf) snapshot;
+  Buffer.contents buf
+
+(* Deserialization: a mutable cursor over the string; any structural
+   mismatch raises [Failure]. *)
+
+type cursor = { data : string; mutable pos : int }
+
+let fail_corrupt what = failwith (Printf.sprintf "Redo_log.deserialize: corrupt %s" what)
+
+let get_byte c =
+  if c.pos >= String.length c.data then fail_corrupt "byte";
+  let b = c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  Char.code b
+
+let get_int64 c =
+  if c.pos + 8 > String.length c.data then fail_corrupt "int64";
+  let v = String.get_int64_le c.data c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let get_int c = Int64.to_int (get_int64 c)
+
+let get_str c =
+  let n = get_int c in
+  if n < 0 || c.pos + n > String.length c.data then fail_corrupt "string";
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_value c : Value.t =
+  match get_byte c with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (get_int c)
+  | 2 -> Value.Float (Int64.float_of_bits (get_int64 c))
+  | 3 -> Value.Str (get_str c)
+  | 4 -> Value.Bool (get_byte c <> 0)
+  | 5 -> Value.Date (get_int c)
+  | 6 -> Value.Timestamp (Int64.float_of_bits (get_int64 c))
+  | _ -> fail_corrupt "value tag"
+
+let get_row c =
+  let n = get_int c in
+  if n < 0 then fail_corrupt "row arity";
+  Array.init n (fun _ -> get_value c)
+
+let get_write c =
+  match get_byte c with
+  | 0 ->
+      let tbl = get_str c in
+      let tid = get_int c in
+      W_insert (tbl, tid, get_row c)
+  | 1 ->
+      let tbl = get_str c in
+      W_delete (tbl, get_int c)
+  | 2 ->
+      let tbl = get_str c in
+      let tid = get_int c in
+      W_update (tbl, tid, get_row c)
+  | _ -> fail_corrupt "write tag"
+
+let get_mark c =
+  let mig_id = get_int c in
+  let mig_table = get_str c in
+  let granule =
+    match get_byte c with
+    | 0 -> G_tid (get_int c)
+    | 1 -> G_group (get_row c)
+    | _ -> fail_corrupt "granule tag"
+  in
+  { mig_id; mig_table; granule }
+
+let get_list c f =
+  let n = get_int c in
+  if n < 0 then fail_corrupt "list length";
+  List.init n (fun _ -> f c)
+
+let get_entry c =
+  match get_byte c with
+  | 0 ->
+      let d_epoch = get_int c in
+      E_ddl { d_epoch; d_sql = get_str c }
+  | 1 ->
+      let txn_id = get_int c in
+      let writes = get_list c get_write in
+      let marks = get_list c get_mark in
+      E_commit { txn_id; writes; marks }
+  | _ -> fail_corrupt "entry tag"
+
+let deserialize data =
+  let c = { data; pos = 0 } in
+  let m = String.length magic in
+  if String.length data < m || String.sub data 0 m <> magic then
+    fail_corrupt "magic header";
+  c.pos <- m;
+  let truncated = get_int c in
+  let n = get_int c in
+  if n < 0 then fail_corrupt "entry count";
+  let t = create () in
+  t.truncated <- truncated;
+  for _ = 1 to n do
+    let e = get_entry c in
+    Vec.push t.entries e;
+    match e with E_commit _ -> t.commits <- t.commits + 1 | E_ddl _ -> ()
+  done;
+  if c.pos <> String.length data then fail_corrupt "trailing bytes";
+  t
+
+let write_file t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (serialize t))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> deserialize (really_input_string ic (in_channel_length ic)))

@@ -4,7 +4,12 @@
     appends one record listing its writes; writes performed on behalf of a
     migration carry the migration id and granule key, which is what
     {!Bullfrog_core.Recovery} scans to rebuild tracker state after a
-    simulated crash (paper §3.5, footnote 5). *)
+    simulated crash (paper §3.5, footnote 5).
+
+    DDL is logged as its SQL text (tagged with the catalog epoch it
+    produced) so {!Database.replay} can rebuild a fresh catalog before
+    re-applying the data writes.  The log serializes to a compact binary
+    format; the round trip is bit-exact, floats included. *)
 
 type write =
   | W_insert of string * int * Value.t array  (** table, tid, row *)
@@ -21,16 +26,59 @@ and granule_key = G_tid of int | G_group of Value.t array
 
 type record = { txn_id : int; writes : write list; marks : migration_mark list }
 
+type entry =
+  | E_ddl of { d_epoch : int; d_sql : string }
+      (** catalog change, logged at execution time with the epoch it
+          produced *)
+  | E_commit of record
+
 type t
 
 val create : unit -> t
 
 val append : t -> record -> unit
 
+val append_ddl : t -> epoch:int -> string -> unit
+
 val length : t -> int
+(** Number of commit records in the log (DDL entries not counted). *)
+
+val entry_count : t -> int
+(** Total entries, DDL included. *)
+
+val truncated : t -> int
+(** Cumulative entries dropped by {!checkpoint}. *)
 
 val iter : t -> (record -> unit) -> unit
+(** Commit records, in append order.  Iterates a latched snapshot, so
+    concurrent appends neither race nor deadlock the callback. *)
 
 val records : t -> record list
 
+val entries : t -> entry list
+(** Every entry (DDL and commits interleaved), in append order. *)
+
+val iter_entries : t -> (entry -> unit) -> unit
+
+val checkpoint : t -> int
+(** Truncate the log, keeping recovery correct: the heaps are the
+    checkpoint image, so replay history is dropped, but outstanding
+    migration marks are folded into one synthetic record (txn_id 0) —
+    tracker rebuild still sees every committed granule.  Returns the
+    number of entries dropped.  A checkpointed log no longer supports
+    {!Database.replay} from empty. *)
+
 val clear : t -> unit
+
+val serialize : t -> string
+(** Snapshot the log into the binary format (magic ["BFRL1\n"]).  Floats
+    are stored as IEEE-754 bit patterns: [deserialize (serialize t)]
+    round-trips bit-exactly. *)
+
+val deserialize : string -> t
+(** @raise Failure on a corrupt or truncated buffer. *)
+
+val write_file : t -> string -> unit
+
+val read_file : string -> t
+(** @raise Failure on corrupt contents; [Sys_error] on I/O failure. *)

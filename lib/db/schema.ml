@@ -68,6 +68,19 @@ let rec compile_expr t (e : Ast.expr) : Expr.t =
   | Ast.Exists _ | Ast.Scalar_subquery _ ->
       Db_error.sql_error "subqueries are not allowed in this context"
 
+(* DDL text for the redo log: column names and types only.  Replay applies
+   committed rows directly to the heap (no constraint re-checking), so
+   constraints and defaults need not survive the round trip; indexes are
+   logged as their own CREATE INDEX entries. *)
+let to_create_sql name t =
+  let cols =
+    Array.to_list
+      (Array.map
+         (fun c -> Printf.sprintf "%s %s" c.name (Pretty.type_to_string c.ty))
+         t.columns)
+  in
+  Printf.sprintf "CREATE TABLE %s (%s)" name (String.concat ", " cols)
+
 let constraint_name = function
   | Check (n, _, _) -> n
   | Unique (n, _) -> n

@@ -53,4 +53,10 @@ val compile_expr : t -> Bullfrog_sql.Ast.expr -> Expr.t
     @raise Db_error.Sql_error on unknown columns, aggregates or
     subqueries. *)
 
+val to_create_sql : string -> t -> string
+(** [CREATE TABLE name (col type, ...)] — names and types only, for the
+    redo log's DDL entries.  Constraints, defaults and indexes are
+    deliberately omitted: replay applies already-committed rows straight
+    to the heap, and indexes have their own logged DDL. *)
+
 val constraint_name : constr -> string

@@ -44,7 +44,9 @@ let record t ~arrive ~finish ~kind =
     Histogram.add h lat
   end
 
-let mark t time label = t.marks <- t.marks @ [ { mk_time = time; mk_label = label } ]
+(* Stored newest-first (prepend is O(1); appending with [@] made a long
+   run's marking quadratic); [markers] restores chronological order. *)
+let mark t time label = t.marks <- { mk_time = time; mk_label = label } :: t.marks
 
 let throughput_series t = Array.mapi (fun i n -> (i, n)) t.buckets
 
@@ -57,7 +59,9 @@ let hist_for t kind =
   | Some k -> (
       match Hashtbl.find_opt t.latencies k with
       | Some h -> h
-      | None -> t.all_latencies)
+      (* an explicitly requested kind that was never recorded is an empty
+         histogram, not a silent fallback to the all-kinds latencies *)
+      | None -> Histogram.create ())
 
 let latency_cdf t ?kind n = Histogram.cdf_points (hist_for t kind) n
 
@@ -67,7 +71,7 @@ let latency_percentiles t ?kind ps =
 
 let completed t = t.total
 
-let markers t = t.marks
+let markers t = List.rev t.marks
 
 let mean_latency t ?kind () = Histogram.mean (hist_for t kind)
 
@@ -101,19 +105,20 @@ let render_series ?(width = 72) systems =
       (* marker ruler *)
       Buffer.add_string buf "  ";
       let ruler = Bytes.make cols ' ' in
+      let marks = markers t in
       List.iteri
         (fun i m ->
           let c = int_of_float m.mk_time / step in
           if c >= 0 && c < cols then
             Bytes.set ruler c (Char.chr (Char.code '1' + (i mod 9))))
-        t.marks;
+        marks;
       Buffer.add_string buf (Bytes.to_string ruler);
       Buffer.add_char buf '\n';
       List.iteri
         (fun i m ->
           Buffer.add_string buf
             (Printf.sprintf "    [%d] t=%.1fs %s\n" (i + 1) m.mk_time m.mk_label))
-        t.marks)
+        marks)
     systems;
   Buffer.contents buf
 

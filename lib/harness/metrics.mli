@@ -30,7 +30,10 @@ val throughput_series : t -> (int * int) array
 
 val latency_cdf : t -> ?kind:string -> int -> (float * float) list
 (** [latency_cdf t ~kind n]: [n] (latency, cumulative fraction) points for
-    transactions of [kind] (default: NewOrder, as in the paper). *)
+    transactions of [kind] (default: NewOrder, as in the paper, falling
+    back to all kinds when none were recorded).  An {e explicit} [kind]
+    never falls back: a kind with no recorded transactions yields an
+    empty histogram. *)
 
 val latency_percentiles : t -> ?kind:string -> float list -> (float * float) list
 (** (percentile, latency seconds). *)
@@ -38,6 +41,7 @@ val latency_percentiles : t -> ?kind:string -> float list -> (float * float) lis
 val completed : t -> int
 
 val markers : t -> marker list
+(** In chronological (marking) order. *)
 
 val mean_latency : t -> ?kind:string -> unit -> float
 

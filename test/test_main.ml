@@ -15,6 +15,7 @@ let () =
       ("trackers", Test_trackers.suite);
       ("bullfrog", Test_bullfrog.suite);
       ("pair", Test_pair.suite);
+      ("recovery", Test_recovery.suite);
       ("lazy-extra", Test_lazy_extra.suite);
       ("extensions", Test_extensions.suite);
       ("equivalence", Test_equivalence.suite);

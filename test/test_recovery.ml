@@ -1,0 +1,326 @@
+(* Durable redo replay and crash recovery: serialize/replay round trips,
+   checkpointing, mark rebuilds for every tracker shape, out-of-range
+   mark accounting, a randomised prefix-replay property, and the bounded
+   deterministic fault sweep. *)
+
+open Bullfrog_db
+open Bullfrog_core
+open Bullfrog_sql
+
+let check = Alcotest.check
+
+let count db tbl =
+  match Database.query_one db ("SELECT COUNT(*) FROM " ^ tbl) with
+  | [| Value.Int n |] -> n
+  | _ -> -1
+
+(* live (tid, row) set of a table — TID fidelity matters because bitmap
+   granules are TID-derived *)
+let table_sig db tbl =
+  let h = Catalog.find_table_exn db.Database.catalog tbl in
+  List.sort compare
+    (Heap.fold_live h ~init:[] ~f:(fun acc tid row ->
+         (tid, Array.to_list row) :: acc))
+
+(* ---------------- redo-log round trips ---------------- *)
+
+let mixed_workload () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       {|
+    CREATE TABLE t1 (id INT PRIMARY KEY, f FLOAT, s TEXT, ok BOOL, d DATE, ts TIMESTAMP);
+    CREATE INDEX t1_s ON t1 (s);
+  |});
+  for i = 0 to 9 do
+    ignore
+      (Database.exec db
+         ~params:
+           [|
+             Value.Int i;
+             Value.Float (1.0 /. float_of_int (i + 3));
+             Value.Str (Printf.sprintf "s%d" i);
+             Value.Bool (i mod 2 = 0);
+             Value.Date (18000 + i);
+             Value.Timestamp (1.5e9 +. (0.1 *. float_of_int i));
+           |]
+         "INSERT INTO t1 VALUES ($1, $2, $3, $4, $5, $6)"
+        : Executor.result)
+  done;
+  ignore (Database.exec db "UPDATE t1 SET s = 'updated' WHERE id = 3" : Executor.result);
+  ignore (Database.exec db "DELETE FROM t1 WHERE id = 7" : Executor.result);
+  (* an aborted transaction burns TIDs without contributing writes *)
+  (try
+     Database.with_txn db (fun txn ->
+         ignore
+           (Database.exec_in db txn
+              ~params:
+                [|
+                  Value.Int 99;
+                  Value.Float 0.5;
+                  Value.Str "doomed";
+                  Value.Bool true;
+                  Value.Date 18100;
+                  Value.Timestamp 1.6e9;
+                |]
+              "INSERT INTO t1 VALUES ($1, $2, $3, $4, $5, $6)"
+             : Executor.result);
+         raise Exit)
+   with Exit -> ());
+  ignore
+    (Database.exec db "CREATE TABLE t2 AS (SELECT id, s FROM t1 WHERE id < 5)"
+      : Executor.result);
+  db
+
+let redo_roundtrip () =
+  let db = mixed_workload () in
+  let bytes = Redo_log.serialize db.Database.redo in
+  let log' = Redo_log.deserialize bytes in
+  check Alcotest.bool "serialize is bit-exact after a round trip" true
+    (Redo_log.serialize log' = bytes);
+  check Alcotest.int "commit records preserved"
+    (Redo_log.length db.Database.redo)
+    (Redo_log.length log');
+  let db' = Database.replay log' in
+  check
+    Alcotest.(list string)
+    "same catalog"
+    (Catalog.table_names db.Database.catalog)
+    (Catalog.table_names db'.Database.catalog);
+  List.iter
+    (fun tbl ->
+      check Alcotest.bool ("table " ^ tbl ^ " replays identically") true
+        (table_sig db tbl = table_sig db' tbl))
+    (Catalog.table_names db.Database.catalog);
+  (* indexes came back via the replayed DDL *)
+  check Alcotest.int "index probe works on the replayed db" 1
+    (List.length (Database.query db' "SELECT * FROM t1 WHERE s = 'updated'"))
+
+let redo_file_roundtrip () =
+  let db = mixed_workload () in
+  let path = "bfredo_test.log" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Redo_log.write_file db.Database.redo path;
+      let log' = Redo_log.read_file path in
+      check Alcotest.bool "file round trip is bit-exact" true
+        (Redo_log.serialize log' = Redo_log.serialize db.Database.redo))
+
+let corrupt_rejected () =
+  let db = mixed_workload () in
+  let bytes = Redo_log.serialize db.Database.redo in
+  let truncated = String.sub bytes 0 (String.length bytes - 3) in
+  (match Redo_log.deserialize truncated with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "truncated log accepted");
+  match Redo_log.deserialize ("XX" ^ bytes) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted"
+
+(* ---------------- mark rebuilds per tracker shape ---------------- *)
+
+let mk_src_db rows =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v TEXT)");
+  Database.with_txn db (fun txn ->
+      for i = 0 to rows - 1 do
+        ignore
+          (Database.exec_in db txn
+             ~params:
+               [| Value.Int i; Value.Int (i mod 4); Value.Str (Printf.sprintf "v%d" i) |]
+             "INSERT INTO src VALUES ($1, $2, $3)"
+            : Executor.result)
+      done);
+  db
+
+let copy_spec () =
+  Migration.make ~name:"copy" ~drop_old:[ "src" ]
+    [
+      Migration.statement_of_sql ~name:"copy"
+        "CREATE TABLE dst AS (SELECT id, grp, v FROM src)";
+    ]
+
+let agg_spec () =
+  Migration.make ~name:"agg" ~drop_old:[ "src" ]
+    [
+      Migration.statement_of_sql ~name:"agg"
+        "CREATE TABLE agg AS (SELECT grp, COUNT(*) AS n FROM src GROUP BY grp)";
+    ]
+
+let hash_tracker_recovery () =
+  let db = mk_src_db 16 in
+  let bf = Lazy_db.create db in
+  let rt = Lazy_db.start_migration bf (agg_spec ()) in
+  ignore (Lazy_db.exec bf "SELECT * FROM agg WHERE grp = 2" : Executor.result);
+  check Alcotest.int "one group before crash" 1 (count db "agg");
+  let rt', report = Recovery.recover rt in
+  check Alcotest.int "group mark restored" 1 report.Recovery.rb_restored;
+  check Alcotest.int "nothing dropped" 0 report.Recovery.rb_dropped;
+  let rep = Migrate_exec.new_report () in
+  Migrate_exec.migrate_for_preds rt' rep
+    [ ("src", Some (Parser.parse_expr "grp = 2")) ];
+  check Alcotest.int "no re-migration of the recovered group" 0
+    rep.Migrate_exec.r_granules_migrated;
+  check Alcotest.int "no duplicate group rows" 1 (count db "agg")
+
+let shared_tracker_recovery () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       {|
+    CREATE TABLE a (a_id INT PRIMARY KEY, k INT, ax TEXT);
+    CREATE TABLE b (b_id INT PRIMARY KEY, k INT, bx TEXT);
+    CREATE INDEX a_k ON a (k);
+    CREATE INDEX b_k ON b (k);
+    INSERT INTO a VALUES (1,1,'a1'),(2,1,'a2'),(3,2,'a3');
+    INSERT INTO b VALUES (10,1,'b1'),(11,1,'b2'),(13,2,'b4');
+  |});
+  let bf = Lazy_db.create db in
+  let spec =
+    Migration.make ~name:"ab" ~drop_old:[ "a"; "b" ]
+      [
+        Migration.statement_of_sql ~name:"ab"
+          "CREATE TABLE ab AS (SELECT a_id, b_id, a.k AS k, ax, bx FROM a, b WHERE a.k = b.k)";
+      ]
+  in
+  let rt = Lazy_db.start_migration bf ~nn:Migrate_exec.Nn_join_key spec in
+  ignore (Lazy_db.exec bf "SELECT * FROM ab WHERE k = 1" : Executor.result);
+  check Alcotest.int "class k=1 pairs before crash" 4 (count db "ab");
+  let rt', report = Recovery.recover rt in
+  check Alcotest.bool "shared class mark restored" true (report.Recovery.rb_restored >= 1);
+  let rep = Migrate_exec.new_report () in
+  Migrate_exec.migrate_for_preds rt' rep
+    [ ("a", Some (Parser.parse_expr "k = 1")); ("b", Some (Parser.parse_expr "k = 1")) ];
+  check Alcotest.int "class not re-migrated" 0 rep.Migrate_exec.r_granules_migrated;
+  check Alcotest.int "no duplicate pairs" 4 (count db "ab")
+
+let checkpoint_preserves_marks () =
+  let db = mk_src_db 16 in
+  let bf = Lazy_db.create db in
+  let rt = Lazy_db.start_migration bf ~page_size:4 (copy_spec ()) in
+  ignore (Lazy_db.exec bf "SELECT * FROM dst WHERE id = 1" : Executor.result);
+  ignore (Lazy_db.background_step bf ~batch:1 : int);
+  let before = Redo_log.entry_count db.Database.redo in
+  let dropped = Redo_log.checkpoint db.Database.redo in
+  check Alcotest.bool "checkpoint dropped entries" true (dropped = before && dropped > 0);
+  check Alcotest.int "only the synthetic mark record remains" 1
+    (Redo_log.entry_count db.Database.redo);
+  check Alcotest.int "truncation accounted" before (Redo_log.truncated db.Database.redo);
+  let rt', report = Recovery.recover rt in
+  check Alcotest.int "both granules survive the checkpoint" 2 report.Recovery.rb_restored;
+  let rep = Migrate_exec.new_report () in
+  while Migrate_exec.background_step rt' rep ~batch:4 > 0 do
+    ()
+  done;
+  check Alcotest.bool "complete after drain" true (Migrate_exec.verify_complete rt');
+  check Alcotest.int "exactly once" 16 (count db "dst")
+
+let dropped_marks_reported () =
+  let db = mk_src_db 8 in
+  let bf = Lazy_db.create db in
+  let rt = Lazy_db.start_migration bf ~page_size:4 (copy_spec ()) in
+  let log = Redo_log.create () in
+  Redo_log.append log
+    {
+      Redo_log.txn_id = 42;
+      writes = [];
+      marks =
+        [
+          { Redo_log.mig_id = rt.Migrate_exec.mig_id; mig_table = "src"; granule = Redo_log.G_tid 0 };
+          { Redo_log.mig_id = rt.Migrate_exec.mig_id; mig_table = "src"; granule = Redo_log.G_tid 9999 };
+        ];
+    };
+  let rt' = Recovery.simulate_crash rt in
+  let report = Recovery.rebuild_report rt' log in
+  check Alcotest.int "in-range mark restored" 1 report.Recovery.rb_restored;
+  check Alcotest.int "out-of-range mark counted, not lost" 1 report.Recovery.rb_dropped
+
+(* ---------------- randomised prefix-replay property ---------------- *)
+
+(* Replaying the first j committed migration records restores exactly the
+   granules those records marked — no more, no fewer. *)
+let prefix_replay_prop =
+  let open QCheck in
+  Test.make ~name:"replaying a log prefix restores exactly that prefix" ~count:30
+    (int_range 0 100)
+    (fun j ->
+      let db = mk_src_db 12 in
+      let bf = Lazy_db.create db in
+      let rt = Lazy_db.start_migration bf ~page_size:1 (copy_spec ()) in
+      while Lazy_db.background_step bf ~batch:1 > 0 do
+        ()
+      done;
+      let records = Redo_log.records db.Database.redo in
+      let j = min j (List.length records) in
+      let prefix = Redo_log.create () in
+      List.iteri (fun i r -> if i < j then Redo_log.append prefix r) records;
+      let expected =
+        List.concat_map
+          (fun (r : Redo_log.record) ->
+            List.filter_map
+              (fun (m : Redo_log.migration_mark) ->
+                match m.Redo_log.granule with
+                | Redo_log.G_tid g when m.Redo_log.mig_id = rt.Migrate_exec.mig_id ->
+                    Some g
+                | _ -> None)
+              r.Redo_log.marks)
+          (List.filteri (fun i _ -> i < j) records)
+      in
+      let rt' = Recovery.simulate_crash rt in
+      let restored = Recovery.rebuild rt' db.Database.redo in
+      ignore (restored : int);
+      let rt'' = Recovery.simulate_crash rt in
+      let restored'' = Recovery.rebuild rt'' prefix in
+      if restored'' <> List.length expected then
+        Test.fail_reportf "restored %d granules, prefix marked %d" restored''
+          (List.length expected);
+      let bt =
+        List.find_map
+          (fun (s : Migrate_exec.rt_stmt) ->
+            List.find_map
+              (fun (i : Migrate_exec.rt_input) ->
+                match i.Migrate_exec.ri_tracker with
+                | Migrate_exec.RT_bitmap bt -> Some bt
+                | _ -> None)
+              s.Migrate_exec.rs_inputs)
+          rt''.Migrate_exec.stmts
+      in
+      match bt with
+      | None -> Test.fail_report "no bitmap tracker in the rebuilt runtime"
+      | Some bt ->
+          for g = 0 to Bitmap_tracker.granule_count bt - 1 do
+            let want = List.mem g expected in
+            if Bitmap_tracker.is_migrated bt g <> want then
+              Test.fail_reportf "granule %d: migrated=%b, prefix says %b g"
+                g
+                (Bitmap_tracker.is_migrated bt g)
+                want
+          done;
+          true)
+
+(* ---------------- bounded fault sweep ---------------- *)
+
+let bounded_fault_sweep () =
+  let cells = Fault_sweep.run_bounded () in
+  List.iter
+    (fun (c : Fault_sweep.cell) ->
+      check Alcotest.bool (Fault_sweep.pp_cell c) true c.Fault_sweep.c_ok;
+      check Alcotest.bool (Fault_sweep.pp_cell c ^ " (point reached)") true
+        c.Fault_sweep.c_fired)
+    cells;
+  check Alcotest.bool "sweep not empty" true (List.length cells >= 7)
+
+let suite =
+  [
+    Alcotest.test_case "redo round trip (serialize/replay)" `Quick redo_roundtrip;
+    Alcotest.test_case "redo file round trip" `Quick redo_file_roundtrip;
+    Alcotest.test_case "corrupt logs rejected" `Quick corrupt_rejected;
+    Alcotest.test_case "hash tracker recovery" `Quick hash_tracker_recovery;
+    Alcotest.test_case "shared (join-key) tracker recovery" `Quick shared_tracker_recovery;
+    Alcotest.test_case "checkpoint preserves marks" `Quick checkpoint_preserves_marks;
+    Alcotest.test_case "out-of-range marks reported" `Quick dropped_marks_reported;
+    QCheck_alcotest.to_alcotest prefix_replay_prop;
+    Alcotest.test_case "bounded fault sweep" `Slow bounded_fault_sweep;
+  ]
