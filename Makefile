@@ -1,9 +1,10 @@
 # Convenience targets; `make check` is the everything-gate: build, full
-# test suite, then a fast-profile smoke of the fig3 figure and the
-# migration-path wall-clock bench to catch shape-level regressions in the
-# reproduction and the bulk path alike.
+# test suite, then a fast-profile smoke of the fig3 figure, the
+# migration-path wall-clock bench, and the observability bench (which
+# fails if the disabled-instrumentation overhead leaves its 2% budget or
+# the migration trace stops validating).
 
-.PHONY: all build test bench bench-smoke check clean
+.PHONY: all build test bench bench-smoke obs-smoke check clean
 
 all: build
 
@@ -19,7 +20,10 @@ bench:
 bench-smoke:
 	BF_FAST=1 dune exec bench/main.exe -- fig3 migpath recovery
 
-check: build test bench-smoke
+obs-smoke:
+	BF_FAST=1 dune exec bench/main.exe -- obs
+
+check: build test bench-smoke obs-smoke
 
 clean:
 	dune clean

@@ -948,6 +948,270 @@ let recovery_bench () =
   say "  wrote BENCH_recovery.json";
   if failed <> [] then failwith "recovery fault sweep found divergent cells"
 
+(* ------------------------------------------------------------------ *)
+
+(* Observability: the instrumentation must be ~free when off.  Two
+   claims are checked and recorded:
+   1. disabled-path overhead: (ns per disabled [Counters.bump]) x (obs
+      calls per operation) is <2% of the operation itself on the two
+      hottest paths — the prepared point SELECT (qpath) and the bitmap
+      sweep (migpath);
+   2. a full lazy migration (flip -> lazy granules -> background drain
+      -> finalize) exports a well-formed Chrome trace. *)
+let obs_bench () =
+  say "\n=== observability: disabled-path overhead + trace export (BENCH_observability.json) ===";
+  let open Bullfrog_db in
+  let was_counting = Obs.Counters.enabled () in
+  Obs.Counters.set_enabled false;
+  Obs.Trace.disable ();
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let best_of_3 mk =
+    let t = ref infinity in
+    for _ = 1 to 3 do
+      t := min !t (mk ())
+    done;
+    !t
+  in
+  (* -- ns per disabled bump, two instruments:
+     [bump_ns] is the marginal cost inside a carrier loop doing
+     memory-read + arithmetic work (what a real call site looks like —
+     the atomic load and branch overlap with neighbouring work on a
+     superscalar core); [bump_ub_ns] is the serial cost of a bump-only
+     loop, a strict upper bound no overlap can beat. -- *)
+  let iters = match profile with Fast -> 10_000_000 | _ -> 50_000_000 in
+  let probe = Obs.Counters.make "bench.obs.probe" in
+  let carrier = Bytes.make 4096 '\x00' in
+  let sink = ref 0 in
+  let body i =
+    sink := !sink + Char.code (Bytes.unsafe_get carrier (i land 4095)) + (i land 7)
+  in
+  let loop_carrier_bump () =
+    time (fun () ->
+        for i = 1 to iters do
+          Obs.Counters.bump probe;
+          body i
+        done)
+  in
+  let loop_carrier () =
+    time (fun () ->
+        for i = 1 to iters do
+          body i
+        done)
+  in
+  let loop_bump_only () =
+    time (fun () ->
+        for _ = 1 to iters do
+          Obs.Counters.bump probe
+        done)
+  in
+  let loop_empty () =
+    time (fun () ->
+        for _ = 1 to iters do
+          ignore (Sys.opaque_identity probe)
+        done)
+  in
+  (* Each round measures its pair back-to-back, so scheduler and
+     frequency drift hit both sides alike; the minimum round diff is the
+     least-noise estimate of the (deterministic) cost, the median shows
+     what a typical round saw. *)
+  let rounds = 7 in
+  let paired f g =
+    let diffs =
+      Array.init rounds (fun _ ->
+          max 0.0 ((f () -. g ()) /. float_of_int iters *. 1e9))
+    in
+    Array.sort compare diffs;
+    (diffs.(0), diffs.(rounds / 2))
+  in
+  let bump_ns, bump_med_ns = paired loop_carrier_bump loop_carrier in
+  let serial_min, serial_med = paired loop_bump_only loop_empty in
+  let bump_ub_ns = max bump_med_ns serial_med in
+  ignore (Sys.opaque_identity !sink);
+  say "  disabled bump   %.2f ns/call in context (median %.2f), %.2f ns/call serial (median %.2f)"
+    bump_ns bump_med_ns serial_min serial_med;
+  (* -- qpath: prepared point SELECT -- *)
+  let rows = 1_000 in
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT, w INT)"
+      : Executor.result);
+  Database.with_txn db (fun txn ->
+      for k = 0 to rows - 1 do
+        ignore
+          (Executor.exec_stmt (Database.exec_ctx db) txn
+             (Bullfrog_sql.Parser.parse_one
+                (Printf.sprintf "INSERT INTO kv VALUES (%d, 'val%d', %d)" k k (k * 3)))
+            : Executor.result)
+      done);
+  let sql = "SELECT v, w FROM kv WHERE k = $1 AND w >= 0" in
+  let run_ops n =
+    for i = 0 to n - 1 do
+      ignore (Database.exec db ~params:[| Value.Int (i mod rows) |] sql : Executor.result)
+    done
+  in
+  run_ops 1_000 (* warm the statement/plan caches *);
+  let qops = match profile with Fast -> 20_000 | _ -> 100_000 in
+  let q_op_ns = best_of_3 (fun () -> time (fun () -> run_ops qops)) /. float_of_int qops *. 1e9 in
+  Obs.Counters.set_enabled true;
+  let q_on_ns = best_of_3 (fun () -> time (fun () -> run_ops qops)) /. float_of_int qops *. 1e9 in
+  let s0 = Obs.Counters.snapshot () in
+  run_ops 1_000;
+  let s1 = Obs.Counters.snapshot () in
+  Obs.Counters.set_enabled false;
+  let counted d = List.fold_left (fun acc (_, v) -> acc + v) 0 d in
+  (* Counter-event sum per op: stmt-cache hit + plan-cache hit + index
+     probe + chain hops.  Charging one obs call per event over-counts
+     slightly (the probe and its hops share one enabled-check), which
+     keeps the estimate conservative. *)
+  let q_calls = float_of_int (counted (Obs.Counters.diff s1 s0)) /. 1_000.0 in
+  let q_overhead = bump_ns *. q_calls /. q_op_ns *. 100.0 in
+  let q_overhead_ub = bump_ub_ns *. q_calls /. q_op_ns *. 100.0 in
+  say "  qpath   %8.0f ns/op   %5.2f obs events/op   overhead %.4f%% (<=%.4f%%)" q_op_ns
+    q_calls q_overhead q_overhead_ub;
+  say "  qpath   enabled A/B: %8.0f ns/op counting  (%+.1f%%)" q_on_ns
+    ((q_on_ns -. q_op_ns) /. q_op_ns *. 100.0);
+  (* -- migpath: word-level bitmap sweep.  Skip tallies are batched into
+     one [add] per tracker call (at most two obs calls per slice), so
+     calls/granule comes from the slice count; the counter's value still
+     reports every word skipped. -- *)
+  let granules = match profile with Fast -> 200_000 | _ -> 1_000_000 in
+  let slices = ref 0 in
+  let sweep () =
+    let bt = Bitmap_tracker.create ~size:granules () in
+    slices := 0;
+    time (fun () ->
+        let cursor = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          match Bitmap_tracker.next_unmigrated_run bt ~from:!cursor with
+          | None -> continue_ := false
+          | Some (start, len) ->
+              incr slices;
+              let len = min len 4096 in
+              let wip, _, _ = Bitmap_tracker.try_acquire_run bt ~start ~len in
+              List.iter
+                (fun (s, l) -> Bitmap_tracker.mark_migrated_run bt ~start:s ~len:l)
+                wip;
+              cursor := start + len
+        done)
+  in
+  let m_op_ns = best_of_3 sweep /. float_of_int granules *. 1e9 in
+  Obs.Counters.set_enabled true;
+  let s0 = Obs.Counters.snapshot () in
+  ignore (sweep () : float);
+  let s1 = Obs.Counters.snapshot () in
+  Obs.Counters.set_enabled false;
+  let m_events =
+    float_of_int (counted (Obs.Counters.diff s1 s0)) /. float_of_int granules
+  in
+  let m_calls = 2.0 *. float_of_int !slices /. float_of_int granules in
+  let m_overhead = bump_ub_ns *. m_calls /. m_op_ns *. 100.0 in
+  say "  migpath %8.2f ns/granule   %.5f obs calls/granule (%.3f events)   overhead %.4f%%"
+    m_op_ns m_calls m_events m_overhead;
+  (* -- trace: full lazy migration, exported and validated -- *)
+  Obs.Trace.enable ~capacity:65_536 ();
+  let db2 = Database.create () in
+  ignore (Database.exec db2 "CREATE TABLE src (id INT PRIMARY KEY, a INT, b INT)"
+      : Executor.result);
+  let nsrc = 3_000 in
+  Database.with_txn db2 (fun txn ->
+      for k = 0 to nsrc - 1 do
+        ignore
+          (Executor.exec_stmt (Database.exec_ctx db2) txn
+             (Bullfrog_sql.Parser.parse_one
+                (Printf.sprintf "INSERT INTO src VALUES (%d, %d, %d)" k (k * 2) (k * 3)))
+            : Executor.result)
+      done);
+  let bf = Lazy_db.create db2 in
+  let spec =
+    Migration.make ~name:"obs_mig" ~drop_old:[ "src" ]
+      [
+        Migration.statement_of_sql ~name:"dst"
+          "CREATE TABLE dst AS (SELECT id, a + b AS s FROM src)";
+      ]
+  in
+  ignore (Lazy_db.start_migration bf spec : Migrate_exec.t);
+  for i = 0 to 49 do
+    ignore
+      (Lazy_db.exec bf (Printf.sprintf "SELECT s FROM dst WHERE id = %d" (i * 53 mod nsrc))
+        : Executor.result)
+  done;
+  let rec drain () = if Lazy_db.background_step bf ~batch:256 > 0 then drain () in
+  drain ();
+  Lazy_db.finalize bf;
+  let events = Obs.Trace.export () in
+  let spans =
+    match Obs.Trace.validate events with
+    | Ok n -> n
+    | Error msg -> failwith ("observability: invalid trace: " ^ msg)
+  in
+  List.iter
+    (fun name ->
+      if not (List.exists (fun (e : Obs.Trace.event) -> e.Obs.Trace.ev_name = name) events)
+      then failwith ("observability: trace is missing the " ^ name ^ " span"))
+    [ "flip"; "lazy-migrate"; "bg-batch"; "finalize" ];
+  let trace_file = "migration.trace.json" in
+  let n_events =
+    match Obs.Trace.write_chrome trace_file with
+    | Ok n -> n
+    | Error msg -> failwith ("observability: trace export failed: " ^ msg)
+  in
+  Obs.Trace.disable ();
+  Obs.Counters.set_enabled was_counting;
+  say "  trace   %d event(s), %d complete span(s) -> %s (chrome://tracing)" n_events spans
+    trace_file;
+  let oc = open_out "BENCH_observability.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "observability",
+  "profile": "%s",
+  "seed": %d,
+  "overhead_budget_pct": 2.0,
+  "disabled_bump_ns": {
+    "in_context_min": %.3f,
+    "in_context_median": %.3f,
+    "serial_min": %.3f,
+    "serial_median": %.3f
+  },
+  "qpath": {
+    "op": "prepared point SELECT (cached plan, compiled closures)",
+    "op_ns": %.1f,
+    "obs_events_per_op": %.2f,
+    "overhead_pct": %.4f,
+    "overhead_pct_serial_bound": %.4f,
+    "counters_enabled_op_ns": %.1f
+  },
+  "migpath": {
+    "op": "bitmap sweep granule (word-level scan + batched acquire)",
+    "op_ns": %.3f,
+    "obs_calls_per_op": %.5f,
+    "counter_events_per_op": %.3f,
+    "overhead_pct_serial_bound": %.4f
+  },
+  "trace": {
+    "scenario": "flip -> 50 lazy point queries -> background drain -> finalize",
+    "file": "%s",
+    "events": %d,
+    "complete_spans": %d
+  }
+}
+|}
+    (match profile with Fast -> "fast" | Standard -> "standard" | Full -> "full")
+    seed bump_ns bump_med_ns serial_min serial_med q_op_ns q_calls q_overhead
+    q_overhead_ub q_on_ns m_op_ns m_calls m_events m_overhead trace_file n_events spans;
+  close_out oc;
+  say "  wrote BENCH_observability.json";
+  (* qpath is gated on the in-context marginal cost — its call sites sit
+     between hash probes whose latency the disabled branch overlaps with;
+     the serial no-overlap bound is reported alongside.  migpath is gated
+     on the serial bound: with skip tallies batched into one add per
+     tracker call, even the conservative charge is far under budget. *)
+  if q_overhead >= 2.0 || m_overhead >= 2.0 then
+    failwith "observability: disabled-path overhead exceeds the 2% budget"
+
 let all_figures =
   [
     ("fig3", fig3_4);
@@ -962,6 +1226,7 @@ let all_figures =
     ("qpath", qpath);
     ("migpath", migpath);
     ("recovery", recovery_bench);
+    ("obs", obs_bench);
   ]
 
 let aliases = [ ("fig4", "fig3"); ("fig6", "fig5"); ("fig8", "fig7") ]

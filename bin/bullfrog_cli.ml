@@ -5,11 +5,17 @@
          submit a single-step schema migration (logical switch)
      \bg [batch]      run one background-migration batch
      \drain           run background migration to completion
-     \progress        migration progress and tracker statistics
+     \progress        migration progress, lazy/background split, ETA and
+                      tracker statistics
      \finalize        drop the migrated input tables
      \tpcc [scale]    load a TPC-C database (tiny|small)
      \tables          list relations
+     \obs             engine counters and subsystem stats (Obs.snapshot)
+     \trace [file]    dump recorded spans as a Chrome trace_event JSON
      \q               quit
+
+   EXPLAIN ANALYZE <select> executes the query and annotates each plan
+   node with its actual rows/loops/time.
 
    Everything else is executed as SQL through the BullFrog façade, so
    requests against tables under migration trigger lazy migration exactly
@@ -63,8 +69,8 @@ let show_progress bf =
   match Lazy_db.active bf with
   | None -> say "no migration in progress"
   | Some rt ->
-      say "progress: %.1f%%  complete: %b" (100.0 *. Migrate_exec.progress rt)
-        (Migrate_exec.complete rt);
+      say "%s" (Migrate_exec.format_progress (Migrate_exec.progress_report rt));
+      say "complete: %b" (Migrate_exec.complete rt);
       List.iter
         (fun (stmt : Migrate_exec.rt_stmt) ->
           List.iter
@@ -92,6 +98,10 @@ let show_progress bf =
         rt.Migrate_exec.stmts
 
 let () =
+  (* Counters and tracing are cheap at interactive rates; having them on
+     makes \obs and \trace useful without a restart. *)
+  Obs.Counters.set_enabled true;
+  Obs.Trace.enable ();
   let db = Database.create () in
   let bf = Lazy_db.create db in
   say "BullFrog shell — lazy single-step schema evolution (type \\q to quit)";
@@ -134,6 +144,14 @@ let () =
                    say "migrated %d granule(s); complete: %b" !total
                      (Lazy_db.migration_complete bf)
                | "\\progress" -> show_progress bf
+               | "\\obs" -> print_string (Obs.render (Obs.snapshot ()))
+               | "\\trace" ->
+                   let file =
+                     match String.trim rest with "" -> "cli.trace.json" | f -> f
+                   in
+                   (match Obs.Trace.write_chrome file with
+                   | Ok n -> say "wrote %d span(s) to %s" n file
+                   | Error msg -> say "trace export failed: %s" msg)
                | "\\finalize" ->
                    Lazy_db.finalize bf;
                    say "finalized"

@@ -148,13 +148,22 @@ let free t g = byte_of t g land (migrate_mask g lor lock_mask g) = 0
 (* Word-level free-granule finder: skip fully settled 8-byte words (32
    granules per probe).  Reads are unlatched like the [try_acquire] fast
    path — a stale word only makes the caller re-check a granule under the
-   latch. *)
+   latch.  Skips are tallied locally and published with one [add] per
+   call — a word-scan can cover the whole bitmap, and one obs call per
+   word would dominate the 1-2 ns word test itself. *)
+let c_word_skips = Obs.Counters.make "core.bitmap.word_skips"
+
 let find_free t ~from =
   let bits = t.bits in
   let nbytes = Bytes.length bits in
   let aligned g = g land (granules_per_word - 1) = 0 in
   let byte_idx g = g / granules_per_byte in
   let word_readable g = byte_idx g + word_bytes <= nbytes in
+  let skips = ref 0 in
+  let publish r =
+    if !skips > 0 then Obs.Counters.add c_word_skips !skips;
+    r
+  in
   let rec find g =
     if g >= t.granules then None
     else if aligned g && word_readable g then begin
@@ -162,7 +171,10 @@ let find_free t ~from =
       let occ =
         Int64.logand (Int64.logor w (Int64.shift_right_logical w 1)) settled_mask
       in
-      if Int64.equal occ settled_mask then find (g + granules_per_word)
+      if Int64.equal occ settled_mask then begin
+        incr skips;
+        find (g + granules_per_word)
+      end
       else scan g (min (g + granules_per_word) t.granules)
     end
     else if free t g then Some g
@@ -174,7 +186,7 @@ let find_free t ~from =
     else if free t g then Some g
     else scan (g + 1) limit
   in
-  find (max from 0)
+  publish (find (max from 0))
 
 let first_unmigrated t ~from = find_free t ~from
 
@@ -189,16 +201,21 @@ let next_unmigrated_run t ~from =
   match find_free t ~from with
   | None -> None
   | Some start ->
+      let skips = ref 0 in
       let rec extend g =
         if g >= t.granules then g
         else if
           aligned g && word_readable g
           && Int64.equal (Bytes.get_int64_ne bits (byte_idx g)) 0L
-        then extend (g + granules_per_word)
+        then begin
+          incr skips;
+          extend (g + granules_per_word)
+        end
         else if free t g then extend (g + 1)
         else g
       in
       let stop = extend (start + 1) in
+      if !skips > 0 then Obs.Counters.add c_word_skips !skips;
       (* the run may poke into the padding of its last word; clamp *)
       Some (start, min stop t.granules - start)
 

@@ -97,9 +97,40 @@ let precheck_unique t (spec : Migration.t) =
     spec.Migration.statements;
   List.rev !failures
 
+(* Expose tracker-level migration progress through [Obs.snapshot].  A
+   fixed provider name + replace-on-register keeps repeated migrations
+   (and repeated [Lazy_db.create]s in tests) from accumulating thunks. *)
+let register_migration_stats t =
+  Obs.register_stats "bullfrog.migration" (fun () ->
+      match t.act with
+      | None -> []
+      | Some act ->
+          let pg = Migrate_exec.progress_report act.rt in
+          [
+            {
+              Obs.st_source = "migration";
+              st_name = act.rt.Migrate_exec.spec.Migration.name;
+              st_fields =
+                [
+                  ("fraction", pg.Migrate_exec.pg_fraction);
+                  ("granules_migrated", float_of_int pg.Migrate_exec.pg_granules_migrated);
+                  ("granules_total", float_of_int pg.Migrate_exec.pg_granules_total);
+                  ("lazy", float_of_int pg.Migrate_exec.pg_lazy);
+                  ("bg", float_of_int pg.Migrate_exec.pg_bg);
+                  ("already", float_of_int pg.Migrate_exec.pg_already);
+                  ("skip_waits", float_of_int pg.Migrate_exec.pg_skip_waits);
+                  ("aborts", float_of_int pg.Migrate_exec.pg_aborts);
+                ];
+            };
+          ])
+
 let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off) t
     (spec : Migration.t) =
   if t.act <> None then err "a schema migration is already in progress";
+  (* The logical switch itself (§2): cold, so the span is unconditional. *)
+  Obs.Trace.with_span ~cat:"migration" "flip"
+    ~args:[ ("migration", spec.Migration.name) ]
+  @@ fun () ->
   (match precheck with
   | `Off -> ()
   | (`Error | `Warn) as level -> (
@@ -140,6 +171,7 @@ let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off) t
       spec.Migration.statements
   in
   t.act <- Some { rt; shadow; output_names; cumulative = Migrate_exec.new_report () };
+  register_migration_stats t;
   t.dropped <- t.dropped @ spec.Migration.drop_old;
   (* The logical switch changes what every cached plan would resolve to
      (output tables exist, old names are rejected): invalidate them. *)
@@ -167,7 +199,7 @@ let rec tables_of_stmt (stmt : Ast.stmt) =
       String.lowercase_ascii table
       :: (match source with Ast.Query q -> tables_of_select q | Ast.Values _ -> [])
   | Ast.Update { table; _ } | Ast.Delete { table; _ } -> [ String.lowercase_ascii table ]
-  | Ast.Explain inner -> tables_of_stmt inner
+  | Ast.Explain { stmt = inner; _ } -> tables_of_stmt inner
   | Ast.Create_table_as { query; _ } | Ast.Create_view { query; _ } ->
       tables_of_select query
   | Ast.Create_table _ | Ast.Create_index _ | Ast.Drop _ | Ast.Alter_table _
@@ -374,7 +406,7 @@ let extract_predicates_for_active t act (stmt : Ast.stmt) =
               | _ -> []
             in
             merge_preds base conservative)
-  | Ast.Explain inner -> (
+  | Ast.Explain { stmt = inner; _ } -> (
       match inner with
       | Ast.Select_stmt s -> extract_from_select act s
       | _ -> [])
@@ -520,6 +552,9 @@ let finalize t =
       if not (Migrate_exec.complete act.rt) then
         err "cannot finalize migration %S: physical migration is incomplete"
           act.rt.Migrate_exec.spec.Migration.name;
+      Obs.Trace.with_span ~cat:"migration" "finalize"
+        ~args:[ ("migration", act.rt.Migrate_exec.spec.Migration.name) ]
+      @@ fun () ->
       (* The old input tables can now be dropped (paper §2.2). *)
       let inputs =
         List.concat_map
@@ -535,4 +570,5 @@ let finalize t =
             Catalog.drop t.database.Database.catalog name)
         (List.sort_uniq String.compare inputs);
       t.act <- None;
+      Obs.unregister_stats "bullfrog.migration";
       Catalog.bump_epoch t.database.Database.catalog

@@ -63,6 +63,17 @@ type t = {
   page_size : int;
   mutable abort_inject : (unit -> bool) option;
   mutable listener : (granule_event -> unit) option;
+  (* Live telemetry: committed granules attributed to the lazy path vs
+     background batches, contention tallies, and a bounded list of
+     (wallclock, migrated-so-far) samples feeding the ETA estimate.
+     Maintained unconditionally — a few integer stores per batch — so
+     progress reporting works without enabling Obs counters. *)
+  mutable tele_lazy : int;
+  mutable tele_bg : int;
+  mutable tele_already : int;
+  mutable tele_skip_waits : int;
+  mutable tele_aborts : int;
+  mutable tele_samples : (float * int) list;  (* newest first *)
 }
 
 type report = {
@@ -187,6 +198,11 @@ let infer_output_schema catalog (population : Ast.select) =
 
 let install ?(mode = Tracked) ?(page_size = 1) ?(stripes = 64) ?(nn = Nn_pair)
     ?(fk_join = `Tuple) ~mig_id db (spec : Migration.t) =
+  (* Installation is the logical switch (§3.2) — rare and cold, so the
+     span is unconditional. *)
+  Obs.Trace.with_span ~cat:"migration" "install"
+    ~args:[ ("migration", spec.Migration.name) ]
+  @@ fun () ->
   let catalog = db.Database.catalog in
   let ctx = Database.exec_ctx db in
   let uid_counter = ref 0 in
@@ -364,7 +380,22 @@ let install ?(mode = Tracked) ?(page_size = 1) ?(stripes = 64) ?(nn = Nn_pair)
         { rs_name = stmt.Migration.stmt_name; rs_outputs = outputs; rs_inputs = inputs; rs_pair })
       spec.Migration.statements
   in
-  { mig_id; spec; stmts; db; mode; page_size; abort_inject = None; listener = None }
+  {
+    mig_id;
+    spec;
+    stmts;
+    db;
+    mode;
+    page_size;
+    abort_inject = None;
+    listener = None;
+    tele_lazy = 0;
+    tele_bg = 0;
+    tele_already = 0;
+    tele_skip_waits = 0;
+    tele_aborts = 0;
+    tele_samples = [];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Granule <-> rows                                                    *)
@@ -630,7 +661,8 @@ let run_migration_txn t (report : report) stmt (wip : (rt_input * granule) list)
   if wip = [] then ()
   else begin
     report.r_txns <- report.r_txns + 1;
-    Database.with_txn t.db (fun txn ->
+    let txn_body () =
+      Database.with_txn t.db (fun txn ->
         let shadow = Catalog.create () in
         List.iter
           (fun input ->
@@ -719,6 +751,14 @@ let run_migration_txn t (report : report) stmt (wip : (rt_input * granule) list)
         match t.abort_inject with
         | Some f when f () -> Db_error.txn_abort "injected migration abort"
         | Some _ | None -> ())
+    in
+    (* Migration transactions are not per-request-hot, but a high-QPS
+       workload can run many: skip the closure hand-off when disabled. *)
+    if not (Obs.Trace.enabled ()) then txn_body ()
+    else
+      Obs.Trace.with_span ~cat:"migration" "mig-txn"
+        ~args:[ ("granules", string_of_int (List.length wip)) ]
+        txn_body
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1030,7 +1070,25 @@ let pair_candidates t report pr (preds : (string * Ast.expr option) list) =
           rows_a
   end
 
-let migrate_for_preds ?(stmt_filter = fun (_ : rt_stmt) -> true) t report
+let c_granules_lazy = Obs.Counters.make "core.migrate.granules_lazy"
+
+let c_granules_bg = Obs.Counters.make "core.migrate.granules_bg"
+
+(* Rate samples: (wallclock, granules committed so far by this runtime),
+   newest first, enough history to smooth over bursty batches without
+   remembering the whole run. *)
+let tele_sample_cap = 32
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let note_sample t =
+  let migrated = t.tele_lazy + t.tele_bg in
+  t.tele_samples <-
+    (Unix.gettimeofday (), migrated) :: take (tele_sample_cap - 1) t.tele_samples
+
+let migrate_for_preds_inner ?(stmt_filter = fun (_ : rt_stmt) -> true) t report
     (preds : (string * Ast.expr option) list) =
   (* Candidate granules are gathered per statement and per tracker group:
      inputs sharing a tracker (the two sides of an n:n join) share one
@@ -1111,11 +1169,30 @@ let migrate_for_preds ?(stmt_filter = fun (_ : rt_stmt) -> true) t report
       if !candidates <> [] then migrate_granules t report stmt (List.rev !candidates))
     t.stmts
 
+(* Wrapper attributing this call's report deltas to the lazy path. *)
+let migrate_for_preds ?stmt_filter t report preds =
+  let m0 = report.r_granules_migrated
+  and a0 = report.r_granules_already
+  and w0 = report.r_skip_waits
+  and b0 = report.r_aborts in
+  let run () = migrate_for_preds_inner ?stmt_filter t report preds in
+  (if not (Obs.Trace.enabled ()) then run ()
+   else Obs.Trace.with_span ~cat:"migration" "lazy-migrate" run);
+  let dm = report.r_granules_migrated - m0 in
+  t.tele_already <- t.tele_already + (report.r_granules_already - a0);
+  t.tele_skip_waits <- t.tele_skip_waits + (report.r_skip_waits - w0);
+  t.tele_aborts <- t.tele_aborts + (report.r_aborts - b0);
+  if dm > 0 then begin
+    t.tele_lazy <- t.tele_lazy + dm;
+    Obs.Counters.add c_granules_lazy dm;
+    note_sample t
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Background migration (§2.2)                                         *)
 (* ------------------------------------------------------------------ *)
 
-let background_step t report ~batch =
+let background_step_inner t report ~batch =
   let migrated = ref 0 in
   let budget () = batch - !migrated in
   List.iter
@@ -1226,6 +1303,28 @@ let background_step t report ~batch =
     t.stmts;
   !migrated
 
+let background_step t report ~batch =
+  let a0 = report.r_granules_already
+  and w0 = report.r_skip_waits
+  and b0 = report.r_aborts in
+  let run () = background_step_inner t report ~batch in
+  let n =
+    if not (Obs.Trace.enabled ()) then run ()
+    else
+      Obs.Trace.with_span ~cat:"migration" "bg-batch"
+        ~args:[ ("batch", string_of_int batch) ]
+        run
+  in
+  t.tele_already <- t.tele_already + (report.r_granules_already - a0);
+  t.tele_skip_waits <- t.tele_skip_waits + (report.r_skip_waits - w0);
+  t.tele_aborts <- t.tele_aborts + (report.r_aborts - b0);
+  if n > 0 then begin
+    t.tele_bg <- t.tele_bg + n;
+    Obs.Counters.add c_granules_bg n;
+    note_sample t
+  end;
+  n
+
 (* ------------------------------------------------------------------ *)
 (* Progress                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -1326,3 +1425,91 @@ let progress t =
     let all = fractions @ pair_fractions in
     List.fold_left ( +. ) 0.0 all /. float_of_int (List.length all)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Live telemetry (\progress, harness timelines)                       *)
+(* ------------------------------------------------------------------ *)
+
+type progress_report = {
+  pg_fraction : float;
+  pg_granules_migrated : int;
+  pg_granules_total : int;
+  pg_lazy : int;
+  pg_bg : int;
+  pg_already : int;
+  pg_skip_waits : int;
+  pg_aborts : int;
+  pg_rate : float;
+  pg_eta : float option;
+}
+
+(* Tracker-level granule counts, deduplicated by tracker uid (the two
+   sides of a shared-tracker join report the same structure). *)
+let granule_counts t =
+  let seen = Hashtbl.create 8 in
+  let migrated = ref 0 and total = ref 0 in
+  let add uid (s : Tracker.stats) =
+    if not (Hashtbl.mem seen uid) then begin
+      Hashtbl.replace seen uid ();
+      migrated := !migrated + s.Tracker.migrated;
+      total := !total + s.Tracker.total
+    end
+  in
+  List.iter
+    (fun stmt ->
+      (match stmt.rs_pair with
+      | Some pr -> add pr.pr_uid (Hash_tracker.stats pr.pr_tracker)
+      | None -> ());
+      List.iter
+        (fun input ->
+          match input.ri_tracker with
+          | RT_bitmap bt -> add input.ri_tracker_uid (Bitmap_tracker.stats bt)
+          | RT_hash (ht, _) -> add input.ri_tracker_uid (Hash_tracker.stats ht)
+          | RT_none -> ())
+        stmt.rs_inputs)
+    t.stmts;
+  (!migrated, !total)
+
+(* Granules/second over the retained sample window (oldest to newest). *)
+let recent_rate t =
+  match t.tele_samples with
+  | [] | [ _ ] -> 0.0
+  | (t1, m1) :: rest ->
+      let t0, m0 = List.nth rest (List.length rest - 1) in
+      if t1 -. t0 <= 0.0 then 0.0 else float_of_int (m1 - m0) /. (t1 -. t0)
+
+let progress_report t =
+  let migrated, total = granule_counts t in
+  let rate = recent_rate t in
+  let eta =
+    if complete t then Some 0.0
+    else if rate > 0.0 && total > migrated then
+      Some (float_of_int (total - migrated) /. rate)
+    else None
+  in
+  {
+    pg_fraction = progress t;
+    pg_granules_migrated = migrated;
+    pg_granules_total = total;
+    pg_lazy = t.tele_lazy;
+    pg_bg = t.tele_bg;
+    pg_already = t.tele_already;
+    pg_skip_waits = t.tele_skip_waits;
+    pg_aborts = t.tele_aborts;
+    pg_rate = rate;
+    pg_eta = eta;
+  }
+
+let format_progress pg =
+  let eta =
+    match pg.pg_eta with
+    | Some s when s <= 0.0 -> "done"
+    | Some s -> Printf.sprintf "%.1fs" s
+    | None -> "n/a"
+  in
+  Printf.sprintf
+    "migrated %.1f%% (%d/%d granules) | lazy %d bg %d | already %d waits %d aborts %d | \
+     rate %.0f granules/s | eta %s"
+    (100.0 *. pg.pg_fraction)
+    pg.pg_granules_migrated pg.pg_granules_total pg.pg_lazy pg.pg_bg pg.pg_already
+    pg.pg_skip_waits pg.pg_aborts pg.pg_rate eta

@@ -90,6 +90,14 @@ type t = {
           transaction aborts after performing its work (tests §3.5) *)
   mutable listener : (granule_event -> unit) option;
       (** granule-level event stream for the simulation harness *)
+  mutable tele_lazy : int;  (** granules committed by the lazy path *)
+  mutable tele_bg : int;  (** granules committed by background batches *)
+  mutable tele_already : int;  (** candidates found already migrated *)
+  mutable tele_skip_waits : int;  (** SKIP re-check rounds (§3.5) *)
+  mutable tele_aborts : int;  (** competitor aborts observed *)
+  mutable tele_samples : (float * int) list;
+      (** recent (wallclock, granules committed) samples, newest first;
+          bounded — feeds {!progress_report}'s rate/ETA *)
 }
 
 (** Accumulated work report, consumed by the benchmark cost model. *)
@@ -153,6 +161,31 @@ val verify_complete : t -> bool
 val progress : t -> float
 (** Fraction of bitmap granules migrated (hash inputs contribute their
     discovered keys); in [0;1], 1 when [complete]. *)
+
+(** Point-in-time migration telemetry (the [\progress] meta-command and
+    the harness timeline).  Granule counts are tracker-level: bitmap
+    trackers contribute their fixed granule count, hash trackers their
+    keys discovered so far (a lower bound until the background scan
+    finishes). *)
+type progress_report = {
+  pg_fraction : float;  (** same quantity as {!progress} *)
+  pg_granules_migrated : int;
+  pg_granules_total : int;
+  pg_lazy : int;  (** granules committed by the lazy path *)
+  pg_bg : int;  (** granules committed by background batches *)
+  pg_already : int;
+  pg_skip_waits : int;
+  pg_aborts : int;
+  pg_rate : float;  (** granules/s over the recent sample window *)
+  pg_eta : float option;
+      (** seconds to completion at [pg_rate]; [None] when the rate is
+          unknown (no samples yet) and [Some 0.] once complete *)
+}
+
+val progress_report : t -> progress_report
+
+val format_progress : progress_report -> string
+(** One-line human-readable rendering, shared by the CLI and tests. *)
 
 val rows_for_granule : t -> rt_input -> granule -> (int * Bullfrog_db.Heap.row) list
 (** The input rows a granule covers (whole pages for bitmap granules,

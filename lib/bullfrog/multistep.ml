@@ -76,13 +76,34 @@ let start ?page_size db (spec : Migration.t) =
           end)
         stmt.Migrate_exec.rs_inputs)
     rt.Migrate_exec.stmts;
-  {
-    rt;
-    db;
-    st =
-      { copied_granules = 0; copied_rows = 0; dual_write_rows = 0; refreshed_granules = 0 };
-    report = Migrate_exec.new_report ();
-  }
+  let t =
+    {
+      rt;
+      db;
+      st =
+        { copied_granules = 0; copied_rows = 0; dual_write_rows = 0; refreshed_granules = 0 };
+      report = Migrate_exec.new_report ();
+    }
+  in
+  (* Surface copier/dual-write tallies through [Obs.snapshot].  Keyed by a
+     fixed name: the registry replaces on re-registration, so repeated
+     [start]s (tests, harness restarts) do not accumulate providers. *)
+  Obs.register_stats "multistep" (fun () ->
+      [
+        {
+          Obs.st_source = "multistep";
+          st_name = spec.Migration.name;
+          st_fields =
+            [
+              ("copied_granules", float_of_int t.st.copied_granules);
+              ("copied_rows", float_of_int t.st.copied_rows);
+              ("dual_write_rows", float_of_int t.st.dual_write_rows);
+              ("refreshed_granules", float_of_int t.st.refreshed_granules);
+              ("progress", Migrate_exec.progress t.rt);
+            ];
+        };
+      ]);
+  t
 
 let copier_step t ~batch =
   let before_rows = t.report.Migrate_exec.r_rows_migrated in
@@ -315,4 +336,5 @@ let switch_over t =
     (fun name ->
       if Catalog.exists t.db.Database.catalog name then
         Catalog.drop t.db.Database.catalog name)
-    t.rt.Migrate_exec.spec.Migration.drop_old
+    t.rt.Migrate_exec.spec.Migration.drop_old;
+  Obs.unregister_stats "multistep"

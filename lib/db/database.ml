@@ -29,17 +29,47 @@ type t = {
 }
 
 let create () =
-  {
-    catalog = Catalog.create ();
-    redo = Redo_log.create ();
-    locks = Lock_manager.create ();
-    next_txn_id = 1;
-    txn_latch = Mutex.create ();
-    stmt_cache = Hashtbl.create 64;
-    stmt_latch = Mutex.create ();
-    marks_tbl = Hashtbl.create 64;
-    marks_latch = Mutex.create ();
-  }
+  let t =
+    {
+      catalog = Catalog.create ();
+      redo = Redo_log.create ();
+      locks = Lock_manager.create ();
+      next_txn_id = 1;
+      txn_latch = Mutex.create ();
+      stmt_cache = Hashtbl.create 64;
+      stmt_latch = Mutex.create ();
+      marks_tbl = Hashtbl.create 64;
+      marks_latch = Mutex.create ();
+    }
+  in
+  (* Per-index structural stats, surfaced through [Obs.snapshot].  The
+     fixed provider name means the registry tracks the most recently
+     created database — replace-on-register keeps tests that create many
+     short-lived databases from accumulating thunks. *)
+  Obs.register_stats "db.indexes" (fun () ->
+      List.concat_map
+        (fun name ->
+          match Catalog.find_table t.catalog name with
+          | None -> []
+          | Some heap ->
+              List.map
+                (fun idx ->
+                  let s = Index.stats idx in
+                  {
+                    Obs.st_source = "db.index";
+                    st_name = name ^ "." ^ Index.name idx;
+                    st_fields =
+                      [
+                        ("entries", float_of_int s.Index.s_entries);
+                        ("keys", float_of_int s.Index.s_keys);
+                        ("buckets", float_of_int s.Index.s_buckets);
+                        ("max_chain", float_of_int s.Index.s_max_chain);
+                        ("load", s.Index.s_load);
+                      ];
+                  })
+                (Heap.indexes heap))
+        (Catalog.table_names t.catalog));
+  t
 
 let exec_ctx t = { Executor.catalog = t.catalog; redo = t.redo }
 
@@ -146,13 +176,23 @@ let bind_stmt params (stmt : Ast.stmt) : Ast.stmt =
    overflow the whole cache is dropped — entries are pure derived state. *)
 let stmt_cache_cap = 512
 
+let c_stmt_hit = Obs.Counters.make "db.stmt_cache.hits"
+
+let c_stmt_miss = Obs.Counters.make "db.stmt_cache.misses"
+
+let c_plan_hit = Obs.Counters.make "db.plan_cache.hits"
+
+let c_plan_miss = Obs.Counters.make "db.plan_cache.misses"
+
 let prepare t sql =
   Mutex.lock t.stmt_latch;
   match Hashtbl.find_opt t.stmt_cache sql with
   | Some p ->
       Mutex.unlock t.stmt_latch;
+      Obs.Counters.bump c_stmt_hit;
       p
   | None ->
+      Obs.Counters.bump c_stmt_miss;
       (* Parse outside the latch; re-check for a racing insert after. *)
       Mutex.unlock t.stmt_latch;
       let stmt = Parser.parse_one sql in
@@ -191,18 +231,32 @@ let prepared_stmt p = p.p_stmt
 let planned_select t txn params p s =
   let epoch = Catalog.epoch t.catalog in
   match p.p_plan with
-  | Some cp when cp.cp_epoch = epoch -> cp.cp_planned
+  | Some cp when cp.cp_epoch = epoch ->
+      Obs.Counters.bump c_plan_hit;
+      cp.cp_planned
   | _ ->
+      Obs.Counters.bump c_plan_miss;
       let planned =
         Planner.plan_select (Executor.planner_ctx ~params (exec_ctx t) txn) s
       in
       if p.p_cacheable then p.p_plan <- Some { cp_epoch = epoch; cp_planned = planned };
       planned
 
-let exec_prepared_in t txn ?(params = [||]) p =
-  if Array.length params < p.p_nparams then
-    Db_error.sql_error "statement expects %d parameter(s), got %d" p.p_nparams
-      (Array.length params);
+let stmt_label (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Select_stmt _ -> "select"
+  | Ast.Insert _ -> "insert"
+  | Ast.Update _ -> "update"
+  | Ast.Delete _ -> "delete"
+  | Ast.Create_table _ | Ast.Create_table_as _ | Ast.Create_view _ | Ast.Create_index _
+    ->
+      "create"
+  | Ast.Drop _ -> "drop"
+  | Ast.Alter_table _ -> "alter"
+  | Ast.Explain _ -> "explain"
+  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn -> "txn-control"
+
+let run_prepared t txn params p =
   match p.p_stmt with
   | Ast.Select_stmt s when p.p_cacheable ->
       let planned = planned_select t txn params p s in
@@ -212,6 +266,17 @@ let exec_prepared_in t txn ?(params = [||]) p =
       in
       Executor.Rows (names, Executor.run ~params txn planned.Planner.plan)
   | stmt -> Executor.exec_stmt ~params (exec_ctx t) txn stmt
+
+let exec_prepared_in t txn ?(params = [||]) p =
+  if Array.length params < p.p_nparams then
+    Db_error.sql_error "statement expects %d parameter(s), got %d" p.p_nparams
+      (Array.length params);
+  (* The disabled-tracing path must not allocate a closure: test the flag
+     here instead of calling [with_span] unconditionally. *)
+  if not (Obs.Trace.enabled ()) then run_prepared t txn params p
+  else
+    Obs.Trace.with_span ~cat:"stmt" (stmt_label p.p_stmt) (fun () ->
+        run_prepared t txn params p)
 
 let exec_in t txn ?params sql =
   exec_prepared_in t txn ?params (prepare t sql)
@@ -255,6 +320,7 @@ let explain t sql =
    survives the round trip).  Commit records are re-appended verbatim, so
    the replayed database's own log still supports tracker rebuild. *)
 let replay (src : Redo_log.t) =
+  Obs.Trace.with_span ~cat:"recovery" "redo-replay" @@ fun () ->
   let t = create () in
   List.iter
     (fun (entry : Redo_log.entry) ->

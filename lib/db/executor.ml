@@ -100,7 +100,53 @@ let acc_result acc (spec : Plan.agg_spec) =
   | Ast.Min -> ( match acc.vmin with None -> Value.Null | Some v -> v)
   | Ast.Max -> ( match acc.vmax with None -> Value.Null | Some v -> v)
 
-let rec run ?(params = [||]) (txn : Txn.t) (plan : Plan.t) : Value.t array list =
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE profiling                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-node actuals, keyed by physical node identity ([==]): a plan tree
+   is a few nodes, so an assq list beats hashing nodes that contain
+   closures.  [pe_time] is inclusive — children are part of it, as in
+   PostgreSQL's EXPLAIN ANALYZE. *)
+type prof_entry = {
+  mutable pe_loops : int;  (* executions of the node *)
+  mutable pe_rows : int;  (* rows produced, summed over loops *)
+  mutable pe_time : float;  (* inclusive wall time, seconds *)
+}
+
+type prof = { mutable pr_nodes : (Plan.t * prof_entry) list; pr_mutex : Mutex.t }
+
+let new_prof () = { pr_nodes = []; pr_mutex = Mutex.create () }
+
+(* Dynamically scoped: set only for the duration of one EXPLAIN ANALYZE
+   execution, so the normal path pays a single ref read per node run.
+   Concurrent statements on other threads would record into the same
+   profile; recording is latched so that is merely noisy, not unsafe. *)
+let prof_current : prof option ref = ref None
+
+let prof_record pr node ~rows ~dt =
+  Mutex.lock pr.pr_mutex;
+  let e =
+    match List.assq_opt node pr.pr_nodes with
+    | Some e -> e
+    | None ->
+        let e = { pe_loops = 0; pe_rows = 0; pe_time = 0.0 } in
+        pr.pr_nodes <- (node, e) :: pr.pr_nodes;
+        e
+  in
+  e.pe_loops <- e.pe_loops + 1;
+  e.pe_rows <- e.pe_rows + rows;
+  e.pe_time <- e.pe_time +. dt;
+  Mutex.unlock pr.pr_mutex
+
+let prof_annot pr node =
+  match List.assq_opt node pr.pr_nodes with
+  | None -> " (never executed)"
+  | Some e ->
+      Printf.sprintf " (actual rows=%d loops=%d time=%.3fms)" e.pe_rows e.pe_loops
+        (1000.0 *. e.pe_time)
+
+let rec run_raw ?(params = [||]) (txn : Txn.t) (plan : Plan.t) : Value.t array list =
   let c = txn.Txn.counters in
   match plan with
   | Plan.Values rows -> rows
@@ -318,7 +364,7 @@ let rec run ?(params = [||]) (txn : Txn.t) (plan : Plan.t) : Value.t array list 
 (* LIMIT pushed through projections and into scans: stop fetching once n
    qualifying rows are produced (what a real executor's pipeline does;
    essential for LIMIT 1 point reads over wide index entries). *)
-and run_limited ?(params = [||]) (txn : Txn.t) (plan : Plan.t) n : Value.t array list =
+and run_limited_raw ?(params = [||]) (txn : Txn.t) (plan : Plan.t) n : Value.t array list =
   let c = txn.Txn.counters in
   let take k rows =
     let rec go k = function
@@ -379,6 +425,27 @@ and run_limited ?(params = [||]) (txn : Txn.t) (plan : Plan.t) n : Value.t array
         take n (List.filter (fun row -> f.Expr.ce_pred params row) (run ~params txn p))
     | Plan.Limit (p, m) -> run_limited ~params txn p (min n m)
     | other -> take n (run ~params txn other)
+
+(* Instrumented entry points.  The recursive calls above resolve here, so
+   with a profile installed every node execution is recorded; without one
+   the wrappers cost a ref read and a match. *)
+and run ?(params = [||]) (txn : Txn.t) (plan : Plan.t) : Value.t array list =
+  match !prof_current with
+  | None -> run_raw ~params txn plan
+  | Some pr ->
+      let t0 = Unix.gettimeofday () in
+      let rows = run_raw ~params txn plan in
+      prof_record pr plan ~rows:(List.length rows) ~dt:(Unix.gettimeofday () -. t0);
+      rows
+
+and run_limited ?(params = [||]) (txn : Txn.t) (plan : Plan.t) n : Value.t array list =
+  match !prof_current with
+  | None -> run_limited_raw ~params txn plan n
+  | Some pr ->
+      let t0 = Unix.gettimeofday () in
+      let rows = run_limited_raw ~params txn plan n in
+      prof_record pr plan ~rows:(List.length rows) ~dt:(Unix.gettimeofday () -. t0);
+      rows
 
 (* Streaming runner: apply [f] to each output row without materialising
    the full result list.  Scans, filters, projections and the probe side
@@ -977,11 +1044,28 @@ let alter_table ctx txn table_name (action : Ast.alter_action) =
 let rec exec_stmt ?(params = [||]) ctx txn (stmt : Ast.stmt) : result =
   match stmt with
   | Ast.Select_stmt s -> run_select ~params ctx txn s
-  | Ast.Explain inner -> (
+  | Ast.Explain { analyze; stmt = inner } -> (
       match inner with
       | Ast.Select_stmt s ->
           let planned = Planner.plan_select (planner_ctx ~params ctx txn) s in
-          Explained (Plan.describe planned.Planner.plan)
+          if not analyze then Explained (Plan.describe planned.Planner.plan)
+          else begin
+            (* ANALYZE: execute the plan with the profiler installed and
+               render actual per-node rows/loops/time next to the plan. *)
+            let pr = new_prof () in
+            let saved = !prof_current in
+            prof_current := Some pr;
+            let t0 = Unix.gettimeofday () in
+            let n =
+              Fun.protect
+                ~finally:(fun () -> prof_current := saved)
+                (fun () -> List.length (run ~params txn planned.Planner.plan))
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            Explained
+              (Plan.describe ~annot:(prof_annot pr) planned.Planner.plan
+              ^ Printf.sprintf "Execution: %d row(s) in %.3f ms\n" n (1000.0 *. dt))
+          end
       | _ -> Explained "(only SELECT statements can be explained)")
   | Ast.Create_table { name; columns; constraints; if_not_exists } ->
       if if_not_exists && Catalog.exists ctx.catalog name then Done "CREATE TABLE"

@@ -73,7 +73,12 @@ let deindex_all t row tid =
       | Some key -> Index.remove idx key tid)
     t.indexes
 
+let c_inserts = Obs.Counters.make "db.heap.inserts"
+
+let c_tombstones = Obs.Counters.make "db.heap.tombstones"
+
 let insert t row =
+  Obs.Counters.bump c_inserts;
   with_latch t (fun () ->
       let tid = Vec.length t.slots in
       index_all t row tid;
@@ -106,7 +111,8 @@ let insert_batch t rows =
            done;
            raise e);
         Vec.push_array t.slots rows;
-        t.live <- t.live + n
+        t.live <- t.live + n;
+        Obs.Counters.add c_inserts n
       end;
       base)
 
@@ -174,6 +180,7 @@ let delete t tid =
         deindex_all t old tid;
         Vec.set t.slots tid tombstone;
         t.live <- t.live - 1;
+        Obs.Counters.bump c_tombstones;
         old
       end)
 

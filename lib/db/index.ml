@@ -372,19 +372,74 @@ let remove t key tid =
           if rest = [] then map := Omap.remove key !map
           else map := Omap.add key rest !map)
 
+let c_probes = Obs.Counters.make "db.index.probes"
+
+let c_collisions = Obs.Counters.make "db.index.collisions"
+
+(* Probe count plus chain hops past the matching (or last) entry of the
+   probed bucket, behind one [enabled] check — a disabled probe pays a
+   single obs call. *)
+let note_probe tbl key =
+  if Obs.Counters.enabled () then begin
+    Obs.Counters.bump c_probes;
+    let rec len e acc = if e < 0 then acc else len tbl.Htab.next.(e) (acc + 1) in
+    let chain = len tbl.Htab.buckets.(Htab.slot tbl key) 0 in
+    if chain > 1 then Obs.Counters.add c_collisions (chain - 1)
+  end
+
 let find t key =
   match t.store with
   | S_hash tbl ->
+      note_probe tbl key;
       let e = Htab.find_idx tbl key in
       if e >= 0 then Htab.get_tids tbl e else []
-  | S_ordered map -> ( match Omap.find_opt key !map with None -> [] | Some tids -> tids)
+  | S_ordered map -> (
+      Obs.Counters.bump c_probes;
+      match Omap.find_opt key !map with None -> [] | Some tids -> tids)
 
 let mem t key =
   match t.store with
-  | S_hash tbl -> Htab.find_idx tbl key >= 0
-  | S_ordered map -> Omap.mem key !map
+  | S_hash tbl ->
+      note_probe tbl key;
+      Htab.find_idx tbl key >= 0
+  | S_ordered map ->
+      Obs.Counters.bump c_probes;
+      Omap.mem key !map
 
 let entry_count t = t.count
+
+type stats = {
+  s_entries : int;  (** TID entries (duplicates counted) *)
+  s_keys : int;  (** distinct keys *)
+  s_buckets : int;  (** 0 on ordered indexes *)
+  s_max_chain : int;
+  s_load : float;  (** keys per bucket; 0 on ordered indexes *)
+}
+
+let stats t =
+  match t.store with
+  | S_ordered map ->
+      {
+        s_entries = t.count;
+        s_keys = Omap.cardinal !map;
+        s_buckets = 0;
+        s_max_chain = 0;
+        s_load = 0.0;
+      }
+  | S_hash tbl ->
+      let nb = Htab.num_buckets tbl in
+      let max_chain = ref 0 in
+      for s = 0 to nb - 1 do
+        let rec len e acc = if e < 0 then acc else len tbl.Htab.next.(e) (acc + 1) in
+        max_chain := max !max_chain (len tbl.Htab.buckets.(s) 0)
+      done;
+      {
+        s_entries = t.count;
+        s_keys = tbl.Htab.size;
+        s_buckets = nb;
+        s_max_chain = !max_chain;
+        s_load = float_of_int tbl.Htab.size /. float_of_int (max 1 nb);
+      }
 
 let clear t =
   (match t.store with

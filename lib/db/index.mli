@@ -60,6 +60,18 @@ val mem : t -> Value.t array -> bool
 
 val entry_count : t -> int
 
+type stats = {
+  s_entries : int;  (** TID entries (duplicates counted) *)
+  s_keys : int;  (** distinct keys *)
+  s_buckets : int;  (** 0 on ordered indexes *)
+  s_max_chain : int;
+  s_load : float;  (** keys per bucket; 0 on ordered indexes *)
+}
+
+val stats : t -> stats
+(** Walks the hash store's buckets; intended for snapshots, not hot
+    paths. *)
+
 val clear : t -> unit
 
 (** {2 Ordered-index operations}

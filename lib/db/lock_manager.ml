@@ -22,9 +22,14 @@ let note_owned t owner key =
   | Some keys -> keys := key :: !keys
   | None -> Hashtbl.replace t.by_owner owner (ref [ key ])
 
+let c_waits = Obs.Counters.make "db.lock.waits"
+
+let c_aborts = Obs.Counters.make "db.lock.timeout_aborts"
+
 let acquire t ~owner key =
   Mutex.lock t.mutex;
   let deadline = Unix.gettimeofday () +. t.timeout in
+  let contended = ref false in
   let rec wait () =
     match Hashtbl.find_opt t.holders key with
     | None ->
@@ -33,8 +38,13 @@ let acquire t ~owner key =
         Mutex.unlock t.mutex
     | Some o when o = owner -> Mutex.unlock t.mutex
     | Some _ ->
+        if not !contended then begin
+          contended := true;
+          Obs.Counters.bump c_waits
+        end;
         if Unix.gettimeofday () >= deadline then begin
           Mutex.unlock t.mutex;
+          Obs.Counters.bump c_aborts;
           Db_error.txn_abort "lock timeout on (%d,%d) for txn %d" (fst key) (snd key)
             owner
         end

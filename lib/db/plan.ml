@@ -68,7 +68,7 @@ let rec width = function
   | Aggregate { group; aggs; _ } -> Array.length group + Array.length aggs
   | Values rows -> ( match rows with [] -> 0 | r :: _ -> Array.length r)
 
-let describe plan =
+let describe ?(annot = fun (_ : t) -> "") plan =
   let buf = Buffer.create 256 in
   let ce_string c = Expr.to_string c.Expr.ce_expr in
   let line indent s =
@@ -88,12 +88,16 @@ let describe plan =
     | Min -> "min"
     | Max -> "max"
   in
-  let rec go indent = function
+  let rec go indent node =
+    (* The node's header line carries its annotation (EXPLAIN ANALYZE
+       appends actual row counts and timings there). *)
+    let line0 s = line indent (s ^ annot node) in
+    match node with
     | Seq_scan { table; filter } ->
-        line indent (Printf.sprintf "Seq Scan on %s" table.Heap.name);
+        line0 (Printf.sprintf "Seq Scan on %s" table.Heap.name);
         filter_line indent filter
     | Index_scan { table; index; key; filter } ->
-        line indent
+        line0
           (Printf.sprintf "Index Scan using %s on %s" (Index.name index) table.Heap.name);
         line (indent + 1)
           ("Index Cond: ("
@@ -101,7 +105,7 @@ let describe plan =
           ^ ")");
         filter_line indent filter
     | Index_range { table; index; prefix; lo; hi; filter } ->
-        line indent
+        line0
           (Printf.sprintf "Index Range Scan using %s on %s" (Index.name index)
              table.Heap.name);
         line (indent + 1)
@@ -111,13 +115,13 @@ let describe plan =
              (match hi with None -> "" | Some e -> " < " ^ ce_string e));
         filter_line indent filter
     | Index_min { table; index; prefix; asc } ->
-        line indent
+        line0
           (Printf.sprintf "Index %s using %s on %s (prefix: %s)"
              (if asc then "Min" else "Max")
              (Index.name index) table.Heap.name
              (String.concat ", " (Array.to_list (Array.map ce_string prefix))))
     | Index_nl_join { outer; inner_table; index; outer_keys; inner_filter; cond } ->
-        line indent
+        line0
           (Printf.sprintf "Index Nested Loop with %s via %s" inner_table.Heap.name
              (Index.name index));
         line (indent + 1)
@@ -132,14 +136,14 @@ let describe plan =
         | Some c -> line (indent + 1) ("Join Filter: " ^ ce_string c));
         go (indent + 1) outer
     | Nested_loop { outer; inner; cond } ->
-        line indent "Nested Loop";
+        line0 "Nested Loop";
         (match cond with
         | None -> ()
         | Some c -> line (indent + 1) ("Join Filter: " ^ ce_string c));
         go (indent + 1) outer;
         go (indent + 1) inner
     | Hash_join { outer; inner; outer_keys; inner_keys; cond } ->
-        line indent "Hash Join";
+        line0 "Hash Join";
         line (indent + 1)
           (Printf.sprintf "Hash Cond: (%s) = (%s)"
              (String.concat ", " (Array.to_list (Array.map ce_string outer_keys)))
@@ -150,10 +154,10 @@ let describe plan =
         go (indent + 1) outer;
         go (indent + 1) inner
     | Filter (p, f) ->
-        line indent ("Filter: " ^ ce_string f);
+        line0 ("Filter: " ^ ce_string f);
         go (indent + 1) p
     | Project (p, exprs) ->
-        line indent
+        line0
           ("Project: "
           ^ String.concat ", " (Array.to_list (Array.map ce_string exprs)));
         go (indent + 1) p
@@ -174,10 +178,10 @@ let describe plan =
                       (match a.agg_arg with None -> "*" | Some e -> ce_string e))
                   aggs))
         in
-        line indent (Printf.sprintf "Aggregate%s [%s]" keys fns);
+        line0 (Printf.sprintf "Aggregate%s [%s]" keys fns);
         go (indent + 1) input
     | Sort (p, keys) ->
-        line indent
+        line0
           ("Sort: "
           ^ String.concat ", "
               (Array.to_list
@@ -188,12 +192,12 @@ let describe plan =
                     keys)));
         go (indent + 1) p
     | Distinct p ->
-        line indent "Unique";
+        line0 "Unique";
         go (indent + 1) p
     | Limit (p, n) ->
-        line indent (Printf.sprintf "Limit: %d" n);
+        line0 (Printf.sprintf "Limit: %d" n);
         go (indent + 1) p
-    | Values rows -> line indent (Printf.sprintf "Values (%d row(s))" (List.length rows))
+    | Values rows -> line0 (Printf.sprintf "Values (%d row(s))" (List.length rows))
   in
   go 0 plan;
   Buffer.contents buf

@@ -66,8 +66,10 @@ type t =
   | Limit of t * int
   | Values of Value.t array list  (** FROM-less SELECT *)
 
-val describe : t -> string
-(** Multi-line, indented, EXPLAIN-style. *)
+val describe : ?annot:(t -> string) -> t -> string
+(** Multi-line, indented, EXPLAIN-style.  [annot] is appended to each
+    node's header line; EXPLAIN ANALYZE uses it to attach actual row
+    counts and timings (default: no annotation). *)
 
 val width : t -> int
 (** Number of columns in the node's output rows. *)

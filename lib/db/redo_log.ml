@@ -35,12 +35,26 @@ let with_latch t f =
       Mutex.unlock t.latch;
       raise e
 
+let c_appends = Obs.Counters.make "db.redo.appends"
+
+let c_ddl_appends = Obs.Counters.make "db.redo.ddl_appends"
+
+let c_append_writes = Obs.Counters.make "db.redo.append_writes"
+
+let c_checkpoints = Obs.Counters.make "db.redo.checkpoints"
+
+let c_serialized_bytes = Obs.Counters.make "db.redo.serialized_bytes"
+
 let append t r =
+  Obs.Counters.bump c_appends;
+  if Obs.Counters.enabled () then
+    Obs.Counters.add c_append_writes (List.length r.writes);
   with_latch t (fun () ->
       Vec.push t.entries (E_commit r);
       t.commits <- t.commits + 1)
 
 let append_ddl t ~epoch sql =
+  Obs.Counters.bump c_ddl_appends;
   with_latch t (fun () -> Vec.push t.entries (E_ddl { d_epoch = epoch; d_sql = sql }))
 
 let length t = with_latch t (fun () -> t.commits)
@@ -72,6 +86,7 @@ let clear t =
    folded into one synthetic record (txn_id 0) so tracker rebuild keeps
    working after the checkpoint.  Returns the number of entries dropped. *)
 let checkpoint t =
+  Obs.Counters.bump c_checkpoints;
   with_latch t (fun () ->
       let dropped = Vec.length t.entries in
       let marks = ref [] in
@@ -181,6 +196,7 @@ let serialize t =
   put_int buf truncated;
   put_int buf (List.length snapshot);
   List.iter (put_entry buf) snapshot;
+  Obs.Counters.add c_serialized_bytes (Buffer.length buf);
   Buffer.contents buf
 
 (* Deserialization: a mutable cursor over the string; any structural

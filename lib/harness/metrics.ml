@@ -11,6 +11,9 @@ type t = {
   all_latencies : Histogram.t;
   mutable marks : marker list;
   mutable total : int;
+  (* Named timeline series (e.g. migration progress), sampled at
+     irregular times; stored newest-first like [marks]. *)
+  samples : (string, (float * float) list ref) Hashtbl.t;
 }
 
 let create ~duration =
@@ -22,6 +25,7 @@ let create ~duration =
     all_latencies = Histogram.create ();
     marks = [];
     total = 0;
+    samples = Hashtbl.create 4;
   }
 
 let set_latency_window t from = t.latency_from <- from
@@ -47,6 +51,19 @@ let record t ~arrive ~finish ~kind =
 (* Stored newest-first (prepend is O(1); appending with [@] made a long
    run's marking quadratic); [markers] restores chronological order. *)
 let mark t time label = t.marks <- { mk_time = time; mk_label = label } :: t.marks
+
+let sample t ~time ~series v =
+  match Hashtbl.find_opt t.samples series with
+  | Some cell -> cell := (time, v) :: !cell
+  | None -> Hashtbl.replace t.samples series (ref [ (time, v) ])
+
+let sample_series t series =
+  match Hashtbl.find_opt t.samples series with
+  | Some cell -> List.rev !cell
+  | None -> []
+
+let sample_series_names t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.samples [])
 
 let throughput_series t = Array.mapi (fun i n -> (i, n)) t.buckets
 
@@ -102,15 +119,60 @@ let render_series ?(width = 72) systems =
         Buffer.add_char buf levels.(min lvl (Array.length levels - 1))
       done;
       Buffer.add_char buf '\n';
-      (* marker ruler *)
+      (* Sample series (migration progress etc.): one digit row each,
+         values scaled to the series max (digit 9 = max). *)
+      List.iter
+        (fun series ->
+          let pts = sample_series t series in
+          if pts <> [] then begin
+            let vmax = List.fold_left (fun m (_, v) -> max m v) 0.0 pts in
+            Buffer.add_string buf "  ";
+            let remaining = ref pts in
+            let current = ref None in
+            for c = 0 to cols - 1 do
+              let col_end = float_of_int ((c + 1) * step) in
+              let continue_ = ref true in
+              while !continue_ do
+                match !remaining with
+                | (time, v) :: rest when time < col_end ->
+                    current := Some v;
+                    remaining := rest
+                | _ -> continue_ := false
+              done;
+              Buffer.add_char buf
+                (match !current with
+                | None -> ' '
+                | Some v ->
+                    if vmax <= 0.0 then '0'
+                    else Char.chr (Char.code '0' + min 9 (int_of_float (9.0 *. v /. vmax))))
+            done;
+            Buffer.add_string buf (Printf.sprintf "\n    ~ %s (max %.2f)\n" series vmax)
+          end)
+        (sample_series_names t);
+      (* Marker ruler.  Markers sharing a second-and-label render once;
+         distinct markers landing on the same column show '*' so none is
+         silently hidden, and the listing numbers match the ruler. *)
       Buffer.add_string buf "  ";
       let ruler = Bytes.make cols ' ' in
-      let marks = markers t in
+      let marks =
+        let seen = Hashtbl.create 8 in
+        List.filter
+          (fun m ->
+            let key = (int_of_float m.mk_time, m.mk_label) in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.add seen key ();
+              true
+            end)
+          (markers t)
+      in
       List.iteri
         (fun i m ->
           let c = int_of_float m.mk_time / step in
           if c >= 0 && c < cols then
-            Bytes.set ruler c (Char.chr (Char.code '1' + (i mod 9))))
+            Bytes.set ruler c
+              (if Bytes.get ruler c = ' ' then Char.chr (Char.code '1' + (i mod 9))
+               else '*'))
         marks;
       Buffer.add_string buf (Bytes.to_string ruler);
       Buffer.add_char buf '\n';
@@ -118,7 +180,14 @@ let render_series ?(width = 72) systems =
         (fun i m ->
           Buffer.add_string buf
             (Printf.sprintf "    [%d] t=%.1fs %s\n" (i + 1) m.mk_time m.mk_label))
-        marks)
+        marks;
+      (* latency footer over the reporting window *)
+      let h = hist_for t None in
+      if Histogram.count h > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  p50=%.4gs p95=%.4gs p99=%.4gs\n"
+             (Histogram.percentile h 50.0) (Histogram.percentile h 95.0)
+             (Histogram.percentile h 99.0)))
     systems;
   Buffer.contents buf
 

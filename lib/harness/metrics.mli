@@ -19,6 +19,15 @@ val record :
 
 val mark : t -> float -> string -> unit
 
+val sample : t -> time:float -> series:string -> float -> unit
+(** Record one point of a named timeline series (e.g. migration
+    progress); rendered as a digit row under the throughput plot. *)
+
+val sample_series : t -> string -> (float * float) list
+(** Chronological (time, value) points of a series; [[]] if unknown. *)
+
+val sample_series_names : t -> string list
+
 val set_latency_window : t -> float -> unit
 (** Latencies are collected (per kind) for transactions {e arriving} at or
     after this virtual time — the paper plots CDFs from the migration
@@ -47,7 +56,9 @@ val mean_latency : t -> ?kind:string -> unit -> float
 
 val render_series : ?width:int -> (string * t) list -> string
 (** ASCII plot of several systems' throughput series on a shared time
-    axis, with markers listed underneath. *)
+    axis, with sample-series rows, markers listed underneath (each label
+    once per second; colliding ruler positions show ['*']) and a
+    p50/p95/p99 latency footer per system. *)
 
 val render_cdf : ?kind:string -> ?points:int -> (string * t) list -> string
 (** Percentile table (one column per system). *)

@@ -14,6 +14,7 @@ type system = {
   exec : now:float -> Tpcc_txns.input -> exec_outcome;
   background_batch : now:float -> float;
   migration_complete : unit -> bool;
+  progress : unit -> float option;
   is_affected : Tpcc_txns.input -> bool;
   on_conflict : bool;
   overlap_cost : int -> float;
@@ -98,10 +99,25 @@ let run cfg sys =
       List.iter (Gtbl.remove in_flight) stale
     end
   in
+  (* Migration-progress timeline: sampled whenever virtual time has
+     advanced enough since the last point, so the plot tracks both the
+     lazy path (request-driven) and background batches. *)
+  let last_sample = ref neg_infinity in
+  let note_progress () =
+    if !mig_started && !now -. !last_sample >= 0.25 then
+      match sys.progress () with
+      | Some v ->
+          last_sample := !now;
+          Metrics.sample metrics ~time:!now ~series:"migrated" v
+      | None -> ()
+  in
   let note_mig_end () =
     if !mig_started && (not !gate_pending) && !mig_end = None && sys.migration_complete ()
     then begin
       mig_end := Some !now;
+      (match sys.progress () with
+      | Some v -> Metrics.sample metrics ~time:!now ~series:"migrated" v
+      | None -> ());
       Metrics.mark metrics !now (sys.sys_name ^ " migration end")
     end
   in
@@ -167,8 +183,12 @@ let run cfg sys =
     | None -> continue_ := false
     | Some (t, ev) ->
         now := t;
+        (* Publish virtual time so trace spans recorded by the systems
+           under test line up with the simulation clock. *)
+        Obs.Trace.set_virtual_now !now;
         if t > horizon +. 0.000001 then continue_ := false
         else begin
+          note_progress ();
           (match ev with
           | Arrival ->
               let input = cfg.gen rng in

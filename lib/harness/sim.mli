@@ -37,6 +37,10 @@ type system = {
   background_batch : now:float -> float;
       (** run one background batch; virtual cost, 0 when no work left *)
   migration_complete : unit -> bool;
+  progress : unit -> float option;
+      (** migration progress in [0;1]; [None] before the switch (or for
+          systems without one).  Sampled into the metrics timeline as the
+          ["migrated"] series. *)
   is_affected : Bullfrog_tpcc.Tpcc_txns.input -> bool;
       (** queued during eager downtime *)
   on_conflict : bool;

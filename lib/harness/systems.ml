@@ -68,6 +68,7 @@ let baseline ctx : Sim.system =
         });
     background_batch = (fun ~now:_ -> 0.0);
     migration_complete = (fun () -> true);
+    progress = (fun () -> None);
     is_affected = (fun _ -> false);
     on_conflict = false;
     overlap_cost = no_overlap;
@@ -161,6 +162,7 @@ let bullfrog ?(mode = Migrate_exec.Tracked) ?(page_size = 1) ?nn ?(background = 
               if n = 0 then 0.0 else Cost_model.migration_cost ctx.cost r
         end);
     migration_complete = (fun () -> (not !started) || Lazy_db.migration_complete bf);
+    progress = (fun () -> if !started then Some (Lazy_db.progress bf) else None);
     is_affected = affected ctx;
     on_conflict = (mode = Migrate_exec.On_conflict);
     overlap_cost =
@@ -198,6 +200,7 @@ let eager ctx : Sim.system =
         });
     background_batch = (fun ~now:_ -> 0.0);
     migration_complete = (fun () -> !migrated);
+    progress = (fun () -> if !migrated then Some 1.0 else None);
     is_affected = affected ctx;
     on_conflict = false;
     overlap_cost = no_overlap;
@@ -288,6 +291,7 @@ let multistep ?(bg_workers = 1) ?(bg_batch = 256) ctx : Sim.system =
             end);
     migration_complete =
       (fun () -> match !ms with None -> false | Some m -> Multistep.complete m);
+    progress = (fun () -> Option.map Multistep.progress !ms);
     is_affected = affected ctx;
     on_conflict = false;
     overlap_cost = no_overlap;

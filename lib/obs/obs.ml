@@ -1,0 +1,463 @@
+(* Counters are individual atomic cells behind a global enable flag; the
+   registry latch only guards the name table, never the hot increment.
+   The trace ring takes a latch per recorded event — recording is only
+   ever on when someone asked for a trace, so the latch is not on any
+   default path. *)
+
+module Counters = struct
+  type counter = { c_name : string; cell : int Atomic.t }
+
+  let on = Atomic.make false
+
+  let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+  let registry_lock = Mutex.create ()
+
+  let with_registry f =
+    Mutex.lock registry_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+  let make name =
+    with_registry (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some c -> c
+        | None ->
+            let c = { c_name = name; cell = Atomic.make 0 } in
+            Hashtbl.replace registry name c;
+            c)
+
+  let name c = c.c_name
+
+  (* [@inline] keeps the disabled path at one load + branch at the call
+     site instead of a cross-module call; hot loops sit in other
+     libraries, so without the hint the call itself costs more than the
+     check. *)
+  let[@inline] bump c = if Atomic.get on then Atomic.incr c.cell
+
+  let[@inline] add c n =
+    if Atomic.get on then ignore (Atomic.fetch_and_add c.cell n : int)
+
+  let value c = Atomic.get c.cell
+
+  let set_enabled b = Atomic.set on b
+
+  let[@inline] enabled () = Atomic.get on
+
+  let reset_all () =
+    with_registry (fun () ->
+        Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry)
+
+  type snapshot = (string * int) list
+
+  (* canonical: sorted by name, duplicate names summed, zeros dropped *)
+  let normalize (s : snapshot) : snapshot =
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) s in
+    let rec merge = function
+      | (k1, v1) :: (k2, v2) :: rest when k1 = k2 -> merge ((k1, v1 + v2) :: rest)
+      | kv :: rest -> kv :: merge rest
+      | [] -> []
+    in
+    List.filter (fun (_, v) -> v <> 0) (merge sorted)
+
+  let snapshot () : snapshot =
+    normalize
+      (with_registry (fun () ->
+           Hashtbl.fold (fun k c acc -> (k, Atomic.get c.cell) :: acc) registry []))
+
+  (* merge two canonical snapshots combining values with [f] *)
+  let merge_with f (a : snapshot) (b : snapshot) : snapshot =
+    let rec go a b =
+      match (a, b) with
+      | [], b -> List.map (fun (k, v) -> (k, f 0 v)) b
+      | a, [] -> List.map (fun (k, v) -> (k, f v 0)) a
+      | (ka, va) :: ra, (kb, vb) :: rb ->
+          if ka = kb then (ka, f va vb) :: go ra rb
+          else if ka < kb then (ka, f va 0) :: go ra b
+          else (kb, f 0 vb) :: go a rb
+    in
+    List.filter (fun (_, v) -> v <> 0) (go (normalize a) (normalize b))
+
+  let diff a b = merge_with (fun x y -> x - y) a b
+
+  let add_snapshots a b = merge_with (fun x y -> x + y) a b
+
+  let equal a b = normalize a = normalize b
+end
+
+module Trace = struct
+  type clock = Real | Virtual
+
+  type phase = Span_begin | Span_end | Instant
+
+  type event = {
+    ev_phase : phase;
+    ev_name : string;
+    ev_cat : string;
+    ev_clock : clock;
+    ev_ts : float;
+    ev_tid : int;
+    ev_args : (string * string) list;
+    ev_seq : int;
+  }
+
+  let on = Atomic.make false
+
+  let lock = Mutex.create ()
+
+  let ring : event option array ref = ref [||]
+
+  let next_slot = ref 0
+
+  let total = ref 0
+
+  let virtual_now = ref 0.0
+
+  let set_virtual_now t = virtual_now := t
+
+  let enabled () = Atomic.get on
+
+  let enable ?(capacity = 65536) () =
+    if capacity <= 0 then invalid_arg "Obs.Trace.enable: capacity";
+    Mutex.lock lock;
+    ring := Array.make capacity None;
+    next_slot := 0;
+    total := 0;
+    Mutex.unlock lock;
+    Atomic.set on true
+
+  let disable () = Atomic.set on false
+
+  let clear () =
+    Mutex.lock lock;
+    Array.fill !ring 0 (Array.length !ring) None;
+    next_slot := 0;
+    total := 0;
+    Mutex.unlock lock
+
+  let now_of = function Real -> Unix.gettimeofday () | Virtual -> !virtual_now
+
+  let record phase clock name cat args =
+    let ts = now_of clock in
+    let tid = Thread.id (Thread.self ()) in
+    Mutex.lock lock;
+    let cap = Array.length !ring in
+    if cap > 0 then begin
+      !ring.(!next_slot) <-
+        Some
+          {
+            ev_phase = phase;
+            ev_name = name;
+            ev_cat = cat;
+            ev_clock = clock;
+            ev_ts = ts;
+            ev_tid = tid;
+            ev_args = args;
+            ev_seq = !total;
+          };
+      next_slot := (!next_slot + 1) mod cap;
+      incr total
+    end;
+    Mutex.unlock lock
+
+  let begin_span ?(clock = Real) ?(args = []) ~cat name =
+    if Atomic.get on then record Span_begin clock name cat args
+
+  let end_span ?(clock = Real) name =
+    if Atomic.get on then record Span_end clock name "" []
+
+  let instant ?(clock = Real) ?(args = []) ~cat name =
+    if Atomic.get on then record Instant clock name cat args
+
+  let with_span ?(clock = Real) ?(args = []) ~cat name f =
+    if not (Atomic.get on) then f ()
+    else begin
+      record Span_begin clock name cat args;
+      Fun.protect ~finally:(fun () -> record Span_end clock name "" []) f
+    end
+
+  let recorded () =
+    Mutex.lock lock;
+    let n = !total in
+    Mutex.unlock lock;
+    n
+
+  (* Surviving events in insertion order. *)
+  let raw_events () =
+    Mutex.lock lock;
+    let evs =
+      Array.to_list !ring |> List.filter_map Fun.id
+      |> List.sort (fun a b -> compare a.ev_seq b.ev_seq)
+    in
+    Mutex.unlock lock;
+    evs
+
+  (* Wraparound damages span structure in exactly two ways: an end whose
+     begin was overwritten (orphan end — dropped) and a begin whose end
+     is yet to come or was recorded before the window (unclosed begin —
+     closed synthetically at its clock's latest timestamp).  Stacks are
+     per (clock, thread), matching the nesting discipline of
+     [with_span]. *)
+  let export () =
+    let evs = raw_events () in
+    let last_ts = Hashtbl.create 4 in
+    List.iter
+      (fun e ->
+        let prev =
+          match Hashtbl.find_opt last_ts e.ev_clock with
+          | Some t -> t
+          | None -> neg_infinity
+        in
+        Hashtbl.replace last_ts e.ev_clock (max prev e.ev_ts))
+      evs;
+    let stacks : (clock * int, event list ref) Hashtbl.t = Hashtbl.create 8 in
+    let stack_of key =
+      match Hashtbl.find_opt stacks key with
+      | Some s -> s
+      | None ->
+          let s = ref [] in
+          Hashtbl.replace stacks key s;
+          s
+    in
+    let kept = ref [] in
+    List.iter
+      (fun e ->
+        let key = (e.ev_clock, e.ev_tid) in
+        match e.ev_phase with
+        | Instant -> kept := e :: !kept
+        | Span_begin ->
+            let s = stack_of key in
+            s := e :: !s;
+            kept := e :: !kept
+        | Span_end -> (
+            let s = stack_of key in
+            match !s with
+            | [] -> () (* orphan: begin lost to wraparound *)
+            | _ :: rest ->
+                s := rest;
+                kept := e :: !kept))
+      evs;
+    let seq = ref (match evs with [] -> 0 | _ -> 1 + (List.fold_left (fun m e -> max m e.ev_seq) 0 evs)) in
+    Hashtbl.iter
+      (fun (clock, _tid) s ->
+        (* innermost first: reversing the remaining stack closes spans in
+           proper nesting order *)
+        List.iter
+          (fun (b : event) ->
+            let ts =
+              match Hashtbl.find_opt last_ts clock with
+              | Some t -> t
+              | None -> b.ev_ts
+            in
+            kept :=
+              {
+                b with
+                ev_phase = Span_end;
+                ev_cat = "";
+                ev_args = [];
+                ev_ts = ts;
+                ev_seq = !seq;
+              }
+              :: !kept;
+            incr seq)
+          !s)
+      stacks;
+    (* per-clock timestamp order; seq breaks ties so a thread's events
+       keep their relative order and synthetic ends land last *)
+    List.sort
+      (fun a b ->
+        match compare a.ev_clock b.ev_clock with
+        | 0 -> (
+            match compare a.ev_ts b.ev_ts with 0 -> compare a.ev_seq b.ev_seq | c -> c)
+        | c -> c)
+      (List.rev !kept)
+
+  let validate evs =
+    let stacks : (clock * int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+    let last_ts : (clock, float) Hashtbl.t = Hashtbl.create 4 in
+    let spans = ref 0 in
+    let err = ref None in
+    let check e =
+      (match Hashtbl.find_opt last_ts e.ev_clock with
+      | Some t when e.ev_ts < t ->
+          err :=
+            Some
+              (Printf.sprintf "timestamp regression at seq %d (%s): %.9f < %.9f"
+                 e.ev_seq e.ev_name e.ev_ts t)
+      | _ -> ());
+      Hashtbl.replace last_ts e.ev_clock e.ev_ts;
+      let key = (e.ev_clock, e.ev_tid) in
+      let s =
+        match Hashtbl.find_opt stacks key with
+        | Some s -> s
+        | None ->
+            let s = ref [] in
+            Hashtbl.replace stacks key s;
+            s
+      in
+      match e.ev_phase with
+      | Instant -> ()
+      | Span_begin -> s := e.ev_name :: !s
+      | Span_end -> (
+          match !s with
+          | [] ->
+              err :=
+                Some
+                  (Printf.sprintf "unbalanced end %S at seq %d (empty stack)"
+                     e.ev_name e.ev_seq)
+          | top :: rest ->
+              if top <> e.ev_name then
+                err :=
+                  Some
+                    (Printf.sprintf "mismatched end %S at seq %d (open span is %S)"
+                       e.ev_name e.ev_seq top)
+              else begin
+                s := rest;
+                incr spans
+              end)
+    in
+    List.iter (fun e -> if !err = None then check e) evs;
+    if !err = None then
+      Hashtbl.iter
+        (fun _ s ->
+          match !s with
+          | [] -> ()
+          | top :: _ ->
+              if !err = None then err := Some (Printf.sprintf "unclosed span %S" top))
+        stacks;
+    match !err with None -> Ok !spans | Some e -> Error e
+
+  (* -------------------------- Chrome export -------------------------- *)
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let pid_of = function Real -> 1 | Virtual -> 2
+
+  let to_chrome_json evs =
+    (* wall-clock microsecond values are enormous; rebase each clock
+       domain on its first event so the viewer opens at t=0 *)
+    let base : (clock, float) Hashtbl.t = Hashtbl.create 4 in
+    List.iter
+      (fun e ->
+        if not (Hashtbl.mem base e.ev_clock) then Hashtbl.replace base e.ev_clock e.ev_ts)
+      evs;
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"traceEvents\":[\n";
+    Buffer.add_string buf
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"wall clock\"}},\n";
+    Buffer.add_string buf
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\"args\":{\"name\":\"virtual time\"}}";
+    List.iter
+      (fun e ->
+        let b = try Hashtbl.find base e.ev_clock with Not_found -> 0.0 in
+        let ts_us = (e.ev_ts -. b) *. 1e6 in
+        let ph =
+          match e.ev_phase with Span_begin -> "B" | Span_end -> "E" | Instant -> "i"
+        in
+        Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d"
+             (json_escape e.ev_name)
+             (json_escape (if e.ev_cat = "" then "span" else e.ev_cat))
+             ph ts_us (pid_of e.ev_clock) e.ev_tid);
+        (match e.ev_phase with Instant -> Buffer.add_string buf ",\"s\":\"t\"" | _ -> ());
+        (match e.ev_args with
+        | [] -> ()
+        | args ->
+            Buffer.add_string buf ",\"args\":{";
+            List.iteri
+              (fun i (k, v) ->
+                if i > 0 then Buffer.add_char buf ',';
+                Buffer.add_string buf
+                  (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+              args;
+            Buffer.add_char buf '}');
+        Buffer.add_char buf '}')
+      evs;
+    Buffer.add_string buf "\n]}\n";
+    Buffer.contents buf
+
+  let write_chrome path =
+    let evs = export () in
+    match validate evs with
+    | Error _ as e -> e
+    | Ok _ ->
+        let oc = open_out path in
+        output_string oc (to_chrome_json evs);
+        close_out oc;
+        Ok (List.length evs)
+end
+
+(* ------------------------- stats providers ------------------------- *)
+
+type stat = {
+  st_source : string;
+  st_name : string;
+  st_fields : (string * float) list;
+}
+
+let providers : (string, unit -> stat list) Hashtbl.t = Hashtbl.create 16
+
+let providers_lock = Mutex.create ()
+
+let register_stats name thunk =
+  Mutex.lock providers_lock;
+  Hashtbl.replace providers name thunk;
+  Mutex.unlock providers_lock
+
+let unregister_stats name =
+  Mutex.lock providers_lock;
+  Hashtbl.remove providers name;
+  Mutex.unlock providers_lock
+
+let all_stats () =
+  let thunks =
+    Mutex.lock providers_lock;
+    let l = Hashtbl.fold (fun name t acc -> (name, t) :: acc) providers [] in
+    Mutex.unlock providers_lock;
+    List.sort (fun (a, _) (b, _) -> compare a b) l
+  in
+  (* run thunks outside the registry latch: they take subsystem latches *)
+  List.concat_map (fun (_, t) -> t ()) thunks
+
+type snapshot = {
+  snap_counters : Counters.snapshot;
+  snap_stats : stat list;
+}
+
+let snapshot () = { snap_counters = Counters.snapshot (); snap_stats = all_stats () }
+
+let render s =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "counters:\n";
+  if s.snap_counters = [] then Buffer.add_string buf "  (none recorded)\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-40s %d\n" k v))
+    s.snap_counters;
+  if s.snap_stats <> [] then Buffer.add_string buf "stats:\n";
+  List.iter
+    (fun st ->
+      Buffer.add_string buf (Printf.sprintf "  %s/%s:" st.st_source st.st_name);
+      List.iter
+        (fun (k, v) ->
+          if Float.is_integer v then
+            Buffer.add_string buf (Printf.sprintf " %s=%.0f" k v)
+          else Buffer.add_string buf (Printf.sprintf " %s=%.3f" k v))
+        st.st_fields;
+      Buffer.add_char buf '\n')
+    s.snap_stats;
+  Buffer.contents buf

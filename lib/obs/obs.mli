@@ -1,0 +1,149 @@
+(** Engine-wide observability (DESIGN.md §4.2d).
+
+    Three facilities, all process-wide and all off by default:
+
+    - {!Counters}: named, cheaply-incremented integer counters.  A
+      disabled counter costs one atomic load and one branch per [bump];
+      snapshots are consistent enough for diffing before/after a workload
+      (each cell is read atomically; the set of cells is latched).
+    - {!Trace}: a bounded ring-buffer span recorder with dual clock
+      domains (wall clock for the CLI and benchmarks, virtual time for
+      the simulation harness) exporting Chrome [trace_event] JSON.
+    - a registry of {e stats providers}: subsystems publish a thunk
+      returning their current stats in one generic shape, and
+      {!snapshot} returns every counter and every provider's stats in a
+      single call. *)
+
+module Counters : sig
+  type counter
+
+  val make : string -> counter
+  (** [make name] registers (or retrieves — same name, same cell) a
+      counter.  Intended for module-initialization time. *)
+
+  val name : counter -> string
+
+  val bump : counter -> unit
+  (** One atomic load + branch when disabled; atomic increment when
+      enabled. *)
+
+  val add : counter -> int -> unit
+
+  val value : counter -> int
+
+  val set_enabled : bool -> unit
+
+  val enabled : unit -> bool
+
+  val reset_all : unit -> unit
+
+  type snapshot = (string * int) list
+  (** Sorted by name; zero-valued counters are dropped (canonical
+      form), so a counter that never fired and one that does not exist
+      are indistinguishable — which makes [diff]/[add_snapshots]
+      total. *)
+
+  val snapshot : unit -> snapshot
+
+  val diff : snapshot -> snapshot -> snapshot
+  (** [diff a b] is the canonical snapshot with value [a(k) - b(k)] per
+      name (missing = 0).  Invariant: [equal (add_snapshots (diff a b) b) a]. *)
+
+  val add_snapshots : snapshot -> snapshot -> snapshot
+
+  val equal : snapshot -> snapshot -> bool
+  (** Equality up to canonicalization (ordering and zero entries). *)
+end
+
+module Trace : sig
+  type clock = Real | Virtual
+
+  type phase = Span_begin | Span_end | Instant
+
+  type event = {
+    ev_phase : phase;
+    ev_name : string;
+    ev_cat : string;
+    ev_clock : clock;
+    ev_ts : float;  (** seconds in the event's clock domain *)
+    ev_tid : int;
+    ev_args : (string * string) list;
+    ev_seq : int;  (** global insertion order *)
+  }
+
+  val enable : ?capacity:int -> unit -> unit
+  (** Start recording into a fresh ring of [capacity] events (default
+      65536); older events are overwritten once full. *)
+
+  val disable : unit -> unit
+  (** Stop recording; already-recorded events remain exportable. *)
+
+  val enabled : unit -> bool
+
+  val clear : unit -> unit
+
+  val set_virtual_now : float -> unit
+  (** The harness event loop publishes its virtual clock here; spans
+      recorded with [~clock:Virtual] are stamped with the last value. *)
+
+  val begin_span :
+    ?clock:clock -> ?args:(string * string) list -> cat:string -> string -> unit
+
+  val end_span : ?clock:clock -> string -> unit
+
+  val instant :
+    ?clock:clock -> ?args:(string * string) list -> cat:string -> string -> unit
+
+  val with_span :
+    ?clock:clock ->
+    ?args:(string * string) list ->
+    cat:string ->
+    string ->
+    (unit -> 'a) ->
+    'a
+
+  val recorded : unit -> int
+  (** Events ever recorded (including those the ring has dropped). *)
+
+  val export : unit -> event list
+  (** Surviving events, repaired to well-formed span nesting: an
+      end whose begin was overwritten by wraparound is dropped, and an
+      unclosed begin gets a synthetic end at its clock's latest
+      timestamp.  The result always passes {!validate}. *)
+
+  val validate : event list -> (int, string) result
+  (** Checks balanced stack-disciplined spans per (clock, thread) and
+      non-decreasing timestamps per clock domain; [Ok n] gives the
+      number of complete spans. *)
+
+  val to_chrome_json : event list -> string
+  (** Chrome [trace_event] "traceEvents" JSON; wall-clock events appear
+      under pid 1, virtual-time events under pid 2. *)
+
+  val write_chrome : string -> (int, string) result
+  (** [write_chrome path] exports, validates and writes the trace;
+      [Ok n] gives the event count written. *)
+end
+
+type stat = {
+  st_source : string;  (** provider name, e.g. ["migration:split"] *)
+  st_name : string;  (** stat name within the provider, e.g. ["customer"] *)
+  st_fields : (string * float) list;
+}
+
+val register_stats : string -> (unit -> stat list) -> unit
+(** Replace-by-name semantics: re-registering a provider name swaps the
+    thunk, so repeatedly created subsystems (tests create many
+    databases) do not leak providers. *)
+
+val unregister_stats : string -> unit
+
+type snapshot = {
+  snap_counters : Counters.snapshot;
+  snap_stats : stat list;
+}
+
+val snapshot : unit -> snapshot
+(** Every counter plus every registered provider's stats, in one call. *)
+
+val render : snapshot -> string

@@ -138,7 +138,7 @@ type stmt =
   | Begin_txn
   | Commit_txn
   | Rollback_txn
-  | Explain of stmt
+  | Explain of { analyze : bool; stmt : stmt }
 
 and drop_kind = Drop_table | Drop_view | Drop_index
 
@@ -286,7 +286,7 @@ let rec max_param_stmt = function
         (match where with None -> 0 | Some e -> max_param_expr e)
         sets
   | Delete { where; _ } -> ( match where with None -> 0 | Some e -> max_param_expr e)
-  | Explain s -> max_param_stmt s
+  | Explain { stmt = s; _ } -> max_param_stmt s
   | Create_table _ | Create_table_as _ | Create_view _ | Create_index _ | Drop _
   | Alter_table _ | Begin_txn | Commit_txn | Rollback_txn ->
       0

@@ -646,7 +646,10 @@ let parse_alter_action st =
 (* ------------------------------------------------------------------ *)
 
 let rec parse_stmt st =
-  if eat_kw st "explain" then Ast.Explain (parse_stmt st)
+  if eat_kw st "explain" then begin
+    let analyze = eat_kw st "analyze" in
+    Ast.Explain { analyze; stmt = parse_stmt st }
+  end
   else if eat_kw st "select" then Ast.Select_stmt (parse_select_body st)
   else if eat_kw st "create" then begin
     if eat_kw st "table" then parse_create_table st

@@ -238,7 +238,8 @@ let rec stmt_to_string = function
   | Begin_txn -> "BEGIN"
   | Commit_txn -> "COMMIT"
   | Rollback_txn -> "ROLLBACK"
-  | Explain s -> "EXPLAIN " ^ stmt_to_string s
+  | Explain { analyze; stmt } ->
+      "EXPLAIN " ^ (if analyze then "ANALYZE " else "") ^ stmt_to_string stmt
 
 and alter_action_to_string = function
   | Add_column c -> "ADD COLUMN " ^ column_def_to_string c

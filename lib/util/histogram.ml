@@ -42,13 +42,23 @@ let percentile t p =
   if t.n = 0 then 0.0
   else begin
     let target = p /. 100.0 *. float_of_int t.n in
-    let acc = ref 0.0 and result = ref (value_of t (Array.length t.counts - 1)) in
+    let nb = Array.length t.counts in
+    let acc = ref 0.0 and result = ref (value_of t (nb - 1)) in
     (try
-       for b = 0 to Array.length t.counts - 1 do
-         acc := !acc +. float_of_int t.counts.(b);
-         if !acc >= target then begin
-           result := value_of t b;
-           raise Exit
+       for b = 0 to nb - 1 do
+         let c = float_of_int t.counts.(b) in
+         if c > 0.0 then begin
+           if !acc +. c >= target then begin
+             (* Interpolate within the bucket, treating its mass as spread
+                evenly between its log-space edges — returning a bucket
+                bound instead made every percentile of a tight
+                distribution collapse to the same value. *)
+             let frac = (target -. !acc) /. c in
+             let frac = if frac < 0.0 then 0.0 else if frac > 1.0 then 1.0 else frac in
+             result := 10.0 ** (t.log_lo +. ((float_of_int b +. frac) /. t.scale));
+             raise Exit
+           end;
+           acc := !acc +. c
          end
        done
      with Exit -> ());

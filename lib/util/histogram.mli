@@ -15,7 +15,10 @@ val add : t -> float -> unit
 val count : t -> int
 
 val percentile : t -> float -> float
-(** [percentile t p] with [p] in [\[0,100\]]; 0. when empty. *)
+(** [percentile t p] with [p] in [\[0,100\]]; 0. when empty.  The result
+    is interpolated within the covering bucket (mass spread evenly
+    between its log-space edges), so nearby percentiles of a tight
+    distribution stay distinct instead of snapping to bucket bounds. *)
 
 val mean : t -> float
 

@@ -24,4 +24,5 @@ let () =
       ("tpcc", Test_tpcc.suite);
       ("scenarios", Test_scenarios.suite);
       ("harness", Test_harness.suite);
+      ("obs", Test_obs.suite);
     ]
