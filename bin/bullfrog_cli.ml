@@ -1,8 +1,14 @@
 (* Interactive SQL shell over the BullFrog engine.
 
    Meta-commands:
-     \migrate <name> [drop <t1,t2,...>] ; <CREATE TABLE x AS (SELECT ...)>
-         submit a single-step schema migration (logical switch)
+     \migrate <name> [drop <t1,t2,...>] ; <CREATE TABLE x AS (SELECT ...)> [; ...]
+         submit a single-step schema migration (logical switch); several
+         ;-separated CREATE TABLE clauses form one multi-output statement
+         (a table split)
+     \lint <name> [drop <t1,t2,...>] ; <CREATE TABLE x AS (SELECT ...)> [; ...]
+         run the static analyzer over a migration without installing it:
+         split disjointness/coverage proofs, data-loss and constraint
+         hazards, precise/imprecise granule-conversion verdicts
      \bg [batch]      run one background-migration batch
      \drain           run background migration to completion
      \progress        migration progress, lazy/background split, ETA and
@@ -15,7 +21,9 @@
      \q               quit
 
    EXPLAIN ANALYZE <select> executes the query and annotates each plan
-   node with its actual rows/loops/time.
+   node with its actual rows/loops/time.  EXPLAIN MIGRATION <create
+   table ... as (select ...)> prints the analyzer verdict for the
+   migration that DDL describes.
 
    Everything else is executed as SQL through the BullFrog façade, so
    requests against tables under migration trigger lazy migration exactly
@@ -43,27 +51,47 @@ let split_on_semi s =
   | None -> (s, "")
   | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
 
-let handle_migrate bf line =
-  (* \migrate name [drop a,b] ; CREATE TABLE ... AS (SELECT ...) *)
+(* \migrate / \lint share the header syntax:
+     name [drop a,b] ; CREATE TABLE ... AS (SELECT ...) [; CREATE TABLE ...]
+   Several ;-separated CREATE TABLE ... AS clauses become the outputs of
+   ONE migration statement — the table-split form (§4.1), which is what
+   the linter's disjointness/coverage proofs are about. *)
+let parse_migration_spec ~usage line =
   let header, ddl = split_on_semi line in
   let tokens =
     String.split_on_char ' ' (String.trim header) |> List.filter (fun t -> t <> "")
   in
   match tokens with
-  | name :: rest ->
+  | name :: rest when String.trim ddl <> "" ->
       let drop_old =
         match rest with
         | "drop" :: tables :: _ -> String.split_on_char ',' tables
         | _ -> []
       in
-      if String.trim ddl = "" then say "usage: \\migrate <name> [drop t1,t2] ; <DDL>"
-      else begin
-        let stmt = Migration.statement_of_sql ~name (String.trim ddl) in
-        let spec = Migration.make ~name ~drop_old [ stmt ] in
-        ignore (Lazy_db.start_migration bf spec : Migrate_exec.t);
-        say "migration %S is live (logical switch done; data migrates lazily)" name
-      end
-  | [] -> say "usage: \\migrate <name> [drop t1,t2] ; <DDL>"
+      let outputs =
+        String.split_on_char ';' ddl
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.concat_map (fun sql ->
+               (Migration.statement_of_sql ~name sql).Migration.outputs)
+      in
+      Some (Migration.make ~name ~drop_old [ { Migration.stmt_name = name; outputs } ])
+  | _ ->
+      say "usage: %s" usage;
+      None
+
+let handle_migrate bf line =
+  match parse_migration_spec ~usage:"\\migrate <name> [drop t1,t2] ; <DDL>" line with
+  | None -> ()
+  | Some spec ->
+      ignore (Lazy_db.start_migration bf spec : Migrate_exec.t);
+      say "migration %S is live (logical switch done; data migrates lazily)"
+        spec.Migration.name
+
+let handle_lint db line =
+  match parse_migration_spec ~usage:"\\lint <name> [drop t1,t2] ; <DDL>" line with
+  | None -> ()
+  | Some spec -> print_string (Mig_lint.format (Mig_lint.lint db.Database.catalog spec))
 
 let show_progress bf =
   match Lazy_db.active bf with
@@ -126,6 +154,7 @@ let () =
                in
                match cmd with
                | "\\migrate" -> handle_migrate bf rest
+               | "\\lint" -> handle_lint db rest
                | "\\bg" ->
                    let batch =
                      match int_of_string_opt (String.trim rest) with Some n -> n | None -> 256

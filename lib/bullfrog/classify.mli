@@ -30,6 +30,11 @@ type input_plan = {
 
 val category_to_string : category -> string
 
+val is_unique_key : Bullfrog_db.Heap.t -> string list -> bool
+(** Whether the named columns (in any order) carry a uniqueness
+    guarantee on the heap: a unique index over exactly those columns,
+    or the table's primary key.  Unknown columns yield [false]. *)
+
 val classify_statement :
   ?fk_join:[ `Tuple | `Class ] ->
   Bullfrog_db.Catalog.t ->

@@ -124,9 +124,50 @@ let register_migration_stats t =
             };
           ])
 
-let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off) t
-    (spec : Migration.t) =
+let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off)
+    ?(lint = `Auto) t (spec : Migration.t) =
   if t.act <> None then err "a schema migration is already in progress";
+  (* Static analysis before the switch: prove split disjointness/coverage
+     and surface data-loss hazards while rejecting is still free. *)
+  let verdict, mode =
+    match lint with
+    | `Off -> (None, mode)
+    | (`Warn | `Auto | `Enforce) as level ->
+        let v = Mig_lint.lint ?fk_join t.database.Database.catalog spec in
+        List.iter
+          (fun h ->
+            Logs.warn (fun m ->
+                m "migration %S lint [%s]: %s" spec.Migration.name
+                  (Mig_lint.hazard_kind_to_string h.Mig_lint.hz_kind)
+                  h.Mig_lint.hz_detail))
+          (Mig_lint.all_hazards v);
+        let mode =
+          match (level, v.Mig_lint.lint_action) with
+          | `Warn, _ -> mode
+          | (`Auto | `Enforce), Mig_lint.Act_reject ->
+              err "migration %S rejected by lint: %s" spec.Migration.name
+                (String.concat "; "
+                   (List.map
+                      (fun h -> h.Mig_lint.hz_detail)
+                      (Mig_lint.errors v)))
+          | _, Mig_lint.Act_on_conflict when mode = Some Migrate_exec.On_conflict ->
+              mode
+          | `Auto, Mig_lint.Act_on_conflict ->
+              Logs.warn (fun m ->
+                  m
+                    "migration %S: split outputs not provably disjoint; switching \
+                     to ON CONFLICT mode"
+                    spec.Migration.name);
+              Some Migrate_exec.On_conflict
+          | `Enforce, Mig_lint.Act_on_conflict ->
+              err
+                "migration %S rejected by lint: overlapping split outputs require \
+                 ON CONFLICT mode"
+                spec.Migration.name
+          | _, Mig_lint.Act_ok -> mode
+        in
+        (Some v, mode)
+  in
   (* The logical switch itself (§2): cold, so the span is unconditional. *)
   Obs.Trace.with_span ~cat:"migration" "flip"
     ~args:[ ("migration", spec.Migration.name) ]
@@ -157,7 +198,10 @@ let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off) t
   in
   let mig_id = t.next_mig_id in
   t.next_mig_id <- mig_id + 1;
-  let rt = Migrate_exec.install ?mode ?page_size ?stripes ?nn ?fk_join ~mig_id t.database spec in
+  let rt =
+    Migrate_exec.install ?mode ?page_size ?stripes ?nn ?fk_join ?lint:verdict
+      ~mig_id t.database spec
+  in
   let shadow = Catalog.create () in
   List.iter (fun heap -> Catalog.add_table shadow heap) old_tables;
   let output_names =
@@ -171,6 +215,9 @@ let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off) t
       spec.Migration.statements
   in
   t.act <- Some { rt; shadow; output_names; cumulative = Migrate_exec.new_report () };
+  (* While the migration is live, a full scan over a partially-populated
+     output forces a whole-table lazy migration — have the planner flag it. *)
+  Planner.set_migration_watch t.database.Database.catalog output_names;
   register_migration_stats t;
   t.dropped <- t.dropped @ spec.Migration.drop_old;
   (* The logical switch changes what every cached plan would resolve to
@@ -202,8 +249,11 @@ let rec tables_of_stmt (stmt : Ast.stmt) =
   | Ast.Explain { stmt = inner; _ } -> tables_of_stmt inner
   | Ast.Create_table_as { query; _ } | Ast.Create_view { query; _ } ->
       tables_of_select query
-  | Ast.Create_table _ | Ast.Create_index _ | Ast.Drop _ | Ast.Alter_table _
-  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
+  (* EXPLAIN MIGRATION is pure analysis: it must not trigger any lazy
+     migration work for the tables it mentions. *)
+  | Ast.Explain_migration _ | Ast.Create_table _ | Ast.Create_index _
+  | Ast.Drop _ | Ast.Alter_table _ | Ast.Begin_txn | Ast.Commit_txn
+  | Ast.Rollback_txn ->
       []
 
 (* ------------------------------------------------------------------ *)
@@ -412,8 +462,9 @@ let extract_predicates_for_active t act (stmt : Ast.stmt) =
       | _ -> [])
   | Ast.Create_table_as { query; _ } | Ast.Create_view { query; _ } ->
       extract_from_select act query
-  | Ast.Create_table _ | Ast.Create_index _ | Ast.Drop _ | Ast.Alter_table _
-  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
+  | Ast.Explain_migration _ | Ast.Create_table _ | Ast.Create_index _
+  | Ast.Drop _ | Ast.Alter_table _ | Ast.Begin_txn | Ast.Commit_txn
+  | Ast.Rollback_txn ->
       []
 
 (* Output tables a statement's migration work is on behalf of: the ones it
@@ -508,18 +559,48 @@ let intercept t ?report ?params sql =
       then maybe_migrate t ?report (Database.bind_stmt params stmt));
   p
 
+(* EXPLAIN MIGRATION <create-table-as>: run the static analyzer over the
+   migration the statement describes and report, without executing
+   anything (and, via [tables_of_stmt], without triggering lazy work). *)
+let explain_migration t (inner : Ast.stmt) =
+  match inner with
+  | Ast.Create_table_as { name; query } ->
+      let name = String.lowercase_ascii name in
+      let stmt =
+        {
+          Migration.stmt_name = name;
+          outputs =
+            [
+              {
+                Migration.out_name = name;
+                out_create = None;
+                out_population = query;
+                out_indexes = [];
+              };
+            ];
+        }
+      in
+      let spec = Migration.make ~name [ stmt ] in
+      Executor.Explained (Mig_lint.format (Mig_lint.lint t.database.Database.catalog spec))
+  | _ ->
+      Executor.Explained
+        "(EXPLAIN MIGRATION expects CREATE TABLE ... AS (SELECT ...))"
+
 let exec t ?report ?params sql =
   let p = intercept t ?report ?params sql in
-  (match Database.prepared_stmt p with
+  match Database.prepared_stmt p with
   | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
       err "use with_txn for explicit transaction control"
-  | _ -> ());
-  Database.with_txn t.database (fun txn ->
-      Database.exec_prepared_in t.database txn ?params p)
+  | Ast.Explain_migration inner -> explain_migration t inner
+  | _ ->
+      Database.with_txn t.database (fun txn ->
+          Database.exec_prepared_in t.database txn ?params p)
 
 let exec_in t txn ?report ?params sql =
   let p = intercept t ?report ?params sql in
-  Database.exec_prepared_in t.database txn ?params p
+  match Database.prepared_stmt p with
+  | Ast.Explain_migration inner -> explain_migration t inner
+  | _ -> Database.exec_prepared_in t.database txn ?params p
 
 (* ------------------------------------------------------------------ *)
 (* Background migration and lifecycle                                  *)
@@ -570,5 +651,6 @@ let finalize t =
             Catalog.drop t.database.Database.catalog name)
         (List.sort_uniq String.compare inputs);
       t.act <- None;
+      Planner.clear_migration_watch t.database.Database.catalog;
       Obs.unregister_stats "bullfrog.migration";
       Catalog.bump_epoch t.database.Database.catalog

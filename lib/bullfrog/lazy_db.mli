@@ -26,6 +26,7 @@ val start_migration :
   ?nn:Migrate_exec.nn_granularity ->
   ?fk_join:[ `Tuple | `Class ] ->
   ?precheck:[ `Off | `Warn | `Error ] ->
+  ?lint:[ `Off | `Warn | `Auto | `Enforce ] ->
   t ->
   Migration.t ->
   Migrate_exec.t
@@ -34,7 +35,15 @@ val start_migration :
     constraints: [`Error] rejects the migration when existing data would
     violate them, [`Warn] logs and proceeds with the pure lazy approach
     (those records will fail to migrate).
-    @raise Db_error.Sql_error when a migration is already active. *)
+
+    [lint] (default [`Auto]) runs the static analyzer ({!Mig_lint.lint})
+    before the switch: [`Warn] only logs hazards; [`Auto] rejects provable
+    row loss and, when split outputs are not provably disjoint, switches
+    to ON CONFLICT mode (unless the caller already asked for it); [`Enforce]
+    rejects instead of switching.  The verdict is recorded on the returned
+    runtime ([Migrate_exec.lint]).
+    @raise Db_error.Sql_error when a migration is already active, or when
+    the linter rejects the spec. *)
 
 val active : t -> Migrate_exec.t option
 

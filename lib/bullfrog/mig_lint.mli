@@ -1,0 +1,88 @@
+(** DDL-install-time migration linter (the "migration linter" consumer
+    of {!Bullfrog_analysis.Predicate}).
+
+    Before any data moves, [lint] proves what it can about a migration
+    spec and reports the rest as hazards:
+
+    - {b Overlap} (error): two split outputs' population predicates are
+      not provably disjoint — a lazily migrated row may be inserted
+      into both, so the install path must use ON CONFLICT mode (§3.7)
+      or reject.
+    - {b Lost_rows}: a dropped input table's rows are provably (or not
+      provably-not) missed by every output.  An unproven cover of a
+      multi-output split is an error; a single filtered output over a
+      dropped table is a warning (intentional filtered copy).
+    - {b Lossy_projection} (warning): columns of a dropped table that
+      no output carries.
+    - {b Constraint_narrowing} (warning): the output declares NOT NULL
+      or uniqueness the input data is not known to satisfy.
+
+    Each input is also classified {b precise} vs {b imprecise} for
+    predicate→granule conversion (paper §4.3): a query predicate over a
+    computed output column cannot be converted exactly into input
+    granules, forcing the conservative superset fallback at query
+    time. *)
+
+type severity = Sev_error | Sev_warning
+
+type hazard_kind = Lost_rows | Overlap | Lossy_projection | Constraint_narrowing
+
+type hazard = { hz_kind : hazard_kind; hz_severity : severity; hz_detail : string }
+
+type precision =
+  | Precise
+  | Imprecise of string list
+      (** output columns whose predicates need the fallback path *)
+
+type partition =
+  | Part_replicating  (** every output takes all input rows (column split) *)
+  | Part_disjoint  (** differing predicates, proven pairwise disjoint *)
+  | Part_unproven  (** differing predicates, disjointness not provable *)
+  | Part_na  (** single output or join population *)
+
+type input_verdict = {
+  iv_alias : string;
+  iv_table : string;
+  iv_category : Classify.category;
+  iv_tracking : Classify.tracking;
+  iv_precision : precision;
+}
+
+type stmt_verdict = {
+  sv_stmt : string;
+  sv_inputs : input_verdict list;
+  sv_partition : partition;
+  sv_hazards : hazard list;
+}
+
+type action =
+  | Act_ok
+  | Act_on_conflict  (** installable, but only under ON CONFLICT mode *)
+  | Act_reject  (** provable (or unprovable-and-unsafe) row loss *)
+
+type t = {
+  lint_migration : string;
+  lint_stmts : stmt_verdict list;
+  lint_hazards : hazard list;  (** migration-level (dropped-table) hazards *)
+  lint_action : action;
+}
+
+val lint :
+  ?fk_join:[ `Tuple | `Class ] -> Bullfrog_db.Catalog.t -> Migration.t -> t
+(** Analyze a migration against the current catalog.  Conservative in
+    the same direction as the underlying decision procedure: hazards
+    may be over-reported, never silently missed for the supported
+    predicate language.
+    @raise Bullfrog_db.Db_error.Sql_error on statements the classifier
+    does not support (same shapes as {!Classify.classify_statement}). *)
+
+val all_hazards : t -> hazard list
+val errors : t -> hazard list
+val warnings : t -> hazard list
+val hazard_kind_to_string : hazard_kind -> string
+val precision_to_string : precision -> string
+val partition_to_string : partition -> string
+
+val format : t -> string
+(** Multi-line human-readable report (used by [EXPLAIN MIGRATION] and
+    the CLI [\lint] command). *)

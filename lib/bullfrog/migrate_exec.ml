@@ -74,6 +74,7 @@ type t = {
   mutable tele_skip_waits : int;
   mutable tele_aborts : int;
   mutable tele_samples : (float * int) list;  (* newest first *)
+  lint : Mig_lint.t option;  (* install-time analyzer verdict, if it ran *)
 }
 
 type report = {
@@ -197,7 +198,7 @@ let infer_output_schema catalog (population : Ast.select) =
 (* ------------------------------------------------------------------ *)
 
 let install ?(mode = Tracked) ?(page_size = 1) ?(stripes = 64) ?(nn = Nn_pair)
-    ?(fk_join = `Tuple) ~mig_id db (spec : Migration.t) =
+    ?(fk_join = `Tuple) ?lint ~mig_id db (spec : Migration.t) =
   (* Installation is the logical switch (§3.2) — rare and cold, so the
      span is unconditional. *)
   Obs.Trace.with_span ~cat:"migration" "install"
@@ -395,6 +396,7 @@ let install ?(mode = Tracked) ?(page_size = 1) ?(stripes = 64) ?(nn = Nn_pair)
     tele_skip_waits = 0;
     tele_aborts = 0;
     tele_samples = [];
+    lint;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -98,6 +98,9 @@ type t = {
   mutable tele_samples : (float * int) list;
       (** recent (wallclock, granules committed) samples, newest first;
           bounded — feeds {!progress_report}'s rate/ETA *)
+  lint : Mig_lint.t option;
+      (** install-time analyzer verdict ({!Mig_lint.lint}), when the
+          caller ran the linter *)
 }
 
 (** Accumulated work report, consumed by the benchmark cost model. *)
@@ -121,12 +124,15 @@ val install :
   ?stripes:int ->
   ?nn:nn_granularity ->
   ?fk_join:[ `Tuple | `Class ] ->
+  ?lint:Mig_lint.t ->
   mig_id:int ->
   Bullfrog_db.Database.t ->
   Migration.t ->
   t
 (** Logical switch; raises on unsupported migration shapes.  Output tables
-    must not collide with existing relations. *)
+    must not collide with existing relations.  [lint] is the analyzer
+    verdict to record on the runtime (informational; enforcement happens
+    in {!Lazy_db.start_migration}). *)
 
 val migrate_for_preds :
   ?stmt_filter:(rt_stmt -> bool) ->

@@ -254,6 +254,7 @@ let stmt_label (stmt : Ast.stmt) =
   | Ast.Drop _ -> "drop"
   | Ast.Alter_table _ -> "alter"
   | Ast.Explain _ -> "explain"
+  | Ast.Explain_migration _ -> "explain-migration"
   | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn -> "txn-control"
 
 let run_prepared t txn params p =

@@ -150,6 +150,7 @@ let rec run_raw ?(params = [||]) (txn : Txn.t) (plan : Plan.t) : Value.t array l
   let c = txn.Txn.counters in
   match plan with
   | Plan.Values rows -> rows
+  | Plan.Empty _ -> []
   | Plan.Seq_scan { table; filter } ->
       let out = ref [] in
       Heap.iter_live table (fun _tid row ->
@@ -457,6 +458,7 @@ let rec iter_plan ?(params = [||]) (txn : Txn.t) (plan : Plan.t) (f : Value.t ar
   let c = txn.Txn.counters in
   match plan with
   | Plan.Values rows -> List.iter f rows
+  | Plan.Empty _ -> ()
   | Plan.Seq_scan { table; filter } ->
       Heap.iter_live table (fun _tid row ->
           c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
@@ -1067,6 +1069,10 @@ let rec exec_stmt ?(params = [||]) ctx txn (stmt : Ast.stmt) : result =
               ^ Printf.sprintf "Execution: %d row(s) in %.3f ms\n" n (1000.0 *. dt))
           end
       | _ -> Explained "(only SELECT statements can be explained)")
+  | Ast.Explain_migration _ ->
+      (* The analyzer needs the migration machinery; the BullFrog layer
+         intercepts this statement before it reaches the executor. *)
+      Explained "(EXPLAIN MIGRATION requires a BullFrog session)"
   | Ast.Create_table { name; columns; constraints; if_not_exists } ->
       if if_not_exists && Catalog.exists ctx.catalog name then Done "CREATE TABLE"
       else begin
@@ -1122,9 +1128,28 @@ let rec exec_stmt ?(params = [||]) ctx txn (stmt : Ast.stmt) : result =
       Catalog.bump_epoch ctx.catalog;
       log_ddl ctx stmt;
       r
-  | Ast.Insert { table; columns; source; on_conflict_do_nothing } ->
+  | Ast.Insert { table; columns; source; on_conflict_do_nothing; on_conflict_target } ->
       let heap = Catalog.find_table_exn ctx.catalog table in
       let schema = heap.Heap.schema in
+      (* A conflict target must name a uniqueness guarantee: a unique
+         index over exactly those columns, or the table's primary key. *)
+      (match on_conflict_target with
+      | None -> ()
+      | Some cols ->
+          let idxs = List.map (Schema.col_index_exn schema) cols in
+          let arr = Array.of_list idxs in
+          let is_pk =
+            match schema.Schema.primary_key with
+            | Some pk ->
+                List.sort compare (Array.to_list pk)
+                = List.sort compare (Array.to_list arr)
+            | None -> false
+          in
+          if (not is_pk) && Heap.unique_index_on heap arr = None then
+            err
+              "ON CONFLICT (%s): no unique index or primary key on these columns \
+               of %s"
+              (String.concat ", " cols) table);
       let arity = Schema.arity schema in
       let positions =
         match columns with

@@ -259,7 +259,7 @@ type t = {
   idx_name : string;
   cols : int array;
   unique : bool;
-  mutable store : store;
+  store : store;
   mutable count : int;
 }
 

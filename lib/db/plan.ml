@@ -54,6 +54,8 @@ type t =
   | Distinct of t
   | Limit of t * int
   | Values of Value.t array list
+  | Empty of { empty_width : int; reason : string }
+      (* plan lint proved the predicate unsatisfiable: no rows, no scan *)
 
 let rec width = function
   | Seq_scan { table; _ } | Index_scan { table; _ } | Index_range { table; _ } ->
@@ -67,6 +69,7 @@ let rec width = function
   | Project (_, exprs) -> Array.length exprs
   | Aggregate { group; aggs; _ } -> Array.length group + Array.length aggs
   | Values rows -> ( match rows with [] -> 0 | r :: _ -> Array.length r)
+  | Empty { empty_width; _ } -> empty_width
 
 let describe ?(annot = fun (_ : t) -> "") plan =
   let buf = Buffer.create 256 in
@@ -198,6 +201,7 @@ let describe ?(annot = fun (_ : t) -> "") plan =
         line0 (Printf.sprintf "Limit: %d" n);
         go (indent + 1) p
     | Values rows -> line0 (Printf.sprintf "Values (%d row(s))" (List.length rows))
+    | Empty { reason; _ } -> line0 (Printf.sprintf "Empty Scan (%s)" reason)
   in
   go 0 plan;
   Buffer.contents buf

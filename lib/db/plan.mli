@@ -65,6 +65,9 @@ type t =
   | Distinct of t
   | Limit of t * int
   | Values of Value.t array list  (** FROM-less SELECT *)
+  | Empty of { empty_width : int; reason : string }
+      (** plan lint proved the predicate unsatisfiable: produces no rows
+          and touches no storage *)
 
 val describe : ?annot:(t -> string) -> t -> string
 (** Multi-line, indented, EXPLAIN-style.  [annot] is appended to each

@@ -19,6 +19,39 @@ let err = Db_error.sql_error
 let prep = Expr.prepare
 
 (* ------------------------------------------------------------------ *)
+(* Plan lint                                                           *)
+(*                                                                     *)
+(* The analyzer (lib/analysis) proves facts about scan predicates at   *)
+(* plan time: a provably unsatisfiable predicate plans to Plan.Empty   *)
+(* (no scan at all), and residual conjuncts already implied by the     *)
+(* equality conjuncts that form an index probe are dropped.  Both are  *)
+(* sound w.r.t. the engine's three-valued row semantics — the QCheck   *)
+(* suite in test/test_analysis.ml cross-validates the procedure        *)
+(* against Expr evaluation.                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Pred = Bullfrog_analysis.Predicate
+
+let c_empty_scan = Obs.Counters.make "analysis.plan.empty_scan"
+let c_residual_dropped = Obs.Counters.make "analysis.plan.residual_dropped"
+let c_fullscan_under_migration = Obs.Counters.make "analysis.plan.fullscan_under_migration"
+
+(* Tables whose full scan during an active migration should be flagged
+   (scanning a partially-populated output triggers a whole-table lazy
+   migration).  Keyed by catalog so concurrently simulated databases do
+   not observe each other's migrations. *)
+let fullscan_watch : (Catalog.t * string list) list ref = ref []
+
+let set_migration_watch cat tables =
+  fullscan_watch := (cat, tables) :: List.filter (fun (c, _) -> c != cat) !fullscan_watch
+
+let clear_migration_watch cat =
+  fullscan_watch := List.filter (fun (c, _) -> c != cat) !fullscan_watch
+
+let watched_table cat name =
+  List.exists (fun (c, ts) -> c == cat && List.mem name ts) !fullscan_watch
+
+(* ------------------------------------------------------------------ *)
 (* Star and view expansion                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -368,7 +401,6 @@ let rec compile ctx (descs : Plan.col_desc array) (e : Ast.expr) : Expr.t =
 (* Compilation above an Aggregate node: group expressions become fields of
    the group output, Agg nodes become fields of the aggregate slots. *)
 type agg_stage = {
-  in_descs : Plan.col_desc array;  (** pre-aggregation layout *)
   group_asts : Ast.expr list;
   mutable specs : (Ast.agg_fn * bool * Ast.expr option) list;  (** slot order *)
 }
@@ -477,24 +509,63 @@ let rec resolve_subqueries ctx (e : Ast.expr) : Ast.expr =
   | Ast.Between (a, b, c) -> Ast.Between (sub a, sub b, sub c)
   | Ast.Is_null (a, n) -> Ast.Is_null (sub a, n)
 
+(* Equality of a column against a literal: the conjunct shape the access
+   path builds probes from. *)
+let is_eq_const e =
+  let is_lit l =
+    Ast.columns_of_expr l = []
+    && Ast.max_param_expr l = 0
+    && not (Ast.expr_has_subquery l)
+  in
+  match e with
+  | Ast.Binop (Ast.Eq, Ast.Col _, rhs) -> is_lit rhs
+  | Ast.Binop (Ast.Eq, lhs, Ast.Col _) -> is_lit lhs
+  | _ -> false
+
 let scan_of_base ctx heap conjs =
   let conjs = List.map (resolve_subqueries ctx) conjs in
-  let pred = Access.compile_pred heap (Ast.conjoin conjs) in
-  match pred.Access.path with
-  | Access.P_eq (idx, key) ->
-      Plan.Index_scan
-        { table = heap; index = idx; key = Array.map prep key; filter = pred.Access.residual }
-  | Access.P_range (idx, prefix, lo, hi) ->
-      Plan.Index_range
+  let stripped = List.map Pred.unqualify conjs in
+  match Ast.conjoin stripped with
+  | Some w when not (Pred.satisfiable w) ->
+      Obs.Counters.bump c_empty_scan;
+      Plan.Empty
         {
-          table = heap;
-          index = idx;
-          prefix = Array.map prep prefix;
-          lo = Option.map prep lo;
-          hi = Option.map prep hi;
-          filter = pred.Access.residual;
+          empty_width = Schema.arity heap.Heap.schema;
+          reason = "predicate is always false";
         }
-  | Access.P_full -> Plan.Seq_scan { table = heap; filter = pred.Access.residual }
+  | _ ->
+      let conjs =
+        match Ast.conjoin (List.filter is_eq_const stripped) with
+        | None -> conjs
+        | Some eq_pred ->
+            List.filter_map
+              (fun (orig, str) ->
+                if (not (is_eq_const str)) && Pred.implies eq_pred str then begin
+                  Obs.Counters.bump c_residual_dropped;
+                  None
+                end
+                else Some orig)
+              (List.combine conjs stripped)
+      in
+      let pred = Access.compile_pred heap (Ast.conjoin conjs) in
+      (match pred.Access.path with
+      | Access.P_eq (idx, key) ->
+          Plan.Index_scan
+            { table = heap; index = idx; key = Array.map prep key; filter = pred.Access.residual }
+      | Access.P_range (idx, prefix, lo, hi) ->
+          Plan.Index_range
+            {
+              table = heap;
+              index = idx;
+              prefix = Array.map prep prefix;
+              lo = Option.map prep lo;
+              hi = Option.map prep hi;
+              filter = pred.Access.residual;
+            }
+      | Access.P_full ->
+          if watched_table ctx.catalog heap.Heap.name then
+            Obs.Counters.bump c_fullscan_under_migration;
+          Plan.Seq_scan { table = heap; filter = pred.Access.residual })
 
 (* SELECT MIN(c) / MAX(c) FROM t WHERE <equality conjuncts>: answered by a
    single probe of an ordered index keyed by the pinned columns followed
@@ -748,7 +819,16 @@ and plan_select ctx (s : Ast.select) : planned =
   let joined_plan =
     match Ast.conjoin cls.consts with
     | None -> joined_plan
-    | Some w -> Plan.Filter (joined_plan, prep (compile ctx joined_descs w))
+    | Some w ->
+        if not (Pred.satisfiable w) then begin
+          Obs.Counters.bump c_empty_scan;
+          Plan.Empty
+            {
+              empty_width = Array.length joined_descs;
+              reason = "constant predicate is always false";
+            }
+        end
+        else Plan.Filter (joined_plan, prep (compile ctx joined_descs w))
   in
   let has_agg =
     s.Ast.group_by <> []
@@ -772,7 +852,7 @@ and plan_select ctx (s : Ast.select) : planned =
   in
   let pre_plan, pre_descs, proj_exprs, compile_pre =
     if has_agg then begin
-      let stage = { in_descs = joined_descs; group_asts = s.Ast.group_by; specs = [] } in
+      let stage = { group_asts = s.Ast.group_by; specs = [] } in
       let proj_exprs = List.map (compile_post_agg ctx stage) proj_asts in
       let having_expr = Option.map (compile_post_agg ctx stage) s.Ast.having in
       let group =

@@ -36,6 +36,17 @@ val pushed_base_filters :
     appear with an empty list — BullFrog treats those as "migrate
     everything potentially relevant" (paper §2.4). *)
 
+val set_migration_watch : Catalog.t -> string list -> unit
+(** Flag full scans over the named tables of this catalog (bumping the
+    [analysis.plan.fullscan_under_migration] counter): BullFrog arms
+    this with a migration's output tables while it is live — a Seq Scan
+    over a partially-populated output forces a whole-table lazy
+    migration.  Replaces any previous watch for the same catalog. *)
+
+val clear_migration_watch : Catalog.t -> unit
+(** Disarm {!set_migration_watch} for this catalog (migration complete
+    or finalized). *)
+
 val expand_select : ctx -> Bullfrog_sql.Ast.select -> Bullfrog_sql.Ast.select
 (** View expansion + star expansion only (no pushdown); exposed for tests
     and for BullFrog's migration-view construction. *)

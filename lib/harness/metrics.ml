@@ -4,7 +4,6 @@ type marker = {
 }
 
 type t = {
-  duration : float;
   buckets : int array;  (* completions per second *)
   mutable latency_from : float;
   latencies : (string, Histogram.t) Hashtbl.t;
@@ -18,7 +17,6 @@ type t = {
 
 let create ~duration =
   {
-    duration;
     buckets = Array.make (int_of_float (ceil duration) + 2) 0;
     latency_from = 0.0;
     latencies = Hashtbl.create 8;

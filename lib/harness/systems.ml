@@ -108,6 +108,13 @@ let bullfrog ?(mode = Migrate_exec.Tracked) ?(page_size = 1) ?nn ?(background = 
     Sim.sys_name = name;
     begin_migration =
       (fun ~now:_ ->
+        (* Pre-flight: surface the analyzer verdict (partition proof,
+           hazards, precise/imprecise conversion) before the flip. *)
+        let v = Tpcc_migrations.preflight ~fk:ctx.fk ctx.db.Database.catalog ctx.scenario in
+        Logs.info (fun m ->
+            m "pre-flight %s:@.%s"
+              (Tpcc_migrations.scenario_name ctx.scenario)
+              (Mig_lint.format v));
         let spec = Tpcc_migrations.spec_of ~fk:ctx.fk ctx.scenario in
         ignore (Lazy_db.start_migration ~mode ~page_size ?nn bf spec : Migrate_exec.t);
         if tracking then attach_listener ();

@@ -132,6 +132,9 @@ type stmt =
       columns : string list option;
       source : insert_source;
       on_conflict_do_nothing : bool;
+      on_conflict_target : string list option;
+          (** ON CONFLICT (col, ...): must name a unique index or the
+              primary key of [table] *)
     }
   | Update of { table : string; sets : (string * expr) list; where : expr option }
   | Delete of { table : string; where : expr option }
@@ -139,6 +142,9 @@ type stmt =
   | Commit_txn
   | Rollback_txn
   | Explain of { analyze : bool; stmt : stmt }
+  | Explain_migration of stmt
+      (** EXPLAIN MIGRATION <stmt>: static analyzer verdict for the
+          migration the statement describes (no execution) *)
 
 and drop_kind = Drop_table | Drop_view | Drop_index
 
@@ -286,7 +292,7 @@ let rec max_param_stmt = function
         (match where with None -> 0 | Some e -> max_param_expr e)
         sets
   | Delete { where; _ } -> ( match where with None -> 0 | Some e -> max_param_expr e)
-  | Explain { stmt = s; _ } -> max_param_stmt s
+  | Explain { stmt = s; _ } | Explain_migration s -> max_param_stmt s
   | Create_table _ | Create_table_as _ | Create_view _ | Create_index _ | Drop _
   | Alter_table _ | Begin_txn | Commit_txn | Rollback_txn ->
       0

@@ -647,8 +647,10 @@ let parse_alter_action st =
 
 let rec parse_stmt st =
   if eat_kw st "explain" then begin
-    let analyze = eat_kw st "analyze" in
-    Ast.Explain { analyze; stmt = parse_stmt st }
+    if eat_kw st "migration" then Ast.Explain_migration (parse_stmt st)
+    else
+      let analyze = eat_kw st "analyze" in
+      Ast.Explain { analyze; stmt = parse_stmt st }
   end
   else if eat_kw st "select" then Ast.Select_stmt (parse_select_body st)
   else if eat_kw st "create" then begin
@@ -730,18 +732,20 @@ let rec parse_stmt st =
         Ast.Query q
       end
     in
-    let on_conflict_do_nothing =
+    let on_conflict_do_nothing, on_conflict_target =
       if eat_kw st "on" then begin
         expect_kw st "conflict";
         (* Optional conflict target: ON CONFLICT (col, ...) DO NOTHING *)
-        if peek st = LPAREN then ignore (parse_column_list st);
+        let target =
+          if peek st = LPAREN then Some (parse_column_list st) else None
+        in
         expect_kw st "do";
         expect_kw st "nothing";
-        true
+        (true, target)
       end
-      else false
+      else (false, None)
     in
-    Ast.Insert { table; columns; source; on_conflict_do_nothing }
+    Ast.Insert { table; columns; source; on_conflict_do_nothing; on_conflict_target }
   end
   else if eat_kw st "update" then begin
     let table = expect_ident st in

@@ -201,7 +201,7 @@ let rec stmt_to_string = function
   | Alter_table { table; action } ->
       Printf.sprintf "ALTER TABLE %s %s" table (alter_action_to_string action)
   | Select_stmt s -> select_to_string s
-  | Insert { table; columns; source; on_conflict_do_nothing } ->
+  | Insert { table; columns; source; on_conflict_do_nothing; on_conflict_target } ->
       let cols =
         match columns with
         | None -> ""
@@ -219,8 +219,15 @@ let rec stmt_to_string = function
                    rows)
         | Query q -> Printf.sprintf "(%s)" (select_to_string q)
       in
-      Printf.sprintf "INSERT INTO %s%s %s%s" table cols src
-        (if on_conflict_do_nothing then " ON CONFLICT DO NOTHING" else "")
+      let conflict =
+        if not on_conflict_do_nothing then ""
+        else
+          match on_conflict_target with
+          | None -> " ON CONFLICT DO NOTHING"
+          | Some cs ->
+              Printf.sprintf " ON CONFLICT (%s) DO NOTHING" (String.concat ", " cs)
+      in
+      Printf.sprintf "INSERT INTO %s%s %s%s" table cols src conflict
   | Update { table; sets; where } ->
       let sets =
         String.concat ", "
@@ -240,6 +247,7 @@ let rec stmt_to_string = function
   | Rollback_txn -> "ROLLBACK"
   | Explain { analyze; stmt } ->
       "EXPLAIN " ^ (if analyze then "ANALYZE " else "") ^ stmt_to_string stmt
+  | Explain_migration stmt -> "EXPLAIN MIGRATION " ^ stmt_to_string stmt
 
 and alter_action_to_string = function
   | Add_column c -> "ADD COLUMN " ^ column_def_to_string c

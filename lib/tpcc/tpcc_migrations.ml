@@ -390,3 +390,9 @@ let post_ops : scenario -> (module S) = function
   | Join -> (module Ops_join)
 
 let base_ops : (module S) = (module Base)
+
+(* Static-analyzer pre-flight: lint a scenario's spec against a loaded
+   catalog without installing anything (harness runs this before the
+   flip; CI asserts the expected verdicts over all three scenarios). *)
+let preflight ?fk catalog scenario =
+  Bullfrog_core.Mig_lint.lint catalog (spec_of ?fk scenario)

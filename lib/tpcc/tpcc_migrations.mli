@@ -41,3 +41,11 @@ module Ops_split : Txn_ops.S
 module Ops_aggregate : Txn_ops.S
 
 module Ops_join : Txn_ops.S
+
+val preflight :
+  ?fk:fk_variant ->
+  Bullfrog_db.Catalog.t ->
+  scenario ->
+  Bullfrog_core.Mig_lint.t
+(** Run the install-time static analyzer ({!Bullfrog_core.Mig_lint.lint})
+    over the scenario's migration spec without installing it. *)

@@ -8,6 +8,8 @@ let () =
       ("value", Test_value.suite);
       ("expr", Test_expr.suite);
       ("sql", Test_sql.suite);
+      ("analysis", Test_analysis.suite);
+      ("lint", Test_lint.suite);
       ("storage", Test_storage.suite);
       ("engine", Test_engine.suite);
       ("access", Test_access.suite);

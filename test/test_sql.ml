@@ -123,14 +123,17 @@ let contains_agg () =
     (Ast.contains_agg (Parser.parse_expr "1 + SUM(x)"));
   check Alcotest.bool "no agg" false (Ast.contains_agg (Parser.parse_expr "1 + x"))
 
-(* Random expression generator for the print-parse fixpoint property. *)
-let gen_expr =
+(* Random expression generator for the print-parse properties.
+   [int_lo] bounds the integer literals: the structural-identity
+   property needs them non-negative, because "-5" reparses as unary
+   minus applied to 5. *)
+let gen_expr_from int_lo =
   let open QCheck.Gen in
   let ident = oneofl [ "a"; "b"; "c"; "col1"; "x_y" ] in
   let leaf =
     oneof
       [
-        map (fun i -> Ast.Int_lit i) (int_range (-100) 100);
+        map (fun i -> Ast.Int_lit i) (int_range int_lo 100);
         map (fun s -> Ast.Str_lit s) (oneofl [ "s"; "it's"; ""; "AA101" ]);
         map (fun c -> Ast.Col (None, c)) ident;
         return Ast.Null_lit;
@@ -157,6 +160,8 @@ let gen_expr =
   in
   expr 4
 
+let gen_expr = gen_expr_from (-100)
+
 let expr_fixpoint_prop =
   QCheck.Test.make ~name:"expression print/parse fixpoint" ~count:500
     (QCheck.make gen_expr ~print:Pretty.expr_to_string)
@@ -164,6 +169,33 @@ let expr_fixpoint_prop =
       let printed = Pretty.expr_to_string e in
       let reparsed = Parser.parse_expr printed in
       Pretty.expr_to_string reparsed = printed)
+
+(* Stronger than the fixpoint: printing then parsing is the identity on
+   the AST itself. *)
+let expr_structural_prop =
+  QCheck.Test.make ~name:"expression print/parse structural identity" ~count:1000
+    (QCheck.make (gen_expr_from 0) ~print:Pretty.expr_to_string)
+    (fun e -> Parser.parse_expr (Pretty.expr_to_string e) = e)
+
+let insert_conflict_target () =
+  let sql = "INSERT INTO t (a, b) VALUES (1, 2) ON CONFLICT (a, b) DO NOTHING" in
+  match Parser.parse_one sql with
+  | Ast.Insert { on_conflict_do_nothing; on_conflict_target; _ } as stmt ->
+      check Alcotest.bool "do-nothing flag" true on_conflict_do_nothing;
+      check
+        Alcotest.(option (list string))
+        "target columns preserved" (Some [ "a"; "b" ]) on_conflict_target;
+      (* and the target survives a print/parse roundtrip *)
+      check Alcotest.bool "roundtrip identity" true
+        (Parser.parse_one (Pretty.stmt_to_string stmt) = stmt)
+  | _ -> Alcotest.fail "expected INSERT"
+
+let explain_migration_parse () =
+  match Parser.parse_one "EXPLAIN MIGRATION CREATE TABLE x AS (SELECT a FROM t)" with
+  | Ast.Explain_migration (Ast.Create_table_as _) as stmt ->
+      check Alcotest.string "prints back" "EXPLAIN MIGRATION CREATE TABLE x AS (SELECT a FROM t)"
+        (Pretty.stmt_to_string stmt)
+  | _ -> Alcotest.fail "expected EXPLAIN MIGRATION of CREATE TABLE AS"
 
 let suite =
   [
@@ -178,5 +210,8 @@ let suite =
     Alcotest.test_case "param binding" `Quick param_binding;
     Alcotest.test_case "conjunct helpers" `Quick conjunct_helpers;
     Alcotest.test_case "contains_agg" `Quick contains_agg;
+    Alcotest.test_case "INSERT ON CONFLICT target" `Quick insert_conflict_target;
+    Alcotest.test_case "EXPLAIN MIGRATION parse/print" `Quick explain_migration_parse;
     QCheck_alcotest.to_alcotest expr_fixpoint_prop;
+    QCheck_alcotest.to_alcotest expr_structural_prop;
   ]
