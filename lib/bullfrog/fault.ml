@@ -19,6 +19,10 @@ let p_eager_copy = 5
 
 let p_multistep_copy = 6
 
+let p_commit_ts = 7
+
+let p_gc_sweep = 8
+
 let names =
   [|
     "mark_commit";  (* granule marks recorded, before commit *)
@@ -28,6 +32,9 @@ let names =
     "bg_batch";  (* between background migration batches *)
     "eager_copy";  (* inside the eager copy transaction *)
     "multistep_copy";  (* after a multistep copier step *)
+    "commit_ts";  (* inside the timestamped-commit critical section,
+                     versions stamped but clock unpublished, log unwritten *)
+    "gc_sweep";  (* mid version-chain GC, some tables swept, some not *)
   |]
 
 let count = Array.length names
@@ -73,3 +80,14 @@ let point id =
     end
     else decr remaining
   end
+
+(* The timestamped-commit and GC-sweep sites live in the db layer, which
+   cannot depend on this library; Database exposes injection hooks
+   instead.  Installed once at module load — [point] is a no-op while its
+   point is unarmed, so the hooks cost one int compare in production.
+   Commits with no migration marks (test setup, client writes) do not hit
+   the commit_ts point: the sweep targets the migration flip path. *)
+let () =
+  Bullfrog_db.Database.commit_test_hook :=
+    (fun ~has_marks -> if has_marks then point p_commit_ts);
+  Bullfrog_db.Database.gc_test_hook := (fun () -> point p_gc_sweep)

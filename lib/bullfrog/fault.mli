@@ -36,6 +36,17 @@ val p_eager_copy : int
 val p_multistep_copy : int
 (** after a multistep copier step *)
 
+val p_commit_ts : int
+(** inside the timestamped-commit critical section of a migration-marked
+    transaction: versions stamped with the reserved timestamp, clock not
+    yet published, redo record not yet appended — nothing of the commit
+    is durable or visible (installed into {!Database.commit_test_hook}) *)
+
+val p_gc_sweep : int
+(** mid version-chain GC: some tables already swept, the rest not —
+    exercises that GC carries no logical state across a crash (installed
+    into {!Database.gc_test_hook}) *)
+
 val count : int
 
 val name_of : int -> string

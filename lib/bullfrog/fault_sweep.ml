@@ -121,6 +121,45 @@ let bitmap_scenario =
   }
 
 (* ------------------------------------------------------------------ *)
+(* scenario: MVCC timestamped commit and version-chain GC              *)
+
+(* Same copy migration as [bitmap], but the workload updates migrated
+   rows (growing version chains) and interleaves [Database.vacuum]
+   sweeps.  Reaches the two db-layer points: [p_commit_ts] fires inside
+   the stamp-then-publish critical section of a migration-marked commit
+   (nothing durable or visible yet — the txn aborts and recovery
+   re-migrates), and [p_gc_sweep] fires mid-vacuum (GC holds no logical
+   state, so a crash there must be a pure no-op after recovery).  The
+   updates are content-neutral ([SET v = v] still installs a fresh
+   version): a crash skips the rest of the workload, so only writes whose
+   final effect is crash-invariant keep the oracle comparison exact. *)
+let mvcc_scenario =
+  {
+    sc_name = "mvcc";
+    sc_run =
+      run_lazy
+        ~setup:(fun () -> mk_src_db 32)
+        ~spec:copy_spec ~page_size:4
+        ~workload:(fun ld ->
+          ignore (Lazy_db.exec ld "SELECT * FROM dst WHERE id = 7" : Executor.result);
+          ignore
+            (Lazy_db.exec ld "UPDATE dst SET v = v WHERE id = 7"
+              : Executor.result);
+          ignore (Database.vacuum (Lazy_db.db ld) : int);
+          ignore (Lazy_db.exec ld "SELECT * FROM dst WHERE grp = 3" : Executor.result);
+          ignore
+            (Lazy_db.exec ld "UPDATE dst SET v = v WHERE grp = 3"
+              : Executor.result);
+          ignore (Database.vacuum (Lazy_db.db ld) : int))
+        ~probes:
+          [
+            "SELECT * FROM dst WHERE id = 17";
+            "SELECT * FROM dst WHERE grp = 5";
+          ]
+        ~outputs:[ "dst" ];
+  }
+
+(* ------------------------------------------------------------------ *)
 (* scenario: hash-tracked aggregate                                    *)
 
 let agg_spec () =
@@ -280,6 +319,7 @@ let eager_scenario =
 let scenarios =
   [
     bitmap_scenario;
+    mvcc_scenario;
     hash_scenario;
     pair_scenario;
     joinkey_scenario;
@@ -361,6 +401,7 @@ let run_sweep ?(names = scenario_names) ?points () =
 let bounded_cells =
   [
     ("bitmap", [ Fault.p_mark_commit; Fault.p_flip_batched; Fault.p_bg_batch ]);
+    ("mvcc", [ Fault.p_commit_ts; Fault.p_gc_sweep ]);
     ("hash", [ Fault.p_mark_commit; Fault.p_flip_batched ]);
     ("pair", [ Fault.p_pair_commit; Fault.p_pair_flip ]);
     ("joinkey", [ Fault.p_mark_commit; Fault.p_flip_batched ]);

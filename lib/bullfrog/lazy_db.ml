@@ -168,9 +168,18 @@ let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off)
         in
         (Some v, mode)
   in
-  (* The logical switch itself (§2): cold, so the span is unconditional. *)
+  (* The logical switch itself (§2): cold, so the span is unconditional.
+     Under MVCC the switch takes no table locks and stalls no reader:
+     granule moves are ordinary versioned writes, and each migration
+     transaction becomes visible through one atomic clock publish
+     (Database.commit).  The span records the clock at switch time so a
+     trace can line flips up against commit timestamps. *)
   Obs.Trace.with_span ~cat:"migration" "flip"
-    ~args:[ ("migration", spec.Migration.name) ]
+    ~args:
+      [
+        ("migration", spec.Migration.name);
+        ("mvcc_ts", string_of_int (Mvcc.now ()));
+      ]
   @@ fun () ->
   (match precheck with
   | `Off -> ()

@@ -1013,7 +1013,7 @@ let pair_candidates t report pr (preds : (string * Ast.expr option) list) =
   else begin
     let scan input pred =
       let txn = Database.begin_txn t.db in
-      let rows = Access.scan_pred txn input.ri_heap pred in
+      let rows = Access.scan_pred ~latest:true txn input.ri_heap pred in
       Database.commit t.db txn;
       report.r_input_rows <- report.r_input_rows + List.length rows;
       rows
@@ -1099,7 +1099,7 @@ let migrate_for_preds_inner ?(stmt_filter = fun (_ : rt_stmt) -> true) t report
      semantics); a side the request does not constrain is the universe. *)
   let scan_keys (input, pred) =
     let txn = Database.begin_txn t.db in
-    let rows = Access.scan_pred txn input.ri_heap pred in
+    let rows = Access.scan_pred ~latest:true txn input.ri_heap pred in
     Database.commit t.db txn;
     report.r_input_rows <- report.r_input_rows + List.length rows;
     let set = Gset.create () in

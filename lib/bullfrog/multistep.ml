@@ -163,7 +163,7 @@ let refresh_rows t (stmt : Migrate_exec.rt_stmt) (input : Migrate_exec.rt_input)
                      Ast.Binop (Ast.Eq, Ast.Col (None, c), Value.to_ast_literal key_vals.(j)))
                    cols)
             in
-            let targets = Access.scan_pred txn out_heap (Ast.conjoin conjs) in
+            let targets = Access.scan_pred ~latest:true txn out_heap (Ast.conjoin conjs) in
             List.iter (fun (tid, _) -> Executor.delete_row ctx txn out_heap tid) targets;
             t.st.dual_write_rows <- t.st.dual_write_rows + List.length targets)
           stmt.Migrate_exec.rs_outputs;
@@ -268,7 +268,7 @@ let exec_stmt_in t txn (stmt : Ast.stmt) =
       | targets ->
           (* Snapshot the affected rows before the write. *)
           let heap = Catalog.find_table_exn t.db.Database.catalog table in
-          let affected = Access.scan_pred txn heap where in
+          let affected = Access.scan_pred ~latest:true txn heap where in
           let result = Executor.exec_stmt ctx txn stmt in
           List.iter
             (fun (stmt_rt, input) ->

@@ -213,7 +213,13 @@ let compile_pred table where =
 
 let key_value params e = Expr.eval_env params [||] e
 
-let fetch_tids ?(params = [||]) (txn : Txn.t) table pred tids =
+(* [latest] bypasses snapshot visibility and reads the raw slot array —
+   uncommitted writes of every transaction included.  SQL reads never use
+   it; BullFrog's interception does: a granule-candidate scan runs
+   mid-client-transaction and must see the client's in-flight input rows
+   (trigger semantics), exactly as the pre-MVCC heap did. *)
+
+let fetch_tids ?(params = [||]) ?(latest = false) (txn : Txn.t) table pred tids =
   let c = txn.Txn.counters in
   let matches row =
     match pred.residual with
@@ -222,21 +228,26 @@ let fetch_tids ?(params = [||]) (txn : Txn.t) table pred tids =
         c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
         f.Expr.ce_pred params row
   in
+  let fetch tid =
+    if latest then Heap.get table tid
+    else Heap.snapshot_get table ~ts:txn.Txn.snapshot ~reader:txn.Txn.id tid
+  in
   List.filter_map
     (fun tid ->
-      match Heap.get table tid with
+      match fetch tid with
       | None -> None
       | Some row ->
           c.Txn.rows_read <- c.Txn.rows_read + 1;
           if matches row then Some (tid, row) else None)
     (List.sort Stdlib.compare tids)
 
-let select_tids ?(params = [||]) (txn : Txn.t) table pred =
+let select_tids ?(params = [||]) ?latest (txn : Txn.t) table pred =
   let c = txn.Txn.counters in
   match pred.path with
   | P_eq (idx, key) ->
       c.Txn.index_probes <- c.Txn.index_probes + 1;
-      fetch_tids ~params txn table pred (Index.find idx (Array.map (key_value params) key))
+      fetch_tids ~params ?latest txn table pred
+        (Index.find idx (Array.map (key_value params) key))
   | P_range (idx, prefix, lo, hi) ->
       c.Txn.index_probes <- c.Txn.index_probes + 1;
       let prefix = Array.map (key_value params) prefix in
@@ -247,7 +258,7 @@ let select_tids ?(params = [||]) (txn : Txn.t) table pred =
           ~f:(fun acc _key tids -> List.rev_append tids acc)
           ()
       in
-      fetch_tids ~params txn table pred tids
+      fetch_tids ~params ?latest txn table pred tids
   | P_full ->
       let matches row =
         match pred.residual with
@@ -257,14 +268,17 @@ let select_tids ?(params = [||]) (txn : Txn.t) table pred =
             f.Expr.ce_pred params row
       in
       let out = ref [] in
-      Heap.iter_live table (fun tid row ->
-          if matches row then begin
-            c.Txn.rows_read <- c.Txn.rows_read + 1;
-            out := (tid, row) :: !out
-          end);
+      let visit tid row =
+        if matches row then begin
+          c.Txn.rows_read <- c.Txn.rows_read + 1;
+          out := (tid, row) :: !out
+        end
+      in
+      if latest = Some true then Heap.iter_live table visit
+      else Heap.snapshot_iter table ~ts:txn.Txn.snapshot ~reader:txn.Txn.id visit;
       List.rev !out
 
-let scan_pred ?params txn table where =
-  select_tids ?params txn table (compile_pred table where)
+let scan_pred ?params ?latest txn table where =
+  select_tids ?params ?latest txn table (compile_pred table where)
 
 let count_matching txn table where = List.length (scan_pred txn table where)

@@ -36,11 +36,21 @@ val compile_pred : Heap.t -> Bullfrog_sql.Ast.expr option -> pred
     Qualified column references must refer to the table itself. *)
 
 val select_tids :
-  ?params:Value.t array -> Txn.t -> Heap.t -> pred -> (int * Heap.row) list
-(** Matching live rows in TID order. *)
+  ?params:Value.t array ->
+  ?latest:bool ->
+  Txn.t ->
+  Heap.t ->
+  pred ->
+  (int * Heap.row) list
+(** Matching rows in TID order.  Default: rows visible at the
+    transaction's snapshot (plus its own writes).  [~latest:true] reads
+    the raw slot array instead — every transaction's uncommitted writes
+    included — for BullFrog's mid-transaction interception scans (trigger
+    semantics); SQL execution never passes it. *)
 
 val scan_pred :
   ?params:Value.t array ->
+  ?latest:bool ->
   Txn.t ->
   Heap.t ->
   Bullfrog_sql.Ast.expr option ->

@@ -78,7 +78,7 @@ let begin_txn t =
   let id = t.next_txn_id in
   t.next_txn_id <- id + 1;
   Mutex.unlock t.txn_latch;
-  Txn.make id
+  Txn.make ~locks:t.locks id
 
 let add_migration_mark t (txn : Txn.t) mark =
   Mutex.lock t.marks_latch;
@@ -100,7 +100,7 @@ let take_marks t (txn : Txn.t) =
   marks
 
 (* Derive the redo record from the undo log plus current heap state. *)
-let redo_record (txn : Txn.t) marks =
+let redo_record (txn : Txn.t) ~commit_ts marks =
   let writes = ref [] in
   Vec.iter
     (fun entry ->
@@ -116,12 +116,41 @@ let redo_record (txn : Txn.t) marks =
           | Some row -> writes := Redo_log.W_update (heap.Heap.name, tid, row) :: !writes
           | None -> ()))
     txn.Txn.undo;
-  { Redo_log.txn_id = txn.Txn.id; writes = List.rev !writes; marks }
+  { Redo_log.txn_id = txn.Txn.id; commit_ts; writes = List.rev !writes; marks }
+
+(* Fault-injection seams: the crash-sweep harness (which lives above this
+   library) installs closures that raise its crash exception at the
+   timestamped-commit and GC-sweep points.  Default no-ops. *)
+let commit_test_hook : (has_marks:bool -> unit) ref = ref (fun ~has_marks:_ -> ())
+
+let gc_test_hook : (unit -> unit) ref = ref (fun () -> ())
 
 let commit t (txn : Txn.t) =
   let marks = take_marks t txn in
-  if Vec.length txn.Txn.undo > 0 || marks <> [] then
-    Redo_log.append t.redo (redo_record txn marks);
+  if Vec.length txn.Txn.undo > 0 || marks <> [] then begin
+    (* Timestamped commit: reserve the next clock value, stamp every
+       version this transaction wrote, publish with one atomic store
+       (Mvcc.commit) — a concurrent snapshot reader sees all of this
+       commit or none of it.  A migration flip rides the same path: its
+       granule moves are ordinary versioned writes, so the "flip" is
+       nothing but this single publish.  If stamping dies mid-way (fault
+       injection), nothing is published or logged and the caller's abort
+       unwinds the heap. *)
+    let ts =
+      Mvcc.commit ~stamp:(fun ts ->
+          !commit_test_hook ~has_marks:(marks <> []);
+          Vec.iter
+            (fun entry ->
+              match entry with
+              | Txn.U_insert (heap, tid)
+              | Txn.U_delete (heap, tid, _)
+              | Txn.U_update (heap, tid, _) ->
+                  Heap.stamp heap tid ~writer:txn.Txn.id ~ts)
+            txn.Txn.undo)
+    in
+    txn.Txn.commit_ts <- ts;
+    Redo_log.append t.redo (redo_record txn ~commit_ts:ts marks)
+  end;
   Txn.commit txn;
   Lock_manager.release_all t.locks ~owner:txn.Txn.id
 
@@ -130,12 +159,18 @@ let abort t (txn : Txn.t) =
   Txn.abort txn;
   Lock_manager.release_all t.locks ~owner:txn.Txn.id
 
+(* The exception arm must also cover [commit]: a timestamped commit can
+   die before publishing (fault injection at [p_commit_ts], log append
+   failure), and the transaction's uncommitted versions and index entries
+   must then be unwound like any other abort. *)
 let with_txn t f =
   let txn = begin_txn t in
-  match f txn with
-  | v ->
-      commit t txn;
-      v
+  match
+    let v = f txn in
+    commit t txn;
+    v
+  with
+  | v -> v
   | exception e ->
       if Txn.active txn then abort t txn;
       raise e
@@ -260,6 +295,9 @@ let stmt_label (stmt : Ast.stmt) =
 let run_prepared t txn params p =
   match p.p_stmt with
   | Ast.Select_stmt s when p.p_cacheable ->
+      (* statement boundary for the cached-plan fast path, which skips
+         [Executor.exec_stmt] *)
+      Txn.refresh_snapshot txn;
       let planned = planned_select t txn params p s in
       let names =
         Array.to_list
@@ -310,6 +348,49 @@ let explain t sql =
   | _ -> Db_error.sql_error "explain: unexpected result"
 
 (* ------------------------------------------------------------------ *)
+(* Version-chain GC                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let c_gc_runs = Obs.Counters.make "mvcc.gc_runs"
+
+let c_gc_reclaimed = Obs.Counters.make "mvcc.gc_reclaimed"
+
+(* Epoch-based reclamation, where the "epochs" are pinned snapshot
+   timestamps: Mvcc.horizon() is the oldest snapshot any reader can still
+   hold, so every version superseded at or below it is unreachable.
+   Unpinned statement-level readers re-acquire their snapshot per
+   statement and cannot span a vacuum (single statement = no yield point
+   that outlives the sweep's latch acquisition per table); long-lived
+   readers must pin.  GC only ever shortens chains — it never touches the
+   head version — so it is invisible to latest-version readers and
+   crash-safe at any point (the sweep is idempotent and carries no
+   logical state). *)
+let vacuum t =
+  Obs.Trace.with_span ~cat:"mvcc" "gc" @@ fun () ->
+  Obs.Counters.bump c_gc_runs;
+  let horizon = Mvcc.horizon () in
+  let reclaimed = ref 0 in
+  List.iter
+    (fun name ->
+      match Catalog.find_table t.catalog name with
+      | None -> ()
+      | Some heap ->
+          !gc_test_hook ();
+          reclaimed := !reclaimed + Heap.gc heap ~horizon)
+    (Catalog.table_names t.catalog);
+  if !reclaimed > 0 then Obs.Counters.add c_gc_reclaimed !reclaimed;
+  !reclaimed
+
+let version_backlog t =
+  List.fold_left
+    (fun acc name ->
+      match Catalog.find_table t.catalog name with
+      | None -> acc
+      | Some heap -> acc + Heap.chained_versions heap)
+    0
+    (Catalog.table_names t.catalog)
+
+(* ------------------------------------------------------------------ *)
 (* Redo replay                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -331,16 +412,26 @@ let replay (src : Redo_log.t) =
           with_txn t (fun txn ->
               ignore (Executor.exec_stmt (exec_ctx t) txn stmt : Executor.result))
       | Redo_log.E_commit r ->
+          (* Re-stamp with the logged commit timestamp and fold it into
+             the clock, so the rebuilt heap is a consistent
+             newest-version image: post-recovery snapshots (>= every
+             durable commit_ts) see exactly the committed data.  Version
+             chains are not rebuilt — no pinned snapshot survives a
+             crash, so only the newest version matters. *)
+          let ts = if r.Redo_log.commit_ts > 0 then Some r.Redo_log.commit_ts else None in
+          Mvcc.observe r.Redo_log.commit_ts;
           List.iter
             (fun (w : Redo_log.write) ->
               match w with
               | Redo_log.W_insert (tbl, tid, row) ->
-                  Heap.insert_at (Catalog.find_table_exn t.catalog tbl) tid row
+                  Heap.insert_at ?ts (Catalog.find_table_exn t.catalog tbl) tid row
               | Redo_log.W_delete (tbl, tid) ->
-                  ignore (Heap.delete (Catalog.find_table_exn t.catalog tbl) tid : Heap.row)
+                  ignore
+                    (Heap.delete ?ts (Catalog.find_table_exn t.catalog tbl) tid : Heap.row)
               | Redo_log.W_update (tbl, tid, row) ->
                   ignore
-                    (Heap.update (Catalog.find_table_exn t.catalog tbl) tid row : Heap.row))
+                    (Heap.update ?ts (Catalog.find_table_exn t.catalog tbl) tid row
+                      : Heap.row))
             r.Redo_log.writes;
           Redo_log.append t.redo r)
     (Redo_log.entries src);

@@ -35,8 +35,11 @@ val exec_ctx : t -> Executor.exec_ctx
 val begin_txn : t -> Txn.t
 
 val commit : t -> Txn.t -> unit
-(** Appends the redo record (with any migration marks) and runs commit
-    hooks. *)
+(** Timestamped commit: takes the next {!Mvcc} timestamp, stamps every
+    version the transaction wrote, publishes the clock with one atomic
+    store (all-or-nothing for snapshot readers), appends the redo record
+    (with its commit timestamp and any migration marks) and runs commit
+    hooks.  Read-only transactions skip the clock entirely. *)
 
 val abort : t -> Txn.t -> unit
 
@@ -78,6 +81,27 @@ val query_one : t -> ?params:Value.t array -> string -> Value.t array
 (** First row. @raise Db_error.Sql_error when the result is empty. *)
 
 val explain : t -> string -> string
+
+val vacuum : t -> int
+(** One version-chain GC sweep over every table, reclaiming versions no
+    snapshot at or above {!Mvcc.horizon} can reach.  Emits an [mvcc]/[gc]
+    trace span and bumps [mvcc.gc_runs]/[mvcc.gc_reclaimed].  Returns the
+    number of versions reclaimed.  Safe to run at any time, concurrently
+    with readers: it only shortens chains below committed heads (a reader
+    holding an old descriptor keeps its nodes alive via the OCaml GC). *)
+
+val version_backlog : t -> int
+(** Total chained versions across all tables (what {!vacuum} would
+    inspect). *)
+
+val commit_test_hook : (has_marks:bool -> unit) ref
+(** Fault-injection seam, called inside the timestamped-commit critical
+    section (before the clock publish) with whether the committing
+    transaction carries migration marks.  Installed by the crash-sweep
+    harness; defaults to a no-op.  Not for production use. *)
+
+val gc_test_hook : (unit -> unit) ref
+(** Fault-injection seam, called per table inside {!vacuum}. *)
 
 val replay : Redo_log.t -> t
 (** Rebuild a fresh database from an untruncated redo log: DDL entries

@@ -146,6 +146,17 @@ let prof_annot pr node =
       Printf.sprintf " (actual rows=%d loops=%d time=%.3fms)" e.pe_rows e.pe_loops
         (1000.0 *. e.pe_time)
 
+(* Snapshot reads (DESIGN.md §4.2f): every point and scan operator
+   resolves rows against the transaction's snapshot timestamp with no
+   locks — a reader racing a writer (or a migration flip) sees the
+   pre-commit versions until the commit publishes, then all of it.  The
+   reader id makes the transaction's own uncommitted writes visible. *)
+let snap_get (txn : Txn.t) table tid =
+  Heap.snapshot_get table ~ts:txn.Txn.snapshot ~reader:txn.Txn.id tid
+
+let snap_iter (txn : Txn.t) table f =
+  Heap.snapshot_iter table ~ts:txn.Txn.snapshot ~reader:txn.Txn.id f
+
 let rec run_raw ?(params = [||]) (txn : Txn.t) (plan : Plan.t) : Value.t array list =
   let c = txn.Txn.counters in
   match plan with
@@ -153,7 +164,7 @@ let rec run_raw ?(params = [||]) (txn : Txn.t) (plan : Plan.t) : Value.t array l
   | Plan.Empty _ -> []
   | Plan.Seq_scan { table; filter } ->
       let out = ref [] in
-      Heap.iter_live table (fun _tid row ->
+      snap_iter txn table (fun _tid row ->
           c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
           let keep =
             match filter with None -> true | Some f -> f.Expr.ce_pred params row
@@ -169,7 +180,7 @@ let rec run_raw ?(params = [||]) (txn : Txn.t) (plan : Plan.t) : Value.t array l
       let tids = List.sort Stdlib.compare (Index.find index key) in
       List.filter_map
         (fun tid ->
-          match Heap.get table tid with
+          match snap_get txn table tid with
           | None -> None
           | Some row ->
               c.Txn.rows_read <- c.Txn.rows_read + 1;
@@ -190,7 +201,7 @@ let rec run_raw ?(params = [||]) (txn : Txn.t) (plan : Plan.t) : Value.t array l
       in
       List.filter_map
         (fun tid ->
-          match Heap.get table tid with
+          match snap_get txn table tid with
           | None -> None
           | Some row ->
               c.Txn.rows_read <- c.Txn.rows_read + 1;
@@ -232,7 +243,7 @@ let rec run_raw ?(params = [||]) (txn : Txn.t) (plan : Plan.t) : Value.t array l
             in
             List.iter
               (fun tid ->
-                match Heap.get inner_table tid with
+                match snap_get txn inner_table tid with
                 | None -> ()
                 | Some irow ->
                     c.Txn.rows_read <- c.Txn.rows_read + 1;
@@ -391,7 +402,7 @@ and run_limited_raw ?(params = [||]) (txn : Txn.t) (plan : Plan.t) n : Value.t a
            List.iter
              (fun tid ->
                if !count >= n then raise Exit;
-               match Heap.get table tid with
+               match snap_get txn table tid with
                | None -> ()
                | Some row ->
                    c.Txn.rows_read <- c.Txn.rows_read + 1;
@@ -408,7 +419,7 @@ and run_limited_raw ?(params = [||]) (txn : Txn.t) (plan : Plan.t) n : Value.t a
     | Plan.Seq_scan { table; filter } ->
         let out = ref [] and count = ref 0 in
         (try
-           Heap.iter_live table (fun _tid row ->
+           snap_iter txn table (fun _tid row ->
                if !count >= n then raise Exit;
                c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
                let keep =
@@ -460,7 +471,7 @@ let rec iter_plan ?(params = [||]) (txn : Txn.t) (plan : Plan.t) (f : Value.t ar
   | Plan.Values rows -> List.iter f rows
   | Plan.Empty _ -> ()
   | Plan.Seq_scan { table; filter } ->
-      Heap.iter_live table (fun _tid row ->
+      snap_iter txn table (fun _tid row ->
           c.Txn.rows_scanned <- c.Txn.rows_scanned + 1;
           let keep =
             match filter with None -> true | Some p -> p.Expr.ce_pred params row
@@ -489,7 +500,7 @@ let rec iter_plan ?(params = [||]) (txn : Txn.t) (plan : Plan.t) (f : Value.t ar
             in
             List.iter
               (fun tid ->
-                match Heap.get inner_table tid with
+                match snap_get txn inner_table tid with
                 | None -> ()
                 | Some irow ->
                     c.Txn.rows_read <- c.Txn.rows_read + 1;
@@ -700,7 +711,7 @@ let insert_row ctx txn (table : Heap.t) ?(on_conflict_do_nothing = false) row =
   check_not_null table row;
   check_checks txn table row;
   check_fk_for_row ctx txn table row;
-  match Heap.insert table row with
+  match Heap.insert ~writer:txn.Txn.id table row with
   | tid ->
       Txn.record_insert txn table tid;
       txn.Txn.counters.Txn.rows_written <- txn.Txn.counters.Txn.rows_written + 1;
@@ -726,7 +737,7 @@ let insert_rows ctx txn (table : Heap.t) ?(on_conflict_do_nothing = false) rows 
         check_checks txn table row;
         check_fk_for_row ctx txn table row)
       rows;
-    match Heap.insert_batch table rows with
+    match Heap.insert_batch ~writer:txn.Txn.id table rows with
     | base ->
         for i = 0 to n - 1 do
           Txn.record_insert txn table (base + i)
@@ -738,7 +749,7 @@ let insert_rows ctx txn (table : Heap.t) ?(on_conflict_do_nothing = false) rows 
         let inserted = ref 0 in
         Array.iter
           (fun row ->
-            match Heap.insert table row with
+            match Heap.insert ~writer:txn.Txn.id table row with
             | tid ->
                 Txn.record_insert txn table tid;
                 txn.Txn.counters.Txn.rows_written <-
@@ -749,17 +760,23 @@ let insert_rows ctx txn (table : Heap.t) ?(on_conflict_do_nothing = false) rows 
         !inserted
   end
 
+(* Updates and deletes of existing rows are where write-write conflicts
+   live, so they take the row's exclusive lock (2PL — held to commit) —
+   inserts allocate fresh TIDs no concurrent transaction can address, so
+   they skip the lock manager entirely, and readers never touch it. *)
 let update_row ctx txn (table : Heap.t) tid row =
   let row = coerce_row table row in
   check_not_null table row;
   check_checks txn table row;
   check_fk_for_row ctx txn table row;
-  let old = Heap.update table tid row in
+  Txn.lock_row txn table tid;
+  let old = Heap.update ~writer:txn.Txn.id table tid row in
   Txn.record_update txn table tid old;
   txn.Txn.counters.Txn.rows_written <- txn.Txn.counters.Txn.rows_written + 1
 
 let delete_row _ctx txn (table : Heap.t) tid =
-  let old = Heap.delete table tid in
+  Txn.lock_row txn table tid;
+  let old = Heap.delete ~writer:txn.Txn.id table tid in
   Txn.record_delete txn table tid old;
   txn.Txn.counters.Txn.rows_written <- txn.Txn.counters.Txn.rows_written + 1
 
@@ -867,13 +884,17 @@ let alter_table ctx txn table_name (action : Ast.alter_action) =
       in
       table.Heap.schema <- new_schema;
       (* Widen every live row; TIDs and existing index entries are
-         unaffected because the new column is appended. *)
+         unaffected because the new column is appended.  The rewrite
+         replaces each row inside its current version — no new versions,
+         and chains are cut so no old-arity row can surface through a
+         snapshot (column DDL truncates version history, matching the
+         catalog epoch bump that invalidates every cached plan). *)
       let widened = ref [] in
       Heap.iter_live table (fun tid row ->
           if Array.length row < Schema.arity new_schema then widened := (tid, row) :: !widened);
       List.iter
         (fun (tid, row) ->
-          ignore (Heap.update table tid (Array.append row [| default |]) : Heap.row))
+          Heap.rewrite_in_place table tid (Array.append row [| default |]))
         !widened;
       Done "ALTER TABLE"
   | Ast.Drop_column col_name ->
@@ -941,7 +962,7 @@ let alter_table ctx txn table_name (action : Ast.alter_action) =
       let rewrites = ref [] in
       Heap.iter_live table (fun tid row -> rewrites := (tid, row) :: !rewrites);
       List.iter
-        (fun (tid, row) -> Vec.set table.Heap.slots tid (remove_at row))
+        (fun (tid, row) -> Heap.rewrite_in_place table tid (remove_at row))
         !rewrites;
       let old_indexes = Heap.indexes table in
       table.Heap.indexes <- [];
@@ -1044,6 +1065,11 @@ let alter_table ctx txn table_name (action : Ast.alter_action) =
 (* ------------------------------------------------------------------ *)
 
 let rec exec_stmt ?(params = [||]) ctx txn (stmt : Ast.stmt) : result =
+  (* Statement boundary: advance the snapshot to the published clock
+     (read-committed; no-op for pinned transactions), so this statement
+     sees every commit that published before it started — including a
+     lazy-migration granule this very transaction just pulled in. *)
+  Txn.refresh_snapshot txn;
   match stmt with
   | Ast.Select_stmt s -> run_select ~params ctx txn s
   | Ast.Explain { analyze; stmt = inner } -> (

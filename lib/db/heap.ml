@@ -7,14 +7,39 @@ type row = Value.t array
    tombstone never aliases one. *)
 let tombstone : row = Array.make 1 Value.Null
 
+(* Multi-version metadata (DESIGN.md §4.2f): each slot carries an
+   immutable version descriptor; the newest-first chain of older
+   committed versions hangs off it.  Replacing a slot's descriptor is a
+   single pointer store, so snapshot readers take no latch: one [Vec.get]
+   yields a self-consistent (row, begin-timestamp, writer, chain) tuple,
+   and the chain nodes it reaches are immutable forever after.  A
+   version's *end* timestamp is materialized as the begin timestamp of
+   the next-newer version in the chain (a tombstone row is the deleted
+   marker), so the classical [begin, end) interval check reduces to
+   "newest version with v_begin <= ts". *)
+type version = {
+  v_row : row;  (* tombstone == no row at this version *)
+  v_begin : int;  (* commit timestamp; [unstamped] while the writer runs *)
+  v_writer : int;  (* owning txn while uncommitted, 0 once stamped *)
+  v_older : version option;
+}
+
+(* Uncommitted versions sit above every possible clock value, so readers
+   reject them by the same comparison that rejects too-new commits. *)
+let unstamped = max_int
+
+let empty_version = { v_row = tombstone; v_begin = 0; v_writer = 0; v_older = None }
+
 type t = {
   tbl_id : int;
   mutable name : string;
   mutable schema : Schema.t;
   latch : Mutex.t;
   slots : row Vec.t;
+  vers : version Vec.t;  (* parallel to [slots]: version descriptors *)
   mutable indexes : Index.t list;
   mutable live : int;
+  mutable chained : int;  (* versions held in older chains (GC backlog) *)
 }
 
 let create ~tbl_id ~name schema =
@@ -24,8 +49,10 @@ let create ~tbl_id ~name schema =
     schema;
     latch = Mutex.create ();
     slots = Vec.create ();
+    vers = Vec.create ();
     indexes = [];
     live = 0;
+    chained = 0;
   }
 
 let with_latch t f =
@@ -77,12 +104,69 @@ let c_inserts = Obs.Counters.make "db.heap.inserts"
 
 let c_tombstones = Obs.Counters.make "db.heap.tombstones"
 
-let insert t row =
+let c_versions = Obs.Counters.make "mvcc.versions_chained"
+
+let c_walks = Obs.Counters.make "mvcc.version_walks"
+
+(* ------------------------------------------------------------------ *)
+(* Version bookkeeping (call with the latch held)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Fresh descriptor for a row written by [writer]; begin stamp:
+   - writer > 0: [unstamped] — invisible until Database.commit stamps it
+   - writer = 0: committed immediately, at [ts] when given (redo replay
+     carries the original commit timestamp) or at the current clock
+     (loader / DDL backfill / direct Heap API use). *)
+let fresh_version ~writer ~ts row older =
+  if writer > 0 then { v_row = row; v_begin = unstamped; v_writer = writer; v_older = older }
+  else
+    let b = match ts with Some ts -> ts | None -> Mvcc.now () in
+    { v_row = row; v_begin = b; v_writer = 0; v_older = older }
+
+(* Replace slot [tid]'s descriptor with a new head for [row].  The
+   previous head is chained unless it is the shared empty descriptor or
+   an uncommitted head by the same writer (a transaction re-writing its
+   own row replaces in place, so chains only ever hold committed
+   versions). *)
+let install_version t tid ~writer ~ts row =
+  let cur = Vec.get t.vers tid in
+  let older =
+    if cur == empty_version then None
+    else if writer > 0 && cur.v_writer = writer then cur.v_older
+    else begin
+      t.chained <- t.chained + 1;
+      Obs.Counters.bump c_versions;
+      Some cur
+    end
+  in
+  Vec.set t.vers tid (fresh_version ~writer ~ts row older)
+
+(* Abort: pop an uncommitted head back to its committed predecessor.
+   Returns [true] when a pop happened (the committed pre-image is the
+   chained node, physically the same array the undo log saved). *)
+let pop_uncommitted t tid =
+  let cur = Vec.get t.vers tid in
+  if cur.v_writer > 0 then begin
+    (match cur.v_older with
+    | Some older ->
+        Vec.set t.vers tid older;
+        t.chained <- t.chained - 1
+    | None -> Vec.set t.vers tid empty_version);
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Mutations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let insert ?(writer = 0) t row =
   Obs.Counters.bump c_inserts;
   with_latch t (fun () ->
       let tid = Vec.length t.slots in
       index_all t row tid;
       Vec.push t.slots row;
+      Vec.push t.vers (fresh_version ~writer ~ts:None row None);
       t.live <- t.live + 1;
       tid)
 
@@ -90,7 +174,7 @@ let insert t row =
    all-or-nothing index maintenance — when any row of the batch violates a
    unique index (including intra-batch duplicates), every index entry the
    batch added is removed and nothing is inserted. *)
-let insert_batch t rows =
+let insert_batch ?(writer = 0) t rows =
   let n = Array.length rows in
   with_latch t (fun () ->
       let base = Vec.length t.slots in
@@ -111,6 +195,9 @@ let insert_batch t rows =
            done;
            raise e);
         Vec.push_array t.slots rows;
+        for j = 0 to n - 1 do
+          Vec.push t.vers (fresh_version ~writer ~ts:None rows.(j) None)
+        done;
         t.live <- t.live + n;
         Obs.Counters.add c_inserts n
       end;
@@ -119,8 +206,10 @@ let insert_batch t rows =
 (* Exact-position insert for redo replay: committed inserts carry the tid
    they were assigned originally, and aborted transactions burn tids, so
    replay must reproduce the slot layout (bitmap granules are tid-derived)
-   rather than re-append.  Gaps are padded with tombstones. *)
-let insert_at t tid row =
+   rather than re-append.  Gaps are padded with tombstones.  [ts] is the
+   original commit timestamp from the log, so recovery rebuilds a
+   newest-version heap whose stamps are consistent with the clock. *)
+let insert_at ?ts t tid row =
   with_latch t (fun () ->
       let n = Vec.length t.slots in
       if tid < n then begin
@@ -129,20 +218,24 @@ let insert_at t tid row =
             (Printf.sprintf "Heap.insert_at: tid %d of %s is occupied" tid t.name);
         index_all t row tid;
         Vec.set t.slots tid row;
+        install_version t tid ~writer:0 ~ts row;
         t.live <- t.live + 1
       end
       else begin
         for _ = n to tid - 1 do
-          Vec.push t.slots tombstone
+          Vec.push t.slots tombstone;
+          Vec.push t.vers empty_version
         done;
         index_all t row tid;
         Vec.push t.slots row;
+        Vec.push t.vers (fresh_version ~writer:0 ~ts row None);
         t.live <- t.live + 1
       end)
 
 let reserve t n =
   with_latch t (fun () ->
       Vec.reserve t.slots n tombstone;
+      Vec.reserve t.vers n empty_version;
       List.iter (fun idx -> Index.presize idx n) t.indexes)
 
 let get t tid =
@@ -155,7 +248,7 @@ let get_exn t tid =
     invalid_arg (Printf.sprintf "Heap.get_exn: tid %d of %s is a tombstone" tid t.name)
   else r
 
-let update t tid row =
+let update ?(writer = 0) ?ts t tid row =
   with_latch t (fun () ->
       let old = Vec.get t.slots tid in
       if old == tombstone then
@@ -168,10 +261,11 @@ let update t tid row =
              index_all t old tid;
              raise e);
           Vec.set t.slots tid row;
+          install_version t tid ~writer ~ts row;
           old
       end)
 
-let delete t tid =
+let delete ?(writer = 0) ?ts t tid =
   with_latch t (fun () ->
       let old = Vec.get t.slots tid in
       if old == tombstone then
@@ -179,6 +273,7 @@ let delete t tid =
       else begin
         deindex_all t old tid;
         Vec.set t.slots tid tombstone;
+        install_version t tid ~writer ~ts tombstone;
         t.live <- t.live - 1;
         Obs.Counters.bump c_tombstones;
         old
@@ -190,11 +285,174 @@ let restore t tid row =
       else begin
         index_all t row tid;
         Vec.set t.slots tid row;
+        install_version t tid ~writer:0 ~ts:None row;
         t.live <- t.live + 1
       end)
 
 let uninsert t tid =
-  ignore (delete t tid : row)
+  with_latch t (fun () ->
+      let old = Vec.get t.slots tid in
+      if old == tombstone then
+        invalid_arg (Printf.sprintf "Heap.uninsert: tid %d of %s is a tombstone" tid t.name);
+      deindex_all t old tid;
+      Vec.set t.slots tid tombstone;
+      t.live <- t.live - 1;
+      Obs.Counters.bump c_tombstones;
+      (* abort of an insert: the row never existed for anyone else *)
+      if not (pop_uncommitted t tid) then install_version t tid ~writer:0 ~ts:None tombstone)
+
+(* ------------------------------------------------------------------ *)
+(* Abort helpers (Txn.abort)                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Reverting an aborted write must NOT create a new version — it pops the
+   uncommitted head so the committed pre-image descriptor (the same array
+   the undo log saved) becomes current again.  When the head is already
+   committed (direct Heap API writes rolled back by a test, or a later
+   undo entry for a slot whose head was popped by an earlier one), the
+   slot content is restored but the descriptor is already correct or is
+   replaced by a fresh committed version. *)
+
+let abort_insert t tid = uninsert t tid
+
+let abort_delete t tid row =
+  with_latch t (fun () ->
+      if Vec.get t.slots tid != tombstone then
+        invalid_arg "Heap.abort_delete: slot is occupied"
+      else begin
+        index_all t row tid;
+        Vec.set t.slots tid row;
+        if not (pop_uncommitted t tid) then install_version t tid ~writer:0 ~ts:None row;
+        t.live <- t.live + 1
+      end)
+
+let abort_update t tid old_row =
+  with_latch t (fun () ->
+      let cur = Vec.get t.slots tid in
+      if cur == tombstone then
+        invalid_arg (Printf.sprintf "Heap.abort_update: tid %d of %s is a tombstone" tid t.name);
+      deindex_all t cur tid;
+      (try index_all t old_row tid
+       with e ->
+         index_all t cur tid;
+         raise e);
+      Vec.set t.slots tid old_row;
+      if not (pop_uncommitted t tid) then install_version t tid ~writer:0 ~ts:None old_row)
+
+(* ------------------------------------------------------------------ *)
+(* Commit stamping                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Called by Database.commit under the global commit latch, with [ts]
+   strictly above the published clock: stamping is invisible until the
+   clock is published, so a commit's writes appear all-or-nothing. *)
+let stamp t tid ~writer ~ts =
+  with_latch t (fun () ->
+      let cur = Vec.get t.vers tid in
+      if cur.v_writer = writer then
+        Vec.set t.vers tid { cur with v_begin = ts; v_writer = 0 })
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot reads (latch-free)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec chain_visible ~ts v =
+  if v.v_writer = 0 && v.v_begin <= ts then Some v
+  else match v.v_older with None -> None | Some o -> chain_visible ~ts o
+
+(* Visibility: the newest version with a committed begin timestamp at or
+   below the snapshot, or the reader's own uncommitted write.  One
+   [Vec.get] loads an immutable descriptor, so the check never tears and
+   never latches; the chain walk is the (counted) slow path. *)
+let visible_version t ~ts ~reader tid =
+  let v = Vec.get t.vers tid in
+  if (v.v_writer = 0 && v.v_begin <= ts) || (reader > 0 && v.v_writer = reader) then Some v
+  else begin
+    Obs.Counters.bump c_walks;
+    match v.v_older with None -> None | Some o -> chain_visible ~ts o
+  end
+
+let snapshot_get t ~ts ~reader tid =
+  match visible_version t ~ts ~reader tid with
+  | Some v when v.v_row != tombstone -> Some v.v_row
+  | _ -> None
+
+let snapshot_iter t ~ts ~reader f =
+  let n = Vec.length t.vers in
+  for tid = 0 to n - 1 do
+    match visible_version t ~ts ~reader tid with
+    | Some v when v.v_row != tombstone -> f tid v.v_row
+    | _ -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* DDL in-place rewrite                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Column add/drop rewrites every row to the new layout without creating
+   versions (the rows did not logically change), and truncates the
+   slot's chain so stale-arity rows can never surface through a snapshot:
+   column DDL cuts version history for the table, exactly as it
+   invalidates cached plans via the catalog epoch. *)
+let rewrite_in_place t tid row =
+  with_latch t (fun () ->
+      Vec.set t.slots tid row;
+      let cur = Vec.get t.vers tid in
+      let dropped = ref 0 in
+      let rec count = function
+        | None -> ()
+        | Some v ->
+            incr dropped;
+            count v.v_older
+      in
+      count cur.v_older;
+      t.chained <- t.chained - !dropped;
+      Vec.set t.vers tid { cur with v_row = row; v_older = None })
+
+(* ------------------------------------------------------------------ *)
+(* Version-chain GC                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec chain_len = function None -> 0 | Some v -> 1 + chain_len v.v_older
+
+(* Drop everything below the newest committed version visible at the
+   horizon: no pinned snapshot can reach those nodes.  Returns the
+   rebuilt descriptor and the number of nodes reclaimed; the common
+   no-chain case allocates nothing. *)
+let rec trim_chain ~horizon v =
+  if v.v_writer = 0 && v.v_begin <= horizon then begin
+    let n = chain_len v.v_older in
+    if n = 0 then (v, 0) else ({ v with v_older = None }, n)
+  end
+  else
+    match v.v_older with
+    | None -> (v, 0)
+    | Some o ->
+        let o', n = trim_chain ~horizon o in
+        if n = 0 then (v, 0) else ({ v with v_older = Some o' }, n)
+
+let gc t ~horizon =
+  if t.chained = 0 then 0
+  else
+    with_latch t (fun () ->
+        let reclaimed = ref 0 in
+        let n = Vec.length t.vers in
+        for tid = 0 to n - 1 do
+          let v = Vec.get t.vers tid in
+          if v.v_older != None then begin
+            let v', k = trim_chain ~horizon v in
+            if k > 0 then begin
+              Vec.set t.vers tid v';
+              reclaimed := !reclaimed + k
+            end
+          end
+        done;
+        t.chained <- t.chained - !reclaimed;
+        !reclaimed)
+
+let chained_versions t = t.chained
+
+(* ------------------------------------------------------------------ *)
 
 let tid_count t = Vec.length t.slots
 

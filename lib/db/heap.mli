@@ -1,4 +1,5 @@
-(** Heap tables: append-only row slots addressed by dense TIDs.
+(** Heap tables: append-only row slots addressed by dense TIDs, with a
+    multi-version descriptor per slot.
 
     A TID is the row's position in the slot array; deletions leave a
     tombstone so TIDs are stable for the life of the table — the property
@@ -8,9 +9,27 @@
     The heap maintains the table's indexes on every mutation.  Mutations
     are protected by a per-table latch; point reads are latch-free (a row
     slot holds an immutable array, so replacing it is a single pointer
-    store — no torn reads under the OCaml memory model). *)
+    store — no torn reads under the OCaml memory model).
+
+    {b Versioning} (DESIGN.md §4.2f).  Parallel to [slots], each TID has
+    an immutable version descriptor carrying the row, its commit begin
+    timestamp, the writing transaction (while uncommitted), and the chain
+    of older committed versions.  A version's end timestamp is implicit:
+    it is the begin timestamp of the next-newer version (a tombstone row
+    marks deletion).  Snapshot readers load one descriptor per TID — no
+    latch, no lock — and resolve visibility against their snapshot
+    timestamp from {!Mvcc.now}.  The latest-version API ([get],
+    [iter_live], …) is unchanged and continues to serve writers, system
+    internals, and the migration engine. *)
 
 type row = Value.t array
+
+type version = private {
+  v_row : row;
+  v_begin : int;
+  v_writer : int;
+  v_older : version option;
+}
 
 type t = {
   tbl_id : int;
@@ -18,27 +37,33 @@ type t = {
   mutable schema : Schema.t;
   latch : Mutex.t;
   slots : row Vec.t;
+  vers : version Vec.t;
   mutable indexes : Index.t list;
   mutable live : int;
+  mutable chained : int;
 }
 
 val create : tbl_id:int -> name:string -> Schema.t -> t
 
-val insert : t -> row -> int
-(** Appends and indexes; returns the new TID.
+val insert : ?writer:int -> t -> row -> int
+(** Appends and indexes; returns the new TID.  With [writer] > 0 the new
+    version is uncommitted (invisible to snapshots) until {!stamp}ed;
+    the default [writer = 0] commits it immediately at the current clock.
     @raise Db_error.Constraint_violation on unique-index conflicts (in
     which case nothing is inserted). *)
 
-val insert_batch : t -> row array -> int
+val insert_batch : ?writer:int -> t -> row array -> int
 (** Bulk append under a single latch acquisition; row [i] gets TID
     [result + i].  All-or-nothing: on a unique-index conflict anywhere in
     the batch (intra-batch duplicates included) the heap and every index
     are left exactly as before, and the violation is re-raised. *)
 
-val insert_at : t -> int -> row -> unit
+val insert_at : ?ts:int -> t -> int -> row -> unit
 (** Redo-replay insert at an exact TID, padding any gap below it with
     tombstones (aborted transactions burn TIDs; replay must reproduce the
-    original slot layout because bitmap granules are TID-derived).
+    original slot layout because bitmap granules are TID-derived).  [ts]
+    is the original commit timestamp from the log; recovery passes it so
+    the rebuilt heap is stamp-consistent with the restored clock.
     @raise Invalid_argument when the slot is already occupied. *)
 
 val reserve : t -> int -> unit
@@ -46,23 +71,72 @@ val reserve : t -> int -> unit
     for [n] further rows (bulk loads skip incremental growth/rehash). *)
 
 val get : t -> int -> row option
-(** [None] for tombstones; out-of-range TIDs raise [Invalid_argument]. *)
+(** Latest version; [None] for tombstones; out-of-range TIDs raise
+    [Invalid_argument]. *)
 
 val get_exn : t -> int -> row
 
-val update : t -> int -> row -> row
-(** Replaces the row, maintaining indexes; returns the old image.
+val update : ?writer:int -> ?ts:int -> t -> int -> row -> row
+(** Replaces the row, maintaining indexes; returns the old image.  The
+    old version is chained for snapshot readers; [writer]/[ts] as in
+    {!insert}/{!insert_at}.
     @raise Db_error.Constraint_violation on unique conflicts (row is left
     unchanged).  @raise Invalid_argument on a tombstone. *)
 
-val delete : t -> int -> row
-(** Tombstones the slot, de-indexes; returns the old image. *)
+val delete : ?writer:int -> ?ts:int -> t -> int -> row
+(** Tombstones the slot, de-indexes; returns the old image.  Snapshot
+    readers older than the delete still see the chained version. *)
 
 val restore : t -> int -> row -> unit
-(** Undo helper: re-materialise a deleted row at its original TID. *)
+(** Re-materialise a deleted row at its original TID as a new committed
+    version (direct-API undo; transactions abort via {!abort_delete}). *)
 
 val uninsert : t -> int -> unit
-(** Undo helper: remove a freshly inserted row (tombstone + de-index). *)
+(** Remove a freshly inserted row (tombstone + de-index), popping its
+    uncommitted version if present. *)
+
+val abort_insert : t -> int -> unit
+(** Txn rollback of an insert — alias of {!uninsert}. *)
+
+val abort_delete : t -> int -> row -> unit
+(** Txn rollback of a delete: restore the slot and pop the uncommitted
+    tombstone version so the committed pre-image is current again —
+    no new version is created for an aborted write. *)
+
+val abort_update : t -> int -> row -> unit
+(** Txn rollback of an update: restore the old image and pop the
+    uncommitted version. *)
+
+val stamp : t -> int -> writer:int -> ts:int -> unit
+(** Commit: mark TID's head version — if still owned by [writer] — as
+    committed at [ts].  Called via {!Mvcc.commit} with [ts] above the
+    published clock, so stamped versions become visible only when the
+    clock is published. *)
+
+val snapshot_get : t -> ts:int -> reader:int -> int -> row option
+(** Latch-free point read at snapshot [ts]: the newest version with a
+    committed begin timestamp ≤ [ts], or [reader]'s own uncommitted
+    write ([reader = 0] for none).  [None] if the visible version is a
+    tombstone or no version is visible. *)
+
+val snapshot_iter : t -> ts:int -> reader:int -> (int -> row -> unit) -> unit
+(** Latch-free scan of every row visible at snapshot [ts]. *)
+
+val rewrite_in_place : t -> int -> row -> unit
+(** Column-DDL rewrite: replace the slot's row in its current version
+    without creating a new one, and truncate the slot's older chain (the
+    rows did not logically change, and stale-arity versions must never
+    surface — column DDL cuts version history exactly as it bumps the
+    catalog epoch).  Indexes are not touched. *)
+
+val gc : t -> horizon:int -> int
+(** Reclaim every chained version superseded at or below [horizon] (from
+    {!Mvcc.horizon}): per slot, versions older than the newest committed
+    version with begin ≤ horizon are dropped.  Returns the number of
+    versions reclaimed.  O(1) when the table has no chained versions. *)
+
+val chained_versions : t -> int
+(** Number of versions currently held in older chains (GC backlog). *)
 
 val tid_count : t -> int
 (** Number of slots ever allocated (live + tombstones) — the bitmap

@@ -6,6 +6,8 @@ type t = {
   holders : (key, int) Hashtbl.t;
   by_owner : (int, key list ref) Hashtbl.t;
   timeout : float;
+  mutable waiting : int;  (* threads currently blocked in [acquire] *)
+  mutable ticker : bool;  (* timeout ticker thread alive? *)
 }
 
 let create ?(timeout = 1.0) () =
@@ -15,6 +17,8 @@ let create ?(timeout = 1.0) () =
     holders = Hashtbl.create 256;
     by_owner = Hashtbl.create 64;
     timeout;
+    waiting = 0;
+    ticker = false;
   }
 
 let note_owned t owner key =
@@ -26,34 +30,81 @@ let c_waits = Obs.Counters.make "db.lock.waits"
 
 let c_aborts = Obs.Counters.make "db.lock.timeout_aborts"
 
+(* Contention gauge: incremented when a thread starts waiting, decremented
+   when it stops — on grant AND on timeout abort, so the gauge never
+   drifts (the old counter was bumped on wait entry but never balanced on
+   the timeout path). *)
+let g_waiting = Obs.Counters.make "db.lock.waiting"
+
+(* [Condition.wait] has no timeout in the stdlib, and a deadlocked pair of
+   transactions never calls [release_all], so a pure wait would hang
+   forever.  While any thread waits, one ticker thread broadcasts the
+   condition a few times per timeout window; each waiter re-checks its
+   deadline on wake-up.  This replaces the old per-waiter unlock /
+   [Thread.delay 0.001] / relock polling loop: waiters now sleep on the
+   condition and a release wakes {e all} of them at once (every waiter is
+   compatible once the exclusive holder is gone — first to run wins the
+   lock, the rest go back to sleep), instead of each discovering the
+   release up to 1ms late in polling lockstep. *)
+let ensure_ticker t =
+  if not t.ticker then begin
+    t.ticker <- true;
+    let period = t.timeout /. 4.0 in
+    ignore
+      (Thread.create
+         (fun () ->
+           let rec tick () =
+             Thread.delay period;
+             Mutex.lock t.mutex;
+             let keep = t.waiting > 0 in
+             if keep then Condition.broadcast t.cond else t.ticker <- false;
+             Mutex.unlock t.mutex;
+             if keep then tick ()
+           in
+           tick ())
+         ()
+        : Thread.t)
+  end
+
 let acquire t ~owner key =
   Mutex.lock t.mutex;
-  let deadline = Unix.gettimeofday () +. t.timeout in
+  let deadline = ref 0.0 in
   let contended = ref false in
   let rec wait () =
     match Hashtbl.find_opt t.holders key with
     | None ->
         Hashtbl.replace t.holders key owner;
         note_owned t owner key;
+        if !contended then begin
+          t.waiting <- t.waiting - 1;
+          Obs.Counters.add g_waiting (-1)
+        end;
         Mutex.unlock t.mutex
-    | Some o when o = owner -> Mutex.unlock t.mutex
+    | Some o when o = owner ->
+        if !contended then begin
+          t.waiting <- t.waiting - 1;
+          Obs.Counters.add g_waiting (-1)
+        end;
+        Mutex.unlock t.mutex
     | Some _ ->
         if not !contended then begin
           contended := true;
-          Obs.Counters.bump c_waits
+          deadline := Unix.gettimeofday () +. t.timeout;
+          t.waiting <- t.waiting + 1;
+          Obs.Counters.bump c_waits;
+          Obs.Counters.bump g_waiting;
+          ensure_ticker t
         end;
-        if Unix.gettimeofday () >= deadline then begin
+        if Unix.gettimeofday () >= !deadline then begin
+          t.waiting <- t.waiting - 1;
+          Obs.Counters.add g_waiting (-1);
           Mutex.unlock t.mutex;
           Obs.Counters.bump c_aborts;
           Db_error.txn_abort "lock timeout on (%d,%d) for txn %d" (fst key) (snd key)
             owner
         end
         else begin
-          (* Condition.wait has no timeout in the stdlib; poll with a short
-             sleep while holding the mutex via timed re-checks. *)
-          Mutex.unlock t.mutex;
-          Thread.delay 0.001;
-          Mutex.lock t.mutex;
+          Condition.wait t.cond t.mutex;
           wait ()
         end
   in
@@ -84,6 +135,7 @@ let release_all t ~owner =
           | Some _ | None -> ())
         !keys;
       Hashtbl.remove t.by_owner owner);
+  (* wake every waiter: all of them are compatible candidates now *)
   Condition.broadcast t.cond;
   Mutex.unlock t.mutex
 
@@ -96,5 +148,11 @@ let holder t key =
 let held_count t ~owner =
   Mutex.lock t.mutex;
   let n = match Hashtbl.find_opt t.by_owner owner with None -> 0 | Some keys -> List.length !keys in
+  Mutex.unlock t.mutex;
+  n
+
+let waiting_count t =
+  Mutex.lock t.mutex;
+  let n = t.waiting in
   Mutex.unlock t.mutex;
   n

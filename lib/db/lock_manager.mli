@@ -19,7 +19,14 @@ val acquire : t -> owner:int -> key -> unit
 val try_acquire : t -> owner:int -> key -> bool
 
 val release_all : t -> owner:int -> unit
-(** Releases every lock held by [owner] and wakes waiters. *)
+(** Releases every lock held by [owner] and wakes {e all} waiters (every
+    waiter is a compatible candidate once the exclusive holder is gone;
+    the first to run takes the lock, the rest re-sleep). *)
+
+val waiting_count : t -> int
+(** Threads currently blocked in {!acquire} — the live value behind the
+    [db.lock.waiting] contention gauge, which is balanced on both the
+    grant and timeout paths. *)
 
 val holder : t -> key -> int option
 

@@ -1,0 +1,84 @@
+(* The global commit clock and snapshot registry (DESIGN.md §4.2f).
+
+   One process-wide atomic counter orders every commit; readers acquire a
+   snapshot by a single [Atomic.get] and never take a lock.  Commits are
+   serialized by [commit_latch] so that version stamping is atomic with
+   respect to readers: the committing transaction stamps all its versions
+   with a timestamp strictly above the published clock (invisible to every
+   live snapshot), then publishes the clock with one atomic store — the
+   "single timestamp publish" that makes a BullFrog schema flip, and every
+   other commit, all-or-nothing for concurrent readers. *)
+
+let clock = Atomic.make 0
+
+let commit_latch = Mutex.create ()
+
+let now () = Atomic.get clock
+
+let observe ts =
+  (* Replay/recovery: fold a logged commit timestamp into the clock so
+     post-recovery snapshots see everything that was durable.  Monotone
+     max under CAS — replay may interleave with live commits elsewhere. *)
+  let rec go () =
+    let cur = Atomic.get clock in
+    if ts > cur && not (Atomic.compare_and_set clock cur ts) then go ()
+  in
+  go ()
+
+let c_commits = Obs.Counters.make "mvcc.commits"
+
+let commit ~stamp =
+  Mutex.lock commit_latch;
+  match
+    let ts = Atomic.get clock + 1 in
+    stamp ts;
+    ts
+  with
+  | ts ->
+      (* the publish: one store flips every stamped version visible *)
+      Atomic.set clock ts;
+      Mutex.unlock commit_latch;
+      Obs.Counters.bump c_commits;
+      ts
+  | exception e ->
+      (* nothing published: versions stamped [ts] stay above the clock
+         only if [stamp] completed; a partial stamping is also invisible
+         because the clock never moved.  The caller's abort path unwinds
+         the heap state. *)
+      Mutex.unlock commit_latch;
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot pins: the GC horizon                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Version-chain GC reclaims every chained version that no pinned
+   snapshot can reach.  Only *pinned* snapshots register here — the
+   default read path re-acquires its timestamp per statement and never
+   outlives a vacuum, so it stays out of this table (and off the hot
+   path: an unpinned transaction costs zero registry operations). *)
+
+let pins : (int, int) Hashtbl.t = Hashtbl.create 32
+
+let pins_latch = Mutex.create ()
+
+let pin ts =
+  Mutex.lock pins_latch;
+  (match Hashtbl.find_opt pins ts with
+  | Some n -> Hashtbl.replace pins ts (n + 1)
+  | None -> Hashtbl.replace pins ts 1);
+  Mutex.unlock pins_latch
+
+let unpin ts =
+  Mutex.lock pins_latch;
+  (match Hashtbl.find_opt pins ts with
+  | Some n when n > 1 -> Hashtbl.replace pins ts (n - 1)
+  | Some _ -> Hashtbl.remove pins ts
+  | None -> ());
+  Mutex.unlock pins_latch
+
+let horizon () =
+  Mutex.lock pins_latch;
+  let min_pin = Hashtbl.fold (fun ts _ acc -> min ts acc) pins max_int in
+  Mutex.unlock pins_latch;
+  min min_pin (now ())

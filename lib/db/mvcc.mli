@@ -1,0 +1,36 @@
+(** The global commit clock: multi-version timestamps and the GC horizon
+    (DESIGN.md §4.2f).
+
+    Every committed transaction takes the next integer timestamp; readers
+    acquire a snapshot with one atomic load and check version visibility
+    against it without any lock.  Commits serialize on an internal latch
+    so that stamping a transaction's versions and publishing the clock is
+    all-or-nothing for concurrent readers — a reader either sees every
+    write of a commit or none of it. *)
+
+val now : unit -> int
+(** The last published commit timestamp — a snapshot acquisition is one
+    atomic load of this value. *)
+
+val commit : stamp:(int -> unit) -> int
+(** [commit ~stamp] reserves the next timestamp [ts] (strictly above the
+    published clock, hence invisible to every live snapshot), runs
+    [stamp ts] — which must mark the transaction's versions — and then
+    publishes the clock with a single atomic store.  Returns [ts].  If
+    [stamp] raises, the clock is not published and every stamped version
+    stays invisible; the exception propagates. *)
+
+val observe : int -> unit
+(** Fold a replayed commit timestamp into the clock (monotone max), so
+    recovery leaves the clock at or above every durable commit. *)
+
+val pin : int -> unit
+(** Register snapshot [ts] as in use: version-chain GC will keep every
+    version such a snapshot can reach.  Balance with {!unpin}. *)
+
+val unpin : int -> unit
+
+val horizon : unit -> int
+(** The GC horizon: the oldest pinned snapshot (or the current clock when
+    nothing is pinned).  Versions superseded at or below the horizon are
+    unreachable and safe to reclaim. *)

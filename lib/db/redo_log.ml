@@ -11,7 +11,12 @@ type migration_mark = {
 
 and granule_key = G_tid of int | G_group of Value.t array
 
-type record = { txn_id : int; writes : write list; marks : migration_mark list }
+type record = {
+  txn_id : int;
+  commit_ts : int;  (* MVCC commit timestamp; 0 for pre-MVCC/synthetic records *)
+  writes : write list;
+  marks : migration_mark list;
+}
 
 type entry = E_ddl of { d_epoch : int; d_sql : string } | E_commit of record
 
@@ -101,7 +106,7 @@ let checkpoint t =
       (match List.rev !marks with
       | [] -> ()
       | marks ->
-          Vec.push t.entries (E_commit { txn_id = 0; writes = []; marks });
+          Vec.push t.entries (E_commit { txn_id = 0; commit_ts = 0; writes = []; marks });
           t.commits <- 1);
       dropped)
 
@@ -113,7 +118,11 @@ let checkpoint t =
    their IEEE-754 bit patterns so a serialize/deserialize round trip is
    bit-exact (no decimal shortest-representation detour). *)
 
-let magic = "BFRL1\n"
+(* BFRL2 added the per-commit MVCC timestamp.  BFRL1 logs (no commit_ts
+   field) are still readable: replay then re-stamps from a fresh clock. *)
+let magic = "BFRL2\n"
+
+let magic_v1 = "BFRL1\n"
 
 let put_int buf i = Buffer.add_int64_le buf (Int64.of_int i)
 
@@ -182,6 +191,7 @@ let put_entry buf = function
   | E_commit r ->
       Buffer.add_char buf '\001';
       put_int buf r.txn_id;
+      put_int buf r.commit_ts;
       put_int buf (List.length r.writes);
       List.iter (put_write buf) r.writes;
       put_int buf (List.length r.marks);
@@ -274,23 +284,27 @@ let get_list c f =
   if n < 0 then fail_corrupt "list length";
   List.init n (fun _ -> f c)
 
-let get_entry c =
+let get_entry ~version c =
   match get_byte c with
   | 0 ->
       let d_epoch = get_int c in
       E_ddl { d_epoch; d_sql = get_str c }
   | 1 ->
       let txn_id = get_int c in
+      let commit_ts = if version >= 2 then get_int c else 0 in
       let writes = get_list c get_write in
       let marks = get_list c get_mark in
-      E_commit { txn_id; writes; marks }
+      E_commit { txn_id; commit_ts; writes; marks }
   | _ -> fail_corrupt "entry tag"
 
 let deserialize data =
   let c = { data; pos = 0 } in
   let m = String.length magic in
-  if String.length data < m || String.sub data 0 m <> magic then
-    fail_corrupt "magic header";
+  let version =
+    if String.length data >= m && String.sub data 0 m = magic then 2
+    else if String.length data >= m && String.sub data 0 m = magic_v1 then 1
+    else fail_corrupt "magic header"
+  in
   c.pos <- m;
   let truncated = get_int c in
   let n = get_int c in
@@ -298,7 +312,7 @@ let deserialize data =
   let t = create () in
   t.truncated <- truncated;
   for _ = 1 to n do
-    let e = get_entry c in
+    let e = get_entry ~version c in
     Vec.push t.entries e;
     match e with E_commit _ -> t.commits <- t.commits + 1 | E_ddl _ -> ()
   done;

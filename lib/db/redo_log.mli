@@ -24,7 +24,16 @@ type migration_mark = {
 
 and granule_key = G_tid of int | G_group of Value.t array
 
-type record = { txn_id : int; writes : write list; marks : migration_mark list }
+type record = {
+  txn_id : int;
+  commit_ts : int;
+      (** MVCC commit timestamp ({!Mvcc.commit}); replay re-stamps the
+          rebuilt versions with it and folds it into the clock, so
+          recovery produces a stamp-consistent newest-version heap.  0
+          for synthetic checkpoint records and pre-MVCC (BFRL1) logs. *)
+  writes : write list;
+  marks : migration_mark list;
+}
 
 type entry =
   | E_ddl of { d_epoch : int; d_sql : string }
@@ -71,12 +80,15 @@ val checkpoint : t -> int
 val clear : t -> unit
 
 val serialize : t -> string
-(** Snapshot the log into the binary format (magic ["BFRL1\n"]).  Floats
-    are stored as IEEE-754 bit patterns: [deserialize (serialize t)]
-    round-trips bit-exactly. *)
+(** Snapshot the log into the binary format (magic ["BFRL2\n"]; v2 adds
+    the per-transaction commit timestamp).  Floats are stored as
+    IEEE-754 bit patterns: [deserialize (serialize t)] round-trips
+    bit-exactly. *)
 
 val deserialize : string -> t
-(** @raise Failure on a corrupt or truncated buffer. *)
+(** Reads both v2 and legacy v1 (["BFRL1\n"], no commit timestamps —
+    decoded as [commit_ts = 0]) buffers.
+    @raise Failure on a corrupt or truncated buffer. *)
 
 val write_file : t -> string -> unit
 

@@ -16,6 +16,10 @@ type t = {
   counters : counters;
   mutable on_commit : (unit -> unit) list;
   mutable on_abort : (unit -> unit) list;
+  mutable snapshot : int;
+  mutable pinned : bool;
+  mutable commit_ts : int;
+  locks : Lock_manager.t option;
 }
 
 and undo_entry =
@@ -41,7 +45,7 @@ let add_counters dst src =
   dst.rows_migrated <- dst.rows_migrated + src.rows_migrated;
   dst.constraint_checks <- dst.constraint_checks + src.constraint_checks
 
-let make id =
+let make ?locks id =
   {
     id;
     status = Active;
@@ -49,7 +53,40 @@ let make id =
     counters = zero_counters ();
     on_commit = [];
     on_abort = [];
+    snapshot = Mvcc.now ();
+    pinned = false;
+    commit_ts = 0;
+    locks;
   }
+
+(* Default isolation is read-committed at statement granularity: the
+   executor refreshes the snapshot at each statement boundary, so a lazy
+   migration that just committed its granule is visible to the very next
+   read of the same client transaction (BullFrog's migrate-then-query
+   contract).  A pinned transaction keeps its snapshot — true snapshot
+   isolation — and registers with the GC horizon. *)
+let refresh_snapshot t = if not t.pinned then t.snapshot <- Mvcc.now ()
+
+let pin_snapshot t =
+  if not t.pinned then begin
+    t.snapshot <- Mvcc.now ();
+    t.pinned <- true;
+    Mvcc.pin t.snapshot
+  end
+
+let release_pin t =
+  if t.pinned then begin
+    t.pinned <- false;
+    Mvcc.unpin t.snapshot
+  end
+
+(* Write-write conflicts keep two-phase locking: take the row lock before
+   the first write to (table, tid); all locks drop at commit/abort via
+   [Lock_manager.release_all].  Readers never call this. *)
+let lock_row t heap tid =
+  match t.locks with
+  | None -> ()
+  | Some lm -> Lock_manager.acquire lm ~owner:t.id (heap.Heap.tbl_id, tid)
 
 let require_active t op =
   if t.status <> Active then
@@ -67,19 +104,23 @@ let on_abort t f = t.on_abort <- f :: t.on_abort
 
 let commit t =
   require_active t "commit";
+  release_pin t;
   t.status <- Committed;
   List.iter (fun f -> f ()) (List.rev t.on_commit)
 
 let abort t =
   require_active t "abort";
-  (* Unwind newest-first so repeated updates restore the oldest image. *)
+  (* Unwind newest-first so repeated updates restore the oldest image.
+     The abort helpers pop uncommitted version heads rather than creating
+     new versions — an aborted write leaves no trace in any chain. *)
   let n = Vec.length t.undo in
   for i = n - 1 downto 0 do
     match Vec.get t.undo i with
-    | U_insert (heap, tid) -> Heap.uninsert heap tid
-    | U_delete (heap, tid, row) -> Heap.restore heap tid row
-    | U_update (heap, tid, old_row) -> ignore (Heap.update heap tid old_row : Heap.row)
+    | U_insert (heap, tid) -> Heap.abort_insert heap tid
+    | U_delete (heap, tid, row) -> Heap.abort_delete heap tid row
+    | U_update (heap, tid, old_row) -> Heap.abort_update heap tid old_row
   done;
+  release_pin t;
   t.status <- Aborted;
   List.iter (fun f -> f ()) (List.rev t.on_abort)
 

@@ -7,7 +7,17 @@
     carry that tracker bookkeeping.
 
     The counters feed the benchmark harness's cost model (each committed
-    transaction reports how many rows it read / wrote / migrated). *)
+    transaction reports how many rows it read / wrote / migrated).
+
+    {b Snapshots} (DESIGN.md §4.2f).  Each transaction carries a snapshot
+    timestamp from {!Mvcc.now}; reads resolve version visibility against
+    it with no locks.  The default isolation is read-committed at
+    statement granularity — the executor calls {!refresh_snapshot} at
+    statement boundaries — so a transaction observes its own writes and
+    every commit that published before the statement began (in
+    particular, a lazy-migration granule it just pulled in).
+    {!pin_snapshot} upgrades to snapshot isolation and registers the
+    snapshot with the GC horizon. *)
 
 type counters = {
   mutable rows_read : int;
@@ -27,6 +37,10 @@ type t = {
   counters : counters;
   mutable on_commit : (unit -> unit) list;
   mutable on_abort : (unit -> unit) list;
+  mutable snapshot : int;  (** visibility timestamp for reads *)
+  mutable pinned : bool;  (** snapshot held fixed + registered with GC *)
+  mutable commit_ts : int;  (** assigned at commit; 0 for read-only *)
+  locks : Lock_manager.t option;  (** write-write 2PL, when attached *)
 }
 
 and undo_entry =
@@ -34,7 +48,21 @@ and undo_entry =
   | U_delete of Heap.t * int * Heap.row
   | U_update of Heap.t * int * Heap.row
 
-val make : int -> t
+val make : ?locks:Lock_manager.t -> int -> t
+
+val refresh_snapshot : t -> unit
+(** Advance the snapshot to the current clock — a statement boundary.
+    No-op on a pinned transaction. *)
+
+val pin_snapshot : t -> unit
+(** Fix the snapshot for the transaction's lifetime (snapshot isolation)
+    and register it with {!Mvcc.pin} so GC keeps its versions.  Released
+    automatically by {!commit}/{!abort}; idempotent. *)
+
+val lock_row : t -> Heap.t -> int -> unit
+(** Take the row's exclusive lock (write-write 2PL) when a lock manager
+    is attached; no-op otherwise.  Readers never lock.
+    @raise Db_error.Txn_abort on lock timeout. *)
 
 val zero_counters : unit -> counters
 

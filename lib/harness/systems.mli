@@ -49,6 +49,12 @@ val eager : ctx -> Sim.system
 
 val multistep : ?bg_workers:int -> ?bg_batch:int -> ctx -> Sim.system
 
+val tesseract : ?bg_workers:int -> ?bg_batch:int -> ctx -> Sim.system
+(** Tesseract-style copy-then-switch over an MVCC engine: same shape as
+    {!multistep} but dual writes and copied rows are ordinary version
+    installs (no trigger-capture charge) and the switch-over is one
+    commit-timestamp publish with zero blocking cost. *)
+
 val measure_mean_txn_cost :
   ctx -> samples:int -> seed:int -> float
 (** Mean virtual cost of the base mix, for {!Cost_model.calibrate}. *)

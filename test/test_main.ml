@@ -11,6 +11,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("lint", Test_lint.suite);
       ("storage", Test_storage.suite);
+      ("mvcc", Test_mvcc.suite);
       ("engine", Test_engine.suite);
       ("access", Test_access.suite);
       ("plan-cache", Test_plancache.suite);

@@ -225,6 +225,7 @@ let dropped_marks_reported () =
   Redo_log.append log
     {
       Redo_log.txn_id = 42;
+      commit_ts = 0;
       writes = [];
       marks =
         [
