@@ -4,7 +4,7 @@
 # fails if the disabled-instrumentation overhead leaves its 2% budget or
 # the migration trace stops validating).
 
-.PHONY: all build test bench bench-smoke obs-smoke lint-smoke mvcc-smoke check clean
+.PHONY: all build test bench bench-smoke obs-smoke lint-smoke mvcc-smoke shard-smoke check clean
 
 all: build
 
@@ -29,7 +29,10 @@ lint-smoke:
 mvcc-smoke:
 	BF_FAST=1 dune exec bench/main.exe -- mvcc
 
-check: build test bench-smoke obs-smoke lint-smoke mvcc-smoke
+shard-smoke:
+	BF_FAST=1 dune exec bench/main.exe -- shard
+
+check: build test bench-smoke obs-smoke lint-smoke mvcc-smoke shard-smoke
 
 clean:
 	dune clean

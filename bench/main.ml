@@ -1488,6 +1488,183 @@ let mvcc_bench () =
   close_out oc;
   say "  wrote BENCH_mvcc.json"
 
+(* ------------------------------------------------------------------ *)
+
+(* Sharding: shared-nothing scaling of predicate-routed point reads.
+   The container has one hardware core, so the scaling claim is made in
+   virtual time (Shard_sim, the same discrete-event regime as figs 3-12);
+   the real 4-shard cluster then demonstrates the router's hit rate on
+   PK point queries (gated at 100%) and 2PC crash atomicity.  Gated:
+   >=3x routed throughput at 4 shards, 100% single-shard routing. *)
+let shard_bench () =
+  say "\n=== sharding: routed scatter/gather + 2PC (BENCH_sharding.json) ===";
+  let module Cluster = Bullfrog_cluster.Cluster in
+  let module Cluster_sweep = Bullfrog_cluster.Cluster_sweep in
+  (* -- virtual-time scaling -- *)
+  let routed =
+    List.map (fun n -> (n, Shard_sim.capacity ~shards:n ~routed_frac:1.0 ())) [ 1; 2; 4; 8 ]
+  in
+  let cap n = List.assoc n routed in
+  let bcast4 = Shard_sim.capacity ~shards:4 ~routed_frac:0.0 () in
+  let ratio4 = cap 4 /. cap 1 in
+  List.iter
+    (fun (n, c) -> say "  sim: %d shard(s) routed: %.0f reads/s (%.2fx)" n c (c /. cap 1))
+    routed;
+  say "  sim: 4 shards broadcast: %.0f reads/s (%.2fx) — scatter holds every shard"
+    bcast4 (bcast4 /. cap 1);
+  let mixed =
+    Shard_sim.run
+      (* below mixed capacity (~2.2k/s) so p95 is a queueing number, not
+         an overload ramp *)
+      {
+        Shard_sim.default_config with
+        shards = 4;
+        read_frac = 0.9;
+        routed_frac = 0.95;
+        rate = 1500.0;
+      }
+  in
+  say "  sim: mixed 90/10 read/2PC-write: %.0f txn/s, p95 %.2fms, coord util %.1f%%"
+    mixed.Shard_sim.throughput
+    (mixed.Shard_sim.p95_latency *. 1e3)
+    (mixed.Shard_sim.coord_util *. 100.0);
+  (* -- real cluster: routing hit rate + wall-clock flavour -- *)
+  let shards = 4 in
+  let nrows, npoints =
+    match profile with
+    | Fast -> (400, 2_000)
+    | Standard -> (2_000, 10_000)
+    | Full -> (8_000, 40_000)
+  in
+  let c = Cluster.create ~shards () in
+  ignore
+    (Cluster.exec c "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"
+      : Bullfrog_db.Executor.result);
+  let batch = 50 in
+  let i = ref 0 in
+  while !i < nrows do
+    let hi = min nrows (!i + batch) in
+    let values =
+      String.concat ", "
+        (List.init (hi - !i) (fun j ->
+             Printf.sprintf "(%d, 'v%06d')" (!i + j) (!i + j)))
+    in
+    (* consecutive keys span shards: every batch commits through 2PC *)
+    ignore (Cluster.exec c ("INSERT INTO t VALUES " ^ values)
+             : Bullfrog_db.Executor.result);
+    i := hi
+  done;
+  let was_enabled = Obs.Counters.enabled () in
+  Obs.Counters.set_enabled true;
+  let before = Obs.Counters.snapshot () in
+  let t0 = Unix.gettimeofday () in
+  for q = 0 to npoints - 1 do
+    ignore
+      (Cluster.query c
+         (Printf.sprintf "SELECT v FROM t WHERE id = %d" (q * 7 mod nrows))
+        : Bullfrog_db.Value.t array list)
+  done;
+  let cluster_s = Unix.gettimeofday () -. t0 in
+  let after = Obs.Counters.snapshot () in
+  Obs.Counters.set_enabled was_enabled;
+  let delta name =
+    match List.assoc_opt name (Obs.Counters.diff after before) with
+    | Some n -> n
+    | None -> 0
+  in
+  let selects = delta "shard.selects" and single = delta "shard.selects_single" in
+  let hit_rate =
+    if selects = 0 then 0.0 else float_of_int single /. float_of_int selects
+  in
+  say "  cluster: %d PK point queries, %d routed single-shard (hit rate %.1f%%)"
+    selects single (hit_rate *. 100.0);
+  (* single-node twin for a wall-clock reference (1 core: parity expected) *)
+  let module Db = Bullfrog_db.Database in
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"
+           : Bullfrog_db.Executor.result);
+  let i = ref 0 in
+  while !i < nrows do
+    let hi = min nrows (!i + batch) in
+    let values =
+      String.concat ", "
+        (List.init (hi - !i) (fun j ->
+             Printf.sprintf "(%d, 'v%06d')" (!i + j) (!i + j)))
+    in
+    ignore (Db.exec db ("INSERT INTO t VALUES " ^ values)
+             : Bullfrog_db.Executor.result);
+    i := hi
+  done;
+  let t1 = Unix.gettimeofday () in
+  for q = 0 to npoints - 1 do
+    ignore
+      (Db.query db (Printf.sprintf "SELECT v FROM t WHERE id = %d" (q * 7 mod nrows))
+        : Bullfrog_db.Value.t array list)
+  done;
+  let single_s = Unix.gettimeofday () -. t1 in
+  say "  wall-clock (1 core): cluster %.0f q/s vs single %.0f q/s"
+    (float_of_int npoints /. cluster_s)
+    (float_of_int npoints /. single_s);
+  (* -- 2PC crash sweep -- *)
+  let cells = Cluster_sweep.run_bounded () in
+  let failed = List.filter (fun cl -> not cl.Fault_sweep.c_ok) cells in
+  say "  2PC sweep: %d cells (%d crashed+recovered), %d failed"
+    (List.length cells)
+    (Fault_sweep.fired_count cells)
+    (List.length failed);
+  List.iter (fun cl -> say "  FAIL %s" (Fault_sweep.pp_cell cl)) failed;
+  let oc = open_out "BENCH_sharding.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "sharding",
+  "profile": "%s",
+  "seed": %d,
+  "virtual_time_sim": {
+    "routed_reads_per_sec": [%s],
+    "broadcast_4_shards": %.0f,
+    "routed_speedup_4_shards": %.2f,
+    "mixed_90_10": {"throughput": %.0f, "p95_ms": %.3f, "coord_util": %.3f},
+    "gate_3x_at_4_shards": %B
+  },
+  "cluster": {
+    "shards": %d,
+    "rows": %d,
+    "point_queries": %d,
+    "routed_single_shard": %d,
+    "routing_hit_rate": %.4f,
+    "gate_hit_rate_100": %B,
+    "wall_clock_1core_qps": {"cluster": %.0f, "single": %.0f}
+  },
+  "two_pc_sweep": {
+    "cells": %d,
+    "crashed_and_recovered": %d,
+    "failed": %d
+  }
+}
+|}
+    (match profile with Fast -> "fast" | Standard -> "standard" | Full -> "full")
+    seed
+    (String.concat ", "
+       (List.map
+          (fun (n, cp) -> Printf.sprintf {|{"shards": %d, "reads_per_sec": %.0f}|} n cp)
+          routed))
+    bcast4 ratio4 mixed.Shard_sim.throughput
+    (mixed.Shard_sim.p95_latency *. 1e3)
+    mixed.Shard_sim.coord_util
+    (ratio4 >= 3.0) shards nrows npoints single hit_rate (hit_rate = 1.0)
+    (float_of_int npoints /. cluster_s)
+    (float_of_int npoints /. single_s)
+    (List.length cells)
+    (Fault_sweep.fired_count cells)
+    (List.length failed);
+  close_out oc;
+  say "  wrote BENCH_sharding.json";
+  if ratio4 < 3.0 then
+    failwith (Printf.sprintf "sharding gate: routed speedup %.2fx < 3x" ratio4);
+  if hit_rate < 1.0 then
+    failwith (Printf.sprintf "sharding gate: routing hit rate %.1f%% < 100%%" (hit_rate *. 100.0));
+  if failed <> [] then failwith "sharding gate: 2PC sweep found divergent cells"
+
 let all_figures =
   [
     ("fig3", fig3_4);
@@ -1505,6 +1682,7 @@ let all_figures =
     ("obs", obs_bench);
     ("lint", lint_smoke);
     ("mvcc", mvcc_bench);
+    ("shard", shard_bench);
   ]
 
 let aliases = [ ("fig4", "fig3"); ("fig6", "fig5"); ("fig8", "fig7") ]
@@ -1517,6 +1695,8 @@ let () =
     | _ -> List.map fst all_figures
   in
   let requested = List.sort_uniq compare requested in
+  (* the cluster's crash scenario joins the recovery sweep too *)
+  Bullfrog_cluster.Cluster_sweep.register ();
   say "BullFrog benchmark harness — profile: %s, seed: %d"
     (match profile with Fast -> "fast" | Standard -> "standard" | Full -> "full (1/10 paper scale)")
     seed;

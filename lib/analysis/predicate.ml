@@ -593,6 +593,51 @@ let disjoint ?(env = top_env) p q =
   | r -> r
   | exception Give_up -> false
 
+let expr_of_const = function
+  | C_null -> Ast.Null_lit
+  | C_bool b -> Ast.Bool_lit b
+  | C_int i -> Ast.Int_lit i
+  | C_float f -> Ast.Float_lit f
+  | C_str s -> Ast.Str_lit s
+
+(* The finite set of values [col] can take in a row satisfying [e], when
+   provable: every feasible disjunct must pin the column to a finite
+   non-null set.  [Some []] means no row satisfies [e] at all; [None]
+   means the set is not provably finite (caller must assume any value).
+   This is what hash routing keys on: a provably-pinned partition column
+   maps a predicate to an exact shard set. *)
+let pinned_values ?(env = top_env) e col =
+  let col = String.lowercase_ascii col in
+  match feasible_disjuncts env e with
+  | exception Give_up -> None
+  | [] -> Some []
+  | states ->
+      let per_state st =
+        let d = dom_of st col in
+        if d.d_null = Some true then None
+        else
+          match possible_set d with
+          | Some (_ :: _ as vs) -> Some vs
+          | Some [] | None -> None
+      in
+      let rec go acc = function
+        | [] ->
+            Some (List.rev_map expr_of_const acc)
+        | st :: rest -> (
+            match per_state st with
+            | None -> None
+            | Some vs ->
+                let acc =
+                  List.fold_left
+                    (fun acc v ->
+                      if List.exists (fun u -> compare_const u v = 0) acc then acc
+                      else v :: acc)
+                    acc vs
+                in
+                go acc rest)
+      in
+      go [] states
+
 let covers ?(env = top_env) preds =
   match preds with
   | [] -> false

@@ -33,6 +33,14 @@ val covers : ?env:env -> Bullfrog_sql.Ast.expr list -> bool
 (** [true] only when provably every row satisfies at least one of the
     predicates ([covers [] = false]). *)
 
+val pinned_values :
+  ?env:env -> Bullfrog_sql.Ast.expr -> string -> Bullfrog_sql.Ast.expr list option
+(** [pinned_values e col] is the finite set of values (as literal
+    expressions, deduplicated) column [col] can take in a row satisfying
+    [e], when that set is provable: [Some []] when no row satisfies [e]
+    at all, [None] when the set is not provably finite (the caller must
+    assume any value).  Conservative like every other entry point. *)
+
 val normalize : Bullfrog_sql.Ast.expr -> Bullfrog_sql.Ast.expr
 (** Structural simplification preserving three-valued semantics:
     flattening of AND/OR chains, idempotence, constant folding, double

@@ -1,0 +1,95 @@
+(* Predicate-driven shard routing: map a statement's WHERE clause to the
+   set of shards that can hold matching rows.  Pure AST-level analysis —
+   the runtime value representation is injected as a hash function, so
+   this module stays inside bullfrog_analysis (which cannot see
+   lib/db/value.ml). *)
+
+open Bullfrog_sql
+
+type spec =
+  | Hash of { column : string; shards : int }
+  | Range of { column : string; splits : Ast.expr list }
+
+let shard_count = function
+  | Hash { shards; _ } -> shards
+  | Range { splits; _ } -> List.length splits + 1
+
+let column = function Hash { column; _ } | Range { column; _ } -> column
+
+let validate spec =
+  (match spec with
+  | Hash { shards; _ } ->
+      if shards < 1 then invalid_arg "Router: hash spec needs >= 1 shard"
+  | Range { splits; _ } ->
+      let literal = function
+        | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Bool_lit _ -> true
+        | _ -> false
+      in
+      if not (List.for_all literal splits) then
+        invalid_arg "Router: range split points must be literals");
+  spec
+
+let all_shards n = List.init n (fun i -> i)
+
+(* The predicate describing range shard [i]'s slice of the key space:
+   [col >= splits.(i-1) AND col < splits.(i)], with the open ends for the
+   first and last shard. *)
+let range_predicate ~column ~splits i =
+  let col = Ast.Col (None, column) in
+  let lo =
+    if i = 0 then None else Some (Ast.Binop (Ast.Ge, col, List.nth splits (i - 1)))
+  in
+  let hi =
+    if i >= List.length splits then None
+    else Some (Ast.Binop (Ast.Lt, col, List.nth splits i))
+  in
+  match (lo, hi) with
+  | None, None -> Ast.Bool_lit true
+  | Some p, None | None, Some p -> p
+  | Some p, Some q -> Ast.Binop (Ast.And, p, q)
+
+(* Shard of one pinned literal under a hash spec; [None] when the injected
+   hash cannot evaluate the literal. *)
+let hash_shard ~hash ~shards lit =
+  match hash lit with Some h -> Some ((h land max_int) mod shards) | None -> None
+
+let route ?(env = Predicate.top_env) ~hash spec where =
+  let n = shard_count spec in
+  match where with
+  | None -> all_shards n
+  | Some e -> (
+      let e = Predicate.unqualify e in
+      match spec with
+      | Hash { column; shards } -> (
+          match Predicate.pinned_values ~env e column with
+          | None -> all_shards n
+          | Some lits ->
+              let rec go acc = function
+                | [] -> Some acc
+                | lit :: rest -> (
+                    match hash_shard ~hash ~shards lit with
+                    | None -> None
+                    | Some s -> go (s :: acc) rest)
+              in
+              (match go [] lits with
+              | None -> all_shards n
+              | Some ids -> List.sort_uniq compare ids))
+      | Range { column; splits } ->
+          List.filter
+            (fun i ->
+              not (Predicate.disjoint ~env e (range_predicate ~column ~splits i)))
+            (all_shards n))
+
+let route_value ~hash spec lit =
+  match spec with
+  | Hash { shards; _ } -> hash_shard ~hash ~shards lit
+  | Range { splits; _ } ->
+      let col = column spec in
+      let eq = Ast.Binop (Ast.Eq, Ast.Col (None, col), lit) in
+      (match
+         List.filter
+           (fun i -> not (Predicate.disjoint eq (range_predicate ~column:col ~splits i)))
+           (all_shards (shard_count spec))
+       with
+      | [ s ] -> Some s
+      | _ -> None)

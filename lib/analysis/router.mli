@@ -1,0 +1,55 @@
+(** Predicate-driven shard routing.
+
+    A {!spec} describes how a table's rows are partitioned across [n]
+    shards by one column; {!route} maps a WHERE clause to the shards that
+    can hold matching rows, using the {!Predicate} decision procedure.
+    Conservative in the usual direction: a shard is only pruned when it
+    provably holds no matching row, so the result is always a superset of
+    the shards that must be contacted (broadcast — all shards — when the
+    predicate is outside the interpreted fragment).
+
+    The module is pure AST analysis: the engine's value hash is injected
+    as [hash : Ast.expr -> int option] (evaluate a literal, hash it),
+    keeping bullfrog_analysis independent of lib/db. *)
+
+type spec =
+  | Hash of { column : string; shards : int }
+      (** row's shard = [hash(column value) mod shards] *)
+  | Range of { column : string; splits : Bullfrog_sql.Ast.expr list }
+      (** [k] literal split points give [k+1] shards; shard [i] holds
+          keys in [splits.(i-1), splits.(i)) with open outer ends *)
+
+val shard_count : spec -> int
+
+val column : spec -> string
+(** The partition column (lower-case comparisons are the caller's
+    concern; specs should be built with lower-cased names). *)
+
+val validate : spec -> spec
+(** @raise Invalid_argument on a non-positive shard count or non-literal
+    range split points.  Returns the spec unchanged. *)
+
+val range_predicate :
+  column:string -> splits:Bullfrog_sql.Ast.expr list -> int -> Bullfrog_sql.Ast.expr
+(** The predicate describing range shard [i]'s slice of the key space. *)
+
+val route :
+  ?env:Predicate.env ->
+  hash:(Bullfrog_sql.Ast.expr -> int option) ->
+  spec ->
+  Bullfrog_sql.Ast.expr option ->
+  int list
+(** Shards that can hold rows matching the WHERE clause ([None] = no
+    predicate = all shards), sorted ascending.  Hash specs prune via
+    {!Predicate.pinned_values} (a provably-pinned partition column routes
+    to exactly its value's shards); range specs prune shard [i] when the
+    predicate is {!Predicate.disjoint} with its slice. *)
+
+val route_value :
+  hash:(Bullfrog_sql.Ast.expr -> int option) ->
+  spec ->
+  Bullfrog_sql.Ast.expr ->
+  int option
+(** Home shard of a single literal partition-key value; [None] when it
+    cannot be determined (unhashable literal, or a range value not pinned
+    to exactly one slice). *)

@@ -23,6 +23,12 @@ let p_commit_ts = 7
 
 let p_gc_sweep = 8
 
+let p_2pc_prepare = 9
+
+let p_2pc_decision = 10
+
+let p_2pc_ack = 11
+
 let names =
   [|
     "mark_commit";  (* granule marks recorded, before commit *)
@@ -35,6 +41,11 @@ let names =
     "commit_ts";  (* inside the timestamped-commit critical section,
                      versions stamped but clock unpublished, log unwritten *)
     "gc_sweep";  (* mid version-chain GC, some tables swept, some not *)
+    "2pc_prepare";  (* between participant prepares: some shards hold a
+                       durable E_prepare, others nothing *)
+    "2pc_decision";  (* coordinator decision logged, no shard resolved *)
+    "2pc_ack";  (* between participant resolutions: some shards carry the
+                   local decision marker, the rest are still in doubt *)
   |]
 
 let count = Array.length names

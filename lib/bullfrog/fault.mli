@@ -47,6 +47,20 @@ val p_gc_sweep : int
     exercises that GC carries no logical state across a crash (installed
     into {!Database.gc_test_hook}) *)
 
+val p_2pc_prepare : int
+(** between participant prepare appends in a cross-shard commit: some
+    shards hold a durable [E_prepare] for the global id, the others have
+    nothing — recovery must presume abort everywhere *)
+
+val p_2pc_decision : int
+(** after the coordinator durably logs its commit decision but before any
+    participant is resolved: every prepared shard is in doubt and must
+    find the outcome in the coordinator log *)
+
+val p_2pc_ack : int
+(** between participant resolutions: some shards carry the shard-local
+    decision marker, the rest still resolve via the coordinator *)
+
 val count : int
 
 val name_of : int -> string

@@ -327,10 +327,25 @@ let scenarios =
     eager_scenario;
   ]
 
+(* Scenarios registered by layers above this library (lib/cluster's 2PC
+   scenario — the cluster depends on bullfrog_core, so it cannot be
+   listed here statically). *)
+let external_scenarios : scenario list ref = ref []
+
+let register sc =
+  if
+    List.exists
+      (fun s -> s.sc_name = sc.sc_name)
+      (scenarios @ !external_scenarios)
+  then invalid_arg ("Fault_sweep.register: duplicate scenario " ^ sc.sc_name);
+  external_scenarios := !external_scenarios @ [ sc ]
+
+let all_scenarios () = scenarios @ !external_scenarios
+
 let scenario_names = List.map (fun s -> s.sc_name) scenarios
 
 let find_scenario name =
-  match List.find_opt (fun s -> s.sc_name = name) scenarios with
+  match List.find_opt (fun s -> s.sc_name = name) (all_scenarios ()) with
   | Some s -> s
   | None -> invalid_arg ("Fault_sweep.find_scenario: unknown scenario " ^ name)
 

@@ -28,6 +28,15 @@ val scenarios : scenario list
     shared tracker, multistep copier, eager baseline *)
 
 val scenario_names : string list
+(** Built-in scenarios only (stable; excludes registrations). *)
+
+val register : scenario -> unit
+(** Add an externally defined scenario (lib/cluster registers its 2PC
+    crash scenario here — it sits above this library in the dependency
+    order).  @raise Invalid_argument on duplicate names. *)
+
+val all_scenarios : unit -> scenario list
+(** Built-ins followed by registrations. *)
 
 val find_scenario : string -> scenario
 (** @raise Invalid_argument on unknown names. *)

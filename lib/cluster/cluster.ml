@@ -1,0 +1,765 @@
+open Bullfrog_db
+open Bullfrog_sql
+module Lazy_db = Bullfrog_core.Lazy_db
+module Migrate_exec = Bullfrog_core.Migrate_exec
+module Migration = Bullfrog_core.Migration
+module Fault = Bullfrog_core.Fault
+module Counters = Obs.Counters
+
+let sql_error fmt = Printf.ksprintf (fun s -> raise (Db_error.Sql_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* counters                                                            *)
+
+let c_stmts = Counters.make "shard.stmts"
+let c_single = Counters.make "shard.routed_single"
+let c_multi = Counters.make "shard.routed_multi"
+let c_ddl_bcast = Counters.make "shard.ddl_broadcasts"
+let c_selects = Counters.make "shard.selects"
+let c_selects_single = Counters.make "shard.selects_single"
+let c_scatters = Counters.make "shard.scatters"
+let c_2pc_commits = Counters.make "shard.2pc_commits"
+let c_2pc_aborts = Counters.make "shard.2pc_aborts"
+let c_rows_moved = Counters.make "shard.rows_moved"
+let c_flips = Counters.make "shard.flips"
+let c_mig_drives = Counters.make "shard.migration_drives"
+
+(* ------------------------------------------------------------------ *)
+(* state                                                               *)
+
+type shard = {
+  sh_id : int;
+  sh_db : Database.t;
+  sh_lazy : Lazy_db.t;
+}
+
+type migration_state = {
+  mig_spec : Migration.t;
+  mig_rts : Migrate_exec.t array;  (* one independent runtime per shard *)
+  mig_outputs : string list;
+  mig_watermarks : (string, int array) Hashtbl.t;
+      (* per output table, the TID up to which each shard's heap has been
+         scanned by the row mover *)
+}
+
+type t = {
+  shards : shard array;
+  coord_log : Redo_log.t;  (* coordinator 2PC decision log *)
+  mutable parts : (string * Partition.t) list;
+  mutable next_gid : int;
+  epoch : int Atomic.t;
+      (* cluster schema epoch: published with a single store only after
+         every shard has acked a flip — readers see either the whole
+         cluster pre-flip or the whole cluster post-flip *)
+  mutable dropped : string list;
+  latch : Mutex.t;  (* serialises statements and migration driving *)
+  mutable migration : migration_state option;
+}
+
+let lc = String.lowercase_ascii
+
+let create ?(shards = 4) () =
+  if shards < 1 then invalid_arg "Cluster.create: shards must be >= 1";
+  {
+    shards =
+      Array.init shards (fun i ->
+          let db = Database.create () in
+          { sh_id = i; sh_db = db; sh_lazy = Lazy_db.create db });
+    coord_log = Redo_log.create ();
+    parts = [];
+    next_gid = 0;
+    epoch = Atomic.make 0;
+    dropped = [];
+    latch = Mutex.create ();
+    migration = None;
+  }
+
+let shard_count t = Array.length t.shards
+let shard_db t i = t.shards.(i).sh_db
+let epoch t = Atomic.get t.epoch
+let partition_of t name = List.assoc_opt (lc name) t.parts
+
+let set_partition t name part =
+  t.parts <- (lc name, part) :: List.remove_assoc (lc name) t.parts
+
+let all_ids t = List.init (shard_count t) (fun i -> i)
+
+let with_latch t f =
+  Mutex.lock t.latch;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.latch) f
+
+let default_partition t name =
+  match Catalog.find_table t.shards.(0).sh_db.Database.catalog (lc name) with
+  | None -> None
+  | Some heap ->
+      let schema = heap.Heap.schema in
+      if Array.length schema.Schema.columns = 0 then None
+      else
+        let idx =
+          match schema.Schema.primary_key with
+          | Some a when Array.length a > 0 -> a.(0)
+          | _ -> 0
+        in
+        Some
+          (Partition.hash
+             ~column:schema.Schema.columns.(idx).Schema.name
+             ~shards:(shard_count t))
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers                                                         *)
+
+let rec tables_of_select (s : Ast.select) =
+  List.concat_map
+    (function
+      | Ast.From_table (n, _) -> [ lc n ]
+      | Ast.From_subquery (q, _) -> tables_of_select q)
+    s.Ast.from
+
+let tables_of_stmt = function
+  | Ast.Select_stmt s -> tables_of_select s
+  | Ast.Insert { table; source; _ } ->
+      lc table
+      :: (match source with Ast.Query q -> tables_of_select q | Ast.Values _ -> [])
+  | Ast.Update { table; _ } | Ast.Delete { table; _ } -> [ lc table ]
+  | Ast.Explain { stmt; _ } -> (
+      match stmt with Ast.Select_stmt s -> tables_of_select s | _ -> [])
+  | _ -> []
+
+let rec expr_has_subquery = function
+  | Ast.Exists _ | Ast.Scalar_subquery _ -> true
+  | Ast.Binop (_, a, b) -> expr_has_subquery a || expr_has_subquery b
+  | Ast.Unop (_, a) | Ast.Is_null (a, _) -> expr_has_subquery a
+  | Ast.Fn (_, es) -> List.exists expr_has_subquery es
+  | Ast.Agg (_, _, e) -> (
+      match e with Some e -> expr_has_subquery e | None -> false)
+  | Ast.Case (branches, els) ->
+      List.exists (fun (c, v) -> expr_has_subquery c || expr_has_subquery v) branches
+      || (match els with Some e -> expr_has_subquery e | None -> false)
+  | Ast.In_list (a, es) -> List.exists expr_has_subquery (a :: es)
+  | Ast.Between (a, b, c) -> List.exists expr_has_subquery [ a; b; c ]
+  | Ast.Null_lit | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Bool_lit _
+  | Ast.Param _ | Ast.Col _ ->
+      false
+
+let where_has_subquery = function None -> false | Some e -> expr_has_subquery e
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+(* ------------------------------------------------------------------ *)
+(* per-shard execution and scatter/gather                              *)
+
+let exec_on t s stmt =
+  let sh = t.shards.(s) in
+  Database.with_txn sh.sh_db (fun txn ->
+      Executor.exec_stmt (Database.exec_ctx sh.sh_db) txn stmt)
+
+(* Scatter [f] over the given shards, one OS thread per shard, and
+   gather the results in shard order.  The first captured exception is
+   re-raised in the caller. *)
+let scatter ids f =
+  match ids with
+  | [] -> []
+  | [ s ] -> [ (s, f s) ]
+  | _ ->
+      Counters.bump c_scatters;
+      let arr = Array.of_list ids in
+      let res = Array.make (Array.length arr) (Error Not_found) in
+      let run i = res.(i) <- (try Ok (f arr.(i)) with e -> Error e) in
+      let ths = Array.mapi (fun i _ -> Thread.create run i) arr in
+      Array.iter Thread.join ths;
+      Array.to_list
+        (Array.mapi
+           (fun i s -> (s, match res.(i) with Ok r -> r | Error e -> raise e))
+           arr)
+
+(* ------------------------------------------------------------------ *)
+(* two-phase commit                                                    *)
+
+let fresh_gid t =
+  let n = t.next_gid in
+  t.next_gid <- n + 1;
+  Printf.sprintf "gid-%06d" n
+
+(* Coordinator-driven 2PC over the participating shards' own redo logs:
+   execute each shard's share in an open transaction, append a durable
+   E_prepare per shard, log the coordinator's decision, then make every
+   shard's writes visible with ONE {!Mvcc.commit} publish (the stamp
+   callback stamps all participants, so the distributed transaction
+   appears atomically to snapshot readers), and finally append each
+   shard-local decision marker.  Crash points bracket every durability
+   boundary; an in-doubt shard resolves from the coordinator log at
+   recovery, presumed abort. *)
+let two_pc t (work : (int * (Txn.t -> Executor.result)) list) =
+  let gid = fresh_gid t in
+  let parts =
+    List.map
+      (fun (s, f) ->
+        let sh = t.shards.(s) in
+        (sh, Database.begin_txn sh.sh_db, f))
+      work
+  in
+  let results =
+    try List.map (fun (_, txn, f) -> f txn) parts
+    with
+    | Fault.Crash _ as c -> raise c
+    | e ->
+        (* nothing prepared yet: plain rollback on every shard *)
+        List.iter
+          (fun (sh, txn, _) -> if Txn.active txn then Database.abort sh.sh_db txn)
+          parts;
+        Counters.bump c_2pc_aborts;
+        raise e
+  in
+  (try
+     List.iter
+       (fun (sh, txn, _) ->
+         ignore (Database.prepare_2pc sh.sh_db txn ~gid : Redo_log.record);
+         Fault.point Fault.p_2pc_prepare)
+       parts
+   with
+   | Fault.Crash _ as c -> raise c
+   | e ->
+       Redo_log.append_decision t.coord_log ~gid ~commit:false ~ts:0;
+       List.iter
+         (fun (sh, txn, _) ->
+           if Txn.active txn then Database.resolve_2pc sh.sh_db txn ~gid ~commit:None)
+         parts;
+       Counters.bump c_2pc_aborts;
+       raise e);
+  Redo_log.append_decision t.coord_log ~gid ~commit:true ~ts:0;
+  Fault.point Fault.p_2pc_decision;
+  let ts =
+    Mvcc.commit ~stamp:(fun ts ->
+        List.iter (fun (_, txn, _) -> Database.stamp_prepared txn ~ts) parts)
+  in
+  List.iter
+    (fun (sh, txn, _) ->
+      Database.resolve_2pc sh.sh_db txn ~gid ~commit:(Some ts);
+      Fault.point Fault.p_2pc_ack)
+    parts;
+  Counters.bump c_2pc_commits;
+  results
+
+let sum_affected results =
+  Executor.Affected
+    (List.fold_left
+       (fun acc r -> match r with Executor.Affected n -> acc + n | _ -> acc)
+       0 results)
+
+(* ------------------------------------------------------------------ *)
+(* migration row movement                                              *)
+
+(* A migrated row whose NEW-schema home shard (by the output table's
+   partition) differs from the shard that produced it moves as a 2PC
+   delete+insert — the hard case where the migration changes the
+   partition key. *)
+let move_row t ~out src dst tid row =
+  let src_sh = t.shards.(src) and dst_sh = t.shards.(dst) in
+  let src_heap = Catalog.find_table_exn src_sh.sh_db.Database.catalog out in
+  let dst_heap = Catalog.find_table_exn dst_sh.sh_db.Database.catalog out in
+  ignore
+    (two_pc t
+       [
+         ( src,
+           fun txn ->
+             Executor.delete_row (Database.exec_ctx src_sh.sh_db) txn src_heap tid;
+             Executor.Affected 1 );
+         ( dst,
+           fun txn ->
+             ignore
+               (Executor.insert_row (Database.exec_ctx dst_sh.sh_db) txn dst_heap row
+                 : int option);
+             Executor.Affected 1 );
+       ]
+      : Executor.result list);
+  Counters.bump c_rows_moved
+
+let move_misplaced t m s =
+  List.iter
+    (fun out ->
+      match partition_of t out with
+      | None -> ()
+      | Some part -> (
+          let sh = t.shards.(s) in
+          match Catalog.find_table sh.sh_db.Database.catalog out with
+          | None -> ()
+          | Some heap ->
+              let wms = Hashtbl.find m.mig_watermarks out in
+              let n = Heap.tid_count heap in
+              for tid = wms.(s) to n - 1 do
+                (match Heap.get heap tid with
+                | None -> ()
+                | Some row -> (
+                    match Partition.shard_of_row part heap.Heap.schema row with
+                    | Some home when home <> s -> move_row t ~out s home tid row
+                    | Some _ | None -> ()))
+              done;
+              wms.(s) <- n))
+    m.mig_outputs
+
+let drive_migration t stmt =
+  match t.migration with
+  | None -> ()
+  | Some m ->
+      let preds = Lazy_db.extract_predicates_for_stmt t.shards.(0).sh_lazy stmt in
+      if preds <> [] then Counters.bump c_mig_drives;
+      List.iter
+        (fun (tbl, pred) ->
+          let cands =
+            match partition_of t tbl with
+            | Some p -> Partition.route p pred
+            | None -> all_ids t
+          in
+          List.iter
+            (fun s ->
+              let rep = Migrate_exec.new_report () in
+              Migrate_exec.migrate_for_preds m.mig_rts.(s) rep [ (tbl, pred) ];
+              move_misplaced t m s)
+            cands)
+        preds
+
+(* ------------------------------------------------------------------ *)
+(* SELECT merge                                                        *)
+
+let count_star_only (sel : Ast.select) =
+  (not sel.Ast.distinct)
+  && sel.Ast.group_by = []
+  && sel.Ast.having = None
+  &&
+  match sel.Ast.projections with
+  | [ Ast.Proj_expr (Ast.Agg (Ast.Count, false, None), _) ] -> true
+  | _ -> false
+
+let select_has_agg (sel : Ast.select) =
+  sel.Ast.group_by <> []
+  || sel.Ast.having <> None
+  || List.exists
+       (function
+         | Ast.Proj_expr (e, _) -> Ast.contains_agg e
+         | Ast.Proj_star | Ast.Proj_table_star _ -> false)
+       sel.Ast.projections
+
+let resort header order rows =
+  let pos_of e =
+    match e with
+    | Ast.Col (_, n) ->
+        let n = lc n in
+        let rec go i = function
+          | [] -> None
+          | c :: rest -> if lc c = n then Some i else go (i + 1) rest
+        in
+        go 0 header
+    | Ast.Int_lit i when i >= 1 && i <= List.length header -> Some (i - 1)
+    | _ -> None
+  in
+  let keys =
+    List.map
+      (fun (e, dir) ->
+        match pos_of e with
+        | Some i -> (i, dir)
+        | None ->
+            sql_error "cluster: cannot merge ORDER BY over a non-output expression")
+      order
+  in
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | (i, dir) :: rest ->
+          let c = Value.compare a.(i) b.(i) in
+          let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+          if c <> 0 then c else go rest
+    in
+    go keys
+  in
+  List.stable_sort cmp rows
+
+let merge_select sel (results : (int * Executor.result) list) =
+  let parts =
+    List.map
+      (fun (_, r) ->
+        match r with
+        | Executor.Rows (cols, rows) -> (cols, rows)
+        | _ -> sql_error "cluster: unexpected non-row result from shard")
+      results
+  in
+  let header = match parts with (h, _) :: _ -> h | [] -> [] in
+  if count_star_only sel then
+    let total =
+      List.fold_left
+        (fun acc (_, rows) ->
+          match rows with
+          | [ [| Value.Int n |] ] -> acc + n
+          | _ -> sql_error "cluster: malformed COUNT(*) result")
+        0 parts
+    in
+    Executor.Rows (header, [ [| Value.Int total |] ])
+  else if select_has_agg sel then
+    sql_error "cluster: cross-shard aggregates other than COUNT(*) are unsupported"
+  else
+    let rows = List.concat_map snd parts in
+    let rows = if sel.Ast.distinct then List.sort_uniq compare rows else rows in
+    let rows =
+      if sel.Ast.order_by = [] then rows else resort header sel.Ast.order_by rows
+    in
+    let rows = match sel.Ast.limit with Some n -> take n rows | None -> rows in
+    Executor.Rows (header, rows)
+
+(* ------------------------------------------------------------------ *)
+(* statement routing                                                   *)
+
+let broadcast t stmt =
+  Counters.bump c_ddl_bcast;
+  match List.map (fun s -> exec_on t s stmt) (all_ids t) with
+  | r :: _ -> r
+  | [] -> assert false
+
+let route_write t stmt part where =
+  if where_has_subquery where then
+    sql_error "cluster: subqueries in WHERE are unsupported";
+  match Partition.route part where with
+  | [] -> Executor.Affected 0
+  | [ s ] ->
+      Counters.bump c_single;
+      exec_on t s stmt
+  | cs ->
+      Counters.bump c_multi;
+      sum_affected
+        (two_pc t
+           (List.map
+              (fun s ->
+                ( s,
+                  fun txn ->
+                    Executor.exec_stmt (Database.exec_ctx t.shards.(s).sh_db) txn stmt
+                ))
+              cs))
+
+let exec_select t sel stmt =
+  Counters.bump c_selects;
+  if
+    where_has_subquery sel.Ast.where
+    || where_has_subquery sel.Ast.having
+    || List.exists
+         (function
+           | Ast.Proj_expr (e, _) -> expr_has_subquery e
+           | Ast.Proj_star | Ast.Proj_table_star _ -> false)
+         sel.Ast.projections
+  then sql_error "cluster: subqueries are unsupported";
+  match sel.Ast.from with
+  | [] ->
+      Counters.bump c_selects_single;
+      exec_on t 0 stmt
+  | [ Ast.From_table (tbl, _) ] -> (
+      let cands =
+        match partition_of t tbl with
+        | Some p -> Partition.route p sel.Ast.where
+        | None -> all_ids t
+      in
+      match cands with
+      | [] ->
+          (* provably no matching rows anywhere; shard 0 supplies the header *)
+          Counters.bump c_selects_single;
+          exec_on t 0 stmt
+      | [ s ] ->
+          Counters.bump c_selects_single;
+          exec_on t s stmt
+      | cs -> merge_select sel (scatter cs (fun s -> exec_on t s stmt)))
+  | _ ->
+      sql_error
+        "cluster: cross-shard joins and FROM subqueries are unsupported (single-table statements only)"
+
+let route_note t stmt =
+  let note tbl where =
+    match partition_of t tbl with
+    | Some p ->
+        let cands = Partition.route p where in
+        Printf.sprintf "route: %s via %s -> shards [%s]" tbl (Partition.to_string p)
+          (String.concat ";" (List.map string_of_int cands))
+    | None -> Printf.sprintf "route: %s unpartitioned -> broadcast" tbl
+  in
+  match stmt with
+  | Ast.Select_stmt { Ast.from = [ Ast.From_table (tbl, _) ]; where; _ } ->
+      note (lc tbl) where
+  | Ast.Update { table; where; _ } -> note (lc table) where
+  | Ast.Delete { table; where } -> note (lc table) where
+  | Ast.Insert { table; _ } ->
+      Printf.sprintf "route: %s by partition key per row" (lc table)
+  | _ -> "route: broadcast"
+
+let exec_stmt_routed t stmt =
+  match stmt with
+  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
+      sql_error "cluster: explicit transactions are unsupported (auto-commit only)"
+  | Ast.Create_table_as _ ->
+      sql_error "cluster: CREATE TABLE AS is unsupported (use a migration)"
+  | Ast.Create_table { name; _ } ->
+      let r = broadcast t stmt in
+      (match default_partition t name with
+      | Some p when partition_of t name = None -> set_partition t name p
+      | _ -> ());
+      r
+  | Ast.Drop { kind = Ast.Drop_table; name; _ } ->
+      let r = broadcast t stmt in
+      t.parts <- List.remove_assoc (lc name) t.parts;
+      r
+  | Ast.Alter_table { table; action = Ast.Rename_to nn } ->
+      let r = broadcast t stmt in
+      (match partition_of t table with
+      | Some p ->
+          t.parts <- (lc nn, p) :: List.remove_assoc (lc table) t.parts
+      | None -> ());
+      r
+  | Ast.Create_view _ | Ast.Create_index _ | Ast.Drop _ | Ast.Alter_table _ ->
+      broadcast t stmt
+  | Ast.Explain_migration _ -> exec_on t 0 stmt
+  | Ast.Explain { stmt = inner; _ } -> (
+      let line = route_note t inner in
+      match exec_on t 0 stmt with
+      | Executor.Explained s -> Executor.Explained (line ^ "\n" ^ s)
+      | other -> other)
+  | Ast.Insert ({ table; columns; source = Ast.Values rows; _ } as r) -> (
+      let tbl = lc table in
+      let part =
+        match partition_of t tbl with
+        | Some p -> p
+        | None -> sql_error "cluster: no partition spec for table %s" tbl
+      in
+      let schema =
+        match Catalog.find_table t.shards.(0).sh_db.Database.catalog tbl with
+        | Some h -> h.Heap.schema
+        | None -> sql_error "cluster: unknown table %s" tbl
+      in
+      let slot =
+        let pcol = Partition.column part in
+        match columns with
+        | Some cols ->
+            let rec idx i = function
+              | [] -> None
+              | c :: rest -> if lc c = pcol then Some i else idx (i + 1) rest
+            in
+            idx 0 cols
+        | None -> Schema.col_index schema pcol
+      in
+      let slot =
+        match slot with
+        | Some i -> i
+        | None ->
+            sql_error "cluster: INSERT into %s must supply partition column %s" tbl
+              (Partition.column part)
+      in
+      let home_of row_exprs =
+        match List.nth_opt row_exprs slot with
+        | None -> sql_error "cluster: INSERT row arity below partition column"
+        | Some e -> (
+            match Value.of_ast_literal e with
+            | Some v -> Partition.shard_of_value part v
+            | None -> sql_error "cluster: partition key of %s must be a literal" tbl)
+      in
+      let groups =
+        List.fold_left
+          (fun acc row ->
+            let s = home_of row in
+            match List.assoc_opt s acc with
+            | Some rs -> (s, row :: rs) :: List.remove_assoc s acc
+            | None -> (s, [ row ]) :: acc)
+          [] rows
+        |> List.map (fun (s, rs) -> (s, List.rev rs))
+        |> List.sort compare
+      in
+      match groups with
+      | [] -> Executor.Affected 0
+      | [ (s, rs) ] ->
+          Counters.bump c_single;
+          exec_on t s (Ast.Insert { r with source = Ast.Values rs })
+      | _ ->
+          Counters.bump c_multi;
+          sum_affected
+            (two_pc t
+               (List.map
+                  (fun (s, rs) ->
+                    ( s,
+                      fun txn ->
+                        Executor.exec_stmt
+                          (Database.exec_ctx t.shards.(s).sh_db)
+                          txn
+                          (Ast.Insert { r with source = Ast.Values rs }) ))
+                  groups)))
+  | Ast.Insert _ -> sql_error "cluster: INSERT ... SELECT is unsupported"
+  | Ast.Update { table; sets; where } ->
+      let tbl = lc table in
+      let part =
+        match partition_of t tbl with
+        | Some p -> p
+        | None -> sql_error "cluster: no partition spec for table %s" tbl
+      in
+      if List.exists (fun (c, _) -> lc c = Partition.column part) sets then
+        sql_error "cluster: updating the partition column is unsupported";
+      route_write t stmt part where
+  | Ast.Delete { table; where } ->
+      let tbl = lc table in
+      let part =
+        match partition_of t tbl with
+        | Some p -> p
+        | None -> sql_error "cluster: no partition spec for table %s" tbl
+      in
+      route_write t stmt part where
+  | Ast.Select_stmt sel -> exec_select t sel stmt
+
+let check_dropped t stmt =
+  List.iter
+    (fun tb ->
+      if List.mem tb t.dropped then
+        sql_error "cluster: table %s was dropped by the migration" tb)
+    (tables_of_stmt stmt)
+
+let exec_ast t stmt =
+  with_latch t (fun () ->
+      Counters.bump c_stmts;
+      check_dropped t stmt;
+      drive_migration t stmt;
+      exec_stmt_routed t stmt)
+
+let exec t ?params sql =
+  let stmt = Database.bind_stmt params (Parser.parse_one sql) in
+  exec_ast t stmt
+
+let exec_script t sql =
+  Parser.parse sql |> List.map (fun stmt -> exec_ast t stmt)
+
+let query t ?params sql =
+  match exec t ?params sql with
+  | Executor.Rows (_, rows) -> rows
+  | _ -> sql_error "cluster: statement returned no rows"
+
+let query_one t ?params sql =
+  match query t ?params sql with
+  | row :: _ -> row
+  | [] -> sql_error "cluster: query_one on empty result"
+
+let explain t sql =
+  let stmt = Database.bind_stmt None (Parser.parse_one sql) in
+  route_note t stmt ^ "\n" ^ Database.explain t.shards.(0).sh_db sql
+
+let vacuum ?budget t =
+  Array.fold_left (fun acc sh -> acc + Database.vacuum ?budget sh.sh_db) 0 t.shards
+
+let frontend t =
+  {
+    Frontend.f_name = Printf.sprintf "cluster:%d" (shard_count t);
+    f_exec = (fun ?params sql -> exec t ?params sql);
+    f_query = (fun ?params sql -> query t ?params sql);
+    f_explain = (fun sql -> explain t sql);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* cluster-wide migration                                              *)
+
+let start_migration ?(partitions = []) t mig =
+  with_latch t (fun () ->
+      if t.migration <> None then sql_error "cluster: a migration is already active";
+      let rts =
+        Array.map (fun sh -> Lazy_db.start_migration sh.sh_lazy mig) t.shards
+      in
+      let outputs =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun st ->
+               List.map (fun o -> lc o.Migration.out_name) st.Migration.outputs)
+             mig.Migration.statements)
+      in
+      let partitions = List.map (fun (k, v) -> (lc k, v)) partitions in
+      List.iter
+        (fun out ->
+          match List.assoc_opt out partitions with
+          | Some p -> set_partition t out p
+          | None -> (
+              match default_partition t out with
+              | Some p when partition_of t out = None -> set_partition t out p
+              | _ -> ()))
+        outputs;
+      let wms = Hashtbl.create 8 in
+      List.iter
+        (fun out ->
+          Hashtbl.replace wms out
+            (Array.map
+               (fun sh ->
+                 match Catalog.find_table sh.sh_db.Database.catalog out with
+                 | Some h -> Heap.tid_count h
+                 | None -> 0)
+               t.shards))
+        outputs;
+      t.migration <-
+        Some { mig_spec = mig; mig_rts = rts; mig_outputs = outputs; mig_watermarks = wms };
+      t.dropped <- List.map lc mig.Migration.drop_old @ t.dropped;
+      (* the cluster-wide flip: one store, after every shard acked *)
+      Atomic.incr t.epoch;
+      Counters.bump c_flips)
+
+let background_step t ~batch =
+  with_latch t (fun () ->
+      match t.migration with
+      | None -> 0
+      | Some m ->
+          let total = ref 0 in
+          Array.iteri
+            (fun s _ ->
+              let rep = Migrate_exec.new_report () in
+              let n = Migrate_exec.background_step m.mig_rts.(s) rep ~batch in
+              if n > 0 then move_misplaced t m s;
+              total := !total + n)
+            t.shards;
+          !total)
+
+let active_migration t = Option.map (fun m -> m.mig_spec) t.migration
+
+let migration_complete t =
+  match t.migration with
+  | None -> true
+  | Some m -> Array.for_all Migrate_exec.complete m.mig_rts
+
+let migration_progress t =
+  match t.migration with
+  | None -> 1.0
+  | Some m ->
+      let sum = Array.fold_left (fun acc rt -> acc +. Migrate_exec.progress rt) 0.0 m.mig_rts in
+      sum /. float_of_int (Array.length m.mig_rts)
+
+let finalize t =
+  with_latch t (fun () ->
+      match t.migration with
+      | None -> ()
+      | Some m ->
+          Array.iteri (fun s _ -> move_misplaced t m s) t.shards;
+          Array.iter (fun sh -> Lazy_db.finalize sh.sh_lazy) t.shards;
+          t.parts <- List.filter (fun (k, _) -> not (List.mem k t.dropped)) t.parts;
+          t.migration <- None)
+
+(* ------------------------------------------------------------------ *)
+(* recovery                                                            *)
+
+let recover old =
+  if old.migration <> None then
+    invalid_arg "Cluster.recover: recovery during an active migration is unsupported";
+  let coord_log = Redo_log.deserialize (Redo_log.serialize old.coord_log) in
+  let decisions = Redo_log.decisions coord_log in
+  let resolve gid = List.exists (fun (g, c, _) -> g = gid && c) decisions in
+  let shards =
+    Array.map
+      (fun sh ->
+        let log = Redo_log.deserialize (Redo_log.serialize sh.sh_db.Database.redo) in
+        let db = Database.replay ~resolve log in
+        { sh_id = sh.sh_id; sh_db = db; sh_lazy = Lazy_db.create db })
+      old.shards
+  in
+  {
+    shards;
+    coord_log;
+    parts = old.parts;
+    next_gid = old.next_gid;
+    epoch = Atomic.make (Atomic.get old.epoch);
+    dropped = old.dropped;
+    latch = Mutex.create ();
+    migration = None;
+  }

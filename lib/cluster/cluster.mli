@@ -1,0 +1,105 @@
+(** Shared-nothing sharded engine: N independent {!Bullfrog_db.Database}
+    instances behind a predicate-routing coordinator (DESIGN.md §4.2g).
+
+    Rows are partitioned by {!Partition} specs registered per table
+    (hash on the primary key by default).  The coordinator routes each
+    statement with the {!Bullfrog_analysis.Router} decision procedure:
+
+    - a point query whose WHERE pins the partition key touches exactly
+      one shard;
+    - non-prunable scans scatter to the candidate shards in parallel
+      (one OS thread per shard) and gather/merge the results
+      (concatenation, count-star summation, ORDER BY re-sort, LIMIT);
+    - cross-shard writes run as two-phase commit over the shards' own
+      redo logs, with the coordinator decision in its own log and
+      atomic cross-shard visibility from a single {!Mvcc.commit}
+      publish;
+    - DDL broadcasts to every shard.
+
+    Migration goes per-shard: each shard keeps its own granule trackers
+    and background migrator; the cluster epoch is published after all
+    shards ack the flip.  When the migration changes the partition key,
+    migrated rows are moved to their new home shards as 2PC
+    delete+insert pairs.
+
+    Unsupported on the cluster frontend (raising [Db_error.Sql_error]):
+    explicit transactions, cross-shard joins, subqueries, cross-shard
+    aggregates other than count-star, INSERT..SELECT, CREATE TABLE AS,
+    and UPDATEs of the partition column. *)
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** Default 4 shards. @raise Invalid_argument when [shards < 1]. *)
+
+val shard_count : t -> int
+
+val shard_db : t -> int -> Bullfrog_db.Database.t
+(** Direct access to one shard (tests and benchmarks). *)
+
+val epoch : t -> int
+(** Cluster schema epoch: bumped by one store per cluster-wide flip,
+    only after every shard has acked. *)
+
+val partition_of : t -> string -> Partition.t option
+
+val set_partition : t -> string -> Partition.t -> unit
+(** Override the table's partition spec (must be set before the table
+    holds rows; existing rows are not re-placed). *)
+
+(** {2 Statements} *)
+
+val exec : t -> ?params:Bullfrog_db.Value.t array -> string -> Bullfrog_db.Executor.result
+(** Route and execute one auto-committed statement.  If a migration is
+    active, the statement's extracted predicates first drive lazy
+    migration on the candidate shards (including row movement). *)
+
+val exec_script : t -> string -> Bullfrog_db.Executor.result list
+
+val query : t -> ?params:Bullfrog_db.Value.t array -> string -> Bullfrog_db.Value.t array list
+
+val query_one : t -> ?params:Bullfrog_db.Value.t array -> string -> Bullfrog_db.Value.t array
+
+val explain : t -> string -> string
+(** Routing decision plus shard 0's plan. *)
+
+val vacuum : ?budget:int -> t -> int
+(** Per-shard {!Bullfrog_db.Database.vacuum}; with [budget], each shard
+    gets the full budget.  Returns total versions reclaimed. *)
+
+val frontend : t -> Bullfrog_db.Frontend.t
+(** The uniform SQL surface ([f_name = "cluster:N"]). *)
+
+(** {2 Migration} *)
+
+val start_migration :
+  ?partitions:(string * Partition.t) list -> t -> Bullfrog_core.Migration.t -> unit
+(** Flip every shard (each gets its own trackers and migration runtime),
+    register output-table partitions ([partitions] overrides the
+    defaults), and publish the new cluster epoch after all shards ack. *)
+
+val background_step : t -> batch:int -> int
+(** One background batch on every shard (plus row movement); returns
+    total granules migrated, 0 once the cluster is fully migrated. *)
+
+val active_migration : t -> Bullfrog_core.Migration.t option
+
+val migration_complete : t -> bool
+
+val migration_progress : t -> float
+
+val finalize : t -> unit
+(** Per-shard {!Bullfrog_core.Lazy_db.finalize} plus a final row-movement
+    sweep.  @raise Db_error.Sql_error if any shard is incomplete. *)
+
+(** {2 Recovery} *)
+
+val recover : t -> t
+(** Crash-restart the whole cluster: each shard is rebuilt from its
+    (serialisation round-tripped) redo log with
+    {!Bullfrog_db.Database.replay}; transactions prepared but undecided
+    at the crash resolve against the coordinator's decision log —
+    presumed abort when no commit decision was logged — so a cross-shard
+    transaction is either committed on every participant or on none.
+    @raise Invalid_argument while a migration is active (restart during
+    migration is a documented residual). *)

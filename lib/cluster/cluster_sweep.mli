@@ -1,0 +1,20 @@
+(** The cluster's 2PC crash scenario for the {!Bullfrog_core.Fault_sweep}
+    matrix.
+
+    Cross-shard INSERTs and a cross-shard DELETE on a 4-shard hash
+    partition, crashed at the coordinator's prepare-sent / decision-logged
+    / commit-acked boundaries, recovered with {!Cluster.recover}, and
+    checked for statement atomicity (a result set labelled ["atomicity"]
+    that must stay empty) before converging to the oracle's final rows. *)
+
+val scenario : Bullfrog_core.Fault_sweep.scenario
+
+val points : int list
+(** [p_2pc_prepare; p_2pc_decision; p_2pc_ack]. *)
+
+val register : unit -> unit
+(** Add the scenario to {!Bullfrog_core.Fault_sweep}'s registry
+    (idempotent). *)
+
+val run_bounded : unit -> Bullfrog_core.Fault_sweep.cell list
+(** One oracle run plus one recovery cell per 2PC crash point. *)

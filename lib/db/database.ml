@@ -26,6 +26,7 @@ type t = {
      two live instances (the harness runs one per simulated system). *)
   marks_tbl : (int, Redo_log.migration_mark list ref) Hashtbl.t;
   marks_latch : Mutex.t;
+  mutable vacuum_cursor : (string * int) option;
 }
 
 let create () =
@@ -40,6 +41,7 @@ let create () =
       stmt_latch = Mutex.create ();
       marks_tbl = Hashtbl.create 64;
       marks_latch = Mutex.create ();
+      vacuum_cursor = None;
     }
   in
   (* Per-index structural stats, surfaced through [Obs.snapshot].  The
@@ -174,6 +176,55 @@ let with_txn t f =
   | exception e ->
       if Txn.active txn then abort t txn;
       raise e
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase commit (participant side)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* [prepare_2pc] makes the open transaction's writes durable under a
+   global transaction id without committing them: the undo-derived record
+   goes to this database's log as an [E_prepare] entry while the
+   transaction stays open — versions uncommitted, locks held.  Replay
+   applies a prepared record only when a commit decision for its gid
+   follows (shard-local marker or the coordinator's decision log);
+   otherwise the transaction is presumed aborted. *)
+let prepare_2pc t (txn : Txn.t) ~gid =
+  let marks = take_marks t txn in
+  let r = redo_record txn ~commit_ts:0 marks in
+  Redo_log.append_prepare t.redo ~gid r;
+  r
+
+(* Stamp the prepared transaction's versions at [ts].  The 2PC
+   coordinator calls this for every participant inside a single
+   {!Mvcc.commit ~stamp} callback, so the whole distributed transaction
+   becomes visible through one clock publish — the same all-or-nothing
+   flip a local commit gets. *)
+let stamp_prepared (txn : Txn.t) ~ts =
+  Vec.iter
+    (fun entry ->
+      match entry with
+      | Txn.U_insert (heap, tid) | Txn.U_delete (heap, tid, _) | Txn.U_update (heap, tid, _)
+        ->
+          Heap.stamp heap tid ~writer:txn.Txn.id ~ts)
+    txn.Txn.undo
+
+(* Close out a prepared transaction once the coordinator has decided.
+   On commit the caller has already stamped (and the clock published); we
+   append the shard-local decision marker — the durable confirmation that
+   replay may apply the prepared record at [ts] without consulting the
+   coordinator.  On abort the undo log unwinds as usual and an abort
+   marker is appended. *)
+let resolve_2pc t (txn : Txn.t) ~gid ~commit =
+  (match commit with
+  | Some ts ->
+      txn.Txn.commit_ts <- ts;
+      Redo_log.append_decision t.redo ~gid ~commit:true ~ts;
+      Txn.commit txn
+  | None ->
+      Redo_log.append_decision t.redo ~gid ~commit:false ~ts:0;
+      ignore (take_marks t txn : Redo_log.migration_mark list);
+      Txn.abort txn);
+  Lock_manager.release_all t.locks ~owner:txn.Txn.id
 
 let bind_stmt params (stmt : Ast.stmt) : Ast.stmt =
   match params with
@@ -365,19 +416,68 @@ let c_gc_reclaimed = Obs.Counters.make "mvcc.gc_reclaimed"
    head version — so it is invisible to latest-version readers and
    crash-safe at any point (the sweep is idempotent and carries no
    logical state). *)
-let vacuum t =
+let vacuum ?budget t =
   Obs.Trace.with_span ~cat:"mvcc" "gc" @@ fun () ->
   Obs.Counters.bump c_gc_runs;
   let horizon = Mvcc.horizon () in
   let reclaimed = ref 0 in
-  List.iter
-    (fun name ->
-      match Catalog.find_table t.catalog name with
-      | None -> ()
-      | Some heap ->
-          !gc_test_hook ();
-          reclaimed := !reclaimed + Heap.gc heap ~horizon)
-    (Catalog.table_names t.catalog);
+  (match budget with
+  | None ->
+      (* Full sweep, exactly the pre-budget behavior; any in-progress
+         incremental cycle is subsumed. *)
+      t.vacuum_cursor <- None;
+      List.iter
+        (fun name ->
+          match Catalog.find_table t.catalog name with
+          | None -> ()
+          | Some heap ->
+              !gc_test_hook ();
+              reclaimed := !reclaimed + Heap.gc heap ~horizon)
+        (Catalog.table_names t.catalog)
+  | Some budget ->
+      (* Incremental cycle: resume at the cursor, sweep table slices until
+         the budget is spent, park the cursor where the sweep stopped.
+         The slice not yet revisited of a mid-table cursor is picked up
+         when the cycle wraps back to that table from TID 0. *)
+      let budget = max 1 budget in
+      let tables = Catalog.table_names t.catalog in
+      let cursor_tbl, cursor_pos =
+        match t.vacuum_cursor with
+        | Some (tbl, pos) when List.mem tbl tables -> (Some tbl, pos)
+        | _ -> (None, 0)
+      in
+      let tables =
+        match cursor_tbl with
+        | None -> tables
+        | Some tbl ->
+            let rec rot acc = function
+              | [] -> List.rev acc
+              | x :: rest when x = tbl -> (x :: rest) @ List.rev acc
+              | x :: rest -> rot (x :: acc) rest
+            in
+            rot [] tables
+      in
+      t.vacuum_cursor <- None;
+      let rec go first = function
+        | [] -> ()
+        | tbl :: rest -> (
+            match Catalog.find_table t.catalog tbl with
+            | None -> go false rest
+            | Some heap ->
+                !gc_test_hook ();
+                let start = if first then cursor_pos else 0 in
+                let r, next =
+                  Heap.gc_slice heap ~horizon ~start ~budget:(budget - !reclaimed)
+                in
+                reclaimed := !reclaimed + r;
+                if !reclaimed >= budget then
+                  t.vacuum_cursor <-
+                    (match next with
+                    | Some pos -> Some (tbl, pos)
+                    | None -> ( match rest with [] -> None | n :: _ -> Some (n, 0)))
+                else go false rest)
+      in
+      go true tables);
   if !reclaimed > 0 then Obs.Counters.add c_gc_reclaimed !reclaimed;
   !reclaimed
 
@@ -401,9 +501,36 @@ let version_backlog t =
    gaps burned by aborted transactions, so bitmap granule numbering
    survives the round trip).  Commit records are re-appended verbatim, so
    the replayed database's own log still supports tracker rebuild. *)
-let replay (src : Redo_log.t) =
+let replay ?(resolve = fun _gid -> false) (src : Redo_log.t) =
   Obs.Trace.with_span ~cat:"recovery" "redo-replay" @@ fun () ->
   let t = create () in
+  let apply_record (r : Redo_log.record) =
+    (* Re-stamp with the logged commit timestamp and fold it into the
+       clock, so the rebuilt heap is a consistent newest-version image:
+       post-recovery snapshots (>= every durable commit_ts) see exactly
+       the committed data.  Version chains are not rebuilt — no pinned
+       snapshot survives a crash, so only the newest version matters. *)
+    let ts = if r.Redo_log.commit_ts > 0 then Some r.Redo_log.commit_ts else None in
+    Mvcc.observe r.Redo_log.commit_ts;
+    List.iter
+      (fun (w : Redo_log.write) ->
+        match w with
+        | Redo_log.W_insert (tbl, tid, row) ->
+            Heap.insert_at ?ts (Catalog.find_table_exn t.catalog tbl) tid row
+        | Redo_log.W_delete (tbl, tid) ->
+            ignore (Heap.delete ?ts (Catalog.find_table_exn t.catalog tbl) tid : Heap.row)
+        | Redo_log.W_update (tbl, tid, row) ->
+            ignore
+              (Heap.update ?ts (Catalog.find_table_exn t.catalog tbl) tid row : Heap.row))
+      r.Redo_log.writes;
+    Redo_log.append t.redo r
+  in
+  (* Prepared-but-unresolved 2PC transactions, in log order.  A
+     shard-local commit marker applies the prepared record in place (so
+     ordering against later commits to the same TIDs is preserved); a gid
+     still pending at end-of-log is in doubt and goes to [resolve] —
+     presumed abort unless the coordinator's decision log says commit. *)
+  let pending : (string * Redo_log.record) list ref = ref [] in
   List.iter
     (fun (entry : Redo_log.entry) ->
       match entry with
@@ -411,28 +538,25 @@ let replay (src : Redo_log.t) =
           let stmt = Parser.parse_one d_sql in
           with_txn t (fun txn ->
               ignore (Executor.exec_stmt (exec_ctx t) txn stmt : Executor.result))
-      | Redo_log.E_commit r ->
-          (* Re-stamp with the logged commit timestamp and fold it into
-             the clock, so the rebuilt heap is a consistent
-             newest-version image: post-recovery snapshots (>= every
-             durable commit_ts) see exactly the committed data.  Version
-             chains are not rebuilt — no pinned snapshot survives a
-             crash, so only the newest version matters. *)
-          let ts = if r.Redo_log.commit_ts > 0 then Some r.Redo_log.commit_ts else None in
-          Mvcc.observe r.Redo_log.commit_ts;
-          List.iter
-            (fun (w : Redo_log.write) ->
-              match w with
-              | Redo_log.W_insert (tbl, tid, row) ->
-                  Heap.insert_at ?ts (Catalog.find_table_exn t.catalog tbl) tid row
-              | Redo_log.W_delete (tbl, tid) ->
-                  ignore
-                    (Heap.delete ?ts (Catalog.find_table_exn t.catalog tbl) tid : Heap.row)
-              | Redo_log.W_update (tbl, tid, row) ->
-                  ignore
-                    (Heap.update ?ts (Catalog.find_table_exn t.catalog tbl) tid row
-                      : Heap.row))
-            r.Redo_log.writes;
-          Redo_log.append t.redo r)
+      | Redo_log.E_commit r -> apply_record r
+      | Redo_log.E_prepare { p_gid; p_record } ->
+          pending := (p_gid, p_record) :: !pending
+      | Redo_log.E_decision { dc_gid; dc_commit; dc_ts } -> (
+          match List.assoc_opt dc_gid !pending with
+          | None -> () (* decision for a checkpoint-truncated prepare *)
+          | Some r ->
+              pending := List.filter (fun (g, _) -> g <> dc_gid) !pending;
+              if dc_commit then
+                apply_record { r with Redo_log.commit_ts = dc_ts }))
     (Redo_log.entries src);
+  (* In-doubt resolution.  A crash can only truncate the log, so every
+     pending gid's effects are strictly after everything replayed above —
+     applying them now preserves write order.  Commits get a fresh
+     timestamp: the one reserved before the crash was never published on
+     this shard, and only visibility ordering matters. *)
+  List.iter
+    (fun (gid, r) ->
+      if resolve gid then
+        apply_record { r with Redo_log.commit_ts = Mvcc.commit ~stamp:(fun _ -> ()) })
+    (List.rev !pending);
   t

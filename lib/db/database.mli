@@ -26,6 +26,8 @@ type t = {
       (** per-transaction migration marks, drained at commit; per-database
           because txn ids restart at 1 in every instance *)
   marks_latch : Mutex.t;
+  mutable vacuum_cursor : (string * int) option;
+      (** resume point of the incremental vacuum cycle: (table, TID) *)
 }
 
 val create : unit -> t
@@ -47,6 +49,32 @@ val with_txn : t -> (Txn.t -> 'a) -> 'a
 (** Commits on success, aborts on exception (and re-raises). *)
 
 val add_migration_mark : t -> Txn.t -> Redo_log.migration_mark -> unit
+
+(** {2 Two-phase commit (participant side)}
+
+    The cluster coordinator drives cross-shard transactions through these
+    three calls: [prepare_2pc] on every participant (writes durable under
+    the global id, transaction still open), then — after logging its
+    decision — one {!Mvcc.commit} whose stamp callback runs
+    [stamp_prepared] on every participant (one clock publish makes the
+    whole distributed transaction visible atomically), then
+    [resolve_2pc] per participant to append the shard-local decision
+    marker and release locks. *)
+
+val prepare_2pc : t -> Txn.t -> gid:string -> Redo_log.record
+(** Append the open transaction's writes to this database's log as an
+    [E_prepare] entry under [gid].  The transaction stays open: versions
+    uncommitted, locks held.  Returns the prepared record. *)
+
+val stamp_prepared : Txn.t -> ts:int -> unit
+(** Stamp every version the prepared transaction wrote at [ts].  Call
+    inside an {!Mvcc.commit} stamp callback. *)
+
+val resolve_2pc : t -> Txn.t -> gid:string -> commit:int option -> unit
+(** Finish a prepared transaction.  [commit = Some ts] appends the
+    shard-local commit marker (the versions must already be stamped at
+    [ts]) and closes the transaction; [None] rolls the writes back and
+    appends an abort marker.  Releases the transaction's locks. *)
 
 val prepare : t -> string -> prepared
 (** Look up (or parse and cache) [sql].  One parse serves every
@@ -82,10 +110,16 @@ val query_one : t -> ?params:Value.t array -> string -> Value.t array
 
 val explain : t -> string -> string
 
-val vacuum : t -> int
-(** One version-chain GC sweep over every table, reclaiming versions no
-    snapshot at or above {!Mvcc.horizon} can reach.  Emits an [mvcc]/[gc]
-    trace span and bumps [mvcc.gc_runs]/[mvcc.gc_reclaimed].  Returns the
+val vacuum : ?budget:int -> t -> int
+(** Version-chain GC, reclaiming versions no snapshot at or above
+    {!Mvcc.horizon} can reach.  Without [budget]: one full sweep over
+    every table, exactly the historical stop-the-world behavior (and any
+    in-progress incremental cycle is reset).  With [budget]: an
+    incremental slice that stops once at least [budget] versions are
+    reclaimed (overshooting only within the final row's chain) and parks
+    a per-table cursor in [vacuum_cursor]; the next budgeted call resumes
+    there, wrapping around table by table.  Emits an [mvcc]/[gc] trace
+    span and bumps [mvcc.gc_runs]/[mvcc.gc_reclaimed].  Returns the
     number of versions reclaimed.  Safe to run at any time, concurrently
     with readers: it only shortens chains below committed heads (a reader
     holding an old descriptor keeps its nodes alive via the OCaml GC). *)
@@ -103,11 +137,16 @@ val commit_test_hook : (has_marks:bool -> unit) ref
 val gc_test_hook : (unit -> unit) ref
 (** Fault-injection seam, called per table inside {!vacuum}. *)
 
-val replay : Redo_log.t -> t
+val replay : ?resolve:(string -> bool) -> Redo_log.t -> t
 (** Rebuild a fresh database from an untruncated redo log: DDL entries
     re-run their SQL against the new catalog; committed writes apply
     directly to the heaps at their original TIDs (tombstone-padding the
     gaps aborted transactions burned).  Commit records are re-appended to
     the new database's log, so a second crash still recovers.  The result
     is bit-exact: every table has the same TID layout and cell values as
-    the source database had at serialization time. *)
+    the source database had at serialization time.
+
+    Prepared 2PC records apply when a shard-local commit marker follows
+    them in the log; a gid still unresolved at end-of-log goes to
+    [resolve] (the cluster passes a lookup into the coordinator's
+    decision log) and is presumed aborted by default. *)

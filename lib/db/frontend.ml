@@ -1,0 +1,31 @@
+type t = {
+  f_name : string;
+  f_exec : ?params:Value.t array -> string -> Executor.result;
+  f_query : ?params:Value.t array -> string -> Value.t array list;
+  f_explain : string -> string;
+}
+
+let exec t ?params sql = t.f_exec ?params sql
+let explain t sql = t.f_explain sql
+let query t ?params sql = t.f_query ?params sql
+
+let query_one t ?params sql =
+  match query t ?params sql with
+  | row :: _ -> row
+  | [] -> raise (Db_error.Sql_error "query_one: empty result")
+
+let exec_script t sql =
+  let stmts =
+    String.split_on_char ';' sql
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  List.map (fun s -> exec t s) stmts
+
+let of_database db =
+  {
+    f_name = "single";
+    f_exec = (fun ?params sql -> Database.exec db ?params sql);
+    f_query = (fun ?params sql -> Database.query db ?params sql);
+    f_explain = (fun sql -> Database.explain db sql);
+  }

@@ -1,0 +1,28 @@
+(** A SQL front-end: the uniform statement surface shared by a single
+    {!Database.t} and the sharded cluster coordinator (lib/cluster).
+
+    Callers that only issue SQL — benchmarks, experiment drivers, smoke
+    tests — program against this record of closures and run unchanged on
+    either engine shape.  The cluster builds its own value with the same
+    shape ([Cluster.frontend]); this module only knows the single-node
+    construction. *)
+
+type t = {
+  f_name : string;  (** engine shape tag, e.g. ["single"] or ["cluster:4"] *)
+  f_exec : ?params:Value.t array -> string -> Executor.result;
+  f_query : ?params:Value.t array -> string -> Value.t array list;
+  f_explain : string -> string;
+}
+
+val exec : t -> ?params:Value.t array -> string -> Executor.result
+val query : t -> ?params:Value.t array -> string -> Value.t array list
+
+val query_one : t -> ?params:Value.t array -> string -> Value.t array
+(** First row. @raise Db_error.Sql_error when the result is empty. *)
+
+val exec_script : t -> string -> Executor.result list
+(** [;]-separated statements, each auto-committed. *)
+
+val explain : t -> string -> string
+
+val of_database : Database.t -> t

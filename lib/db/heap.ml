@@ -450,6 +450,32 @@ let gc t ~horizon =
         t.chained <- t.chained - !reclaimed;
         !reclaimed)
 
+(* Budgeted variant of [gc]: sweep slots from [start], stopping once at
+   least [budget] versions are reclaimed.  Returns the reclaimed count and
+   the TID to resume from ([None] = the pass reached the end of the
+   table).  Identical per-slot trimming, so interleaving slices with full
+   sweeps is safe at any point. *)
+let gc_slice t ~horizon ~start ~budget =
+  if t.chained = 0 then (0, None)
+  else
+    with_latch t (fun () ->
+        let reclaimed = ref 0 in
+        let n = Vec.length t.vers in
+        let tid = ref (max 0 start) in
+        while !tid < n && !reclaimed < budget do
+          let v = Vec.get t.vers !tid in
+          if v.v_older != None then begin
+            let v', k = trim_chain ~horizon v in
+            if k > 0 then begin
+              Vec.set t.vers !tid v';
+              reclaimed := !reclaimed + k
+            end
+          end;
+          incr tid
+        done;
+        t.chained <- t.chained - !reclaimed;
+        (!reclaimed, if !tid >= n then None else Some !tid))
+
 let chained_versions t = t.chained
 
 (* ------------------------------------------------------------------ *)

@@ -135,6 +135,13 @@ val gc : t -> horizon:int -> int
     version with begin ≤ horizon are dropped.  Returns the number of
     versions reclaimed.  O(1) when the table has no chained versions. *)
 
+val gc_slice : t -> horizon:int -> start:int -> budget:int -> int * int option
+(** Incremental {!gc}: sweep TIDs from [start] upward, stopping once at
+    least [budget] versions have been reclaimed.  Returns the versions
+    reclaimed and the TID to resume from ([None] when the pass reached the
+    end of the table).  Per-slot trimming is identical to {!gc}, so slices
+    and full sweeps compose freely. *)
+
 val chained_versions : t -> int
 (** Number of versions currently held in older chains (GC backlog). *)
 

@@ -18,7 +18,11 @@ type record = {
   marks : migration_mark list;
 }
 
-type entry = E_ddl of { d_epoch : int; d_sql : string } | E_commit of record
+type entry =
+  | E_ddl of { d_epoch : int; d_sql : string }
+  | E_commit of record
+  | E_prepare of { p_gid : string; p_record : record }
+  | E_decision of { dc_gid : string; dc_commit : bool; dc_ts : int }
 
 type t = {
   entries : entry Vec.t;
@@ -62,6 +66,28 @@ let append_ddl t ~epoch sql =
   Obs.Counters.bump c_ddl_appends;
   with_latch t (fun () -> Vec.push t.entries (E_ddl { d_epoch = epoch; d_sql = sql }))
 
+let c_prepares = Obs.Counters.make "db.redo.prepares"
+
+let c_decisions = Obs.Counters.make "db.redo.decisions"
+
+let append_prepare t ~gid r =
+  Obs.Counters.bump c_prepares;
+  with_latch t (fun () -> Vec.push t.entries (E_prepare { p_gid = gid; p_record = r }))
+
+let append_decision t ~gid ~commit ~ts =
+  Obs.Counters.bump c_decisions;
+  with_latch t (fun () ->
+      Vec.push t.entries (E_decision { dc_gid = gid; dc_commit = commit; dc_ts = ts }))
+
+(* Decisions by gid, later entries winning (there is at most one per gid
+   in practice).  Used by the cluster coordinator's in-doubt resolution. *)
+let decisions t =
+  List.filter_map
+    (function
+      | E_decision { dc_gid; dc_commit; dc_ts } -> Some (dc_gid, dc_commit, dc_ts)
+      | E_ddl _ | E_commit _ | E_prepare _ -> None)
+    (with_latch t (fun () -> Vec.to_list t.entries))
+
 let length t = with_latch t (fun () -> t.commits)
 
 let entry_count t = with_latch t (fun () -> Vec.length t.entries)
@@ -74,7 +100,9 @@ let truncated t = with_latch t (fun () -> t.truncated)
 let entries t = with_latch t (fun () -> Vec.to_list t.entries)
 
 let records t =
-  List.filter_map (function E_commit r -> Some r | E_ddl _ -> None) (entries t)
+  List.filter_map
+    (function E_commit r -> Some r | E_ddl _ | E_prepare _ | E_decision _ -> None)
+    (entries t)
 
 let iter t f = List.iter f (records t)
 
@@ -98,7 +126,7 @@ let checkpoint t =
       Vec.iter
         (function
           | E_commit r -> marks := List.rev_append r.marks !marks
-          | E_ddl _ -> ())
+          | E_ddl _ | E_prepare _ | E_decision _ -> ())
         t.entries;
       Vec.clear t.entries;
       t.commits <- 0;
@@ -118,9 +146,14 @@ let checkpoint t =
    their IEEE-754 bit patterns so a serialize/deserialize round trip is
    bit-exact (no decimal shortest-representation detour). *)
 
-(* BFRL2 added the per-commit MVCC timestamp.  BFRL1 logs (no commit_ts
-   field) are still readable: replay then re-stamps from a fresh clock. *)
-let magic = "BFRL2\n"
+(* BFRL2 added the per-commit MVCC timestamp; BFRL3 adds the two-phase
+   commit entries (prepare records and coordinator decisions).  Both older
+   formats are still readable: BFRL1 logs (no commit_ts field) re-stamp
+   from a fresh clock on replay, and no pre-BFRL3 log can contain a 2PC
+   entry. *)
+let magic = "BFRL3\n"
+
+let magic_v2 = "BFRL2\n"
 
 let magic_v1 = "BFRL1\n"
 
@@ -183,6 +216,14 @@ let put_mark buf m =
       Buffer.add_char buf '\001';
       put_row buf key
 
+let put_record buf r =
+  put_int buf r.txn_id;
+  put_int buf r.commit_ts;
+  put_int buf (List.length r.writes);
+  List.iter (put_write buf) r.writes;
+  put_int buf (List.length r.marks);
+  List.iter (put_mark buf) r.marks
+
 let put_entry buf = function
   | E_ddl { d_epoch; d_sql } ->
       Buffer.add_char buf '\000';
@@ -190,12 +231,16 @@ let put_entry buf = function
       put_str buf d_sql
   | E_commit r ->
       Buffer.add_char buf '\001';
-      put_int buf r.txn_id;
-      put_int buf r.commit_ts;
-      put_int buf (List.length r.writes);
-      List.iter (put_write buf) r.writes;
-      put_int buf (List.length r.marks);
-      List.iter (put_mark buf) r.marks
+      put_record buf r
+  | E_prepare { p_gid; p_record } ->
+      Buffer.add_char buf '\002';
+      put_str buf p_gid;
+      put_record buf p_record
+  | E_decision { dc_gid; dc_commit; dc_ts } ->
+      Buffer.add_char buf '\003';
+      put_str buf dc_gid;
+      Buffer.add_char buf (if dc_commit then '\001' else '\000');
+      put_int buf dc_ts
 
 let serialize t =
   let snapshot, truncated =
@@ -284,24 +329,34 @@ let get_list c f =
   if n < 0 then fail_corrupt "list length";
   List.init n (fun _ -> f c)
 
+let get_record ~version c =
+  let txn_id = get_int c in
+  let commit_ts = if version >= 2 then get_int c else 0 in
+  let writes = get_list c get_write in
+  let marks = get_list c get_mark in
+  { txn_id; commit_ts; writes; marks }
+
 let get_entry ~version c =
   match get_byte c with
   | 0 ->
       let d_epoch = get_int c in
       E_ddl { d_epoch; d_sql = get_str c }
-  | 1 ->
-      let txn_id = get_int c in
-      let commit_ts = if version >= 2 then get_int c else 0 in
-      let writes = get_list c get_write in
-      let marks = get_list c get_mark in
-      E_commit { txn_id; commit_ts; writes; marks }
+  | 1 -> E_commit (get_record ~version c)
+  | 2 when version >= 3 ->
+      let p_gid = get_str c in
+      E_prepare { p_gid; p_record = get_record ~version c }
+  | 3 when version >= 3 ->
+      let dc_gid = get_str c in
+      let dc_commit = get_byte c <> 0 in
+      E_decision { dc_gid; dc_commit; dc_ts = get_int c }
   | _ -> fail_corrupt "entry tag"
 
 let deserialize data =
   let c = { data; pos = 0 } in
   let m = String.length magic in
   let version =
-    if String.length data >= m && String.sub data 0 m = magic then 2
+    if String.length data >= m && String.sub data 0 m = magic then 3
+    else if String.length data >= m && String.sub data 0 m = magic_v2 then 2
     else if String.length data >= m && String.sub data 0 m = magic_v1 then 1
     else fail_corrupt "magic header"
   in
@@ -314,7 +369,9 @@ let deserialize data =
   for _ = 1 to n do
     let e = get_entry ~version c in
     Vec.push t.entries e;
-    match e with E_commit _ -> t.commits <- t.commits + 1 | E_ddl _ -> ()
+    match e with
+    | E_commit _ -> t.commits <- t.commits + 1
+    | E_ddl _ | E_prepare _ | E_decision _ -> ()
   done;
   if c.pos <> String.length data then fail_corrupt "trailing bytes";
   t

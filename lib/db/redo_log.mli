@@ -40,6 +40,19 @@ type entry =
       (** catalog change, logged at execution time with the epoch it
           produced *)
   | E_commit of record
+  | E_prepare of { p_gid : string; p_record : record }
+      (** two-phase commit, participant side: the transaction's writes are
+          durable under the global transaction id [p_gid] but apply only if
+          a commit decision for [p_gid] follows (shard-local [E_decision]
+          marker, or the coordinator's decision log at recovery).  The
+          record's [commit_ts] is 0 — the timestamp is assigned at
+          decision time. *)
+  | E_decision of { dc_gid : string; dc_commit : bool; dc_ts : int }
+      (** two-phase commit outcome.  In a coordinator's decision log this
+          is the commit/abort decision itself (logged before any
+          participant applies, [dc_ts = 0]); in a participant's log it is
+          the resolution marker confirming the prepared record was applied
+          at [dc_ts] (or rolled back). *)
 
 type t
 
@@ -48,6 +61,13 @@ val create : unit -> t
 val append : t -> record -> unit
 
 val append_ddl : t -> epoch:int -> string -> unit
+
+val append_prepare : t -> gid:string -> record -> unit
+
+val append_decision : t -> gid:string -> commit:bool -> ts:int -> unit
+
+val decisions : t -> (string * bool * int) list
+(** Every [E_decision] entry, in append order: (gid, commit, ts). *)
 
 val length : t -> int
 (** Number of commit records in the log (DDL entries not counted). *)
@@ -80,14 +100,14 @@ val checkpoint : t -> int
 val clear : t -> unit
 
 val serialize : t -> string
-(** Snapshot the log into the binary format (magic ["BFRL2\n"]; v2 adds
-    the per-transaction commit timestamp).  Floats are stored as
-    IEEE-754 bit patterns: [deserialize (serialize t)] round-trips
-    bit-exactly. *)
+(** Snapshot the log into the binary format (magic ["BFRL3\n"]; v2 added
+    the per-transaction commit timestamp, v3 the two-phase-commit
+    entries).  Floats are stored as IEEE-754 bit patterns:
+    [deserialize (serialize t)] round-trips bit-exactly. *)
 
 val deserialize : string -> t
-(** Reads both v2 and legacy v1 (["BFRL1\n"], no commit timestamps —
-    decoded as [commit_ts = 0]) buffers.
+(** Reads v3 as well as legacy v2 (["BFRL2\n"]) and v1 (["BFRL1\n"], no
+    commit timestamps — decoded as [commit_ts = 0]) buffers.
     @raise Failure on a corrupt or truncated buffer. *)
 
 val write_file : t -> string -> unit

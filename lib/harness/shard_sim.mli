@@ -1,0 +1,46 @@
+(** Virtual-time model of the sharded coordinator: per-shard FIFO
+    queues, routed vs broadcast reads, and 2PC write latency
+    (DESIGN.md §4.2g).
+
+    The container has one hardware core, so the cluster's per-shard OS
+    threads cannot exhibit wall-clock scaling; this discrete-event model
+    is how `bench -- shard` demonstrates the shared-nothing claim (routed
+    point reads scale with the shard count, broadcasts do not) in the
+    same virtual-time regime as the fig-3 simulator. *)
+
+type config = {
+  shards : int;
+  rate : float;  (** Poisson arrivals per virtual second *)
+  duration : float;  (** virtual seconds of arrivals *)
+  read_frac : float;  (** fraction of requests that are point reads *)
+  routed_frac : float;
+      (** fraction of reads the router pins to one shard; the rest
+          broadcast to every shard and gather on the slowest *)
+  write_spread : int;  (** participants per cross-shard write *)
+  service_read : float;  (** virtual seconds per shard-local read *)
+  service_write : float;  (** virtual seconds per prepare *)
+  log_latency : float;  (** decision / resolution append *)
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  completed : int;
+  makespan : float;  (** last completion (≥ duration) *)
+  throughput : float;  (** completions per virtual second *)
+  mean_latency : float;
+  p95_latency : float;
+  shard_util : float array;  (** busy fraction per shard *)
+  coord_util : float;  (** decision-log busy fraction *)
+}
+
+val run : config -> result
+(** Exact simulation (arrival-order processing over FIFO shard queues).
+    @raise Invalid_argument on non-positive shards/rate/duration or
+    fractions outside [0,1]. *)
+
+val capacity : ?cfg:config -> shards:int -> routed_frac:float -> unit -> float
+(** Saturated point-read throughput: [run] at an offered load well above
+    the service capacity, all-reads mix.  The `bench -- shard` gate
+    compares [capacity ~shards:4 ~routed_frac:1.0] against one shard. *)

@@ -1,0 +1,476 @@
+(* Cluster coverage: predicate routing (with counter evidence), 2PC
+   atomicity for cross-shard writes, scatter/gather merge checked
+   against a single-node oracle, the QCheck routed-vs-broadcast
+   equivalence property, the 2PC fault-sweep cells, a row-moving
+   migration whose new partition key differs from the sharding key,
+   whole-cluster crash recovery, and budgeted vacuum equivalence. *)
+
+open Bullfrog_db
+open Bullfrog_cluster
+module Fault_sweep = Bullfrog_core.Fault_sweep
+module Migration = Bullfrog_core.Migration
+module Lazy_db = Bullfrog_core.Lazy_db
+module Migrate_exec = Bullfrog_core.Migrate_exec
+
+let check = Alcotest.check
+
+let row_str row =
+  String.concat "|" (List.map Value.to_string (Array.to_list row))
+
+let sorted_rows_c c sql = List.sort compare (List.map row_str (Cluster.query c sql))
+
+let sorted_rows_db db sql =
+  List.sort compare (List.map row_str (Database.query db sql))
+
+let with_counters f =
+  let was = Obs.Counters.enabled () in
+  Obs.Counters.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Counters.set_enabled was) f
+
+let counter_delta before after name =
+  match List.assoc_opt name (Obs.Counters.diff after before) with
+  | Some n -> n
+  | None -> 0
+
+(* A 4-shard cluster with [n] rows (id PK, v = 'g<id mod 3>'). *)
+let mk_cluster ?(shards = 4) n =
+  let c = Cluster.create ~shards () in
+  ignore (Cluster.exec c "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"
+           : Executor.result);
+  let values =
+    String.concat ", "
+      (List.init n (fun i -> Printf.sprintf "(%d, 'g%d')" i (i mod 3)))
+  in
+  if n > 0 then
+    ignore (Cluster.exec c ("INSERT INTO t VALUES " ^ values) : Executor.result);
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Routing: PK point queries touch exactly one shard                   *)
+(* ------------------------------------------------------------------ *)
+
+let point_query_routing () =
+  with_counters @@ fun () ->
+  let c = mk_cluster 40 in
+  let before = Obs.Counters.snapshot () in
+  for i = 0 to 19 do
+    let rows = Cluster.query c (Printf.sprintf "SELECT v FROM t WHERE id = %d" i) in
+    check Alcotest.int "point query returns its row" 1 (List.length rows);
+    check Alcotest.string "right value"
+      (Printf.sprintf "g%d" (i mod 3))
+      (row_str (List.hd rows))
+  done;
+  let after = Obs.Counters.snapshot () in
+  check Alcotest.int "20 selects" 20 (counter_delta before after "shard.selects");
+  check Alcotest.int "every PK point query routed to one shard" 20
+    (counter_delta before after "shard.selects_single");
+  check Alcotest.int "no scatters" 0 (counter_delta before after "shard.scatters");
+  (* a non-partition-column predicate must scatter *)
+  let before = Obs.Counters.snapshot () in
+  let rows = Cluster.query c "SELECT id FROM t WHERE v = 'g1'" in
+  let after = Obs.Counters.snapshot () in
+  check Alcotest.int "broadcast finds all matches" 13 (List.length rows);
+  check Alcotest.int "one scatter" 1 (counter_delta before after "shard.scatters")
+
+(* ------------------------------------------------------------------ *)
+(* 2PC: cross-shard statements commit or abort atomically              *)
+(* ------------------------------------------------------------------ *)
+
+let cross_shard_atomicity () =
+  with_counters @@ fun () ->
+  let c = mk_cluster 8 in
+  let before = Obs.Counters.snapshot () in
+  (* a multi-row insert with a duplicate key aborts on EVERY shard,
+     including shards whose local rows were conflict-free *)
+  (try
+     ignore
+       (Cluster.exec c "INSERT INTO t VALUES (100, 'x'), (101, 'y'), (3, 'dup')"
+         : Executor.result);
+     Alcotest.fail "duplicate key must fail"
+   with Db_error.Constraint_violation _ | Db_error.Sql_error _ -> ());
+  check (Alcotest.list Alcotest.string) "no partial insert survives" []
+    (sorted_rows_c c "SELECT id FROM t WHERE id >= 100");
+  let after = Obs.Counters.snapshot () in
+  check Alcotest.bool "abort counted" true
+    (counter_delta before after "shard.2pc_aborts" >= 1);
+  (* a clean cross-shard insert is visible everywhere at once *)
+  (match Cluster.exec c "INSERT INTO t VALUES (100, 'x'), (101, 'y'), (102, 'z')" with
+  | Executor.Affected 3 -> ()
+  | _ -> Alcotest.fail "cross-shard insert should affect 3 rows");
+  check Alcotest.int "all three present" 3
+    (List.length (Cluster.query c "SELECT id FROM t WHERE id >= 100"));
+  (* cross-shard delete *)
+  (match Cluster.exec c "DELETE FROM t WHERE id IN (100, 101, 102)" with
+  | Executor.Affected 3 -> ()
+  | _ -> Alcotest.fail "cross-shard delete should affect 3 rows");
+  check Alcotest.int "gone" 0
+    (List.length (Cluster.query c "SELECT id FROM t WHERE id >= 100"))
+
+(* ------------------------------------------------------------------ *)
+(* Scatter/gather merge vs a single-node oracle                        *)
+(* ------------------------------------------------------------------ *)
+
+let scatter_merge_oracle () =
+  let n = 30 in
+  let c = mk_cluster n in
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"
+           : Executor.result);
+  ignore
+    (Database.exec db
+       ("INSERT INTO t VALUES "
+       ^ String.concat ", "
+           (List.init n (fun i -> Printf.sprintf "(%d, 'g%d')" i (i mod 3))))
+      : Executor.result);
+  let same sql =
+    check (Alcotest.list Alcotest.string) sql (sorted_rows_db db sql)
+      (sorted_rows_c c sql)
+  in
+  let same_ordered sql =
+    check (Alcotest.list Alcotest.string) sql
+      (List.map row_str (Database.query db sql))
+      (List.map row_str (Cluster.query c sql))
+  in
+  same "SELECT id, v FROM t";
+  same "SELECT DISTINCT v FROM t";
+  same "SELECT id FROM t WHERE id >= 10 AND id < 25";
+  same_ordered "SELECT id, v FROM t ORDER BY id DESC LIMIT 7";
+  same_ordered "SELECT id FROM t WHERE v = 'g2' ORDER BY id LIMIT 4";
+  check Alcotest.string "count-star merge"
+    (row_str (Database.query_one db "SELECT COUNT(*) FROM t WHERE v >= 'g1'"))
+    (row_str (Cluster.query_one c "SELECT COUNT(*) FROM t WHERE v >= 'g1'"));
+  (* writes report the same affected counts and converge to the same rows *)
+  let same_write sql =
+    let a = Database.exec db sql and b = Cluster.exec c sql in
+    (match (a, b) with
+    | Executor.Affected x, Executor.Affected y ->
+        check Alcotest.int ("affected: " ^ sql) x y
+    | _ -> Alcotest.fail ("unexpected result shape: " ^ sql));
+    same "SELECT id, v FROM t"
+  in
+  same_write "UPDATE t SET v = 'hot' WHERE id < 10";
+  same_write "UPDATE t SET v = 'cold' WHERE id = 17";
+  same_write "DELETE FROM t WHERE id IN (2, 13, 21, 28)";
+  same_write "DELETE FROM t WHERE v = 'g1'"
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: routed scatter/gather == broadcast to every shard           *)
+(* ------------------------------------------------------------------ *)
+
+let pred_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun k -> Printf.sprintf "id = %d" k) (int_bound 70);
+        map2
+          (fun a b ->
+            Printf.sprintf "id >= %d AND id < %d" (min a b) (max a b))
+          (int_bound 70) (int_bound 70);
+        map
+          (fun ks ->
+            Printf.sprintf "id IN (%s)"
+              (String.concat ", " (List.map string_of_int ks)))
+          (list_size (int_range 1 5) (int_bound 70));
+        map (fun k -> Printf.sprintf "v = 'g%d'" (k mod 3)) (int_bound 70);
+        map2
+          (fun a b -> Printf.sprintf "id = %d OR id = %d" a b)
+          (int_bound 70) (int_bound 70);
+        map2
+          (fun a b ->
+            Printf.sprintf "id = %d AND v = 'g%d'" a (b mod 3))
+          (int_bound 70) (int_bound 70);
+      ])
+
+let routed_vs_broadcast =
+  (* two long-lived read-only clusters: hash- and range-partitioned *)
+  let hash_c = lazy (mk_cluster 60) in
+  let range_c =
+    lazy
+      (let c = Cluster.create ~shards:4 () in
+       ignore (Cluster.exec c "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"
+                : Executor.result);
+       Cluster.set_partition c "t"
+         (Partition.range ~column:"id"
+            [ Value.Int 15; Value.Int 30; Value.Int 45 ]);
+       ignore
+         (Cluster.exec c
+            ("INSERT INTO t VALUES "
+            ^ String.concat ", "
+                (List.init 60 (fun i -> Printf.sprintf "(%d, 'g%d')" i (i mod 3))))
+           : Executor.result);
+       c)
+  in
+  let prop (use_range, pred) =
+    let c = Lazy.force (if use_range then range_c else hash_c) in
+    let sql = "SELECT id, v FROM t WHERE " ^ pred in
+    let routed = sorted_rows_c c sql in
+    let broadcast =
+      List.sort compare
+        (List.concat
+           (List.init (Cluster.shard_count c) (fun i ->
+                List.map row_str (Database.query (Cluster.shard_db c i) sql))))
+    in
+    routed = broadcast
+  in
+  QCheck.Test.make ~count:80 ~name:"routed scatter/gather == broadcast"
+    (QCheck.make
+       ~print:(fun (r, p) ->
+         Printf.sprintf "%s partition, WHERE %s" (if r then "range" else "hash") p)
+       QCheck.Gen.(pair bool pred_gen))
+    prop
+
+(* ------------------------------------------------------------------ *)
+(* 2PC crash points: every cell recovers to the oracle                 *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cells () =
+  let cells = Cluster_sweep.run_bounded () in
+  List.iter
+    (fun cl ->
+      if not cl.Fault_sweep.c_ok then
+        Alcotest.failf "cell not ok: %s" (Fault_sweep.pp_cell cl))
+    cells;
+  check Alcotest.int "every 2PC crash point reached" 3
+    (Fault_sweep.fired_count cells);
+  Cluster_sweep.register ();
+  Cluster_sweep.register ();
+  check Alcotest.bool "scenario registered once" true
+    (List.exists
+       (fun s -> s.Fault_sweep.sc_name = "cluster2pc")
+       (Fault_sweep.all_scenarios ()))
+
+(* ------------------------------------------------------------------ *)
+(* Migration that changes the partition key: rows move between shards  *)
+(* ------------------------------------------------------------------ *)
+
+let regroup_spec () =
+  Migration.make ~name:"regroup" ~drop_old:[ "src" ]
+    [
+      Migration.statement_of_sql ~name:"dst"
+        "CREATE TABLE dst AS (SELECT id, grp, v FROM src)";
+    ]
+
+let mig_setup exec =
+  exec "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v TEXT)";
+  exec
+    ("INSERT INTO src VALUES "
+    ^ String.concat ", "
+        (List.init 24 (fun i -> Printf.sprintf "(%d, %d, 'r%02d')" i (i mod 5) i)))
+
+let migration_row_movement () =
+  with_counters @@ fun () ->
+  let shards = 4 in
+  let c = Cluster.create ~shards () in
+  mig_setup (fun sql -> ignore (Cluster.exec c sql : Executor.result));
+  (* single-node oracle runs the identical lazy migration *)
+  let odb = Database.create () in
+  mig_setup (fun sql -> ignore (Database.exec odb sql : Executor.result));
+  let obf = Lazy_db.create odb in
+  ignore (Lazy_db.start_migration obf (regroup_spec ()) : Migrate_exec.t);
+  let part = Partition.hash ~column:"grp" ~shards in
+  let epoch0 = Cluster.epoch c in
+  let before = Obs.Counters.snapshot () in
+  Cluster.start_migration ~partitions:[ ("dst", part) ] c (regroup_spec ());
+  check Alcotest.int "epoch published after all shards ack" (epoch0 + 1)
+    (Cluster.epoch c);
+  check Alcotest.bool "migration active" true
+    (Cluster.active_migration c <> None);
+  (* lazy drive: the grp=3 slice migrates on demand, row-exact vs oracle *)
+  let drive = "SELECT v FROM dst WHERE grp = 3" in
+  let oracle_drive =
+    match Lazy_db.exec obf drive with
+    | Executor.Rows (_, rows) -> List.sort compare (List.map row_str rows)
+    | _ -> Alcotest.fail "oracle drive should return rows"
+  in
+  check (Alcotest.list Alcotest.string) "lazy slice row-exact vs oracle"
+    oracle_drive (sorted_rows_c c drive);
+  (* the driven slice already sits on its new home shard *)
+  let home = Partition.shard_of_value part (Value.Int 3) in
+  for i = 0 to shards - 1 do
+    let here =
+      List.length (Database.query (Cluster.shard_db c i) "SELECT id FROM dst WHERE grp = 3")
+    in
+    check Alcotest.int
+      (Printf.sprintf "grp=3 rows on shard %d" i)
+      (if i = home then List.length oracle_drive else 0)
+      here
+  done;
+  (* drain the background migrator on both sides *)
+  let fuel = ref 200 in
+  while (not (Cluster.migration_complete c)) && !fuel > 0 do
+    decr fuel;
+    ignore (Cluster.background_step c ~batch:4 : int)
+  done;
+  check Alcotest.bool "cluster migration completes" true
+    (Cluster.migration_complete c);
+  let rec drain () = if Lazy_db.background_step obf ~batch:8 > 0 then drain () in
+  drain ();
+  Cluster.finalize c;
+  Lazy_db.finalize obf;
+  let after = Obs.Counters.snapshot () in
+  check Alcotest.bool "rows moved between shards" true
+    (counter_delta before after "shard.rows_moved" > 0);
+  (* row-exact vs the single-node oracle *)
+  check (Alcotest.list Alcotest.string) "final table row-exact vs oracle"
+    (sorted_rows_db odb "SELECT id, grp, v FROM dst")
+    (sorted_rows_c c "SELECT id, grp, v FROM dst");
+  (* every row lives on its new home shard *)
+  for i = 0 to shards - 1 do
+    List.iter
+      (fun row ->
+        match row with
+        | [| Value.Int _; g; _ |] ->
+            check Alcotest.int "row on its grp-hash home shard"
+              (Partition.shard_of_value part g) i
+        | _ -> Alcotest.fail "unexpected row shape")
+      (Database.query (Cluster.shard_db c i) "SELECT id, grp, v FROM dst")
+  done;
+  (* the dropped input is gone from the cluster frontend *)
+  (try
+     ignore (Cluster.query c "SELECT id FROM src" : Value.t array list);
+     Alcotest.fail "src must be dropped after finalize"
+   with Db_error.Sql_error _ -> ());
+  (* and PK point queries on the NEW partition key route to one shard *)
+  let b0 = Obs.Counters.snapshot () in
+  ignore (Cluster.query c "SELECT v FROM dst WHERE grp = 2" : Value.t array list);
+  let b1 = Obs.Counters.snapshot () in
+  check Alcotest.int "new-key point query routes single" 1
+    (counter_delta b0 b1 "shard.selects_single")
+
+(* ------------------------------------------------------------------ *)
+(* Recovery: replay every shard log + coordinator decisions            *)
+(* ------------------------------------------------------------------ *)
+
+let recover_preserves_rows () =
+  let c = mk_cluster ~shards:3 25 in
+  ignore (Cluster.exec c "DELETE FROM t WHERE id IN (1, 7, 13, 19)" : Executor.result);
+  ignore (Cluster.exec c "UPDATE t SET v = 'survivor' WHERE id = 11" : Executor.result);
+  let want = sorted_rows_c c "SELECT id, v FROM t" in
+  let c' = Cluster.recover c in
+  check Alcotest.int "shard count survives" 3 (Cluster.shard_count c');
+  check (Alcotest.list Alcotest.string) "rows survive crash-restart" want
+    (sorted_rows_c c' "SELECT id, v FROM t");
+  (* the recovered cluster still routes and writes *)
+  ignore (Cluster.exec c' "INSERT INTO t VALUES (90, 'post'), (91, 'post')"
+           : Executor.result);
+  check Alcotest.int "recovered cluster accepts 2PC writes" 2
+    (List.length (Cluster.query c' "SELECT id FROM t WHERE v = 'post'"))
+
+(* ------------------------------------------------------------------ *)
+(* Frontend: the uniform surface behaves the same on both engines      *)
+(* ------------------------------------------------------------------ *)
+
+let frontend_surface () =
+  let db = Database.create () in
+  let single = Frontend.of_database db in
+  let c = Cluster.create ~shards:4 () in
+  let clustered = Cluster.frontend c in
+  check Alcotest.string "single name" "single" single.Frontend.f_name;
+  check Alcotest.string "cluster name" "cluster:4" clustered.Frontend.f_name;
+  List.iter
+    (fun f ->
+      ignore
+        (Frontend.exec_script f
+           {|CREATE TABLE t (id INT PRIMARY KEY, v TEXT);
+             INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')|}
+          : Executor.result list))
+    [ single; clustered ];
+  let rows f sql =
+    List.sort compare (List.map row_str (Frontend.query f sql))
+  in
+  check (Alcotest.list Alcotest.string) "same rows through both frontends"
+    (rows single "SELECT id, v FROM t")
+    (rows clustered "SELECT id, v FROM t");
+  check Alcotest.string "query_one agrees"
+    (row_str (Frontend.query_one single "SELECT v FROM t WHERE id = 2"))
+    (row_str (Frontend.query_one clustered "SELECT v FROM t WHERE id = 2"));
+  (try
+     ignore (Frontend.query_one clustered "SELECT v FROM t WHERE id = 99"
+              : Value.t array);
+     Alcotest.fail "query_one on empty must raise"
+   with Db_error.Sql_error _ -> ());
+  check Alcotest.bool "explain mentions routing" true
+    (let e = Frontend.explain clustered "SELECT v FROM t WHERE id = 2" in
+     String.length e > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Budgeted vacuum: same total reclamation as one full pass            *)
+(* ------------------------------------------------------------------ *)
+
+let vacuum_workload db =
+  ignore (Database.exec db "CREATE TABLE t (id INT PRIMARY KEY, v INT)"
+           : Executor.result);
+  ignore
+    (Database.exec db
+       ("INSERT INTO t VALUES "
+       ^ String.concat ", " (List.init 16 (fun i -> Printf.sprintf "(%d, 0)" i)))
+      : Executor.result);
+  for _ = 1 to 3 do
+    ignore (Database.exec db "UPDATE t SET v = v + 1" : Executor.result)
+  done
+
+let vacuum_budget_equivalence () =
+  let full_db = Database.create () and inc_db = Database.create () in
+  vacuum_workload full_db;
+  vacuum_workload inc_db;
+  check Alcotest.int "identical backlogs to start"
+    (Database.version_backlog full_db)
+    (Database.version_backlog inc_db);
+  let full = Database.vacuum full_db in
+  check Alcotest.bool "workload built chains" true (full > 0);
+  (* the incremental side reclaims the same total in budget-3 slices,
+     resuming from the cursor each call *)
+  let total = ref 0 and cursor_seen = ref false in
+  let rec go () =
+    let n = Database.vacuum ~budget:3 inc_db in
+    check Alcotest.bool "budget respected" true (n <= 3);
+    if inc_db.Database.vacuum_cursor <> None then cursor_seen := true;
+    if n > 0 then begin
+      total := !total + n;
+      go ()
+    end
+  in
+  go ();
+  check Alcotest.int "budgeted total == full vacuum" full !total;
+  check Alcotest.bool "cursor parked mid-cycle at least once" true !cursor_seen;
+  check Alcotest.int "no backlog left" 0 (Database.version_backlog inc_db);
+  (* cluster vacuum sums shards *)
+  let c = mk_cluster 12 in
+  ignore (Cluster.exec c "UPDATE t SET v = 'x'" : Executor.result);
+  check Alcotest.bool "cluster vacuum reclaims across shards" true
+    (Cluster.vacuum c > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Unsupported surface: clear errors, no partial effects               *)
+(* ------------------------------------------------------------------ *)
+
+let unsupported_surface () =
+  let c = mk_cluster 8 in
+  let rejects sql =
+    try
+      ignore (Cluster.exec c sql : Executor.result);
+      Alcotest.failf "must reject: %s" sql
+    with Db_error.Sql_error _ -> ()
+  in
+  rejects "BEGIN";
+  rejects "SELECT a.id FROM t a, t b";
+  rejects "SELECT s.id FROM (SELECT id FROM t) s";
+  rejects "CREATE TABLE u AS (SELECT id FROM t)";
+  rejects "UPDATE t SET id = 99 WHERE id = 1";
+  (* rejected statements leave the data untouched *)
+  check Alcotest.int "rows intact" 8
+    (List.length (Cluster.query c "SELECT id FROM t"))
+
+let suite =
+  [
+    Alcotest.test_case "point queries route to one shard" `Quick point_query_routing;
+    Alcotest.test_case "cross-shard 2PC atomicity" `Quick cross_shard_atomicity;
+    Alcotest.test_case "scatter/gather merge vs oracle" `Quick scatter_merge_oracle;
+    QCheck_alcotest.to_alcotest routed_vs_broadcast;
+    Alcotest.test_case "2PC crash sweep" `Quick sweep_cells;
+    Alcotest.test_case "row-moving migration vs oracle" `Quick migration_row_movement;
+    Alcotest.test_case "cluster recovery" `Quick recover_preserves_rows;
+    Alcotest.test_case "frontend surface" `Quick frontend_surface;
+    Alcotest.test_case "budgeted vacuum equivalence" `Quick vacuum_budget_equivalence;
+    Alcotest.test_case "unsupported statements rejected" `Quick unsupported_surface;
+  ]

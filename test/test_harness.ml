@@ -134,6 +134,64 @@ let sim_lazy_completes () =
   | None -> Alcotest.fail "migration must complete");
   check Alcotest.bool "migration actually done" true (sys.Sim.migration_complete ())
 
+(* fig3 golden series: the four headline systems (lazy BullFrog, eager,
+   multistep, Tesseract) at a pinned tiny scale, seed and calibration.
+   The simulation is purely virtual-time, so the per-second series are
+   bit-exact; an engine change that shifts the fig3 curves fails here
+   and must regenerate the goldens (FIG3_GOLDEN=print dune runtest
+   dumps the new lines). *)
+let fig3_run build =
+  let ctx = tiny_ctx Tpcc_migrations.Split in
+  let mean = Systems.measure_mean_txn_cost ctx ~samples:100 ~seed:2 in
+  let cost =
+    Cost_model.calibrate Cost_model.default ~workers:4 ~target_tps:400.0
+      ~mean_txn_cost:mean
+  in
+  (* tiny scale makes the migration nearly free; raise the per-row cost
+     (as the eager-downtime test does) so the four curves separate *)
+  let cost = { cost with Cost_model.row_migrate = 2e-2 } in
+  let ctx = { ctx with Systems.cost } in
+  Sim.run (sim_config ~rate:100.0 ~duration:8.0 ~mig_time:2.0 ctx) (build ctx)
+
+let fig3_series_string r =
+  (* the under-capacity series plus the migration-end time: the paper's
+     systems differ in WHEN they finish as much as in the dip shape *)
+  Printf.sprintf "%s end=%s"
+    (String.concat " "
+       (List.map
+          (fun (t, n) -> Printf.sprintf "%d:%d" t n)
+          (Array.to_list (Metrics.throughput_series r.Sim.metrics))))
+    (match r.Sim.mig_end with
+    | Some t -> Printf.sprintf "%.2f" t
+    | None -> "-")
+
+let fig3_golden_series () =
+  let systems =
+    [
+      ("lazy", fun ctx -> Systems.bullfrog ~bg_delay:0.5 ~bg_batch:64 ctx);
+      ("eager", Systems.eager);
+      ("multistep", fun ctx -> Systems.multistep ctx);
+      ("tesseract", fun ctx -> Systems.tesseract ctx);
+    ]
+  in
+  let got =
+    List.map
+      (fun (name, build) ->
+        Printf.sprintf "%s %s" name (fig3_series_string (fig3_run build)))
+      systems
+  in
+  if Sys.getenv_opt "FIG3_GOLDEN" = Some "print" then
+    List.iter print_endline got;
+  let golden =
+    [
+      "lazy 0:98 1:100 2:99 3:102 4:100 5:100 6:98 7:102 8:1 9:0 10:0 end=2.50";
+      "eager 0:98 1:100 2:4 3:4 4:258 5:135 6:98 7:102 8:1 9:0 10:0 end=4.40";
+      "multistep 0:98 1:100 2:99 3:102 4:100 5:100 6:98 7:102 8:1 9:0 10:0 end=2.00";
+      "tesseract 0:98 1:100 2:99 3:102 4:100 5:100 6:98 7:102 8:1 9:0 10:0 end=2.00";
+    ]
+  in
+  check (Alcotest.list Alcotest.string) "fig3 series match goldens" golden got
+
 let suite =
   [
     Alcotest.test_case "cost model linearity" `Quick cost_model_linear;
@@ -143,4 +201,5 @@ let suite =
     Alcotest.test_case "sim: overload queues" `Slow sim_overload_queues;
     Alcotest.test_case "sim: eager downtime gate" `Slow sim_eager_gates_affected;
     Alcotest.test_case "sim: lazy completes" `Slow sim_lazy_completes;
+    Alcotest.test_case "fig3 golden series" `Slow fig3_golden_series;
   ]

@@ -28,4 +28,5 @@ let () =
       ("scenarios", Test_scenarios.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("cluster", Test_cluster.suite);
     ]
