@@ -4,7 +4,7 @@
 # fails if the disabled-instrumentation overhead leaves its 2% budget or
 # the migration trace stops validating).
 
-.PHONY: all build test bench bench-smoke obs-smoke lint-smoke mvcc-smoke shard-smoke check clean
+.PHONY: all build test bench bench-smoke obs-smoke lint-smoke mvcc-smoke shard-smoke server-smoke check clean
 
 all: build
 
@@ -32,7 +32,13 @@ mvcc-smoke:
 shard-smoke:
 	BF_FAST=1 dune exec bench/main.exe -- shard
 
-check: build test bench-smoke obs-smoke lint-smoke mvcc-smoke shard-smoke
+# Gated on the breaker cycling, shed rate returning to 0 after the
+# backfill, and admitted writes replaying row-exactly vs an in-process
+# oracle.
+server-smoke:
+	BF_FAST=1 dune exec bench/main.exe -- server
+
+check: build test bench-smoke obs-smoke lint-smoke mvcc-smoke shard-smoke server-smoke
 
 clean:
 	dune clean

@@ -1665,6 +1665,211 @@ let shard_bench () =
     failwith (Printf.sprintf "sharding gate: routing hit rate %.1f%% < 100%%" (hit_rate *. 100.0));
   if failed <> [] then failwith "sharding gate: 2PC sweep found divergent cells"
 
+(* ------------------------------------------------------------------ *)
+
+(* Wire server: over-the-wire latency through real TCP sockets, and the
+   circuit breaker shedding non-essential statements while the engine
+   digs out of migration debt.  Gated: the breaker actually cycles
+   (opens while debt is above threshold, closes after the backfill),
+   the shed rate returns to zero once migration completes, and every
+   admitted write replays row-exactly against an in-process single-node
+   oracle (zero statements lost, zero double-applied). *)
+let server_bench () =
+  say "\n=== server: wire protocol over live migration (BENCH_server.json) ===";
+  let module Cluster = Bullfrog_cluster.Cluster in
+  let module Server = Bullfrog_server.Server in
+  let module Breaker = Bullfrog_server.Breaker in
+  let module Client = Bullfrog_server.Client in
+  let module Protocol = Bullfrog_server.Protocol in
+  let module L = Bullfrog_server.Loadgen in
+  let rows, rate, duration =
+    match profile with
+    | Fast -> (1_200, 400.0, 4.0)
+    | Standard -> (4_000, 800.0, 6.0)
+    | Full -> (8_000, 1_200.0, 10.0)
+  in
+  let shards = 4 in
+  let c = Cluster.create ~shards () in
+  let fill exec =
+    let batch = 400 in
+    let k = ref 0 in
+    while !k < rows do
+      let hi = min rows (!k + batch) in
+      let values =
+        String.concat ", "
+          (List.init (hi - !k) (fun i ->
+               let id = !k + i in
+               Printf.sprintf "(%d, %d, 'r%06d')" id (id mod 5) id))
+      in
+      exec ("INSERT INTO src VALUES " ^ values);
+      k := hi
+    done
+  in
+  ignore
+    (Cluster.exec c "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v TEXT)"
+      : Bullfrog_db.Executor.result);
+  fill (fun sql -> ignore (Cluster.exec c sql : Bullfrog_db.Executor.result));
+  (* identical single-node oracle, no sockets in front *)
+  let odb = Bullfrog_db.Database.create () in
+  ignore
+    (Bullfrog_db.Database.exec odb "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v TEXT)"
+      : Bullfrog_db.Executor.result);
+  fill (fun sql -> ignore (Bullfrog_db.Database.exec odb sql : Bullfrog_db.Executor.result));
+  let obf = Lazy_db.create odb in
+  (* breaker band in granules (page_size 1: one granule per row) *)
+  let config =
+    {
+      Server.default_config with
+      workers = 4;
+      queue_cap = 128;
+      open_above = rows / 2;
+      close_below = rows / 10;
+    }
+  in
+  let server =
+    Server.start ~config ~debt:(fun () -> Cluster.migration_debt c) (Cluster.frontend c)
+  in
+  let port = Server.port server in
+  let count samples o =
+    Array.fold_left (fun acc s -> if s.L.ls_outcome = o then acc + 1 else acc) 0 samples
+  in
+  (* -- phase 1: baseline point reads, no migration -- *)
+  let base =
+    L.run ~port ~connections:4 ~rate ~duration:(duration /. 3.0) (fun seq ->
+        Protocol.Exec (Printf.sprintf "SELECT v FROM src WHERE id = %d" (seq * 131 mod rows)))
+  in
+  let base_lat = L.latencies base in
+  let base_ok = count base.L.lr_samples L.O_ok in
+  let base_p50 = L.percentile 0.5 base_lat *. 1e3 in
+  let base_p99 = L.percentile 0.99 base_lat *. 1e3 in
+  say "  baseline: %d ok / %d attempted, p50 %.3f ms, p99 %.3f ms (%.0f/s)"
+    base_ok (Array.length base.L.lr_samples) base_p50 base_p99
+    (float_of_int base_ok /. base.L.lr_elapsed);
+  (* -- phase 2: flip, then load during the backfill -- *)
+  let spec =
+    Migration.make ~name:"regroup"
+      [ Migration.statement_of_sql "CREATE TABLE dst AS (SELECT grp, id, v FROM src)" ]
+  in
+  Cluster.start_migration c spec;
+  ignore (Lazy_db.start_migration obf spec : Migrate_exec.t);
+  say "  flipped: debt %d granules (breaker opens > %d, closes < %d)"
+    (Cluster.migration_debt c) config.Server.open_above config.Server.close_below;
+  (* background migrator digs the debt out at a bounded pace, stretching
+     the open-breaker phase across the first trace windows *)
+  let bg =
+    Thread.create
+      (fun () ->
+        while not (Cluster.migration_complete c) do
+          (* batch is per shard: ~rows/40 granules per step across the
+             cluster, paced to hold the breaker open for a few windows *)
+          ignore (Cluster.background_step c ~batch:(max 4 (rows / 160)) : int);
+          Thread.delay 0.02
+        done)
+      ()
+  in
+  let insert_sql seq =
+    Printf.sprintf "INSERT INTO dst VALUES (%d, %d, 'w%d')" (seq mod 5) (1_000_000 + seq) seq
+  in
+  let is_write seq = seq mod 4 = 0 in
+  let mig =
+    L.run ~port ~connections:6 ~rate
+      ~duration:(duration *. 2.0 /. 3.0)
+      (fun seq ->
+        if is_write seq then Protocol.Exec (insert_sql seq)
+        else Protocol.Exec (Printf.sprintf "SELECT v FROM dst WHERE grp = %d" (seq mod 5)))
+  in
+  Thread.join bg;
+  let mig_lat = L.latencies mig in
+  let mig_ok = count mig.L.lr_samples L.O_ok in
+  let mig_shed = count mig.L.lr_samples L.O_shed in
+  let mig_retry = count mig.L.lr_samples L.O_retry in
+  let mig_error = count mig.L.lr_samples L.O_error in
+  let mig_p50 = L.percentile 0.5 mig_lat *. 1e3 in
+  let mig_p99 = L.percentile 0.99 mig_lat *. 1e3 in
+  let opens = Breaker.opens (Server.breaker server) in
+  let closes = Breaker.closes (Server.breaker server) in
+  let trace = L.trace ~bucket:0.25 mig in
+  say "  migration: %d ok, %d shed, %d retry, %d error; p50 %.3f ms, p99 %.3f ms"
+    mig_ok mig_shed mig_retry mig_error mig_p50 mig_p99;
+  say "  breaker: %d open(s), %d close(s); shed trace (0.25s windows):" opens closes;
+  List.iter
+    (fun (t, ok, shed, retry, error) ->
+      ignore (retry : int);
+      ignore (error : int);
+      say "    t=%4.2fs ok %4d shed %4d" t ok shed)
+    trace;
+  (* -- replay oracle: every admitted write, exactly once -- *)
+  let rec drain () = if Lazy_db.background_step obf ~batch:1024 > 0 then drain () in
+  drain ();
+  Array.iter
+    (fun s ->
+      if s.L.ls_outcome = L.O_ok && is_write s.L.ls_seq then
+        ignore (Lazy_db.exec obf (insert_sql s.L.ls_seq) : Bullfrog_db.Executor.result))
+    mig.L.lr_samples;
+  let row_str row =
+    String.concat "|" (List.map Bullfrog_db.Value.to_string (Array.to_list row))
+  in
+  let server_rows =
+    let cl = Client.connect ~port () in
+    let rows = Client.query cl "SELECT grp, id, v FROM dst" in
+    Client.close cl;
+    List.sort compare (List.map row_str rows)
+  in
+  let oracle_rows =
+    List.sort compare
+      (List.map row_str (Bullfrog_db.Database.query odb "SELECT grp, id, v FROM dst"))
+  in
+  let row_exact = server_rows = oracle_rows in
+  say "  oracle: %d rows over the wire vs %d in-process — %s"
+    (List.length server_rows) (List.length oracle_rows)
+    (if row_exact then "row-exact" else "DIVERGED");
+  Server.stop server;
+  let last_shed = match List.rev trace with (_, _, shed, _, _) :: _ -> shed | [] -> -1 in
+  let oc = open_out "BENCH_server.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "server",
+  "profile": "%s",
+  "config": {"shards": %d, "rows": %d, "rate": %.0f, "workers": %d,
+             "open_above": %d, "close_below": %d},
+  "baseline": {"attempted": %d, "ok": %d, "p50_ms": %.3f, "p99_ms": %.3f,
+               "throughput": %.0f},
+  "migration_phase": {"ok": %d, "shed": %d, "retry": %d, "error": %d,
+                      "p50_ms": %.3f, "p99_ms": %.3f,
+                      "breaker_opens": %d, "breaker_closes": %d,
+                      "shed_trace": [%s],
+                      "final_window_shed": %d},
+  "oracle": {"server_rows": %d, "oracle_rows": %d, "row_exact": %b}
+}
+|}
+    (match profile with Fast -> "fast" | Standard -> "standard" | Full -> "full")
+    shards rows rate config.Server.workers config.Server.open_above
+    config.Server.close_below
+    (Array.length base.L.lr_samples)
+    base_ok base_p50 base_p99
+    (float_of_int base_ok /. base.L.lr_elapsed)
+    mig_ok mig_shed mig_retry mig_error mig_p50 mig_p99 opens closes
+    (String.concat ", "
+       (List.map
+          (fun (t, ok, shed, _, _) ->
+            Printf.sprintf {|{"t": %.2f, "ok": %d, "shed": %d}|} t ok shed)
+          trace))
+    last_shed
+    (List.length server_rows) (List.length oracle_rows) row_exact;
+  close_out oc;
+  say "  wrote BENCH_server.json";
+  if not (Cluster.migration_complete c) then
+    failwith "server gate: migration did not complete during the run";
+  if opens < 1 || closes < 1 then
+    failwith
+      (Printf.sprintf "server gate: breaker never cycled (%d opens, %d closes)" opens closes);
+  if mig_shed = 0 then failwith "server gate: breaker open phase shed nothing";
+  if last_shed <> 0 then
+    failwith
+      (Printf.sprintf "server gate: shed rate did not return to 0 (final window %d)" last_shed);
+  if not row_exact then
+    failwith "server gate: admitted writes diverged from the in-process oracle"
+
 let all_figures =
   [
     ("fig3", fig3_4);
@@ -1683,6 +1888,7 @@ let all_figures =
     ("lint", lint_smoke);
     ("mvcc", mvcc_bench);
     ("shard", shard_bench);
+    ("server", server_bench);
   ]
 
 let aliases = [ ("fig4", "fig3"); ("fig6", "fig5"); ("fig8", "fig7") ]

@@ -1,0 +1,147 @@
+(* Network front door: [server] starts the wire server over a sharded
+   engine; [load] points the open-loop generator at one.  Plain argv
+   parsing — both subcommands are driven by scripts and the Makefile. *)
+
+let usage () =
+  prerr_endline
+    {|usage:
+  bullfrog_net server [--port P] [--shards N] [--workers W] [--queue Q]
+                      [--rate R] [--burst B] [--open-above D] [--close-below D]
+                      [--init SQL] [--duration S]
+      Start the wire server over a fresh N-shard cluster.  --init runs a
+      ;-separated SQL script before accepting connections.  Without
+      --duration the server runs until SIGINT.
+
+  bullfrog_net load --port P [--host H] [--connections C] [--rate R]
+                    [--duration S] [--writes PCT] [--keys K] [--setup SQL]
+      Open-loop load: PCT percent single-row INSERTs into kv(k, v), the
+      rest point SELECTs over K keys.  --setup runs first on one
+      connection (default: create the kv table).|};
+  exit 2
+
+let parse_flags args =
+  let tbl = Hashtbl.create 8 in
+  let rec go = function
+    | [] -> ()
+    | flag :: value :: rest when String.length flag > 2 && String.sub flag 0 2 = "--" ->
+        Hashtbl.replace tbl (String.sub flag 2 (String.length flag - 2)) value;
+        go rest
+    | _ -> usage ()
+  in
+  go args;
+  tbl
+
+let flag_str tbl key default =
+  match Hashtbl.find_opt tbl key with Some v -> v | None -> default
+
+let flag_int tbl key default =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> usage ())
+  | None -> default
+
+let flag_float tbl key default =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> ( match float_of_string_opt v with Some f -> f | None -> usage ())
+  | None -> default
+
+(* -- server --------------------------------------------------------- *)
+
+let cmd_server args =
+  let tbl = parse_flags args in
+  let shards = flag_int tbl "shards" 4 in
+  let cluster = Bullfrog_cluster.Cluster.create ~shards () in
+  (match Hashtbl.find_opt tbl "init" with
+  | Some sql ->
+      ignore
+        (Bullfrog_cluster.Cluster.exec_script cluster sql
+          : Bullfrog_db.Executor.result list)
+  | None -> ());
+  let config =
+    {
+      Bullfrog_server.Server.host = flag_str tbl "host" "127.0.0.1";
+      port = flag_int tbl "port" 5433;
+      workers = flag_int tbl "workers" 4;
+      queue_cap = flag_int tbl "queue" 64;
+      rate = flag_float tbl "rate" infinity;
+      burst = flag_float tbl "burst" 32.0;
+      open_above = flag_int tbl "open-above" max_int;
+      close_below = flag_int tbl "close-below" max_int;
+    }
+  in
+  let server =
+    Bullfrog_server.Server.start ~config
+      ~debt:(fun () -> Bullfrog_cluster.Cluster.migration_debt cluster)
+      (Bullfrog_cluster.Cluster.frontend cluster)
+  in
+  Printf.printf "bullfrog server: %d shards on %s:%d\n%!" shards config.host
+    (Bullfrog_server.Server.port server);
+  (match Hashtbl.find_opt tbl "duration" with
+  | Some s ->
+      Unix.sleepf (float_of_string s);
+      Bullfrog_server.Server.stop server
+  | None ->
+      (* The handler only flips a flag: taking a mutex from a signal
+         handler deadlocks if the signal lands while the main thread is
+         inside a condition wait (pthread re-acquires the mutex on the
+         wake path, under the handler's feet). *)
+      let done_ = Atomic.make false in
+      Sys.set_signal Sys.sigint
+        (Sys.Signal_handle (fun _ -> Atomic.set done_ true));
+      while not (Atomic.get done_) do
+        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Bullfrog_server.Server.stop server);
+  print_endline "bullfrog server: stopped"
+
+(* -- load ----------------------------------------------------------- *)
+
+let cmd_load args =
+  let tbl = parse_flags args in
+  let host = flag_str tbl "host" "127.0.0.1" in
+  let port = flag_int tbl "port" 5433 in
+  let connections = flag_int tbl "connections" 8 in
+  let rate = flag_float tbl "rate" 500.0 in
+  let duration = flag_float tbl "duration" 5.0 in
+  let writes_pct = flag_int tbl "writes" 20 in
+  let keys = flag_int tbl "keys" 10_000 in
+  let setup =
+    flag_str tbl "setup" "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)"
+  in
+  (if setup <> "" then
+     let cl = Bullfrog_server.Client.connect ~host ~port () in
+     (match Bullfrog_server.Client.exec cl setup with
+     | Bullfrog_server.Protocol.Error (Bullfrog_server.Protocol.Err_sql, msg) ->
+         Printf.printf "setup skipped: %s\n%!" msg
+     | _ -> ());
+     Bullfrog_server.Client.close cl);
+  let gen seq =
+    if seq mod 100 < writes_pct then
+      Bullfrog_server.Protocol.Exec
+        (Printf.sprintf "INSERT INTO kv VALUES (%d, 'v%d') ON CONFLICT DO NOTHING"
+           (keys + seq) seq)
+    else
+      Bullfrog_server.Protocol.Exec
+        (Printf.sprintf "SELECT v FROM kv WHERE k = %d" (seq * 131 mod keys))
+  in
+  let r = Bullfrog_server.Loadgen.run ~host ~port ~connections ~rate ~duration gen in
+  let module L = Bullfrog_server.Loadgen in
+  let count o =
+    Array.fold_left
+      (fun acc s -> if s.L.ls_outcome = o then acc + 1 else acc)
+      0 r.L.lr_samples
+  in
+  let oks = L.latencies r in
+  Printf.printf
+    "load: %d requests in %.2fs (%.0f/s attempted)\n\
+     outcomes: ok %d, retry %d, shed %d, error %d\n\
+     over-the-wire latency: p50 %.3f ms, p99 %.3f ms\n%!"
+    (Array.length r.L.lr_samples) r.L.lr_elapsed rate (count L.O_ok)
+    (count L.O_retry) (count L.O_shed) (count L.O_error)
+    (L.percentile 0.5 oks *. 1e3)
+    (L.percentile 0.99 oks *. 1e3)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "server" :: rest -> cmd_server rest
+  | _ :: "load" :: rest -> cmd_load rest
+  | _ -> usage ()

@@ -234,7 +234,76 @@ let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off)
   Catalog.bump_epoch t.database.Database.catalog;
   rt
 
+(* Crash-restart path: re-install a migration whose logical switch
+   already happened before the crash.  The output tables (and the rows
+   already migrated into them) survived via redo replay; trackers come
+   back empty and are refilled from the committed granule marks in the
+   log, so migration resumes exactly where the durable state left it.
+   No lint/precheck — the spec was validated at the original switch. *)
+let resume_migration ?mode ?page_size ?stripes ?nn ?fk_join t ~mig_id
+    (spec : Migration.t) =
+  if t.act <> None then err "a schema migration is already in progress";
+  Obs.Trace.with_span ~cat:"migration" "resume"
+    ~args:[ ("migration", spec.Migration.name) ]
+  @@ fun () ->
+  let catalog = t.database.Database.catalog in
+  let output_names_lc =
+    List.concat_map
+      (fun (stmt : Migration.statement) ->
+        List.map
+          (fun (o : Migration.output) -> String.lowercase_ascii o.Migration.out_name)
+          stmt.Migration.outputs)
+      spec.Migration.statements
+  in
+  (* The replayed catalog already holds the outputs; the shadow catalog
+     must expose only the old tables (plus the output views). *)
+  let old_tables =
+    List.filter_map
+      (fun name ->
+        if List.mem (String.lowercase_ascii name) output_names_lc then None
+        else Some (Catalog.find_table_exn catalog name))
+      (Catalog.table_names catalog)
+  in
+  let rt =
+    Migrate_exec.install ?mode ?page_size ?stripes ?nn ?fk_join ~resume:true
+      ~mig_id t.database spec
+  in
+  let restored = Recovery.rebuild rt t.database.Database.redo in
+  Logs.info (fun m ->
+      m "migration %S resumed after restart: %d granule mark(s) restored"
+        spec.Migration.name restored);
+  let shadow = Catalog.create () in
+  List.iter (fun heap -> Catalog.add_table shadow heap) old_tables;
+  let output_names =
+    List.concat_map
+      (fun (stmt : Migration.statement) ->
+        List.map
+          (fun (o : Migration.output) ->
+            Catalog.create_view shadow o.Migration.out_name o.Migration.out_population;
+            o.Migration.out_name)
+          stmt.Migration.outputs)
+      spec.Migration.statements
+  in
+  t.act <- Some { rt; shadow; output_names; cumulative = Migrate_exec.new_report () };
+  Planner.set_migration_watch t.database.Database.catalog output_names;
+  register_migration_stats t;
+  t.next_mig_id <- max t.next_mig_id (mig_id + 1);
+  t.dropped <- t.dropped @ spec.Migration.drop_old;
+  Catalog.bump_epoch t.database.Database.catalog;
+  rt
+
 let active t = Option.map (fun a -> a.rt) t.act
+
+(* The wire server's circuit breaker samples this: how many granules the
+   logical switch has promised that physical migration has not yet
+   delivered.  0 when no migration is active. *)
+let migration_debt t =
+  match t.act with
+  | None -> 0
+  | Some act ->
+      let pg = Migrate_exec.progress_report act.rt in
+      max 0
+        (pg.Migrate_exec.pg_granules_total - pg.Migrate_exec.pg_granules_migrated)
 
 (* ------------------------------------------------------------------ *)
 (* Which relations does a statement reference?                         *)
@@ -519,6 +588,55 @@ let check_big_flip t referenced =
           table)
     referenced
 
+(* Post-switch, the old schema is gone from the application's view
+   (§2.1): a write landing on a TID-tracked migration input would race
+   the snapshot the migration reads — picked up or lost depending on
+   which granules already moved — and would grow the heap past the
+   install-time bitmap-tracker bounds (granule ids are TID ranges fixed
+   at the switch).  Reject it like a dropped relation.  Key-tracked
+   (hash) inputs stay writable: a new row joins its key group, an
+   unmigrated group picks it up, and a migrated group is the
+   application's to maintain (the TPC-C aggregate scenarios rely on
+   exactly that contract). *)
+let check_input_writes t (stmt : Ast.stmt) =
+  match t.act with
+  | None -> ()
+  | Some act -> (
+      let target =
+        match stmt with
+        | Ast.Insert { table; _ } | Ast.Update { table; _ }
+        | Ast.Delete { table; _ } ->
+            Some (String.lowercase_ascii table)
+        | _ -> None
+      in
+      match target with
+      | Some table when not (List.mem table act.output_names) ->
+          let tid_tracked_input (i : Migrate_exec.rt_input) =
+            i.Migrate_exec.ri_heap.Heap.name = table
+            &&
+            match i.Migrate_exec.ri_tracker with
+            | Migrate_exec.RT_bitmap _ -> true
+            | Migrate_exec.RT_hash _ | Migrate_exec.RT_none -> false
+          in
+          let is_input =
+            List.exists
+              (fun (s : Migrate_exec.rt_stmt) ->
+                List.exists tid_tracked_input s.Migrate_exec.rs_inputs
+                ||
+                match s.Migrate_exec.rs_pair with
+                | Some pr ->
+                    tid_tracked_input pr.Migrate_exec.pr_a
+                    || tid_tracked_input pr.Migrate_exec.pr_b
+                | None -> false)
+              act.rt.Migrate_exec.stmts
+          in
+          if is_input then
+            err
+              "relation %S is an input of the in-flight migration %S; write \
+               through the new schema"
+              table act.rt.Migrate_exec.spec.Migration.name
+      | _ -> ())
+
 let maybe_migrate t ?report (stmt : Ast.stmt) =
   match t.act with
   | None -> ()
@@ -559,6 +677,7 @@ let intercept t ?report ?params sql =
   let p = Database.prepare t.database sql in
   let stmt = Database.prepared_stmt p in
   check_big_flip t (tables_of_stmt stmt);
+  check_input_writes t stmt;
   (match t.act with
   | None -> ()
   | Some act ->

@@ -45,7 +45,47 @@ val start_migration :
     @raise Db_error.Sql_error when a migration is already active, or when
     the linter rejects the spec. *)
 
+val resume_migration :
+  ?mode:Migrate_exec.mode ->
+  ?page_size:int ->
+  ?stripes:int ->
+  ?nn:Migrate_exec.nn_granularity ->
+  ?fk_join:[ `Tuple | `Class ] ->
+  t ->
+  mig_id:int ->
+  Migration.t ->
+  Migrate_exec.t
+(** Crash-restart re-installation of a migration whose logical switch
+    already happened.  The output tables (and the rows migrated so far)
+    are expected to exist in the catalog — they survived via redo
+    replay — so no DDL runs; trackers are refilled from the committed
+    granule marks in the redo log ({!Recovery.rebuild}) and migration
+    resumes from the durable frontier.  [mig_id] must be the original
+    runtime's id (granule marks are filtered by it).  Lint/precheck are
+    skipped: the spec was validated at the original switch.
+    @raise Db_error.Sql_error when a migration is already active. *)
+
 val active : t -> Migrate_exec.t option
+
+val migration_debt : t -> int
+(** Unmigrated-granule backlog of the active migration (granules the
+    logical switch promised that physical migration has not yet
+    delivered); 0 when idle.  The wire server's circuit breaker samples
+    this gauge. *)
+
+val check_input_writes : t -> Bullfrog_sql.Ast.stmt -> unit
+(** Post-switch the old schema is gone from the application's view
+    (§2.1): an INSERT/UPDATE/DELETE targeting a {e TID-tracked} input
+    table of the active migration would race the snapshot the migration
+    reads and grow the heap past the install-time bitmap-tracker
+    bounds.  Key-tracked (hash) inputs stay writable — a new row joins
+    its key group, and rows landing in already-migrated groups are the
+    application's to maintain in the outputs (the TPC-C aggregate
+    scenarios rely on that contract).  [exec] and [exec_in] call this;
+    layers that bypass them (the cluster router) must call it
+    themselves.  No-op when the target is also an output or no
+    migration is active.
+    @raise Db_error.Sql_error on a write to a TID-tracked input. *)
 
 val exec :
   t ->

@@ -531,3 +531,25 @@ let format v =
         h.hz_detail)
     v.lint_hazards;
   Buffer.contents buf
+
+(* Sharded deployments need to know which inputs migrate by group: an
+   n:1 aggregate whose group key does not cover the input's partition
+   column has groups straddling shards, and per-shard migration would
+   silently produce partial aggregates.  The cluster coordinator rejects
+   those specs at [start_migration] using this view. *)
+let aggregate_group_keys catalog (spec : Migration.t) =
+  List.concat_map
+    (fun stmt ->
+      match Classify.classify_statement catalog stmt with
+      | plans ->
+          List.filter_map
+            (fun (p : Classify.input_plan) ->
+              match (p.Classify.ip_category, p.Classify.ip_tracking) with
+              | Classify.Many_to_one, Classify.T_hash cols ->
+                  Some (p.Classify.ip_table, cols)
+              | _ -> None)
+            plans
+      | exception Db_error.Sql_error _ ->
+          (* unsupported shapes are rejected later by install itself *)
+          [])
+    spec.Migration.statements

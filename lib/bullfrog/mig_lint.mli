@@ -86,3 +86,12 @@ val partition_to_string : partition -> string
 val format : t -> string
 (** Multi-line human-readable report (used by [EXPLAIN MIGRATION] and
     the CLI [\lint] command). *)
+
+val aggregate_group_keys :
+  Bullfrog_db.Catalog.t -> Migration.t -> (string * string list) list
+(** Per n:1 (many-to-one) migration input: [(base table, group-key
+    columns)].  A sharded deployment must reject the spec when the
+    input table's partition column is not among the group-key columns —
+    groups would straddle shards and each shard's aggregate would be a
+    silent partial result.  Statements the classifier rejects contribute
+    nothing (installation fails on them anyway). *)

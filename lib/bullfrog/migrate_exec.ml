@@ -198,7 +198,7 @@ let infer_output_schema catalog (population : Ast.select) =
 (* ------------------------------------------------------------------ *)
 
 let install ?(mode = Tracked) ?(page_size = 1) ?(stripes = 64) ?(nn = Nn_pair)
-    ?(fk_join = `Tuple) ?lint ~mig_id db (spec : Migration.t) =
+    ?(fk_join = `Tuple) ?lint ?(resume = false) ~mig_id db (spec : Migration.t) =
   (* Installation is the logical switch (§3.2) — rare and cold, so the
      span is unconditional. *)
   Obs.Trace.with_span ~cat:"migration" "install"
@@ -218,27 +218,31 @@ let install ?(mode = Tracked) ?(page_size = 1) ?(stripes = 64) ?(nn = Nn_pair)
         let outputs =
           List.map
             (fun (o : Migration.output) ->
-              (match o.Migration.out_create with
-              | Some ddl ->
-                  Database.with_txn db (fun txn ->
-                      ignore (Executor.exec_stmt ctx txn ddl : Executor.result))
-              | None ->
-                  let columns = infer_output_schema catalog o.Migration.out_population in
-                  let heap =
-                    Catalog.create_table catalog o.Migration.out_name
-                      (Schema.make columns)
-                  in
-                  (* This path bypasses the executor, so log the DDL here:
-                     the output table must exist when the redo log is
-                     replayed into a fresh catalog. *)
-                  Redo_log.append_ddl db.Database.redo
-                    ~epoch:(Catalog.epoch catalog)
-                    (Schema.to_create_sql heap.Heap.name heap.Heap.schema));
-              List.iter
-                (fun ddl ->
-                  Database.with_txn db (fun txn ->
-                      ignore (Executor.exec_stmt ctx txn ddl : Executor.result)))
-                o.Migration.out_indexes;
+              if not resume then begin
+                (match o.Migration.out_create with
+                | Some ddl ->
+                    Database.with_txn db (fun txn ->
+                        ignore (Executor.exec_stmt ctx txn ddl : Executor.result))
+                | None ->
+                    let columns = infer_output_schema catalog o.Migration.out_population in
+                    let heap =
+                      Catalog.create_table catalog o.Migration.out_name
+                        (Schema.make columns)
+                    in
+                    (* This path bypasses the executor, so log the DDL here:
+                       the output table must exist when the redo log is
+                       replayed into a fresh catalog. *)
+                    Redo_log.append_ddl db.Database.redo
+                      ~epoch:(Catalog.epoch catalog)
+                      (Schema.to_create_sql heap.Heap.name heap.Heap.schema));
+                List.iter
+                  (fun ddl ->
+                    Database.with_txn db (fun txn ->
+                        ignore (Executor.exec_stmt ctx txn ddl : Executor.result)))
+                  o.Migration.out_indexes
+              end;
+              (* on resume the outputs (and their data) survived the
+                 restart via redo replay — just look them up *)
               let heap = Catalog.find_table_exn catalog o.Migration.out_name in
               (heap, o.Migration.out_population))
             stmt.Migration.outputs

@@ -125,6 +125,7 @@ val install :
   ?nn:nn_granularity ->
   ?fk_join:[ `Tuple | `Class ] ->
   ?lint:Mig_lint.t ->
+  ?resume:bool ->
   mig_id:int ->
   Bullfrog_db.Database.t ->
   Migration.t ->
@@ -132,7 +133,10 @@ val install :
 (** Logical switch; raises on unsupported migration shapes.  Output tables
     must not collide with existing relations.  [lint] is the analyzer
     verdict to record on the runtime (informational; enforcement happens
-    in {!Lazy_db.start_migration}). *)
+    in {!Lazy_db.start_migration}).  With [resume] (crash restart), the
+    output tables are expected to already exist — they and their data
+    survived via redo replay — and no DDL runs; trackers come back empty
+    and are refilled from the log by {!Recovery.rebuild}. *)
 
 val migrate_for_preds :
   ?stmt_filter:(rt_stmt -> bool) ->

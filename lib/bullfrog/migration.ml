@@ -107,3 +107,94 @@ let input_tables_of_select catalog (s : Ast.select) =
   in
   go s;
   List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Wire form (coordinator decision log)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The cluster logs the full spec when a migration starts so a restart
+   can re-install it.  Components are printed with {!Pretty} and
+   re-parsed on the way back (print/parse round-tripping is
+   property-tested), framed by a record separator that cannot appear in
+   printed SQL. *)
+
+let sep = '\x1e'
+
+let serialize (t : t) =
+  let buf = Buffer.create 512 in
+  let emit tag s =
+    Buffer.add_string buf tag;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf s;
+    Buffer.add_char buf sep
+  in
+  emit "M" t.name;
+  List.iter (emit "D") t.drop_old;
+  List.iter
+    (fun st ->
+      emit "S" st.stmt_name;
+      List.iter
+        (fun o ->
+          emit "O" o.out_name;
+          (match o.out_create with
+          | Some c -> emit "C" (Pretty.stmt_to_string c)
+          | None -> ());
+          emit "P" (Pretty.select_to_string o.out_population);
+          List.iter (fun ix -> emit "I" (Pretty.stmt_to_string ix)) o.out_indexes)
+        st.outputs)
+    t.statements;
+  Buffer.contents buf
+
+let deserialize s =
+  let bad fmt = Db_error.sql_error ("Migration.deserialize: " ^^ fmt) in
+  let entries =
+    String.split_on_char sep s
+    |> List.filter (fun e -> e <> "")
+    |> List.map (fun e ->
+           match String.index_opt e ' ' with
+           | Some i ->
+               (String.sub e 0 i, String.sub e (i + 1) (String.length e - i - 1))
+           | None -> (e, ""))
+  in
+  let select_of sql =
+    match Parser.parse_one sql with
+    | Ast.Select_stmt sel -> sel
+    | _ -> bad "population is not a SELECT: %s" sql
+  in
+  let name = ref None and drop_old = ref [] in
+  (* statements/outputs are accumulated in reverse, then re-reversed *)
+  let stmts : (string * output list ref) list ref = ref [] in
+  let cur_outputs () =
+    match !stmts with
+    | (_, outs) :: _ -> outs
+    | [] -> bad "output outside a statement"
+  in
+  let with_cur_output f =
+    let outs = cur_outputs () in
+    match !outs with
+    | o :: rest -> outs := f o :: rest
+    | [] -> bad "output field outside an output"
+  in
+  List.iter
+    (fun (tag, v) ->
+      match tag with
+      | "M" -> name := Some v
+      | "D" -> drop_old := v :: !drop_old
+      | "S" -> stmts := (v, ref []) :: !stmts
+      | "O" ->
+          let outs = cur_outputs () in
+          outs :=
+            { out_name = v; out_create = None; out_population = Ast.select ~projections:[] ~from:[] (); out_indexes = [] }
+            :: !outs
+      | "C" -> with_cur_output (fun o -> { o with out_create = Some (Parser.parse_one v) })
+      | "P" -> with_cur_output (fun o -> { o with out_population = select_of v })
+      | "I" -> with_cur_output (fun o -> { o with out_indexes = o.out_indexes @ [ Parser.parse_one v ] })
+      | _ -> bad "unknown tag %S" tag)
+    entries;
+  let name = match !name with Some n -> n | None -> bad "missing name" in
+  let statements =
+    List.rev_map
+      (fun (stmt_name, outs) -> { stmt_name; outputs = List.rev !outs })
+      !stmts
+  in
+  make ~name ~drop_old:(List.rev !drop_old) statements

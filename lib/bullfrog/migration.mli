@@ -62,3 +62,12 @@ val input_tables_of_select :
   Bullfrog_db.Catalog.t -> Bullfrog_sql.Ast.select -> (string * string) list
 (** (alias, base-table) pairs read by a population query (views expanded
     against the given catalog). *)
+
+val serialize : t -> string
+(** Single-string wire form (components printed with
+    {!Bullfrog_sql.Pretty}); the cluster coordinator logs this when a
+    migration starts so a restart can re-install the spec. *)
+
+val deserialize : string -> t
+(** Inverse of {!serialize} (components re-parsed).
+    @raise Bullfrog_db.Db_error.Sql_error on malformed input. *)

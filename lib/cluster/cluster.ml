@@ -618,6 +618,9 @@ let exec_ast t stmt =
   with_latch t (fun () ->
       Counters.bump c_stmts;
       check_dropped t stmt;
+      (* shard 0's guard speaks for all shards: the migration runtime is
+         installed identically on every one *)
+      Lazy_db.check_input_writes t.shards.(0).sh_lazy stmt;
       drive_migration t stmt;
       exec_stmt_routed t stmt)
 
@@ -656,12 +659,41 @@ let frontend t =
 (* ------------------------------------------------------------------ *)
 (* cluster-wide migration                                              *)
 
+(* An n:1 aggregate is only sound per-shard when every group lives
+   wholly on one shard, i.e. the group key covers the input's partition
+   column; otherwise each shard would emit a silent partial aggregate
+   for the straddling groups. *)
+let check_aggregate_partition t mig =
+  List.iter
+    (fun (tbl, cols) ->
+      match partition_of t tbl with
+      | None -> ()
+      | Some p ->
+          let pc = lc (Partition.column p) in
+          if not (List.mem pc (List.map lc cols)) then
+            sql_error
+              "cluster: aggregate migration groups %s by (%s) but the table is \
+               partitioned by %s — groups straddle shards and per-shard \
+               aggregates would be wrong; group by the partition column or \
+               repartition the input first"
+              tbl (String.concat ", " cols) pc)
+    (Bullfrog_core.Mig_lint.aggregate_group_keys t.shards.(0).sh_db.Database.catalog mig)
+
 let start_migration ?(partitions = []) t mig =
   with_latch t (fun () ->
       if t.migration <> None then sql_error "cluster: a migration is already active";
+      check_aggregate_partition t mig;
       let rts =
         Array.map (fun sh -> Lazy_db.start_migration sh.sh_lazy mig) t.shards
       in
+      (* Durable record of the logical switch: the coordinator log (never
+         replayed as SQL, only scanned) carries the spec and runtime id so
+         a crash restart can re-install the migration and resume it. *)
+      Redo_log.append_ddl t.coord_log
+        ~epoch:(Atomic.get t.epoch)
+        (Printf.sprintf "BFMIG-START %d %s"
+           rts.(0).Migrate_exec.mig_id
+           (Migration.serialize mig));
       let outputs =
         List.sort_uniq compare
           (List.concat_map
@@ -714,6 +746,13 @@ let background_step t ~batch =
 
 let active_migration t = Option.map (fun m -> m.mig_spec) t.migration
 
+(* Unmigrated-granule backlog summed across shards — the debt gauge the
+   wire server's circuit breaker samples. *)
+let migration_debt t =
+  Array.fold_left
+    (fun acc sh -> acc + Lazy_db.migration_debt sh.sh_lazy)
+    0 t.shards
+
 let migration_complete t =
   match t.migration with
   | None -> true
@@ -734,14 +773,46 @@ let finalize t =
           Array.iteri (fun s _ -> move_misplaced t m s) t.shards;
           Array.iter (fun sh -> Lazy_db.finalize sh.sh_lazy) t.shards;
           t.parts <- List.filter (fun (k, _) -> not (List.mem k t.dropped)) t.parts;
+          Redo_log.append_ddl t.coord_log
+            ~epoch:(Atomic.get t.epoch)
+            (Printf.sprintf "BFMIG-END %d" m.mig_rts.(0).Migrate_exec.mig_id);
           t.migration <- None)
 
 (* ------------------------------------------------------------------ *)
 (* recovery                                                            *)
 
+(* The last BFMIG-START in the coordinator log with no matching
+   BFMIG-END is a migration whose logical switch happened but which was
+   not finalized before the crash: it must be re-installed and resumed. *)
+let pending_migration_marker coord_log =
+  List.fold_left
+    (fun acc entry ->
+      match entry with
+      | Redo_log.E_ddl { d_sql; _ } -> (
+          match String.index_opt d_sql ' ' with
+          | Some sp when String.sub d_sql 0 sp = "BFMIG-START" -> (
+              let rest = String.sub d_sql (sp + 1) (String.length d_sql - sp - 1) in
+              match String.index_opt rest ' ' with
+              | Some sp2 ->
+                  let mig_id = int_of_string (String.sub rest 0 sp2) in
+                  let spec =
+                    String.sub rest (sp2 + 1) (String.length rest - sp2 - 1)
+                  in
+                  Some (mig_id, spec)
+              | None -> acc)
+          | Some sp when String.sub d_sql 0 sp = "BFMIG-END" -> (
+              let id =
+                int_of_string_opt
+                  (String.sub d_sql (sp + 1) (String.length d_sql - sp - 1))
+              in
+              match (acc, id) with
+              | Some (mid, _), Some eid when mid = eid -> None
+              | _ -> acc)
+          | _ -> acc)
+      | _ -> acc)
+    None (Redo_log.entries coord_log)
+
 let recover old =
-  if old.migration <> None then
-    invalid_arg "Cluster.recover: recovery during an active migration is unsupported";
   let coord_log = Redo_log.deserialize (Redo_log.serialize old.coord_log) in
   let decisions = Redo_log.decisions coord_log in
   let resolve gid = List.exists (fun (g, c, _) -> g = gid && c) decisions in
@@ -753,13 +824,48 @@ let recover old =
         { sh_id = sh.sh_id; sh_db = db; sh_lazy = Lazy_db.create db })
       old.shards
   in
-  {
-    shards;
-    coord_log;
-    parts = old.parts;
-    next_gid = old.next_gid;
-    epoch = Atomic.make (Atomic.get old.epoch);
-    dropped = old.dropped;
-    latch = Mutex.create ();
-    migration = None;
-  }
+  let t =
+    {
+      shards;
+      coord_log;
+      parts = old.parts;
+      next_gid = old.next_gid;
+      epoch = Atomic.make (Atomic.get old.epoch);
+      dropped = old.dropped;
+      latch = Mutex.create ();
+      migration = None;
+    }
+  in
+  (match pending_migration_marker coord_log with
+  | None -> ()
+  | Some (mig_id, wire) ->
+      let mig = Migration.deserialize wire in
+      let rts =
+        Array.map
+          (fun sh -> Lazy_db.resume_migration sh.sh_lazy ~mig_id mig)
+          t.shards
+      in
+      let outputs =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun st ->
+               List.map (fun o -> lc o.Migration.out_name) st.Migration.outputs)
+             mig.Migration.statements)
+      in
+      (* Watermarks restart from 0: the row mover rescans every output
+         heap, which is idempotent (moving is a 2PC delete+insert keyed
+         by the row's home shard; already-home rows are skipped). *)
+      let wms = Hashtbl.create 8 in
+      List.iter
+        (fun out ->
+          Hashtbl.replace wms out (Array.make (Array.length t.shards) 0))
+        outputs;
+      t.migration <-
+        Some
+          {
+            mig_spec = mig;
+            mig_rts = rts;
+            mig_outputs = outputs;
+            mig_watermarks = wms;
+          });
+  t

@@ -88,6 +88,11 @@ val migration_complete : t -> bool
 
 val migration_progress : t -> float
 
+val migration_debt : t -> int
+(** Unmigrated-granule backlog summed across shards
+    ({!Bullfrog_core.Lazy_db.migration_debt} per shard); 0 when idle.
+    The wire server's circuit breaker samples this gauge. *)
+
 val finalize : t -> unit
 (** Per-shard {!Bullfrog_core.Lazy_db.finalize} plus a final row-movement
     sweep.  @raise Db_error.Sql_error if any shard is incomplete. *)
@@ -101,5 +106,12 @@ val recover : t -> t
     at the crash resolve against the coordinator's decision log —
     presumed abort when no commit decision was logged — so a cross-shard
     transaction is either committed on every participant or on none.
-    @raise Invalid_argument while a migration is active (restart during
-    migration is a documented residual). *)
+
+    A crash mid-migration is survivable: the coordinator log records the
+    logical switch (spec + runtime id) when {!start_migration} runs and a
+    matching end marker at {!finalize}; when the last switch has no end
+    marker, recovery re-installs the migration on every shard
+    ({!Bullfrog_core.Lazy_db.resume_migration}) — the output tables and
+    already-migrated rows survived via redo replay, per-shard trackers
+    are refilled from committed granule marks, and lazy/background
+    migration resumes from the durable frontier. *)

@@ -79,12 +79,74 @@ let scenario = { Fault_sweep.sc_name = "cluster2pc"; sc_run = run }
 
 let points = [ Fault.p_2pc_prepare; Fault.p_2pc_decision; Fault.p_2pc_ack ]
 
+(* ------------------------------------------------------------------ *)
+(* mid-migration crash scenario                                        *)
+
+(* A migration that changes the partition key (t is hash-partitioned by
+   id, its output t2 by grp), so lazily-migrated rows move to their new
+   home shard through 2PC — and the armed crash point fires while the
+   migration is active.  Setup uses single-row INSERTs (single-shard, no
+   2PC), so the first reachable fault point is a migration row move.
+   After [Cluster.recover] the migration must still be installed (spec
+   re-read from the coordinator log, trackers refilled from granule
+   marks); the workload re-runs, background migration drains, and the
+   final t2 must be row-exact against the disarmed oracle. *)
+
+let mig_rows = List.init 24 (fun i -> (i, i * 7 mod 5))
+
+let mig_spec () =
+  Bullfrog_core.Migration.make ~name:"regroup"
+    [
+      Bullfrog_core.Migration.statement_of_sql
+        "CREATE TABLE t2 AS (SELECT grp, id, v FROM t)";
+    ]
+
+let mig_queries =
+  List.map (fun g -> Printf.sprintf "SELECT id FROM t2 WHERE grp = %d" g)
+    [ 0; 1; 2; 3; 4 ]
+
+let run_mig () =
+  let c = ref (Cluster.create ~shards ()) in
+  let attempt f = try f () with Fault.Crash _ -> c := Cluster.recover !c in
+  ignore (Cluster.exec !c "CREATE TABLE t (id INT PRIMARY KEY, grp INT, v TEXT)"
+           : Executor.result);
+  List.iter
+    (fun (id, grp) ->
+      ignore
+        (Cluster.exec !c
+           (Printf.sprintf "INSERT INTO t VALUES (%d, %d, 'v%03d')" id grp id)
+         : Executor.result))
+    mig_rows;
+  Cluster.start_migration !c (mig_spec ());
+  let drive () =
+    List.iter (fun q -> ignore (Cluster.exec !c q : Executor.result)) mig_queries
+  in
+  attempt drive;
+  (* Resumability probe: after a crash + recover the migration must still
+     be active (empty in the oracle run too, where no crash happened). *)
+  let resumed =
+    if Cluster.active_migration !c = None then [ "migration inactive" ] else []
+  in
+  attempt drive;
+  attempt (fun () ->
+      while not (Cluster.migration_complete !c) do
+        ignore (Cluster.background_step !c ~batch:64 : int)
+      done;
+      Cluster.finalize !c);
+  (* [finalize] dropped the input table, so t2 is the whole database. *)
+  [ ("resumed", resumed); ("t2", sorted_rows !c "SELECT grp, id, v FROM t2") ]
+
+let mig_scenario = { Fault_sweep.sc_name = "cluster_mig"; sc_run = run_mig }
+
 let registered = ref false
 
 let register () =
   if not !registered then begin
     Fault_sweep.register scenario;
+    Fault_sweep.register mig_scenario;
     registered := true
   end
 
-let run_bounded () = Fault_sweep.run_scenario ~points scenario
+let run_bounded () =
+  Fault_sweep.run_scenario ~points scenario
+  @ Fault_sweep.run_scenario ~points mig_scenario

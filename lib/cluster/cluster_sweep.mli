@@ -9,12 +9,22 @@
 
 val scenario : Bullfrog_core.Fault_sweep.scenario
 
+val mig_scenario : Bullfrog_core.Fault_sweep.scenario
+(** ["cluster_mig"]: crash {e mid-migration}.  A partition-key-changing
+    migration (input hashed by [id], output by [grp]) is driven by
+    predicate queries so migrated rows move home through 2PC; the armed
+    point fires during a move, {!Cluster.recover} must re-install the
+    migration from the coordinator log and resume it (probe result set
+    ["resumed"] stays empty), and after convergence + finalize the
+    output table must be row-exact against the disarmed oracle. *)
+
 val points : int list
 (** [p_2pc_prepare; p_2pc_decision; p_2pc_ack]. *)
 
 val register : unit -> unit
-(** Add the scenario to {!Bullfrog_core.Fault_sweep}'s registry
+(** Add both scenarios to {!Bullfrog_core.Fault_sweep}'s registry
     (idempotent). *)
 
 val run_bounded : unit -> Bullfrog_core.Fault_sweep.cell list
-(** One oracle run plus one recovery cell per 2PC crash point. *)
+(** One oracle run plus one recovery cell per 2PC crash point, for both
+    scenarios. *)

@@ -210,13 +210,16 @@ let rec run_raw ?(params = [||]) (txn : Txn.t) (plan : Plan.t) : Value.t array l
               in
               if keep then Some row else None)
         (List.sort Stdlib.compare tids)
-  | Plan.Index_min { table = _; index; prefix; asc } ->
+  | Plan.Index_min { table; index; prefix; asc } ->
       c.Txn.index_probes <- c.Txn.index_probes + 1;
       c.Txn.rows_read <- c.Txn.rows_read + 1;
       let prefix = Array.map (fun e -> e.Expr.ce_eval params [||]) prefix in
+      (* deferred de-indexing: skip keys visible only through entries of
+         deleted rows this snapshot cannot see *)
+      let keep tid = snap_get txn table tid <> None in
       let hit =
-        if asc then Index.min_with_prefix index prefix
-        else Index.max_with_prefix index prefix
+        if asc then Index.min_with_prefix ~keep index prefix
+        else Index.max_with_prefix ~keep index prefix
       in
       let v =
         match hit with
@@ -663,7 +666,11 @@ let check_fk_for_row ctx (txn : Txn.t) (table : Heap.t) row =
               | Some idx ->
                   txn.Txn.counters.Txn.index_probes <-
                     txn.Txn.counters.Txn.index_probes + 1;
-                  Index.mem idx (reorder (Index.key_cols idx) (Array.length ref_cols))
+                  (* entries of deleted parents linger until GC; only a
+                     live parent row satisfies the FK *)
+                  List.exists
+                    (fun tid -> Heap.get parent tid <> None)
+                    (Index.find idx (reorder (Index.key_cols idx) (Array.length ref_cols)))
               | None -> (
                   (* an ordered index whose key prefix covers the referenced
                      columns answers existence with one probe *)
@@ -683,7 +690,9 @@ let check_fk_for_row ctx (txn : Txn.t) (table : Heap.t) row =
                   | Some idx ->
                       txn.Txn.counters.Txn.index_probes <-
                         txn.Txn.counters.Txn.index_probes + 1;
-                      Index.min_with_prefix idx
+                      Index.min_with_prefix
+                        ~keep:(fun tid -> Heap.get parent tid <> None)
+                        idx
                         (reorder (Index.key_cols idx) (Array.length ref_cols))
                       <> None
                   | None ->
@@ -964,6 +973,9 @@ let alter_table ctx txn table_name (action : Ast.alter_action) =
       List.iter
         (fun (tid, row) -> Heap.rewrite_in_place table tid (remove_at row))
         !rewrites;
+      (* pending old-layout rows must not be de-indexed against the
+         rebuilt (shifted-column) indexes later *)
+      Heap.flush_pending table;
       let old_indexes = Heap.indexes table in
       table.Heap.indexes <- [];
       List.iter

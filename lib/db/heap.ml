@@ -40,6 +40,12 @@ type t = {
   mutable indexes : Index.t list;
   mutable live : int;
   mutable chained : int;  (* versions held in older chains (GC backlog) *)
+  pending_dead : (int, row) Hashtbl.t;
+      (* tid -> deleted row whose index entries are deliberately still
+         installed: de-indexing is deferred until GC proves no pinned
+         snapshot can reach the row through its version chain, so a
+         snapshot pinned before the delete still finds it by index
+         probe (DESIGN.md §4.2f) *)
 }
 
 let create ~tbl_id ~name schema =
@@ -53,6 +59,7 @@ let create ~tbl_id ~name schema =
     indexes = [];
     live = 0;
     chained = 0;
+    pending_dead = Hashtbl.create 16;
   }
 
 let with_latch t f =
@@ -65,18 +72,29 @@ let with_latch t f =
       Mutex.unlock t.latch;
       raise e
 
+(* A TID counts against unique constraints only while its slot holds a
+   row: deferred de-indexing leaves deleted rows' entries installed, and
+   those must neither block a re-insert of the key nor make the reaper
+   double-count.  A TID at or past the slot vector is an in-flight
+   insert (batch rows are indexed before their slots are pushed) and is
+   live.  (An uncommitted DELETE has already tombstoned the slot; its
+   writer holds the 2PL row lock, so treating it as dead here matches
+   the pre-MVCC eager-de-index behaviour.) *)
+let tid_live t tid = tid >= Vec.length t.slots || Vec.get t.slots tid != tombstone
+
 (* Insert into every index, rolling back prior entries when a unique index
    rejects the key, so a failed insert leaves the indexes untouched.
    [key_of_row] allocates a fresh key array, so the no-copy insert is
    safe. *)
 let index_all t row tid =
+  let live = tid_live t in
   match t.indexes with
   | [] -> ()
   | [ idx ] -> (
       (* single index: a failed insert added nothing, so no trail *)
       match Index.key_of_row idx row with
       | None -> ()
-      | Some key -> Index.insert_owned idx key tid)
+      | Some key -> Index.insert_live idx ~live key tid)
   | indexes ->
       let done_ = ref [] in
       (try
@@ -85,7 +103,7 @@ let index_all t row tid =
              match Index.key_of_row idx row with
              | None -> ()
              | Some key ->
-                 Index.insert_owned idx key tid;
+                 Index.insert_live idx ~live key tid;
                  done_ := (idx, key) :: !done_)
            indexes
        with e ->
@@ -271,7 +289,15 @@ let delete ?(writer = 0) ?ts t tid =
       if old == tombstone then
         invalid_arg (Printf.sprintf "Heap.delete: tid %d of %s is a tombstone" tid t.name)
       else begin
-        deindex_all t old tid;
+        (* De-indexing is deferred: the entries stay probe-able for
+           pinned snapshots until GC proves the row unreachable.  A
+           slot can only be deleted while occupied, and every path that
+           re-occupies it (restore / abort_delete / GC) clears the
+           binding first, so at most one pending row exists per tid. *)
+        (match Hashtbl.find_opt t.pending_dead tid with
+        | Some prev when prev != old -> deindex_all t prev tid
+        | _ -> ());
+        Hashtbl.replace t.pending_dead tid old;
         Vec.set t.slots tid tombstone;
         install_version t tid ~writer ~ts tombstone;
         t.live <- t.live - 1;
@@ -279,11 +305,27 @@ let delete ?(writer = 0) ?ts t tid =
         old
       end)
 
+(* Undoing a delete whose index entries are still pending must not
+   re-index (the entries are already installed); it just cancels the
+   deferred removal.  Returns [true] when the entries were reused. *)
+let reclaim_pending t tid row =
+  match Hashtbl.find_opt t.pending_dead tid with
+  | Some prev when prev == row ->
+      Hashtbl.remove t.pending_dead tid;
+      true
+  | Some prev ->
+      (* different row resurrected at this tid: the pending one is gone
+         for good *)
+      deindex_all t prev tid;
+      Hashtbl.remove t.pending_dead tid;
+      false
+  | None -> false
+
 let restore t tid row =
   with_latch t (fun () ->
       if Vec.get t.slots tid != tombstone then invalid_arg "Heap.restore: slot is occupied"
       else begin
-        index_all t row tid;
+        if not (reclaim_pending t tid row) then index_all t row tid;
         Vec.set t.slots tid row;
         install_version t tid ~writer:0 ~ts:None row;
         t.live <- t.live + 1
@@ -320,7 +362,7 @@ let abort_delete t tid row =
       if Vec.get t.slots tid != tombstone then
         invalid_arg "Heap.abort_delete: slot is occupied"
       else begin
-        index_all t row tid;
+        if not (reclaim_pending t tid row) then index_all t row tid;
         Vec.set t.slots tid row;
         if not (pop_uncommitted t tid) then install_version t tid ~writer:0 ~ts:None row;
         t.live <- t.live + 1
@@ -431,8 +473,35 @@ let rec trim_chain ~horizon v =
         let o', n = trim_chain ~horizon o in
         if n = 0 then (v, 0) else ({ v with v_older = Some o' }, n)
 
+(* Deferred de-indexing pay-off: once a deleted row's array is no longer
+   reachable through its slot's (trimmed) version chain, no snapshot at
+   or above the horizon can see it, and its index entries can finally
+   go.  Physical equality is sound because the slot and its versions
+   share the very row arrays.  Chains not yet trimmed keep their rows
+   reachable, so purging is safe to run against any trim progress. *)
+let row_reachable row v =
+  let rec go v =
+    v.v_row == row || (match v.v_older with None -> false | Some o -> go o)
+  in
+  go v
+
+let purge_pending t =
+  if Hashtbl.length t.pending_dead > 0 then begin
+    let dead =
+      Hashtbl.fold
+        (fun tid row acc ->
+          if row_reachable row (Vec.get t.vers tid) then acc else (tid, row) :: acc)
+        t.pending_dead []
+    in
+    List.iter
+      (fun (tid, row) ->
+        deindex_all t row tid;
+        Hashtbl.remove t.pending_dead tid)
+      dead
+  end
+
 let gc t ~horizon =
-  if t.chained = 0 then 0
+  if t.chained = 0 && Hashtbl.length t.pending_dead = 0 then 0
   else
     with_latch t (fun () ->
         let reclaimed = ref 0 in
@@ -448,6 +517,7 @@ let gc t ~horizon =
           end
         done;
         t.chained <- t.chained - !reclaimed;
+        purge_pending t;
         !reclaimed)
 
 (* Budgeted variant of [gc]: sweep slots from [start], stopping once at
@@ -456,7 +526,7 @@ let gc t ~horizon =
    table).  Identical per-slot trimming, so interleaving slices with full
    sweeps is safe at any point. *)
 let gc_slice t ~horizon ~start ~budget =
-  if t.chained = 0 then (0, None)
+  if t.chained = 0 && Hashtbl.length t.pending_dead = 0 then (0, None)
   else
     with_latch t (fun () ->
         let reclaimed = ref 0 in
@@ -474,9 +544,20 @@ let gc_slice t ~horizon ~start ~budget =
           incr tid
         done;
         t.chained <- t.chained - !reclaimed;
+        purge_pending t;
         (!reclaimed, if !tid >= n then None else Some !tid))
 
 let chained_versions t = t.chained
+
+let pending_dead_count t = Hashtbl.length t.pending_dead
+
+(* Force every deferred de-index through immediately (schema rewrites
+   that rebuild the index set must not leave ghost bindings whose rows
+   have the old layout). *)
+let flush_pending t =
+  with_latch t (fun () ->
+      Hashtbl.iter (fun tid row -> deindex_all t row tid) t.pending_dead;
+      Hashtbl.reset t.pending_dead)
 
 (* ------------------------------------------------------------------ *)
 

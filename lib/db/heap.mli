@@ -41,6 +41,9 @@ type t = {
   mutable indexes : Index.t list;
   mutable live : int;
   mutable chained : int;
+  pending_dead : (int, row) Hashtbl.t;
+      (** deleted rows whose index entries are kept until GC proves no
+          pinned snapshot can reach them (deferred de-indexing) *)
 }
 
 val create : tbl_id:int -> name:string -> Schema.t -> t
@@ -84,8 +87,12 @@ val update : ?writer:int -> ?ts:int -> t -> int -> row -> row
     unchanged).  @raise Invalid_argument on a tombstone. *)
 
 val delete : ?writer:int -> ?ts:int -> t -> int -> row
-(** Tombstones the slot, de-indexes; returns the old image.  Snapshot
-    readers older than the delete still see the chained version. *)
+(** Tombstones the slot; returns the old image.  Snapshot readers older
+    than the delete still see the chained version — including through
+    index probes: de-indexing is {e deferred} (the entries survive in
+    [pending_dead]) until GC proves the row unreachable from every
+    pinned snapshot.  Unique indexes treat the dead entries as
+    transparent, so re-inserting the key succeeds immediately. *)
 
 val restore : t -> int -> row -> unit
 (** Re-materialise a deleted row at its original TID as a new committed
@@ -144,6 +151,14 @@ val gc_slice : t -> horizon:int -> start:int -> budget:int -> int * int option
 
 val chained_versions : t -> int
 (** Number of versions currently held in older chains (GC backlog). *)
+
+val pending_dead_count : t -> int
+(** Deleted rows whose index entries await GC (deferred de-indexing). *)
+
+val flush_pending : t -> unit
+(** Force every deferred de-index through now.  Only for schema rewrites
+    that rebuild the index set (a pending row with the old layout must
+    not be de-indexed against new-layout indexes later). *)
 
 val tid_count : t -> int
 (** Number of slots ever allocated (live + tombstones) — the bitmap

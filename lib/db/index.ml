@@ -338,6 +338,29 @@ let insert t key tid = insert_gen ~copy:true t key tid
 
 let insert_owned t key tid = insert_gen ~copy:false t key tid
 
+(* Deferred-de-index variant: a colliding unique key is a violation only
+   when one of the entry's current TIDs is still [live]; dead TIDs (rows
+   deleted but kept probe-able until GC) just gain a sibling. *)
+let insert_live t ~live key tid =
+  match t.store with
+  | S_hash tbl ->
+      let e = Htab.find_or_add tbl key tid ~copy:false in
+      if e < 0 then t.count <- t.count + 1
+      else begin
+        if t.unique && List.exists live (Htab.get_tids tbl e) then dup_error t key;
+        Htab.push_tid tbl e tid;
+        t.count <- t.count + 1
+      end
+  | S_ordered map -> (
+      match Omap.find_opt key !map with
+      | None ->
+          map := Omap.add key [ tid ] !map;
+          t.count <- t.count + 1
+      | Some tids ->
+          if t.unique && List.exists live tids then dup_error t key;
+          map := Omap.add key (tid :: tids) !map;
+          t.count <- t.count + 1)
+
 (* Drop every occurrence of [tid], counting removals in the same pass
    (TIDs are ints: compare with [Int.equal], never polymorphically). *)
 let remove_tid tids tid =
@@ -465,14 +488,26 @@ let has_prefix key prefix =
   in
   loop 0
 
-let min_with_prefix t prefix =
-  let map = ordered_exn t "min_with_prefix" in
-  (* The prefix itself sorts before all of its extensions. *)
-  match Omap.find_first_opt (fun k -> Key.compare k prefix >= 0) !map with
-  | Some (k, tids) when has_prefix k prefix -> Some (k, tids)
-  | Some _ | None -> None
+let entry_kept keep tids =
+  match keep with None -> true | Some f -> List.exists f tids
 
-let max_with_prefix t prefix =
+let min_with_prefix ?keep t prefix =
+  let map = ordered_exn t "min_with_prefix" in
+  (* The prefix itself sorts before all of its extensions; keys whose
+     every TID fails [keep] are transparent (dead entries pending GC). *)
+  let best = ref None in
+  (try
+     Omap.to_seq_from prefix !map
+     |> Seq.iter (fun (k, tids) ->
+            if not (has_prefix k prefix) then raise Exit
+            else if entry_kept keep tids then begin
+              best := Some (k, tids);
+              raise Exit
+            end)
+   with Exit -> ());
+  !best
+
+let max_with_prefix ?keep t prefix =
   let map = ordered_exn t "max_with_prefix" in
   (* Walk the range ascending; maps have no reverse cursor from a bound,
      and prefix groups are small in practice. *)
@@ -480,7 +515,8 @@ let max_with_prefix t prefix =
   (try
      Omap.to_seq_from prefix !map
      |> Seq.iter (fun (k, tids) ->
-            if has_prefix k prefix then best := Some (k, tids) else raise Exit)
+            if not (has_prefix k prefix) then raise Exit
+            else if entry_kept keep tids then best := Some (k, tids))
    with Exit -> ());
   !best
 

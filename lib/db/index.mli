@@ -51,6 +51,14 @@ val insert_owned : t -> Value.t array -> int -> unit
     caller must never mutate it afterwards — use only with freshly
     allocated keys (e.g. {!key_of_row} output). *)
 
+val insert_live : t -> live:(int -> bool) -> Value.t array -> int -> unit
+(** Liveness-aware {!insert_owned} for heaps that defer de-indexing:
+    on a unique-index collision, the duplicate-key violation is raised
+    only when one of the entry's existing TIDs satisfies [live];
+    otherwise the new TID is chained alongside the dead ones (their
+    entries survive until version-chain GC so pinned snapshots can
+    still probe deleted rows, DESIGN.md §4.2f). *)
+
 val remove : t -> Value.t array -> int -> unit
 
 val find : t -> Value.t array -> int list
@@ -78,10 +86,15 @@ val clear : t -> unit
 
     These raise [Invalid_argument] on a hash index. *)
 
-val min_with_prefix : t -> Value.t array -> (Value.t array * int list) option
-(** Smallest full key whose first components equal the prefix. *)
+val min_with_prefix :
+  ?keep:(int -> bool) -> t -> Value.t array -> (Value.t array * int list) option
+(** Smallest full key whose first components equal the prefix.  With
+    [keep], keys none of whose TIDs satisfy it are skipped — callers
+    pass a visibility check so index entries awaiting GC (deferred
+    de-indexing) cannot surface a deleted key. *)
 
-val max_with_prefix : t -> Value.t array -> (Value.t array * int list) option
+val max_with_prefix :
+  ?keep:(int -> bool) -> t -> Value.t array -> (Value.t array * int list) option
 
 val fold_prefix_range :
   t ->

@@ -1,0 +1,26 @@
+(** Migration-debt circuit breaker with hysteresis.
+
+    Opens when the engine's unmigrated-granule backlog (the [debt]
+    gauge, summed across shards) exceeds [open_above]; while open the
+    server sheds non-essential statements.  Closes only when debt falls
+    to [close_below] (≤ [open_above]), so a gauge hovering at the
+    threshold cannot flap the breaker. *)
+
+type t
+
+val create :
+  ?refresh_every:float -> open_above:int -> close_below:int -> (unit -> int) -> t
+(** [refresh_every] (default 10 ms) bounds how often the gauge is
+    sampled — tracker scans are not free.
+    @raise Invalid_argument when [close_below > open_above]. *)
+
+val is_open : t -> bool
+(** Samples the gauge (subject to [refresh_every]) and returns the
+    post-hysteresis state.  Thread-safe. *)
+
+val debt : t -> int
+(** Last sampled debt. *)
+
+val opens : t -> int
+
+val closes : t -> int

@@ -1,0 +1,32 @@
+(** Blocking wire client: one request in flight per connection, matching
+    the server's serial per-session contract.  Used by the CLI load
+    generator, the benchmark, and the tests. *)
+
+open Bullfrog_db
+
+type t
+
+exception Closed
+(** The server closed the stream mid-request. *)
+
+val connect : ?host:string -> port:int -> unit -> t
+
+val request : t -> Protocol.request -> Protocol.response
+(** Send one request and block for its response. @raise Closed. *)
+
+val exec : t -> string -> Protocol.response
+
+val query : t -> string -> Value.t array list
+(** Rows of a SELECT. @raise Bullfrog_db.Db_error.Sql_error on any
+    error response (including RETRY/SHED). *)
+
+val prepare : t -> string -> string -> Protocol.response
+
+val exec_prepared : t -> string -> Value.t array -> Protocol.response
+
+val pin : t -> Protocol.response
+
+val unpin : t -> Protocol.response
+
+val close : t -> unit
+(** Sends [QUIT] (best effort) and closes the socket. *)

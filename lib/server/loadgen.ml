@@ -1,0 +1,106 @@
+(* Open-loop load generator.
+
+   A single global schedule (request i fires at t0 + i/rate) is dealt
+   round-robin across [connections] blocking clients.  Latency is
+   measured from the request's {e scheduled} send time, not the moment
+   the socket write happened — a connection that falls behind charges
+   its queueing delay to the requests that suffered it, which is the
+   standard guard against coordinated omission in open-loop harnesses. *)
+
+type outcome = O_ok | O_retry | O_shed | O_error
+
+type sample = {
+  ls_seq : int;
+  ls_sched : float;  (* scheduled send time, seconds from run start *)
+  ls_latency : float;  (* completion - scheduled, seconds *)
+  ls_outcome : outcome;
+}
+
+type result = {
+  lr_samples : sample array;  (* in schedule order *)
+  lr_elapsed : float;
+}
+
+let outcome_of_response = function
+  | Protocol.Ok_affected _ | Protocol.Ok_rows _ | Protocol.Ok_text _ -> O_ok
+  | Protocol.Error (Protocol.Err_retry, _) -> O_retry
+  | Protocol.Error (Protocol.Err_shed, _) -> O_shed
+  | Protocol.Error ((Protocol.Err_sql | Protocol.Err_bad), _) | Protocol.Bye ->
+      O_error
+
+let run ?(host = "127.0.0.1") ~port ~connections ~rate ~duration gen =
+  if connections < 1 then invalid_arg "Loadgen.run: connections must be >= 1";
+  if rate <= 0.0 then invalid_arg "Loadgen.run: rate must be positive";
+  let n = max 1 (int_of_float (rate *. duration)) in
+  let dummy = { ls_seq = -1; ls_sched = 0.0; ls_latency = 0.0; ls_outcome = O_error } in
+  let samples = Array.make n dummy in
+  (* small lead-in so every sender is connected before the schedule opens *)
+  let t0 = Unix.gettimeofday () +. 0.02 in
+  let sender c () =
+    let cl = Client.connect ~host ~port () in
+    let i = ref c in
+    while !i < n do
+      let seq = !i in
+      let sched = t0 +. (float_of_int seq /. rate) in
+      let now = Unix.gettimeofday () in
+      if now < sched then Thread.delay (sched -. now);
+      let outcome =
+        match Client.request cl (gen seq) with
+        | resp -> outcome_of_response resp
+        | exception (Client.Closed | Sys_error _ | Unix.Unix_error _) -> O_error
+      in
+      samples.(seq) <-
+        {
+          ls_seq = seq;
+          ls_sched = sched -. t0;
+          ls_latency = Unix.gettimeofday () -. sched;
+          ls_outcome = outcome;
+        };
+      i := seq + connections
+    done;
+    Client.close cl
+  in
+  let threads = List.init connections (fun c -> Thread.create (sender c) ()) in
+  List.iter Thread.join threads;
+  { lr_samples = samples; lr_elapsed = Unix.gettimeofday () -. t0 }
+
+let latencies ?(outcome = O_ok) r =
+  Array.to_list r.lr_samples
+  |> List.filter_map (fun s ->
+         if s.ls_outcome = outcome then Some s.ls_latency else None)
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      let idx =
+        min (n - 1) (max 0 (int_of_float (Float.round (p *. float_of_int (n - 1)))))
+      in
+      List.nth sorted idx
+
+(* Per-bucket outcome counts over the schedule timeline: the shed-rate
+   trace the benchmark plots (shed must return to zero once migration
+   debt drains). *)
+let trace ~bucket r =
+  if bucket <= 0.0 then invalid_arg "Loadgen.trace: bucket must be positive";
+  let nb =
+    1 + int_of_float (r.lr_samples.(Array.length r.lr_samples - 1).ls_sched /. bucket)
+  in
+  let ok = Array.make nb 0
+  and shed = Array.make nb 0
+  and retry = Array.make nb 0
+  and err = Array.make nb 0 in
+  Array.iter
+    (fun s ->
+      if s.ls_seq >= 0 then begin
+        let b = min (nb - 1) (int_of_float (s.ls_sched /. bucket)) in
+        match s.ls_outcome with
+        | O_ok -> ok.(b) <- ok.(b) + 1
+        | O_shed -> shed.(b) <- shed.(b) + 1
+        | O_retry -> retry.(b) <- retry.(b) + 1
+        | O_error -> err.(b) <- err.(b) + 1
+      end)
+    r.lr_samples;
+  List.init nb (fun b ->
+      (float_of_int b *. bucket, ok.(b), shed.(b), retry.(b), err.(b)))

@@ -1,0 +1,43 @@
+(** Open-loop load generator over the wire protocol.
+
+    A global schedule (request [i] fires at [t0 + i/rate]) is dealt
+    round-robin across [connections] blocking clients; latency is
+    measured from the {e scheduled} send time, so a lagging connection
+    charges its queueing delay to the requests that suffered it (no
+    coordinated omission). *)
+
+type outcome = O_ok | O_retry | O_shed | O_error
+
+type sample = {
+  ls_seq : int;
+  ls_sched : float;  (** scheduled send time, seconds from run start *)
+  ls_latency : float;  (** completion − scheduled, seconds *)
+  ls_outcome : outcome;
+}
+
+type result = {
+  lr_samples : sample array;
+  lr_elapsed : float;
+}
+
+val run :
+  ?host:string ->
+  port:int ->
+  connections:int ->
+  rate:float ->
+  duration:float ->
+  (int -> Protocol.request) ->
+  result
+(** [run ~port ~connections ~rate ~duration gen] issues
+    [rate *. duration] requests, the [i]-th being [gen i]. *)
+
+val latencies : ?outcome:outcome -> result -> float list
+(** Latencies of samples with the given outcome (default [O_ok]). *)
+
+val percentile : float -> float list -> float
+(** [percentile 0.99 xs]; 0 on empty input. *)
+
+val trace :
+  bucket:float -> result -> (float * int * int * int * int) list
+(** Outcome counts per [bucket]-second window:
+    [(t, ok, shed, retry, error)] — the shed-rate timeline. *)

@@ -1,0 +1,434 @@
+open Bullfrog_db
+
+(* Long-running wire server: an accept thread hands each connection to a
+   dedicated reader thread; readers do admission control (token bucket,
+   breaker, bounded queue) and block on the reply, so a session's
+   requests execute and answer strictly in order; a fixed pool of worker
+   threads drains the queue against the frontend. *)
+
+let c_conns = Obs.Counters.make "server.conns_opened"
+let c_conns_closed = Obs.Counters.make "server.conns_closed"
+let c_requests = Obs.Counters.make "server.requests"
+let c_ok = Obs.Counters.make "server.ok"
+let c_sql_errors = Obs.Counters.make "server.sql_errors"
+let c_bad = Obs.Counters.make "server.bad_requests"
+let c_rate_limited = Obs.Counters.make "server.rate_limited"
+let c_queue_rejects = Obs.Counters.make "server.queue_rejects"
+let c_shed = Obs.Counters.make "server.shed"
+let c_drain_rejects = Obs.Counters.make "server.drain_rejects"
+
+type config = {
+  host : string;
+  port : int;  (** 0 = ephemeral; read the bound port back with {!port} *)
+  workers : int;
+  queue_cap : int;
+  rate : float;
+  burst : float;
+  open_above : int;
+  close_below : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = 4;
+    queue_cap = 64;
+    rate = infinity;
+    burst = 32.0;
+    open_above = max_int;
+    close_below = max_int;
+  }
+
+type session = {
+  s_id : int;
+  s_prepared : (string, string) Hashtbl.t;  (* name -> validated SQL *)
+  mutable s_pinned : int option;
+}
+
+(* One-shot completion slot: the reader parks on it while a worker runs
+   the job, keeping the connection's request/response stream serial. *)
+type job = {
+  j_session : session;
+  j_request : Protocol.request;
+  j_mutex : Mutex.t;
+  j_cond : Condition.t;
+  mutable j_reply : Protocol.response option;
+}
+
+type t = {
+  cfg : config;
+  frontend : Frontend.t;
+  breaker : Breaker.t;
+  listen_sock : Unix.file_descr;
+  bound_port : int;
+  queue : job Queue.t;
+  q_mutex : Mutex.t;
+  q_nonempty : Condition.t;
+  q_drained : Condition.t;
+  mutable busy_workers : int;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+  mutable workers : Thread.t list;
+  mutable readers : Thread.t list;
+  r_mutex : Mutex.t;  (* guards readers + conns *)
+  mutable conns : Unix.file_descr list;
+  mutable next_session : int;
+}
+
+let port t = t.bound_port
+
+(* -- statement classification --------------------------------------- *)
+
+(* Essential = anything that writes or changes schema; reads are the
+   load the breaker sheds while the engine digs out of migration debt.
+   (Predicate-driven migration work rides on writes too, so admitted
+   traffic still advances the backfill.) *)
+let non_essential_sql sql =
+  let n = String.length sql in
+  let rec skip i = if i < n && (sql.[i] = ' ' || sql.[i] = '\t' || sql.[i] = '\n' || sql.[i] = '\r' || sql.[i] = '(') then skip (i + 1) else i in
+  let i = skip 0 in
+  let word =
+    let rec stop j =
+      if j < n && (('a' <= sql.[j] && sql.[j] <= 'z') || ('A' <= sql.[j] && sql.[j] <= 'Z')) then stop (j + 1) else j
+    in
+    String.uppercase_ascii (String.sub sql i (stop i - i))
+  in
+  word = "SELECT" || word = "EXPLAIN"
+
+let non_essential session = function
+  | Protocol.Exec sql -> non_essential_sql sql
+  | Protocol.Exec_prepared (name, _) -> (
+      match Hashtbl.find_opt session.s_prepared name with
+      | Some sql -> non_essential_sql sql
+      | None -> false)
+  | Protocol.Prepare _ | Protocol.Pin | Protocol.Unpin | Protocol.Quit -> false
+
+(* -- worker side ---------------------------------------------------- *)
+
+let result_to_response = function
+  | Executor.Affected n -> Protocol.Ok_affected n
+  | Executor.Rows (header, rows) -> Protocol.Ok_rows (header, rows)
+  | Executor.Done s | Executor.Explained s -> Protocol.Ok_text s
+
+let run_request t session req =
+  try
+    match req with
+    | Protocol.Exec sql ->
+        Obs.Trace.with_span ~cat:"server" "stmt" @@ fun () ->
+        result_to_response (t.frontend.Frontend.f_exec sql)
+    | Protocol.Exec_prepared (name, params) -> (
+        match Hashtbl.find_opt session.s_prepared name with
+        | None ->
+            Protocol.Error
+              (Protocol.Err_bad, Printf.sprintf "no prepared statement %S" name)
+        | Some sql ->
+            Obs.Trace.with_span ~cat:"server" "stmt" @@ fun () ->
+            result_to_response (t.frontend.Frontend.f_exec ~params sql))
+    | Protocol.Prepare (name, sql) ->
+        (* parse now so the session learns about bad SQL at prepare time *)
+        ignore (Bullfrog_sql.Parser.parse_one sql : Bullfrog_sql.Ast.stmt);
+        Hashtbl.replace session.s_prepared name sql;
+        Protocol.Ok_text "PREPARED"
+    | Protocol.Pin | Protocol.Unpin | Protocol.Quit ->
+        (* handled on the reader thread; never enqueued *)
+        Protocol.Error (Protocol.Err_bad, "unroutable request")
+  with
+  | Db_error.Sql_error msg ->
+      Obs.Counters.bump c_sql_errors;
+      Protocol.Error (Protocol.Err_sql, msg)
+  | Bullfrog_sql.Parser.Parse_error msg ->
+      Obs.Counters.bump c_sql_errors;
+      Protocol.Error (Protocol.Err_sql, msg)
+  | Bullfrog_sql.Lexer.Lex_error (msg, off) ->
+      Obs.Counters.bump c_sql_errors;
+      Protocol.Error (Protocol.Err_sql, Printf.sprintf "%s (at byte %d)" msg off)
+  | e ->
+      Obs.Counters.bump c_bad;
+      Protocol.Error (Protocol.Err_bad, Printexc.to_string e)
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.q_mutex;
+    let rec wait () =
+      if Queue.is_empty t.queue then
+        if t.stopping then begin
+          Mutex.unlock t.q_mutex;
+          None
+        end
+        else begin
+          Condition.wait t.q_nonempty t.q_mutex;
+          wait ()
+        end
+      else begin
+        let job = Queue.pop t.queue in
+        t.busy_workers <- t.busy_workers + 1;
+        Mutex.unlock t.q_mutex;
+        Some job
+      end
+    in
+    match wait () with
+    | None -> ()
+    | Some job ->
+        let reply = run_request t job.j_session job.j_request in
+        Mutex.lock job.j_mutex;
+        job.j_reply <- Some reply;
+        Condition.signal job.j_cond;
+        Mutex.unlock job.j_mutex;
+        Mutex.lock t.q_mutex;
+        t.busy_workers <- t.busy_workers - 1;
+        if Queue.is_empty t.queue && t.busy_workers = 0 then
+          Condition.broadcast t.q_drained;
+        Mutex.unlock t.q_mutex;
+        next ()
+  in
+  next ()
+
+(* -- reader side ---------------------------------------------------- *)
+
+(* Enqueue under the cap and park until the worker replies; [None] means
+   the queue was full (or the server is draining) and nothing ran. *)
+let submit t session req =
+  Mutex.lock t.q_mutex;
+  if t.stopping then begin
+    Mutex.unlock t.q_mutex;
+    Obs.Counters.bump c_drain_rejects;
+    Some (Protocol.Error (Protocol.Err_retry, "server shutting down"))
+  end
+  else if Queue.length t.queue >= t.cfg.queue_cap then begin
+    Mutex.unlock t.q_mutex;
+    Obs.Counters.bump c_queue_rejects;
+    Some (Protocol.Error (Protocol.Err_retry, "admission queue full"))
+  end
+  else begin
+    let job =
+      {
+        j_session = session;
+        j_request = req;
+        j_mutex = Mutex.create ();
+        j_cond = Condition.create ();
+        j_reply = None;
+      }
+    in
+    Queue.push job t.queue;
+    Condition.signal t.q_nonempty;
+    Mutex.unlock t.q_mutex;
+    Mutex.lock job.j_mutex;
+    while job.j_reply = None do
+      Condition.wait job.j_cond job.j_mutex
+    done;
+    Mutex.unlock job.j_mutex;
+    job.j_reply
+  end
+
+let handle_request t session bucket req =
+  Obs.Counters.bump c_requests;
+  match req with
+  | Protocol.Quit -> Some Protocol.Bye
+  | Protocol.Pin -> (
+      match session.s_pinned with
+      | Some _ -> Some (Protocol.Error (Protocol.Err_bad, "already pinned"))
+      | None ->
+          let ts = Mvcc.now () in
+          Mvcc.pin ts;
+          session.s_pinned <- Some ts;
+          Some (Protocol.Ok_text (Printf.sprintf "PINNED %d" ts)))
+  | Protocol.Unpin -> (
+      match session.s_pinned with
+      | None -> Some (Protocol.Error (Protocol.Err_bad, "not pinned"))
+      | Some ts ->
+          Mvcc.unpin ts;
+          session.s_pinned <- None;
+          Some (Protocol.Ok_text "UNPINNED"))
+  | req ->
+      if not (Token_bucket.take bucket) then begin
+        Obs.Counters.bump c_rate_limited;
+        Some (Protocol.Error (Protocol.Err_retry, "rate limited"))
+      end
+      else if Breaker.is_open t.breaker && non_essential session req then begin
+        Obs.Counters.bump c_shed;
+        Some
+          (Protocol.Error
+             ( Protocol.Err_shed,
+               "breaker open: non-essential statements shed during migration \
+                backlog" ))
+      end
+      else submit t session req
+
+let reader_loop t sock =
+  let session =
+    Mutex.lock t.r_mutex;
+    let id = t.next_session in
+    t.next_session <- id + 1;
+    Mutex.unlock t.r_mutex;
+    { s_id = id; s_prepared = Hashtbl.create 8; s_pinned = None }
+  in
+  Logs.debug (fun m -> m "server: session %d opened" session.s_id);
+  let bucket = Token_bucket.create ~rate:t.cfg.rate ~burst:t.cfg.burst in
+  let inc = Unix.in_channel_of_descr sock in
+  let out = Unix.out_channel_of_descr sock in
+  let closed = ref false in
+  (try
+     while not !closed do
+       match (try Some (input_line inc) with End_of_file -> None) with
+       | None -> closed := true
+       | Some line ->
+           let reply =
+             match Protocol.parse_request line with
+             | req -> handle_request t session bucket req
+             | exception Protocol.Bad_request msg ->
+                 Obs.Counters.bump c_bad;
+                 Some (Protocol.Error (Protocol.Err_bad, msg))
+           in
+           (match reply with
+           | Some resp ->
+               Protocol.write_response out resp;
+               (match resp with
+               | Protocol.Ok_affected _ | Protocol.Ok_rows _ | Protocol.Ok_text _
+                 ->
+                   Obs.Counters.bump c_ok
+               | _ -> ());
+               if resp = Protocol.Bye then closed := true
+           | None -> closed := true)
+     done
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  (match session.s_pinned with
+  | Some ts ->
+      Mvcc.unpin ts;
+      session.s_pinned <- None
+  | None -> ());
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  Mutex.lock t.r_mutex;
+  t.conns <- List.filter (fun fd -> fd != sock) t.conns;
+  Mutex.unlock t.r_mutex;
+  Obs.Counters.bump c_conns_closed
+
+let accept_loop t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_sock with
+    | sock, _ ->
+        if t.stopping then begin
+          (* the wake-up connection [stop] makes, or a raced client *)
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          continue := false
+        end
+        else begin
+          Obs.Counters.bump c_conns;
+          Mutex.lock t.r_mutex;
+          t.conns <- sock :: t.conns;
+          t.readers <-
+            Thread.create (fun () -> reader_loop t sock) () :: t.readers;
+          Mutex.unlock t.r_mutex
+        end
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+(* -- lifecycle ------------------------------------------------------ *)
+
+let start ?(config = default_config) ?(debt = fun () -> 0) frontend =
+  (* a client vanishing mid-response must surface as EPIPE, not SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_sock Unix.SO_REUSEADDR true;
+  Unix.bind listen_sock
+    (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+  Unix.listen listen_sock 64;
+  let bound_port =
+    match Unix.getsockname listen_sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let t =
+    {
+      cfg = config;
+      frontend;
+      breaker =
+        Breaker.create ~open_above:config.open_above
+          ~close_below:config.close_below debt;
+      listen_sock;
+      bound_port;
+      queue = Queue.create ();
+      q_mutex = Mutex.create ();
+      q_nonempty = Condition.create ();
+      q_drained = Condition.create ();
+      busy_workers = 0;
+      stopping = false;
+      accept_thread = None;
+      workers = [];
+      readers = [];
+      r_mutex = Mutex.create ();
+      conns = [];
+      next_session = 0;
+    }
+  in
+  t.workers <-
+    List.init (max 1 config.workers) (fun _ -> Thread.create worker_loop t);
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  Obs.register_stats "server"
+    (fun () ->
+      [
+        {
+          Obs.st_source = "server";
+          st_name = "admission";
+          st_fields =
+            [
+              ("queue_depth", float_of_int (Queue.length t.queue));
+              ("busy_workers", float_of_int t.busy_workers);
+              ("breaker_open", if Breaker.is_open t.breaker then 1.0 else 0.0);
+              ("migration_debt", float_of_int (Breaker.debt t.breaker));
+            ];
+        };
+      ]);
+  Logs.info (fun m ->
+      m "server: listening on %s:%d (%d workers, queue %d)" config.host
+        bound_port config.workers config.queue_cap);
+  t
+
+let breaker t = t.breaker
+
+(* Drain, then stop: new submissions are refused as retryable the moment
+   [stop] is called, every request already admitted completes and its
+   response is delivered, and only then are sockets closed and threads
+   joined. *)
+let stop t =
+  Mutex.lock t.q_mutex;
+  if t.stopping then Mutex.unlock t.q_mutex
+  else begin
+    t.stopping <- true;
+    while not (Queue.is_empty t.queue && t.busy_workers = 0) do
+      Condition.wait t.q_drained t.q_mutex
+    done;
+    Condition.broadcast t.q_nonempty;
+    Mutex.unlock t.q_mutex;
+    (* Closing the listening fd does not wake a thread blocked in
+       accept(2) on Linux; pop it with a throwaway self-connection, which
+       the accept loop recognises via [stopping] and discards. *)
+    (try
+       let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Fun.protect
+         ~finally:(fun () ->
+           try Unix.close s with Unix.Unix_error _ -> ())
+         (fun () ->
+           Unix.connect s
+             (Unix.ADDR_INET
+                (Unix.inet_addr_of_string t.cfg.host, t.bound_port)))
+     with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_sock with Unix.Unix_error _ -> ());
+    t.accept_thread <- None;
+    List.iter Thread.join t.workers;
+    t.workers <- [];
+    (* waking blocked readers: closing the socket makes input_line fail *)
+    Mutex.lock t.r_mutex;
+    let conns = t.conns and readers = t.readers in
+    t.readers <- [];
+    Mutex.unlock t.r_mutex;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter Thread.join readers;
+    Obs.unregister_stats "server";
+    Logs.info (fun m -> m "server: stopped (port %d)" t.bound_port)
+  end

@@ -1,0 +1,53 @@
+(** The wire server (DESIGN.md §4.2h): a TCP listener fronting a
+    {!Bullfrog_db.Frontend.t} (single node or cluster).
+
+    One accept thread hands each connection to a dedicated reader
+    thread; readers do admission control and block on the reply, so a
+    session's requests execute strictly in order.  A fixed pool of
+    [workers] threads drains a bounded admission queue against the
+    frontend.  Per-connection session state — prepared statements and
+    the optional snapshot pin — lives on the reader thread and dies with
+    the connection.
+
+    Backpressure, in the order a request meets it:
+    - token bucket per connection ([rate]/[burst]) → [ERR RETRY];
+    - circuit breaker on migration debt (the [debt] gauge summed across
+      shards, hysteresis between [open_above]/[close_below]) sheds
+      non-essential statements (SELECT / EXPLAIN) → [ERR SHED];
+    - bounded admission queue ([queue_cap]) → [ERR RETRY].
+
+    Both RETRY and SHED mean the statement did {e not} execute. *)
+
+open Bullfrog_db
+
+type config = {
+  host : string;
+  port : int;  (** 0 = ephemeral; read the bound port back with {!port} *)
+  workers : int;
+  queue_cap : int;
+  rate : float;  (** tokens/second per connection; [infinity] = off *)
+  burst : float;
+  open_above : int;  (** breaker opens when debt exceeds this *)
+  close_below : int;  (** … and closes only once debt falls to this *)
+}
+
+val default_config : config
+(** Loopback, ephemeral port, 4 workers, queue 64, no rate limit,
+    breaker disabled ([max_int] thresholds). *)
+
+type t
+
+val start : ?config:config -> ?debt:(unit -> int) -> Frontend.t -> t
+(** Bind, spawn the pool and the accept thread, and register the
+    ["server"] Obs stats provider (queue depth, busy workers, breaker
+    state, debt).  [debt] is the migration-debt gauge the breaker
+    samples (default: constantly 0). *)
+
+val port : t -> int
+
+val breaker : t -> Breaker.t
+
+val stop : t -> unit
+(** Clean shutdown: refuse new submissions (retryable), drain every
+    admitted request and deliver its response, then close sockets and
+    join all threads.  Idempotent. *)

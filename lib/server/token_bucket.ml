@@ -1,0 +1,26 @@
+(* Classic token bucket: capacity [burst], refilled at [rate] tokens per
+   second, lazily on each take.  One bucket per connection; no lock —
+   each bucket is only touched by its connection's reader thread. *)
+
+type t = {
+  rate : float;  (* tokens per second; infinity = unlimited *)
+  burst : float;
+  mutable tokens : float;
+  mutable last : float;
+}
+
+let create ~rate ~burst =
+  { rate; burst; tokens = burst; last = Unix.gettimeofday () }
+
+let take t =
+  if t.rate = infinity then true
+  else begin
+    let now = Unix.gettimeofday () in
+    t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.last) *. t.rate));
+    t.last <- now;
+    if t.tokens >= 1.0 then begin
+      t.tokens <- t.tokens -. 1.0;
+      true
+    end
+    else false
+  end

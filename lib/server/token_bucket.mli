@@ -1,0 +1,12 @@
+(** Per-connection token-bucket rate limiter: capacity [burst], refilled
+    at [rate] tokens/second.  Not thread-safe — each bucket belongs to
+    one connection's reader thread. *)
+
+type t
+
+val create : rate:float -> burst:float -> t
+(** [rate = infinity] disables limiting. *)
+
+val take : t -> bool
+(** Consume one token; [false] = over the limit right now (the caller
+    answers with a retryable error, it does not block). *)

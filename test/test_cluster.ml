@@ -230,14 +230,18 @@ let sweep_cells () =
       if not cl.Fault_sweep.c_ok then
         Alcotest.failf "cell not ok: %s" (Fault_sweep.pp_cell cl))
     cells;
-  check Alcotest.int "every 2PC crash point reached" 3
+  (* 3 armed points per scenario: cluster2pc and cluster_mig *)
+  check Alcotest.int "every 2PC crash point reached" 6
     (Fault_sweep.fired_count cells);
   Cluster_sweep.register ();
   Cluster_sweep.register ();
-  check Alcotest.bool "scenario registered once" true
-    (List.exists
-       (fun s -> s.Fault_sweep.sc_name = "cluster2pc")
-       (Fault_sweep.all_scenarios ()))
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " registered once") true
+        (List.exists
+           (fun s -> s.Fault_sweep.sc_name = name)
+           (Fault_sweep.all_scenarios ())))
+    [ "cluster2pc"; "cluster_mig" ]
 
 (* ------------------------------------------------------------------ *)
 (* Migration that changes the partition key: rows move between shards  *)
@@ -338,6 +342,80 @@ let migration_row_movement () =
     (counter_delta b0 b1 "shard.selects_single")
 
 (* ------------------------------------------------------------------ *)
+(* Aggregate (n:1) migrations: group key must cover the partition key  *)
+(* ------------------------------------------------------------------ *)
+
+let agg_spec select =
+  Migration.make ~name:"rollup"
+    [ Migration.statement_of_sql ("CREATE TABLE rollup AS (" ^ select ^ ")") ]
+
+let aggregate_partition_guard () =
+  let shards = 4 in
+  let setup ~by_grp =
+    let c = Cluster.create ~shards () in
+    ignore (Cluster.exec c "CREATE TABLE src (id INT PRIMARY KEY, grp INT, x INT)"
+             : Executor.result);
+    (* partitioning is chosen before any data lands, so the rows are
+       actually placed by the registered key *)
+    if by_grp then Cluster.set_partition c "src" (Partition.hash ~column:"grp" ~shards);
+    List.iter
+      (fun i ->
+        ignore
+          (Cluster.exec c
+             (Printf.sprintf "INSERT INTO src VALUES (%d, %d, %d)" i (i mod 3) i)
+            : Executor.result))
+      (List.init 12 Fun.id);
+    c
+  in
+  (* src is hash-partitioned by its PK (id); grouping by grp straddles
+     shards, so each shard would emit a silent partial SUM — reject. *)
+  let c = setup ~by_grp:false in
+  (try
+     Cluster.start_migration c
+       (agg_spec "SELECT grp, SUM(x) AS total FROM src GROUP BY grp");
+     Alcotest.fail "group key != partition key must be rejected"
+   with Db_error.Sql_error msg ->
+     let contains hay needle =
+       let nh = String.length hay and nn = String.length needle in
+       let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+       go 0
+     in
+     check Alcotest.bool "error names the partition column" true
+       (contains msg "partitioned by id"));
+  check Alcotest.bool "rejected switch leaves no active migration" true
+    (Cluster.active_migration c = None);
+  (* the same engine still accepts a sound spec afterwards *)
+  let c = setup ~by_grp:true in
+  Cluster.start_migration c
+    (agg_spec "SELECT grp, SUM(x) AS total FROM src GROUP BY grp");
+  check Alcotest.bool "group-by-partition-column accepted" true
+    (Cluster.active_migration c <> None);
+  (* groups live wholly on one shard: totals are exact vs a single node *)
+  let odb = Database.create () in
+  ignore (Database.exec odb "CREATE TABLE src (id INT PRIMARY KEY, grp INT, x INT)"
+           : Executor.result);
+  List.iter
+    (fun i ->
+      ignore
+        (Database.exec odb
+           (Printf.sprintf "INSERT INTO src VALUES (%d, %d, %d)" i (i mod 3) i)
+          : Executor.result))
+    (List.init 12 Fun.id);
+  ignore
+    (Database.exec odb
+       "CREATE TABLE rollup AS (SELECT grp, SUM(x) AS total FROM src GROUP BY grp)"
+      : Executor.result);
+  let fuel = ref 100 in
+  while (not (Cluster.migration_complete c)) && !fuel > 0 do
+    decr fuel;
+    ignore (Cluster.background_step c ~batch:8 : int)
+  done;
+  Cluster.finalize c;
+  check (Alcotest.list Alcotest.string) "per-shard aggregates exact"
+    (sorted_rows_db odb "SELECT grp, total FROM rollup")
+    (sorted_rows_c c "SELECT grp, total FROM rollup")
+
+(* ------------------------------------------------------------------ *)
 (* Recovery: replay every shard log + coordinator decisions            *)
 (* ------------------------------------------------------------------ *)
 
@@ -355,6 +433,63 @@ let recover_preserves_rows () =
            : Executor.result);
   check Alcotest.int "recovered cluster accepts 2PC writes" 2
     (List.length (Cluster.query c' "SELECT id FROM t WHERE v = 'post'"))
+
+(* A restart in the middle of an active migration resumes it: the spec
+   comes back from the coordinator log, already-migrated rows survive
+   via redo replay, and granules migrated before the crash are not
+   re-migrated (the trackers refill from the logged marks). *)
+let recover_mid_migration () =
+  let shards = 4 in
+  let c = Cluster.create ~shards () in
+  mig_setup (fun sql -> ignore (Cluster.exec c sql : Executor.result));
+  let odb = Database.create () in
+  mig_setup (fun sql -> ignore (Database.exec odb sql : Executor.result));
+  let obf = Lazy_db.create odb in
+  ignore (Lazy_db.start_migration obf (regroup_spec ()) : Migrate_exec.t);
+  let part = Partition.hash ~column:"grp" ~shards in
+  Cluster.start_migration ~partitions:[ ("dst", part) ] c (regroup_spec ());
+  (* lazily migrate one slice, then crash-restart *)
+  ignore (Cluster.exec c "SELECT v FROM dst WHERE grp = 3" : Executor.result);
+  ignore (Lazy_db.exec obf "SELECT v FROM dst WHERE grp = 3" : Executor.result);
+  let c = Cluster.recover c in
+  check Alcotest.bool "migration still active after restart" true
+    (Cluster.active_migration c <> None);
+  check Alcotest.string "resumed spec survives the round-trip" "regroup"
+    (match Cluster.active_migration c with
+    | Some m -> m.Migration.name
+    | None -> "");
+  (* the pre-crash slice is already there without re-driving *)
+  check Alcotest.int "pre-crash slice survived replay"
+    (List.length (Database.query odb "SELECT v FROM dst WHERE grp = 3"))
+    (List.length (Cluster.query c "SELECT v FROM dst WHERE grp = 3"));
+  (* drive another slice on the recovered cluster, then drain + finalize *)
+  ignore (Cluster.exec c "SELECT v FROM dst WHERE grp = 1" : Executor.result);
+  ignore (Lazy_db.exec obf "SELECT v FROM dst WHERE grp = 1" : Executor.result);
+  let fuel = ref 200 in
+  while (not (Cluster.migration_complete c)) && !fuel > 0 do
+    decr fuel;
+    ignore (Cluster.background_step c ~batch:4 : int)
+  done;
+  check Alcotest.bool "recovered migration completes" true
+    (Cluster.migration_complete c);
+  let rec drain () = if Lazy_db.background_step obf ~batch:8 > 0 then drain () in
+  drain ();
+  Cluster.finalize c;
+  Lazy_db.finalize obf;
+  check (Alcotest.list Alcotest.string) "row-exact vs uncrashed oracle"
+    (sorted_rows_db odb "SELECT id, grp, v FROM dst")
+    (sorted_rows_c c "SELECT id, grp, v FROM dst");
+  (* every row still lands on its new home shard *)
+  for i = 0 to shards - 1 do
+    List.iter
+      (fun row ->
+        match row with
+        | [| Value.Int _; g; _ |] ->
+            check Alcotest.int "row on its grp-hash home shard"
+              (Partition.shard_of_value part g) i
+        | _ -> Alcotest.fail "unexpected row shape")
+      (Database.query (Cluster.shard_db c i) "SELECT id, grp, v FROM dst")
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Frontend: the uniform surface behaves the same on both engines      *)
@@ -469,7 +604,9 @@ let suite =
     QCheck_alcotest.to_alcotest routed_vs_broadcast;
     Alcotest.test_case "2PC crash sweep" `Quick sweep_cells;
     Alcotest.test_case "row-moving migration vs oracle" `Quick migration_row_movement;
+    Alcotest.test_case "aggregate partition guard" `Quick aggregate_partition_guard;
     Alcotest.test_case "cluster recovery" `Quick recover_preserves_rows;
+    Alcotest.test_case "mid-migration recovery resumes" `Quick recover_mid_migration;
     Alcotest.test_case "frontend surface" `Quick frontend_surface;
     Alcotest.test_case "budgeted vacuum equivalence" `Quick vacuum_budget_equivalence;
     Alcotest.test_case "unsupported statements rejected" `Quick unsupported_surface;

@@ -29,4 +29,5 @@ let () =
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
       ("cluster", Test_cluster.suite);
+      ("server", Test_server.suite);
     ]

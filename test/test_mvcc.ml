@@ -175,6 +175,53 @@ let pinned_vs_read_committed () =
   ignore (Database.vacuum db : int);
   check Alcotest.int "backlog drains after release" 0 (Database.version_backlog db)
 
+(* -- deferred de-indexing: pinned reader vs delete race -------------- *)
+
+(* A delete must not eagerly remove its index entries: a pinned snapshot
+   taken before the delete still reaches the old version through an
+   exact-match index probe.  The entry is parked in the heap's
+   pending-dead ledger and only leaves the index when GC proves the row
+   unreachable (trimmed out of its version chain past the horizon). *)
+let deferred_deindex () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)"
+           : Executor.result);
+  ignore (Database.exec db "INSERT INTO kv VALUES (1, 'a'), (2, 'b')"
+           : Executor.result);
+  let heap = Catalog.find_table_exn db.Database.catalog "kv" in
+  let pinned = Database.begin_txn db in
+  Txn.pin_snapshot pinned;
+  check Alcotest.string "pinned probe pre-delete" "a" (read_v db pinned);
+  Database.with_txn db (fun t ->
+      ignore (Database.exec_in db t "DELETE FROM kv WHERE k = 1" : Executor.result));
+  (* index entry survives the delete: the pinned probe still finds 'a' *)
+  check Alcotest.string "pinned index probe after delete" "a" (read_v db pinned);
+  check Alcotest.bool "delete parked in the pending-dead ledger" true
+    (Heap.pending_dead_count heap > 0);
+  (* a fresh snapshot must not see the deleted row through the index *)
+  Database.with_txn db (fun t ->
+      check Alcotest.int "fresh probe finds nothing" 0
+        (List.length
+           (rows_of (Database.exec_in db t "SELECT v FROM kv WHERE k = 1"))));
+  (* the parked entry is transparent to uniqueness: re-inserting the
+     deleted key must succeed while the old entry is still indexed *)
+  ignore (Database.exec db "INSERT INTO kv VALUES (1, 'a2')" : Executor.result);
+  check Alcotest.string "pinned still reads its own version" "a" (read_v db pinned);
+  Database.with_txn db (fun t ->
+      check Alcotest.string "fresh snapshot reads the re-insert" "a2" (read_v db t));
+  (* the pin holds the horizon: vacuum must not purge the parked entry *)
+  ignore (Database.vacuum db : int);
+  check Alcotest.bool "pin blocks the purge" true
+    (Heap.pending_dead_count heap > 0);
+  check Alcotest.string "probe survives vacuum under pin" "a" (read_v db pinned);
+  Database.commit db pinned;
+  ignore (Database.vacuum db : int);
+  check Alcotest.int "ledger drains once unreachable" 0
+    (Heap.pending_dead_count heap);
+  Database.with_txn db (fun t ->
+      check Alcotest.string "post-GC probe sees only the live row" "a2"
+        (read_v db t))
+
 (* -- commit timestamps survive replay ------------------------------- *)
 
 let replay_commit_ts () =
@@ -294,6 +341,7 @@ let suite =
     Alcotest.test_case "gc respects the pin horizon" `Quick gc_horizon_pins;
     Alcotest.test_case "column DDL truncates version history" `Quick rewrite_truncates;
     Alcotest.test_case "pinned snapshot vs read-committed" `Quick pinned_vs_read_committed;
+    Alcotest.test_case "deferred de-indexing vs pinned reader" `Quick deferred_deindex;
     Alcotest.test_case "commit timestamps survive replay" `Quick replay_commit_ts;
     Alcotest.test_case "BFRL1 logs still deserialize" `Quick bfrl1_back_compat;
     Alcotest.test_case "lock waiting gauge and broadcast wakeup" `Quick lock_waiting_gauge;

@@ -1,0 +1,434 @@
+(* Wire-server coverage: protocol round-trips, concurrent sessions
+   overlapping a live migration (row-exact against an in-process
+   oracle), per-session prepared-statement isolation, the queue-full and
+   breaker-open error paths (deterministic via an injected frontend /
+   debt gauge), snapshot pins, and clean shutdown draining. *)
+
+open Bullfrog_db
+open Bullfrog_server
+module Cluster = Bullfrog_cluster.Cluster
+module Migration = Bullfrog_core.Migration
+
+let check = Alcotest.check
+
+let with_server ?config ?debt frontend f =
+  let server = Server.start ?config ?debt frontend in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let with_client server f =
+  let cl = Client.connect ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close cl) (fun () -> f cl)
+
+let row_str row =
+  String.concat "|" (List.map Value.to_string (Array.to_list row))
+
+(* A frontend whose exec is a closure — lets tests stall workers or
+   count applications without any engine underneath. *)
+let fn_frontend exec =
+  {
+    Frontend.f_name = "injected";
+    f_exec = (fun ?params sql -> ignore params; exec sql);
+    f_query = (fun ?params sql -> ignore params; ignore sql; []);
+    f_explain = (fun _ -> "");
+  }
+
+(* -- protocol round-trip through a real socket ----------------------- *)
+
+let protocol_roundtrip () =
+  let db = Database.create () in
+  with_server (Frontend.of_database db) @@ fun server ->
+  with_client server @@ fun cl ->
+  (match Client.exec cl "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)" with
+  | Protocol.Ok_text _ -> ()
+  | _ -> Alcotest.fail "DDL should return TEXT");
+  (match Client.exec cl "INSERT INTO kv VALUES (1, 'tab\there'), (2, 'line\nbreak')" with
+  | Protocol.Ok_affected 2 -> ()
+  | _ -> Alcotest.fail "INSERT should return OK 2");
+  (* framing bytes inside values survive the wire *)
+  check (Alcotest.list Alcotest.string) "escaped values round-trip"
+    [ "1|tab\there"; "2|line\nbreak" ]
+    (List.sort compare
+       (List.map row_str (Client.query cl "SELECT k, v FROM kv")));
+  (match Client.exec cl "SELECT v FROM kv WHERE k = 99" with
+  | Protocol.Ok_rows (_, []) -> ()
+  | _ -> Alcotest.fail "empty result should still be ROWS");
+  (match Client.exec cl "SELEC nonsense" with
+  | Protocol.Error (Protocol.Err_sql, _) -> ()
+  | _ -> Alcotest.fail "sql error should map to ERR SQL");
+  (match Client.request cl Protocol.Quit with
+  | Protocol.Bye -> ()
+  | _ -> Alcotest.fail "QUIT should answer BYE")
+
+(* -- concurrent sessions during a live migration --------------------- *)
+
+let concurrent_sessions_during_migration () =
+  let shards = 4 in
+  let c = Cluster.create ~shards () in
+  ignore (Cluster.exec c "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v TEXT)"
+           : Executor.result);
+  ignore
+    (Cluster.exec c
+       ("INSERT INTO src VALUES "
+       ^ String.concat ", "
+           (List.init 40 (fun i -> Printf.sprintf "(%d, %d, 'r%02d')" i (i mod 5) i)))
+      : Executor.result);
+  (* identical single-node oracle, no server in front *)
+  let odb = Database.create () in
+  ignore (Database.exec odb "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v TEXT)"
+           : Executor.result);
+  ignore
+    (Database.exec odb
+       ("INSERT INTO src VALUES "
+       ^ String.concat ", "
+           (List.init 40 (fun i -> Printf.sprintf "(%d, %d, 'r%02d')" i (i mod 5) i)))
+      : Executor.result);
+  let obf = Bullfrog_core.Lazy_db.create odb in
+  let spec =
+    Migration.make ~name:"regroup"
+      [ Migration.statement_of_sql "CREATE TABLE dst AS (SELECT grp, id, v FROM src)" ]
+  in
+  Cluster.start_migration c spec;
+  ignore (Bullfrog_core.Lazy_db.start_migration obf spec
+           : Bullfrog_core.Migrate_exec.t);
+  with_server
+    ~debt:(fun () -> Cluster.migration_debt c)
+    (Cluster.frontend c)
+  @@ fun server ->
+  (* N sessions, each mixing reads that drive lazy migration with
+     writes through the new schema, all overlapping — every statement
+     must succeed *)
+  let nconns = 6 and per_conn = 10 in
+  let errors = Array.make nconns [] in
+  let worker n () =
+    with_client server @@ fun cl ->
+    for i = 0 to per_conn - 1 do
+      let grp = (n + i) mod 5 in
+      (match Client.exec cl (Printf.sprintf "SELECT v FROM dst WHERE grp = %d" grp) with
+      | Protocol.Ok_rows _ -> ()
+      | r ->
+          errors.(n) <-
+            Printf.sprintf "select got %s"
+              (match r with
+              | Protocol.Error (_, m) -> m
+              | _ -> "unexpected shape")
+            :: errors.(n));
+      let id = 100 + (n * per_conn) + i in
+      match
+        Client.exec cl
+          (Printf.sprintf "INSERT INTO dst VALUES (%d, %d, 'w%d')" (id mod 5) id id)
+      with
+      | Protocol.Ok_affected 1 -> ()
+      | r ->
+          errors.(n) <-
+            Printf.sprintf "insert got %s"
+              (match r with
+              | Protocol.Error (_, m) -> m
+              | _ -> "unexpected shape")
+            :: errors.(n)
+    done
+  in
+  let threads = List.init nconns (fun n -> Thread.create (worker n) ()) in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun n errs ->
+      check (Alcotest.list Alcotest.string)
+        (Printf.sprintf "session %d clean" n)
+        [] errs)
+    errors;
+  (* drain the migration on both engines and compare *)
+  let fuel = ref 400 in
+  while (not (Cluster.migration_complete c)) && !fuel > 0 do
+    decr fuel;
+    ignore (Cluster.background_step c ~batch:8 : int)
+  done;
+  let rec drain () =
+    if Bullfrog_core.Lazy_db.background_step obf ~batch:8 > 0 then drain ()
+  in
+  drain ();
+  (* replay the same writes on the oracle *)
+  for n = 0 to nconns - 1 do
+    for i = 0 to per_conn - 1 do
+      let id = 100 + (n * per_conn) + i in
+      ignore
+        (Bullfrog_core.Lazy_db.exec obf
+           (Printf.sprintf "INSERT INTO dst VALUES (%d, %d, 'w%d')" (id mod 5) id id)
+          : Executor.result)
+    done
+  done;
+  drain ();
+  with_client server @@ fun cl ->
+  (* the old schema is write-protected while the migration is in flight *)
+  (match Client.exec cl "INSERT INTO src VALUES (999, 0, 'stale')" with
+  | Protocol.Error (Protocol.Err_sql, _) -> ()
+  | _ -> Alcotest.fail "writes to a migration input must be rejected");
+  check (Alcotest.list Alcotest.string) "row-exact vs in-process oracle"
+    (List.sort compare
+       (List.map row_str (Database.query odb "SELECT grp, id, v FROM dst")))
+    (List.sort compare
+       (List.map row_str (Client.query cl "SELECT grp, id, v FROM dst")))
+
+(* -- prepared statements are per-session ----------------------------- *)
+
+let prepared_isolation () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)"
+           : Executor.result);
+  ignore (Database.exec db "INSERT INTO kv VALUES (1, 'a'), (2, 'b')"
+           : Executor.result);
+  with_server (Frontend.of_database db) @@ fun server ->
+  with_client server @@ fun cl1 ->
+  with_client server @@ fun cl2 ->
+  (match Client.prepare cl1 "get" "SELECT v FROM kv WHERE k = $1" with
+  | Protocol.Ok_text _ -> ()
+  | _ -> Alcotest.fail "prepare should succeed");
+  (match Client.exec_prepared cl1 "get" [| Value.Int 2 |] with
+  | Protocol.Ok_rows (_, [ [| Value.Str "b" |] ]) -> ()
+  | _ -> Alcotest.fail "prepared exec should find row 2");
+  (* the name is invisible from the other session *)
+  (match Client.exec_prepared cl2 "get" [| Value.Int 2 |] with
+  | Protocol.Error (Protocol.Err_bad, _) -> ()
+  | _ -> Alcotest.fail "prepared statements must be session-scoped");
+  (* bad SQL is rejected at prepare time, and the name stays unbound *)
+  (match Client.prepare cl2 "broken" "SELEC nope" with
+  | Protocol.Error (Protocol.Err_sql, _) -> ()
+  | _ -> Alcotest.fail "prepare must validate");
+  match Client.exec_prepared cl2 "broken" [||] with
+  | Protocol.Error (Protocol.Err_bad, _) -> ()
+  | _ -> Alcotest.fail "failed prepare must not bind the name"
+
+(* -- queue-full backpressure ----------------------------------------- *)
+
+let queue_full_retryable () =
+  (* one worker wedged on a slow statement + capacity-1 queue: the third
+     concurrent request must bounce with ERR RETRY, not block or drop *)
+  let gate = Mutex.create () in
+  let gate_cond = Condition.create () in
+  let release = ref false in
+  let slow_started = ref false in
+  let frontend =
+    fn_frontend (fun sql ->
+        if sql = "SLOW" then begin
+          Mutex.lock gate;
+          slow_started := true;
+          Condition.broadcast gate_cond;
+          while not !release do
+            Condition.wait gate_cond gate
+          done;
+          Mutex.unlock gate;
+          Executor.Affected 0
+        end
+        else Executor.Affected 1)
+  in
+  let config = { Server.default_config with workers = 1; queue_cap = 1 } in
+  with_server ~config frontend @@ fun server ->
+  let t1 =
+    Thread.create
+      (fun () ->
+        with_client server @@ fun cl ->
+        ignore (Client.exec cl "SLOW" : Protocol.response))
+      ()
+  in
+  (* wait until the slow statement occupies the only worker *)
+  Mutex.lock gate;
+  while not !slow_started do
+    Condition.wait gate_cond gate
+  done;
+  Mutex.unlock gate;
+  (* second request parks in the queue (its client thread blocks) *)
+  let parked = ref None in
+  let t2 =
+    Thread.create
+      (fun () ->
+        with_client server @@ fun cl ->
+        parked := Some (Client.exec cl "INSERT 1"))
+      ()
+  in
+  (* give the parked request time to occupy the queue slot *)
+  let rec wait_for_depth n =
+    if n = 0 then Alcotest.fail "queued request never showed up"
+    else if
+      List.exists
+        (fun st ->
+          List.assoc_opt "queue_depth" st.Obs.st_fields = Some 1.0)
+        ((Obs.snapshot ()).Obs.snap_stats)
+    then ()
+    else begin
+      Thread.delay 0.01;
+      wait_for_depth (n - 1)
+    end
+  in
+  wait_for_depth 200;
+  (* third request: queue full -> retryable error, immediately *)
+  with_client server (fun cl ->
+      match Client.exec cl "INSERT 2" with
+      | Protocol.Error (Protocol.Err_retry, msg) ->
+          check Alcotest.bool "error names the queue" true
+            (msg = "admission queue full")
+      | _ -> Alcotest.fail "expected ERR RETRY when the queue is full");
+  (* unwedge; both outstanding requests complete *)
+  Mutex.lock gate;
+  release := true;
+  Condition.broadcast gate_cond;
+  Mutex.unlock gate;
+  Thread.join t1;
+  Thread.join t2;
+  match !parked with
+  | Some (Protocol.Ok_affected 1) -> ()
+  | _ -> Alcotest.fail "parked request must complete once the worker frees"
+
+(* -- breaker: sheds reads above the threshold, hysteresis on close ---- *)
+
+let breaker_sheds_with_hysteresis () =
+  let debt = ref 0 in
+  let applied = ref 0 in
+  let frontend =
+    fn_frontend (fun sql ->
+        if String.length sql >= 6 && String.sub sql 0 6 = "SELECT" then
+          Executor.Rows ([ "x" ], [])
+        else begin
+          incr applied;
+          Executor.Affected 1
+        end)
+  in
+  let config =
+    { Server.default_config with open_above = 50; close_below = 10 }
+  in
+  with_server ~config ~debt:(fun () -> !debt) frontend @@ fun server ->
+  with_client server @@ fun cl ->
+  let select () = Client.exec cl "SELECT 1" in
+  let insert () = Client.exec cl "INSERT x" in
+  let is_shed = function
+    | Protocol.Error (Protocol.Err_shed, _) -> true
+    | _ -> false
+  in
+  (* breaker samples at most every 10ms: step debt, wait out the window *)
+  let settle () = Thread.delay 0.03 in
+  check Alcotest.bool "closed at zero debt" false (is_shed (select ()));
+  debt := 100;
+  settle ();
+  check Alcotest.bool "opens above threshold" true (is_shed (select ()));
+  check Alcotest.bool "writes stay admitted while open" false
+    (is_shed (insert ()));
+  (* hysteresis: inside the band the breaker stays open *)
+  debt := 30;
+  settle ();
+  check Alcotest.bool "stays open between close_below and open_above" true
+    (is_shed (select ()));
+  debt := 5;
+  settle ();
+  check Alcotest.bool "closes below close_below" false (is_shed (select ()));
+  check Alcotest.int "one open/close cycle" 1 (Breaker.closes (Server.breaker server));
+  check Alcotest.bool "shed statements never reached the frontend" true
+    (!applied >= 1)
+
+(* -- session snapshot pin holds the GC horizon ----------------------- *)
+
+let session_pin_holds_horizon () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)"
+           : Executor.result);
+  ignore (Database.exec db "INSERT INTO kv VALUES (1, 'a')" : Executor.result);
+  with_server (Frontend.of_database db) @@ fun server ->
+  with_client server @@ fun cl ->
+  (match Client.pin cl with
+  | Protocol.Ok_text _ -> ()
+  | _ -> Alcotest.fail "PIN should ack");
+  (match Client.pin cl with
+  | Protocol.Error (Protocol.Err_bad, _) -> ()
+  | _ -> Alcotest.fail "double PIN must be rejected");
+  ignore (Client.exec cl "UPDATE kv SET v = 'b' WHERE k = 1" : Protocol.response);
+  ignore (Database.vacuum db : int);
+  check Alcotest.bool "pinned session blocks version GC" true
+    (Database.version_backlog db > 0);
+  (match Client.unpin cl with
+  | Protocol.Ok_text _ -> ()
+  | _ -> Alcotest.fail "UNPIN should ack");
+  ignore (Database.vacuum db : int);
+  check Alcotest.int "backlog drains after UNPIN" 0 (Database.version_backlog db)
+
+(* a dropped connection releases its pin too *)
+let pin_released_on_disconnect () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)"
+           : Executor.result);
+  ignore (Database.exec db "INSERT INTO kv VALUES (1, 'a')" : Executor.result);
+  with_server (Frontend.of_database db) @@ fun server ->
+  let horizon0 = Mvcc.horizon () in
+  with_client server (fun cl ->
+      ignore (Client.pin cl : Protocol.response);
+      ignore (Client.exec cl "UPDATE kv SET v = 'b' WHERE k = 1"
+               : Protocol.response));
+  (* client closed; the reader must have unpinned on the way out *)
+  let rec wait n =
+    if Mvcc.horizon () > horizon0 then ()
+    else if n = 0 then Alcotest.fail "disconnect did not release the pin"
+    else begin
+      Thread.delay 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 200
+
+(* -- clean shutdown drains admitted work ----------------------------- *)
+
+let shutdown_drains () =
+  let applied = ref 0 in
+  let frontend =
+    fn_frontend (fun _ ->
+        Thread.delay 0.05;
+        incr applied;
+        Executor.Affected 1)
+  in
+  let config = { Server.default_config with workers = 2; queue_cap = 32 } in
+  let server = Server.start ~config frontend in
+  let replies = Array.make 4 None in
+  let clients =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            with_client server @@ fun cl ->
+            replies.(i) <- Some (Client.exec cl "INSERT x"))
+          ())
+  in
+  Thread.delay 0.02;
+  (* stop while requests are in flight: every admitted one completes *)
+  Server.stop server;
+  List.iter Thread.join clients;
+  let ok =
+    Array.fold_left
+      (fun acc r ->
+        match r with Some (Protocol.Ok_affected 1) -> acc + 1 | _ -> acc)
+      0 replies
+  in
+  check Alcotest.int "every admitted request was applied and answered" ok
+    !applied;
+  check Alcotest.bool "shutdown did not drop admitted work" true (ok >= 1);
+  (* the port no longer accepts *)
+  match Client.connect ~port:(Server.port server) () with
+  | exception Unix.Unix_error _ -> ()
+  | cl ->
+      (* accept backlog raced the close: the stream must at least be dead *)
+      (match Client.exec cl "INSERT x" with
+      | exception (Client.Closed | Sys_error _ | Unix.Unix_error _) -> ()
+      | Protocol.Error _ -> ()
+      | _ -> Alcotest.fail "stopped server must not execute new work");
+      Client.close cl
+
+let suite =
+  [
+    Alcotest.test_case "protocol round-trip over socket" `Quick protocol_roundtrip;
+    Alcotest.test_case "concurrent sessions during migration" `Quick
+      concurrent_sessions_during_migration;
+    Alcotest.test_case "prepared statements are session-scoped" `Quick
+      prepared_isolation;
+    Alcotest.test_case "queue-full requests bounce retryable" `Quick
+      queue_full_retryable;
+    Alcotest.test_case "breaker sheds with hysteresis" `Quick
+      breaker_sheds_with_hysteresis;
+    Alcotest.test_case "session pin holds the GC horizon" `Quick
+      session_pin_holds_horizon;
+    Alcotest.test_case "disconnect releases the session pin" `Quick
+      pin_released_on_disconnect;
+    Alcotest.test_case "clean shutdown drains admitted work" `Quick
+      shutdown_drains;
+  ]
