@@ -4,7 +4,7 @@
 # fails if the disabled-instrumentation overhead leaves its 2% budget or
 # the migration trace stops validating).
 
-.PHONY: all build test bench bench-smoke obs-smoke lint-smoke mvcc-smoke shard-smoke server-smoke check clean
+.PHONY: all build test bench bench-smoke obs-smoke obs-cluster-smoke lint-smoke mvcc-smoke shard-smoke server-smoke check clean
 
 all: build
 
@@ -23,6 +23,13 @@ bench-smoke:
 obs-smoke:
 	BF_FAST=1 dune exec bench/main.exe -- obs
 
+# Gated on a single wire request against a migrating 4-shard cluster
+# exporting one connected trace tree (client -> worker -> router ->
+# shards -> 2pc -> lazy-migrate) and STATS round-tripping the exact
+# coordinator snapshot.
+obs-cluster-smoke:
+	BF_FAST=1 dune exec bench/main.exe -- obscluster
+
 lint-smoke:
 	BF_FAST=1 dune exec bench/main.exe -- lint
 
@@ -38,7 +45,7 @@ shard-smoke:
 server-smoke:
 	BF_FAST=1 dune exec bench/main.exe -- server
 
-check: build test bench-smoke obs-smoke lint-smoke mvcc-smoke shard-smoke server-smoke
+check: build test bench-smoke obs-smoke obs-cluster-smoke lint-smoke mvcc-smoke shard-smoke server-smoke
 
 clean:
 	dune clean

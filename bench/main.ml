@@ -1167,6 +1167,95 @@ let obs_bench () =
   Obs.Counters.set_enabled was_counting;
   say "  trace   %d event(s), %d complete span(s) -> %s (chrome://tracing)" n_events spans
     trace_file;
+  (* -- wire: the same question asked of the full server stack.  Serial
+     point SELECTs over a loopback socket, three obs configurations in
+     paired alternating rounds (min-of-diffs, clamped at zero).  The
+     product default is flight recorder on, everything else off — that
+     pairing is the wire disabled-path gate (<2%); counters + tracing +
+     flight all on is the enabled-path gate (<5%). -- *)
+  let wire_off_us, wire_disabled_pct, wire_enabled_pct, wire_ops, wire_rounds =
+    let module Server = Bullfrog_server.Server in
+    let module Client = Bullfrog_server.Client in
+    let wdb = Database.create () in
+    ignore (Database.exec wdb "CREATE TABLE wkv (k INT PRIMARY KEY, v TEXT)"
+        : Executor.result);
+    Database.with_txn wdb (fun txn ->
+        for k = 0 to 255 do
+          ignore
+            (Executor.exec_stmt (Database.exec_ctx wdb) txn
+               (Bullfrog_sql.Parser.parse_one
+                  (Printf.sprintf "INSERT INTO wkv VALUES (%d, 'v%d')" k k))
+              : Executor.result)
+        done);
+    let server = Server.start (Frontend.of_database wdb) in
+    let cl = Client.connect ~port:(Server.port server) () in
+    let ops = match profile with Fast -> 400 | _ -> 1_500 in
+    let run_ops () =
+      time (fun () ->
+          for i = 0 to ops - 1 do
+            ignore
+              (Client.request cl
+                 (Bullfrog_server.Protocol.Exec
+                    (Printf.sprintf "SELECT v FROM wkv WHERE k = %d" (i * 131 land 255)))
+                : Bullfrog_server.Protocol.response)
+          done)
+    in
+    let all_off () =
+      Obs.Counters.set_enabled false;
+      Obs.Trace.disable ();
+      Obs.Flight.set_enabled false
+    in
+    let flight_only () =
+      all_off ();
+      Obs.Flight.set_enabled true
+    in
+    let full_on () =
+      Obs.Counters.set_enabled true;
+      Obs.Trace.enable ~capacity:16_384 ();
+      Obs.Flight.set_enabled true
+    in
+    all_off ();
+    ignore (run_ops () : float) (* warm the sockets and statement caches *);
+    (* Same lesson as the bump instrument above: on a shared container
+       the min-of-rounds needs a wide window to catch a quiet slice —
+       with 5 rounds the wire estimate swung between 0%% and 8%% on
+       scheduler luck alone. *)
+    let wrounds = 21 in
+    let paired_wire label set_instrumented =
+      let diffs = Array.make wrounds 0.0 in
+      let best_off = ref infinity in
+      for i = 0 to wrounds - 1 do
+        Gc.full_major ();
+        all_off ();
+        let t_off = run_ops () in
+        set_instrumented ();
+        let t_on = run_ops () in
+        all_off ();
+        diffs.(i) <- t_on -. t_off;
+        if t_off < !best_off then best_off := t_off
+      done;
+      Array.sort compare diffs;
+      let pct d = max 0.0 d /. !best_off *. 100.0 in
+      say "    wire %-11s min %+.2f%%  median %+.2f%%" label (pct diffs.(0))
+        (pct diffs.(wrounds / 2));
+      (pct diffs.(0), !best_off)
+    in
+    let disabled_pct, off_a = paired_wire "flight-only" flight_only in
+    let enabled_pct, off_b = paired_wire "full-obs" full_on in
+    Client.close cl;
+    Server.stop server;
+    ( min off_a off_b /. float_of_int ops *. 1e6,
+      disabled_pct,
+      enabled_pct,
+      ops,
+      wrounds )
+  in
+  Obs.Flight.set_enabled true;
+  Obs.Trace.disable ();
+  Obs.Trace.clear ();
+  Obs.Counters.set_enabled was_counting;
+  say "  wire    %8.1f us/op all-off   flight-only +%.2f%% (<2%%)   full obs +%.2f%% (<5%%)"
+    wire_off_us wire_disabled_pct wire_enabled_pct;
   let oc = open_out "BENCH_observability.json" in
   Printf.fprintf oc
     {|{
@@ -1200,12 +1289,23 @@ let obs_bench () =
     "file": "%s",
     "events": %d,
     "complete_spans": %d
+  },
+  "wire": {
+    "op": "serial point SELECT over the loopback wire server",
+    "ops_per_round": %d,
+    "paired_rounds": %d,
+    "all_off_op_us": %.1f,
+    "flight_only_overhead_pct": %.3f,
+    "full_obs_overhead_pct": %.3f,
+    "budget_disabled_pct": 2.0,
+    "budget_enabled_pct": 5.0
   }
 }
 |}
     (match profile with Fast -> "fast" | Standard -> "standard" | Full -> "full")
     seed bump_ns bump_med_ns serial_min serial_med q_op_ns q_calls q_overhead
-    q_overhead_ub q_on_ns m_op_ns m_calls m_events m_overhead trace_file n_events spans;
+    q_overhead_ub q_on_ns m_op_ns m_calls m_events m_overhead trace_file n_events spans
+    wire_ops wire_rounds wire_off_us wire_disabled_pct wire_enabled_pct;
   close_out oc;
   say "  wrote BENCH_observability.json";
   (* qpath is gated on the in-context marginal cost — its call sites sit
@@ -1214,7 +1314,16 @@ let obs_bench () =
      on the serial bound: with skip tallies batched into one add per
      tracker call, even the conservative charge is far under budget. *)
   if q_overhead >= 2.0 || m_overhead >= 2.0 then
-    failwith "observability: disabled-path overhead exceeds the 2% budget"
+    failwith "observability: disabled-path overhead exceeds the 2% budget";
+  (* The wire gates measure the product defaults: the always-on flight
+     recorder must be invisible (<2%) because it is fed only from cold
+     paths, and the fully-instrumented server — counters, per-request
+     distributed tracing, per-class latency histograms — must stay
+     under 5% of a wire round trip. *)
+  if wire_disabled_pct >= 2.0 then
+    failwith "observability: wire flight-only overhead exceeds the 2% budget";
+  if wire_enabled_pct >= 5.0 then
+    failwith "observability: wire enabled-path overhead exceeds the 5% budget"
 
 (* -- lint: static-analyzer smoke over the TPC-C migrations plus a
    known-bad overlapping split; fails on any unexpected verdict, so
@@ -1788,16 +1897,15 @@ let server_bench () =
   let mig_p99 = L.percentile 0.99 mig_lat *. 1e3 in
   let opens = Breaker.opens (Server.breaker server) in
   let closes = Breaker.closes (Server.breaker server) in
-  let trace = L.trace ~bucket:0.25 mig in
+  let wins = L.windows ~bucket:0.25 mig in
   say "  migration: %d ok, %d shed, %d retry, %d error; p50 %.3f ms, p99 %.3f ms"
     mig_ok mig_shed mig_retry mig_error mig_p50 mig_p99;
   say "  breaker: %d open(s), %d close(s); shed trace (0.25s windows):" opens closes;
   List.iter
-    (fun (t, ok, shed, retry, error) ->
-      ignore (retry : int);
-      ignore (error : int);
-      say "    t=%4.2fs ok %4d shed %4d" t ok shed)
-    trace;
+    (fun w ->
+      say "    t=%4.2fs ok %4d shed %4d | p50 %6.2f ms p99 %6.2f ms" w.L.w_t w.L.w_ok
+        w.L.w_shed (w.L.w_p50 *. 1e3) (w.L.w_p99 *. 1e3))
+    wins;
   (* -- replay oracle: every admitted write, exactly once -- *)
   let rec drain () = if Lazy_db.background_step obf ~batch:1024 > 0 then drain () in
   drain ();
@@ -1824,7 +1932,7 @@ let server_bench () =
     (List.length server_rows) (List.length oracle_rows)
     (if row_exact then "row-exact" else "DIVERGED");
   Server.stop server;
-  let last_shed = match List.rev trace with (_, _, shed, _, _) :: _ -> shed | [] -> -1 in
+  let last_shed = match List.rev wins with w :: _ -> w.L.w_shed | [] -> -1 in
   let oc = open_out "BENCH_server.json" in
   Printf.fprintf oc
     {|{
@@ -1851,9 +1959,10 @@ let server_bench () =
     mig_ok mig_shed mig_retry mig_error mig_p50 mig_p99 opens closes
     (String.concat ", "
        (List.map
-          (fun (t, ok, shed, _, _) ->
-            Printf.sprintf {|{"t": %.2f, "ok": %d, "shed": %d}|} t ok shed)
-          trace))
+          (fun w ->
+            Printf.sprintf {|{"t": %.2f, "ok": %d, "shed": %d, "p50_ms": %.3f, "p99_ms": %.3f}|}
+              w.L.w_t w.L.w_ok w.L.w_shed (w.L.w_p50 *. 1e3) (w.L.w_p99 *. 1e3))
+          wins))
     last_shed
     (List.length server_rows) (List.length oracle_rows) row_exact;
   close_out oc;
@@ -1869,6 +1978,193 @@ let server_bench () =
       (Printf.sprintf "server gate: shed rate did not return to 0 (final window %d)" last_shed);
   if not row_exact then
     failwith "server gate: admitted writes diverged from the in-process oracle"
+
+(* -- obscluster: the §4.2i acceptance scenario.  One traced wire request
+   against a 4-shard cluster under an active partition-key-changing
+   migration must export a single connected trace tree — client request →
+   server stmt → router → per-shard scatter spans → 2PC row moves → lazy
+   migration — and the STATS wire command must parse as Prometheus and
+   round-trip the same values as [Cluster.obs_snapshot]. *)
+let obscluster_bench () =
+  say "\n=== obscluster: distributed trace tree + STATS round-trip (BENCH_obscluster.json) ===";
+  let module Cluster = Bullfrog_cluster.Cluster in
+  let module Server = Bullfrog_server.Server in
+  let module Client = Bullfrog_server.Client in
+  let module T = Obs.Trace in
+  let was_counting = Obs.Counters.enabled () in
+  Obs.Counters.set_enabled true;
+  T.enable ~capacity:65_536 ();
+  let rows = 48 in
+  let c = Cluster.create ~shards:4 () in
+  ignore
+    (Cluster.exec c "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v TEXT)"
+      : Bullfrog_db.Executor.result);
+  for id = 0 to rows - 1 do
+    ignore
+      (Cluster.exec c
+         (Printf.sprintf "INSERT INTO src VALUES (%d, %d, 'r%03d')" id (id mod 5) id)
+        : Bullfrog_db.Executor.result)
+  done;
+  let spec =
+    Migration.make ~name:"regroup"
+      [ Migration.statement_of_sql "CREATE TABLE dst AS (SELECT grp, id, v FROM src)" ]
+  in
+  Cluster.start_migration c spec;
+  let server =
+    Server.start ~debt:(fun () -> Cluster.migration_debt c) (Cluster.frontend c)
+  in
+  let cl = Client.connect ~port:(Server.port server) () in
+  T.clear ();
+  (* one traced scan: the application span makes the client propagate its
+     context over the wire; routing fans out to all shards and the
+     predicate drives lazy migration, whose cross-shard row moves run
+     2PC *)
+  (match
+     T.with_span ~cat:"app" "traced-scan" (fun () ->
+         Client.request cl (Bullfrog_server.Protocol.Exec "SELECT grp, id, v FROM dst"))
+   with
+  | Bullfrog_server.Protocol.Ok_rows (_, got) ->
+      if List.length got <> rows then
+        failwith
+          (Printf.sprintf "obscluster: scan returned %d rows, expected %d"
+             (List.length got) rows)
+  | _ -> failwith "obscluster: traced scan failed over the wire");
+  let events = T.export () in
+  (match T.validate events with
+  | Ok _ -> ()
+  | Error msg -> failwith ("obscluster: invalid trace: " ^ msg));
+  let req_span =
+    match
+      List.find_opt
+        (fun (e : T.event) ->
+          e.T.ev_phase = T.Span_begin && e.T.ev_name = "request" && e.T.ev_cat = "client")
+        events
+    with
+    | Some e -> e
+    | None -> failwith "obscluster: no client request span in the trace"
+  in
+  let tree =
+    List.filter
+      (fun (e : T.event) ->
+        e.T.ev_phase = T.Span_begin && e.T.ev_trace = req_span.T.ev_trace)
+      events
+  in
+  let root =
+    match List.filter (fun (e : T.event) -> e.T.ev_parent = 0) tree with
+    | [ e ] -> e
+    | [] -> failwith "obscluster: request trace has no root span"
+    | _ -> failwith "obscluster: request trace has several root spans"
+  in
+  (* connectivity: every span in the request's trace must reach the
+     client root through recorded parent links *)
+  let by_span = Hashtbl.create 64 in
+  List.iter (fun (e : T.event) -> Hashtbl.replace by_span e.T.ev_span e) tree;
+  let rec reaches_root (e : T.event) =
+    e.T.ev_span = root.T.ev_span
+    ||
+    match Hashtbl.find_opt by_span e.T.ev_parent with
+    | Some p -> reaches_root p
+    | None -> false
+  in
+  List.iter
+    (fun (e : T.event) ->
+      if not (reaches_root e) then
+        failwith
+          (Printf.sprintf "obscluster: span %s (id %d, parent %d) is disconnected"
+             e.T.ev_name e.T.ev_span e.T.ev_parent))
+    tree;
+  let shard_spans =
+    List.length
+      (List.filter
+         (fun (e : T.event) ->
+           String.length e.T.ev_name > 6 && String.sub e.T.ev_name 0 6 = "shard-")
+         tree)
+  in
+  List.iter
+    (fun name ->
+      if not (List.exists (fun (e : T.event) -> e.T.ev_name = name) tree) then
+        failwith ("obscluster: request trace is missing the " ^ name ^ " span"))
+    [ "stmt"; "route"; "2pc"; "lazy-migrate" ];
+  if shard_spans < 1 then failwith "obscluster: no per-shard scatter span in the trace";
+  let trace_file = "cluster.trace.json" in
+  (match T.write_chrome trace_file with
+  | Ok _ -> ()
+  | Error msg -> failwith ("obscluster: trace export failed: " ^ msg));
+  say "  trace: %d span(s) in one connected tree (%d shard span(s)) -> %s"
+    (List.length tree) shard_spans trace_file;
+  (* -- STATS round-trip against the in-process snapshot, quiesced -- *)
+  let rec drain () = if Cluster.background_step c ~batch:1_024 > 0 then drain () in
+  drain ();
+  Cluster.finalize c;
+  Obs.Counters.set_enabled false;
+  let txt = Client.stats cl in
+  let parsed =
+    try
+      ignore
+        (Exposition.parse_prometheus txt
+          : (string * (string * string) list * float) list);
+      Exposition.of_prometheus txt
+    with Exposition.Parse_error msg ->
+      failwith ("obscluster: STATS output is not valid Prometheus: " ^ msg)
+  in
+  let live = Cluster.obs_snapshot c in
+  (* every cluster-side stat the coordinator reports must come back over
+     the wire with identical values *)
+  List.iter
+    (fun (s : Obs.stat) ->
+      match
+        List.find_opt
+          (fun (w : Obs.stat) ->
+            w.Obs.st_source = s.Obs.st_source && w.Obs.st_name = s.Obs.st_name)
+          parsed.Obs.snap_stats
+      with
+      | None ->
+          failwith
+            (Printf.sprintf "obscluster: STATS is missing stat %s/%s" s.Obs.st_source
+               s.Obs.st_name)
+      | Some w ->
+          List.iter
+            (fun (f, v) ->
+              match List.assoc_opt f w.Obs.st_fields with
+              | Some v' when v = v' -> ()
+              | Some v' ->
+                  failwith
+                    (Printf.sprintf "obscluster: STATS %s/%s field %s = %g, wire says %g"
+                       s.Obs.st_source s.Obs.st_name f v v')
+              | None ->
+                  failwith
+                    (Printf.sprintf "obscluster: STATS %s/%s lacks field %s"
+                       s.Obs.st_source s.Obs.st_name f))
+            s.Obs.st_fields)
+    live.Obs.snap_stats;
+  let json = Client.stats ~fmt:"json" cl in
+  if String.length json = 0 || json.[0] <> '{' then
+    failwith "obscluster: STATS json is not a JSON object";
+  say "  stats: %d cluster stat(s) round-trip the wire exactly (+ json form, %d bytes)"
+    (List.length live.Obs.snap_stats) (String.length json);
+  Client.close cl;
+  Server.stop server;
+  Cluster.close c;
+  T.disable ();
+  T.clear ();
+  Obs.Counters.set_enabled was_counting;
+  let oc = open_out "BENCH_obscluster.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "obscluster",
+  "scenario": "traced wire scan over a 4-shard cluster mid-migration",
+  "tree_spans": %d,
+  "shard_spans": %d,
+  "connected": true,
+  "stats_roundtrip_stats": %d,
+  "trace_file": "%s"
+}
+|}
+    (List.length tree) shard_spans
+    (List.length live.Obs.snap_stats)
+    trace_file;
+  close_out oc;
+  say "  wrote BENCH_obscluster.json"
 
 let all_figures =
   [
@@ -1889,6 +2185,7 @@ let all_figures =
     ("mvcc", mvcc_bench);
     ("shard", shard_bench);
     ("server", server_bench);
+    ("obscluster", obscluster_bench);
   ]
 
 let aliases = [ ("fig4", "fig3"); ("fig6", "fig5"); ("fig8", "fig7") ]

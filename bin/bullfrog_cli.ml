@@ -17,6 +17,8 @@
      \tpcc [scale]    load a TPC-C database (tiny|small)
      \tables          list relations
      \obs             engine counters and subsystem stats (Obs.snapshot)
+     \stats [json]    the same snapshot as Prometheus text exposition
+                      (or JSON) — what the wire STATS command serves
      \trace [file]    dump recorded spans as a Chrome trace_event JSON
      \q               quit
 
@@ -174,6 +176,13 @@ let () =
                      (Lazy_db.migration_complete bf)
                | "\\progress" -> show_progress bf
                | "\\obs" -> print_string (Obs.render (Obs.snapshot ()))
+               | "\\stats" ->
+                   let snap = Obs.snapshot () in
+                   (match String.trim rest with
+                   | "json" ->
+                       print_string (Exposition.to_json snap);
+                       print_newline ()
+                   | _ -> print_string (Exposition.to_prometheus snap))
                | "\\trace" ->
                    let file =
                      match String.trim rest with "" -> "cli.trace.json" | f -> f

@@ -7,16 +7,21 @@ let usage () =
     {|usage:
   bullfrog_net server [--port P] [--shards N] [--workers W] [--queue Q]
                       [--rate R] [--burst B] [--open-above D] [--close-below D]
-                      [--init SQL] [--duration S]
+                      [--slow-query S] [--init SQL] [--duration S]
       Start the wire server over a fresh N-shard cluster.  --init runs a
-      ;-separated SQL script before accepting connections.  Without
-      --duration the server runs until SIGINT.
+      ;-separated SQL script before accepting connections.  --slow-query
+      logs statements slower than S seconds with their EXPLAIN ANALYZE
+      actuals.  Without --duration the server runs until SIGINT.
 
   bullfrog_net load --port P [--host H] [--connections C] [--rate R]
                     [--duration S] [--writes PCT] [--keys K] [--setup SQL]
       Open-loop load: PCT percent single-row INSERTs into kv(k, v), the
       rest point SELECTs over K keys.  --setup runs first on one
-      connection (default: create the kv table).|};
+      connection (default: create the kv table).
+
+  bullfrog_net stats --port P [--host H] [--format prometheus|json]
+      Fetch the server's metrics exposition over the wire (the STATS
+      command) and print it.|};
   exit 2
 
 let parse_flags args =
@@ -66,6 +71,7 @@ let cmd_server args =
       burst = flag_float tbl "burst" 32.0;
       open_above = flag_int tbl "open-above" max_int;
       close_below = flag_int tbl "close-below" max_int;
+      slow_query_s = flag_float tbl "slow-query" infinity;
     }
   in
   let server =
@@ -91,6 +97,7 @@ let cmd_server args =
         try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done;
       Bullfrog_server.Server.stop server);
+  Bullfrog_cluster.Cluster.close cluster;
   print_endline "bullfrog server: stopped"
 
 (* -- load ----------------------------------------------------------- *)
@@ -138,10 +145,37 @@ let cmd_load args =
     (Array.length r.L.lr_samples) r.L.lr_elapsed rate (count L.O_ok)
     (count L.O_retry) (count L.O_shed) (count L.O_error)
     (L.percentile 0.5 oks *. 1e3)
-    (L.percentile 0.99 oks *. 1e3)
+    (L.percentile 0.99 oks *. 1e3);
+  print_endline "per-second windows:";
+  List.iter
+    (fun w ->
+      Printf.printf
+        "  t=%5.1fs ok %5d shed %4d retry %4d err %3d | p50 %7.3f ms p95 \
+         %7.3f ms p99 %7.3f ms\n"
+        w.L.w_t w.L.w_ok w.L.w_shed w.L.w_retry w.L.w_err (w.L.w_p50 *. 1e3)
+        (w.L.w_p95 *. 1e3) (w.L.w_p99 *. 1e3))
+    (L.windows ~bucket:1.0 r)
+
+(* -- stats ---------------------------------------------------------- *)
+
+let cmd_stats args =
+  let tbl = parse_flags args in
+  let host = flag_str tbl "host" "127.0.0.1" in
+  let port = flag_int tbl "port" 5433 in
+  let fmt =
+    match Hashtbl.find_opt tbl "format" with
+    | None -> None
+    | Some ("prometheus" | "json") as f -> f
+    | Some _ -> usage ()
+  in
+  let cl = Bullfrog_server.Client.connect ~host ~port () in
+  Fun.protect
+    ~finally:(fun () -> Bullfrog_server.Client.close cl)
+    (fun () -> print_string (Bullfrog_server.Client.stats ?fmt cl))
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "server" :: rest -> cmd_server rest
   | _ :: "load" :: rest -> cmd_load rest
+  | _ :: "stats" :: rest -> cmd_stats rest
   | _ -> usage ()

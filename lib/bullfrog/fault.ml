@@ -87,6 +87,11 @@ let point id =
       fired_flag := true;
       (* one-shot: the crash must not re-fire during recovery *)
       armed_id := -1;
+      (* the simulated crash is exactly what the flight recorder exists
+         for: note the fire, then dump for post-mortem reading *)
+      Obs.Flight.notef ~cat:"fault" "crash point %s fired (hit %d)" names.(id)
+        !hit_count;
+      ignore (Obs.Flight.crash_dump ~reason:names.(id) : string option);
       raise (Crash names.(id))
     end
     else decr remaining

@@ -377,6 +377,27 @@ let first_diff oracle got =
   in
   go (oracle, got)
 
+(* Every fired crash must leave a readable flight-recorder dump behind —
+   the dump is the post-mortem story of the run, and a cell where it is
+   missing or unparseable fails even when recovery itself succeeded. *)
+let check_flight_dump point =
+  try
+    let reason, entries = Obs.Flight.load (Obs.Flight.path ()) in
+    if reason <> Fault.name_of point then
+      Some
+        (Printf.sprintf "flight dump reason %S, expected %S" reason
+           (Fault.name_of point))
+    else if entries = [] then Some "flight dump has no entries"
+    else if
+      not
+        (List.exists
+           (fun e -> e.Obs.Flight.fl_cat = "fault")
+           entries)
+    then Some "flight dump lacks the fault-fire entry"
+    else None
+  with e ->
+    Some (Printf.sprintf "unreadable flight dump: %s" (Printexc.to_string e))
+
 let run_cell ?(after = 0) sc oracle point =
   Fault.arm ~after point;
   let outcome =
@@ -387,8 +408,9 @@ let run_cell ?(after = 0) sc oracle point =
   in
   let fired = Fault.fired () in
   Fault.disarm ();
-  match outcome with
-  | Ok got ->
+  let flight_fail = if fired then check_flight_dump point else None in
+  match (outcome, flight_fail) with
+  | Ok got, None ->
       let ok = got = oracle in
       {
         c_scenario = sc.sc_name;
@@ -397,7 +419,21 @@ let run_cell ?(after = 0) sc oracle point =
         c_ok = ok;
         c_detail = (if ok then "" else first_diff oracle got);
       }
-  | Error msg ->
+  | Ok got, Some flight_msg ->
+      let data_ok = got = oracle in
+      {
+        c_scenario = sc.sc_name;
+        c_point = point;
+        c_fired = fired;
+        c_ok = false;
+        c_detail =
+          (if data_ok then flight_msg
+           else first_diff oracle got ^ "; " ^ flight_msg);
+      }
+  | Error msg, flight_fail ->
+      let msg =
+        match flight_fail with Some f -> msg ^ "; " ^ f | None -> msg
+      in
       { c_scenario = sc.sc_name; c_point = point; c_fired = fired; c_ok = false; c_detail = msg }
 
 let run_scenario ?(points = List.map fst (Fault.all ())) sc =

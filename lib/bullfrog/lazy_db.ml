@@ -174,6 +174,8 @@ let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off)
      transaction becomes visible through one atomic clock publish
      (Database.commit).  The span records the clock at switch time so a
      trace can line flips up against commit timestamps. *)
+  Obs.Flight.notef ~cat:"migration" "flip %s (mvcc_ts %d)" spec.Migration.name
+    (Mvcc.now ());
   Obs.Trace.with_span ~cat:"migration" "flip"
     ~args:
       [
@@ -243,6 +245,8 @@ let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off)
 let resume_migration ?mode ?page_size ?stripes ?nn ?fk_join t ~mig_id
     (spec : Migration.t) =
   if t.act <> None then err "a schema migration is already in progress";
+  Obs.Flight.notef ~cat:"migration" "resume %s after crash restart"
+    spec.Migration.name;
   Obs.Trace.with_span ~cat:"migration" "resume"
     ~args:[ ("migration", spec.Migration.name) ]
   @@ fun () ->
@@ -761,6 +765,8 @@ let finalize t =
       if not (Migrate_exec.complete act.rt) then
         err "cannot finalize migration %S: physical migration is incomplete"
           act.rt.Migrate_exec.spec.Migration.name;
+      Obs.Flight.notef ~cat:"migration" "finalize %s"
+        act.rt.Migrate_exec.spec.Migration.name;
       Obs.Trace.with_span ~cat:"migration" "finalize"
         ~args:[ ("migration", act.rt.Migrate_exec.spec.Migration.name) ]
       @@ fun () ->

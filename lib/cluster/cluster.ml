@@ -54,25 +54,42 @@ type t = {
   mutable dropped : string list;
   latch : Mutex.t;  (* serialises statements and migration driving *)
   mutable migration : migration_state option;
+  prov : string;  (* this cluster's Obs stats-provider name *)
 }
 
 let lc = String.lowercase_ascii
 
+(* Forward reference: the provider thunk registered in [create] needs
+   the migration gauges defined at the bottom of this file. *)
+let stats_of : (t -> Obs.stat list) ref = ref (fun _ -> [])
+
+(* Per-instance provider names so concurrently-live clusters (tests,
+   recovery) do not clobber each other's registration. *)
+let next_cluster_id = Atomic.make 0
+
 let create ?(shards = 4) () =
   if shards < 1 then invalid_arg "Cluster.create: shards must be >= 1";
-  {
-    shards =
-      Array.init shards (fun i ->
-          let db = Database.create () in
-          { sh_id = i; sh_db = db; sh_lazy = Lazy_db.create db });
-    coord_log = Redo_log.create ();
-    parts = [];
-    next_gid = 0;
-    epoch = Atomic.make 0;
-    dropped = [];
-    latch = Mutex.create ();
-    migration = None;
-  }
+  let t =
+    {
+      shards =
+        Array.init shards (fun i ->
+            let db = Database.create () in
+            { sh_id = i; sh_db = db; sh_lazy = Lazy_db.create db });
+      coord_log = Redo_log.create ();
+      parts = [];
+      next_gid = 0;
+      epoch = Atomic.make 0;
+      dropped = [];
+      latch = Mutex.create ();
+      migration = None;
+      prov =
+        Printf.sprintf "cluster:%d" (Atomic.fetch_and_add next_cluster_id 1);
+    }
+  in
+  Obs.register_stats t.prov (fun () -> !stats_of t);
+  t
+
+let close t = Obs.unregister_stats t.prov
 
 let shard_count t = Array.length t.shards
 let shard_db t i = t.shards.(i).sh_db
@@ -158,16 +175,35 @@ let exec_on t s stmt =
 
 (* Scatter [f] over the given shards, one OS thread per shard, and
    gather the results in shard order.  The first captured exception is
-   re-raised in the caller. *)
+   re-raised in the caller.  Each shard thread inherits the caller's
+   trace context and runs under a "shard-N" span, so a scattered scan
+   shows up as N parallel children of the routing span. *)
 let scatter ids f =
+  let shard_span s g =
+    if Obs.Trace.enabled () then begin
+      Obs.Trace.with_span ~cat:"cluster" (Printf.sprintf "shard-%d" s) g
+    end
+    else g ()
+  in
   match ids with
   | [] -> []
-  | [ s ] -> [ (s, f s) ]
+  | [ s ] -> [ (s, shard_span s (fun () -> f s)) ]
   | _ ->
       Counters.bump c_scatters;
+      let ctx = Obs.Trace.context () in
       let arr = Array.of_list ids in
       let res = Array.make (Array.length arr) (Error Not_found) in
-      let run i = res.(i) <- (try Ok (f arr.(i)) with e -> Error e) in
+      let run i =
+        res.(i) <-
+          (try
+             Ok
+               (Obs.Trace.with_context ctx (fun () ->
+                    if Obs.Trace.enabled () then
+                      Obs.Trace.set_thread_name
+                        (Printf.sprintf "shard-%d" arr.(i));
+                    shard_span arr.(i) (fun () -> f arr.(i))))
+           with e -> Error e)
+      in
       let ths = Array.mapi (fun i _ -> Thread.create run i) arr in
       Array.iter Thread.join ths;
       Array.to_list
@@ -194,6 +230,10 @@ let fresh_gid t =
    recovery, presumed abort. *)
 let two_pc t (work : (int * (Txn.t -> Executor.result)) list) =
   let gid = fresh_gid t in
+  Obs.Trace.with_span ~cat:"cluster" "2pc"
+    ~args:
+      [ ("gid", gid); ("shards", string_of_int (List.length work)) ]
+  @@ fun () ->
   let parts =
     List.map
       (fun (s, f) ->
@@ -223,6 +263,8 @@ let two_pc t (work : (int * (Txn.t -> Executor.result)) list) =
    | Fault.Crash _ as c -> raise c
    | e ->
        Redo_log.append_decision t.coord_log ~gid ~commit:false ~ts:0;
+       Obs.Flight.notef ~cat:"2pc" "%s aborted at prepare: %s" gid
+         (Printexc.to_string e);
        List.iter
          (fun (sh, txn, _) ->
            if Txn.active txn then Database.resolve_2pc sh.sh_db txn ~gid ~commit:None)
@@ -230,6 +272,8 @@ let two_pc t (work : (int * (Txn.t -> Executor.result)) list) =
        Counters.bump c_2pc_aborts;
        raise e);
   Redo_log.append_decision t.coord_log ~gid ~commit:true ~ts:0;
+  Obs.Flight.notef ~cat:"2pc" "%s decided commit (%d shard(s))" gid
+    (List.length parts);
   Fault.point Fault.p_2pc_decision;
   let ts =
     Mvcc.commit ~stamp:(fun ts ->
@@ -617,12 +661,21 @@ let check_dropped t stmt =
 let exec_ast t stmt =
   with_latch t (fun () ->
       Counters.bump c_stmts;
-      check_dropped t stmt;
-      (* shard 0's guard speaks for all shards: the migration runtime is
-         installed identically on every one *)
-      Lazy_db.check_input_writes t.shards.(0).sh_lazy stmt;
-      drive_migration t stmt;
-      exec_stmt_routed t stmt)
+      let body () =
+        check_dropped t stmt;
+        (* shard 0's guard speaks for all shards: the migration runtime is
+           installed identically on every one *)
+        Lazy_db.check_input_writes t.shards.(0).sh_lazy stmt;
+        drive_migration t stmt;
+        exec_stmt_routed t stmt
+      in
+      if Obs.Trace.enabled () then
+        (* the routing decision is the span's payload: a slow statement's
+           trace says on its face which shards it fanned out to *)
+        Obs.Trace.with_span ~cat:"cluster" "route"
+          ~args:[ ("decision", route_note t stmt) ]
+          body
+      else body ())
 
 let exec t ?params sql =
   let stmt = Database.bind_stmt params (Parser.parse_one sql) in
@@ -727,6 +780,8 @@ let start_migration ?(partitions = []) t mig =
       t.dropped <- List.map lc mig.Migration.drop_old @ t.dropped;
       (* the cluster-wide flip: one store, after every shard acked *)
       Atomic.incr t.epoch;
+      Obs.Flight.notef ~cat:"cluster" "migration %s started (epoch %d)"
+        mig.Migration.name (Atomic.get t.epoch);
       Counters.bump c_flips)
 
 let background_step t ~batch =
@@ -776,6 +831,8 @@ let finalize t =
           Redo_log.append_ddl t.coord_log
             ~epoch:(Atomic.get t.epoch)
             (Printf.sprintf "BFMIG-END %d" m.mig_rts.(0).Migrate_exec.mig_id);
+          Obs.Flight.notef ~cat:"cluster" "migration %s finalized"
+            m.mig_spec.Migration.name;
           t.migration <- None)
 
 (* ------------------------------------------------------------------ *)
@@ -834,8 +891,16 @@ let recover old =
       dropped = old.dropped;
       latch = Mutex.create ();
       migration = None;
+      prov =
+        Printf.sprintf "cluster:%d" (Atomic.fetch_and_add next_cluster_id 1);
     }
   in
+  (* the recovered cluster replaces the crashed one: its stats provider
+     goes too, so sweeps that recover in a loop do not leak providers *)
+  close old;
+  Obs.register_stats t.prov (fun () -> !stats_of t);
+  Obs.Flight.notef ~cat:"cluster" "recovered %d shard(s), epoch %d"
+    (Array.length shards) (Atomic.get t.epoch);
   (match pending_migration_marker coord_log with
   | None -> ()
   | Some (mig_id, wire) ->
@@ -869,3 +934,48 @@ let recover old =
             mig_watermarks = wms;
           });
   t
+
+(* ------------------------------------------------------------------ *)
+(* coordinator-merged observability                                    *)
+
+(* Shard-labeled gauges merged at the coordinator: one coordinator stat
+   (epoch, debt, progress) plus one stat per shard under
+   "<prov>/shardN", so a STATS scrape attributes backfill progress to
+   the shard that owes it.  Reads the same latch-free gauges the
+   breaker samples — safe off the statement path. *)
+let shard_stats t =
+  let coord =
+    {
+      Obs.st_source = t.prov;
+      st_name = "coordinator";
+      st_fields =
+        [
+          ("shards", float_of_int (shard_count t));
+          ("epoch", float_of_int (Atomic.get t.epoch));
+          ("migration_active", if t.migration = None then 0.0 else 1.0);
+          ("migration_debt", float_of_int (migration_debt t));
+          ("backfill_progress", migration_progress t);
+        ];
+    }
+  in
+  let per_shard =
+    Array.to_list
+      (Array.map
+         (fun sh ->
+           {
+             Obs.st_source = Printf.sprintf "%s/shard%d" t.prov sh.sh_id;
+             st_name = "migration";
+             st_fields =
+               [
+                 ("debt", float_of_int (Lazy_db.migration_debt sh.sh_lazy));
+                 ("backfill_progress", Lazy_db.progress sh.sh_lazy);
+               ];
+           })
+         t.shards)
+  in
+  coord :: per_shard
+
+let () = stats_of := shard_stats
+
+let obs_snapshot t =
+  { Obs.snap_counters = Obs.Counters.snapshot (); snap_stats = shard_stats t }

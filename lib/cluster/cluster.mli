@@ -30,7 +30,13 @@
 type t
 
 val create : ?shards:int -> unit -> t
-(** Default 4 shards. @raise Invalid_argument when [shards < 1]. *)
+(** Default 4 shards; registers a per-instance Obs stats provider
+    ([cluster:<n>]).  @raise Invalid_argument when [shards < 1]. *)
+
+val close : t -> unit
+(** Unregister the cluster's stats provider.  The cluster object itself
+    holds no OS resources, but a closed cluster must not pollute the
+    next {!Obs.snapshot} in-process. *)
 
 val shard_count : t -> int
 
@@ -96,6 +102,19 @@ val migration_debt : t -> int
 val finalize : t -> unit
 (** Per-shard {!Bullfrog_core.Lazy_db.finalize} plus a final row-movement
     sweep.  @raise Db_error.Sql_error if any shard is incomplete. *)
+
+(** {2 Observability} *)
+
+val shard_stats : t -> Obs.stat list
+(** Coordinator-merged, shard-labeled gauges: one coordinator stat
+    (shard count, epoch, migration activity/debt/progress) plus one
+    stat per shard ([<prov>/shardN]) with that shard's migration debt
+    and backfill progress.  This is also what the cluster's registered
+    stats provider emits into {!Obs.snapshot}. *)
+
+val obs_snapshot : t -> Obs.snapshot
+(** All process counters plus {!shard_stats} — the cluster-wide metrics
+    view the wire [STATS] command exposes. *)
 
 (** {2 Recovery} *)
 

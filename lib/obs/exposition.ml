@@ -1,0 +1,231 @@
+(* Prometheus text exposition and JSON rendering of an [Obs.snapshot].
+
+   Counter and stat names contain dots and slashes, which Prometheus
+   metric names cannot carry without lossy mangling — so everything is
+   exposed under two fully-labeled metric families instead:
+
+     bullfrog_counter{name="shard.stmts"} 42
+     bullfrog_stat{source="cluster:1",name="latency_point",field="p99_ms"} 0.31
+
+   Labels round-trip exactly (values are escaped, floats printed with
+   %.17g), so [of_prometheus (to_prometheus s)] reconstructs [s] up to
+   canonical ordering — the STATS wire command is gate-tested on that. *)
+
+let label_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* %.17g is enough digits to reconstruct any float exactly *)
+let float_repr v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
+let float_parse s =
+  match s with
+  | "NaN" -> Float.nan
+  | "+Inf" -> Float.infinity
+  | "-Inf" -> Float.neg_infinity
+  | s -> float_of_string s
+
+let to_prometheus (s : Obs.snapshot) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# TYPE bullfrog_counter counter\n";
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "bullfrog_counter{name=\"%s\"} %d\n" (label_escape name)
+           v))
+    s.Obs.snap_counters;
+  Buffer.add_string buf "# TYPE bullfrog_stat gauge\n";
+  List.iter
+    (fun st ->
+      List.iter
+        (fun (field, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "bullfrog_stat{source=\"%s\",name=\"%s\",field=\"%s\"} %s\n"
+               (label_escape st.Obs.st_source)
+               (label_escape st.Obs.st_name)
+               (label_escape field) (float_repr v)))
+        st.Obs.st_fields)
+    s.Obs.snap_stats;
+  Buffer.contents buf
+
+(* ------------------------- text-format parser ---------------------- *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* One sample line: metric_name{k="v",...} value *)
+let parse_line line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && line.[!i] <> '{' && line.[!i] <> ' ' do
+    incr i
+  done;
+  let metric = String.sub line 0 !i in
+  if metric = "" then fail "empty metric name in %S" line;
+  let labels = ref [] in
+  (if !i < n && line.[!i] = '{' then begin
+     incr i;
+     let fin = ref false in
+     while not !fin do
+       if !i >= n then fail "unterminated label set in %S" line;
+       if line.[!i] = '}' then begin
+         incr i;
+         fin := true
+       end
+       else begin
+         if line.[!i] = ',' then incr i;
+         let ks = !i in
+         while !i < n && line.[!i] <> '=' do
+           incr i
+         done;
+         if !i >= n then fail "missing '=' in %S" line;
+         let key = String.sub line ks (!i - ks) in
+         incr i;
+         if !i >= n || line.[!i] <> '"' then fail "missing '\"' in %S" line;
+         incr i;
+         let buf = Buffer.create 16 in
+         let closed = ref false in
+         while not !closed do
+           if !i >= n then fail "unterminated label value in %S" line;
+           (match line.[!i] with
+           | '"' ->
+               closed := true;
+               incr i
+           | '\\' when !i + 1 < n ->
+               (match line.[!i + 1] with
+               | 'n' -> Buffer.add_char buf '\n'
+               | '\\' -> Buffer.add_char buf '\\'
+               | '"' -> Buffer.add_char buf '"'
+               | c -> Buffer.add_char buf c);
+               i := !i + 2
+           | c ->
+               Buffer.add_char buf c;
+               incr i)
+         done;
+         labels := (key, Buffer.contents buf) :: !labels
+       end
+     done
+   end);
+  while !i < n && line.[!i] = ' ' do
+    incr i
+  done;
+  let value = String.sub line !i (n - !i) in
+  if value = "" then fail "missing value in %S" line;
+  let v = try float_parse value with _ -> fail "bad value %S" value in
+  (metric, List.rev !labels, v)
+
+let parse_prometheus text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else Some (parse_line line))
+
+let of_prometheus text =
+  let samples = parse_prometheus text in
+  let counters =
+    List.filter_map
+      (fun (metric, labels, v) ->
+        if metric <> "bullfrog_counter" then None
+        else
+          match List.assoc_opt "name" labels with
+          | Some name -> Some (name, int_of_float v)
+          | None -> fail "bullfrog_counter without name label")
+      samples
+  in
+  (* stat fields arrive one sample per field; regroup by (source, name)
+     preserving first-appearance order so round-tripping is exact *)
+  let stats : (string * string, (string * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun (metric, labels, v) ->
+      if metric = "bullfrog_stat" then
+        let get k =
+          match List.assoc_opt k labels with
+          | Some s -> s
+          | None -> fail "bullfrog_stat without %s label" k
+        in
+        let key = (get "source", get "name") in
+        let fields =
+          match Hashtbl.find_opt stats key with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.replace stats key r;
+              order := key :: !order;
+              r
+        in
+        fields := (get "field", v) :: !fields)
+    samples;
+  let snap_stats =
+    List.rev_map
+      (fun (source, name) ->
+        let fields = !(Hashtbl.find stats (source, name)) in
+        { Obs.st_source = source; st_name = name; st_fields = List.rev fields })
+      !order
+  in
+  { Obs.snap_counters = counters; snap_stats }
+
+(* ------------------------------ JSON ------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json (s : Obs.snapshot) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    s.Obs.snap_counters;
+  Buffer.add_string buf "},\"stats\":[";
+  List.iteri
+    (fun i st ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"source\":\"%s\",\"name\":\"%s\",\"fields\":{"
+           (json_escape st.Obs.st_source)
+           (json_escape st.Obs.st_name));
+      List.iteri
+        (fun j (field, v) ->
+          if j > 0 then Buffer.add_char buf ',';
+          let sv =
+            if Float.is_finite v then Printf.sprintf "%.17g" v
+            else Printf.sprintf "\"%s\"" (float_repr v)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":%s" (json_escape field) sv))
+        st.Obs.st_fields;
+      Buffer.add_string buf "}}")
+    s.Obs.snap_stats;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Prometheus text exposition and JSON rendering of an {!Obs.snapshot}
+    (DESIGN.md §4.2i).
+
+    Counter and stat names carry dots and slashes, so instead of mangling
+    them into metric names everything is exposed under two fully-labeled
+    families, [bullfrog_counter{name="..."}] and
+    [bullfrog_stat{source="...",name="...",field="..."}].  Label values
+    are escaped and floats printed with enough digits that
+    [of_prometheus (to_prometheus s)] reconstructs [s] exactly. *)
+
+exception Parse_error of string
+
+val to_prometheus : Obs.snapshot -> string
+(** Prometheus text exposition format, one sample per counter and per
+    stat field. *)
+
+val parse_prometheus : string -> (string * (string * string) list * float) list
+(** Parse exposition text into [(metric, labels, value)] samples,
+    skipping comments and blank lines.  Raises {!Parse_error} on
+    malformed input. *)
+
+val of_prometheus : string -> Obs.snapshot
+(** Reconstruct a snapshot from {!to_prometheus} output.  Raises
+    {!Parse_error} on malformed input. *)
+
+val to_json : Obs.snapshot -> string
+(** The same snapshot as a JSON object
+    [{"counters":{...},"stats":[...]}]. *)

@@ -98,13 +98,51 @@ module Trace = struct
     ev_tid : int;
     ev_args : (string * string) list;
     ev_seq : int;
+    ev_trace : int;
+    ev_span : int;
+    ev_parent : int;
   }
 
   let on = Atomic.make false
 
   let lock = Mutex.create ()
 
-  let ring : event option array ref = ref [||]
+  (* The ring is struct-of-arrays: recording a span writes plain array
+     slots and allocates nothing (in the common [args = []] case).  A
+     boxed per-event record was measurably the dominant cost of an
+     enabled span over the wire — every young record written into the
+     old ring array hit the write barrier and was promoted wholesale at
+     the next minor collection. *)
+  type ring = {
+    r_phase : Bytes.t;  (* 0 = begin, 1 = end, 2 = instant *)
+    r_clock : Bytes.t;  (* 0 = real, 1 = virtual *)
+    r_name : string array;
+    r_cat : string array;
+    r_ts : float array;  (* flat float array: unboxed stores *)
+    r_tid : int array;
+    r_args : (string * string) list array;
+    r_seq : int array;
+    r_trace : int array;
+    r_span : int array;
+    r_parent : int array;
+  }
+
+  let make_ring cap =
+    {
+      r_phase = Bytes.create cap;
+      r_clock = Bytes.create cap;
+      r_name = Array.make cap "";
+      r_cat = Array.make cap "";
+      r_ts = Array.make cap 0.0;
+      r_tid = Array.make cap 0;
+      r_args = Array.make cap [];
+      r_seq = Array.make cap 0;
+      r_trace = Array.make cap 0;
+      r_span = Array.make cap 0;
+      r_parent = Array.make cap 0;
+    }
+
+  let ring = ref (make_ring 0)
 
   let next_slot = ref 0
 
@@ -116,12 +154,82 @@ module Trace = struct
 
   let enabled () = Atomic.get on
 
+  (* Per-thread span context, guarded by [lock] (the ring latch — context
+     only changes while recording, which holds the latch anyway).
+     [t_trace]/[t_ambient] carry a request's identity across explicit
+     hand-offs ([with_context]); [t_stack] holds the thread's open span
+     ids so a new span's parent is the innermost open span, falling back
+     to the ambient parent that arrived over a thread or wire boundary. *)
+  type tstate = {
+    mutable t_trace : int;  (* 0 = none *)
+    mutable t_ambient : int;  (* parent for top-level spans; 0 = none *)
+    mutable t_auto : bool;  (* trace id was auto-allocated by a root span *)
+    mutable t_stack : int array;  (* open span ids, [0 .. t_depth) *)
+    mutable t_depth : int;
+  }
+
+  let next_id = ref 1
+
+  let fresh_id_locked () =
+    let i = !next_id in
+    next_id := i + 1;
+    i
+
+  (* Thread ids are small sequential ints, so per-thread state lives in a
+     tid-indexed array — a hash probe per recorded event is avoidable
+     cost on the span hot path. *)
+  let states : tstate option array ref = ref [||]
+
+  let reset_states () =
+    Array.fill !states 0 (Array.length !states) None
+
+  let state_of tid =
+    (if tid >= Array.length !states then begin
+       let n = Array.make (max 16 (2 * (tid + 1))) None in
+       Array.blit !states 0 n 0 (Array.length !states);
+       states := n
+     end);
+    match !states.(tid) with
+    | Some st -> st
+    | None ->
+        let st =
+          {
+            t_trace = 0;
+            t_ambient = 0;
+            t_auto = false;
+            t_stack = Array.make 8 0;
+            t_depth = 0;
+          }
+        in
+        !states.(tid) <- Some st;
+        st
+
+  let[@inline] stack_top st =
+    if st.t_depth > 0 then st.t_stack.(st.t_depth - 1) else st.t_ambient
+
+  (* Thread names survive enable/clear: threads register themselves once
+     at spawn, typically before any trace is enabled. *)
+  let thread_names : (int, string) Hashtbl.t = Hashtbl.create 32
+
+  let set_thread_name name =
+    let tid = Thread.id (Thread.self ()) in
+    Mutex.lock lock;
+    Hashtbl.replace thread_names tid name;
+    Mutex.unlock lock
+
+  let thread_name_of tid =
+    Mutex.lock lock;
+    let n = Hashtbl.find_opt thread_names tid in
+    Mutex.unlock lock;
+    n
+
   let enable ?(capacity = 65536) () =
     if capacity <= 0 then invalid_arg "Obs.Trace.enable: capacity";
     Mutex.lock lock;
-    ring := Array.make capacity None;
+    ring := make_ring capacity;
     next_slot := 0;
     total := 0;
+    reset_states ();
     Mutex.unlock lock;
     Atomic.set on true
 
@@ -129,9 +237,15 @@ module Trace = struct
 
   let clear () =
     Mutex.lock lock;
-    Array.fill !ring 0 (Array.length !ring) None;
+    let r = !ring in
+    let cap = Array.length r.r_ts in
+    (* drop the string/args references so a cleared ring retains nothing *)
+    Array.fill r.r_name 0 cap "";
+    Array.fill r.r_cat 0 cap "";
+    Array.fill r.r_args 0 cap [];
     next_slot := 0;
     total := 0;
+    reset_states ();
     Mutex.unlock lock
 
   let now_of = function Real -> Unix.gettimeofday () | Virtual -> !virtual_now
@@ -140,24 +254,106 @@ module Trace = struct
     let ts = now_of clock in
     let tid = Thread.id (Thread.self ()) in
     Mutex.lock lock;
-    let cap = Array.length !ring in
+    let st = state_of tid in
+    let trace, span, parent =
+      match phase with
+      | Span_begin ->
+          if st.t_trace = 0 && st.t_ambient = 0 && st.t_depth = 0 then begin
+            (* a root span with no inherited context starts a new trace *)
+            st.t_trace <- fresh_id_locked ();
+            st.t_auto <- true
+          end;
+          let parent = stack_top st in
+          let id = fresh_id_locked () in
+          (if st.t_depth = Array.length st.t_stack then begin
+             let n = Array.make (2 * st.t_depth) 0 in
+             Array.blit st.t_stack 0 n 0 st.t_depth;
+             st.t_stack <- n
+           end);
+          st.t_stack.(st.t_depth) <- id;
+          st.t_depth <- st.t_depth + 1;
+          (st.t_trace, id, parent)
+      | Span_end ->
+          let id =
+            if st.t_depth > 0 then begin
+              st.t_depth <- st.t_depth - 1;
+              st.t_stack.(st.t_depth)
+            end
+            else 0
+          in
+          let parent = stack_top st in
+          let tr = st.t_trace in
+          if st.t_depth = 0 && st.t_auto then begin
+            st.t_trace <- 0;
+            st.t_auto <- false
+          end;
+          (tr, id, parent)
+      | Instant -> (st.t_trace, 0, stack_top st)
+    in
+    let r = !ring in
+    let cap = Array.length r.r_ts in
     if cap > 0 then begin
-      !ring.(!next_slot) <-
-        Some
-          {
-            ev_phase = phase;
-            ev_name = name;
-            ev_cat = cat;
-            ev_clock = clock;
-            ev_ts = ts;
-            ev_tid = tid;
-            ev_args = args;
-            ev_seq = !total;
-          };
-      next_slot := (!next_slot + 1) mod cap;
+      let i = !next_slot in
+      Bytes.unsafe_set r.r_phase i
+        (Char.unsafe_chr
+           (match phase with Span_begin -> 0 | Span_end -> 1 | Instant -> 2));
+      Bytes.unsafe_set r.r_clock i
+        (Char.unsafe_chr (match clock with Real -> 0 | Virtual -> 1));
+      Array.unsafe_set r.r_name i name;
+      Array.unsafe_set r.r_cat i cat;
+      Array.unsafe_set r.r_ts i ts;
+      Array.unsafe_set r.r_tid i tid;
+      Array.unsafe_set r.r_args i args;
+      Array.unsafe_set r.r_seq i !total;
+      Array.unsafe_set r.r_trace i trace;
+      Array.unsafe_set r.r_span i span;
+      Array.unsafe_set r.r_parent i parent;
+      next_slot := (if i + 1 = cap then 0 else i + 1);
       incr total
     end;
     Mutex.unlock lock
+
+  let context () =
+    if not (Atomic.get on) then None
+    else begin
+      let tid = Thread.id (Thread.self ()) in
+      Mutex.lock lock;
+      let r =
+        if tid < Array.length !states then
+          match !states.(tid) with
+          | Some st when st.t_trace <> 0 -> Some (st.t_trace, stack_top st)
+          | _ -> None
+        else None
+      in
+      Mutex.unlock lock;
+      r
+    end
+
+  let with_context ctx f =
+    match ctx with
+    | None -> f ()
+    | Some (trace, parent) ->
+        if not (Atomic.get on) then f ()
+        else begin
+          let tid = Thread.id (Thread.self ()) in
+          Mutex.lock lock;
+          let st = state_of tid in
+          let saved = (st.t_trace, st.t_ambient, st.t_auto) in
+          st.t_trace <- trace;
+          st.t_ambient <- parent;
+          st.t_auto <- false;
+          Mutex.unlock lock;
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock lock;
+              let st = state_of tid in
+              let tr, am, au = saved in
+              st.t_trace <- tr;
+              st.t_ambient <- am;
+              st.t_auto <- au;
+              Mutex.unlock lock)
+            f
+        end
 
   let begin_span ?(clock = Real) ?(args = []) ~cat name =
     if Atomic.get on then record Span_begin clock name cat args
@@ -181,13 +377,33 @@ module Trace = struct
     Mutex.unlock lock;
     n
 
-  (* Surviving events in insertion order. *)
+  (* Surviving events in insertion order, materialized as boxed records
+     from the flat ring (cold path — only export pays for boxing). *)
   let raw_events () =
     Mutex.lock lock;
-    let evs =
-      Array.to_list !ring |> List.filter_map Fun.id
-      |> List.sort (fun a b -> compare a.ev_seq b.ev_seq)
+    let r = !ring in
+    let cap = Array.length r.r_ts in
+    let n = min !total cap in
+    let ev i =
+      {
+        ev_phase =
+          (match Char.code (Bytes.get r.r_phase i) with
+          | 0 -> Span_begin
+          | 1 -> Span_end
+          | _ -> Instant);
+        ev_name = r.r_name.(i);
+        ev_cat = r.r_cat.(i);
+        ev_clock = (if Char.code (Bytes.get r.r_clock i) = 0 then Real else Virtual);
+        ev_ts = r.r_ts.(i);
+        ev_tid = r.r_tid.(i);
+        ev_args = r.r_args.(i);
+        ev_seq = r.r_seq.(i);
+        ev_trace = r.r_trace.(i);
+        ev_span = r.r_span.(i);
+        ev_parent = r.r_parent.(i);
+      }
     in
+    let evs = List.init n ev |> List.sort (fun a b -> compare a.ev_seq b.ev_seq) in
     Mutex.unlock lock;
     evs
 
@@ -360,6 +576,25 @@ module Trace = struct
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"wall clock\"}},\n";
     Buffer.add_string buf
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\"args\":{\"name\":\"virtual time\"}}";
+    (* thread_name metadata so scatter/gather shard threads and server
+       workers render under their registered names instead of bare tids *)
+    let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let key = (pid_of e.ev_clock, e.ev_tid) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          let name =
+            match thread_name_of e.ev_tid with
+            | Some n -> n
+            | None -> Printf.sprintf "thread-%d" e.ev_tid
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+               (fst key) e.ev_tid (json_escape name))
+        end)
+      evs;
     List.iter
       (fun e ->
         let b = try Hashtbl.find base e.ev_clock with Not_found -> 0.0 in
@@ -375,7 +610,17 @@ module Trace = struct
              (json_escape (if e.ev_cat = "" then "span" else e.ev_cat))
              ph ts_us (pid_of e.ev_clock) e.ev_tid);
         (match e.ev_phase with Instant -> Buffer.add_string buf ",\"s\":\"t\"" | _ -> ());
-        (match e.ev_args with
+        let args =
+          if e.ev_trace <> 0 then
+            e.ev_args
+            @ [
+                ("trace", string_of_int e.ev_trace);
+                ("span", string_of_int e.ev_span);
+                ("parent", string_of_int e.ev_parent);
+              ]
+          else e.ev_args
+        in
+        (match args with
         | [] -> ()
         | args ->
             Buffer.add_string buf ",\"args\":{";
@@ -400,6 +645,169 @@ module Trace = struct
         output_string oc (to_chrome_json evs);
         close_out oc;
         Ok (List.length evs)
+end
+
+(* ------------------------- flight recorder ------------------------- *)
+
+(* Always-on bounded ring of recent lifecycle events (migration flips,
+   2PC decisions, server start/stop, fault fires).  Unlike [Trace] it is
+   enabled by default and fed only from cold paths, so the cost is one
+   latched append per *event of note*, never per statement.  On a crash
+   — a [Fault] point firing or the server aborting — the ring is dumped
+   to a file for post-mortem reading. *)
+module Flight = struct
+  type entry = { fl_ts : float; fl_tid : int; fl_cat : string; fl_msg : string }
+
+  let capacity = 512
+
+  let on = Atomic.make true
+
+  let lock = Mutex.create ()
+
+  let ring : entry option array = Array.make capacity None
+
+  let next_slot = ref 0
+
+  let total = ref 0
+
+  let default_path =
+    Filename.concat (Filename.get_temp_dir_name ()) "bullfrog-flight.dump"
+
+  let dump_path = ref default_path
+
+  let set_enabled b = Atomic.set on b
+
+  let enabled () = Atomic.get on
+
+  let set_path p = dump_path := p
+
+  let path () = !dump_path
+
+  let clear () =
+    Mutex.lock lock;
+    Array.fill ring 0 capacity None;
+    next_slot := 0;
+    total := 0;
+    Mutex.unlock lock
+
+  let note ~cat msg =
+    if Atomic.get on then begin
+      let ts = Unix.gettimeofday () in
+      let tid = Thread.id (Thread.self ()) in
+      Mutex.lock lock;
+      ring.(!next_slot) <-
+        Some { fl_ts = ts; fl_tid = tid; fl_cat = cat; fl_msg = msg };
+      next_slot := (!next_slot + 1) mod capacity;
+      incr total;
+      Mutex.unlock lock
+    end
+
+  let notef ~cat fmt = Printf.ksprintf (fun msg -> note ~cat msg) fmt
+
+  (* Surviving entries, oldest first. *)
+  let entries () =
+    Mutex.lock lock;
+    let out = ref [] in
+    for i = 0 to capacity - 1 do
+      match ring.((!next_slot + i) mod capacity) with
+      | Some e -> out := e :: !out
+      | None -> ()
+    done;
+    Mutex.unlock lock;
+    List.rev !out
+
+  (* One-line-per-entry text format, TAB-separated with backslash
+     escapes, headed by "BULLFROG-FLIGHT 1 <reason> <wall-ts> <count>".
+     The same escaping as the wire protocol, inlined so the recorder has
+     no dependency above bullfrog_util. *)
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let unescape s =
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] = '\\' && !i + 1 < n then begin
+         (match s.[!i + 1] with
+         | '\\' -> Buffer.add_char buf '\\'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | c -> Buffer.add_char buf c);
+         i := !i + 2
+       end
+       else begin
+         Buffer.add_char buf s.[!i];
+         incr i
+       end)
+    done;
+    Buffer.contents buf
+
+  let dump ?(reason = "manual") path =
+    let es = entries () in
+    let oc = open_out path in
+    Printf.fprintf oc "BULLFROG-FLIGHT 1 %s %.6f %d\n" (escape reason)
+      (Unix.gettimeofday ())
+      (List.length es);
+    List.iter
+      (fun e ->
+        Printf.fprintf oc "%.6f\t%d\t%s\t%s\n" e.fl_ts e.fl_tid
+          (escape e.fl_cat) (escape e.fl_msg))
+      es;
+    close_out oc;
+    List.length es
+
+  (* Best-effort dump on the crash path: never raises, returns the path
+     written (None when disabled or the write itself failed). *)
+  let crash_dump ~reason =
+    if not (Atomic.get on) then None
+    else
+      try
+        let p = !dump_path in
+        ignore (dump ~reason p : int);
+        Some p
+      with _ -> None
+
+  let load path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let header = input_line ic in
+        let reason =
+          match String.split_on_char ' ' header with
+          | "BULLFROG-FLIGHT" :: "1" :: reason :: _ -> unescape reason
+          | _ -> failwith "Obs.Flight.load: bad header"
+        in
+        let es = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             match String.split_on_char '\t' line with
+             | [ ts; tid; cat; msg ] ->
+                 es :=
+                   {
+                     fl_ts = float_of_string ts;
+                     fl_tid = int_of_string tid;
+                     fl_cat = unescape cat;
+                     fl_msg = unescape msg;
+                   }
+                   :: !es
+             | _ -> failwith "Obs.Flight.load: bad entry line"
+           done
+         with End_of_file -> ());
+        (reason, List.rev !es))
 end
 
 (* ------------------------- stats providers ------------------------- *)

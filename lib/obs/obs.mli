@@ -69,6 +69,9 @@ module Trace : sig
     ev_tid : int;
     ev_args : (string * string) list;
     ev_seq : int;  (** global insertion order *)
+    ev_trace : int;  (** trace (request) id; 0 = no trace context *)
+    ev_span : int;  (** this span's id; 0 for instants *)
+    ev_parent : int;  (** enclosing span id; 0 = trace root *)
   }
 
   val enable : ?capacity:int -> unit -> unit
@@ -102,6 +105,25 @@ module Trace : sig
     (unit -> 'a) ->
     'a
 
+  val context : unit -> (int * int) option
+  (** The calling thread's current [(trace_id, parent_span_id)], or
+      [None] when tracing is disabled or the thread is outside any
+      trace.  Hand the result to {!with_context} on another thread (or
+      serialize it over the wire) to keep a request's spans in one
+      connected tree. *)
+
+  val with_context : (int * int) option -> (unit -> 'a) -> 'a
+  (** [with_context ctx f] runs [f] with the calling thread's trace
+      context set to [ctx]: new root-level spans in [f] join that trace
+      with the given parent span instead of starting a fresh trace.
+      [with_context None f] is [f ()].  Saves and restores the thread's
+      previous context. *)
+
+  val set_thread_name : string -> unit
+  (** Register a display name for the calling thread, emitted as Chrome
+      [thread_name] metadata.  Survives {!enable}/{!clear} so threads
+      can name themselves once at spawn. *)
+
   val recorded : unit -> int
   (** Events ever recorded (including those the ring has dropped). *)
 
@@ -123,6 +145,48 @@ module Trace : sig
   val write_chrome : string -> (int, string) result
   (** [write_chrome path] exports, validates and writes the trace;
       [Ok n] gives the event count written. *)
+end
+
+(** Crash flight recorder (DESIGN.md §4.2i).
+
+    An always-on bounded ring of recent lifecycle notes — migration
+    flips, 2PC decisions, server start/stop, fault fires — dumped to a
+    file when a crash point fires or the server aborts.  Fed only from
+    cold paths: enabled by default precisely because it costs nothing
+    per statement. *)
+module Flight : sig
+  type entry = { fl_ts : float; fl_tid : int; fl_cat : string; fl_msg : string }
+
+  val set_enabled : bool -> unit
+
+  val enabled : unit -> bool
+
+  val set_path : string -> unit
+  (** Where {!crash_dump} writes; defaults to
+      [<tmpdir>/bullfrog-flight.dump]. *)
+
+  val path : unit -> string
+
+  val clear : unit -> unit
+
+  val note : cat:string -> string -> unit
+
+  val notef : cat:string -> ('a, unit, string, unit) format4 -> 'a
+
+  val entries : unit -> entry list
+  (** Surviving entries, oldest first. *)
+
+  val dump : ?reason:string -> string -> int
+  (** Write the ring to a file; returns the entry count.  [reason] must
+      not contain spaces (it is a single header token). *)
+
+  val crash_dump : reason:string -> string option
+  (** Best-effort {!dump} to {!path} — never raises; [None] when
+      disabled or the write failed. *)
+
+  val load : string -> string * entry list
+  (** Parse a dump file back into [(reason, entries)]; raises on a
+      malformed file. *)
 end
 
 type stat = {

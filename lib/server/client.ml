@@ -23,13 +23,30 @@ let connect ?(host = "127.0.0.1") ~port () =
 
 exception Closed
 
+(* Trace propagation, not origination: when the calling thread is
+   already inside a trace, the request runs under a "request" span whose
+   context rides the CTX wire header — the server worker picks it up and
+   its spans land in the same tree.  A call from outside any span sends
+   no header and records nothing client-side; the server's own spans
+   root a fresh trace over there.  (Originating a root span per wire
+   call here would put two ring records and a header render on every
+   request of untraced callers.) *)
 let request t req =
-  output_string t.out (Protocol.render_request req);
-  output_char t.out '\n';
-  flush t.out;
-  match Protocol.read_response t.inc with
-  | Some resp -> resp
-  | None -> raise Closed
+  let send ctx () =
+    output_string t.out (Protocol.render_request ?ctx req);
+    output_char t.out '\n';
+    flush t.out;
+    match Protocol.read_response t.inc with
+    | Some resp -> resp
+    | None -> raise Closed
+  in
+  match Obs.Trace.context () with
+  | None -> send None ()
+  | Some _ ->
+      Obs.Trace.with_span ~cat:"client" "request" (fun () ->
+          (* re-read inside the span so the server's parent is the
+             request span itself, not the span around it *)
+          send (Obs.Trace.context ()) ())
 
 let exec t sql = request t (Protocol.Exec sql)
 
@@ -46,6 +63,12 @@ let exec_prepared t name params =
 
 let pin t = request t Protocol.Pin
 let unpin t = request t Protocol.Unpin
+
+let stats ?fmt t =
+  match request t (Protocol.Stats fmt) with
+  | Protocol.Ok_text s -> s
+  | Protocol.Error (_, msg) -> raise (Db_error.Sql_error msg)
+  | _ -> raise (Db_error.Sql_error "server: STATS returned no text")
 
 let close t =
   (try

@@ -12,7 +12,10 @@ exception Closed
 val connect : ?host:string -> port:int -> unit -> t
 
 val request : t -> Protocol.request -> Protocol.response
-(** Send one request and block for its response. @raise Closed. *)
+(** Send one request and block for its response.  When this process is
+    tracing ({!Obs.Trace.enabled}), the exchange runs under a
+    ["request"] span whose context rides the wire [CTX] header, so a
+    tracing server's spans join the same trace tree. @raise Closed. *)
 
 val exec : t -> string -> Protocol.response
 
@@ -27,6 +30,11 @@ val exec_prepared : t -> string -> Value.t array -> Protocol.response
 val pin : t -> Protocol.response
 
 val unpin : t -> Protocol.response
+
+val stats : ?fmt:string -> t -> string
+(** Metrics exposition text ([fmt] is ["prometheus"] (default) or
+    ["json"]).  @raise Bullfrog_db.Db_error.Sql_error on an error
+    response. *)
 
 val close : t -> unit
 (** Sends [QUIT] (best effort) and closes the socket. *)

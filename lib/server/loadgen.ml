@@ -79,28 +79,58 @@ let percentile p xs =
       in
       List.nth sorted idx
 
-(* Per-bucket outcome counts over the schedule timeline: the shed-rate
-   trace the benchmark plots (shed must return to zero once migration
-   debt drains). *)
-let trace ~bucket r =
-  if bucket <= 0.0 then invalid_arg "Loadgen.trace: bucket must be positive";
+type window = {
+  w_t : float;
+  w_ok : int;
+  w_shed : int;
+  w_retry : int;
+  w_err : int;
+  w_p50 : float;
+  w_p95 : float;
+  w_p99 : float;
+}
+
+(* Per-bucket outcome counts and successful-request latency percentiles
+   over the schedule timeline: the shed-rate trace the benchmark plots
+   (shed must return to zero once migration debt drains), now with the
+   latency story per window so recovery benches can gate latency, not
+   just shed rate. *)
+let windows ~bucket r =
+  if bucket <= 0.0 then invalid_arg "Loadgen.windows: bucket must be positive";
   let nb =
     1 + int_of_float (r.lr_samples.(Array.length r.lr_samples - 1).ls_sched /. bucket)
   in
   let ok = Array.make nb 0
   and shed = Array.make nb 0
   and retry = Array.make nb 0
-  and err = Array.make nb 0 in
+  and err = Array.make nb 0
+  and oks = Array.make nb [] in
   Array.iter
     (fun s ->
       if s.ls_seq >= 0 then begin
         let b = min (nb - 1) (int_of_float (s.ls_sched /. bucket)) in
         match s.ls_outcome with
-        | O_ok -> ok.(b) <- ok.(b) + 1
+        | O_ok ->
+            ok.(b) <- ok.(b) + 1;
+            oks.(b) <- s.ls_latency :: oks.(b)
         | O_shed -> shed.(b) <- shed.(b) + 1
         | O_retry -> retry.(b) <- retry.(b) + 1
         | O_error -> err.(b) <- err.(b) + 1
       end)
     r.lr_samples;
   List.init nb (fun b ->
-      (float_of_int b *. bucket, ok.(b), shed.(b), retry.(b), err.(b)))
+      {
+        w_t = float_of_int b *. bucket;
+        w_ok = ok.(b);
+        w_shed = shed.(b);
+        w_retry = retry.(b);
+        w_err = err.(b);
+        w_p50 = percentile 0.50 oks.(b);
+        w_p95 = percentile 0.95 oks.(b);
+        w_p99 = percentile 0.99 oks.(b);
+      })
+
+let trace ~bucket r =
+  List.map
+    (fun w -> (w.w_t, w.w_ok, w.w_shed, w.w_retry, w.w_err))
+    (windows ~bucket r)

@@ -37,7 +37,23 @@ val latencies : ?outcome:outcome -> result -> float list
 val percentile : float -> float list -> float
 (** [percentile 0.99 xs]; 0 on empty input. *)
 
+type window = {
+  w_t : float;
+  w_ok : int;
+  w_shed : int;
+  w_retry : int;
+  w_err : int;
+  w_p50 : float;  (** latency percentiles over the window's [O_ok]
+                      samples, seconds; 0 when the window has none *)
+  w_p95 : float;
+  w_p99 : float;
+}
+
+val windows : bucket:float -> result -> window list
+(** Outcome counts {e and} successful-request latency percentiles per
+    [bucket]-second window — the timeline recovery benches gate on. *)
+
 val trace :
   bucket:float -> result -> (float * int * int * int * int) list
-(** Outcome counts per [bucket]-second window:
+(** {!windows} projected to outcome counts only:
     [(t, ok, shed, retry, error)] — the shed-rate timeline. *)

@@ -50,6 +50,7 @@ type request =
   | Exec_prepared of string * Value.t array  (** [E <name> <literal>...] *)
   | Pin  (** [PIN] — pin the session snapshot (holds the GC horizon) *)
   | Unpin  (** [UNPIN] *)
+  | Stats of string option  (** [STATS [<fmt>]] — metrics exposition *)
   | Quit  (** [QUIT] — close the connection *)
 
 exception Bad_request of string
@@ -91,27 +92,49 @@ let parse_literal s =
         | Some f -> Value.Float f
         | None -> bad "unparseable literal %S" s)
 
-let parse_request line =
-  match split_fields line with
+let parse_fields = function
   | [ "Q"; sql ] -> Exec sql
   | [ "P"; name; sql ] -> Prepare (name, sql)
   | "E" :: name :: params ->
       Exec_prepared (name, Array.of_list (List.map parse_literal params))
   | [ "PIN" ] -> Pin
   | [ "UNPIN" ] -> Unpin
+  | [ "STATS" ] -> Stats None
+  | [ "STATS"; fmt ] -> Stats (Some fmt)
   | [ "QUIT" ] -> Quit
   | verb :: _ -> bad "unknown request %S" verb
   | [] -> bad "empty request"
 
-let render_request = function
-  | Exec sql -> join_fields [ "Q"; sql ]
-  | Prepare (name, sql) -> join_fields [ "P"; name; sql ]
-  | Exec_prepared (name, params) ->
-      join_fields
-        ("E" :: name :: List.map Value.to_sql (Array.to_list params))
-  | Pin -> "PIN"
-  | Unpin -> "UNPIN"
-  | Quit -> "QUIT"
+(* An optional [CTX <trace> <parent>] prefix carries the client's trace
+   context; servers that trace thread it through the worker so the
+   request's server-side spans join the client's tree.  Old clients
+   simply omit it. *)
+let parse_request line =
+  match split_fields line with
+  | "CTX" :: tr :: sp :: rest -> (
+      match (int_of_string_opt tr, int_of_string_opt sp) with
+      | Some tr, Some sp -> (Some (tr, sp), parse_fields rest)
+      | _ -> bad "malformed CTX header")
+  | fields -> (None, parse_fields fields)
+
+let render_request ?ctx req =
+  let body =
+    match req with
+    | Exec sql -> join_fields [ "Q"; sql ]
+    | Prepare (name, sql) -> join_fields [ "P"; name; sql ]
+    | Exec_prepared (name, params) ->
+        join_fields
+          ("E" :: name :: List.map Value.to_sql (Array.to_list params))
+    | Pin -> "PIN"
+    | Unpin -> "UNPIN"
+    | Stats None -> "STATS"
+    | Stats (Some fmt) -> join_fields [ "STATS"; fmt ]
+    | Quit -> "QUIT"
+  in
+  match ctx with
+  | Some (tr, sp) ->
+      String.concat "\t" [ "CTX"; string_of_int tr; string_of_int sp; body ]
+  | None -> body
 
 (* -- responses ------------------------------------------------------ *)
 

@@ -5,9 +5,15 @@
     SQL text round-trips.  Requests: [Q sql] (execute), [P name sql]
     (prepare in the session), [E name lit...] (execute prepared with SQL
     literal parameters), [PIN] / [UNPIN] (session snapshot pin — holds
-    the engine's GC horizon at the session's snapshot), [QUIT].
-    Responses: [OK n], [ROWS ncols nrows] followed by a header line and
-    [nrows] value lines, [TEXT s], [ERR code msg], [BYE]. *)
+    the engine's GC horizon at the session's snapshot), [STATS [fmt]]
+    (metrics exposition, [fmt] is [prometheus] (default) or [json]),
+    [QUIT].  Responses: [OK n], [ROWS ncols nrows] followed by a header
+    line and [nrows] value lines, [TEXT s], [ERR code msg], [BYE].
+
+    Any request may carry a [CTX trace parent] prefix — the client's
+    trace context, threaded through the server worker so server-side
+    spans join the client's trace tree.  Old clients omit it; servers
+    that are not tracing ignore it. *)
 
 open Bullfrog_db
 
@@ -17,15 +23,17 @@ type request =
   | Exec_prepared of string * Value.t array
   | Pin
   | Unpin
+  | Stats of string option
   | Quit
 
 exception Bad_request of string
 
-val parse_request : string -> request
-(** @raise Bad_request on malformed input. *)
+val parse_request : string -> (int * int) option * request
+(** The optional [CTX] trace context plus the request.
+    @raise Bad_request on malformed input. *)
 
-val render_request : request -> string
-(** One line, no trailing newline. *)
+val render_request : ?ctx:int * int -> request -> string
+(** One line, no trailing newline; [ctx] prepends the [CTX] header. *)
 
 val parse_literal : string -> Value.t
 (** SQL literal forms: [NULL], [TRUE]/[FALSE], integers, floats,

@@ -16,6 +16,7 @@ let c_rate_limited = Obs.Counters.make "server.rate_limited"
 let c_queue_rejects = Obs.Counters.make "server.queue_rejects"
 let c_shed = Obs.Counters.make "server.shed"
 let c_drain_rejects = Obs.Counters.make "server.drain_rejects"
+let c_slow = Obs.Counters.make "server.slow_queries"
 
 type config = {
   host : string;
@@ -26,6 +27,7 @@ type config = {
   burst : float;
   open_above : int;
   close_below : int;
+  slow_query_s : float;
 }
 
 let default_config =
@@ -38,7 +40,15 @@ let default_config =
     burst = 32.0;
     open_above = max_int;
     close_below = max_int;
+    slow_query_s = infinity;
   }
+
+type slow_query = {
+  sq_sql : string;
+  sq_class : string;
+  sq_seconds : float;
+  sq_detail : string;  (** EXPLAIN ANALYZE actuals / plan + routing note *)
+}
 
 type session = {
   s_id : int;
@@ -51,10 +61,19 @@ type session = {
 type job = {
   j_session : session;
   j_request : Protocol.request;
+  j_ctx : (int * int) option;  (* wire trace context, set by the reader *)
   j_mutex : Mutex.t;
   j_cond : Condition.t;
   mutable j_reply : Protocol.response option;
 }
+
+(* Latency classes: point read / scan / write / DDL.  Histograms are not
+   thread-safe, so the worker takes [o_mutex] per observation — only
+   when counters are enabled, keeping the disabled path at one atomic
+   load. *)
+let latency_classes = [ "point"; "scan"; "write"; "ddl"; "other" ]
+
+let slow_log_cap = 64
 
 type t = {
   cfg : config;
@@ -62,6 +81,7 @@ type t = {
   breaker : Breaker.t;
   listen_sock : Unix.file_descr;
   bound_port : int;
+  prov : string;  (* per-instance Obs provider name, "server:<port>" *)
   queue : job Queue.t;
   q_mutex : Mutex.t;
   q_nonempty : Condition.t;
@@ -74,9 +94,91 @@ type t = {
   r_mutex : Mutex.t;  (* guards readers + conns *)
   mutable conns : Unix.file_descr list;
   mutable next_session : int;
+  o_mutex : Mutex.t;  (* guards latencies + slow log *)
+  latencies : (string * Histogram.t) list;  (* per statement class *)
+  slow : slow_query Queue.t;  (* newest at the back, bounded *)
 }
 
 let port t = t.bound_port
+
+(* -- per-class latency + slow-query log ----------------------------- *)
+
+let sql_of session = function
+  | Protocol.Exec sql -> Some sql
+  | Protocol.Exec_prepared (name, _) -> Hashtbl.find_opt session.s_prepared name
+  | _ -> None
+
+(* First-keyword classification; SELECT splits point-vs-scan on whether
+   the WHERE contains an equality — the same cheap scan-not-parse
+   approach as [non_essential_sql], run only when counters are on. *)
+let class_of_sql sql =
+  let up = String.uppercase_ascii sql in
+  let n = String.length up in
+  let rec skip i =
+    if i < n && (up.[i] = ' ' || up.[i] = '\t' || up.[i] = '\n' || up.[i] = '\r' || up.[i] = '(')
+    then skip (i + 1)
+    else i
+  in
+  let i = skip 0 in
+  let rec stop j = if j < n && 'A' <= up.[j] && up.[j] <= 'Z' then stop (j + 1) else j in
+  let word = String.sub up i (stop i - i) in
+  match word with
+  | "INSERT" | "UPDATE" | "DELETE" -> "write"
+  | "CREATE" | "DROP" | "ALTER" -> "ddl"
+  | "SELECT" ->
+      (* a WHERE with an equality is point-ish; anything else scans *)
+      let rec find_sub pat k =
+        if k + String.length pat > n then false
+        else if String.sub up k (String.length pat) = pat then true
+        else find_sub pat (k + 1)
+      in
+      if find_sub " WHERE " 0 && String.contains up '=' then "point" else "scan"
+  | "EXPLAIN" -> "scan"
+  | _ -> "other"
+
+let observe_latency t session req dt =
+  if Obs.Counters.enabled () then begin
+    match sql_of session req with
+    | None -> ()
+    | Some sql ->
+        let cls = class_of_sql sql in
+        Mutex.lock t.o_mutex;
+        (match List.assoc_opt cls t.latencies with
+        | Some h -> Histogram.add h dt
+        | None -> ());
+        Mutex.unlock t.o_mutex
+  end
+
+(* Over-threshold statements are re-explained for the log: reads rerun
+   under EXPLAIN ANALYZE (side-effect-free, and the rerun's actuals are
+   the point), writes and DDL get the plan + routing decision only —
+   re-executing them would double their effects. *)
+let capture_slow t session req dt =
+  match sql_of session req with
+  | None -> ()
+  | Some sql ->
+      Obs.Counters.bump c_slow;
+      let cls = class_of_sql sql in
+      let detail =
+        try
+          if cls = "point" || cls = "scan" then
+            match t.frontend.Frontend.f_exec ("EXPLAIN ANALYZE " ^ sql) with
+            | Executor.Explained s | Executor.Done s -> s
+            | _ -> "(no plan)"
+          else t.frontend.Frontend.f_explain sql
+        with e -> Printf.sprintf "(explain failed: %s)" (Printexc.to_string e)
+      in
+      let entry = { sq_sql = sql; sq_class = cls; sq_seconds = dt; sq_detail = detail } in
+      Mutex.lock t.o_mutex;
+      Queue.push entry t.slow;
+      if Queue.length t.slow > slow_log_cap then ignore (Queue.pop t.slow : slow_query);
+      Mutex.unlock t.o_mutex
+
+let slow_log t =
+  Mutex.lock t.o_mutex;
+  let l = List.of_seq (Queue.to_seq t.slow) in
+  Mutex.unlock t.o_mutex;
+  l
 
 (* -- statement classification --------------------------------------- *)
 
@@ -102,7 +204,9 @@ let non_essential session = function
       match Hashtbl.find_opt session.s_prepared name with
       | Some sql -> non_essential_sql sql
       | None -> false)
-  | Protocol.Prepare _ | Protocol.Pin | Protocol.Unpin | Protocol.Quit -> false
+  | Protocol.Prepare _ | Protocol.Pin | Protocol.Unpin | Protocol.Stats _
+  | Protocol.Quit ->
+      false
 
 (* -- worker side ---------------------------------------------------- *)
 
@@ -130,7 +234,7 @@ let run_request t session req =
         ignore (Bullfrog_sql.Parser.parse_one sql : Bullfrog_sql.Ast.stmt);
         Hashtbl.replace session.s_prepared name sql;
         Protocol.Ok_text "PREPARED"
-    | Protocol.Pin | Protocol.Unpin | Protocol.Quit ->
+    | Protocol.Pin | Protocol.Unpin | Protocol.Stats _ | Protocol.Quit ->
         (* handled on the reader thread; never enqueued *)
         Protocol.Error (Protocol.Err_bad, "unroutable request")
   with
@@ -145,9 +249,14 @@ let run_request t session req =
       Protocol.Error (Protocol.Err_sql, Printf.sprintf "%s (at byte %d)" msg off)
   | e ->
       Obs.Counters.bump c_bad;
+      (* an unclassified exception escaping the engine is the "server
+         abort" the flight recorder is for: dump before answering *)
+      Obs.Flight.notef ~cat:"server" "request aborted: %s" (Printexc.to_string e);
+      ignore (Obs.Flight.crash_dump ~reason:"server-abort" : string option);
       Protocol.Error (Protocol.Err_bad, Printexc.to_string e)
 
-let worker_loop t =
+let worker_loop t idx =
+  Obs.Trace.set_thread_name (Printf.sprintf "worker-%d" idx);
   let rec next () =
     Mutex.lock t.q_mutex;
     let rec wait () =
@@ -170,7 +279,20 @@ let worker_loop t =
     match wait () with
     | None -> ()
     | Some job ->
-        let reply = run_request t job.j_session job.j_request in
+        (* time the request only when someone consumes the timing *)
+        let timing = Obs.Counters.enabled () || t.cfg.slow_query_s < infinity in
+        let t0 = if timing then Unix.gettimeofday () else 0.0 in
+        let reply =
+          (* the wire CTX joins this worker's spans to the client's tree *)
+          Obs.Trace.with_context job.j_ctx (fun () ->
+              run_request t job.j_session job.j_request)
+        in
+        if timing then begin
+          let dt = Unix.gettimeofday () -. t0 in
+          observe_latency t job.j_session job.j_request dt;
+          if dt >= t.cfg.slow_query_s then
+            capture_slow t job.j_session job.j_request dt
+        end;
         Mutex.lock job.j_mutex;
         job.j_reply <- Some reply;
         Condition.signal job.j_cond;
@@ -188,7 +310,7 @@ let worker_loop t =
 
 (* Enqueue under the cap and park until the worker replies; [None] means
    the queue was full (or the server is draining) and nothing ran. *)
-let submit t session req =
+let submit t session ctx req =
   Mutex.lock t.q_mutex;
   if t.stopping then begin
     Mutex.unlock t.q_mutex;
@@ -205,6 +327,7 @@ let submit t session req =
       {
         j_session = session;
         j_request = req;
+        j_ctx = ctx;
         j_mutex = Mutex.create ();
         j_cond = Condition.create ();
         j_reply = None;
@@ -221,10 +344,24 @@ let submit t session req =
     job.j_reply
   end
 
-let handle_request t session bucket req =
+let handle_request t session bucket ctx req =
   Obs.Counters.bump c_requests;
   match req with
   | Protocol.Quit -> Some Protocol.Bye
+  | Protocol.Stats fmt -> (
+      (* metrics must stay readable when admission is saturated: served
+         on the reader thread, no token, no queue, like PIN *)
+      let snap = Obs.snapshot () in
+      match fmt with
+      | None | Some "prometheus" ->
+          Some (Protocol.Ok_text (Exposition.to_prometheus snap))
+      | Some "json" -> Some (Protocol.Ok_text (Exposition.to_json snap))
+      | Some other ->
+          Some
+            (Protocol.Error
+               ( Protocol.Err_bad,
+                 Printf.sprintf "unknown STATS format %S (prometheus|json)"
+                   other )))
   | Protocol.Pin -> (
       match session.s_pinned with
       | Some _ -> Some (Protocol.Error (Protocol.Err_bad, "already pinned"))
@@ -253,7 +390,7 @@ let handle_request t session bucket req =
                "breaker open: non-essential statements shed during migration \
                 backlog" ))
       end
-      else submit t session req
+      else submit t session ctx req
 
 let reader_loop t sock =
   let session =
@@ -275,7 +412,7 @@ let reader_loop t sock =
        | Some line ->
            let reply =
              match Protocol.parse_request line with
-             | req -> handle_request t session bucket req
+             | ctx, req -> handle_request t session bucket ctx req
              | exception Protocol.Bad_request msg ->
                  Obs.Counters.bump c_bad;
                  Some (Protocol.Error (Protocol.Err_bad, msg))
@@ -348,6 +485,7 @@ let start ?(config = default_config) ?(debt = fun () -> 0) frontend =
           ~close_below:config.close_below debt;
       listen_sock;
       bound_port;
+      prov = Printf.sprintf "server:%d" bound_port;
       queue = Queue.create ();
       q_mutex = Mutex.create ();
       q_nonempty = Condition.create ();
@@ -360,16 +498,20 @@ let start ?(config = default_config) ?(debt = fun () -> 0) frontend =
       r_mutex = Mutex.create ();
       conns = [];
       next_session = 0;
+      o_mutex = Mutex.create ();
+      latencies = List.map (fun c -> (c, Histogram.create ())) latency_classes;
+      slow = Queue.create ();
     }
   in
   t.workers <-
-    List.init (max 1 config.workers) (fun _ -> Thread.create worker_loop t);
+    List.init (max 1 config.workers) (fun i ->
+        Thread.create (fun () -> worker_loop t i) ());
   t.accept_thread <- Some (Thread.create accept_loop t);
-  Obs.register_stats "server"
+  Obs.register_stats t.prov
     (fun () ->
-      [
+      let admission =
         {
-          Obs.st_source = "server";
+          Obs.st_source = t.prov;
           st_name = "admission";
           st_fields =
             [
@@ -377,9 +519,37 @@ let start ?(config = default_config) ?(debt = fun () -> 0) frontend =
               ("busy_workers", float_of_int t.busy_workers);
               ("breaker_open", if Breaker.is_open t.breaker then 1.0 else 0.0);
               ("migration_debt", float_of_int (Breaker.debt t.breaker));
+              ("slow_queries", float_of_int (Queue.length t.slow));
             ];
-        };
-      ]);
+        }
+      in
+      let lat =
+        Mutex.lock t.o_mutex;
+        let l =
+          List.filter_map
+            (fun (cls, h) ->
+              if Histogram.count h = 0 then None
+              else
+                Some
+                  {
+                    Obs.st_source = t.prov;
+                    st_name = "latency_" ^ cls;
+                    st_fields =
+                      [
+                        ("count", float_of_int (Histogram.count h));
+                        ("p50_ms", Histogram.percentile h 50.0 *. 1e3);
+                        ("p95_ms", Histogram.percentile h 95.0 *. 1e3);
+                        ("p99_ms", Histogram.percentile h 99.0 *. 1e3);
+                      ];
+                  })
+            t.latencies
+        in
+        Mutex.unlock t.o_mutex;
+        l
+      in
+      admission :: lat);
+  Obs.Flight.notef ~cat:"server" "listening on %s:%d (%d workers)" config.host
+    bound_port config.workers;
   Logs.info (fun m ->
       m "server: listening on %s:%d (%d workers, queue %d)" config.host
         bound_port config.workers config.queue_cap);
@@ -429,6 +599,7 @@ let stop t =
         try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       conns;
     List.iter Thread.join readers;
-    Obs.unregister_stats "server";
+    Obs.unregister_stats t.prov;
+    Obs.Flight.notef ~cat:"server" "stopped (port %d)" t.bound_port;
     Logs.info (fun m -> m "server: stopped (port %d)" t.bound_port)
   end

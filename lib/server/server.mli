@@ -29,25 +29,43 @@ type config = {
   burst : float;
   open_above : int;  (** breaker opens when debt exceeds this *)
   close_below : int;  (** … and closes only once debt falls to this *)
+  slow_query_s : float;
+      (** statements slower than this land in {!slow_log} with their
+          EXPLAIN ANALYZE actuals; [infinity] = off *)
 }
 
 val default_config : config
 (** Loopback, ephemeral port, 4 workers, queue 64, no rate limit,
-    breaker disabled ([max_int] thresholds). *)
+    breaker disabled ([max_int] thresholds), slow-query log off. *)
+
+type slow_query = {
+  sq_sql : string;
+  sq_class : string;  (** point / scan / write / ddl / other *)
+  sq_seconds : float;
+  sq_detail : string;
+      (** reads: EXPLAIN ANALYZE actuals of a rerun; writes/DDL: the
+          plan plus routing decision (re-execution would double their
+          effects) *)
+}
 
 type t
 
 val start : ?config:config -> ?debt:(unit -> int) -> Frontend.t -> t
-(** Bind, spawn the pool and the accept thread, and register the
-    ["server"] Obs stats provider (queue depth, busy workers, breaker
-    state, debt).  [debt] is the migration-debt gauge the breaker
-    samples (default: constantly 0). *)
+(** Bind, spawn the pool and the accept thread, and register a
+    per-instance ["server:<port>"] Obs stats provider (queue depth, busy
+    workers, breaker state, debt, slow-query count, and per-class
+    latency percentiles).  [debt] is the migration-debt gauge the
+    breaker samples (default: constantly 0). *)
 
 val port : t -> int
 
 val breaker : t -> Breaker.t
 
+val slow_log : t -> slow_query list
+(** The most recent over-threshold statements, oldest first (bounded at
+    64 entries). *)
+
 val stop : t -> unit
 (** Clean shutdown: refuse new submissions (retryable), drain every
     admitted request and deliver its response, then close sockets and
-    join all threads.  Idempotent. *)
+    join all threads; unregisters the stats provider.  Idempotent. *)

@@ -243,6 +243,49 @@ let sweep_cells () =
            (Fault_sweep.all_scenarios ())))
     [ "cluster2pc"; "cluster_mig" ]
 
+(* Every crash point the mid-migration sweep reaches must leave a
+   post-mortem-readable flight-recorder dump naming the point that
+   fired — the crash path is exactly what the recorder exists for. *)
+let sweep_leaves_flight_dumps () =
+  let module Fault = Bullfrog_core.Fault in
+  let was = Obs.Flight.enabled () in
+  let old_path = Obs.Flight.path () in
+  let dump = Filename.temp_file "bf_sweep_flight" ".dump" in
+  Fun.protect ~finally:(fun () ->
+      (try Sys.remove dump with Sys_error _ -> ());
+      Obs.Flight.set_path old_path;
+      Obs.Flight.set_enabled was)
+  @@ fun () ->
+  Obs.Flight.set_enabled true;
+  Obs.Flight.set_path dump;
+  Cluster_sweep.register ();
+  let sc = Fault_sweep.find_scenario "cluster_mig" in
+  let oracle = sc.Fault_sweep.sc_run () in
+  List.iter
+    (fun point ->
+      (try Sys.remove dump with Sys_error _ -> ());
+      let cell = Fault_sweep.run_cell sc oracle point in
+      check Alcotest.bool
+        (Printf.sprintf "point %s fired and recovered" (Fault.name_of point))
+        true
+        (cell.Fault_sweep.c_fired && cell.Fault_sweep.c_ok);
+      let reason, entries = Obs.Flight.load dump in
+      check Alcotest.string "dump names the crash point" (Fault.name_of point)
+        reason;
+      check Alcotest.bool "dump carries the fault note" true
+        (List.exists
+           (fun e ->
+             e.Obs.Flight.fl_cat = "fault"
+             &&
+             let n = Fault.name_of point and m = e.Obs.Flight.fl_msg in
+             let ln = String.length n in
+             let rec has i =
+               i + ln <= String.length m && (String.sub m i ln = n || has (i + 1))
+             in
+             has 0)
+           entries))
+    Cluster_sweep.points
+
 (* ------------------------------------------------------------------ *)
 (* Migration that changes the partition key: rows move between shards  *)
 (* ------------------------------------------------------------------ *)
@@ -603,6 +646,8 @@ let suite =
     Alcotest.test_case "scatter/gather merge vs oracle" `Quick scatter_merge_oracle;
     QCheck_alcotest.to_alcotest routed_vs_broadcast;
     Alcotest.test_case "2PC crash sweep" `Quick sweep_cells;
+    Alcotest.test_case "crash points leave flight dumps" `Quick
+      sweep_leaves_flight_dumps;
     Alcotest.test_case "row-moving migration vs oracle" `Quick migration_row_movement;
     Alcotest.test_case "aggregate partition guard" `Quick aggregate_partition_guard;
     Alcotest.test_case "cluster recovery" `Quick recover_preserves_rows;

@@ -100,14 +100,166 @@ let ring_wraparound_stays_valid () =
   Obs.Trace.disable ();
   Obs.Trace.clear ()
 
-(* ------------------------------------------------------------------ *)
-(* EXPLAIN ANALYZE                                                      *)
-(* ------------------------------------------------------------------ *)
-
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
   go 0
+
+(* Spans racing into the ring from many threads must still export a
+   validating trace: per-thread stack discipline is kept by the
+   tid-indexed state array even while the slot counter interleaves. *)
+let trace_multithread_race () =
+  Obs.Trace.enable ~capacity:4_096 ();
+  let nthreads = 6 and loops = 200 in
+  let threads =
+    List.init nthreads (fun t ->
+        Thread.create
+          (fun () ->
+            for i = 1 to loops do
+              Obs.Trace.with_span ~cat:"race" (Printf.sprintf "outer-%d" t)
+                (fun () ->
+                  Obs.Trace.with_span ~cat:"race" "inner" (fun () ->
+                      if i mod 16 = 0 then Thread.yield ()))
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let events = Obs.Trace.export () in
+  (match Obs.Trace.validate events with
+  | Ok n -> check Alcotest.bool "complete spans survive" true (n > 0)
+  | Error msg -> Alcotest.fail ("racing threads broke the trace: " ^ msg));
+  check Alcotest.int "every emission counted" (nthreads * loops * 2 * 2)
+    (Obs.Trace.recorded ());
+  Obs.Trace.disable ();
+  Obs.Trace.clear ()
+
+(* A context handed across a thread boundary keeps the child's spans in
+   the parent's tree — the mechanism the server worker and the scatter
+   threads use. *)
+let trace_context_crosses_threads () =
+  Obs.Trace.enable ~capacity:1_024 ();
+  let ctx = ref None in
+  Obs.Trace.with_span ~cat:"test" "parent" (fun () -> ctx := Obs.Trace.context ());
+  (match !ctx with
+  | Some (tr, sp) ->
+      check Alcotest.bool "ids allocated" true (tr > 0 && sp > 0)
+  | None -> Alcotest.fail "no context inside a span");
+  let th =
+    Thread.create
+      (fun () ->
+        Obs.Trace.with_context !ctx (fun () ->
+            Obs.Trace.with_span ~cat:"test" "child" (fun () -> ())))
+      ()
+  in
+  Thread.join th;
+  let events = Obs.Trace.export () in
+  (match Obs.Trace.validate events with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  let parent =
+    List.find
+      (fun e -> e.Obs.Trace.ev_phase = Obs.Trace.Span_begin && e.Obs.Trace.ev_name = "parent")
+      events
+  and child =
+    List.find
+      (fun e -> e.Obs.Trace.ev_phase = Obs.Trace.Span_begin && e.Obs.Trace.ev_name = "child")
+      events
+  in
+  check Alcotest.int "child joins the parent's trace"
+    parent.Obs.Trace.ev_trace child.Obs.Trace.ev_trace;
+  check Alcotest.int "child's parent is the handed span"
+    parent.Obs.Trace.ev_span child.Obs.Trace.ev_parent;
+  check Alcotest.bool "threads differ" true
+    (parent.Obs.Trace.ev_tid <> child.Obs.Trace.ev_tid);
+  Obs.Trace.disable ();
+  Obs.Trace.clear ()
+
+(* Chrome export names threads via metadata events so shard workers show
+   up as "shard-N" rows instead of bare tids. *)
+let chrome_thread_metadata () =
+  Obs.Trace.enable ~capacity:64 ();
+  Obs.Trace.set_thread_name "obs-test-thread";
+  Obs.Trace.with_span ~cat:"test" "named" (fun () -> ());
+  let json = Obs.Trace.to_chrome_json (Obs.Trace.export ()) in
+  check Alcotest.bool "thread_name metadata present" true
+    (contains json "thread_name");
+  check Alcotest.bool "registered name present" true
+    (contains json "obs-test-thread");
+  Obs.Trace.disable ();
+  Obs.Trace.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let flight_dump_roundtrip () =
+  let was = Obs.Flight.enabled () in
+  Obs.Flight.set_enabled true;
+  Obs.Flight.clear ();
+  Obs.Flight.note ~cat:"test" "plain entry";
+  Obs.Flight.notef ~cat:"test" "formatted %d with\ttab and\nnewline" 42;
+  let file = Filename.temp_file "bf_flight_test" ".dump" in
+  let n = Obs.Flight.dump ~reason:"unit-test" file in
+  check Alcotest.int "both entries written" 2 n;
+  let reason, entries = Obs.Flight.load file in
+  check Alcotest.string "reason survives" "unit-test" reason;
+  check Alcotest.(list string) "messages survive byte-exactly"
+    [ "plain entry"; "formatted 42 with\ttab and\nnewline" ]
+    (List.map (fun e -> e.Obs.Flight.fl_msg) entries);
+  check Alcotest.(list string) "categories survive" [ "test"; "test" ]
+    (List.map (fun e -> e.Obs.Flight.fl_cat) entries);
+  Sys.remove file;
+  Obs.Flight.clear ();
+  Obs.Flight.set_enabled was
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The STATS wire command rests on this: the text form must reconstruct
+   the snapshot exactly, including label values that need escaping. *)
+let prometheus_roundtrip () =
+  let c = Obs.Counters.make "test.obs.promq" in
+  let was = Obs.Counters.enabled () in
+  Obs.Counters.set_enabled true;
+  Obs.Counters.add c 3;
+  Obs.register_stats "test:prom/provider" (fun () ->
+      [
+        {
+          Obs.st_source = "test:prom/provider";
+          st_name = "odd \"name\"\nwith\\escapes";
+          st_fields = [ ("frac", 0.1); ("neg", -2.5); ("big", 1e18) ];
+        };
+      ]);
+  let snap = Obs.snapshot () in
+  let text = Exposition.to_prometheus snap in
+  let back = Exposition.of_prometheus text in
+  check Alcotest.bool "counters reconstruct" true
+    (Obs.Counters.equal snap.Obs.snap_counters back.Obs.snap_counters);
+  let find s name =
+    List.find (fun st -> st.Obs.st_name = name) s.Obs.snap_stats
+  in
+  let orig = find snap "odd \"name\"\nwith\\escapes"
+  and got = find back "odd \"name\"\nwith\\escapes" in
+  check Alcotest.string "source survives escaping" orig.Obs.st_source
+    got.Obs.st_source;
+  List.iter
+    (fun (f, v) ->
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "field %s exact" f)
+        v
+        (List.assoc f got.Obs.st_fields))
+    orig.Obs.st_fields;
+  (* And the samples themselves parse as well-formed exposition text. *)
+  let samples = Exposition.parse_prometheus text in
+  check Alcotest.bool "at least counter + 3 fields" true
+    (List.length samples >= 4);
+  Obs.unregister_stats "test:prom/provider";
+  Obs.Counters.set_enabled was
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE                                                      *)
+(* ------------------------------------------------------------------ *)
 
 let seeded_db () =
   let db = Database.create () in
@@ -269,6 +421,15 @@ let suite =
     Alcotest.test_case "counters: live snapshot diff" `Quick live_snapshot_diff;
     Alcotest.test_case "trace: ring wraparound stays valid" `Quick
       ring_wraparound_stays_valid;
+    Alcotest.test_case "trace: multithreaded emission validates" `Quick
+      trace_multithread_race;
+    Alcotest.test_case "trace: context crosses threads" `Quick
+      trace_context_crosses_threads;
+    Alcotest.test_case "trace: chrome thread_name metadata" `Quick
+      chrome_thread_metadata;
+    Alcotest.test_case "flight: dump/load round-trip" `Quick flight_dump_roundtrip;
+    Alcotest.test_case "exposition: prometheus round-trip" `Quick
+      prometheus_roundtrip;
     Alcotest.test_case "explain analyze: actual rowcounts" `Quick explain_analyze_actuals;
     Alcotest.test_case "explain: no actuals without analyze" `Quick
       explain_plain_has_no_actuals;

@@ -414,6 +414,213 @@ let shutdown_drains () =
       | _ -> Alcotest.fail "stopped server must not execute new work");
       Client.close cl
 
+(* -- distributed tracing: one wire request, one connected tree -------- *)
+
+(* A 4-shard cluster mid-way through a partition-key-changing migration,
+   with the server fronting it.  One traced scan must produce a single
+   tree rooted at the app span: client request -> server worker stmt ->
+   router -> per-shard scatter spans, plus the lazy-migrate and 2PC work
+   the scan itself triggers.  This is the PR's acceptance shape. *)
+let cluster_setup () =
+  let c = Cluster.create ~shards:4 () in
+  ignore (Cluster.exec c "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v TEXT)"
+           : Executor.result);
+  ignore
+    (Cluster.exec c
+       ("INSERT INTO src VALUES "
+       ^ String.concat ", "
+           (List.init 40 (fun i -> Printf.sprintf "(%d, %d, 'r%02d')" i (i mod 5) i)))
+      : Executor.result);
+  Cluster.start_migration c
+    (Migration.make ~name:"regroup"
+       [ Migration.statement_of_sql "CREATE TABLE dst AS (SELECT grp, id, v FROM src)" ]);
+  c
+
+let trace_tree_connected () =
+  let module T = Obs.Trace in
+  let c = cluster_setup () in
+  Fun.protect ~finally:(fun () ->
+      T.disable ();
+      T.clear ();
+      Cluster.close c)
+  @@ fun () ->
+  T.enable ~capacity:16_384 ();
+  with_server ~debt:(fun () -> Cluster.migration_debt c) (Cluster.frontend c)
+  @@ fun server ->
+  with_client server @@ fun cl ->
+  let rows =
+    T.with_span ~cat:"app" "traced-scan" (fun () ->
+        Client.query cl "SELECT grp, id, v FROM dst")
+  in
+  check Alcotest.int "scan sees every row" 40 (List.length rows);
+  let events = T.export () in
+  (match T.validate events with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("trace invalid: " ^ msg));
+  let req =
+    try
+      List.find
+        (fun e ->
+          e.T.ev_phase = T.Span_begin && e.T.ev_name = "request"
+          && e.T.ev_cat = "client")
+        events
+    with Not_found -> Alcotest.fail "no client request span"
+  in
+  let tree =
+    List.filter
+      (fun e -> e.T.ev_phase = T.Span_begin && e.T.ev_trace = req.T.ev_trace)
+      events
+  in
+  let by_span = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace by_span e.T.ev_span e) tree;
+  (* exactly one root, and every parent link walks back to it *)
+  (match List.filter (fun e -> e.T.ev_parent = 0) tree with
+  | [ root ] -> check Alcotest.string "root is the app span" "traced-scan" root.T.ev_name
+  | roots ->
+      Alcotest.fail (Printf.sprintf "expected one tree root, got %d" (List.length roots)));
+  let rec reaches_root e seen =
+    if e.T.ev_parent = 0 then ()
+    else if List.mem e.T.ev_span seen then Alcotest.fail "parent cycle"
+    else
+      match Hashtbl.find_opt by_span e.T.ev_parent with
+      | Some p -> reaches_root p (e.T.ev_span :: seen)
+      | None ->
+          Alcotest.fail
+            (Printf.sprintf "span %S disconnected from the tree" e.T.ev_name)
+  in
+  List.iter (fun e -> reaches_root e []) tree;
+  let names = List.map (fun e -> e.T.ev_name) tree in
+  List.iter
+    (fun n ->
+      check Alcotest.bool (Printf.sprintf "span %S present" n) true (List.mem n names))
+    [ "request"; "stmt"; "route"; "2pc"; "lazy-migrate" ];
+  check Alcotest.bool "per-shard spans present" true
+    (List.exists
+       (fun n -> String.length n >= 6 && String.sub n 0 6 = "shard-")
+       names)
+
+(* -- STATS round-trips the coordinator's snapshot --------------------- *)
+
+let stats_roundtrip_wire () =
+  let c = cluster_setup () in
+  Fun.protect ~finally:(fun () -> Cluster.close c) @@ fun () ->
+  with_server ~debt:(fun () -> Cluster.migration_debt c) (Cluster.frontend c)
+  @@ fun server ->
+  with_client server @@ fun cl ->
+  ignore (Client.query cl "SELECT grp, id, v FROM dst" : Value.t array list);
+  let txt = Client.stats cl in
+  (* well-formed exposition text, and the cluster's own stats come back
+     with exactly the values the coordinator reports locally *)
+  check Alcotest.bool "prometheus samples parse" true
+    (List.length (Exposition.parse_prometheus txt) > 0);
+  let wire = Exposition.of_prometheus txt in
+  let local = Cluster.obs_snapshot c in
+  check Alcotest.bool "cluster reports stats" true
+    (local.Obs.snap_stats <> []);
+  List.iter
+    (fun st ->
+      match
+        List.find_opt
+          (fun w ->
+            w.Obs.st_source = st.Obs.st_source && w.Obs.st_name = st.Obs.st_name)
+          wire.Obs.snap_stats
+      with
+      | None ->
+          Alcotest.fail
+            (Printf.sprintf "stat %s/%s missing from the wire" st.Obs.st_source
+               st.Obs.st_name)
+      | Some w ->
+          List.iter
+            (fun (f, v) ->
+              check (Alcotest.float 0.0)
+                (Printf.sprintf "%s/%s.%s exact" st.Obs.st_source st.Obs.st_name f)
+                v
+                (match List.assoc_opt f w.Obs.st_fields with
+                | Some x -> x
+                | None -> Alcotest.fail ("field lost on the wire: " ^ f)))
+            st.Obs.st_fields)
+    local.Obs.snap_stats;
+  (* json form is served too *)
+  let js = Client.stats ~fmt:"json" cl in
+  check Alcotest.bool "json form" true (String.length js > 0 && js.[0] = '{');
+  match Client.request cl (Protocol.Stats (Some "xml")) with
+  | Protocol.Error (Protocol.Err_bad, _) -> ()
+  | _ -> Alcotest.fail "unknown format must be rejected"
+
+(* -- slow-query log captures over-threshold statements ----------------- *)
+
+let slow_query_log () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)"
+           : Executor.result);
+  ignore (Database.exec db "INSERT INTO kv VALUES (1, 'a'), (2, 'b')"
+           : Executor.result);
+  (* threshold zero: every statement is "slow", deterministically *)
+  let config = { Server.default_config with slow_query_s = 0.0 } in
+  with_server ~config (Frontend.of_database db) @@ fun server ->
+  with_client server @@ fun cl ->
+  ignore (Client.query cl "SELECT v FROM kv WHERE k = 1" : Value.t array list);
+  (match Client.exec cl "UPDATE kv SET v = 'c' WHERE k = 2" with
+  | Protocol.Ok_affected 1 -> ()
+  | _ -> Alcotest.fail "update should apply");
+  let log = Server.slow_log server in
+  let find cls =
+    match List.find_opt (fun q -> q.Server.sq_class = cls) log with
+    | Some q -> q
+    | None -> Alcotest.fail ("no slow " ^ cls ^ " captured")
+  in
+  let rd = find "point" in
+  check Alcotest.string "read sql captured" "SELECT v FROM kv WHERE k = 1"
+    rd.Server.sq_sql;
+  check Alcotest.bool "read detail has ANALYZE actuals" true
+    (let rec contains i =
+       i + 11 <= String.length rd.Server.sq_detail
+       && (String.sub rd.Server.sq_detail i 11 = "actual rows" || contains (i + 1))
+     in
+     contains 0);
+  let wr = find "write" in
+  check Alcotest.bool "write captured with plan, not re-executed" true
+    (String.length wr.Server.sq_detail > 0);
+  check
+    (Alcotest.list Alcotest.string)
+    "rerun-for-detail did not double the write" [ "2|c" ]
+    (List.map row_str (Client.query cl "SELECT k, v FROM kv WHERE k = 2"));
+  check Alcotest.bool "timings non-negative" true
+    (List.for_all (fun q -> q.Server.sq_seconds >= 0.0) log)
+
+(* -- stats providers come and go with their owners -------------------- *)
+
+let provider_lifecycle () =
+  let sources () =
+    List.sort_uniq compare
+      (List.map (fun s -> s.Obs.st_source) (Obs.snapshot ()).Obs.snap_stats)
+  in
+  let db = Database.create () in
+  let s1 = Server.start (Frontend.of_database db) in
+  let s2 = Server.start (Frontend.of_database db) in
+  let p1 = Printf.sprintf "server:%d" (Server.port s1)
+  and p2 = Printf.sprintf "server:%d" (Server.port s2) in
+  check Alcotest.bool "both servers publish distinct providers" true
+    (p1 <> p2 && List.mem p1 (sources ()) && List.mem p2 (sources ()));
+  Server.stop s1;
+  check Alcotest.bool "stop removes exactly its provider" true
+    ((not (List.mem p1 (sources ()))) && List.mem p2 (sources ()));
+  Server.stop s2;
+  check Alcotest.bool "second stop removes the second provider" false
+    (List.mem p2 (sources ()));
+  (* diff against what was already registered: other tests may hold
+     live clusters of their own *)
+  let before = sources () in
+  let c = Cluster.create ~shards:2 () in
+  let fresh = List.filter (fun s -> not (List.mem s before)) (sources ()) in
+  check Alcotest.bool "cluster publishes a fresh provider" true (fresh <> []);
+  Cluster.close c;
+  List.iter
+    (fun src ->
+      check Alcotest.bool ("closed cluster provider gone: " ^ src) false
+        (List.mem src (sources ())))
+    fresh
+
 let suite =
   [
     Alcotest.test_case "protocol round-trip over socket" `Quick protocol_roundtrip;
@@ -431,4 +638,12 @@ let suite =
       pin_released_on_disconnect;
     Alcotest.test_case "clean shutdown drains admitted work" `Quick
       shutdown_drains;
+    Alcotest.test_case "one wire request, one connected trace tree" `Quick
+      trace_tree_connected;
+    Alcotest.test_case "STATS round-trips the coordinator snapshot" `Quick
+      stats_roundtrip_wire;
+    Alcotest.test_case "slow-query log captures with actuals" `Quick
+      slow_query_log;
+    Alcotest.test_case "stats providers unregister with owners" `Quick
+      provider_lifecycle;
   ]
