@@ -4,7 +4,7 @@
 # fails if the disabled-instrumentation overhead leaves its 2% budget or
 # the migration trace stops validating).
 
-.PHONY: all build test bench bench-smoke obs-smoke obs-cluster-smoke lint-smoke mvcc-smoke shard-smoke server-smoke check clean
+.PHONY: all build test bench bench-smoke obs-smoke obs-cluster-smoke lint-smoke invert-smoke mvcc-smoke shard-smoke server-smoke check clean
 
 all: build
 
@@ -33,6 +33,12 @@ obs-cluster-smoke:
 lint-smoke:
 	BF_FAST=1 dune exec bench/main.exe -- lint
 
+# Gated on the TPC-C invertibility verdicts, the rollback flip staying
+# instant under a live workload, and the rolled-back table matching a
+# never-migrated oracle row-exactly.
+invert-smoke:
+	BF_FAST=1 dune exec bench/main.exe -- invert
+
 mvcc-smoke:
 	BF_FAST=1 dune exec bench/main.exe -- mvcc
 
@@ -45,7 +51,7 @@ shard-smoke:
 server-smoke:
 	BF_FAST=1 dune exec bench/main.exe -- server
 
-check: build test bench-smoke obs-smoke obs-cluster-smoke lint-smoke mvcc-smoke shard-smoke server-smoke
+check: build test bench-smoke obs-smoke obs-cluster-smoke lint-smoke invert-smoke mvcc-smoke shard-smoke server-smoke
 
 clean:
 	dune clean

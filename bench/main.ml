@@ -1387,6 +1387,171 @@ let lint_smoke () =
   say "  lint smoke OK: 3 TPC-C migrations clean, bad splits caught"
 
 (* ------------------------------------------------------------------ *)
+(* Invertibility analyzer + instant rollback (§4.2j): static analysis   *)
+(* cost per TPC-C spec, the rollback flip latency under a live write    *)
+(* workload, client read tail latency while the backward migration and  *)
+(* stale-row purges drain, and a row-exactness check against a          *)
+(* never-migrated oracle.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let invert_smoke () =
+  let open Bullfrog_db in
+  say "\n=== invert: backward derivation + instant rollback (BENCH_invert.json) ===";
+  let expect name cond = if not cond then failwith ("invert smoke: " ^ name) in
+  (* --- static analysis cost over the TPC-C specs --- *)
+  let tpcc = Database.create () in
+  Loader.load ~seed:1 tpcc Tpcc_schema.tiny;
+  let analysis =
+    List.map
+      (fun scenario ->
+        let reps = 50 in
+        let t0 = Unix.gettimeofday () in
+        let v = ref (Tpcc_migrations.preflight tpcc.Database.catalog scenario) in
+        for _ = 2 to reps do
+          v := Tpcc_migrations.preflight tpcc.Database.catalog scenario
+        done;
+        let us = 1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int reps in
+        let name = Tpcc_migrations.scenario_name scenario in
+        say "  %-12s analyze %7.1fus  invertible=%b" name us
+          (Mig_lint.invertible !v);
+        (name, us, Mig_lint.invertible !v))
+      Tpcc_migrations.[ Split; Aggregate; Join ]
+  in
+  expect "split invertible"
+    (match analysis with (_, _, i) :: _ -> i | [] -> false);
+  expect "join not invertible"
+    (match List.rev analysis with (_, _, i) :: _ -> not i | [] -> false);
+  (* --- rollback under load --- *)
+  let rows, ops = match profile with Fast -> 2_000, 400 | Standard | Full -> 20_000, 4_000 in
+  let db = Database.create () in
+  ignore
+    (Database.exec db "CREATE TABLE t (id INT PRIMARY KEY, k INT NOT NULL, v TEXT)"
+      : Executor.result);
+  Database.with_txn db (fun txn ->
+      for i = 0 to rows - 1 do
+        ignore
+          (Database.exec_in db txn
+             ~params:[| Value.Int i; Value.Int (i mod 97); Value.Str "payload" |]
+             "INSERT INTO t VALUES ($1, $2, $3)"
+            : Executor.result)
+      done);
+  let bf = Lazy_db.create db in
+  let spec =
+    Migration.make ~name:"tcopy" ~drop_old:[ "t" ]
+      [
+        Migration.statement_of_sql ~name:"tcopy"
+          "CREATE TABLE t2 AS (SELECT id, k, v FROM t)"
+          ~extra_ddl:[ "CREATE UNIQUE INDEX t2_id ON t2 (id)" ];
+      ]
+  in
+  ignore (Lazy_db.start_migration bf ~page_size:16 spec : Migrate_exec.t);
+  let rng = Random.State.make [| seed; 42 |] in
+  let edited = Hashtbl.create 64 in
+  (* forward phase: migrate ~half in the background while clients read
+     and write through the new schema *)
+  let half = rows / 16 / 2 in
+  let done_ = ref 0 in
+  while !done_ < half && Lazy_db.background_step bf ~batch:8 > 0 do
+    done_ := !done_ + 8
+  done;
+  for _ = 1 to ops / 4 do
+    let id = Random.State.int rng rows in
+    if Random.State.bool rng then
+      ignore
+        (Lazy_db.exec bf (Printf.sprintf "SELECT * FROM t2 WHERE id = %d" id)
+          : Executor.result)
+    else begin
+      Hashtbl.replace edited id ();
+      ignore
+        (Lazy_db.exec bf (Printf.sprintf "UPDATE t2 SET v = 'edited' WHERE id = %d" id)
+          : Executor.result)
+    end
+  done;
+  (* the flip itself: instant, independent of table size *)
+  let t0 = Unix.gettimeofday () in
+  (match Lazy_db.rollback_migration bf with
+  | Some _ -> ()
+  | None -> failwith "invert smoke: expected a backward runtime");
+  let flip_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+  say "  rollback flip: %.2fms over %d rows (half migrated, %d client ops)"
+    flip_ms rows (ops / 4);
+  (* backward phase: client reads against the restored old schema while
+     the rollback drains; sample per-read latency *)
+  let lat = Array.make ops 0.0 in
+  for i = 0 to ops - 1 do
+    let id = Random.State.int rng rows in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Lazy_db.exec bf (Printf.sprintf "SELECT * FROM t WHERE id = %d" id)
+        : Executor.result);
+    lat.(i) <- 1e6 *. (Unix.gettimeofday () -. t0);
+    if i mod 4 = 0 then ignore (Lazy_db.background_step bf ~batch:8 : int)
+  done;
+  let drain_t0 = Unix.gettimeofday () in
+  while Lazy_db.background_step bf ~batch:64 > 0 do
+    ()
+  done;
+  let drain_s = Unix.gettimeofday () -. drain_t0 in
+  Lazy_db.finalize bf;
+  Array.sort compare lat;
+  let pct p = lat.(min (ops - 1) (int_of_float (p *. float_of_int ops))) in
+  say "  reads during rollback: p50=%.0fus p99=%.0fus (%d ops); drain %.2fs"
+    (pct 0.50) (pct 0.99) ops drain_s;
+  (* --- row-exactness vs never-migrated oracle --- *)
+  let odb = Database.create () in
+  ignore
+    (Database.exec odb "CREATE TABLE t (id INT PRIMARY KEY, k INT NOT NULL, v TEXT)"
+      : Executor.result);
+  Database.with_txn odb (fun txn ->
+      for i = 0 to rows - 1 do
+        ignore
+          (Database.exec_in odb txn
+             ~params:
+               [|
+                 Value.Int i;
+                 Value.Int (i mod 97);
+                 Value.Str (if Hashtbl.mem edited i then "edited" else "payload");
+               |]
+             "INSERT INTO t VALUES ($1, $2, $3)"
+            : Executor.result)
+      done);
+  let dump d =
+    List.sort compare
+      (List.map
+         (fun r -> String.concat "|" (List.map Value.to_string (Array.to_list r)))
+         (Database.query d "SELECT id, k, v FROM t"))
+  in
+  expect "row-exact vs oracle" (dump db = dump odb);
+  expect "new table dropped" (not (Catalog.exists db.Database.catalog "t2"));
+  say "  row-exact after rollback: %d rows, %d survived edits" rows
+    (Hashtbl.length edited);
+  let oc = open_out "BENCH_invert.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "invert",
+  "profile": "%s",
+  "seed": %d,
+  "analysis_us": {%s},
+  "rollback_under_load": {
+    "rows": %d,
+    "client_ops": %d,
+    "flip_ms": %.3f,
+    "read_p50_us": %.1f,
+    "read_p99_us": %.1f,
+    "drain_seconds": %.3f,
+    "row_exact": true
+  }
+}
+|}
+    (match profile with Fast -> "fast" | Standard -> "standard" | Full -> "full")
+    seed
+    (String.concat ", "
+       (List.map (fun (n, us, _) -> Printf.sprintf "%S: %.1f" n us) analysis))
+    rows ops flip_ms (pct 0.50) (pct 0.99) drain_s;
+  close_out oc;
+  say "  wrote BENCH_invert.json"
+
+(* ------------------------------------------------------------------ *)
 (* MVCC microbenchmark: latch-free snapshot point reads vs the          *)
 (* lock-manager read path, and read tail latency under an active        *)
 (* migration.  Wall-clock only — the virtual-time figures are untouched *)
@@ -2182,6 +2347,7 @@ let all_figures =
     ("recovery", recovery_bench);
     ("obs", obs_bench);
     ("lint", lint_smoke);
+    ("invert", invert_smoke);
     ("mvcc", mvcc_bench);
     ("shard", shard_bench);
     ("server", server_bench);

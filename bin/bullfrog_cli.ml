@@ -9,6 +9,14 @@
          run the static analyzer over a migration without installing it:
          split disjointness/coverage proofs, data-loss and constraint
          hazards, precise/imprecise granule-conversion verdicts
+     \invert <name> [drop <t1,t2,...>] ; <CREATE TABLE x AS (SELECT ...)> [; ...]
+         invertibility analysis only: per-statement SMO class and
+         verdict, plus the derived backward (rollback) spec when the
+         migration is invertible
+     \rollback        roll the in-flight migration back mid-flight: the
+                      derived backward spec installs as a new lazy
+                      migration over the new tables (old schema is live
+                      again instantly)
      \bg [batch]      run one background-migration batch
      \drain           run background migration to completion
      \progress        migration progress, lazy/background split, ETA and
@@ -95,6 +103,46 @@ let handle_lint db line =
   | None -> ()
   | Some spec -> print_string (Mig_lint.format (Mig_lint.lint db.Database.catalog spec))
 
+(* \invert: the invertibility slice of the analyzer — per-statement SMO
+   class and verdict, plus the full derived rollback spec when one
+   exists. *)
+let handle_invert db line =
+  match parse_migration_spec ~usage:"\\invert <name> [drop t1,t2] ; <DDL>" line with
+  | None -> ()
+  | Some spec ->
+      let v = Mig_lint.lint db.Database.catalog spec in
+      List.iter
+        (fun (si : Mig_lint.stmt_invert) ->
+          say "statement %S: %s — %s" si.Mig_lint.si_stmt
+            (Bullfrog_analysis.Mig_invert.smo_to_string si.Mig_lint.si_smo)
+            (Bullfrog_analysis.Mig_invert.verdict_summary si.Mig_lint.si_verdict))
+        v.Mig_lint.lint_inverts;
+      (match v.Mig_lint.lint_backward with
+      | Some b ->
+          say "derived rollback spec %S (drop %s):" b.Migration.name
+            (String.concat ", " b.Migration.drop_old);
+          List.iter
+            (fun (st : Migration.statement) ->
+              List.iter
+                (fun (o : Migration.output) ->
+                  say "  %s" (Migration.output_ddl o))
+                st.Migration.outputs)
+            b.Migration.statements
+      | None ->
+          if Mig_lint.invertible v then
+            say "rollback = drop the output tables (nothing to reconstruct)"
+          else say "no backward transform derivable — rollback impossible")
+
+let handle_rollback bf =
+  match Lazy_db.rollback_migration bf with
+  | Some brt ->
+      say
+        "rolling back via %S (old schema is live again; stale rows purge and \
+         reconstruct lazily — \\drain to finish, then \\finalize to drop the \
+         new tables)"
+        brt.Migrate_exec.spec.Migration.name
+  | None -> say "rolled back: output tables dropped, old schema restored"
+
 let show_progress bf =
   match Lazy_db.active bf with
   | None -> say "no migration in progress"
@@ -157,6 +205,8 @@ let () =
                match cmd with
                | "\\migrate" -> handle_migrate bf rest
                | "\\lint" -> handle_lint db rest
+               | "\\invert" -> handle_invert db rest
+               | "\\rollback" -> handle_rollback bf
                | "\\bg" ->
                    let batch =
                      match int_of_string_opt (String.trim rest) with Some n -> n | None -> 256

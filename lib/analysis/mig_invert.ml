@@ -1,0 +1,420 @@
+(* Static migration invertibility analysis.  See mig_invert.mli for the
+   contract and DESIGN.md §4.2j for the lattice and derivation rules.
+
+   The shape of the argument: a migration statement populates one or
+   more output tables from (a join of) input tables; [sf_dropped] names
+   the inputs the migration destroys.  The forward transform is
+   invertible when the dropped inputs can be repopulated, row-exactly,
+   by a query over the outputs alone.  Per SMO class:
+
+   - aggregate / join over a dropped input: never provably invertible
+     (detail rows resp. unmatched/fanned-out rows are gone);
+   - single output: each input column must be carried as a *bare*
+     column reference (an expression like [a + b] is not injective in
+     either operand); a WHERE that is not provably covering sheds rows
+     irrecoverably (lossy);
+   - row split (outputs differ in WHERE): invertible iff the branch
+     predicates are provably disjoint AND covering — exactly the facts
+     the split linter computes — and the backward transform is the
+     union of per-branch re-projections into the one old table;
+   - column split (outputs share a WHERE, or have none): invertible iff
+     the outputs share a unique key of the input, carried bare and
+     declared unique on every output, so the backward transform is the
+     1:1 key join of the outputs.
+
+   Everything here is syntactic over the AST plus calls into
+   {!Predicate}; both err toward "not invertible". *)
+
+module Ast = Bullfrog_sql.Ast
+module Pretty = Bullfrog_sql.Pretty
+module Pred = Predicate
+
+type column = { col_name : string; col_not_null : bool }
+
+type table_facts = {
+  tf_name : string;
+  tf_columns : column list;
+  tf_unique_keys : string list list;
+}
+
+type output_facts = {
+  of_name : string;
+  of_projections : (string * Ast.expr) list;
+  of_where : Ast.expr option;
+  of_group_by : bool;
+  of_unique_keys : string list list;
+}
+
+type stmt_facts = {
+  sf_name : string;
+  sf_inputs : (string * table_facts) list;
+  sf_outputs : output_facts list;
+  sf_dropped : string list;
+}
+
+type smo =
+  | Smo_rename
+  | Smo_projection
+  | Smo_filter
+  | Smo_row_split
+  | Smo_column_split
+  | Smo_join
+  | Smo_aggregate
+
+type hazard = Hz_filtered_rows of string | Hz_null_filled of string list
+
+type backward_output = { bo_table : string; bo_select : Ast.select }
+
+type verdict =
+  | Invertible of backward_output list
+  | Invertible_lossy of backward_output list * hazard list
+  | Non_invertible of string
+
+let lc = String.lowercase_ascii
+
+(* (input column -> output column) for the columns an output carries as
+   bare references; a computed expression is not invertible in its
+   operands, so it never counts as a carrier.  First carrier wins when
+   an output projects the same input column twice. *)
+let carriers_of (o : output_facts) : (string * string) list =
+  List.filter_map
+    (fun (out_col, e) ->
+      match e with Ast.Col (_, c) -> Some (lc c, lc out_col) | _ -> None)
+    o.of_projections
+
+let norm_where = function
+  | None -> None
+  | Some w -> Some (Pred.normalize (Pred.unqualify w))
+
+let key_set cols = List.sort_uniq compare (List.map lc cols)
+
+(* ------------------------------------------------------------------ *)
+(* Lattice classification                                             *)
+(* ------------------------------------------------------------------ *)
+
+let classify (sf : stmt_facts) : smo =
+  let has_agg =
+    List.exists
+      (fun o ->
+        o.of_group_by
+        || List.exists (fun (_, e) -> Ast.contains_agg e) o.of_projections)
+      sf.sf_outputs
+  in
+  if has_agg then Smo_aggregate
+  else if List.length sf.sf_inputs >= 2 then Smo_join
+  else
+    match sf.sf_outputs with
+    | [ o ] -> (
+        if o.of_where <> None then Smo_filter
+        else
+          match sf.sf_inputs with
+          | [ (_, tf) ] ->
+              let carriers = carriers_of o in
+              let all_carried =
+                List.for_all
+                  (fun c -> List.mem_assoc c.col_name carriers)
+                  tf.tf_columns
+              in
+              if
+                all_carried
+                && List.length o.of_projections = List.length tf.tf_columns
+              then Smo_rename
+              else Smo_projection
+          | _ -> Smo_projection)
+    | outs -> (
+        match List.map (fun o -> norm_where o.of_where) outs with
+        | w0 :: rest when List.for_all (fun w -> w = w0) rest ->
+            Smo_column_split
+        | _ -> Smo_row_split)
+
+(* ------------------------------------------------------------------ *)
+(* Backward-select synthesis                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_select ~projections ~from ~where =
+  {
+    Ast.distinct = false;
+    projections;
+    from;
+    where;
+    group_by = [];
+    having = None;
+    order_by = [];
+    limit = None;
+    for_update = false;
+  }
+
+(* Re-project the input's columns, in schema order, out of one output.
+   Returns the select plus the nullable input columns the output does
+   not carry (re-materialised as NULL), or the first NOT NULL column
+   with no carrier (fatal). *)
+let reproject ?alias (tf : table_facts) (o : output_facts) :
+    (Ast.select * string list, string) result =
+  let carriers = carriers_of o in
+  let missing_fatal =
+    List.find_opt
+      (fun c -> c.col_not_null && not (List.mem_assoc c.col_name carriers))
+      tf.tf_columns
+  in
+  match missing_fatal with
+  | Some c ->
+      Error
+        (Printf.sprintf
+           "NOT NULL column %s.%s is not carried (as a bare column) by output %s"
+           tf.tf_name c.col_name o.of_name)
+  | None ->
+      let null_filled = ref [] in
+      let projections =
+        List.map
+          (fun c ->
+            match List.assoc_opt c.col_name carriers with
+            | Some out_col ->
+                Ast.Proj_expr (Ast.Col (alias, out_col), Some c.col_name)
+            | None ->
+                null_filled := c.col_name :: !null_filled;
+                Ast.Proj_expr (Ast.Null_lit, Some c.col_name))
+          tf.tf_columns
+      in
+      let from = [ Ast.From_table (o.of_name, alias) ] in
+      Ok (mk_select ~projections ~from ~where:None, List.rev !null_filled)
+
+let filter_hazard ~env (o : output_facts) =
+  match o.of_where with
+  | None -> []
+  | Some w ->
+      if Pred.covers ~env [ Pred.unqualify w ] then []
+      else [ Hz_filtered_rows (Pretty.expr_to_string w) ]
+
+let finish backs hazards =
+  if hazards = [] then Invertible backs else Invertible_lossy (backs, hazards)
+
+(* Single dropped input repopulated from a single output. *)
+let invert_single ~env (tf : table_facts) (o : output_facts) =
+  match reproject tf o with
+  | Error reason -> Non_invertible reason
+  | Ok (sel, null_filled) ->
+      let hazards =
+        (if null_filled = [] then [] else [ Hz_null_filled null_filled ])
+        @ filter_hazard ~env o
+      in
+      finish [ { bo_table = tf.tf_name; bo_select = sel } ] hazards
+
+(* Column split: outputs share a WHERE (or none); the backward transform
+   is the 1:1 join of the two outputs on a shared unique key of the
+   input.  The key must be carried bare by both sides AND declared
+   unique on both output tables, so the synthesized join classifies as
+   a 1:1 bitmap-tracked lazy migration (Classify's (unique, unique)
+   case) rather than being rejected at install time. *)
+let invert_column_split ~env (tf : table_facts) (outs : output_facts list) =
+  match outs with
+  | [ o1; o2 ] -> (
+      let c1 = carriers_of o1 and c2 = carriers_of o2 in
+      let carried_key key cs (o : output_facts) =
+        (* the key columns, as named on the output — provided every key
+           column is carried and the carried set is declared unique *)
+        let names = List.filter_map (fun k -> List.assoc_opt k cs) key in
+        if
+          List.length names = List.length key
+          && List.exists
+               (fun uk -> key_set uk = key_set names)
+               o.of_unique_keys
+        then Some names
+        else None
+      in
+      let shared_key =
+        List.find_map
+          (fun key ->
+            let key = List.map lc key in
+            match (carried_key key c1 o1, carried_key key c2 o2) with
+            | Some n1, Some n2 -> Some (key, n1, n2)
+            | _ -> None)
+          tf.tf_unique_keys
+      in
+      match shared_key with
+      | None ->
+          Non_invertible
+            (Printf.sprintf
+               "no unique key of %s is carried bare and declared unique on \
+                both %s and %s"
+               tf.tf_name o1.of_name o2.of_name)
+      | Some (_key, n1, n2) -> (
+          let a0 = "b0" and a1 = "b1" in
+          let join_conds =
+            List.map2
+              (fun k1 k2 ->
+                Ast.Binop
+                  (Ast.Eq, Ast.Col (Some a0, k1), Ast.Col (Some a1, k2)))
+              n1 n2
+          in
+          (* column coverage across the union of the two sides *)
+          let missing_fatal =
+            List.find_opt
+              (fun c ->
+                c.col_not_null
+                && (not (List.mem_assoc c.col_name c1))
+                && not (List.mem_assoc c.col_name c2))
+              tf.tf_columns
+          in
+          match missing_fatal with
+          | Some c ->
+              Non_invertible
+                (Printf.sprintf
+                   "NOT NULL column %s.%s is not carried (as a bare column) \
+                    by either split output"
+                   tf.tf_name c.col_name)
+          | None ->
+              let null_filled = ref [] in
+              let projections =
+                List.map
+                  (fun c ->
+                    match List.assoc_opt c.col_name c1 with
+                    | Some oc ->
+                        Ast.Proj_expr (Ast.Col (Some a0, oc), Some c.col_name)
+                    | None -> (
+                        match List.assoc_opt c.col_name c2 with
+                        | Some oc ->
+                            Ast.Proj_expr
+                              (Ast.Col (Some a1, oc), Some c.col_name)
+                        | None ->
+                            null_filled := c.col_name :: !null_filled;
+                            Ast.Proj_expr (Ast.Null_lit, Some c.col_name)))
+                  tf.tf_columns
+              in
+              let sel =
+                mk_select ~projections
+                  ~from:
+                    [
+                      Ast.From_table (o1.of_name, Some a0);
+                      Ast.From_table (o2.of_name, Some a1);
+                    ]
+                  ~where:(Ast.conjoin join_conds)
+              in
+              let hazards =
+                (if !null_filled = [] then []
+                 else [ Hz_null_filled (List.rev !null_filled) ])
+                @ filter_hazard ~env o1
+              in
+              finish [ { bo_table = tf.tf_name; bo_select = sel } ] hazards))
+  | _ ->
+      Non_invertible
+        (Printf.sprintf
+           "column split into %d outputs: only 2-way splits have a derivable \
+            backward join"
+           (List.length outs))
+
+(* Row split: outputs differ in WHERE; invertible iff the branch
+   predicates are provably pairwise disjoint (no row lands twice — the
+   backward union would duplicate it) and covering (no row is shed).
+   The backward transform re-projects every branch into the one old
+   table: several backward statements sharing an output. *)
+let invert_row_split ~env (tf : table_facts) (outs : output_facts list) =
+  let branch o =
+    match o.of_where with
+    | Some w -> Pred.unqualify w
+    | None -> Ast.Bool_lit true
+  in
+  let branches = List.map branch outs in
+  let rec pairwise_disjoint = function
+    | [] -> true
+    | w :: rest ->
+        List.for_all (fun w' -> Pred.disjoint ~env w w') rest
+        && pairwise_disjoint rest
+  in
+  if not (pairwise_disjoint branches) then
+    Non_invertible
+      (Printf.sprintf
+         "split branches of %s are not provably disjoint: a row could land \
+          in several outputs and roll back duplicated"
+         tf.tf_name)
+  else if not (Pred.covers ~env branches) then
+    Non_invertible
+      (Printf.sprintf
+         "split branches of %s are not provably covering: a row could be \
+          shed by every branch and be unrecoverable"
+         tf.tf_name)
+  else
+    let rec build acc hazards = function
+      | [] -> finish (List.rev acc) hazards
+      | o :: rest -> (
+          match reproject tf o with
+          | Error reason -> Non_invertible reason
+          | Ok (sel, null_filled) ->
+              let hazards =
+                if null_filled = [] then hazards
+                else hazards @ [ Hz_null_filled null_filled ]
+              in
+              build ({ bo_table = tf.tf_name; bo_select = sel } :: acc)
+                hazards rest)
+    in
+    build [] [] outs
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let analyze ?(env = Pred.top_env) (sf : stmt_facts) : smo * verdict =
+  let smo = classify sf in
+  let dropped_inputs =
+    List.filter
+      (fun (_, tf) -> List.mem tf.tf_name (List.map lc sf.sf_dropped))
+      sf.sf_inputs
+  in
+  let verdict =
+    if dropped_inputs = [] then
+      (* nothing the migration destroys: rollback only has to drop the
+         outputs again, which needs no backward transform *)
+      Invertible []
+    else
+      match smo with
+      | Smo_aggregate ->
+          Non_invertible
+            "aggregation discards detail rows; the GROUP BY input cannot be \
+             reconstructed from the aggregate output"
+      | Smo_join ->
+          Non_invertible
+            "join fan-out: rows of a dropped join input that matched several \
+             (or no) partner rows cannot be reconstructed from the output"
+      | Smo_rename | Smo_projection | Smo_filter | Smo_row_split
+      | Smo_column_split -> (
+          match (sf.sf_inputs, sf.sf_outputs) with
+          | [ (_, tf) ], [ o ] -> invert_single ~env tf o
+          | [ (_, tf) ], outs -> (
+              match smo with
+              | Smo_column_split -> invert_column_split ~env tf outs
+              | _ -> invert_row_split ~env tf outs)
+          | _, [] -> Non_invertible "statement has no outputs"
+          | _ ->
+              (* multi-input but not classified as join can't happen;
+                 stay conservative if it ever does *)
+              Non_invertible "unsupported statement shape")
+  in
+  (smo, verdict)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let smo_to_string = function
+  | Smo_rename -> "rename"
+  | Smo_projection -> "projection"
+  | Smo_filter -> "filter"
+  | Smo_row_split -> "row-split"
+  | Smo_column_split -> "column-split"
+  | Smo_join -> "join"
+  | Smo_aggregate -> "aggregate"
+
+let hazard_to_string = function
+  | Hz_filtered_rows w ->
+      Printf.sprintf "rows excluded by filter (%s) are unrecoverable" w
+  | Hz_null_filled cols ->
+      Printf.sprintf
+        "column(s) %s carried by no output; rolled-back rows get NULL"
+        (String.concat ", " cols)
+
+let verdict_summary = function
+  | Invertible [] -> "invertible (nothing to reconstruct)"
+  | Invertible _ -> "invertible"
+  | Invertible_lossy (_, hs) ->
+      "invertible but lossy: "
+      ^ String.concat "; " (List.map hazard_to_string hs)
+  | Non_invertible r -> "NOT invertible: " ^ r

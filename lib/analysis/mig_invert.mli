@@ -1,0 +1,104 @@
+(** Static migration invertibility analysis (DESIGN.md §4.2j).
+
+    Classifies a migration statement against an SMO-style lattice
+    (rename / projection / filter / row split / column split / join /
+    aggregate) and decides, using the {!Predicate} decision procedure,
+    whether the forward transform is invertible — synthesizing the
+    backward transform (a SELECT over the {e new} schema per repopulated
+    old table) when it is.  Grounded in BiDEL ("Living in Parallel
+    Realities") and "Co-existing Database Schemas based on Bidirectional
+    Transformation": invertibility is decidable per-SMO, not per-query.
+
+    The module is deliberately AST-level: the caller (the migration
+    linter in [lib/bullfrog]) translates its [Migration.t] + catalog
+    facts into {!stmt_facts} and converts the synthesized backward
+    selects into a backward migration spec.
+
+    Like the rest of lib/analysis, every verdict is {e conservative}:
+    [Invertible] is claimed only when the backward transform provably
+    reconstructs every dropped-input row; anything unprovable degrades
+    to lossy or non-invertible. *)
+
+type column = {
+  col_name : string;  (** lower-cased *)
+  col_not_null : bool;  (** declared NOT NULL or part of the primary key *)
+}
+
+type table_facts = {
+  tf_name : string;  (** lower-cased base-table name *)
+  tf_columns : column list;  (** in schema order *)
+  tf_unique_keys : string list list;
+      (** each a set of lower-cased column names with a uniqueness
+          guarantee (primary key, unique indexes) *)
+}
+
+type output_facts = {
+  of_name : string;  (** lower-cased output-table name *)
+  of_projections : (string * Bullfrog_sql.Ast.expr) list;
+      (** (lower-cased output column, defining expression) — the
+          {e expanded} projection list (no [*]) *)
+  of_where : Bullfrog_sql.Ast.expr option;  (** unqualified *)
+  of_group_by : bool;
+  of_unique_keys : string list list;
+      (** uniqueness declared {e on the output} (CREATE TABLE primary
+          key / UNIQUE, plus unique [extra_ddl] indexes) — the backward
+          join key must be covered by one on each side *)
+}
+
+type stmt_facts = {
+  sf_name : string;
+  sf_inputs : (string * table_facts) list;  (** (alias, facts) *)
+  sf_outputs : output_facts list;
+  sf_dropped : string list;
+      (** input tables the migration drops (lower-cased); inputs not
+          listed survive the flip, so nothing needs reconstruction *)
+}
+
+(** The SMO lattice (coarsest applicable label wins). *)
+type smo =
+  | Smo_rename  (** single output, all input columns carried, aliased *)
+  | Smo_projection  (** single output, bare column subset *)
+  | Smo_filter  (** single output with a WHERE *)
+  | Smo_row_split  (** multiple outputs, differing predicates *)
+  | Smo_column_split  (** multiple outputs, same (or no) predicate *)
+  | Smo_join  (** two or more inputs *)
+  | Smo_aggregate  (** GROUP BY population *)
+
+type hazard =
+  | Hz_filtered_rows of string
+      (** rows shed by a non-covering filter are unrecoverable *)
+  | Hz_null_filled of string list
+      (** nullable input columns no output carries; the backward
+          transform re-materialises them as NULL *)
+
+(** One backward population: repopulate dropped old table [bo_table]
+    with [bo_select], a query over the new schema. *)
+type backward_output = {
+  bo_table : string;
+  bo_select : Bullfrog_sql.Ast.select;
+}
+
+type verdict =
+  | Invertible of backward_output list
+      (** backward ∘ forward = identity on migrated rows; the list is
+          empty when no input is dropped (nothing to reconstruct) *)
+  | Invertible_lossy of backward_output list * hazard list
+      (** a backward transform exists but provably loses information *)
+  | Non_invertible of string
+
+val classify : stmt_facts -> smo
+(** The lattice label alone (used by reports even when the verdict is
+    negative). *)
+
+val analyze : ?env:Predicate.env -> stmt_facts -> smo * verdict
+(** Decide invertibility and synthesize the backward transform.  [env]
+    carries nullability facts for the (single) input table — the same
+    environment the split disjointness/coverage proofs use. *)
+
+val smo_to_string : smo -> string
+
+val hazard_to_string : hazard -> string
+
+val verdict_summary : verdict -> string
+(** One-line rendering ("invertible", "invertible (lossy: ...)",
+    "NOT invertible: ..."). *)

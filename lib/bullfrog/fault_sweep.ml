@@ -316,6 +316,91 @@ let eager_scenario =
         List.map (fun o -> (o, sorted_rows db ("SELECT * FROM " ^ o))) outputs);
   }
 
+(* ------------------------------------------------------------------ *)
+(* scenario: mid-flight rollback                                       *)
+
+(* Forward-migrate part of a 1:1 copy, edit and delete rows through the
+   new schema, then roll the migration back mid-flight and drain the
+   backward migration.  A crash can land in the forward phase (recovered
+   with [resume_migration], then the rollback proceeds) or in the
+   backward phase (recovered with [resume_rollback] — forward trackers
+   rebuilt for the purge set, purge TID ceilings read from the synthetic
+   log marks, backward trackers refilled).  The final [src] must reflect
+   the never-crashed history: the edit and the delete made through [dst]
+   survive the trip back. *)
+let rollback_scenario =
+  {
+    sc_name = "rollback";
+    sc_run =
+      (fun () ->
+        let db = mk_src_db 48 in
+        let ld = ref (Lazy_db.create db) in
+        let fwd_spec = copy_spec () in
+        let fwd_rt = Lazy_db.start_migration !ld ~page_size:4 fwd_spec in
+        let fwd_mig_id = fwd_rt.Migrate_exec.mig_id in
+        (* Some (bspec, rb_mig_id) once the rollback flip has happened —
+           decides which resume path a crash recovery takes. *)
+        let rb = ref None in
+        let forward_phase () =
+          ignore (Lazy_db.exec !ld "SELECT * FROM dst WHERE id = 9" : Executor.result);
+          ignore (Lazy_db.background_step !ld ~batch:2 : int);
+          ignore
+            (Lazy_db.exec !ld "UPDATE dst SET v = 'edited' WHERE id = 9"
+              : Executor.result);
+          ignore (Lazy_db.exec !ld "DELETE FROM dst WHERE id = 10" : Executor.result)
+        in
+        let flip_back () =
+          match Lazy_db.rollback_migration !ld with
+          | Some brt ->
+              rb := Some (brt.Migrate_exec.spec, brt.Migrate_exec.mig_id)
+          | None -> failwith "fault_sweep: rollback derived no backward spec"
+        in
+        let finishing () =
+          let probe_results =
+            List.map
+              (fun sql ->
+                ignore (Lazy_db.exec !ld sql : Executor.result);
+                (sql, sorted_rows db sql))
+              [
+                "SELECT * FROM src WHERE id = 9";
+                "SELECT * FROM src WHERE grp = 3";
+              ]
+          in
+          while Lazy_db.background_step !ld ~batch:4 > 0 do
+            ()
+          done;
+          if not (Lazy_db.migration_complete !ld) then
+            failwith "fault_sweep: rollback incomplete after drain";
+          Lazy_db.finalize !ld;
+          probe_results @ [ ("src", sorted_rows db "SELECT * FROM src") ]
+        in
+        let recover_crashed () =
+          ld := Lazy_db.create db;
+          match !rb with
+          | None ->
+              ignore
+                (Lazy_db.resume_migration !ld ~page_size:4 ~mig_id:fwd_mig_id
+                   fwd_spec
+                  : Migrate_exec.t)
+          | Some (bspec, rb_mig_id) ->
+              ignore
+                (Lazy_db.resume_rollback !ld ~page_size:4 ~fwd_mig_id
+                   ~mig_id:rb_mig_id fwd_spec bspec
+                  : Migrate_exec.t)
+        in
+        let cycle () =
+          if !rb = None then begin
+            forward_phase ();
+            flip_back ()
+          end;
+          finishing ()
+        in
+        try cycle ()
+        with Fault.Crash _ ->
+          recover_crashed ();
+          cycle ());
+  }
+
 let scenarios =
   [
     bitmap_scenario;
@@ -325,6 +410,7 @@ let scenarios =
     joinkey_scenario;
     multistep_scenario;
     eager_scenario;
+    rollback_scenario;
   ]
 
 (* Scenarios registered by layers above this library (lib/cluster's 2PC
@@ -447,22 +533,39 @@ let run_sweep ?(names = scenario_names) ?points () =
     names
 
 (* The bounded sweep arms, per scenario, only the points its engine path
-   can reach — every cell in it actually crashes and recovers.  Used by
-   the test suite and `make check`. *)
+   can reach — every cell in it actually crashes and recovers.  Cells
+   carry an [after] skip count so one scenario can crash the same site
+   in different phases (the rollback scenario reaches [p_mark_commit]
+   both migrating forward and migrating back).  Used by the test suite
+   and `make check`. *)
 let bounded_cells =
   [
-    ("bitmap", [ Fault.p_mark_commit; Fault.p_flip_batched; Fault.p_bg_batch ]);
-    ("mvcc", [ Fault.p_commit_ts; Fault.p_gc_sweep ]);
-    ("hash", [ Fault.p_mark_commit; Fault.p_flip_batched ]);
-    ("pair", [ Fault.p_pair_commit; Fault.p_pair_flip ]);
-    ("joinkey", [ Fault.p_mark_commit; Fault.p_flip_batched ]);
-    ("multistep", [ Fault.p_multistep_copy ]);
-    ("eager", [ Fault.p_eager_copy ]);
+    ("bitmap", [ (Fault.p_mark_commit, 0); (Fault.p_flip_batched, 0); (Fault.p_bg_batch, 0) ]);
+    ("mvcc", [ (Fault.p_commit_ts, 0); (Fault.p_gc_sweep, 0) ]);
+    ("hash", [ (Fault.p_mark_commit, 0); (Fault.p_flip_batched, 0) ]);
+    ("pair", [ (Fault.p_pair_commit, 0); (Fault.p_pair_flip, 0) ]);
+    ("joinkey", [ (Fault.p_mark_commit, 0); (Fault.p_flip_batched, 0) ]);
+    ("multistep", [ (Fault.p_multistep_copy, 0) ]);
+    ("eager", [ (Fault.p_eager_copy, 0) ]);
+    (* forward-phase crashes (after 0) and backward-phase crashes (after
+       skipping the forward phase's hits) of the same sites *)
+    ( "rollback",
+      [
+        (Fault.p_mark_commit, 0);
+        (Fault.p_bg_batch, 0);
+        (Fault.p_mark_commit, 2);
+        (Fault.p_flip_batched, 2);
+        (Fault.p_bg_batch, 1);
+      ] );
   ]
 
 let run_bounded () =
   List.concat_map
-    (fun (name, points) -> run_scenario ~points (find_scenario name))
+    (fun (name, cells) ->
+      let sc = find_scenario name in
+      Fault.disarm ();
+      let oracle = sc.sc_run () in
+      List.map (fun (point, after) -> run_cell ~after sc oracle point) cells)
     bounded_cells
 
 let all_ok cells = List.for_all (fun c -> c.c_ok) cells

@@ -1,11 +1,58 @@
 open Bullfrog_sql
 open Bullfrog_db
 
+(* Rollback bookkeeping (§4.2j).  Rolling a half-done migration back
+   re-installs the derived backward spec as an ordinary lazy migration,
+   but the old tables are not pristine: every granule the FORWARD
+   migration moved may since have diverged through the new schema
+   (updates, deletes).  Those stale source rows must not be served.  A
+   [purge] records, per old table, the forward-migrated granules still
+   awaiting deletion; purging is as lazy as migration itself (scoped to
+   the granules a request could observe, drained by background batches).
+   Rows the backward migration reconstructs are appended at TIDs >=
+   [pu_limit] (heap TIDs are never reused), so a purge can never eat
+   them.
+
+   Purging is per-ROW, not per-granule: each forward statement keeps its
+   own tracker, so a granule can be migrated by one statement and not
+   another, and a row is only stale once every statement whose
+   population covers it has transferred it (its live image then lives
+   entirely in the outputs).  Rows covered by a not-yet-migrated
+   statement — and rows no population covers at all (shed by a lossy
+   filter, never copied anywhere) — are still authoritative and must
+   survive the purge. *)
+type purge_src = {
+  ps_matches : Value.t array -> bool;
+      (* row ∈ this forward statement's population (any output WHERE) *)
+  ps_migrated : int -> bool;  (* granule moved by this statement *)
+}
+
+type purge = {
+  pu_table : string;
+  pu_heap : Heap.t;
+  pu_page_size : int;  (* the FORWARD tracker's granule size *)
+  pu_limit : int;  (* old-table tid_count at the forward install *)
+  pu_pending : (int, unit) Hashtbl.t;  (* granule id -> () *)
+  pu_srcs : purge_src list;  (* one per forward statement reading the table *)
+}
+
+type rollback_info = {
+  rb_fwd_mig_id : int;
+  rb_fwd_spec : Migration.t;
+  rb_purges : purge list;
+}
+
 type active = {
   rt : Migrate_exec.t;
-  shadow : Catalog.t;  (* old tables + one view per output table *)
+  shadows : Catalog.t list;
+      (* base tables + one view per output table.  A forward migration
+         needs one shadow; a rollback of a row split repopulates the same
+         old table from several backward statements, so each branch's
+         view lives in its own shadow and predicate extraction ORs
+         across them. *)
   output_names : string list;
   cumulative : Migrate_exec.report;
+  rollback : rollback_info option;  (* Some = this runtime migrates backward *)
 }
 
 type t = {
@@ -124,6 +171,45 @@ let register_migration_stats t =
             };
           ])
 
+(* One shadow catalog holds the base tables plus at most one view per
+   output name.  A forward migration fits in a single shadow; a derived
+   rollback of a row split repopulates the same old table from several
+   backward statements, so each extra branch's view opens another shadow
+   (first-fit) and predicate extraction ORs across all of them. *)
+let build_shadows base_tables (spec : Migration.t) =
+  let shadows = ref [] in
+  List.iter
+    (fun (stmt : Migration.statement) ->
+      List.iter
+        (fun (o : Migration.output) ->
+          let rec place = function
+            | [] ->
+                let shadow = Catalog.create () in
+                List.iter (fun heap -> Catalog.add_table shadow heap) base_tables;
+                Catalog.create_view shadow o.Migration.out_name
+                  o.Migration.out_population;
+                shadows := !shadows @ [ shadow ]
+            | shadow :: rest ->
+                if Catalog.find_view shadow o.Migration.out_name <> None then
+                  place rest
+                else
+                  Catalog.create_view shadow o.Migration.out_name
+                    o.Migration.out_population
+          in
+          place !shadows)
+        stmt.Migration.outputs)
+    spec.Migration.statements;
+  !shadows
+
+let output_names_of (spec : Migration.t) =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun (stmt : Migration.statement) ->
+         List.map
+           (fun (o : Migration.output) -> String.lowercase_ascii o.Migration.out_name)
+           stmt.Migration.outputs)
+       spec.Migration.statements)
+
 let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off)
     ?(lint = `Auto) t (spec : Migration.t) =
   if t.act <> None then err "a schema migration is already in progress";
@@ -166,6 +252,21 @@ let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off)
                 spec.Migration.name
           | _, Mig_lint.Act_ok -> mode
         in
+        (* Invertibility gate (§4.2j): a provably non-invertible spec can
+           never be rolled back mid-flight.  `Enforce refuses the flip;
+           the other levels warn so the operator knows rollback is off
+           the table before committing to the switch. *)
+        if not (Mig_lint.invertible v) then begin
+          let reasons = String.concat "; " (Mig_lint.non_invertible_reasons v) in
+          if level = `Enforce then
+            err "migration %S rejected: provably non-invertible (%s)"
+              spec.Migration.name reasons
+          else
+            Logs.warn (fun m ->
+                m "migration %S is not invertible — mid-flight rollback will be \
+                   refused (%s)"
+                  spec.Migration.name reasons)
+        end;
         (Some v, mode)
   in
   (* The logical switch itself (§2): cold, so the span is unconditional.
@@ -213,19 +314,17 @@ let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off)
     Migrate_exec.install ?mode ?page_size ?stripes ?nn ?fk_join ?lint:verdict
       ~mig_id t.database spec
   in
-  let shadow = Catalog.create () in
-  List.iter (fun heap -> Catalog.add_table shadow heap) old_tables;
-  let output_names =
-    List.concat_map
-      (fun (stmt : Migration.statement) ->
-        List.map
-          (fun (o : Migration.output) ->
-            Catalog.create_view shadow o.Migration.out_name o.Migration.out_population;
-            o.Migration.out_name)
-          stmt.Migration.outputs)
-      spec.Migration.statements
-  in
-  t.act <- Some { rt; shadow; output_names; cumulative = Migrate_exec.new_report () };
+  let shadows = build_shadows old_tables spec in
+  let output_names = output_names_of spec in
+  t.act <-
+    Some
+      {
+        rt;
+        shadows;
+        output_names;
+        cumulative = Migrate_exec.new_report ();
+        rollback = None;
+      };
   (* While the migration is live, a full scan over a partially-populated
      output forces a whole-table lazy migration — have the planner flag it. *)
   Planner.set_migration_watch t.database.Database.catalog output_names;
@@ -241,7 +340,10 @@ let start_migration ?mode ?page_size ?stripes ?nn ?fk_join ?(precheck = `Off)
    already migrated into them) survived via redo replay; trackers come
    back empty and are refilled from the committed granule marks in the
    log, so migration resumes exactly where the durable state left it.
-   No lint/precheck — the spec was validated at the original switch. *)
+   No precheck, and lint runs without enforcement — the spec was
+   validated at the original switch; the fresh verdict is attached to
+   the runtime only so a post-crash [rollback_migration] still has the
+   derived backward transform. *)
 let resume_migration ?mode ?page_size ?stripes ?nn ?fk_join t ~mig_id
     (spec : Migration.t) =
   if t.act <> None then err "a schema migration is already in progress";
@@ -251,44 +353,37 @@ let resume_migration ?mode ?page_size ?stripes ?nn ?fk_join t ~mig_id
     ~args:[ ("migration", spec.Migration.name) ]
   @@ fun () ->
   let catalog = t.database.Database.catalog in
-  let output_names_lc =
-    List.concat_map
-      (fun (stmt : Migration.statement) ->
-        List.map
-          (fun (o : Migration.output) -> String.lowercase_ascii o.Migration.out_name)
-          stmt.Migration.outputs)
-      spec.Migration.statements
-  in
-  (* The replayed catalog already holds the outputs; the shadow catalog
+  let output_names = output_names_of spec in
+  (* The replayed catalog already holds the outputs; the shadow catalogs
      must expose only the old tables (plus the output views). *)
   let old_tables =
     List.filter_map
       (fun name ->
-        if List.mem (String.lowercase_ascii name) output_names_lc then None
+        if List.mem (String.lowercase_ascii name) output_names then None
         else Some (Catalog.find_table_exn catalog name))
       (Catalog.table_names catalog)
   in
+  let verdict =
+    try Some (Mig_lint.lint ?fk_join catalog spec) with _ -> None
+  in
   let rt =
-    Migrate_exec.install ?mode ?page_size ?stripes ?nn ?fk_join ~resume:true
-      ~mig_id t.database spec
+    Migrate_exec.install ?mode ?page_size ?stripes ?nn ?fk_join ?lint:verdict
+      ~resume:true ~mig_id t.database spec
   in
   let restored = Recovery.rebuild rt t.database.Database.redo in
   Logs.info (fun m ->
       m "migration %S resumed after restart: %d granule mark(s) restored"
         spec.Migration.name restored);
-  let shadow = Catalog.create () in
-  List.iter (fun heap -> Catalog.add_table shadow heap) old_tables;
-  let output_names =
-    List.concat_map
-      (fun (stmt : Migration.statement) ->
-        List.map
-          (fun (o : Migration.output) ->
-            Catalog.create_view shadow o.Migration.out_name o.Migration.out_population;
-            o.Migration.out_name)
-          stmt.Migration.outputs)
-      spec.Migration.statements
-  in
-  t.act <- Some { rt; shadow; output_names; cumulative = Migrate_exec.new_report () };
+  let shadows = build_shadows old_tables spec in
+  t.act <-
+    Some
+      {
+        rt;
+        shadows;
+        output_names;
+        cumulative = Migrate_exec.new_report ();
+        rollback = None;
+      };
   Planner.set_migration_watch t.database.Database.catalog output_names;
   register_migration_stats t;
   t.next_mig_id <- max t.next_mig_id (mig_id + 1);
@@ -297,6 +392,13 @@ let resume_migration ?mode ?page_size ?stripes ?nn ?fk_join t ~mig_id
   rt
 
 let active t = Option.map (fun a -> a.rt) t.act
+
+(* [(forward mig_id, forward spec)] when the active migration is a
+   rollback; the cluster layer persists these in its BFMIG-RB marker. *)
+let rollback_info t =
+  match t.act with
+  | Some { rollback = Some rb; _ } -> Some (rb.rb_fwd_mig_id, rb.rb_fwd_spec)
+  | Some { rollback = None; _ } | None -> None
 
 (* The wire server's circuit breaker samples this: how many granules the
    logical switch has promised that physical migration has not yet
@@ -360,15 +462,22 @@ let merge_preds (a : (string * Ast.expr option) list) b =
     a b
 
 (* Predicates reaching the base tables of [q], planned over the shadow
-   catalog where output tables are views. *)
+   catalog(s) where output tables are views.  With several shadows (a
+   rollback of a row split) each gives one branch's view of the shared
+   output name; the relevant set is their union, so results merge with
+   OR like repeated scans. *)
 let extract_from_select act (q : Ast.select) =
-  let pctx = { Planner.catalog = act.shadow; run_subquery = (fun _ -> []) } in
-  let raw = Planner.pushed_base_filters pctx q in
-  (* A table scanned twice gets the OR of its conjunct sets; an occurrence
-     with no conjuncts means the whole table is potentially relevant. *)
   List.fold_left
-    (fun acc (table, conjs) -> merge_preds acc [ (table, Ast.conjoin conjs) ])
-    [] raw
+    (fun acc shadow ->
+      let pctx = { Planner.catalog = shadow; run_subquery = (fun _ -> []) } in
+      let raw = Planner.pushed_base_filters pctx q in
+      (* A table scanned twice gets the OR of its conjunct sets; an
+         occurrence with no conjuncts means the whole table is potentially
+         relevant. *)
+      List.fold_left
+        (fun acc (table, conjs) -> merge_preds acc [ (table, Ast.conjoin conjs) ])
+        acc raw)
+    [] act.shadows
 
 let select_star_where table where =
   Ast.select
@@ -641,10 +750,130 @@ let check_input_writes t (stmt : Ast.stmt) =
               table act.rt.Migrate_exec.spec.Migration.name
       | _ -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Rollback purges (§4.2j)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rollback_purges_pending act =
+  match act.rollback with
+  | None -> false
+  | Some rb -> List.exists (fun pu -> Hashtbl.length pu.pu_pending > 0) rb.rb_purges
+
+(* Compile a single-table predicate into a row test against [heap]'s
+   schema; [None] on compilation failure (callers fall back
+   conservatively). *)
+let compile_row_pred db (heap : Heap.t) (p : Ast.expr) =
+  try
+    let descs =
+      Array.map
+        (fun n -> { Plan.cd_qualifier = None; cd_name = n })
+        (Schema.col_names heap.Heap.schema)
+    in
+    let pctx =
+      { Planner.catalog = db.Database.catalog; run_subquery = (fun _ -> []) }
+    in
+    let ce =
+      Expr.prepare
+        (Planner.compile_with_descs pctx descs
+           (Bullfrog_analysis.Predicate.unqualify p))
+    in
+    Some (fun row -> ce.Expr.ce_pred [||] row)
+  with _ -> None
+
+(* A live old-table row is stale — its authoritative image lives in the
+   new schema — iff some forward statement transferred it (covered it
+   AND moved its granule) and no covering statement still has it
+   pending.  Everything else in the granule survives. *)
+let row_is_stale pu g row =
+  let covering = List.filter (fun s -> s.ps_matches row) pu.pu_srcs in
+  covering <> [] && List.for_all (fun s -> s.ps_migrated g) covering
+
+(* Delete the stale live rows of one forward-migrated granule from the
+   old table.  Only TIDs below [pu_limit] are touched: everything the
+   backward migration (or the application, post-rollback) appends lands
+   above it, so purging is idempotent and can never eat reconstructed
+   rows. *)
+let purge_granule t pu g =
+  let lo = g * pu.pu_page_size in
+  let hi = min ((g + 1) * pu.pu_page_size) pu.pu_limit in
+  Database.with_txn t.database (fun txn ->
+      let ctx = Database.exec_ctx t.database in
+      for tid = lo to hi - 1 do
+        match Heap.get pu.pu_heap tid with
+        | Some row when row_is_stale pu g row ->
+            Executor.delete_row ctx txn pu.pu_heap tid
+        | Some _ | None -> ()
+      done);
+  Hashtbl.remove pu.pu_pending g
+
+(* Purge the pending granules whose live rows could satisfy [scope]
+   (None = every pending granule).  Predicate compilation failures fall
+   back to purging everything pending — conservative, never wrong. *)
+let purge_matching t pu (scope : Ast.expr option) =
+  let pending = List.sort compare (Hashtbl.fold (fun g () acc -> g :: acc) pu.pu_pending []) in
+  let pred =
+    match scope with
+    | None -> None
+    | Some p -> compile_row_pred t.database pu.pu_heap p
+  in
+  List.iter
+    (fun g ->
+      let interesting =
+        match pred with
+        | None -> true
+        | Some matches -> (
+            let lo = g * pu.pu_page_size in
+            let hi = min ((g + 1) * pu.pu_page_size) pu.pu_limit in
+            try
+              for tid = lo to hi - 1 do
+                match Heap.get pu.pu_heap tid with
+                | Some row when matches row -> raise Exit
+                | Some _ | None -> ()
+              done;
+              false
+            with Exit -> true)
+      in
+      if interesting then purge_granule t pu g)
+    pending
+
+(* Before a statement runs against the old schema mid-rollback, delete
+   the stale forward-migrated source rows it could observe.  Scoped to
+   the WHERE clause for single-table statements; anything more complex
+   purges every pending granule of the tables it references. *)
+let purge_for_stmt t act (stmt : Ast.stmt) =
+  match act.rollback with
+  | None -> ()
+  | Some rb ->
+      let referenced = tables_of_stmt stmt in
+      List.iter
+        (fun pu ->
+          if Hashtbl.length pu.pu_pending > 0 && List.mem pu.pu_table referenced
+          then begin
+            let scope =
+              match stmt with
+              | Ast.Select_stmt { Ast.from = [ Ast.From_table (n, _) ]; where; _ }
+                when String.lowercase_ascii n = pu.pu_table ->
+                  where
+              | Ast.Update { table; where; _ } | Ast.Delete { table; where }
+                when String.lowercase_ascii table = pu.pu_table ->
+                  where
+              | _ -> None
+            in
+            purge_matching t pu scope
+          end)
+        rb.rb_purges
+
+(* The cluster router drives shard runtimes through [Migrate_exec]
+   directly (it routes predicates itself), bypassing [maybe_migrate]; it
+   calls this to keep rollback purges request-scoped too. *)
+let drive_purges t (stmt : Ast.stmt) =
+  match t.act with None -> () | Some act -> purge_for_stmt t act stmt
+
 let maybe_migrate t ?report (stmt : Ast.stmt) =
   match t.act with
   | None -> ()
   | Some act ->
+      purge_for_stmt t act stmt;
       if Migrate_exec.complete act.rt then ()
       else begin
         let referenced = tables_of_stmt stmt in
@@ -686,7 +915,7 @@ let intercept t ?report ?params sql =
   | None -> ()
   | Some act ->
       if
-        (not (Migrate_exec.complete act.rt))
+        ((not (Migrate_exec.complete act.rt)) || rollback_purges_pending act)
         && List.exists (fun r -> List.mem r act.output_names) (tables_of_stmt stmt)
       then maybe_migrate t ?report (Database.bind_stmt params stmt));
   p
@@ -742,13 +971,43 @@ let background_step t ~batch =
   match t.act with
   | None -> 0
   | Some act ->
-      let r = Migrate_exec.new_report () in
-      let n = Migrate_exec.background_step act.rt r ~batch in
-      Migrate_exec.merge_report ~into:act.cumulative r;
-      n
+      (* Mid-rollback, stale-row purges drain alongside backward
+         migration so the finalize completeness bar is reachable without
+         any query traffic. *)
+      let purged = ref 0 in
+      (match act.rollback with
+      | None -> ()
+      | Some rb ->
+          List.iter
+            (fun pu ->
+              let gs =
+                List.sort compare
+                  (Hashtbl.fold (fun g () acc -> g :: acc) pu.pu_pending [])
+              in
+              List.iter
+                (fun g ->
+                  if !purged < batch then begin
+                    purge_granule t pu g;
+                    incr purged
+                  end)
+                gs)
+            rb.rb_purges);
+      let remaining = max 0 (batch - !purged) in
+      let n =
+        if remaining = 0 then 0
+        else begin
+          let r = Migrate_exec.new_report () in
+          let n = Migrate_exec.background_step act.rt r ~batch:remaining in
+          Migrate_exec.merge_report ~into:act.cumulative r;
+          n
+        end
+      in
+      !purged + n
 
 let migration_complete t =
-  match t.act with None -> true | Some act -> Migrate_exec.complete act.rt
+  match t.act with
+  | None -> true
+  | Some act -> Migrate_exec.complete act.rt && not (rollback_purges_pending act)
 
 let progress t =
   match t.act with None -> 1.0 | Some act -> Migrate_exec.progress act.rt
@@ -762,7 +1021,7 @@ let finalize t =
   match t.act with
   | None -> ()
   | Some act ->
-      if not (Migrate_exec.complete act.rt) then
+      if not (Migrate_exec.complete act.rt) || rollback_purges_pending act then
         err "cannot finalize migration %S: physical migration is incomplete"
           act.rt.Migrate_exec.spec.Migration.name;
       Obs.Flight.notef ~cat:"migration" "finalize %s"
@@ -788,3 +1047,286 @@ let finalize t =
       Planner.clear_migration_watch t.database.Database.catalog;
       Obs.unregister_stats "bullfrog.migration";
       Catalog.bump_epoch t.database.Database.catalog
+
+(* ------------------------------------------------------------------ *)
+(* Mid-flight rollback (§4.2j)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per dropped forward input, the granules the forward migration already
+   moved plus one [purge_src] per forward statement reading the table:
+   each statement has its own tracker, so staleness is decided per row
+   ({!row_is_stale}) against the statements whose populations cover it.
+   Only bitmap (TID) trackers can feed a rollback — every invertible
+   shape classifies to one — and inputs sharing a table merge into one
+   purge set.  The population WHEREs of an invertible statement are in
+   the supported predicate language (the invertibility proofs require
+   it), so compilation failures are theoretical; the fallback treats the
+   statement as covering every row, which only ever keeps rows longer
+   (the overwrite-mode backward insert still replaces a kept stale
+   original on unique conflict). *)
+let purges_of_forward db (fwd : Migrate_exec.t) =
+  let dropped =
+    List.map String.lowercase_ascii fwd.Migrate_exec.spec.Migration.drop_old
+  in
+  let tbl : (string, purge) Hashtbl.t = Hashtbl.create 4 in
+  let add (s : Migrate_exec.rt_stmt) (i : Migrate_exec.rt_input) =
+    match i.Migrate_exec.ri_tracker with
+    | Migrate_exec.RT_bitmap bt ->
+        let name = i.Migrate_exec.ri_heap.Heap.name in
+        if List.mem name dropped then begin
+          let matches =
+            (* row ∈ statement population: ORs the per-output WHEREs *)
+            let tests =
+              List.map
+                (fun ((_, sel) : Heap.t * Ast.select) ->
+                  match sel.Ast.where with
+                  | None -> fun _ -> true
+                  | Some p -> (
+                      match compile_row_pred db i.Migrate_exec.ri_heap p with
+                      | Some f -> f
+                      | None -> fun _ -> true))
+                s.Migrate_exec.rs_outputs
+            in
+            fun row -> List.exists (fun f -> f row) tests
+          in
+          let src = { ps_matches = matches; ps_migrated = Bitmap_tracker.is_migrated bt } in
+          let pu =
+            match Hashtbl.find_opt tbl name with
+            | Some pu ->
+                let pu = { pu with pu_srcs = src :: pu.pu_srcs } in
+                Hashtbl.replace tbl name pu;
+                pu
+            | None ->
+                let pu =
+                  {
+                    pu_table = name;
+                    pu_heap = i.Migrate_exec.ri_heap;
+                    pu_page_size = Bitmap_tracker.page_size bt;
+                    pu_limit = Heap.tid_count i.Migrate_exec.ri_heap;
+                    pu_pending = Hashtbl.create 64;
+                    pu_srcs = [ src ];
+                  }
+                in
+                Hashtbl.add tbl name pu;
+                pu
+          in
+          for g = 0 to Bitmap_tracker.granule_count bt - 1 do
+            if Bitmap_tracker.is_migrated bt g then Hashtbl.replace pu.pu_pending g ()
+          done
+        end
+    | Migrate_exec.RT_hash _ | Migrate_exec.RT_none -> ()
+  in
+  List.iter
+    (fun (s : Migrate_exec.rt_stmt) ->
+      List.iter (add s) s.Migrate_exec.rs_inputs;
+      match s.Migrate_exec.rs_pair with
+      | Some pr ->
+          add s pr.Migrate_exec.pr_a;
+          add s pr.Migrate_exec.pr_b
+      | None -> ())
+    fwd.Migrate_exec.stmts;
+  Hashtbl.fold (fun _ pu acc -> pu :: acc) tbl []
+
+(* Synthetic-mark convention for durable purge state: each purge's TID
+   ceiling is logged as a migration mark whose table name is prefixed
+   with ["#purge#"] — a name no relation can have, so recovery's tracker
+   rebuild ignores it and checkpointing carries it forward with the
+   other outstanding marks. *)
+let purge_mark_prefix = "#purge#"
+
+let drop_restored t (fwd_spec : Migration.t) =
+  let restored = List.map String.lowercase_ascii fwd_spec.Migration.drop_old in
+  t.dropped <- List.filter (fun n -> not (List.mem n restored)) t.dropped
+
+let rollback_migration t =
+  match t.act with
+  | None -> err "no schema migration is in progress; nothing to roll back"
+  | Some act -> (
+      if act.rollback <> None then
+        err "migration %S is already rolling back"
+          act.rt.Migrate_exec.spec.Migration.name;
+      let fwd = act.rt in
+      let spec = fwd.Migrate_exec.spec in
+      let lint =
+        match fwd.Migrate_exec.lint with
+        | Some v -> v
+        | None ->
+            err
+              "migration %S was started with lint off, so no backward transform \
+               was derived; cannot roll back"
+              spec.Migration.name
+      in
+      if not (Mig_lint.invertible lint) then
+        err "cannot roll back migration %S: %s" spec.Migration.name
+          (String.concat "; " (Mig_lint.non_invertible_reasons lint));
+      Obs.Flight.notef ~cat:"migration" "rollback %s (mvcc_ts %d)"
+        spec.Migration.name (Mvcc.now ());
+      Obs.Trace.with_span ~cat:"migration" "rollback"
+        ~args:[ ("migration", spec.Migration.name) ]
+      @@ fun () ->
+      match lint.Mig_lint.lint_backward with
+      | None ->
+          (* Nothing was dropped, so nothing needs reconstructing:
+             rollback is just un-flipping — drop the outputs and restore
+             the old names. *)
+          List.iter
+            (fun name ->
+              if Catalog.exists t.database.Database.catalog name then
+                Catalog.drop t.database.Database.catalog name)
+            (List.sort_uniq String.compare act.output_names);
+          t.act <- None;
+          Planner.clear_migration_watch t.database.Database.catalog;
+          Obs.unregister_stats "bullfrog.migration";
+          drop_restored t spec;
+          Catalog.bump_epoch t.database.Database.catalog;
+          None
+      | Some bspec ->
+          let purges = purges_of_forward t.database fwd in
+          let rb_mig_id = t.next_mig_id in
+          t.next_mig_id <- rb_mig_id + 1;
+          (* Durably record each purge's TID ceiling before any backward
+             work: after a crash mid-rollback the old heaps have grown
+             with reconstructed rows, and re-deriving the ceiling from
+             [Heap.tid_count] would let a re-purge eat them. *)
+          Redo_log.append t.database.Database.redo
+            {
+              Redo_log.txn_id = 0;
+              commit_ts = 0;
+              writes = [];
+              marks =
+                List.map
+                  (fun pu ->
+                    {
+                      Redo_log.mig_id = rb_mig_id;
+                      mig_table = purge_mark_prefix ^ pu.pu_table;
+                      granule = Redo_log.G_tid pu.pu_limit;
+                    })
+                  purges;
+            };
+          (* Rollback = migrating in reverse: install the derived
+             backward spec as an ordinary lazy migration over the new
+             tables.  [resume] because its outputs (the old tables) still
+             exist; [overwrite] because a reconstructed row is
+             authoritative over a stale not-yet-purged original. *)
+          let brt =
+            Migrate_exec.install ~overwrite:true
+              ~page_size:fwd.Migrate_exec.page_size ~resume:true ~mig_id:rb_mig_id
+              t.database bspec
+          in
+          let output_names = output_names_of bspec in
+          let base_tables =
+            List.filter_map
+              (fun name ->
+                if List.mem (String.lowercase_ascii name) output_names then None
+                else Some (Catalog.find_table_exn t.database.Database.catalog name))
+              (Catalog.table_names t.database.Database.catalog)
+          in
+          let shadows = build_shadows base_tables bspec in
+          t.act <-
+            Some
+              {
+                rt = brt;
+                shadows;
+                output_names;
+                cumulative = Migrate_exec.new_report ();
+                rollback =
+                  Some
+                    {
+                      rb_fwd_mig_id = fwd.Migrate_exec.mig_id;
+                      rb_fwd_spec = spec;
+                      rb_purges = purges;
+                    };
+              };
+          Planner.set_migration_watch t.database.Database.catalog output_names;
+          register_migration_stats t;
+          (* The old schema is legal again; the abandoned new tables are
+             not (they are now the inputs being drained). *)
+          drop_restored t spec;
+          t.dropped <-
+            t.dropped @ List.map String.lowercase_ascii bspec.Migration.drop_old;
+          Catalog.bump_epoch t.database.Database.catalog;
+          Some brt)
+
+(* Crash-restart mid-rollback.  The forward spec is re-installed
+   throwaway (resume mode, no DDL) purely to refill its trackers from
+   the log — that recovers which granules the forward migration had
+   moved, i.e. which still need purging.  Purge completion is not logged
+   per granule; re-purging is idempotent (the TIDs are tombstones).
+   [page_size] must match the original forward install for granule ids
+   to line up, as with {!resume_migration}. *)
+let resume_rollback ?mode ?page_size ?stripes ?nn ?fk_join t ~fwd_mig_id ~mig_id
+    (fwd_spec : Migration.t) (bspec : Migration.t) =
+  if t.act <> None then err "a schema migration is already in progress";
+  Obs.Flight.notef ~cat:"migration" "resume rollback of %s after crash restart"
+    fwd_spec.Migration.name;
+  Obs.Trace.with_span ~cat:"migration" "resume-rollback"
+    ~args:[ ("migration", fwd_spec.Migration.name) ]
+  @@ fun () ->
+  let catalog = t.database.Database.catalog in
+  let fwd_rt =
+    Migrate_exec.install ?mode ?page_size ?stripes ?nn ?fk_join ~resume:true
+      ~mig_id:fwd_mig_id t.database fwd_spec
+  in
+  ignore (Recovery.rebuild fwd_rt t.database.Database.redo);
+  let purges = purges_of_forward t.database fwd_rt in
+  (* Replace each [Heap.tid_count]-derived ceiling with the one logged at
+     rollback time (the heap has since grown with reconstructed rows). *)
+  let limits : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  Redo_log.iter t.database.Database.redo (fun r ->
+      List.iter
+        (fun (mk : Redo_log.migration_mark) ->
+          if mk.Redo_log.mig_id = mig_id then begin
+            let name = mk.Redo_log.mig_table in
+            let pl = String.length purge_mark_prefix in
+            if String.length name > pl && String.sub name 0 pl = purge_mark_prefix
+            then
+              match mk.Redo_log.granule with
+              | Redo_log.G_tid lim ->
+                  Hashtbl.replace limits
+                    (String.sub name pl (String.length name - pl))
+                    lim
+              | Redo_log.G_group _ -> ()
+          end)
+        r.Redo_log.marks);
+  let purges =
+    List.map
+      (fun pu ->
+        match Hashtbl.find_opt limits pu.pu_table with
+        | Some lim -> { pu with pu_limit = lim }
+        | None -> pu)
+      purges
+  in
+  let brt =
+    Migrate_exec.install ?mode ~overwrite:true ?page_size ?stripes ?nn ?fk_join
+      ~resume:true ~mig_id t.database bspec
+  in
+  let restored = Recovery.rebuild brt t.database.Database.redo in
+  Logs.info (fun m ->
+      m "rollback of %S resumed after restart: %d granule mark(s) restored"
+        fwd_spec.Migration.name restored);
+  let output_names = output_names_of bspec in
+  let base_tables =
+    List.filter_map
+      (fun name ->
+        if List.mem (String.lowercase_ascii name) output_names then None
+        else Some (Catalog.find_table_exn catalog name))
+      (Catalog.table_names catalog)
+  in
+  let shadows = build_shadows base_tables bspec in
+  t.act <-
+    Some
+      {
+        rt = brt;
+        shadows;
+        output_names;
+        cumulative = Migrate_exec.new_report ();
+        rollback =
+          Some { rb_fwd_mig_id = fwd_mig_id; rb_fwd_spec = fwd_spec; rb_purges = purges };
+      };
+  Planner.set_migration_watch catalog output_names;
+  register_migration_stats t;
+  t.next_mig_id <- max t.next_mig_id (max fwd_mig_id mig_id + 1);
+  drop_restored t fwd_spec;
+  t.dropped <- t.dropped @ List.map String.lowercase_ascii bspec.Migration.drop_old;
+  Catalog.bump_epoch catalog;
+  brt

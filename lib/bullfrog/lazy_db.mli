@@ -61,11 +61,17 @@ val resume_migration :
     replay — so no DDL runs; trackers are refilled from the committed
     granule marks in the redo log ({!Recovery.rebuild}) and migration
     resumes from the durable frontier.  [mig_id] must be the original
-    runtime's id (granule marks are filtered by it).  Lint/precheck are
-    skipped: the spec was validated at the original switch.
+    runtime's id (granule marks are filtered by it).  Precheck is
+    skipped and lint runs without enforcement — the spec was validated
+    at the original switch; the fresh verdict is attached to the runtime
+    so {!rollback_migration} keeps working across a crash.
     @raise Db_error.Sql_error when a migration is already active. *)
 
 val active : t -> Migrate_exec.t option
+
+val rollback_info : t -> (int * Migration.t) option
+(** [(forward mig_id, forward spec)] when the active migration is a
+    rollback installed by {!rollback_migration}; [None] otherwise. *)
 
 val migration_debt : t -> int
 (** Unmigrated-granule backlog of the active migration (granules the
@@ -108,7 +114,14 @@ val exec_in :
     separate transactions first. *)
 
 val background_step : t -> batch:int -> int
-(** §2.2; returns granules migrated (0 once complete). *)
+(** §2.2; returns granules migrated — plus, mid-rollback, stale-row
+    purge granules drained — (0 once complete). *)
+
+val drive_purges : t -> Bullfrog_sql.Ast.stmt -> unit
+(** Run the request-scoped stale-row purges a statement requires
+    mid-rollback (no-op otherwise).  [exec]/[exec_in] do this
+    internally; layers that drive {!Migrate_exec} directly (the cluster
+    router) must call it before executing the statement. *)
 
 val migration_complete : t -> bool
 
@@ -118,7 +131,51 @@ val cumulative_report : t -> Migrate_exec.report
 
 val finalize : t -> unit
 (** Once complete: drop the migration's input tables from the catalog and
-    deactivate interception.  @raise Db_error.Sql_error if incomplete. *)
+    deactivate interception.  For a rollback runtime the inputs are the
+    abandoned new-schema tables, and completeness additionally requires
+    every stale-row purge to have drained.
+    @raise Db_error.Sql_error if incomplete. *)
+
+val rollback_migration : t -> Migrate_exec.t option
+(** Instant mid-flight rollback (§4.2j): install the statically derived
+    backward transform ({!Mig_lint.lint_backward}) as a new lazy
+    migration over the {e new} tables — rollback is migrating in
+    reverse, reusing the trackers, the lazy/background execution paths
+    and the interception machinery, so it is as instant as the original
+    flip.  The old names become legal again and the abandoned new tables
+    are rejected.  Returns the backward runtime, or [None] when nothing
+    was dropped by the forward migration (rollback then reduces to
+    dropping the output tables, completed synchronously).
+
+    Old-table rows whose granules the forward migration had already
+    moved may have diverged through the new schema; they are purged
+    lazily (scoped per request, drained by {!background_step}) and
+    replaced by the reconstructed rows, so reads after the rollback flip
+    are exactly the never-migrated history plus the new-schema edits.
+    @raise Db_error.Sql_error when no migration is active, a rollback is
+    already in flight, the migration was started with [~lint:`Off], or
+    the spec is not invertible. *)
+
+val resume_rollback :
+  ?mode:Migrate_exec.mode ->
+  ?page_size:int ->
+  ?stripes:int ->
+  ?nn:Migrate_exec.nn_granularity ->
+  ?fk_join:[ `Tuple | `Class ] ->
+  t ->
+  fwd_mig_id:int ->
+  mig_id:int ->
+  Migration.t ->
+  Migration.t ->
+  Migrate_exec.t
+(** [resume_rollback t ~fwd_mig_id ~mig_id fwd_spec backward_spec] —
+    crash-restart re-installation of an in-flight rollback.  The forward
+    runtime's trackers are rebuilt from the log (under [fwd_mig_id]) to
+    recover which granules still need their stale old-schema rows
+    purged; the purge TID ceilings come from the synthetic marks logged
+    at rollback time; the backward runtime resumes from its own marks
+    (under [mig_id]).  [page_size] must match the original installs.
+    @raise Db_error.Sql_error when a migration is already active. *)
 
 val extract_predicates_for_stmt :
   t -> Bullfrog_sql.Ast.stmt -> (string * Bullfrog_sql.Ast.expr option) list

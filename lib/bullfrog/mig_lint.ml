@@ -11,6 +11,7 @@
 open Bullfrog_sql
 open Bullfrog_db
 module Pred = Bullfrog_analysis.Predicate
+module Invert = Bullfrog_analysis.Mig_invert
 
 type severity = Sev_error | Sev_warning
 
@@ -43,11 +44,19 @@ type stmt_verdict = {
 
 type action = Act_ok | Act_on_conflict | Act_reject
 
+type stmt_invert = {
+  si_stmt : string;
+  si_smo : Invert.smo;
+  si_verdict : Invert.verdict;
+}
+
 type t = {
   lint_migration : string;
   lint_stmts : stmt_verdict list;
   lint_hazards : hazard list;  (** migration-level (dropped-table) hazards *)
   lint_action : action;
+  lint_inverts : stmt_invert list;
+  lint_backward : Migration.t option;
 }
 
 let c_stmts = Obs.Counters.make "analysis.lint.stmts"
@@ -66,6 +75,20 @@ let all_hazards t = t.lint_hazards @ List.concat_map (fun s -> s.sv_hazards) t.l
 
 let errors t = List.filter (fun h -> h.hz_severity = Sev_error) (all_hazards t)
 let warnings t = List.filter (fun h -> h.hz_severity = Sev_warning) (all_hazards t)
+
+let invertible t =
+  List.for_all
+    (fun si ->
+      match si.si_verdict with Invert.Non_invertible _ -> false | _ -> true)
+    t.lint_inverts
+
+let non_invertible_reasons t =
+  List.filter_map
+    (fun si ->
+      match si.si_verdict with
+      | Invert.Non_invertible r -> Some (Printf.sprintf "%s: %s" si.si_stmt r)
+      | _ -> None)
+    t.lint_inverts
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -396,6 +419,150 @@ let lint_statement ?(fk_join = `Tuple) catalog drop_old (stmt : Migration.statem
   }
 
 (* ------------------------------------------------------------------ *)
+(* Invertibility (§4.2j): bridge Migration.t + catalog facts into the
+   AST-level analyzer, then fold its backward selects into a Migration.t
+   over the NEW schema.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let table_facts_of catalog table =
+  let heap = Catalog.find_table_exn catalog table in
+  let schema = heap.Heap.schema in
+  let env = not_null_env schema in
+  let col_name i = lower schema.Schema.columns.(i).Schema.name in
+  let tf_columns =
+    Array.to_list schema.Schema.columns
+    |> List.map (fun c ->
+           let n = lower c.Schema.name in
+           { Invert.col_name = n; col_not_null = env.Pred.not_null n })
+  in
+  let pk =
+    match schema.Schema.primary_key with
+    | None -> []
+    | Some pk -> [ Array.to_list (Array.map col_name pk) ]
+  in
+  let uniq_idx =
+    List.filter_map
+      (fun idx ->
+        if Index.is_unique idx then
+          Some (Array.to_list (Array.map col_name (Index.key_cols idx)))
+        else None)
+      heap.Heap.indexes
+  in
+  { Invert.tf_name = lower table; tf_columns; tf_unique_keys = pk @ uniq_idx }
+
+let output_facts_of ctx (o : Migration.output) =
+  let expanded = Planner.expand_select ctx o.Migration.out_population in
+  let of_unique_keys =
+    (match create_parts o.Migration.out_create with
+    | Some (columns, constraints) ->
+        let pk_cols =
+          List.filter_map
+            (fun cd -> if cd.Ast.col_primary_key then Some (lower cd.Ast.col_name) else None)
+            columns
+          @ List.concat_map
+              (function Ast.C_primary_key cs -> List.map lower cs | _ -> [])
+              constraints
+        in
+        (if pk_cols = [] then [] else [ pk_cols ])
+        @ List.filter_map
+            (fun cd ->
+              if cd.Ast.col_unique then Some [ lower cd.Ast.col_name ] else None)
+            columns
+        @ List.filter_map
+            (function Ast.C_unique cs -> Some (List.map lower cs) | _ -> None)
+            constraints
+    | None -> [])
+    @ List.filter_map
+        (function
+          | Ast.Create_index { columns; unique = true; _ } ->
+              Some (List.map lower columns)
+          | _ -> None)
+        o.Migration.out_indexes
+  in
+  {
+    Invert.of_name = lower o.Migration.out_name;
+    of_projections = named_projections expanded;
+    of_where = Option.map Pred.unqualify expanded.Ast.where;
+    of_group_by = expanded.Ast.group_by <> [];
+    of_unique_keys;
+  }
+
+let invert_statement catalog drop_old (stmt : Migration.statement) =
+  let ctx = { Planner.catalog; run_subquery = (fun _ -> []) } in
+  let input_pairs =
+    match stmt.Migration.outputs with
+    | o :: _ -> Migration.input_tables_of_select catalog o.Migration.out_population
+    | [] -> []
+  in
+  let sf =
+    {
+      Invert.sf_name = stmt.Migration.stmt_name;
+      sf_inputs =
+        List.map (fun (a, t) -> (a, table_facts_of catalog t)) input_pairs;
+      sf_outputs = List.map (output_facts_of ctx) stmt.Migration.outputs;
+      sf_dropped = drop_old;
+    }
+  in
+  let env =
+    match input_pairs with
+    | [ (_, table) ] -> not_null_env (Catalog.find_table_exn catalog table).Heap.schema
+    | _ -> Pred.top_env
+  in
+  let smo, verdict = Invert.analyze ~env sf in
+  { si_stmt = stmt.Migration.stmt_name; si_smo = smo; si_verdict = verdict }
+
+(* The derived rollback spec: one backward statement per synthesized
+   backward select (a row split's branches each become a statement
+   repopulating the SAME old table — hence [allow_shared_outputs]), all
+   forward outputs become [drop_old].  [None] when any statement is
+   non-invertible, or when nothing needs reconstructing (rollback then
+   reduces to dropping the outputs). *)
+let derive_backward (spec : Migration.t) inverts =
+  let all_invertible =
+    List.for_all
+      (fun si ->
+        match si.si_verdict with Invert.Non_invertible _ -> false | _ -> true)
+      inverts
+  in
+  let backs =
+    List.concat_map
+      (fun si ->
+        match si.si_verdict with
+        | Invert.Invertible bos | Invert.Invertible_lossy (bos, _) -> bos
+        | Invert.Non_invertible _ -> [])
+      inverts
+  in
+  if (not all_invertible) || backs = [] then None
+  else
+    let fwd_outputs =
+      List.concat_map
+        (fun (st : Migration.statement) ->
+          List.map (fun (o : Migration.output) -> o.Migration.out_name) st.Migration.outputs)
+        spec.Migration.statements
+    in
+    let statements =
+      List.mapi
+        (fun i (bo : Invert.backward_output) ->
+          {
+            Migration.stmt_name = Printf.sprintf "%s_rb%d" spec.Migration.name i;
+            outputs =
+              [
+                {
+                  Migration.out_name = bo.Invert.bo_table;
+                  out_create = None;
+                  out_population = bo.Invert.bo_select;
+                  out_indexes = [];
+                };
+              ];
+          })
+        backs
+    in
+    Some
+      (Migration.make
+         ~name:(spec.Migration.name ^ "_rollback")
+         ~drop_old:fwd_outputs ~allow_shared_outputs:true statements)
+
+(* ------------------------------------------------------------------ *)
 (* Migration-level analysis                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -454,12 +621,17 @@ let lint ?(fk_join = `Tuple) catalog (spec : Migration.t) =
                 })
       drop_old
   in
+  let inverts =
+    List.map (invert_statement catalog drop_old) spec.Migration.statements
+  in
   let v =
     {
       lint_migration = spec.Migration.name;
       lint_stmts = stmts;
       lint_hazards = mig_hazards;
       lint_action = Act_ok;
+      lint_inverts = inverts;
+      lint_backward = derive_backward spec inverts;
     }
   in
   let errs = errors v in
@@ -530,6 +702,27 @@ let format v =
         (hazard_kind_to_string h.hz_kind)
         h.hz_detail)
     v.lint_hazards;
+  line "  BACKWARD:";
+  List.iter
+    (fun si ->
+      line "    statement %S: %s — %s" si.si_stmt
+        (Invert.smo_to_string si.si_smo)
+        (Invert.verdict_summary si.si_verdict))
+    v.lint_inverts;
+  (match v.lint_backward with
+  | None ->
+      if invertible v then
+        line "    rollback = drop the output tables (nothing to reconstruct)"
+      else line "    no backward transform derivable — rollback impossible"
+  | Some b ->
+      line "    derived rollback spec %S (drop %s):" b.Migration.name
+        (String.concat ", " b.Migration.drop_old);
+      List.iter
+        (fun (st : Migration.statement) ->
+          List.iter
+            (fun o -> line "      %s" (Migration.output_ddl o))
+            st.Migration.outputs)
+        b.Migration.statements);
   Buffer.contents buf
 
 (* Sharded deployments need to know which inputs migrate by group: an

@@ -60,11 +60,27 @@ type action =
   | Act_on_conflict  (** installable, but only under ON CONFLICT mode *)
   | Act_reject  (** provable (or unprovable-and-unsafe) row loss *)
 
+type stmt_invert = {
+  si_stmt : string;
+  si_smo : Bullfrog_analysis.Mig_invert.smo;
+  si_verdict : Bullfrog_analysis.Mig_invert.verdict;
+}
+(** Per-statement invertibility: the SMO-lattice class and the analyzer
+    verdict (with the synthesized backward selects when invertible). *)
+
 type t = {
   lint_migration : string;
   lint_stmts : stmt_verdict list;
   lint_hazards : hazard list;  (** migration-level (dropped-table) hazards *)
   lint_action : action;
+  lint_inverts : stmt_invert list;
+  lint_backward : Migration.t option;
+      (** the derived rollback spec over the {e new} schema — backward
+          statements repopulating the dropped old tables, with every
+          forward output in [drop_old].  [None] when any statement is
+          non-invertible {e or} when nothing needs reconstructing
+          (rollback then reduces to dropping the outputs; see
+          {!invertible} to distinguish). *)
 }
 
 val lint :
@@ -79,6 +95,14 @@ val lint :
 val all_hazards : t -> hazard list
 val errors : t -> hazard list
 val warnings : t -> hazard list
+
+val invertible : t -> bool
+(** No statement is provably non-invertible (lossy counts as
+    invertible: a backward transform exists). *)
+
+val non_invertible_reasons : t -> string list
+(** One ["stmt: reason"] line per [Non_invertible] statement. *)
+
 val hazard_kind_to_string : hazard_kind -> string
 val precision_to_string : precision -> string
 val partition_to_string : partition -> string

@@ -60,6 +60,7 @@ type t = {
   stmts : rt_stmt list;
   db : Database.t;
   mode : mode;
+  overwrite : bool;
   page_size : int;
   mutable abort_inject : (unit -> bool) option;
   mutable listener : (granule_event -> unit) option;
@@ -197,14 +198,30 @@ let infer_output_schema catalog (population : Ast.select) =
 (* Installation (the logical switch)                                   *)
 (* ------------------------------------------------------------------ *)
 
-let install ?(mode = Tracked) ?(page_size = 1) ?(stripes = 64) ?(nn = Nn_pair)
-    ?(fk_join = `Tuple) ?lint ?(resume = false) ~mig_id db (spec : Migration.t) =
+let install ?(mode = Tracked) ?(overwrite = false) ?(page_size = 1)
+    ?(stripes = 64) ?(nn = Nn_pair) ?(fk_join = `Tuple) ?lint
+    ?(resume = false) ~mig_id db (spec : Migration.t) =
   (* Installation is the logical switch (§3.2) — rare and cold, so the
      span is unconditional. *)
   Obs.Trace.with_span ~cat:"migration" "install"
     ~args:[ ("migration", spec.Migration.name) ]
   @@ fun () ->
   let catalog = db.Database.catalog in
+  (* Reject output-name collisions before touching the catalog: a spec
+     whose second output collides with an existing table must not leave
+     the first output's DDL behind.  (On resume the outputs are supposed
+     to exist — they survived the restart.) *)
+  if not resume then
+    List.iter
+      (fun (stmt : Migration.statement) ->
+        List.iter
+          (fun (o : Migration.output) ->
+            if Catalog.exists catalog o.Migration.out_name then
+              Db_error.sql_error
+                "migration %S: output table %S already exists in the catalog"
+                spec.Migration.name o.Migration.out_name)
+          stmt.Migration.outputs)
+      spec.Migration.statements;
   let ctx = Database.exec_ctx db in
   let uid_counter = ref 0 in
   let fresh_uid () =
@@ -391,6 +408,7 @@ let install ?(mode = Tracked) ?(page_size = 1) ?(stripes = 64) ?(nn = Nn_pair)
     stmts;
     db;
     mode;
+    overwrite;
     page_size;
     abort_inject = None;
     listener = None;
@@ -659,6 +677,25 @@ end
 (* The migration transaction (Algorithm 1 body)                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Rollback (backward) migrations run with [overwrite]: the output is an
+   *old* table whose un-purged stale rows may collide with the backward
+   insert on a unique key.  The reconstructed row is authoritative —
+   delete every live conflicting row, then insert plainly. *)
+let delete_unique_conflicts ctx txn (heap : Heap.t) row =
+  List.iter
+    (fun idx ->
+      if Index.is_unique idx then
+        match Index.key_of_row idx row with
+        | None -> ()
+        | Some key ->
+            List.iter
+              (fun tid ->
+                match Heap.get heap tid with
+                | Some _ -> Executor.delete_row ctx txn heap tid
+                | None -> ())
+              (Index.find idx key))
+    heap.Heap.indexes
+
 (* Physically migrate the WIP granules inside one transaction: build a
    shadow catalog binding each tracked input to a temporary table holding
    exactly the granules' rows, run every output's population query over
@@ -727,6 +764,7 @@ let run_migration_txn t (report : report) stmt (wip : (rt_input * granule) list)
             let rows = Executor.run txn planned.Planner.plan in
             List.iter
               (fun row ->
+                if t.overwrite then delete_unique_conflicts ctx txn out_heap row;
                 match
                   Executor.insert_row ctx txn out_heap
                     ~on_conflict_do_nothing:(t.mode = On_conflict) row
@@ -902,6 +940,8 @@ let run_pair_txn t (report : report) pr (wip : Value.t array list) =
                       let out =
                         Array.map (fun e -> e.Expr.ce_eval [||] row) po.po_projs
                       in
+                      if t.overwrite then
+                        delete_unique_conflicts ctx txn po.po_heap out;
                       match
                         Executor.insert_row ctx txn po.po_heap
                           ~on_conflict_do_nothing:(t.mode = On_conflict) out

@@ -84,6 +84,10 @@ type t = {
   stmts : rt_stmt list;
   db : Bullfrog_db.Database.t;
   mode : mode;
+  overwrite : bool;
+      (** backward (rollback) installs: a migrated row that collides with
+          a live output row on a unique key replaces it instead of being
+          dropped or raising — the reconstructed row is authoritative *)
   page_size : int;
   mutable abort_inject : (unit -> bool) option;
       (** failure injection: when it returns true, the migration
@@ -120,6 +124,7 @@ val merge_report : into:report -> report -> unit
 
 val install :
   ?mode:mode ->
+  ?overwrite:bool ->
   ?page_size:int ->
   ?stripes:int ->
   ?nn:nn_granularity ->

@@ -17,11 +17,46 @@ type t = {
   name : string;
   statements : statement list;
   drop_old : string list;
+  allow_shared_outputs : bool;
 }
 
-let make ~name ?(drop_old = []) statements =
+let make ~name ?(drop_old = []) ?(allow_shared_outputs = false) statements =
   if statements = [] then Db_error.sql_error "migration %S has no statements" name;
-  { name; statements; drop_old = List.map String.lowercase_ascii drop_old }
+  (* Two outputs with the same table name — within a statement, or across
+     statements — would race each other's DDL and trackers at install
+     time; catch it here with a clear error instead.  Backward
+     (rollback) specs legitimately repopulate one old table from several
+     split branches and opt in via [allow_shared_outputs], which still
+     forbids duplicates *within* a statement. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun st ->
+      let in_stmt = Hashtbl.create 4 in
+      List.iter
+        (fun o ->
+          let n = String.lowercase_ascii o.out_name in
+          if Hashtbl.mem in_stmt n then
+            Db_error.sql_error
+              "migration %S: statement %S populates output table %S twice"
+              name st.stmt_name n;
+          Hashtbl.replace in_stmt n ();
+          (match Hashtbl.find_opt seen n with
+          | Some other when not allow_shared_outputs ->
+              Db_error.sql_error
+                "migration %S: output table %S appears in statements %S and \
+                 %S (each output table must be populated by exactly one \
+                 statement)"
+                name n other st.stmt_name
+          | _ -> ());
+          Hashtbl.replace seen n st.stmt_name)
+        st.outputs)
+    statements;
+  {
+    name;
+    statements;
+    drop_old = List.map String.lowercase_ascii drop_old;
+    allow_shared_outputs;
+  }
 
 let output_ddl o =
   match o.out_create with
@@ -129,6 +164,7 @@ let serialize (t : t) =
     Buffer.add_char buf sep
   in
   emit "M" t.name;
+  if t.allow_shared_outputs then emit "A" "1";
   List.iter (emit "D") t.drop_old;
   List.iter
     (fun st ->
@@ -161,7 +197,7 @@ let deserialize s =
     | Ast.Select_stmt sel -> sel
     | _ -> bad "population is not a SELECT: %s" sql
   in
-  let name = ref None and drop_old = ref [] in
+  let name = ref None and drop_old = ref [] and allow_shared = ref false in
   (* statements/outputs are accumulated in reverse, then re-reversed *)
   let stmts : (string * output list ref) list ref = ref [] in
   let cur_outputs () =
@@ -179,6 +215,7 @@ let deserialize s =
     (fun (tag, v) ->
       match tag with
       | "M" -> name := Some v
+      | "A" -> allow_shared := v = "1"
       | "D" -> drop_old := v :: !drop_old
       | "S" -> stmts := (v, ref []) :: !stmts
       | "O" ->
@@ -197,4 +234,5 @@ let deserialize s =
       (fun (stmt_name, outs) -> { stmt_name; outputs = List.rev !outs })
       !stmts
   in
-  make ~name ~drop_old:(List.rev !drop_old) statements
+  make ~name ~drop_old:(List.rev !drop_old)
+    ~allow_shared_outputs:!allow_shared statements

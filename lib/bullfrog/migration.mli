@@ -31,10 +31,22 @@ type t = {
   drop_old : string list;
       (** old tables the new schema no longer exposes; requests naming them
           are rejected after the logical switch (the "big flip") *)
+  allow_shared_outputs : bool;
+      (** several statements may populate the same output table — the
+          shape of a derived rollback spec, where each branch of a row
+          split repopulates the one old table.  Off by default. *)
 }
 
 val make :
-  name:string -> ?drop_old:string list -> statement list -> t
+  name:string ->
+  ?drop_old:string list ->
+  ?allow_shared_outputs:bool ->
+  statement list ->
+  t
+(** Validates the spec shape: at least one statement, and no output
+    table populated twice (within a statement, or — unless
+    [allow_shared_outputs] — across statements).
+    @raise Bullfrog_db.Db_error.Sql_error on violation. *)
 
 val output_ddl : output -> string
 (** Human-readable DDL of the output (for logs and the CLI). *)

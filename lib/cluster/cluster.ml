@@ -348,6 +348,10 @@ let drive_migration t stmt =
   match t.migration with
   | None -> ()
   | Some m ->
+      (* Mid-rollback, stale old-schema rows the statement could observe
+         must be purged on every shard (old- and new-table partitioning
+         can route differently); cheap no-op otherwise. *)
+      Array.iter (fun sh -> Lazy_db.drive_purges sh.sh_lazy stmt) t.shards;
       let preds = Lazy_db.extract_predicates_for_stmt t.shards.(0).sh_lazy stmt in
       if preds <> [] then Counters.bump c_mig_drives;
       List.iter
@@ -732,6 +736,12 @@ let check_aggregate_partition t mig =
               tbl (String.concat ", " cols) pc)
     (Bullfrog_core.Mig_lint.aggregate_group_keys t.shards.(0).sh_db.Database.catalog mig)
 
+let spec_outputs (mig : Migration.t) =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun st -> List.map (fun o -> lc o.Migration.out_name) st.Migration.outputs)
+       mig.Migration.statements)
+
 let start_migration ?(partitions = []) t mig =
   with_latch t (fun () ->
       if t.migration <> None then sql_error "cluster: a migration is already active";
@@ -747,13 +757,7 @@ let start_migration ?(partitions = []) t mig =
         (Printf.sprintf "BFMIG-START %d %s"
            rts.(0).Migrate_exec.mig_id
            (Migration.serialize mig));
-      let outputs =
-        List.sort_uniq compare
-          (List.concat_map
-             (fun st ->
-               List.map (fun o -> lc o.Migration.out_name) st.Migration.outputs)
-             mig.Migration.statements)
-      in
+      let outputs = spec_outputs mig in
       let partitions = List.map (fun (k, v) -> (lc k, v)) partitions in
       List.iter
         (fun out ->
@@ -791,9 +795,9 @@ let background_step t ~batch =
       | Some m ->
           let total = ref 0 in
           Array.iteri
-            (fun s _ ->
-              let rep = Migrate_exec.new_report () in
-              let n = Migrate_exec.background_step m.mig_rts.(s) rep ~batch in
+            (fun s sh ->
+              (* through Lazy_db so rollback purges drain with the batch *)
+              let n = Lazy_db.background_step sh.sh_lazy ~batch in
               if n > 0 then move_misplaced t m s;
               total := !total + n)
             t.shards;
@@ -811,7 +815,9 @@ let migration_debt t =
 let migration_complete t =
   match t.migration with
   | None -> true
-  | Some m -> Array.for_all Migrate_exec.complete m.mig_rts
+  | Some _ ->
+      (* per-shard completeness includes rollback purge drainage *)
+      Array.for_all (fun sh -> Lazy_db.migration_complete sh.sh_lazy) t.shards
 
 let migration_progress t =
   match t.migration with
@@ -835,12 +841,95 @@ let finalize t =
             m.mig_spec.Migration.name;
           t.migration <- None)
 
+(* Cluster-wide mid-flight rollback (§4.2j): flip every shard to the
+   derived backward migration under the latch, then publish one epoch
+   store — readers see either the whole cluster migrating forward or the
+   whole cluster rolling back, like the original flip.  The coordinator
+   log gets a BFMIG-RB marker carrying both runtime ids and the backward
+   spec so a crash restart can resume the rollback. *)
+let rollback_migration t =
+  with_latch t (fun () ->
+      match t.migration with
+      | None -> sql_error "cluster: no migration is active; nothing to roll back"
+      | Some m ->
+          if Lazy_db.rollback_info t.shards.(0).sh_lazy <> None then
+            sql_error "cluster: migration %s is already rolling back"
+              m.mig_spec.Migration.name;
+          let fwd_mig_id = m.mig_rts.(0).Migrate_exec.mig_id in
+          let brts =
+            Array.map (fun sh -> Lazy_db.rollback_migration sh.sh_lazy) t.shards
+          in
+          (* identical specs and lint verdicts on every shard: the per-shard
+             decisions agree by construction *)
+          assert (
+            Array.for_all Option.is_some brts
+            || Array.for_all Option.is_none brts);
+          t.dropped <-
+            List.filter
+              (fun n -> not (List.mem n (List.map lc m.mig_spec.Migration.drop_old)))
+              t.dropped;
+          (match brts.(0) with
+          | None ->
+              (* nothing was dropped: the shards already un-flipped by
+                 dropping the outputs — close the marker and forget the
+                 outputs' partitions *)
+              Redo_log.append_ddl t.coord_log
+                ~epoch:(Atomic.get t.epoch)
+                (Printf.sprintf "BFMIG-END %d" fwd_mig_id);
+              t.parts <-
+                List.filter (fun (k, _) -> not (List.mem k m.mig_outputs)) t.parts;
+              t.migration <- None
+          | Some _ ->
+              let brts = Array.map Option.get brts in
+              let bspec = brts.(0).Migrate_exec.spec in
+              Redo_log.append_ddl t.coord_log
+                ~epoch:(Atomic.get t.epoch)
+                (Printf.sprintf "BFMIG-RB %d %d %s" fwd_mig_id
+                   brts.(0).Migrate_exec.mig_id
+                   (Migration.serialize bspec));
+              let outputs = spec_outputs bspec in
+              (* Watermarks start at the current heap tops: the surviving
+                 old rows never moved (they are already home), only
+                 reconstructed rows appended above need the row mover. *)
+              let wms = Hashtbl.create 8 in
+              List.iter
+                (fun out ->
+                  Hashtbl.replace wms out
+                    (Array.map
+                       (fun sh ->
+                         match Catalog.find_table sh.sh_db.Database.catalog out with
+                         | Some h -> Heap.tid_count h
+                         | None -> 0)
+                       t.shards))
+                outputs;
+              t.migration <-
+                Some
+                  {
+                    mig_spec = bspec;
+                    mig_rts = brts;
+                    mig_outputs = outputs;
+                    mig_watermarks = wms;
+                  };
+              t.dropped <- List.map lc bspec.Migration.drop_old @ t.dropped);
+          Atomic.incr t.epoch;
+          Obs.Flight.notef ~cat:"cluster" "migration %s rolled back (epoch %d)"
+            m.mig_spec.Migration.name (Atomic.get t.epoch);
+          Counters.bump c_flips)
+
 (* ------------------------------------------------------------------ *)
 (* recovery                                                            *)
 
 (* The last BFMIG-START in the coordinator log with no matching
    BFMIG-END is a migration whose logical switch happened but which was
-   not finalized before the crash: it must be re-installed and resumed. *)
+   not finalized before the crash: it must be re-installed and resumed.
+   A BFMIG-RB following that START flips the pending state to a rollback
+   (resumed backward); its BFMIG-END carries the {e rollback} runtime
+   id. *)
+type pending_migration =
+  | P_forward of int * string  (* mig_id, serialized spec *)
+  | P_rollback of int * string * int * string
+      (* forward mig_id, forward spec, rollback mig_id, backward spec *)
+
 let pending_migration_marker coord_log =
   List.fold_left
     (fun acc entry ->
@@ -855,7 +944,27 @@ let pending_migration_marker coord_log =
                   let spec =
                     String.sub rest (sp2 + 1) (String.length rest - sp2 - 1)
                   in
-                  Some (mig_id, spec)
+                  Some (P_forward (mig_id, spec))
+              | None -> acc)
+          | Some sp when String.sub d_sql 0 sp = "BFMIG-RB" -> (
+              let rest = String.sub d_sql (sp + 1) (String.length d_sql - sp - 1) in
+              match String.index_opt rest ' ' with
+              | Some sp2 -> (
+                  let fwd_id = int_of_string (String.sub rest 0 sp2) in
+                  let rest2 =
+                    String.sub rest (sp2 + 1) (String.length rest - sp2 - 1)
+                  in
+                  match String.index_opt rest2 ' ' with
+                  | Some sp3 -> (
+                      let rb_id = int_of_string (String.sub rest2 0 sp3) in
+                      let bspec =
+                        String.sub rest2 (sp3 + 1) (String.length rest2 - sp3 - 1)
+                      in
+                      match acc with
+                      | Some (P_forward (mid, mw)) when mid = fwd_id ->
+                          Some (P_rollback (mid, mw, rb_id, bspec))
+                      | _ -> acc)
+                  | None -> acc)
               | None -> acc)
           | Some sp when String.sub d_sql 0 sp = "BFMIG-END" -> (
               let id =
@@ -863,7 +972,8 @@ let pending_migration_marker coord_log =
                   (String.sub d_sql (sp + 1) (String.length d_sql - sp - 1))
               in
               match (acc, id) with
-              | Some (mid, _), Some eid when mid = eid -> None
+              | Some (P_forward (mid, _)), Some eid when mid = eid -> None
+              | Some (P_rollback (_, _, rbid, _)), Some eid when rbid = eid -> None
               | _ -> acc)
           | _ -> acc)
       | _ -> acc)
@@ -901,37 +1011,52 @@ let recover old =
   Obs.register_stats t.prov (fun () -> !stats_of t);
   Obs.Flight.notef ~cat:"cluster" "recovered %d shard(s), epoch %d"
     (Array.length shards) (Atomic.get t.epoch);
+  (* Watermarks restart from 0 in both resume paths: the row mover
+     rescans every output heap, which is idempotent (moving is a 2PC
+     delete+insert keyed by the row's home shard; already-home rows are
+     skipped). *)
+  let zero_watermarks outputs =
+    let wms = Hashtbl.create 8 in
+    List.iter
+      (fun out -> Hashtbl.replace wms out (Array.make (Array.length t.shards) 0))
+      outputs;
+    wms
+  in
   (match pending_migration_marker coord_log with
   | None -> ()
-  | Some (mig_id, wire) ->
+  | Some (P_forward (mig_id, wire)) ->
       let mig = Migration.deserialize wire in
       let rts =
         Array.map
           (fun sh -> Lazy_db.resume_migration sh.sh_lazy ~mig_id mig)
           t.shards
       in
-      let outputs =
-        List.sort_uniq compare
-          (List.concat_map
-             (fun st ->
-               List.map (fun o -> lc o.Migration.out_name) st.Migration.outputs)
-             mig.Migration.statements)
-      in
-      (* Watermarks restart from 0: the row mover rescans every output
-         heap, which is idempotent (moving is a 2PC delete+insert keyed
-         by the row's home shard; already-home rows are skipped). *)
-      let wms = Hashtbl.create 8 in
-      List.iter
-        (fun out ->
-          Hashtbl.replace wms out (Array.make (Array.length t.shards) 0))
-        outputs;
+      let outputs = spec_outputs mig in
       t.migration <-
         Some
           {
             mig_spec = mig;
             mig_rts = rts;
             mig_outputs = outputs;
-            mig_watermarks = wms;
+            mig_watermarks = zero_watermarks outputs;
+          }
+  | Some (P_rollback (fwd_mig_id, fwd_wire, mig_id, rb_wire)) ->
+      let fwd_spec = Migration.deserialize fwd_wire in
+      let bspec = Migration.deserialize rb_wire in
+      let rts =
+        Array.map
+          (fun sh ->
+            Lazy_db.resume_rollback sh.sh_lazy ~fwd_mig_id ~mig_id fwd_spec bspec)
+          t.shards
+      in
+      let outputs = spec_outputs bspec in
+      t.migration <-
+        Some
+          {
+            mig_spec = bspec;
+            mig_rts = rts;
+            mig_outputs = outputs;
+            mig_watermarks = zero_watermarks outputs;
           });
   t
 

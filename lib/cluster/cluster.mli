@@ -103,6 +103,20 @@ val finalize : t -> unit
 (** Per-shard {!Bullfrog_core.Lazy_db.finalize} plus a final row-movement
     sweep.  @raise Db_error.Sql_error if any shard is incomplete. *)
 
+val rollback_migration : t -> unit
+(** Cluster-wide mid-flight rollback: flip every shard to the statically
+    derived backward migration ({!Bullfrog_core.Lazy_db.rollback_migration})
+    and publish one epoch store, so readers see either the whole cluster
+    migrating forward or the whole cluster rolling back.  A [BFMIG-RB]
+    coordinator-log marker (forward and rollback runtime ids plus the
+    serialized backward spec) makes the rollback crash-survivable; when
+    nothing needs reconstructing the outputs are dropped synchronously
+    and the marker closes with [BFMIG-END].  The rollback then proceeds
+    like any migration: lazy, background-drained, finished by
+    {!finalize} (which drops the abandoned new-schema tables).
+    @raise Db_error.Sql_error when no migration is active, a rollback is
+    already in flight, or the spec is not invertible. *)
+
 (** {2 Observability} *)
 
 val shard_stats : t -> Obs.stat list

@@ -535,6 +535,103 @@ let recover_mid_migration () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Cluster-wide rollback: one epoch flip, BFMIG-RB crash recovery      *)
+(* ------------------------------------------------------------------ *)
+
+let copy_t_spec () =
+  Migration.make ~name:"tcopy" ~drop_old:[ "t" ]
+    [
+      Migration.statement_of_sql ~name:"tcopy"
+        "CREATE TABLE t2 AS (SELECT id, v FROM t)"
+        ~extra_ddl:[ "CREATE UNIQUE INDEX t2_id ON t2 (id)" ];
+    ]
+
+(* Roll a half-done cluster migration back mid-flight (with edits taken
+   through the new schema on the way), crash-restart in the middle of
+   the BACKWARD phase, and check the recovered cluster resumes the
+   rollback from the coordinator's BFMIG-RB marker and lands row-exact
+   against a never-migrated single-node oracle. *)
+let cluster_rollback_mid_flight () =
+  let c = mk_cluster 40 in
+  Cluster.start_migration c (copy_t_spec ());
+  (* drive a slice lazily, edit and delete through the new schema *)
+  ignore (Cluster.exec c "SELECT v FROM t2 WHERE id = 5" : Executor.result);
+  ignore (Cluster.background_step c ~batch:2 : int);
+  ignore (Cluster.exec c "UPDATE t2 SET v = 'edited' WHERE id = 11" : Executor.result);
+  ignore (Cluster.exec c "DELETE FROM t2 WHERE id = 7" : Executor.result);
+  Cluster.rollback_migration c;
+  check Alcotest.bool "rollback is the active migration" true
+    (match Cluster.active_migration c with
+    | Some m -> m.Migration.name = "tcopy_rollback"
+    | None -> false);
+  (* the old schema answers immediately; the abandoned table is gone *)
+  ignore (Cluster.exec c "SELECT v FROM t WHERE id = 11" : Executor.result);
+  (try
+     ignore (Cluster.exec c "SELECT v FROM t2 WHERE id = 11" : Executor.result);
+     Alcotest.fail "t2 should be rejected mid-rollback"
+   with Db_error.Sql_error _ -> ());
+  (* crash-restart mid-rollback: the BFMIG-RB marker re-installs it *)
+  let c = Cluster.recover c in
+  check Alcotest.bool "rollback survives the crash" true
+    (match Cluster.active_migration c with
+    | Some m -> m.Migration.name = "tcopy_rollback"
+    | None -> false);
+  ignore (Cluster.exec c "SELECT v FROM t WHERE id = 5" : Executor.result);
+  let fuel = ref 200 in
+  while (not (Cluster.migration_complete c)) && !fuel > 0 do
+    decr fuel;
+    ignore (Cluster.background_step c ~batch:4 : int)
+  done;
+  check Alcotest.bool "rollback drains" true (Cluster.migration_complete c);
+  Cluster.finalize c;
+  (* never-migrated oracle with the same logical edits *)
+  let odb = Database.create () in
+  ignore (Database.exec odb "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"
+           : Executor.result);
+  ignore
+    (Database.exec odb
+       ("INSERT INTO t VALUES "
+       ^ String.concat ", "
+           (List.init 40 (fun i -> Printf.sprintf "(%d, 'g%d')" i (i mod 3))))
+      : Executor.result);
+  ignore (Database.exec odb "UPDATE t SET v = 'edited' WHERE id = 11" : Executor.result);
+  ignore (Database.exec odb "DELETE FROM t WHERE id = 7" : Executor.result);
+  check (Alcotest.list Alcotest.string) "row-exact vs never-migrated oracle"
+    (sorted_rows_db odb "SELECT id, v FROM t")
+    (sorted_rows_c c "SELECT id, v FROM t");
+  (* finalize dropped the abandoned new table on every shard *)
+  for i = 0 to Cluster.shard_count c - 1 do
+    check Alcotest.bool "t2 dropped on shard" false
+      (Catalog.exists (Cluster.shard_db c i).Database.catalog "t2")
+  done
+
+(* A migration that drops nothing rolls back trivially: outputs are
+   dropped synchronously, the marker closes with BFMIG-END, and a
+   recovered cluster has no migration to resume. *)
+let cluster_rollback_trivial () =
+  let c = mk_cluster 12 in
+  let spec =
+    Migration.make ~name:"tkeep" ~drop_old:[]
+      [
+        Migration.statement_of_sql ~name:"tkeep"
+          "CREATE TABLE t_copy AS (SELECT id, v FROM t)";
+      ]
+  in
+  Cluster.start_migration c spec;
+  ignore (Cluster.exec c "SELECT v FROM t_copy WHERE id = 3" : Executor.result);
+  Cluster.rollback_migration c;
+  check Alcotest.bool "no active migration" true (Cluster.active_migration c = None);
+  check Alcotest.int "source table intact" 12
+    (List.length (Cluster.query c "SELECT id FROM t"));
+  for i = 0 to Cluster.shard_count c - 1 do
+    check Alcotest.bool "output dropped on shard" false
+      (Catalog.exists (Cluster.shard_db c i).Database.catalog "t_copy")
+  done;
+  let c = Cluster.recover c in
+  check Alcotest.bool "nothing resumes after restart" true
+    (Cluster.active_migration c = None)
+
+(* ------------------------------------------------------------------ *)
 (* Frontend: the uniform surface behaves the same on both engines      *)
 (* ------------------------------------------------------------------ *)
 
@@ -652,6 +749,10 @@ let suite =
     Alcotest.test_case "aggregate partition guard" `Quick aggregate_partition_guard;
     Alcotest.test_case "cluster recovery" `Quick recover_preserves_rows;
     Alcotest.test_case "mid-migration recovery resumes" `Quick recover_mid_migration;
+    Alcotest.test_case "cluster rollback survives mid-rollback crash" `Quick
+      cluster_rollback_mid_flight;
+    Alcotest.test_case "trivial rollback drops outputs synchronously" `Quick
+      cluster_rollback_trivial;
     Alcotest.test_case "frontend surface" `Quick frontend_surface;
     Alcotest.test_case "budgeted vacuum equivalence" `Quick vacuum_budget_equivalence;
     Alcotest.test_case "unsupported statements rejected" `Quick unsupported_surface;

@@ -10,6 +10,7 @@ let () =
       ("sql", Test_sql.suite);
       ("analysis", Test_analysis.suite);
       ("lint", Test_lint.suite);
+      ("invert", Test_invert.suite);
       ("storage", Test_storage.suite);
       ("mvcc", Test_mvcc.suite);
       ("engine", Test_engine.suite);
